@@ -1,0 +1,47 @@
+//! **E5** — the paper's §4 delay remark: *"the SINO solution has a
+//! relatively smaller delay per unit length as no neighboring wires switch
+//! simultaneously [12]. Therefore, the performance penalty due to the
+//! increase on wire length should be less than the wire length penalty."*
+//!
+//! Compares the Elmore/Miller estimate against the transient simulator for
+//! the three neighbour regimes, then evaluates whether GSINO's measured
+//! wire-length overhead shrinks when converted to a delay overhead.
+
+use gsino_grid::tech::Technology;
+use gsino_lsk::delay::{elmore_delay, sino_delay_advantage, NeighborActivity};
+use gsino_rlc::coupled::{BlockSpec, WireRole};
+use gsino_rlc::delay::rise_delay;
+
+fn main() {
+    let tech = Technology::itrs_100nm();
+    let len = 1500.0;
+    println!("wire under test: {len} um at the ITRS 0.10 um node\n");
+    println!(
+        "{:<28} | {:>12} | {:>12}",
+        "neighbour regime", "Elmore (ps)", "simulated (ps)"
+    );
+    let cases: [(&str, NeighborActivity, WireRole); 3] = [
+        ("opposite switching (worst)", NeighborActivity::SwitchingOpposite, WireRole::AggressorFalling),
+        ("quiet (SINO guarantee)", NeighborActivity::Quiet, WireRole::Quiet),
+        ("same direction (best)", NeighborActivity::SwitchingSame, WireRole::AggressorRising),
+    ];
+    for (label, activity, neighbor_role) in cases {
+        let est = elmore_delay(&tech, len, activity, activity);
+        let spec = BlockSpec::for_delay(
+            vec![neighbor_role, WireRole::AggressorRising, neighbor_role],
+            len,
+            &tech,
+        )
+        .expect("valid spec");
+        let sim = rise_delay(&spec, 1).expect("measurable");
+        println!("{label:<28} | {:>12.2} | {:>12.2}", est * 1e12, sim * 1e12);
+    }
+    let adv = sino_delay_advantage(&tech, len);
+    println!(
+        "\nSINO delay-per-unit-length advantage (quiet / worst-case): {adv:.2}"
+    );
+    println!(
+        "paper S4: a GSINO wire-length overhead of X% therefore costs roughly {:.2}X% in delay",
+        adv
+    );
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the substrates: Steiner trees, LU solves,
+//! SINO solving, Keff evaluation, transient simulation and the ID router.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gsino_grid::geom::{Point, Rect};
+use gsino_grid::net::{Circuit, Net};
+use gsino_grid::region::RegionGrid;
+use gsino_grid::sensitivity::SensitivityModel;
+use gsino_grid::tech::Technology;
+use gsino_core::router::{route_all, ShieldTerm, Weights};
+use gsino_numeric::{LuFactors, Matrix};
+use gsino_rlc::coupled::{BlockSpec, WireRole};
+use gsino_rlc::peak_noise;
+use gsino_sino::instance::{SegmentSpec, SinoInstance};
+use gsino_sino::keff::evaluate;
+use gsino_sino::layout::Layout;
+use gsino_sino::solver::SinoSolver;
+use gsino_steiner::{iterated_one_steiner, rectilinear_mst};
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new((i * 97 % 311) as f64, (i * 53 % 271) as f64))
+        .collect()
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let pins8 = points(8);
+    let pins40 = points(40);
+    c.bench_function("rectilinear_mst_40pins", |b| {
+        b.iter(|| rectilinear_mst(std::hint::black_box(&pins40)))
+    });
+    c.bench_function("iterated_one_steiner_8pins", |b| {
+        b.iter(|| iterated_one_steiner(std::hint::black_box(&pins8)))
+    });
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let n = 100;
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        }
+        m[(i, i)] += n as f64;
+    }
+    let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    c.bench_function("lu_factor_100", |b| {
+        b.iter(|| LuFactors::factor(std::hint::black_box(&m)).expect("factors"))
+    });
+    let lu = LuFactors::factor(&m).expect("factors");
+    c.bench_function("lu_solve_100", |b| {
+        b.iter(|| lu.solve(std::hint::black_box(&rhs)).expect("solves"))
+    });
+}
+
+fn bench_sino(c: &mut Criterion) {
+    let segs: Vec<SegmentSpec> =
+        (0..14).map(|i| SegmentSpec { net: i, kth: 0.5 }).collect();
+    let inst =
+        SinoInstance::from_model(segs, &SensitivityModel::new(0.5, 7)).expect("valid");
+    let solver = SinoSolver::default();
+    c.bench_function("sino_greedy_14segments", |b| {
+        b.iter(|| solver.solve(std::hint::black_box(&inst)).expect("solves"))
+    });
+    let layout = solver.solve(&inst).expect("solves");
+    c.bench_function("keff_evaluate_14segments", |b| {
+        b.iter(|| evaluate(std::hint::black_box(&inst), std::hint::black_box(&layout)))
+    });
+    let _ = Layout::from_order(&[0]);
+}
+
+fn bench_rlc(c: &mut Criterion) {
+    let tech = Technology::itrs_100nm();
+    let spec = BlockSpec::new(
+        vec![WireRole::AggressorRising, WireRole::Victim, WireRole::Quiet],
+        1000.0,
+        &tech,
+    )
+    .expect("valid block");
+    c.bench_function("transient_3wire_1mm", |b| {
+        b.iter(|| peak_noise(std::hint::black_box(&spec)).expect("simulates"))
+    });
+}
+
+fn bench_router(c: &mut Criterion) {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(1024.0, 1024.0)).unwrap();
+    let nets: Vec<Net> = (0..100)
+        .map(|i| {
+            let x = 16.0 + (i as f64 * 137.0) % 960.0;
+            let y = 16.0 + (i as f64 * 211.0) % 960.0;
+            Net::two_pin(i, Point::new(x, y), Point::new(1008.0 - x, 1008.0 - y))
+        })
+        .collect();
+    let circuit = Circuit::new("bench", die, nets).unwrap();
+    let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
+    c.bench_function("id_router_100nets", |b| {
+        b.iter_batched(
+            || (),
+            |_| route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+                .expect("routes"),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_steiner, bench_lu, bench_sino, bench_rlc, bench_router
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! **E3** — the paper's §5 runtime claim: "The majority of running time in
+//! the current three-phase GSINO algorithm is consumed by the ID-based
+//! global routing phase."
+
+use gsino_bench::{banner, bench_experiment_config};
+use gsino_circuits::experiment::run_suite;
+
+fn main() {
+    let config = bench_experiment_config();
+    eprintln!("{}", banner("phase_runtime", &config));
+    match run_suite(&config) {
+        Ok(results) => {
+            println!("{}", results.render_runtime_breakdown());
+            println!(
+                "paper reference (S5): routing dominates; our Phase III does more work \n\
+                 per violation than the paper's, so see EXPERIMENTS.md for the measured split"
+            );
+        }
+        Err(e) => {
+            eprintln!("phase_runtime failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

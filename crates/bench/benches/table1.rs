@@ -1,0 +1,27 @@
+//! Regenerates **Table 1**: numbers of crosstalk-violating nets for ID+NO
+//! solutions at 30% and 50% sensitivity (paper §4).
+//!
+//! Paper values (full ISPD'98 suite): 14.6–18.9% of nets violate at 30%
+//! sensitivity, 18.9–24.1% at 50%. Reproduction criterion: a substantial
+//! fraction of nets violates, growing with the sensitivity rate.
+
+use gsino_bench::{banner, bench_experiment_config};
+use gsino_circuits::experiment::run_suite;
+
+fn main() {
+    let config = bench_experiment_config();
+    eprintln!("{}", banner("table1", &config));
+    match run_suite(&config) {
+        Ok(results) => {
+            println!("{}", results.render_table1());
+            println!(
+                "paper reference: ibm01 1907 (14.60%) @30%, 2583 (19.78%) @50%; \
+                 worst circuit 24.07% @50%"
+            );
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table 3**: routing areas of ID+NO, iSINO and GSINO
+//! solutions (paper §4).
+//!
+//! Paper values: iSINO pays 16.8–19.7% area at 30% sensitivity and
+//! 22.5–25.5% at 50%; GSINO cuts that to 5.7–8.7% and 6.5–11.0%.
+//! Reproduction criteria: iSINO's overhead is severalfold GSINO's, both
+//! grow with the sensitivity rate, and GSINO needs far fewer shields.
+
+use gsino_bench::{banner, bench_experiment_config};
+use gsino_circuits::experiment::run_suite;
+
+fn main() {
+    let config = bench_experiment_config();
+    eprintln!("{}", banner("table3", &config));
+    match run_suite(&config) {
+        Ok(results) => {
+            println!("{}", results.render_table3());
+            println!("{}", results.render_observations());
+            println!(
+                "paper reference: ibm01 iSINO +17.04%/+25.53%, GSINO +6.04%/+6.51% \
+                 (30%/50% sensitivity)"
+            );
+        }
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

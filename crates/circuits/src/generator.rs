@@ -1,0 +1,226 @@
+//! Synthetic circuit generation.
+//!
+//! Emulates the statistics of placed ISPD'98 netlists that matter to the
+//! routing experiments: a 2-pin-dominated pin-count distribution with a
+//! geometric tail, exponentially distributed net spans (most nets local, a
+//! heavy tail of long global nets — the tail is what violates crosstalk
+//! constraints), clustered hotspots (so congestion and sensitive-net
+//! density vary across the die the way placed designs do), and an
+//! auto-calibrated mean wire length matching the published per-circuit
+//! averages.
+
+use crate::spec::CircuitSpec;
+use gsino_grid::geom::{Point, Rect};
+use gsino_grid::net::{Circuit, Net};
+use gsino_grid::GridError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of placement hotspots.
+const CLUSTERS: usize = 12;
+
+/// Fraction of nets anchored at a hotspot rather than placed uniformly.
+/// DRAGON placements are congestion-driven, so hotspots are mild (~2× the
+/// median region density, not an order of magnitude).
+const CLUSTER_FRACTION: f64 = 0.25;
+
+/// Fraction of nets drawn from the long (global) span population.
+const GLOBAL_FRACTION: f64 = 0.30;
+
+/// Global spans are this multiple of local spans on average.
+const GLOBAL_SPAN_RATIO: f64 = 3.0;
+
+/// Fraction of nets that are chip-crossing buses (clock spines, data
+/// buses). Their long parallel runs are the crosstalk victims the paper's
+/// Table 1 counts regardless of sensitivity rate.
+const BUS_FRACTION: f64 = 0.05;
+
+/// Bus spans relative to local spans.
+const BUS_SPAN_RATIO: f64 = 7.0;
+
+/// Generates a circuit matching `spec`, deterministically from `seed`.
+///
+/// # Errors
+///
+/// Propagates [`GridError`] from circuit validation (cannot occur for
+/// well-formed specs: all pins are clamped into the die).
+pub fn generate(spec: &CircuitSpec, seed: u64) -> Result<Circuit, GridError> {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(spec.die_w, spec.die_h))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters: Vec<Point> = (0..CLUSTERS)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.1..0.9) * spec.die_w,
+                rng.gen_range(0.1..0.9) * spec.die_h,
+            )
+        })
+        .collect();
+
+    // Calibrate the local mean span so the *routed* wire length hits the
+    // target. The routed tree of a net is close to its rectilinear Steiner
+    // length, quantized upward by the region grid; a cheap proxy is the
+    // rectilinear MST shortened by the typical Steiner saving plus half a
+    // tile of quantization.
+    let mut mean_span = spec.target_wl * 0.7;
+    for _ in 0..4 {
+        let mut pilot = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        let sample = 1500.min(spec.num_nets.max(200));
+        let mut total = 0.0;
+        for i in 0..sample {
+            let net = sample_net(i as u32, spec, &clusters, mean_span, &mut pilot);
+            total += routed_wl_proxy(&net);
+        }
+        let measured = total / sample as f64;
+        if measured > 0.0 {
+            mean_span *= spec.target_wl / measured;
+        }
+        mean_span = mean_span.clamp(8.0, spec.die_w.max(spec.die_h));
+    }
+
+    let mut nets = Vec::with_capacity(spec.num_nets);
+    for i in 0..spec.num_nets {
+        nets.push(sample_net(i as u32, spec, &clusters, mean_span, &mut rng));
+    }
+    Circuit::new(spec.name.clone(), die, nets)
+}
+
+/// Samples one net: pin count, span class, anchor, pins.
+fn sample_net(
+    id: u32,
+    spec: &CircuitSpec,
+    clusters: &[Point],
+    mean_span: f64,
+    rng: &mut StdRng,
+) -> Net {
+    let degree = sample_degree(rng);
+    let class: f64 = rng.gen();
+    let span_mean = if class < BUS_FRACTION {
+        mean_span * BUS_SPAN_RATIO
+    } else if class < BUS_FRACTION + GLOBAL_FRACTION {
+        mean_span * GLOBAL_SPAN_RATIO
+    } else {
+        mean_span
+    };
+    // Exponential span with the chosen mean, clamped to the die.
+    let u: f64 = rng.gen_range(1e-9..1.0);
+    let span = (-span_mean * (1.0 - u).ln())
+        .clamp(8.0, 0.92 * spec.die_w.min(spec.die_h));
+    // Anchor: hotspot or uniform.
+    let anchor = if rng.gen::<f64>() < CLUSTER_FRACTION {
+        let c = clusters[rng.gen_range(0..clusters.len())];
+        let r = 0.15 * spec.die_w.min(spec.die_h);
+        Point::new(c.x + rng.gen_range(-r..r), c.y + rng.gen_range(-r..r))
+    } else {
+        Point::new(rng.gen_range(0.0..spec.die_w), rng.gen_range(0.0..spec.die_h))
+    };
+    let pins: Vec<Point> = (0..degree)
+        .map(|_| {
+            let x = anchor.x + rng.gen_range(-0.5..0.5) * span;
+            let y = anchor.y + rng.gen_range(-0.5..0.5) * span;
+            Point::new(x.clamp(0.0, spec.die_w), y.clamp(0.0, spec.die_h))
+        })
+        .collect();
+    Net::new(id, pins)
+}
+
+/// Estimated routed wire length of a net: rectilinear MST with the classic
+/// ~8% Steiner saving, plus half a routing tile of grid quantization.
+fn routed_wl_proxy(net: &Net) -> f64 {
+    let mst = gsino_steiner::rectilinear_mst(net.pins()).length;
+    mst * 0.92 + 32.0
+}
+
+/// Pin-count distribution: 2-pin dominated with a geometric tail, matching
+/// the shape of the ISPD'98 suite.
+fn sample_degree(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    match u {
+        u if u < 0.55 => 2,
+        u if u < 0.73 => 3,
+        u if u < 0.83 => 4,
+        u if u < 0.89 => 5,
+        _ => {
+            // Geometric tail from 6 up, capped at 16.
+            let mut d = 6;
+            while d < 16 && rng.gen::<f64>() < 0.55 {
+                d += 1;
+            }
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> CircuitSpec {
+        CircuitSpec::ibm01().scaled(0.15)
+    }
+
+    #[test]
+    fn generates_requested_net_count() {
+        let spec = quick_spec();
+        let c = generate(&spec, 1).unwrap();
+        assert_eq!(c.num_nets(), spec.num_nets);
+        assert_eq!(c.name(), "ibm01");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = quick_spec();
+        let a = generate(&spec, 9).unwrap();
+        let b = generate(&spec, 9).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&spec, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_pins_inside_die() {
+        let spec = quick_spec();
+        let c = generate(&spec, 3).unwrap();
+        for net in c.nets() {
+            for p in net.pins() {
+                assert!(c.die().contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_wirelength_calibrated() {
+        // Full-size die so clamping doesn't bias the calibration.
+        let spec = CircuitSpec::ibm01();
+        let spec = CircuitSpec { num_nets: 3000, ..spec };
+        let c = generate(&spec, 5).unwrap();
+        let mean = c.mean_hpwl();
+        assert!(
+            (mean - spec.target_wl).abs() / spec.target_wl < 0.12,
+            "mean {mean} vs target {}",
+            spec.target_wl
+        );
+    }
+
+    #[test]
+    fn pin_distribution_dominated_by_two_pin() {
+        let spec = CircuitSpec { num_nets: 4000, ..CircuitSpec::ibm01() };
+        let c = generate(&spec, 7).unwrap();
+        let two = c.nets().iter().filter(|n| n.degree() == 2).count() as f64;
+        let frac = two / c.num_nets() as f64;
+        assert!((frac - 0.55).abs() < 0.05, "2-pin fraction {frac}");
+        let max_deg = c.nets().iter().map(Net::degree).max().unwrap();
+        assert!(max_deg <= 16);
+        assert!(c.nets().iter().all(|n| n.degree() >= 2));
+    }
+
+    #[test]
+    fn span_distribution_has_heavy_tail() {
+        let spec = CircuitSpec { num_nets: 4000, ..CircuitSpec::ibm01() };
+        let c = generate(&spec, 11).unwrap();
+        let target = spec.target_wl;
+        let long = c.nets().iter().filter(|n| n.hpwl() > 2.0 * target).count() as f64;
+        let frac = long / c.num_nets() as f64;
+        // An exponential mix puts 8–20% of nets beyond 2× the mean.
+        assert!(frac > 0.05 && frac < 0.3, "long-net fraction {frac}");
+    }
+}

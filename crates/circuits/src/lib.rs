@@ -1,0 +1,36 @@
+//! Synthetic ISPD'98/IBM-like benchmark circuits and the experiment
+//! harness that regenerates the paper's tables.
+//!
+//! The original ISPD'98 netlists and their DRAGON placements are not
+//! available offline, so [`generator`] synthesizes circuits calibrated to
+//! the published observables the experiments depend on (see `DESIGN.md`):
+//! the die dimensions of Table 3's ID+NO row, the average wire lengths of
+//! Table 2's ID+NO column, a 2-pin-dominated pin-count distribution, and a
+//! net count sized so the paper's single over-the-cell layer pair runs at
+//! a realistic track density (≈65% before shields).
+//!
+//! [`experiment`] runs the ID+NO / iSINO / GSINO flows across the suite
+//! and renders the paper's three tables plus the derived observations.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gsino_circuits::spec::CircuitSpec;
+//! use gsino_circuits::generator::generate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CircuitSpec::ibm01().scaled(0.1);
+//! let circuit = generate(&spec, 42)?;
+//! assert_eq!(circuit.num_nets(), spec.num_nets);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod experiment;
+pub mod io;
+pub mod generator;
+pub mod spec;
+
+pub use experiment::{ExperimentConfig, SuiteResults};
+pub use generator::generate;
+pub use spec::CircuitSpec;

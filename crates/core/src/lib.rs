@@ -1,0 +1,130 @@
+//! GSINO — global routing with RLC crosstalk constraints (Ma & He, DAC
+//! 2002).
+//!
+//! The extended global-routing problem **GSINO** decides a rectilinear
+//! Steiner tree for every net *and* a simultaneous shield-insertion and
+//! net-ordering (SINO) solution within every routing region, such that
+//! every sink meets its RLC crosstalk constraint while wire length and
+//! routing area stay small. This crate implements the paper's three-phase
+//! heuristic and its two evaluation baselines:
+//!
+//! * [`router`] — the iterative-deletion (ID) global router (paper Fig. 1,
+//!   after Cong–Preas), with the shield-aware weight of Formula (2);
+//! * [`budget`] — Phase I: uniform crosstalk-budget partitioning through
+//!   the LSK noise table;
+//! * [`phase2`] — Phase II: per-region SINO under the partitioned budgets;
+//! * [`violations`] — LSK/voltage bookkeeping per sink and the violation
+//!   report (Table 1's metric);
+//! * [`refine`] — Phase III: the two-pass local refinement (paper Fig. 2);
+//! * [`baseline`] — ID+NO (net ordering only) and iSINO (post-routing
+//!   SINO), the comparison points of Tables 1–3;
+//! * [`analysis`] — per-sink noise profiles and histograms;
+//! * [`pipeline`] — end-to-end flows with per-phase timings;
+//! * [`metrics`] — wire-length, area and shield statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_core::pipeline::{run_gsino, GsinoConfig};
+//! use gsino_grid::{Circuit, Net, Point, Rect};
+//!
+//! # fn main() -> Result<(), gsino_core::CoreError> {
+//! let die = Rect::new(Point::new(0.0, 0.0), Point::new(512.0, 512.0))?;
+//! let nets: Vec<Net> = (0..40)
+//!     .map(|i| {
+//!         let x = 16.0 + (i as f64 * 37.0) % 480.0;
+//!         let y = 16.0 + (i as f64 * 53.0) % 480.0;
+//!         Net::two_pin(i, Point::new(x, y), Point::new(500.0 - x, 500.0 - y))
+//!     })
+//!     .collect();
+//! let circuit = Circuit::new("demo", die, nets)?;
+//! let outcome = run_gsino(&circuit, &GsinoConfig::default())?;
+//! assert_eq!(outcome.violations.violating_nets(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod baseline;
+pub mod budget;
+pub mod metrics;
+pub mod phase2;
+pub mod pipeline;
+pub mod refine;
+pub mod router;
+pub mod violations;
+
+pub use baseline::{run_id_no, run_isino};
+pub use pipeline::{run_gsino, GsinoConfig, GsinoOutcome};
+pub use router::Weights;
+pub use violations::ViolationReport;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the GSINO flows.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Substrate (grid/net) errors.
+    Grid(gsino_grid::GridError),
+    /// SINO solver errors.
+    Sino(gsino_sino::SinoError),
+    /// LSK model errors.
+    Lsk(gsino_lsk::LskError),
+    /// The router could not connect a net's terminals (should not happen on
+    /// well-formed corridors; indicates an internal bug).
+    RoutingFailed {
+        /// The offending net.
+        net: u32,
+    },
+    /// Configuration errors (bad constraint, bad tile size, …).
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Grid(e) => write!(f, "grid error: {e}"),
+            CoreError::Sino(e) => write!(f, "sino error: {e}"),
+            CoreError::Lsk(e) => write!(f, "lsk error: {e}"),
+            CoreError::RoutingFailed { net } => write!(f, "failed to route net {net}"),
+            CoreError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Grid(e) => Some(e),
+            CoreError::Sino(e) => Some(e),
+            CoreError::Lsk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gsino_grid::GridError> for CoreError {
+    fn from(e: gsino_grid::GridError) -> Self {
+        CoreError::Grid(e)
+    }
+}
+
+impl From<gsino_sino::SinoError> for CoreError {
+    fn from(e: gsino_sino::SinoError) -> Self {
+        CoreError::Sino(e)
+    }
+}
+
+impl From<gsino_lsk::LskError> for CoreError {
+    fn from(e: gsino_lsk::LskError) -> Self {
+        CoreError::Lsk(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;

@@ -1,0 +1,69 @@
+//! Wire-length statistics (Table 2's metric).
+
+use gsino_grid::net::Circuit;
+use gsino_grid::region::RegionGrid;
+use gsino_grid::route::RouteSet;
+
+/// Aggregate wire length of a routing solution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WirelengthStats {
+    /// Total wire length over all nets (µm).
+    pub total_um: f64,
+    /// Average wire length per net (µm) — Table 2 reports this.
+    pub mean_um: f64,
+    /// Number of nets measured.
+    pub nets: usize,
+}
+
+/// Computes wire-length statistics. Routed nets use their region-level tree
+/// length; nets contained in one region fall back to their pin HPWL so
+/// short local nets still contribute realistically.
+pub fn wirelength_stats(
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+) -> WirelengthStats {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for net in circuit.nets() {
+        let wl = match routes.get(net.id()) {
+            Some(r) if !r.edges().is_empty() => r.wirelength(grid),
+            _ => net.hpwl(),
+        };
+        total += wl;
+        count += 1;
+    }
+    WirelengthStats {
+        total_um: total,
+        mean_um: if count == 0 { 0.0 } else { total / count as f64 },
+        nets: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route_all, ShieldTerm, Weights};
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+    use gsino_grid::tech::Technology;
+
+    #[test]
+    fn mixes_routed_and_local_nets() {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets = vec![
+            // Routed: 9 tiles of 64 µm.
+            Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 32.0)),
+            // Local: HPWL = 30 µm.
+            Net::two_pin(1, Point::new(5.0, 5.0), Point::new(25.0, 15.0)),
+        ];
+        let circuit = Circuit::new("t", die, nets).unwrap();
+        let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
+        let (routes, _) =
+            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let stats = wirelength_stats(&circuit, &grid, &routes);
+        assert_eq!(stats.nets, 2);
+        assert!((stats.total_um - (9.0 * 64.0 + 30.0)).abs() < 1e-9);
+        assert!((stats.mean_um - stats.total_um / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,344 @@
+//! Phase II: SINO within every routing region (paper §3, with the SINO
+//! engine from [`gsino_sino`]).
+//!
+//! Every `(region, direction)` pair whose tracks host net segments becomes
+//! an independent SINO instance — the paper's no-coupling-across-regions
+//! assumption (§2.1) makes them independent — so they are solved in
+//! parallel with deterministic per-region seeds.
+
+use crate::budget::Budgets;
+use crate::Result;
+use gsino_grid::net::NetId;
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, RouteSet};
+use gsino_grid::sensitivity::SensitivityModel;
+use gsino_grid::usage::TrackUsage;
+use gsino_sino::instance::{SegmentSpec, SinoInstance};
+use gsino_sino::keff::evaluate;
+use gsino_sino::layout::Layout;
+use gsino_sino::solver::{SinoSolver, SolverConfig};
+use std::collections::HashMap;
+
+/// How the per-region problem is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionMode {
+    /// Full SINO: ordering plus shields, constraints enforced.
+    Sino,
+    /// Net ordering only (the "NO" baseline): no shields, capacitive
+    /// coupling minimized best-effort, inductive constraints ignored.
+    OrderOnly,
+}
+
+/// The solved state of one `(region, direction)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSolution {
+    /// Nets with a segment here, ascending; index = instance segment index.
+    pub nets: Vec<NetId>,
+    /// The SINO instance (budgets may be retightened by Phase III).
+    pub instance: SinoInstance,
+    /// The current track layout.
+    pub layout: Layout,
+    /// Per-segment achieved coupling `Kᵢ`.
+    pub k: Vec<f64>,
+}
+
+impl RegionSolution {
+    /// Index of a net within this region's segment list.
+    pub fn index_of(&self, net: NetId) -> Option<usize> {
+        self.nets.binary_search(&net).ok()
+    }
+
+    /// Re-evaluates `k` after a layout change.
+    pub fn refresh_k(&mut self) {
+        self.k = evaluate(&self.instance, &self.layout).k;
+    }
+}
+
+/// All per-region solutions of a routing solution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionSino {
+    solutions: HashMap<(RegionIdx, Dir), RegionSolution>,
+}
+
+impl RegionSino {
+    /// The solution at a region/direction, if any segments live there.
+    pub fn solution(&self, region: RegionIdx, dir: Dir) -> Option<&RegionSolution> {
+        self.solutions.get(&(region, dir))
+    }
+
+    /// Mutable access for Phase III.
+    pub fn solution_mut(
+        &mut self,
+        region: RegionIdx,
+        dir: Dir,
+    ) -> Option<&mut RegionSolution> {
+        self.solutions.get_mut(&(region, dir))
+    }
+
+    /// The achieved coupling of a net's segment, if present.
+    pub fn k_of(&self, net: NetId, region: RegionIdx, dir: Dir) -> Option<f64> {
+        let sol = self.solutions.get(&(region, dir))?;
+        let idx = sol.index_of(net)?;
+        Some(sol.k[idx])
+    }
+
+    /// Every `(region, dir)` key, sorted for deterministic iteration.
+    pub fn keys(&self) -> Vec<(RegionIdx, Dir)> {
+        let mut keys: Vec<_> = self.solutions.keys().copied().collect();
+        keys.sort_by_key(|(r, d)| (*r, matches!(d, Dir::V)));
+        keys
+    }
+
+    /// Total shields over all regions (the shielding area, in tracks).
+    pub fn total_shields(&self) -> u64 {
+        self.solutions.values().map(|s| s.layout.num_shields() as u64).sum()
+    }
+
+    /// Writes every region's shield count into a usage snapshot.
+    pub fn apply_shields(&self, usage: &mut TrackUsage) {
+        for ((r, d), sol) in &self.solutions {
+            usage.set_shields(*r, *d, sol.layout.num_shields() as u32);
+        }
+    }
+
+    /// Number of solved region/direction instances.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// Whether no region hosts any segment.
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+}
+
+/// Groups routed nets by `(region, direction)`.
+fn assignments(grid: &RegionGrid, routes: &RouteSet) -> Vec<((RegionIdx, Dir), Vec<NetId>)> {
+    let mut map: HashMap<(RegionIdx, Dir), Vec<NetId>> = HashMap::new();
+    for route in routes.iter() {
+        for r in route.regions() {
+            for dir in [Dir::H, Dir::V] {
+                if route.occupies(grid, r, dir) {
+                    map.entry((r, dir)).or_default().push(route.net());
+                }
+            }
+        }
+    }
+    let mut out: Vec<_> = map.into_iter().collect();
+    for (_, nets) in &mut out {
+        nets.sort_unstable();
+        nets.dedup();
+    }
+    out.sort_by_key(|((r, d), _)| (*r, matches!(d, Dir::V)));
+    out
+}
+
+/// Solves every region. `threads = 0` uses the available parallelism.
+///
+/// # Errors
+///
+/// Propagates SINO construction/solver errors (budgets are validated
+/// upstream, so failures indicate internal bugs).
+pub fn solve_regions(
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &Budgets,
+    sensitivity: &SensitivityModel,
+    solver_config: SolverConfig,
+    mode: RegionMode,
+    threads: usize,
+) -> Result<RegionSino> {
+    let work = assignments(grid, routes);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    type Solved = ((RegionIdx, Dir), RegionSolution);
+    let solve_one = |((region, dir), nets): &((RegionIdx, Dir), Vec<NetId>)| -> Result<Solved> {
+        let specs: Vec<SegmentSpec> = nets
+            .iter()
+            .map(|&net| SegmentSpec {
+                net,
+                kth: budgets.kth(net, *region, *dir).unwrap_or(1e9),
+            })
+            .collect();
+        let instance = SinoInstance::from_model(specs, sensitivity)?;
+        let layout: Layout = match mode {
+            RegionMode::Sino => {
+                // Deterministic per-region seed for the (optional) annealer.
+                let mut cfg = solver_config;
+                if let Some(a) = &mut cfg.anneal {
+                    a.seed ^= (*region as u64) << 1 | matches!(dir, Dir::V) as u64;
+                }
+                SinoSolver::new(cfg).solve(&instance)?
+            }
+            RegionMode::OrderOnly => gsino_sino::greedy::order_only(&instance),
+        };
+        let k = evaluate(&instance, &layout).k;
+        Ok(((*region, *dir), RegionSolution { nets: nets.clone(), instance, layout, k }))
+    };
+
+    let mut solutions = HashMap::with_capacity(work.len());
+    if threads <= 1 || work.len() < 32 {
+        for item in &work {
+            let (key, sol) = solve_one(item)?;
+            solutions.insert(key, sol);
+        }
+    } else {
+        let chunk = work.len().div_ceil(threads);
+        let results: Vec<Result<Vec<Solved>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice.iter().map(solve_one).collect::<Result<Vec<_>>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+        for r in results {
+            for (key, sol) in r? {
+                solutions.insert(key, sol);
+            }
+        }
+    }
+    Ok(RegionSino { solutions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{uniform_budgets, LengthModel};
+    use crate::router::{route_all, ShieldTerm, Weights};
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::{Circuit, Net};
+    use gsino_grid::tech::Technology;
+    use gsino_lsk::table::NoiseTable;
+
+    fn bus_circuit(n: u32) -> (Circuit, RegionGrid, NoiseTable) {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets: Vec<Net> = (0..n)
+            .map(|i| {
+                Net::two_pin(
+                    i,
+                    Point::new(16.0, 16.0 + i as f64),
+                    Point::new(620.0, 16.0 + i as f64),
+                )
+            })
+            .collect();
+        let circuit = Circuit::new("bus", die, nets).unwrap();
+        let tech = Technology::itrs_100nm();
+        let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
+        let table = NoiseTable::calibrated(&tech);
+        (circuit, grid, table)
+    }
+
+    fn solve(
+        n: u32,
+        rate: f64,
+        mode: RegionMode,
+    ) -> (Circuit, RegionGrid, RegionSino) {
+        let (circuit, grid, table) = bus_circuit(n);
+        let (routes, _) =
+            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
+                .unwrap();
+        let sens = SensitivityModel::new(rate, 3);
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            mode,
+            1,
+        )
+        .unwrap();
+        (circuit, grid, sino)
+    }
+
+    #[test]
+    fn sino_mode_meets_all_region_budgets() {
+        let (_, _, sino) = solve(8, 0.5, RegionMode::Sino);
+        assert!(!sino.is_empty());
+        for (r, d) in sino.keys() {
+            let sol = sino.solution(r, d).unwrap();
+            let eval = evaluate(&sol.instance, &sol.layout);
+            assert!(eval.feasible, "region {r} {d:?} infeasible");
+        }
+    }
+
+    #[test]
+    fn order_only_mode_never_shields() {
+        let (_, _, sino) = solve(8, 0.5, RegionMode::OrderOnly);
+        assert_eq!(sino.total_shields(), 0);
+    }
+
+    #[test]
+    fn sino_shields_grow_with_sensitivity() {
+        let (_, _, low) = solve(10, 0.2, RegionMode::Sino);
+        let (_, _, high) = solve(10, 0.8, RegionMode::Sino);
+        assert!(
+            high.total_shields() > low.total_shields(),
+            "high {} <= low {}",
+            high.total_shields(),
+            low.total_shields()
+        );
+    }
+
+    #[test]
+    fn k_of_matches_solution_layout() {
+        let (_, _, sino) = solve(6, 0.5, RegionMode::Sino);
+        for (r, d) in sino.keys() {
+            let sol = sino.solution(r, d).unwrap();
+            for (i, &net) in sol.nets.iter().enumerate() {
+                assert_eq!(sino.k_of(net, r, d), Some(sol.k[i]));
+            }
+            assert_eq!(sino.k_of(9999, r, d), None);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (circuit, grid, table) = bus_circuit(12);
+        let (routes, _) =
+            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
+                .unwrap();
+        let sens = SensitivityModel::new(0.5, 3);
+        let serial = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::Sino,
+            1,
+        )
+        .unwrap();
+        let parallel = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::Sino,
+            4,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn apply_shields_updates_usage() {
+        let (_, grid, sino) = solve(10, 0.8, RegionMode::Sino);
+        let mut usage = TrackUsage::new(&grid);
+        sino.apply_shields(&mut usage);
+        assert_eq!(usage.total_shields(), sino.total_shields());
+    }
+}

@@ -1,0 +1,449 @@
+//! End-to-end flows: GSINO and the shared plumbing for the baselines.
+
+use crate::budget::{congestion_weighted_budgets, uniform_budgets, BudgetPolicy, Budgets, LengthModel};
+use crate::metrics::{wirelength_stats, WirelengthStats};
+use crate::phase2::{solve_regions, RegionMode, RegionSino};
+use crate::refine::{refine, RefineConfig, RefineStats};
+use crate::router::{route_all, AstarRouter, IdRouter, RouterStats, ShieldTerm, Weights};
+use crate::violations::{check, ViolationReport};
+use crate::{CoreError, Result};
+use gsino_grid::area::{AreaModel, RoutingArea};
+use gsino_grid::net::Circuit;
+use gsino_grid::region::RegionGrid;
+use gsino_grid::route::RouteSet;
+use gsino_grid::sensitivity::SensitivityModel;
+use gsino_grid::tech::Technology;
+use gsino_grid::usage::TrackUsage;
+use gsino_lsk::table::NoiseTable;
+use gsino_sino::nss::NssModel;
+use gsino_sino::solver::SolverConfig;
+use std::time::Instant;
+
+/// Which global router drives Phase I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// Iterative deletion (paper Fig. 1): order-independent, slower,
+    /// usually better solutions.
+    #[default]
+    IterativeDeletion,
+    /// Sequential congestion-aware A* — the "more efficient global router"
+    /// of the paper's §5 future work; order-dependent.
+    SequentialAstar,
+}
+
+/// The three routing approaches the paper evaluates (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// The paper's contribution: shield-aware routing + SINO + refinement.
+    Gsino,
+    /// ID routing + per-region net ordering, no shields.
+    IdNo,
+    /// ID routing + per-region SINO, no shield-aware routing, no refinement.
+    Isino,
+}
+
+impl std::fmt::Display for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Approach::Gsino => write!(f, "GSINO"),
+            Approach::IdNo => write!(f, "ID+NO"),
+            Approach::Isino => write!(f, "iSINO"),
+        }
+    }
+}
+
+/// Configuration shared by all flows.
+#[derive(Debug, Clone)]
+pub struct GsinoConfig {
+    /// Technology parameters (ITRS 0.10 µm by default).
+    pub tech: Technology,
+    /// Nominal routing-region tile size (µm).
+    pub tile_um: f64,
+    /// The crosstalk constraint for every sink (V); the paper uses 0.15 V.
+    pub vth: f64,
+    /// The net-to-net sensitivity model (rate 30% or 50% in the paper).
+    pub sensitivity: SensitivityModel,
+    /// Formula (2) weight constants.
+    pub weights: Weights,
+    /// Per-region SINO solver configuration.
+    pub solver: SolverConfig,
+    /// Phase III bounds.
+    pub refine: RefineConfig,
+    /// Worker threads for Phase II (0 = available parallelism).
+    pub threads: usize,
+    /// Pre-fitted Formula (3) model; `None` fits one per GSINO run.
+    pub nss_model: Option<NssModel>,
+    /// Seed for the Formula (3) fit.
+    pub nss_fit_seed: u64,
+    /// Whether GSINO's router reserves shielding area through Formula (3)
+    /// (paper §3.1). Disabling this is the `ablation_shield_term` bench —
+    /// the flow degenerates to iSINO-style routing plus Phase III.
+    pub shield_reservation: bool,
+    /// How the LSK bound is split along paths (paper: uniform; the
+    /// congestion-weighted variant is the §5 future-work extension).
+    pub budget_policy: BudgetPolicy,
+    /// Which global router drives Phase I.
+    pub router: RouterKind,
+}
+
+impl Default for GsinoConfig {
+    fn default() -> Self {
+        GsinoConfig {
+            tech: Technology::itrs_100nm(),
+            tile_um: 64.0,
+            vth: 0.15,
+            sensitivity: SensitivityModel::new(0.3, 1),
+            weights: Weights::default(),
+            solver: SolverConfig::default(),
+            refine: RefineConfig::default(),
+            threads: 0,
+            nss_model: None,
+            nss_fit_seed: 7,
+            shield_reservation: true,
+            budget_policy: BudgetPolicy::Uniform,
+            router: RouterKind::default(),
+        }
+    }
+}
+
+impl GsinoConfig {
+    /// Validates the configuration against physical ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.vth > 0.0 && self.vth < self.tech.vdd) {
+            return Err(CoreError::BadConfig {
+                reason: format!("vth {} outside (0, Vdd)", self.vth),
+            });
+        }
+        if !(self.tile_um.is_finite() && self.tile_um > 0.0) {
+            return Err(CoreError::BadConfig {
+                reason: format!("tile size {}", self.tile_um),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock seconds per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Global routing (Phase I's ID run, including budgeting inputs).
+    pub route_s: f64,
+    /// Crosstalk budgeting.
+    pub budget_s: f64,
+    /// Per-region SINO (Phase II).
+    pub sino_s: f64,
+    /// Local refinement (Phase III).
+    pub refine_s: f64,
+    /// End-to-end.
+    pub total_s: f64,
+}
+
+/// Everything a flow produces.
+#[derive(Debug, Clone)]
+pub struct GsinoOutcome {
+    /// Which approach produced this.
+    pub approach: Approach,
+    /// Per-net routing trees.
+    pub routes: RouteSet,
+    /// Final per-region track usage, shields included.
+    pub usage: TrackUsage,
+    /// The paper's routing-area metric.
+    pub area: RoutingArea,
+    /// The same metric with shields stripped (routing overflow only) —
+    /// separates congestion-driven growth from shield-driven growth.
+    pub area_nets_only: RoutingArea,
+    /// Wire-length statistics.
+    pub wirelength: WirelengthStats,
+    /// Crosstalk violations at the configured constraint.
+    pub violations: ViolationReport,
+    /// Total shields (tracks).
+    pub total_shields: u64,
+    /// Router counters.
+    pub router_stats: RouterStats,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+    /// Phase III counters (GSINO only).
+    pub refine_stats: Option<RefineStats>,
+}
+
+/// Shared flow context retained for follow-up analysis.
+pub(crate) struct FlowArtifacts {
+    pub grid: RegionGrid,
+    pub table: NoiseTable,
+    pub budgets: Budgets,
+    pub sino: RegionSino,
+}
+
+/// Runs the full GSINO flow on a circuit.
+///
+/// # Errors
+///
+/// Configuration, routing and solver errors; see [`CoreError`].
+pub fn run_gsino(circuit: &Circuit, config: &GsinoConfig) -> Result<GsinoOutcome> {
+    run_flow(circuit, config, Approach::Gsino).map(|(o, _)| o)
+}
+
+/// Runs a flow and also returns its internal artifacts (grids, budgets,
+/// region solutions) for deeper inspection by tests and examples.
+///
+/// # Errors
+///
+/// Same conditions as [`run_gsino`].
+pub fn run_flow_with_artifacts(
+    circuit: &Circuit,
+    config: &GsinoConfig,
+    approach: Approach,
+) -> Result<(GsinoOutcome, FlowInternals)> {
+    let (o, a) = run_flow(circuit, config, approach)?;
+    Ok((
+        o,
+        FlowInternals { grid: a.grid, table: a.table, budgets: a.budgets, sino: a.sino },
+    ))
+}
+
+/// Public view of the flow artifacts.
+pub struct FlowInternals {
+    /// The routing-region grid.
+    pub grid: RegionGrid,
+    /// The noise table used for budgeting and checking.
+    pub table: NoiseTable,
+    /// Final per-segment budgets (post Phase III re-budgeting).
+    pub budgets: Budgets,
+    /// Final per-region SINO solutions.
+    pub sino: RegionSino,
+}
+
+pub(crate) fn run_flow(
+    circuit: &Circuit,
+    config: &GsinoConfig,
+    approach: Approach,
+) -> Result<(GsinoOutcome, FlowArtifacts)> {
+    config.validate()?;
+    let t_start = Instant::now();
+    let grid = RegionGrid::new(circuit, &config.tech, config.tile_um)?;
+    let table = NoiseTable::calibrated(&config.tech);
+
+    // Routing: GSINO reserves shielding area through Formula (3); the
+    // baselines route with net utilization only (paper §4).
+    let t0 = Instant::now();
+    let shield_term = match approach {
+        Approach::Gsino if config.shield_reservation => {
+            let model = match &config.nss_model {
+                Some(m) => m.clone(),
+                None => {
+                    let kth_ref = reference_kth(circuit, &table, config.vth);
+                    NssModel::fit(kth_ref, config.nss_fit_seed)?
+                }
+            };
+            ShieldTerm::Estimated { model, rate: config.sensitivity.rate() }
+        }
+        _ => ShieldTerm::None,
+    };
+    let (routes, router_stats) = match config.router {
+        RouterKind::IterativeDeletion => {
+            IdRouter::new(&grid, config.weights, shield_term).route(circuit)?
+        }
+        RouterKind::SequentialAstar => {
+            AstarRouter::new(&grid, config.weights, shield_term).route(circuit)?
+        }
+    };
+    let route_s = t0.elapsed().as_secs_f64();
+    let _ = route_all;
+
+    // Budgeting: GSINO budgets before knowing final lengths (Manhattan);
+    // iSINO budgets after routing (path lengths); ID+NO ignores budgets but
+    // needs positive Kth placeholders for its instances.
+    let t0 = Instant::now();
+    let length_model = match approach {
+        Approach::Isino => LengthModel::RoutedPath,
+        _ => LengthModel::Manhattan,
+    };
+    let mut budgets = match config.budget_policy {
+        BudgetPolicy::Uniform => {
+            uniform_budgets(circuit, &grid, &routes, &table, config.vth, length_model)?
+        }
+        BudgetPolicy::CongestionWeighted => {
+            let usage = TrackUsage::from_routes(&grid, &routes);
+            congestion_weighted_budgets(
+                circuit,
+                &grid,
+                &routes,
+                &usage,
+                &table,
+                config.vth,
+                length_model,
+            )?
+        }
+    };
+    let budget_s = t0.elapsed().as_secs_f64();
+
+    // Phase II.
+    let t0 = Instant::now();
+    let mode = match approach {
+        Approach::IdNo => RegionMode::OrderOnly,
+        _ => RegionMode::Sino,
+    };
+    let mut sino = solve_regions(
+        &grid,
+        &routes,
+        &budgets,
+        &config.sensitivity,
+        config.solver,
+        mode,
+        config.threads,
+    )?;
+    let sino_s = t0.elapsed().as_secs_f64();
+
+    // Phase III (GSINO only).
+    let t0 = Instant::now();
+    let refine_stats = if approach == Approach::Gsino {
+        Some(refine(
+            circuit,
+            &grid,
+            &routes,
+            &mut budgets,
+            &mut sino,
+            &table,
+            config.vth,
+            config.solver,
+            &config.refine,
+        )?)
+    } else {
+        None
+    };
+    let refine_s = t0.elapsed().as_secs_f64();
+
+    let mut usage = TrackUsage::from_routes(&grid, &routes);
+    let area_nets_only = AreaModel.evaluate(&grid, &usage);
+    sino.apply_shields(&mut usage);
+    let area = AreaModel.evaluate(&grid, &usage);
+    let wirelength = wirelength_stats(circuit, &grid, &routes);
+    let violations = check(circuit, &grid, &routes, &sino, &table, config.vth);
+    let total_shields = sino.total_shields();
+    let outcome = GsinoOutcome {
+        approach,
+        routes,
+        usage,
+        area,
+        area_nets_only,
+        wirelength,
+        violations,
+        total_shields,
+        router_stats,
+        timings: PhaseTimings {
+            route_s,
+            budget_s,
+            sino_s,
+            refine_s,
+            total_s: t_start.elapsed().as_secs_f64(),
+        },
+        refine_stats,
+    };
+    Ok((outcome, FlowArtifacts { grid, table, budgets, sino }))
+}
+
+/// Representative segment budget for fitting Formula (3) before any route
+/// exists: the LSK bound divided by the mean source→sink Manhattan length.
+/// Exposed so experiment harnesses can pre-fit one model per circuit and
+/// share it across flows.
+pub fn reference_kth(circuit: &Circuit, table: &NoiseTable, vth: f64) -> f64 {
+    let lsk_bound = table.lsk_for_voltage(vth);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for net in circuit.nets() {
+        for sink in net.sinks() {
+            sum += net.source().manhattan(*sink);
+            count += 1;
+        }
+    }
+    let mean_le = if count == 0 { 1.0 } else { (sum / count as f64).max(1.0) };
+    (lsk_bound / mean_le).clamp(0.05, 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+
+    fn small_circuit(n: u32) -> Circuit {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets: Vec<Net> = (0..n)
+            .map(|i| {
+                let x = 16.0 + (i as f64 * 37.0) % 600.0;
+                let y = 16.0 + (i as f64 * 53.0) % 600.0;
+                Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+            })
+            .collect();
+        Circuit::new("small", die, nets).unwrap()
+    }
+
+    fn fast_config() -> GsinoConfig {
+        GsinoConfig {
+            nss_model: Some(NssModel::from_coefficients(
+                [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+                0.5,
+            )),
+            threads: 1,
+            ..GsinoConfig::default()
+        }
+    }
+
+    #[test]
+    fn gsino_flow_is_violation_free() {
+        let circuit = small_circuit(30);
+        let outcome = run_gsino(&circuit, &fast_config()).unwrap();
+        assert_eq!(outcome.approach, Approach::Gsino);
+        assert!(outcome.violations.is_clean());
+        assert!(outcome.wirelength.mean_um > 0.0);
+        assert!(outcome.area.area() > 0.0);
+        assert!(outcome.refine_stats.is_some());
+        assert!(outcome.timings.total_s > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut config = fast_config();
+        config.vth = 0.0;
+        assert!(matches!(
+            run_gsino(&small_circuit(2), &config),
+            Err(CoreError::BadConfig { .. })
+        ));
+        let mut config = fast_config();
+        config.vth = 2.0;
+        assert!(run_gsino(&small_circuit(2), &config).is_err());
+        let mut config = fast_config();
+        config.tile_um = -1.0;
+        assert!(run_gsino(&small_circuit(2), &config).is_err());
+    }
+
+    #[test]
+    fn artifacts_expose_consistent_state() {
+        let circuit = small_circuit(15);
+        let (outcome, internals) =
+            run_flow_with_artifacts(&circuit, &fast_config(), Approach::Gsino).unwrap();
+        // Budgets cover at least every region/dir the SINO state knows.
+        assert!(!internals.budgets.is_empty());
+        assert_eq!(internals.sino.total_shields(), outcome.total_shields);
+        assert_eq!(internals.grid.num_regions(), 100);
+    }
+
+    #[test]
+    fn approach_display_names() {
+        assert_eq!(Approach::Gsino.to_string(), "GSINO");
+        assert_eq!(Approach::IdNo.to_string(), "ID+NO");
+        assert_eq!(Approach::Isino.to_string(), "iSINO");
+    }
+
+    #[test]
+    fn reference_kth_in_physical_range() {
+        let circuit = small_circuit(10);
+        let table = NoiseTable::calibrated(&Technology::itrs_100nm());
+        let k = reference_kth(&circuit, &table, 0.15);
+        assert!((0.05..=10.0).contains(&k));
+    }
+}

@@ -1,0 +1,373 @@
+//! Sequential A* global router — the paper's §5 future-work router.
+//!
+//! §5: *"A more efficient global router will be developed or be integrated
+//! into the GSINO framework."* This is that router: connections are routed
+//! one at a time along least-cost region paths (congestion-aware A*), which
+//! is far faster than iterative deletion but **order-dependent** — exactly
+//! the trade-off the paper cites for choosing ID ("less efficient but may
+//! lead to better solutions"). The `ablation_router` bench measures both
+//! sides of that trade.
+//!
+//! Cost model per region step, mirroring Formula (2)'s terms: the tile
+//! length (wire length), β·HD with `HU = Nns + Nss` (committed demand plus
+//! the GSINO shield reservation), and γ·HOFR once a region would overflow.
+
+use super::{ShieldTerm, Weights};
+use crate::{CoreError, Result};
+use gsino_grid::net::{Circuit, NetId};
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, GridEdge, RouteSet, RouteTree};
+use gsino_steiner::decompose::{decompose_net, Connection};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Min-heap entry for A*.
+#[derive(Debug, PartialEq)]
+struct OpenEntry {
+    /// f = g + h (µm-equivalent cost).
+    f: f64,
+    region: RegionIdx,
+}
+
+impl Eq for OpenEntry {}
+
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest f.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .expect("finite costs")
+            .then_with(|| other.region.cmp(&self.region))
+    }
+}
+
+/// The sequential congestion-aware A* router.
+///
+/// # Example
+///
+/// ```
+/// use gsino_core::router::{AstarRouter, ShieldTerm, Weights};
+/// use gsino_grid::{Circuit, Net, Point, Rect, RegionGrid, Technology};
+///
+/// # fn main() -> Result<(), gsino_core::CoreError> {
+/// let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 320.0))?;
+/// let net = Net::two_pin(0, Point::new(10.0, 10.0), Point::new(300.0, 300.0));
+/// let circuit = Circuit::new("t", die, vec![net])?;
+/// let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0)?;
+/// let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+///     .route(&circuit)?;
+/// assert_eq!(routes.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AstarRouter<'a> {
+    grid: &'a RegionGrid,
+    weights: Weights,
+    shield_term: ShieldTerm,
+}
+
+impl<'a> AstarRouter<'a> {
+    /// Creates the router.
+    pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
+        AstarRouter { grid, weights, shield_term }
+    }
+
+    /// Routes the circuit, committing demand connection by connection
+    /// (longest first, so the hardest connections see the emptiest chip —
+    /// the standard sequential-router ordering heuristic).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoutingFailed`] if route assembly fails (internal
+    /// invariant; A* itself always finds a path on a connected grid).
+    pub fn route(&self, circuit: &Circuit) -> Result<(RouteSet, super::RouterStats)> {
+        let mut stats = super::RouterStats::default();
+        let mut conns: Vec<Connection> = Vec::new();
+        for net in circuit.nets() {
+            conns.extend(decompose_net(net));
+        }
+        stats.connections = conns.len();
+        // Longest connections first.
+        conns.sort_by(|a, b| {
+            b.manhattan()
+                .partial_cmp(&a.manhattan())
+                .expect("finite lengths")
+                .then_with(|| a.net.cmp(&b.net))
+        });
+        let nregions = self.grid.num_regions() as usize;
+        let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
+        let mut per_net: HashMap<NetId, HashSet<GridEdge>> = HashMap::new();
+        for c in &conns {
+            let t1 = self.grid.region_of(c.from);
+            let t2 = self.grid.region_of(c.to);
+            if t1 == t2 {
+                continue;
+            }
+            let path = self.astar(t1, t2, &demand);
+            // Commit demand and collect edges.
+            let entry = per_net.entry(c.net).or_default();
+            for w in path.windows(2) {
+                let edge = GridEdge::new(self.grid, w[0], w[1])?;
+                let d = match edge.dir(self.grid) {
+                    Dir::H => 0,
+                    Dir::V => 1,
+                };
+                for r in [w[0], w[1]] {
+                    demand[d][r as usize] += 1;
+                }
+                entry.insert(edge);
+            }
+        }
+        let routes = assemble_trees(self.grid, circuit, &per_net)?;
+        Ok((routes, stats))
+    }
+
+    /// Congestion-aware A* between two regions.
+    fn astar(&self, from: RegionIdx, to: RegionIdx, demand: &[Vec<u32>; 2]) -> Vec<RegionIdx> {
+        let mut open = BinaryHeap::new();
+        let mut g: HashMap<RegionIdx, f64> = HashMap::new();
+        let mut prev: HashMap<RegionIdx, RegionIdx> = HashMap::new();
+        g.insert(from, 0.0);
+        open.push(OpenEntry { f: self.grid.center_distance(from, to), region: from });
+        while let Some(OpenEntry { region, .. }) = open.pop() {
+            if region == to {
+                break;
+            }
+            let g_here = g[&region];
+            for n in self.grid.neighbors(region).collect::<Vec<_>>() {
+                let step = self.step_cost(region, n, demand);
+                let tentative = g_here + step;
+                if g.get(&n).is_none_or(|&old| tentative < old - 1e-12) {
+                    g.insert(n, tentative);
+                    prev.insert(n, region);
+                    open.push(OpenEntry {
+                        f: tentative + self.grid.center_distance(n, to),
+                        region: n,
+                    });
+                }
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[&cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Cost of stepping across one region boundary: length plus the same
+    /// density/overflow pressure as Formula (2), scaled into µm.
+    fn step_cost(&self, a: RegionIdx, b: RegionIdx, demand: &[Vec<u32>; 2]) -> f64 {
+        let edge_dir = {
+            let (ax, ay) = self.grid.coords(a);
+            let (bx, by) = self.grid.coords(b);
+            debug_assert!(ax.abs_diff(bx) + ay.abs_diff(by) == 1);
+            if ay == by {
+                Dir::H
+            } else {
+                Dir::V
+            }
+        };
+        let (len, cap, d) = match edge_dir {
+            Dir::H => (self.grid.tile_w(), self.grid.hc() as f64, 0),
+            Dir::V => (self.grid.tile_h(), self.grid.vc() as f64, 1),
+        };
+        let mut penalty = 0.0;
+        for r in [a, b] {
+            let nns = demand[d][r as usize] as f64;
+            let used = nns + self.shield_term.shields(nns);
+            penalty += self.weights.beta * (used / cap) / 2.0;
+            penalty += self.weights.gamma * ((used - cap).max(0.0) / cap) / 2.0;
+        }
+        // α scales the pure length term, matching Formula (2)'s balance.
+        self.weights.alpha * len + penalty * len
+    }
+}
+
+/// Shared with the ID router: merge per-net edges, spanning-tree from the
+/// source region, prune non-pin dangling branches.
+pub(crate) fn assemble_trees(
+    grid: &RegionGrid,
+    circuit: &Circuit,
+    per_net: &HashMap<NetId, HashSet<GridEdge>>,
+) -> Result<RouteSet> {
+    let mut routes = RouteSet::with_capacity(circuit.num_nets());
+    for net in circuit.nets() {
+        let root = grid.region_of(net.source());
+        let pin_regions: HashSet<RegionIdx> =
+            net.pins().iter().map(|p| grid.region_of(*p)).collect();
+        let edges = match per_net.get(&net.id()) {
+            None => {
+                routes.insert(RouteTree::trivial(net.id(), root))?;
+                continue;
+            }
+            Some(edges) => {
+                let mut sorted: Vec<GridEdge> = edges.iter().copied().collect();
+                sorted.sort_unstable();
+                sorted
+            }
+        };
+        let mut adjacency: HashMap<RegionIdx, Vec<RegionIdx>> = HashMap::new();
+        for e in &edges {
+            adjacency.entry(e.a()).or_default().push(e.b());
+            adjacency.entry(e.b()).or_default().push(e.a());
+        }
+        let mut parent: HashMap<RegionIdx, RegionIdx> = HashMap::new();
+        parent.insert(root, root);
+        let mut queue = VecDeque::from([root]);
+        while let Some(r) = queue.pop_front() {
+            if let Some(ns) = adjacency.get(&r) {
+                for &n in ns {
+                    if let Entry::Vacant(v) = parent.entry(n) {
+                        v.insert(r);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        for pr in &pin_regions {
+            if !parent.contains_key(pr) {
+                return Err(CoreError::RoutingFailed { net: net.id() });
+            }
+        }
+        let mut degree: HashMap<RegionIdx, u32> = HashMap::new();
+        let mut tree: std::collections::BTreeSet<GridEdge> = Default::default();
+        for (&child, &par) in &parent {
+            if child != par {
+                tree.insert(GridEdge::new(grid, child, par)?);
+                *degree.entry(child).or_insert(0) += 1;
+                *degree.entry(par).or_insert(0) += 1;
+            }
+        }
+        loop {
+            let leaf_edge = tree
+                .iter()
+                .find(|e| {
+                    let la = degree[&e.a()] == 1 && !pin_regions.contains(&e.a());
+                    let lb = degree[&e.b()] == 1 && !pin_regions.contains(&e.b());
+                    la || lb
+                })
+                .copied();
+            match leaf_edge {
+                Some(e) => {
+                    tree.remove(&e);
+                    *degree.get_mut(&e.a()).expect("tracked") -= 1;
+                    *degree.get_mut(&e.b()).expect("tracked") -= 1;
+                }
+                None => break,
+            }
+        }
+        routes.insert(RouteTree::new(grid, net.id(), root, tree.into_iter().collect())?)?;
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+    use gsino_grid::tech::Technology;
+    use gsino_grid::usage::TrackUsage;
+
+    fn setup(nets: Vec<Net>, side: f64) -> (Circuit, RegionGrid) {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(side, side)).unwrap();
+        let circuit = Circuit::new("t", die, nets).unwrap();
+        let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
+        (circuit, grid)
+    }
+
+    #[test]
+    fn straight_net_routes_minimally() {
+        let (circuit, grid) =
+            setup(vec![Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 32.0))], 640.0);
+        let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        assert_eq!(routes.get(0).unwrap().wirelength(&grid), 9.0 * 64.0);
+    }
+
+    #[test]
+    fn multipin_spans_all_pins() {
+        let pins = vec![
+            Point::new(32.0, 32.0),
+            Point::new(600.0, 32.0),
+            Point::new(32.0, 600.0),
+        ];
+        let (circuit, grid) = setup(vec![Net::new(0, pins.clone())], 640.0);
+        let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        let r = routes.get(0).unwrap();
+        let regions: HashSet<_> = r.regions().into_iter().collect();
+        for p in &pins {
+            assert!(regions.contains(&grid.region_of(*p)));
+        }
+    }
+
+    #[test]
+    fn congestion_cost_spreads_nets() {
+        let mut nets = Vec::new();
+        for i in 0..40u32 {
+            let y = 16.0 + (i % 4) as f64;
+            nets.push(Net::two_pin(i, Point::new(16.0, y), Point::new(620.0, y)));
+        }
+        let (circuit, grid) = setup(nets, 640.0);
+        let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        let usage = TrackUsage::from_routes(&grid, &routes);
+        let rows_used = (0..grid.ny())
+            .filter(|&cy| (0..grid.nx()).any(|cx| usage.nets(grid.idx(cx, cy), Dir::H) > 0))
+            .count();
+        assert!(rows_used >= 3, "A* must spread 40 nets beyond capacity-16 rows");
+    }
+
+    #[test]
+    fn paths_match_id_router_on_sparse_input() {
+        // With no congestion both routers find shortest trees, so total
+        // wire length should agree.
+        let (circuit, grid) = setup(
+            vec![
+                Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 500.0)),
+                Net::two_pin(1, Point::new(100.0, 600.0), Point::new(500.0, 100.0)),
+            ],
+            640.0,
+        );
+        let (a, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        let (b, _) =
+            super::super::route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+                .unwrap();
+        assert_eq!(a.total_wirelength(&grid), b.total_wirelength(&grid));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (circuit, grid) = setup(
+            (0..20u32)
+                .map(|i| {
+                    let x = 20.0 + (i as f64 * 97.0) % 600.0;
+                    let y = 20.0 + (i as f64 * 61.0) % 600.0;
+                    Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+                })
+                .collect(),
+            640.0,
+        );
+        let router = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None);
+        let (a, _) = router.route(&circuit).unwrap();
+        let (b, _) = router.route(&circuit).unwrap();
+        assert_eq!(a, b);
+    }
+}

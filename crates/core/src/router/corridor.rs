@@ -1,0 +1,296 @@
+//! Per-connection corridor graphs.
+//!
+//! A two-pin connection is routed inside its *corridor*: the rectangle of
+//! regions spanned by its two terminals, expanded by a one-region halo
+//! (clamped to the grid). The corridor graph contains every edge between
+//! adjacent corridor regions; iterative deletion whittles it down to the
+//! final path.
+
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::Dir;
+
+/// A rectangular region window with its own local indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corridor {
+    /// Grid x of the corridor's west column.
+    x0: u32,
+    /// Grid y of the corridor's south row.
+    y0: u32,
+    /// Width in regions.
+    w: u32,
+    /// Height in regions.
+    h: u32,
+    /// Local edges as (local a, local b, dir); `a < b`.
+    edges: Vec<(u16, u16, Dir)>,
+    /// Which edges are still alive.
+    alive: Vec<bool>,
+    /// Number of alive edges.
+    alive_count: usize,
+    /// Local indices of the two terminals.
+    terminals: (u16, u16),
+}
+
+impl Corridor {
+    /// Builds the corridor for terminals `t1`, `t2` with a `halo` of extra
+    /// regions on every side.
+    pub fn new(grid: &RegionGrid, t1: RegionIdx, t2: RegionIdx, halo: u32) -> Self {
+        let (x1, y1) = grid.coords(t1);
+        let (x2, y2) = grid.coords(t2);
+        let x0 = x1.min(x2).saturating_sub(halo);
+        let y0 = y1.min(y2).saturating_sub(halo);
+        let xmax = (x1.max(x2) + halo).min(grid.nx() - 1);
+        let ymax = (y1.max(y2) + halo).min(grid.ny() - 1);
+        let w = xmax - x0 + 1;
+        let h = ymax - y0 + 1;
+        let mut edges = Vec::with_capacity((w * h * 2) as usize);
+        for ly in 0..h {
+            for lx in 0..w {
+                let a = (ly * w + lx) as u16;
+                if lx + 1 < w {
+                    edges.push((a, a + 1, Dir::H));
+                }
+                if ly + 1 < h {
+                    edges.push((a, a + w as u16, Dir::V));
+                }
+            }
+        }
+        let alive = vec![true; edges.len()];
+        let alive_count = edges.len();
+        let lt1 = ((y1 - y0) * w + (x1 - x0)) as u16;
+        let lt2 = ((y2 - y0) * w + (x2 - x0)) as u16;
+        Corridor { x0, y0, w, h, edges, alive, alive_count, terminals: (lt1, lt2) }
+    }
+
+    /// Number of regions in the corridor.
+    pub fn num_regions(&self) -> usize {
+        (self.w * self.h) as usize
+    }
+
+    /// Number of edges (alive or dead).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of alive edges.
+    pub fn alive_edges(&self) -> usize {
+        self.alive_count
+    }
+
+    /// The local terminal indices.
+    pub fn terminals(&self) -> (u16, u16) {
+        self.terminals
+    }
+
+    /// The edge table entry `(local a, local b, dir)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: usize) -> (u16, u16, Dir) {
+        self.edges[e]
+    }
+
+    /// Whether edge `e` is alive.
+    pub fn is_alive(&self, e: usize) -> bool {
+        self.alive[e]
+    }
+
+    /// Kills edge `e` (idempotent).
+    pub fn kill(&mut self, e: usize) {
+        if self.alive[e] {
+            self.alive[e] = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    /// Converts a local region index to the global [`RegionIdx`].
+    pub fn global(&self, grid: &RegionGrid, local: u16) -> RegionIdx {
+        let lx = local as u32 % self.w;
+        let ly = local as u32 / self.w;
+        grid.idx(self.x0 + lx, self.y0 + ly)
+    }
+
+    /// Whether the two terminals stay connected if edge `skip` were dead.
+    /// BFS over alive edges; `scratch` buffers are reused across calls.
+    pub fn connected_without(&self, skip: usize, scratch: &mut CorridorScratch) -> bool {
+        let (t1, t2) = self.terminals;
+        if t1 == t2 {
+            return true;
+        }
+        scratch.prepare(self.num_regions(), self.edges.len());
+        // Build an adjacency pass on the fly: iterate edges once and record
+        // neighbour lists in the scratch CSR-ish structure.
+        for (e, &(a, b, _)) in self.edges.iter().enumerate() {
+            if e != skip && self.alive[e] {
+                scratch.push_adj(a, b);
+                scratch.push_adj(b, a);
+            }
+        }
+        scratch.bfs(t1, t2)
+    }
+
+    /// Iterates over the alive edges incident to local region `r`.
+    pub fn alive_incident(&self, r: u16) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(e, (a, b, _))| self.alive[*e] && (*a == r || *b == r))
+            .map(|(e, _)| e)
+    }
+}
+
+/// Reusable BFS buffers for [`Corridor::connected_without`].
+#[derive(Debug, Default)]
+pub struct CorridorScratch {
+    adj_head: Vec<i32>,
+    adj_next: Vec<i32>,
+    adj_to: Vec<u16>,
+    adj_len: usize,
+    visited: Vec<bool>,
+    queue: Vec<u16>,
+}
+
+impl CorridorScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> Self {
+        CorridorScratch::default()
+    }
+
+    fn prepare(&mut self, regions: usize, edges: usize) {
+        self.adj_head.clear();
+        self.adj_head.resize(regions, -1);
+        let cap = edges * 2;
+        if self.adj_next.len() < cap {
+            self.adj_next.resize(cap, -1);
+            self.adj_to.resize(cap, 0);
+        }
+        self.adj_len = 0;
+        self.visited.clear();
+        self.visited.resize(regions, false);
+        self.queue.clear();
+    }
+
+    fn push_adj(&mut self, from: u16, to: u16) {
+        let slot = self.adj_len;
+        self.adj_len += 1;
+        self.adj_to[slot] = to;
+        self.adj_next[slot] = self.adj_head[from as usize];
+        self.adj_head[from as usize] = slot as i32;
+    }
+
+    fn bfs(&mut self, from: u16, to: u16) -> bool {
+        self.visited[from as usize] = true;
+        self.queue.push(from);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let r = self.queue[head];
+            head += 1;
+            if r == to {
+                return true;
+            }
+            let mut slot = self.adj_head[r as usize];
+            while slot >= 0 {
+                let n = self.adj_to[slot as usize];
+                if !self.visited[n as usize] {
+                    self.visited[n as usize] = true;
+                    self.queue.push(n);
+                }
+                slot = self.adj_next[slot as usize];
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::tech::Technology;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    #[test]
+    fn corridor_covers_bbox_plus_halo() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(2, 2), g.idx(5, 4), 1);
+        // bbox 4x3 regions, +1 halo each side → 6x5.
+        assert_eq!(c.num_regions(), 30);
+        // Edge count: H: 5*5, V: 6*4.
+        assert_eq!(c.num_edges(), 49);
+        assert_eq!(c.alive_edges(), 49);
+    }
+
+    #[test]
+    fn halo_clamps_at_grid_border() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 0), 1);
+        // x: 0..=2 (clamped west), y: 0..=1 → 3x2 regions.
+        assert_eq!(c.num_regions(), 6);
+    }
+
+    #[test]
+    fn terminals_map_to_globals() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(2, 2), g.idx(5, 4), 1);
+        let (t1, t2) = c.terminals();
+        assert_eq!(c.global(&g, t1), g.idx(2, 2));
+        assert_eq!(c.global(&g, t2), g.idx(5, 4));
+    }
+
+    #[test]
+    fn connectivity_with_deletions() {
+        let g = grid();
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 0), 0);
+        // Corridor is 2x1: a single H edge between the terminals.
+        assert_eq!(c.num_edges(), 1);
+        let mut scratch = CorridorScratch::new();
+        assert!(!c.connected_without(0, &mut scratch), "only edge is a bridge");
+        c.kill(0);
+        assert_eq!(c.alive_edges(), 0);
+    }
+
+    #[test]
+    fn redundant_paths_allow_deletion() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 1), 0);
+        // 2x2 corridor: 4 edges forming a cycle; any single edge removable.
+        assert_eq!(c.num_edges(), 4);
+        let mut scratch = CorridorScratch::new();
+        for e in 0..4 {
+            assert!(c.connected_without(e, &mut scratch), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let g = grid();
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(2, 0), 0);
+        let before = c.alive_edges();
+        c.kill(0);
+        c.kill(0);
+        assert_eq!(c.alive_edges(), before - 1);
+        assert!(!c.is_alive(0));
+    }
+
+    #[test]
+    fn same_region_terminals() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(3, 3), g.idx(3, 3), 0);
+        assert_eq!(c.num_regions(), 1);
+        assert_eq!(c.num_edges(), 0);
+        let (t1, t2) = c.terminals();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn alive_incident_enumerates() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 1), 0);
+        // Local region 0 (corner) touches one H and one V edge.
+        assert_eq!(c.alive_incident(0).count(), 2);
+    }
+}

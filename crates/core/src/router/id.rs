@@ -1,0 +1,583 @@
+//! The iterative-deletion main loop (paper Fig. 1).
+
+use super::corridor::{Corridor, CorridorScratch};
+use super::{ShieldTerm, Weights};
+use crate::{CoreError, Result};
+use gsino_grid::net::{Circuit, NetId};
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, GridEdge, RouteSet, RouteTree};
+use gsino_steiner::decompose::{decompose_net, Connection};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Manhattan distance between two regions in tile steps.
+fn t1x_diff(grid: &RegionGrid, a: RegionIdx, b: RegionIdx) -> u32 {
+    let (ax, ay) = grid.coords(a);
+    let (bx, by) = grid.coords(b);
+    ax.abs_diff(bx) + ay.abs_diff(by)
+}
+
+/// Counters describing one routing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Two-pin connections after Steiner decomposition.
+    pub connections: usize,
+    /// Corridor edges before any deletion.
+    pub edges_initial: usize,
+    /// Edges deleted.
+    pub deletions: usize,
+    /// Edges kept because they were terminal bridges.
+    pub kept: usize,
+    /// Stale heap entries that were re-inserted with a fresh weight.
+    pub reinserts: usize,
+}
+
+/// One two-pin connection's routing state.
+struct ConnState {
+    net: NetId,
+    corridor: Corridor,
+    /// Static per-edge `f(WL)` term: the wire length of the shortest route
+    /// forced through the edge, normalized by the connection's Steiner
+    /// (Manhattan) estimate. Edges on a shortest path score 1.0; edges that
+    /// would detour the route score proportionally higher, so they are
+    /// deleted first unless congestion argues otherwise.
+    f_wl: Vec<f64>,
+    /// Alive incident-edge counts per local region, per direction.
+    presence: Vec<[u16; 2]>,
+    /// Minimum edges the final path needs (Manhattan distance in tiles).
+    needed_edges: f64,
+    /// Alive edge count (denominator of the demand fraction φ).
+    alive_edges: usize,
+    /// Edges pinned as terminal bridges.
+    kept: Vec<bool>,
+}
+
+impl ConnState {
+    /// Cong–Preas-style probabilistic demand: the fraction of this
+    /// connection's presence expected to survive, `needed / alive`. Starts
+    /// small while the corridor is full of slack and converges to 1 as the
+    /// graph shrinks to the final path.
+    fn phi(&self) -> f64 {
+        if self.alive_edges == 0 {
+            return 1.0;
+        }
+        (self.needed_edges / self.alive_edges as f64).min(1.0)
+    }
+
+}
+
+/// Max-heap entry (f64 weight, connection, edge).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    w: f64,
+    conn: u32,
+    edge: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.w
+            .partial_cmp(&other.w)
+            .expect("weights are finite")
+            .then_with(|| self.conn.cmp(&other.conn))
+            .then_with(|| self.edge.cmp(&other.edge))
+    }
+}
+
+/// The ID router: routes a whole circuit at once.
+///
+/// # Example
+///
+/// ```
+/// use gsino_core::router::{IdRouter, ShieldTerm, Weights};
+/// use gsino_grid::{Circuit, Net, Point, Rect, RegionGrid, Technology};
+///
+/// # fn main() -> Result<(), gsino_core::CoreError> {
+/// let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 320.0))?;
+/// let net = Net::two_pin(0, Point::new(10.0, 10.0), Point::new(300.0, 300.0));
+/// let circuit = Circuit::new("t", die, vec![net])?;
+/// let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0)?;
+/// let router = IdRouter::new(&grid, Weights::default(), ShieldTerm::None);
+/// let (routes, stats) = router.route(&circuit)?;
+/// assert_eq!(routes.len(), 1);
+/// assert!(stats.deletions > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct IdRouter<'a> {
+    grid: &'a RegionGrid,
+    weights: Weights,
+    shield_term: ShieldTerm,
+    halo: u32,
+}
+
+impl<'a> IdRouter<'a> {
+    /// Creates a router over `grid` with the given Formula (2) constants.
+    pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
+        IdRouter { grid, weights, shield_term, halo: 1 }
+    }
+
+    /// Routes every net of the circuit; returns the route set and counters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoutingFailed`] if a net's connections could not be
+    /// assembled into a pin-spanning tree (internal invariant violation).
+    #[allow(clippy::needless_range_loop)] // direction index d pairs demand[d] with presence[_][d]
+    pub fn route(&self, circuit: &Circuit) -> Result<(RouteSet, RouterStats)> {
+        let mut stats = RouterStats::default();
+        // 1. Decompose every net into two-pin connections.
+        let mut conns: Vec<ConnState> = Vec::new();
+        for net in circuit.nets() {
+            for c in decompose_net(net) {
+                if let Some(state) = self.connection_state(&c) {
+                    conns.push(state);
+                }
+            }
+        }
+        stats.connections = conns.len();
+
+        // 2. Global per-region expected demand (probabilistic presence by
+        //    direction, Cong–Preas style).
+        let nregions = self.grid.num_regions() as usize;
+        let mut demand = [vec![0f64; nregions], vec![0f64; nregions]];
+        for c in &conns {
+            let phi = c.phi();
+            for local in 0..c.corridor.num_regions() {
+                let global = c.corridor.global(self.grid, local as u16) as usize;
+                for d in 0..2 {
+                    if c.presence[local][d] > 0 {
+                        demand[d][global] += phi;
+                    }
+                }
+            }
+        }
+
+        // 3. Seed the heap with every edge.
+        let mut heap = BinaryHeap::new();
+        for (ci, c) in conns.iter().enumerate() {
+            stats.edges_initial += c.corridor.num_edges();
+            for e in 0..c.corridor.num_edges() {
+                let w = self.weight(c, e, &demand);
+                heap.push(HeapEntry { w, conn: ci as u32, edge: e as u32 });
+            }
+        }
+
+        // 4. Iterative deletion with lazy weight refresh. Weights move in
+        //    both directions (expected demand falls as corridors shrink,
+        //    but a connection's φ rises as its alternatives are deleted, so
+        //    late overflow can RAISE weights). Entries that became cheaper
+        //    are re-queued on pop; entries that became more urgent are
+        //    caught by periodically re-pushing all live edges.
+        let mut scratch = CorridorScratch::new();
+        let refresh_every = (stats.edges_initial / 8).max(1000);
+        let mut since_refresh = 0usize;
+        while let Some(HeapEntry { w, conn, edge }) = heap.pop() {
+            if since_refresh >= refresh_every {
+                since_refresh = 0;
+                for (ci, c) in conns.iter().enumerate() {
+                    for e in 0..c.corridor.num_edges() {
+                        if c.corridor.is_alive(e) && !c.kept[e] {
+                            let w = self.weight(c, e, &demand);
+                            heap.push(HeapEntry { w, conn: ci as u32, edge: e as u32 });
+                        }
+                    }
+                }
+            }
+            let c = &mut conns[conn as usize];
+            let e = edge as usize;
+            if !c.corridor.is_alive(e) || c.kept[e] {
+                continue;
+            }
+            let current = self.weight(c, e, &demand);
+            // Weights decay globally as demand drains, so almost every pop
+            // is a little stale; only re-queue when the drop is material
+            // (5%), otherwise deletion order degenerates into heap churn.
+            if w - current > 0.05 * current.abs().max(0.1) {
+                stats.reinserts += 1;
+                heap.push(HeapEntry { w: current, conn, edge });
+                continue;
+            }
+            if c.corridor.connected_without(e, &mut scratch) {
+                // Delete: retract the connection's old φ-weighted demand,
+                // kill the edge, then re-apply with the new φ.
+                let phi_old = c.phi();
+                for local in 0..c.corridor.num_regions() {
+                    let global = c.corridor.global(self.grid, local as u16) as usize;
+                    for d in 0..2 {
+                        if c.presence[local][d] > 0 {
+                            demand[d][global] -= phi_old;
+                        }
+                    }
+                }
+                let (a, b, dir) = c.corridor.edge(e);
+                c.corridor.kill(e);
+                c.alive_edges -= 1;
+                let d = match dir {
+                    Dir::H => 0,
+                    Dir::V => 1,
+                };
+                for local in [a, b] {
+                    let p = &mut c.presence[local as usize][d];
+                    *p -= 1;
+                }
+                let phi_new = c.phi();
+                for local in 0..c.corridor.num_regions() {
+                    let global = c.corridor.global(self.grid, local as u16) as usize;
+                    for dd in 0..2 {
+                        if c.presence[local][dd] > 0 {
+                            demand[dd][global] += phi_new;
+                        }
+                    }
+                }
+                stats.deletions += 1;
+                since_refresh += 1;
+            } else {
+                c.kept[e] = true;
+                stats.kept += 1;
+            }
+        }
+
+        // 5. Assemble per-net routes from the surviving connection paths.
+        let routes = self.assemble(circuit, &conns)?;
+        Ok((routes, stats))
+    }
+
+    fn connection_state(&self, c: &Connection) -> Option<ConnState> {
+        let t1 = self.grid.region_of(c.from);
+        let t2 = self.grid.region_of(c.to);
+        if t1 == t2 {
+            // Intra-region connection: no global routing needed.
+            return None;
+        }
+        let corridor = Corridor::new(self.grid, t1, t2, self.halo);
+        let mut presence = vec![[0u16; 2]; corridor.num_regions()];
+        // The two-terminal Steiner estimate is the Manhattan distance,
+        // floored at one tile so the normalizer is never degenerate.
+        let rsmt_um = c.manhattan().max(self.grid.tile_w().min(self.grid.tile_h()));
+        // Manhattan distance between two corridor-local regions in µm; the
+        // corridor rectangle is convex in the grid graph so this equals the
+        // graph distance.
+        let dist = |p: u16, q: u16| -> f64 {
+            let gp = corridor.global(self.grid, p);
+            let gq = corridor.global(self.grid, q);
+            self.grid.center_distance(gp, gq)
+        };
+        let (t1l, t2l) = corridor.terminals();
+        let mut f_wl = Vec::with_capacity(corridor.num_edges());
+        for e in 0..corridor.num_edges() {
+            let (a, b, dir) = corridor.edge(e);
+            let d = match dir {
+                Dir::H => 0,
+                Dir::V => 1,
+            };
+            presence[a as usize][d] += 1;
+            presence[b as usize][d] += 1;
+            let len_e = match dir {
+                Dir::H => self.grid.tile_w(),
+                Dir::V => self.grid.tile_h(),
+            };
+            let through = (dist(t1l, a) + len_e + dist(b, t2l))
+                .min(dist(t1l, b) + len_e + dist(a, t2l));
+            f_wl.push(through / rsmt_um);
+        }
+        let kept = vec![false; corridor.num_edges()];
+        let needed_edges = ((t1x_diff(self.grid, t1, t2)) as f64).max(1.0);
+        let alive_edges = corridor.num_edges();
+        Some(ConnState { net: c.net, corridor, f_wl, presence, needed_edges, alive_edges, kept })
+    }
+
+    /// Formula (2): `w = α·f(WL) + β·HD + γ·HOFR`, densities averaged over
+    /// the edge's two regions.
+    fn weight(&self, c: &ConnState, e: usize, demand: &[Vec<f64>; 2]) -> f64 {
+        let (a, b, dir) = c.corridor.edge(e);
+        let d = match dir {
+            Dir::H => 0,
+            Dir::V => 1,
+        };
+        let cap = match dir {
+            Dir::H => self.grid.hc(),
+            Dir::V => self.grid.vc(),
+        } as f64;
+        let ga = c.corridor.global(self.grid, a) as usize;
+        let gb = c.corridor.global(self.grid, b) as usize;
+        let mut hd = 0.0;
+        let mut hofr = 0.0;
+        for g in [ga, gb] {
+            let nns = demand[d][g];
+            // The shield reservation enters the density term (HU = Nns +
+            // Nss, paper §3.1). The overflow term watches real net demand
+            // only: the reservation is a preference, and double-counting
+            // speculative shields in the steep γ term was measured to
+            // degrade the net distribution itself.
+            let used = nns + self.shield_term.shields(nns);
+            hd += used / cap;
+            hofr += (nns - cap).max(0.0) / cap;
+        }
+        self.weights.alpha * c.f_wl[e]
+            + self.weights.beta * hd / 2.0
+            + self.weights.gamma * hofr / 2.0
+    }
+
+    /// Builds one [`RouteTree`] per net from the surviving corridor paths:
+    /// union the connection edges, take a BFS spanning tree from the source
+    /// region, prune dangling non-pin branches.
+    fn assemble(&self, circuit: &Circuit, conns: &[ConnState]) -> Result<RouteSet> {
+        // Gather surviving global edges per net. Ordered sets keep the
+        // spanning-tree tie-breaking deterministic across runs, so ID+NO
+        // and iSINO (which share this routing stage) match exactly.
+        let mut per_net: HashMap<NetId, BTreeSet<GridEdge>> = HashMap::new();
+        for c in conns {
+            let entry = per_net.entry(c.net).or_default();
+            for e in 0..c.corridor.num_edges() {
+                if c.corridor.is_alive(e) {
+                    let (a, b, _) = c.corridor.edge(e);
+                    let ga = c.corridor.global(self.grid, a);
+                    let gb = c.corridor.global(self.grid, b);
+                    entry.insert(GridEdge::new(self.grid, ga, gb)?);
+                }
+            }
+        }
+        let mut routes = RouteSet::with_capacity(circuit.num_nets());
+        for net in circuit.nets() {
+            let root = self.grid.region_of(net.source());
+            let pin_regions: HashSet<RegionIdx> =
+                net.pins().iter().map(|p| self.grid.region_of(*p)).collect();
+            let edges = match per_net.get(&net.id()) {
+                None => {
+                    routes.insert(RouteTree::trivial(net.id(), root))?;
+                    continue;
+                }
+                Some(edges) => edges,
+            };
+            // BFS spanning tree from the root.
+            let mut adjacency: HashMap<RegionIdx, Vec<RegionIdx>> = HashMap::new();
+            for e in edges {
+                adjacency.entry(e.a()).or_default().push(e.b());
+                adjacency.entry(e.b()).or_default().push(e.a());
+            }
+            let mut parent: HashMap<RegionIdx, RegionIdx> = HashMap::new();
+            parent.insert(root, root);
+            let mut queue = VecDeque::from([root]);
+            while let Some(r) = queue.pop_front() {
+                if let Some(ns) = adjacency.get(&r) {
+                    for &n in ns {
+                        if let Entry::Vacant(v) = parent.entry(n) {
+                            v.insert(r);
+                            queue.push_back(n);
+                        }
+                    }
+                }
+            }
+            for pr in &pin_regions {
+                if !parent.contains_key(pr) {
+                    return Err(CoreError::RoutingFailed { net: net.id() });
+                }
+            }
+            // Tree edges, then prune non-pin leaves.
+            let mut degree: HashMap<RegionIdx, u32> = HashMap::new();
+            let mut tree: BTreeSet<GridEdge> = BTreeSet::new();
+            for (&child, &par) in &parent {
+                if child != par {
+                    tree.insert(GridEdge::new(self.grid, child, par)?);
+                    *degree.entry(child).or_insert(0) += 1;
+                    *degree.entry(par).or_insert(0) += 1;
+                }
+            }
+            loop {
+                let leaf_edge = tree
+                    .iter()
+                    .find(|e| {
+                        let la = degree[&e.a()] == 1 && !pin_regions.contains(&e.a());
+                        let lb = degree[&e.b()] == 1 && !pin_regions.contains(&e.b());
+                        la || lb
+                    })
+                    .copied();
+                match leaf_edge {
+                    Some(e) => {
+                        tree.remove(&e);
+                        *degree.get_mut(&e.a()).expect("degree tracked") -= 1;
+                        *degree.get_mut(&e.b()).expect("degree tracked") -= 1;
+                    }
+                    None => break,
+                }
+            }
+            let route = RouteTree::new(self.grid, net.id(), root, tree.into_iter().collect())?;
+            routes.insert(route)?;
+        }
+        Ok(routes)
+    }
+}
+
+/// Convenience wrapper: routes with the given weights and shield term.
+///
+/// # Errors
+///
+/// See [`IdRouter::route`].
+pub fn route_all(
+    grid: &RegionGrid,
+    circuit: &Circuit,
+    weights: Weights,
+    shield_term: ShieldTerm,
+) -> Result<(RouteSet, RouterStats)> {
+    IdRouter::new(grid, weights, shield_term).route(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+    use gsino_grid::tech::Technology;
+    use gsino_grid::usage::TrackUsage;
+
+    fn setup(nets: Vec<Net>, side: f64) -> (Circuit, RegionGrid) {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(side, side)).unwrap();
+        let circuit = Circuit::new("t", die, nets).unwrap();
+        let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
+        (circuit, grid)
+    }
+
+    #[test]
+    fn single_straight_net_routes_minimally() {
+        let (circuit, grid) =
+            setup(vec![Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 32.0))], 640.0);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        let r = routes.get(0).unwrap();
+        // Pins 9 columns apart in the same row: 9 edges, all horizontal.
+        assert_eq!(r.edges().len(), 9);
+        assert_eq!(r.wirelength(&grid), 9.0 * 64.0);
+    }
+
+    #[test]
+    fn l_shaped_net_has_manhattan_length() {
+        let (circuit, grid) =
+            setup(vec![Net::two_pin(0, Point::new(32.0, 32.0), Point::new(300.0, 500.0))], 640.0);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        let r = routes.get(0).unwrap();
+        // 4 columns + 7 rows apart → 11 tiles of wire.
+        assert_eq!(r.wirelength(&grid), 11.0 * 64.0);
+    }
+
+    #[test]
+    fn multipin_net_spans_all_pin_regions() {
+        let pins = vec![
+            Point::new(32.0, 32.0),
+            Point::new(600.0, 32.0),
+            Point::new(32.0, 600.0),
+            Point::new(600.0, 600.0),
+        ];
+        let (circuit, grid) = setup(vec![Net::new(0, pins.clone())], 640.0);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        let r = routes.get(0).unwrap();
+        let regions: std::collections::HashSet<_> = r.regions().into_iter().collect();
+        for p in &pins {
+            assert!(regions.contains(&grid.region_of(*p)), "pin {p} not spanned");
+        }
+    }
+
+    #[test]
+    fn intra_region_net_is_trivial() {
+        let (circuit, grid) =
+            setup(vec![Net::two_pin(0, Point::new(10.0, 10.0), Point::new(20.0, 20.0))], 640.0);
+        let (routes, stats) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        assert_eq!(routes.get(0).unwrap().edges().len(), 0);
+        assert_eq!(stats.connections, 0);
+    }
+
+    #[test]
+    fn single_pin_net_is_trivial() {
+        let (circuit, grid) = setup(vec![Net::new(0, vec![Point::new(10.0, 10.0)])], 640.0);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        assert_eq!(routes.get(0).unwrap().edges().len(), 0);
+    }
+
+    #[test]
+    fn congestion_spreads_parallel_nets() {
+        // 30 nets all crossing between the same two columns in row 0..10
+        // would overload a single row; the γ term must spread them.
+        let mut nets = Vec::new();
+        for i in 0..30u32 {
+            let y = 16.0 + (i % 3) as f64;
+            nets.push(Net::two_pin(i, Point::new(16.0, y), Point::new(620.0, y)));
+        }
+        let (circuit, grid) = setup(nets, 640.0);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        let usage = TrackUsage::from_routes(&grid, &routes);
+        // Capacity is 16 per direction; the 30 nets cannot all sit in row 0
+        // without overflowing, so some must detour through other rows.
+        let rows_used: Vec<u32> = (0..grid.ny())
+            .filter(|&cy| {
+                (0..grid.nx()).any(|cx| usage.nets(grid.idx(cx, cy), Dir::H) > 0)
+            })
+            .collect();
+        assert!(rows_used.len() >= 2, "nets should spread across rows: {rows_used:?}");
+    }
+
+    #[test]
+    fn all_routes_are_valid_trees() {
+        let mut nets = Vec::new();
+        for i in 0..25u32 {
+            let x = 20.0 + (i as f64 * 97.0) % 600.0;
+            let y = 20.0 + (i as f64 * 61.0) % 600.0;
+            let u = 20.0 + (i as f64 * 41.0) % 600.0;
+            let v = 20.0 + (i as f64 * 83.0) % 600.0;
+            nets.push(Net::new(
+                i,
+                vec![Point::new(x, y), Point::new(u, v), Point::new((x + u) / 2.0, 610.0)],
+            ));
+        }
+        let (circuit, grid) = setup(nets, 640.0);
+        let (routes, stats) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
+            .unwrap();
+        assert_eq!(routes.len(), 25);
+        assert!(stats.edges_initial > stats.deletions);
+        // RouteTree::new validated tree-ness internally; spot-check paths.
+        for net in circuit.nets() {
+            let r = routes.get(net.id()).unwrap();
+            let root = grid.region_of(net.source());
+            for sink in net.sinks() {
+                let sr = grid.region_of(*sink);
+                assert!(r.path(root, sr).is_some(), "net {} sink unreachable", net.id());
+            }
+        }
+    }
+
+    #[test]
+    fn shield_aware_router_runs() {
+        use gsino_sino::nss::NssModel;
+        let mut nets = Vec::new();
+        for i in 0..10u32 {
+            nets.push(Net::two_pin(
+                i,
+                Point::new(16.0, 16.0 + i as f64),
+                Point::new(620.0, 16.0 + i as f64),
+            ));
+        }
+        let (circuit, grid) = setup(nets, 640.0);
+        let model = NssModel::from_coefficients([0.6, 0.0, 0.4, 0.0, 0.1, 0.0], 0.5);
+        let (routes, _) = route_all(
+            &grid,
+            &circuit,
+            Weights::default(),
+            ShieldTerm::Estimated { model, rate: 0.5 },
+        )
+        .unwrap();
+        assert_eq!(routes.len(), 10);
+    }
+}

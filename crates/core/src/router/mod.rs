@@ -1,0 +1,98 @@
+//! The iterative-deletion (ID) global router.
+//!
+//! Paper §3.1 and Fig. 1, following Cong–Preas: construct a connection
+//! graph per net over the routing regions, then *iteratively delete the
+//! maximum-weight edge* whose removal keeps the net connected, until every
+//! graph is a tree. Because all nets' edges compete in one pool, the
+//! result is independent of any net ordering — the property the paper
+//! chose the ID algorithm for.
+//!
+//! Multi-pin nets are decomposed into two-pin connections along their
+//! Steiner topology first (see [`gsino_steiner::decompose`]); each
+//! connection's graph is its corridor — the bounding box of its endpoints
+//! plus a one-region halo.
+
+mod astar;
+mod corridor;
+mod id;
+
+pub use astar::AstarRouter;
+pub use corridor::Corridor;
+pub use id::{route_all, IdRouter, RouterStats};
+
+use gsino_sino::nss::NssModel;
+
+/// The weight constants of Formula (2): `w = α·f(WL) + β·HD + γ·HOFR`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Wire-length coefficient (paper: 2).
+    pub alpha: f64,
+    /// Density coefficient (paper: 1).
+    pub beta: f64,
+    /// Overflow coefficient (paper: 50, "much larger than α and β so that
+    /// virtually no overflow is allowed").
+    pub gamma: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights { alpha: 2.0, beta: 1.0, gamma: 50.0 }
+    }
+}
+
+/// Shield-awareness of the router's utilization term.
+///
+/// GSINO's Phase I includes the estimated shield count `Nss` (Formula (3))
+/// in the utilization `HU = Nns + Nss`; the ID+NO and iSINO baselines omit
+/// it (paper §4: "no shielding area reservation or minimization").
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShieldTerm {
+    /// Baselines: `HU = Nns`.
+    None,
+    /// GSINO: `HU = Nns + Nss(Nns, S)` with local sensitivities
+    /// approximated by the global sensitivity `rate` during routing.
+    Estimated {
+        /// The fitted Formula (3) model.
+        model: NssModel,
+        /// The circuit's sensitivity rate (the expected `Sᵢ`).
+        rate: f64,
+    },
+}
+
+impl ShieldTerm {
+    /// Estimated shields for a region currently holding `nns` (expected)
+    /// segments.
+    pub fn shields(&self, nns: f64) -> f64 {
+        match self {
+            ShieldTerm::None => 0.0,
+            ShieldTerm::Estimated { model, rate } => {
+                model.estimate_continuous(nns, nns * rate, nns * rate * rate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_match_paper() {
+        let w = Weights::default();
+        assert_eq!((w.alpha, w.beta, w.gamma), (2.0, 1.0, 50.0));
+    }
+
+    #[test]
+    fn shield_term_none_is_zero() {
+        assert_eq!(ShieldTerm::None.shields(100.0), 0.0);
+    }
+
+    #[test]
+    fn shield_term_estimates_grow_with_occupancy() {
+        let model = NssModel::from_coefficients([0.5, 0.0, 0.5, 0.0, 0.05, 0.0], 0.5);
+        let term = ShieldTerm::Estimated { model, rate: 0.5 };
+        assert!(term.shields(20.0) > term.shields(5.0));
+        assert_eq!(term.shields(0.0), 0.0);
+        assert_eq!(term.shields(1.5), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! LSK bookkeeping and crosstalk-violation reporting.
+//!
+//! For every sink, the LSK value accumulates `lⱼ·Kᵢʲ` along the region
+//! path from the source (paper Eq. (1)); the noise table turns it into a
+//! crosstalk voltage compared against the constraint (0.15 V in the
+//! paper's experiments). Table 1 counts nets with at least one violating
+//! sink.
+
+use crate::phase2::RegionSino;
+use gsino_grid::net::{Circuit, Net, NetId};
+use gsino_grid::region::RegionGrid;
+use gsino_grid::route::{Dir, RouteSet, RouteTree};
+use gsino_lsk::table::NoiseTable;
+use gsino_lsk::value::lsk_value;
+use std::collections::HashMap;
+
+/// One violating sink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkViolation {
+    /// The victim net.
+    pub net: NetId,
+    /// Sink index within the net (0 = first sink).
+    pub sink: usize,
+    /// The LSK value along the source→sink path.
+    pub lsk: f64,
+    /// The looked-up crosstalk voltage (V).
+    pub voltage: f64,
+}
+
+/// The violation report of a routing solution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViolationReport {
+    /// The constraint voltage (V).
+    pub vth: f64,
+    /// All violating sinks.
+    pub sinks: Vec<SinkViolation>,
+    /// Worst voltage per violating net.
+    per_net: HashMap<NetId, f64>,
+}
+
+impl ViolationReport {
+    /// Number of nets with at least one violating sink (Table 1's metric).
+    pub fn violating_nets(&self) -> usize {
+        self.per_net.len()
+    }
+
+    /// Whether the solution is violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.per_net.is_empty()
+    }
+
+    /// The most severely violating net and its worst voltage.
+    pub fn worst_net(&self) -> Option<(NetId, f64)> {
+        self.per_net
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .expect("finite voltages")
+                    .then_with(|| b.0.cmp(a.0))
+            })
+            .map(|(&n, &v)| (n, v))
+    }
+
+    /// Worst voltage of a specific net, if violating.
+    pub fn voltage_of(&self, net: NetId) -> Option<f64> {
+        self.per_net.get(&net).copied()
+    }
+
+    /// Violating nets, most severe first.
+    pub fn nets_by_severity(&self) -> Vec<(NetId, f64)> {
+        let mut v: Vec<(NetId, f64)> = self.per_net.iter().map(|(&n, &x)| (n, x)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite voltages").then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+/// LSK of one sink: `Σ lⱼ·Kᵢʲ` over the source→sink region path, summing
+/// the net's horizontal and vertical segments per region.
+pub fn sink_lsk(
+    grid: &RegionGrid,
+    route: &RouteTree,
+    sino: &RegionSino,
+    net: &Net,
+    sink_index: usize,
+) -> f64 {
+    let root = grid.region_of(net.source());
+    let sink = net.sinks()[sink_index];
+    let sink_region = grid.region_of(sink);
+    let path = match route.path(root, sink_region) {
+        Some(p) => p,
+        None => route.regions(),
+    };
+    lsk_value(path.iter().flat_map(|&r| {
+        let (lh, lv) = route.length_in_region(grid, r);
+        [
+            (lh, sino.k_of(net.id(), r, Dir::H).unwrap_or(0.0)),
+            (lv, sino.k_of(net.id(), r, Dir::V).unwrap_or(0.0)),
+        ]
+    }))
+}
+
+/// Checks every sink of one net; returns its violations.
+pub fn check_net(
+    grid: &RegionGrid,
+    route: &RouteTree,
+    sino: &RegionSino,
+    table: &NoiseTable,
+    vth: f64,
+    net: &Net,
+) -> Vec<SinkViolation> {
+    let mut out = Vec::new();
+    if route.edges().is_empty() {
+        return out;
+    }
+    for sink in 0..net.sinks().len() {
+        let lsk = sink_lsk(grid, route, sino, net, sink);
+        let voltage = table.voltage(lsk);
+        if voltage > vth + 1e-9 {
+            out.push(SinkViolation { net: net.id(), sink, lsk, voltage });
+        }
+    }
+    out
+}
+
+/// Full-circuit violation check.
+pub fn check(
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    sino: &RegionSino,
+    table: &NoiseTable,
+    vth: f64,
+) -> ViolationReport {
+    let mut report = ViolationReport { vth, ..ViolationReport::default() };
+    for net in circuit.nets() {
+        let route = match routes.get(net.id()) {
+            Some(r) => r,
+            None => continue,
+        };
+        for v in check_net(grid, route, sino, table, vth, net) {
+            let worst = report.per_net.entry(v.net).or_insert(0.0);
+            *worst = worst.max(v.voltage);
+            report.sinks.push(v);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{uniform_budgets, LengthModel};
+    use crate::phase2::{solve_regions, RegionMode};
+    use crate::router::{route_all, ShieldTerm, Weights};
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::sensitivity::SensitivityModel;
+    use gsino_grid::tech::Technology;
+    use gsino_sino::solver::SolverConfig;
+
+    /// A dense bus sharing one row of regions: every net couples hard.
+    fn dense_bus(n: u32, len: f64) -> (Circuit, RegionGrid, RouteSet, NoiseTable) {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(len.max(640.0), 640.0)).unwrap();
+        let nets: Vec<Net> = (0..n)
+            .map(|i| {
+                Net::two_pin(
+                    i,
+                    Point::new(8.0, 320.0 + i as f64),
+                    Point::new(len - 8.0, 320.0 + i as f64),
+                )
+            })
+            .collect();
+        let circuit = Circuit::new("dense", die, nets).unwrap();
+        let tech = Technology::itrs_100nm();
+        let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
+        let (routes, _) =
+            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let table = NoiseTable::calibrated(&tech);
+        (circuit, grid, routes, table)
+    }
+
+    #[test]
+    fn order_only_dense_bus_violates() {
+        // 12 fully sensitive 2.5 mm nets with no shields must violate.
+        let (circuit, grid, routes, table) = dense_bus(12, 2560.0);
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
+                .unwrap();
+        let sens = SensitivityModel::new(1.0, 3);
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::OrderOnly,
+            1,
+        )
+        .unwrap();
+        let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert!(report.violating_nets() > 0, "dense unshielded bus must violate");
+        let (_, v) = report.worst_net().unwrap();
+        assert!(v > 0.15);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn sino_dense_bus_is_clean() {
+        let (circuit, grid, routes, table) = dense_bus(12, 2560.0);
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::RoutedPath)
+                .unwrap();
+        let sens = SensitivityModel::new(1.0, 3);
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::Sino,
+            1,
+        )
+        .unwrap();
+        let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert!(report.is_clean(), "{} nets violate", report.violating_nets());
+    }
+
+    #[test]
+    fn insensitive_nets_never_violate() {
+        let (circuit, grid, routes, table) = dense_bus(12, 2560.0);
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
+                .unwrap();
+        let sens = SensitivityModel::new(0.0, 3);
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::OrderOnly,
+            1,
+        )
+        .unwrap();
+        let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn severity_ordering_is_deterministic() {
+        let (circuit, grid, routes, table) = dense_bus(10, 2560.0);
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
+                .unwrap();
+        let sens = SensitivityModel::new(1.0, 3);
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::OrderOnly,
+            1,
+        )
+        .unwrap();
+        let a = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        let b = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert_eq!(a.nets_by_severity(), b.nets_by_severity());
+        let sorted = a.nets_by_severity();
+        assert!(sorted.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn sink_lsk_scales_with_length() {
+        let (circuit, grid, routes, _) = dense_bus(6, 2560.0);
+        let sens = SensitivityModel::new(1.0, 3);
+        let tech = Technology::itrs_100nm();
+        let table = NoiseTable::calibrated(&tech);
+        let budgets =
+            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
+                .unwrap();
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::OrderOnly,
+            1,
+        )
+        .unwrap();
+        let net = circuit.net(0).unwrap();
+        let lsk = sink_lsk(&grid, routes.get(0).unwrap(), &sino, net, 0);
+        // Roughly: K ~ O(1) per region over a 2.5 mm run.
+        assert!(lsk > 500.0, "lsk {lsk}");
+    }
+}

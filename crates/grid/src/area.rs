@@ -1,0 +1,168 @@
+//! The paper's routing-area metric.
+//!
+//! Paper §4: "we calculate the routing area by the product of the maximum
+//! row and column lengths." When a region needs more tracks than its
+//! capacity (because of net segments and, after SINO, shields), the region
+//! must physically grow to host them: horizontal tracks stack along the
+//! region's height, vertical tracks along its width. The chip's maximum row
+//! length is the widest row after growth; the maximum column length is the
+//! tallest column. iSINO concentrates shields and blows these maxima up;
+//! GSINO spreads them (paper Table 3).
+
+use crate::region::RegionGrid;
+use crate::route::Dir;
+use crate::usage::TrackUsage;
+use serde::{Deserialize, Serialize};
+
+/// Resulting chip extents after track-overflow growth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingArea {
+    /// Maximum row length (chip width, µm).
+    pub width: f64,
+    /// Maximum column length (chip height, µm).
+    pub height: f64,
+}
+
+impl RoutingArea {
+    /// The routing area (µm²): `width × height`.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Relative increase of this area over a baseline.
+    pub fn overhead_vs(&self, baseline: &RoutingArea) -> f64 {
+        (self.area() - baseline.area()) / baseline.area()
+    }
+}
+
+/// Computes [`RoutingArea`] from per-region track usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaModel;
+
+impl AreaModel {
+    /// Evaluates the routing area of a usage snapshot on a grid.
+    ///
+    /// Overflowing horizontal tracks add `pitch / utilization` of height
+    /// each (the utilization factor mirrors how capacity was derived from
+    /// the tile extent); vertical overflow adds width likewise.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gsino_grid::{AreaModel, TrackUsage, Dir};
+    /// # use gsino_grid::{geom::{Point, Rect}, region::RegionGrid, tech::Technology};
+    /// # fn main() -> Result<(), gsino_grid::GridError> {
+    /// # let die = Rect::new(Point::new(0.0, 0.0), Point::new(128.0, 128.0))?;
+    /// # let grid = RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0)?;
+    /// let mut usage = TrackUsage::new(&grid);
+    /// let base = AreaModel.evaluate(&grid, &usage);
+    /// assert_eq!(base.area(), 128.0 * 128.0);
+    /// // Four horizontal tracks of overflow grow the chip height.
+    /// usage.add_nets(0, Dir::H, grid.hc() + 4);
+    /// let grown = AreaModel.evaluate(&grid, &usage);
+    /// assert!(grown.height > base.height);
+    /// assert_eq!(grown.width, base.width);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn evaluate(&self, grid: &RegionGrid, usage: &TrackUsage) -> RoutingArea {
+        let growth_per_track = grid.pitch() / grid.utilization();
+        // Row length: sum of region widths across a row; a region widens
+        // when its vertical tracks overflow.
+        let mut max_row = 0.0_f64;
+        for cy in 0..grid.ny() {
+            let mut row = 0.0;
+            for cx in 0..grid.nx() {
+                let r = grid.idx(cx, cy);
+                row += grid.tile_w()
+                    + usage.overflow(r, Dir::V) as f64 * growth_per_track;
+            }
+            max_row = max_row.max(row);
+        }
+        // Column length: sum of region heights down a column; a region grows
+        // taller when its horizontal tracks overflow.
+        let mut max_col = 0.0_f64;
+        for cx in 0..grid.nx() {
+            let mut col = 0.0;
+            for cy in 0..grid.ny() {
+                let r = grid.idx(cx, cy);
+                col += grid.tile_h()
+                    + usage.overflow(r, Dir::H) as f64 * growth_per_track;
+            }
+            max_col = max_col.max(col);
+        }
+        RoutingArea { width: max_row, height: max_col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::tech::Technology;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(192.0, 128.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    #[test]
+    fn no_overflow_recovers_die() {
+        let g = grid();
+        let area = AreaModel.evaluate(&g, &TrackUsage::new(&g));
+        assert_eq!(area.width, 192.0);
+        assert_eq!(area.height, 128.0);
+        assert_eq!(area.area(), 192.0 * 128.0);
+    }
+
+    #[test]
+    fn under_capacity_usage_is_free() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        u.add_nets(g.idx(0, 0), Dir::H, g.hc());
+        u.add_nets(g.idx(0, 0), Dir::V, g.vc());
+        let area = AreaModel.evaluate(&g, &u);
+        assert_eq!(area.area(), 192.0 * 128.0);
+    }
+
+    #[test]
+    fn horizontal_overflow_grows_height_only() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        u.add_nets(g.idx(1, 0), Dir::H, g.hc() + 2);
+        let area = AreaModel.evaluate(&g, &u);
+        assert_eq!(area.width, 192.0);
+        // 2 tracks * 1 µm pitch / 0.25 utilization = 8 µm of extra height.
+        assert!((area.height - 136.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_takes_the_max_over_rows_and_columns() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        // Vertical overflow in two regions of the SAME row accumulates into
+        // that row's length; a second region in another row does not add.
+        u.add_nets(g.idx(0, 0), Dir::V, g.vc() + 1);
+        u.add_nets(g.idx(1, 0), Dir::V, g.vc() + 1);
+        u.add_nets(g.idx(2, 1), Dir::V, g.vc() + 1);
+        let area = AreaModel.evaluate(&g, &u);
+        assert!((area.width - (192.0 + 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shields_count_toward_growth() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        u.add_nets(g.idx(0, 0), Dir::H, g.hc());
+        u.set_shields(g.idx(0, 0), Dir::H, 1);
+        let area = AreaModel.evaluate(&g, &u);
+        assert!(area.height > 128.0);
+    }
+
+    #[test]
+    fn overhead_vs_baseline() {
+        let base = RoutingArea { width: 100.0, height: 100.0 };
+        let grown = RoutingArea { width: 110.0, height: 100.0 };
+        assert!((grown.overhead_vs(&base) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Planar geometry in micrometres.
+
+use crate::{GridError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the die, in micrometres.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::geom::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (µm).
+    pub x: f64,
+    /// Y coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (rectilinear) distance to `other`, the paper's `Le`
+    /// source-to-sink estimate used in Phase I budgeting.
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle with strictly positive area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DegenerateRect`] if the rectangle has
+    /// non-positive width or height.
+    pub fn new(a: Point, b: Point) -> Result<Self> {
+        let lo = Point::new(a.x.min(b.x), a.y.min(b.y));
+        let hi = Point::new(a.x.max(b.x), a.y.max(b.y));
+        if hi.x - lo.x <= 0.0 || hi.y - lo.y <= 0.0 {
+            return Err(GridError::DegenerateRect { corners: (a.x, a.y, b.x, b.y) });
+        }
+        Ok(Rect { lo, hi })
+    }
+
+    /// The lower-left corner.
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// The upper-right corner.
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width (µm).
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (µm).
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area (µm²).
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Whether `p` lies inside the rectangle (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Smallest rectangle containing a set of points. The rectangle is
+    /// inflated by `eps` on degenerate axes so it is always valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DegenerateRect`] for an empty point set.
+    pub fn bounding(points: &[Point], eps: f64) -> Result<Self> {
+        if points.is_empty() {
+            return Err(GridError::DegenerateRect { corners: (0.0, 0.0, 0.0, 0.0) });
+        }
+        let mut lo = points[0];
+        let mut hi = points[0];
+        for p in points {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        if hi.x - lo.x <= 0.0 {
+            hi.x += eps.max(f64::EPSILON);
+        }
+        if hi.y - lo.y <= 0.0 {
+            hi.y += eps.max(f64::EPSILON);
+        }
+        Rect::new(lo, hi)
+    }
+
+    /// Half-perimeter of the rectangle: the HPWL lower bound for nets whose
+    /// pins it bounds.
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Point::new(1.0, 1.0).manhattan(Point::new(4.0, 5.0)), 7.0);
+        assert_eq!(Point::new(4.0, 5.0).manhattan(Point::new(1.0, 1.0)), 7.0);
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(Point::new(5.0, 6.0), Point::new(1.0, 2.0)).unwrap();
+        assert_eq!(r.lo(), Point::new(1.0, 2.0));
+        assert_eq!(r.hi(), Point::new(5.0, 6.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 16.0);
+        assert_eq!(r.half_perimeter(), 8.0);
+    }
+
+    #[test]
+    fn degenerate_rect_rejected() {
+        assert!(Rect::new(Point::new(0.0, 0.0), Point::new(0.0, 1.0)).is_err());
+        assert!(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [Point::new(1.0, 5.0), Point::new(3.0, 2.0), Point::new(2.0, 8.0)];
+        let r = Rect::bounding(&pts, 0.1).unwrap();
+        assert_eq!(r.lo(), Point::new(1.0, 2.0));
+        assert_eq!(r.hi(), Point::new(3.0, 8.0));
+    }
+
+    #[test]
+    fn bounding_inflates_degenerate_axis() {
+        let pts = [Point::new(1.0, 1.0), Point::new(1.0, 4.0)];
+        let r = Rect::bounding(&pts, 0.5).unwrap();
+        assert!(r.width() > 0.0);
+        assert_eq!(r.height(), 3.0);
+    }
+
+    #[test]
+    fn bounding_empty_rejected() {
+        assert!(Rect::bounding(&[], 0.1).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Routing-region substrate for the GSINO reproduction.
+//!
+//! The paper (§2.1) routes global interconnect over the cell area on a pair
+//! of routing layers divided by the pre-routed power/ground grid into
+//! rectangular *routing regions*; each region offers a number of horizontal
+//! and vertical *tracks*, and a track holds either a net segment or a
+//! shield. This crate provides that world:
+//!
+//! * [`geom`] — points, rectangles and Manhattan distance in micrometres;
+//! * [`tech`] — ITRS 0.10 µm technology parameters (Vdd = 1.05 V, 3 GHz);
+//! * [`net`] — pins, nets and circuits, with validation;
+//! * [`region`] — the region grid and point→region mapping;
+//! * [`route`] — region-level routing trees and per-region wire lengths;
+//! * [`usage`] — track utilization, density and overflow per region;
+//! * [`area`] — the paper's routing-area metric (max row × max column);
+//! * [`sensitivity`] — the random sensitivity-rate model of §4.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_grid::geom::{Point, Rect};
+//! use gsino_grid::net::{Circuit, Net};
+//! use gsino_grid::region::RegionGrid;
+//! use gsino_grid::tech::Technology;
+//!
+//! # fn main() -> Result<(), gsino_grid::GridError> {
+//! let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0))?;
+//! let net = Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 600.0));
+//! let circuit = Circuit::new("demo", die, vec![net])?;
+//! let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0)?;
+//! assert_eq!(grid.nx(), 10);
+//! assert_eq!(grid.ny(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod area;
+pub mod geom;
+pub mod net;
+pub mod region;
+pub mod route;
+pub mod sensitivity;
+pub mod tech;
+pub mod usage;
+
+pub use area::{AreaModel, RoutingArea};
+pub use geom::{Point, Rect};
+pub use net::{Circuit, Net, NetId, Pin};
+pub use region::{RegionGrid, RegionIdx};
+pub use route::{Dir, GridEdge, RouteSet, RouteTree};
+pub use sensitivity::SensitivityModel;
+pub use tech::Technology;
+pub use usage::TrackUsage;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating the routing substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// A rectangle with non-positive extent.
+    DegenerateRect {
+        /// Offending corner coordinates, (x0, y0, x1, y1).
+        corners: (f64, f64, f64, f64),
+    },
+    /// A net with no pins.
+    EmptyNet {
+        /// Net id.
+        net: u32,
+    },
+    /// A pin outside the die boundary.
+    PinOutsideDie {
+        /// Net id.
+        net: u32,
+        /// Pin location.
+        at: (f64, f64),
+    },
+    /// A circuit with no nets.
+    EmptyCircuit,
+    /// Invalid grid construction parameters.
+    BadTile {
+        /// Requested tile size in µm.
+        tile: f64,
+    },
+    /// A route edge between non-adjacent regions.
+    NonAdjacentEdge {
+        /// The two region indices.
+        edge: (u32, u32),
+    },
+    /// A route that is not a connected tree over its pin regions.
+    DisconnectedRoute {
+        /// Net id.
+        net: u32,
+    },
+    /// A duplicate route for the same net was inserted into a [`RouteSet`].
+    DuplicateRoute {
+        /// Net id.
+        net: u32,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::DegenerateRect { corners } => {
+                write!(f, "degenerate rectangle {corners:?}")
+            }
+            GridError::EmptyNet { net } => write!(f, "net {net} has no pins"),
+            GridError::PinOutsideDie { net, at } => {
+                write!(f, "net {net} has a pin outside the die at {at:?}")
+            }
+            GridError::EmptyCircuit => write!(f, "circuit contains no nets"),
+            GridError::BadTile { tile } => write!(f, "invalid tile size {tile} um"),
+            GridError::NonAdjacentEdge { edge } => {
+                write!(f, "route edge {edge:?} joins non-adjacent regions")
+            }
+            GridError::DisconnectedRoute { net } => {
+                write!(f, "route of net {net} is not a connected tree")
+            }
+            GridError::DuplicateRoute { net } => {
+                write!(f, "net {net} already has a route")
+            }
+        }
+    }
+}
+
+impl Error for GridError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = GridError> = std::result::Result<T, E>;

@@ -1,0 +1,241 @@
+//! Signal nets and circuits.
+//!
+//! A net `Nᵢ` has pins `(pᵢ₀, pᵢ₁, …)` where `pᵢ₀` is the source and the
+//! rest are sinks (paper §2.1). A [`Circuit`] is the routed universe: a die
+//! outline plus the set of signal nets (P/G is implicit in the region grid).
+
+use crate::geom::{Point, Rect};
+use crate::{GridError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a signal net: its index in the circuit's net list.
+pub type NetId = u32;
+
+/// A pin location. The first pin of a net is its source/driver.
+pub type Pin = Point;
+
+/// A signal net: one source pin followed by zero or more sink pins.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::net::Net;
+/// use gsino_grid::geom::Point;
+///
+/// let net = Net::new(7, vec![Point::new(0.0, 0.0), Point::new(10.0, 5.0)]);
+/// assert_eq!(net.id(), 7);
+/// assert_eq!(net.sinks().len(), 1);
+/// assert_eq!(net.hpwl(), 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    id: NetId,
+    pins: Vec<Pin>,
+}
+
+impl Net {
+    /// Creates a net from its pin list (source first).
+    pub fn new(id: NetId, pins: Vec<Pin>) -> Self {
+        Net { id, pins }
+    }
+
+    /// Convenience constructor for the common two-pin net.
+    pub fn two_pin(id: NetId, source: Pin, sink: Pin) -> Self {
+        Net { id, pins: vec![source, sink] }
+    }
+
+    /// The net id.
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// All pins, source first.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// The source pin `pᵢ₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net has no pins; [`Circuit::new`] rejects such nets.
+    pub fn source(&self) -> Pin {
+        self.pins[0]
+    }
+
+    /// The sink pins `pᵢⱼ, j > 0`.
+    pub fn sinks(&self) -> &[Pin] {
+        &self.pins[1..]
+    }
+
+    /// Number of pins.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Half-perimeter wire length of the pin bounding box (µm); 0 for a
+    /// single-pin net.
+    pub fn hpwl(&self) -> f64 {
+        if self.pins.len() < 2 {
+            return 0.0;
+        }
+        let mut lo = self.pins[0];
+        let mut hi = self.pins[0];
+        for p in &self.pins {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        (hi.x - lo.x) + (hi.y - lo.y)
+    }
+
+    /// Validates the net against a die outline.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::EmptyNet`] if there are no pins.
+    /// * [`GridError::PinOutsideDie`] if any pin lies outside `die`.
+    pub fn validate(&self, die: &Rect) -> Result<()> {
+        if self.pins.is_empty() {
+            return Err(GridError::EmptyNet { net: self.id });
+        }
+        for p in &self.pins {
+            if !die.contains(*p) {
+                return Err(GridError::PinOutsideDie { net: self.id, at: (p.x, p.y) });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A circuit: die outline and signal nets, validated on construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    die: Rect,
+    nets: Vec<Net>,
+}
+
+impl Circuit {
+    /// Creates a circuit, validating every net.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::EmptyCircuit`] if `nets` is empty.
+    /// * Any error from [`Net::validate`].
+    pub fn new(name: impl Into<String>, die: Rect, nets: Vec<Net>) -> Result<Self> {
+        if nets.is_empty() {
+            return Err(GridError::EmptyCircuit);
+        }
+        for n in &nets {
+            n.validate(&die)?;
+        }
+        Ok(Circuit { name: name.into(), die, nets })
+    }
+
+    /// The circuit's name (e.g. `"ibm01"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The die outline.
+    pub fn die(&self) -> &Rect {
+        &self.die
+    }
+
+    /// The signal nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Number of signal nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Looks up a net by id.
+    pub fn net(&self, id: NetId) -> Option<&Net> {
+        self.nets.get(id as usize).filter(|n| n.id() == id).or_else(|| {
+            // Ids normally equal indices; fall back to scanning if a caller
+            // constructed nets with arbitrary ids.
+            self.nets.iter().find(|n| n.id() == id)
+        })
+    }
+
+    /// Mean HPWL over all nets (µm) — a quick placement-quality metric used
+    /// by the benchmark-generator calibration.
+    pub fn mean_hpwl(&self) -> f64 {
+        if self.nets.is_empty() {
+            return 0.0;
+        }
+        self.nets.iter().map(Net::hpwl).sum::<f64>() / self.nets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap()
+    }
+
+    #[test]
+    fn hpwl_multi_pin() {
+        let n = Net::new(
+            0,
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 20.0), Point::new(5.0, 30.0)],
+        );
+        assert_eq!(n.hpwl(), 40.0);
+    }
+
+    #[test]
+    fn hpwl_single_pin_is_zero() {
+        assert_eq!(Net::new(0, vec![Point::new(1.0, 1.0)]).hpwl(), 0.0);
+    }
+
+    #[test]
+    fn source_and_sinks() {
+        let n = Net::two_pin(3, Point::new(1.0, 2.0), Point::new(3.0, 4.0));
+        assert_eq!(n.source(), Point::new(1.0, 2.0));
+        assert_eq!(n.sinks(), &[Point::new(3.0, 4.0)]);
+        assert_eq!(n.degree(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_outside() {
+        let d = die();
+        assert!(matches!(
+            Net::new(0, vec![]).validate(&d),
+            Err(GridError::EmptyNet { net: 0 })
+        ));
+        assert!(matches!(
+            Net::new(1, vec![Point::new(200.0, 0.0)]).validate(&d),
+            Err(GridError::PinOutsideDie { net: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn circuit_validates_on_construction() {
+        let d = die();
+        let good = Net::two_pin(0, Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        let c = Circuit::new("t", d, vec![good.clone()]).unwrap();
+        assert_eq!(c.num_nets(), 1);
+        assert_eq!(c.net(0).unwrap(), &good);
+        assert!(Circuit::new("t", d, vec![]).is_err());
+        let bad = Net::two_pin(0, Point::new(0.0, 0.0), Point::new(500.0, 0.0));
+        assert!(Circuit::new("t", d, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn mean_hpwl() {
+        let d = die();
+        let nets = vec![
+            Net::two_pin(0, Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+            Net::two_pin(1, Point::new(0.0, 0.0), Point::new(0.0, 30.0)),
+        ];
+        let c = Circuit::new("t", d, nets).unwrap();
+        assert_eq!(c.mean_hpwl(), 20.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! The routing-region grid.
+//!
+//! The P/G grid divides the die into `nx × ny` rectangular regions. A track
+//! within a region is either a net segment or a shield; there is no coupling
+//! across region boundaries because the P/G wires between regions are wide
+//! (paper §2.1). Capacities are uniform and derived from the tile size and
+//! technology ([`Technology::tracks_for`]).
+
+use crate::geom::{Point, Rect};
+use crate::net::Circuit;
+use crate::tech::Technology;
+use crate::{GridError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Linear index of a region: `cy * nx + cx`.
+pub type RegionIdx = u32;
+
+/// An `nx × ny` grid of routing regions over a die.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::geom::{Point, Rect};
+/// use gsino_grid::region::RegionGrid;
+/// use gsino_grid::tech::Technology;
+///
+/// # fn main() -> Result<(), gsino_grid::GridError> {
+/// let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 192.0))?;
+/// let grid = RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0)?;
+/// assert_eq!((grid.nx(), grid.ny()), (5, 3));
+/// let r = grid.region_of(Point::new(100.0, 100.0));
+/// assert_eq!(grid.coords(r), (1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionGrid {
+    die: Rect,
+    tile_w: f64,
+    tile_h: f64,
+    nx: u32,
+    ny: u32,
+    hc: u32,
+    vc: u32,
+    pitch: f64,
+    utilization: f64,
+}
+
+impl RegionGrid {
+    /// Builds the grid for a circuit's die with a nominal tile size (µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadTile`] if `tile` is not positive and finite,
+    /// or if it yields zero-capacity regions.
+    pub fn new(circuit: &Circuit, tech: &Technology, tile: f64) -> Result<Self> {
+        Self::from_die(*circuit.die(), tech, tile)
+    }
+
+    /// Builds the grid directly from a die outline.
+    ///
+    /// The die is split into `ceil(extent / tile)` regions per axis and the
+    /// tile dimensions are stretched so the grid exactly covers the die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadTile`] if `tile` is not positive and finite,
+    /// or if it yields zero-capacity regions.
+    pub fn from_die(die: Rect, tech: &Technology, tile: f64) -> Result<Self> {
+        if !(tile.is_finite() && tile > 0.0) {
+            return Err(GridError::BadTile { tile });
+        }
+        let nx = (die.width() / tile).ceil().max(1.0) as u32;
+        let ny = (die.height() / tile).ceil().max(1.0) as u32;
+        let tile_w = die.width() / nx as f64;
+        let tile_h = die.height() / ny as f64;
+        // Horizontal tracks run the width of a region and stack along its
+        // height; their count is set by the tile height (and vice versa).
+        let hc = tech.tracks_for(tile_h);
+        let vc = tech.tracks_for(tile_w);
+        if hc == 0 || vc == 0 {
+            return Err(GridError::BadTile { tile });
+        }
+        Ok(RegionGrid {
+            die,
+            tile_w,
+            tile_h,
+            nx,
+            ny,
+            hc,
+            vc,
+            pitch: tech.pitch(),
+            utilization: tech.routing_utilization,
+        })
+    }
+
+    /// Number of region columns.
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of region rows.
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Total number of regions.
+    pub fn num_regions(&self) -> u32 {
+        self.nx * self.ny
+    }
+
+    /// Horizontal track capacity `HC(R)` (uniform across regions).
+    pub fn hc(&self) -> u32 {
+        self.hc
+    }
+
+    /// Vertical track capacity `VC(R)` (uniform across regions).
+    pub fn vc(&self) -> u32 {
+        self.vc
+    }
+
+    /// Region tile width (µm).
+    pub fn tile_w(&self) -> f64 {
+        self.tile_w
+    }
+
+    /// Region tile height (µm).
+    pub fn tile_h(&self) -> f64 {
+        self.tile_h
+    }
+
+    /// Track pitch (µm), cached from the construction technology.
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Routing-utilization fraction, cached from the construction technology.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// The die outline the grid covers.
+    pub fn die(&self) -> &Rect {
+        &self.die
+    }
+
+    /// Linear index of region `(cx, cy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn idx(&self, cx: u32, cy: u32) -> RegionIdx {
+        assert!(cx < self.nx && cy < self.ny, "region ({cx},{cy}) out of range");
+        cy * self.nx + cx
+    }
+
+    /// Grid coordinates of a linear region index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn coords(&self, r: RegionIdx) -> (u32, u32) {
+        assert!(r < self.num_regions(), "region index {r} out of range");
+        (r % self.nx, r / self.nx)
+    }
+
+    /// The region containing a point (boundary points map to the lower
+    /// region; the die's hi edge maps into the last row/column).
+    pub fn region_of(&self, p: Point) -> RegionIdx {
+        let cx = (((p.x - self.die.lo().x) / self.tile_w) as i64)
+            .clamp(0, self.nx as i64 - 1) as u32;
+        let cy = (((p.y - self.die.lo().y) / self.tile_h) as i64)
+            .clamp(0, self.ny as i64 - 1) as u32;
+        self.idx(cx, cy)
+    }
+
+    /// Geometric center of a region (µm).
+    pub fn center(&self, r: RegionIdx) -> Point {
+        let (cx, cy) = self.coords(r);
+        Point::new(
+            self.die.lo().x + (cx as f64 + 0.5) * self.tile_w,
+            self.die.lo().y + (cy as f64 + 0.5) * self.tile_h,
+        )
+    }
+
+    /// The rectangle covered by a region.
+    pub fn region_rect(&self, r: RegionIdx) -> Rect {
+        let (cx, cy) = self.coords(r);
+        let lo = Point::new(
+            self.die.lo().x + cx as f64 * self.tile_w,
+            self.die.lo().y + cy as f64 * self.tile_h,
+        );
+        let hi = Point::new(lo.x + self.tile_w, lo.y + self.tile_h);
+        Rect::new(lo, hi).expect("tiles have positive extent")
+    }
+
+    /// Whether two regions share an edge.
+    pub fn adjacent(&self, a: RegionIdx, b: RegionIdx) -> bool {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax == bx && ay.abs_diff(by) == 1) || (ay == by && ax.abs_diff(bx) == 1)
+    }
+
+    /// Up-to-four edge neighbours of a region.
+    pub fn neighbors(&self, r: RegionIdx) -> impl Iterator<Item = RegionIdx> + '_ {
+        let (cx, cy) = self.coords(r);
+        let candidates = [
+            (cx.wrapping_sub(1), cy),
+            (cx + 1, cy),
+            (cx, cy.wrapping_sub(1)),
+            (cx, cy + 1),
+        ];
+        candidates
+            .into_iter()
+            .filter(move |&(x, y)| x < self.nx && y < self.ny)
+            .map(move |(x, y)| self.idx(x, y))
+    }
+
+    /// Manhattan distance between region centers (µm).
+    pub fn center_distance(&self, a: RegionIdx, b: RegionIdx) -> f64 {
+        self.center(a).manhattan(self.center(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 192.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    #[test]
+    fn dimensions_cover_die() {
+        let g = grid();
+        assert_eq!((g.nx(), g.ny()), (5, 3));
+        assert_eq!(g.num_regions(), 15);
+        assert_eq!(g.tile_w(), 64.0);
+        assert_eq!(g.tile_h(), 64.0);
+    }
+
+    #[test]
+    fn capacity_from_technology() {
+        let g = grid();
+        // 64 µm * 0.25 utilization / 1 µm pitch = 16 tracks.
+        assert_eq!(g.hc(), 16);
+        assert_eq!(g.vc(), 16);
+    }
+
+    #[test]
+    fn idx_coords_roundtrip() {
+        let g = grid();
+        for r in 0..g.num_regions() {
+            let (cx, cy) = g.coords(r);
+            assert_eq!(g.idx(cx, cy), r);
+        }
+    }
+
+    #[test]
+    fn region_of_maps_boundaries() {
+        let g = grid();
+        assert_eq!(g.coords(g.region_of(Point::new(0.0, 0.0))), (0, 0));
+        assert_eq!(g.coords(g.region_of(Point::new(320.0, 192.0))), (4, 2));
+        assert_eq!(g.coords(g.region_of(Point::new(63.9, 64.1))), (0, 1));
+    }
+
+    #[test]
+    fn centers_are_inside_their_region() {
+        let g = grid();
+        for r in 0..g.num_regions() {
+            assert_eq!(g.region_of(g.center(r)), r);
+            assert!(g.region_rect(r).contains(g.center(r)));
+        }
+    }
+
+    #[test]
+    fn adjacency_and_neighbors() {
+        let g = grid();
+        let c = g.idx(1, 1);
+        let n: Vec<_> = g.neighbors(c).collect();
+        assert_eq!(n.len(), 4);
+        for r in n {
+            assert!(g.adjacent(c, r));
+            assert!(g.adjacent(r, c));
+        }
+        assert!(!g.adjacent(g.idx(0, 0), g.idx(1, 1)));
+        assert!(!g.adjacent(c, c));
+        // Corner has exactly two neighbours.
+        assert_eq!(g.neighbors(g.idx(0, 0)).count(), 2);
+    }
+
+    #[test]
+    fn center_distance_between_adjacent_is_tile() {
+        let g = grid();
+        assert_eq!(g.center_distance(g.idx(0, 0), g.idx(1, 0)), 64.0);
+        assert_eq!(g.center_distance(g.idx(0, 0), g.idx(0, 1)), 64.0);
+    }
+
+    #[test]
+    fn stretched_tiles_still_cover() {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        let g = RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap();
+        assert_eq!((g.nx(), g.ny()), (2, 2));
+        assert_eq!(g.tile_w(), 50.0);
+    }
+
+    #[test]
+    fn bad_tile_rejected() {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        let t = Technology::itrs_100nm();
+        assert!(RegionGrid::from_die(die, &t, 0.0).is_err());
+        assert!(RegionGrid::from_die(die, &t, f64::NAN).is_err());
+        // Tiles too small to hold a single track are rejected too.
+        assert!(RegionGrid::from_die(die, &t, 2.0).is_err());
+    }
+}

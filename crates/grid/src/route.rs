@@ -1,0 +1,501 @@
+//! Region-level routing trees.
+//!
+//! A global route for net `Nᵢ` is a tree over routing regions: its edges
+//! join adjacent regions. From the tree we derive everything the crosstalk
+//! models need — which regions the net crosses, in which direction (a
+//! horizontal edge consumes a horizontal track), the wire length `lⱼ` of the
+//! net inside each region (for the LSK sum of paper Eq. (1)), and the
+//! region path from the source to each sink (for budgeting).
+
+use crate::geom::Point;
+use crate::net::NetId;
+use crate::region::{RegionGrid, RegionIdx};
+use crate::{GridError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Routing direction of a track or edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Horizontal (east–west) — consumes horizontal tracks.
+    H,
+    /// Vertical (north–south) — consumes vertical tracks.
+    V,
+}
+
+impl Dir {
+    /// The other direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::H => Dir::V,
+            Dir::V => Dir::H,
+        }
+    }
+}
+
+/// An undirected edge between two adjacent regions, stored with `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridEdge {
+    a: RegionIdx,
+    b: RegionIdx,
+}
+
+impl GridEdge {
+    /// Creates a normalized edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::NonAdjacentEdge`] if the regions do not share an
+    /// edge in `grid` (this also rejects self-loops).
+    pub fn new(grid: &RegionGrid, a: RegionIdx, b: RegionIdx) -> Result<Self> {
+        if !grid.adjacent(a, b) {
+            return Err(GridError::NonAdjacentEdge { edge: (a, b) });
+        }
+        Ok(GridEdge { a: a.min(b), b: a.max(b) })
+    }
+
+    /// Lower region index.
+    pub fn a(&self) -> RegionIdx {
+        self.a
+    }
+
+    /// Higher region index.
+    pub fn b(&self) -> RegionIdx {
+        self.b
+    }
+
+    /// Direction of the edge: regions in the same row couple horizontally.
+    pub fn dir(&self, grid: &RegionGrid) -> Dir {
+        let (_, ay) = grid.coords(self.a);
+        let (_, by) = grid.coords(self.b);
+        if ay == by {
+            Dir::H
+        } else {
+            Dir::V
+        }
+    }
+
+    /// Wire length contributed by this edge (center-to-center, µm).
+    pub fn length(&self, grid: &RegionGrid) -> f64 {
+        match self.dir(grid) {
+            Dir::H => grid.tile_w(),
+            Dir::V => grid.tile_h(),
+        }
+    }
+}
+
+/// A routed net: a tree of region edges plus the root region that holds the
+/// source pin (needed for nets entirely inside one region).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteTree {
+    net: NetId,
+    root: RegionIdx,
+    edges: Vec<GridEdge>,
+    #[serde(skip)]
+    adjacency: HashMap<RegionIdx, Vec<RegionIdx>>,
+}
+
+impl RouteTree {
+    /// Builds a route, validating that the edges form a connected tree that
+    /// includes `root`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::NonAdjacentEdge`] via [`GridEdge::new`] if callers
+    ///   constructed raw edges (already-validated edges cannot fail this).
+    /// * [`GridError::DisconnectedRoute`] if the edges do not form a single
+    ///   connected component containing `root`, or contain a cycle.
+    pub fn new(
+        grid: &RegionGrid,
+        net: NetId,
+        root: RegionIdx,
+        mut edges: Vec<GridEdge>,
+    ) -> Result<Self> {
+        edges.sort_unstable();
+        edges.dedup();
+        let adjacency = build_adjacency(&edges);
+        // Connected & acyclic check: BFS from root must reach every region
+        // named by an edge, and |V| must equal |E| + 1 (or 0 edges).
+        let mut seen: HashMap<RegionIdx, ()> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(root, ());
+        queue.push_back(root);
+        while let Some(r) = queue.pop_front() {
+            if let Some(ns) = adjacency.get(&r) {
+                for &n in ns {
+                    if seen.insert(n, ()).is_none() {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        let vertex_count = adjacency.len().max(1);
+        if seen.len() != vertex_count || vertex_count != edges.len() + 1 {
+            // Either part of the tree is unreachable from the root or the
+            // edges contain a cycle.
+            let _ = grid;
+            return Err(GridError::DisconnectedRoute { net });
+        }
+        Ok(RouteTree { net, root, edges, adjacency })
+    }
+
+    /// A route that never leaves the root region (all pins in one region).
+    pub fn trivial(net: NetId, root: RegionIdx) -> Self {
+        RouteTree { net, root, edges: Vec::new(), adjacency: HashMap::new() }
+    }
+
+    /// The routed net's id.
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+
+    /// The root region (region of the source pin).
+    pub fn root(&self) -> RegionIdx {
+        self.root
+    }
+
+    /// The tree edges.
+    pub fn edges(&self) -> &[GridEdge] {
+        &self.edges
+    }
+
+    /// Every region the route touches (root included), ascending.
+    pub fn regions(&self) -> Vec<RegionIdx> {
+        let mut out: Vec<RegionIdx> = self.adjacency.keys().copied().collect();
+        if out.is_empty() {
+            out.push(self.root);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the route occupies a track of direction `dir` in region `r`.
+    pub fn occupies(&self, grid: &RegionGrid, r: RegionIdx, dir: Dir) -> bool {
+        self.edges.iter().any(|e| (e.a() == r || e.b() == r) && e.dir(grid) == dir)
+    }
+
+    /// Wire length of the route (µm): sum of center-to-center edge lengths.
+    /// A trivial route reports 0; callers add intra-region pin length.
+    pub fn wirelength(&self, grid: &RegionGrid) -> f64 {
+        self.edges.iter().map(|e| e.length(grid)).sum()
+    }
+
+    /// Length of this net inside region `r`, split by direction
+    /// (half a tile per incident edge) — the `lⱼ` of LSK Eq. (1).
+    pub fn length_in_region(&self, grid: &RegionGrid, r: RegionIdx) -> (f64, f64) {
+        let mut h = 0.0;
+        let mut v = 0.0;
+        for e in &self.edges {
+            if e.a() == r || e.b() == r {
+                match e.dir(grid) {
+                    Dir::H => h += grid.tile_w() / 2.0,
+                    Dir::V => v += grid.tile_h() / 2.0,
+                }
+            }
+        }
+        (h, v)
+    }
+
+    /// Region path between two regions on the tree (inclusive of both ends),
+    /// or `None` if either region is not on the tree.
+    pub fn path(&self, from: RegionIdx, to: RegionIdx) -> Option<Vec<RegionIdx>> {
+        let on_tree =
+            |r: RegionIdx| r == self.root || self.adjacency.contains_key(&r);
+        if !on_tree(from) || !on_tree(to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<RegionIdx, RegionIdx> = HashMap::new();
+        let mut queue = VecDeque::new();
+        prev.insert(from, from);
+        queue.push_back(from);
+        while let Some(r) = queue.pop_front() {
+            if r == to {
+                break;
+            }
+            if let Some(ns) = self.adjacency.get(&r) {
+                for &n in ns {
+                    if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(n) {
+                        e.insert(r);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        if !prev.contains_key(&to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[&cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Rebuilds the adjacency cache; used after deserialization.
+    pub fn rebuild_adjacency(&mut self) {
+        self.adjacency = build_adjacency(&self.edges);
+    }
+}
+
+fn build_adjacency(edges: &[GridEdge]) -> HashMap<RegionIdx, Vec<RegionIdx>> {
+    let mut adjacency: HashMap<RegionIdx, Vec<RegionIdx>> = HashMap::new();
+    for e in edges {
+        adjacency.entry(e.a()).or_default().push(e.b());
+        adjacency.entry(e.b()).or_default().push(e.a());
+    }
+    adjacency
+}
+
+/// The complete routing solution: one tree per net.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteSet {
+    routes: Vec<Option<RouteTree>>,
+}
+
+impl RouteSet {
+    /// Creates an empty route set sized for `num_nets` nets.
+    pub fn with_capacity(num_nets: usize) -> Self {
+        RouteSet { routes: vec![None; num_nets] }
+    }
+
+    /// Inserts a route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DuplicateRoute`] if the net already has one.
+    pub fn insert(&mut self, route: RouteTree) -> Result<()> {
+        let id = route.net() as usize;
+        if id >= self.routes.len() {
+            self.routes.resize(id + 1, None);
+        }
+        if self.routes[id].is_some() {
+            return Err(GridError::DuplicateRoute { net: route.net() });
+        }
+        self.routes[id] = Some(route);
+        Ok(())
+    }
+
+    /// Replaces (or inserts) a route, returning the previous one if any.
+    pub fn replace(&mut self, route: RouteTree) -> Option<RouteTree> {
+        let id = route.net() as usize;
+        if id >= self.routes.len() {
+            self.routes.resize(id + 1, None);
+        }
+        self.routes[id].replace(route)
+    }
+
+    /// The route of a net, if routed.
+    pub fn get(&self, net: NetId) -> Option<&RouteTree> {
+        self.routes.get(net as usize).and_then(Option::as_ref)
+    }
+
+    /// Iterates over all routed nets.
+    pub fn iter(&self) -> impl Iterator<Item = &RouteTree> {
+        self.routes.iter().filter_map(Option::as_ref)
+    }
+
+    /// Number of routed nets.
+    pub fn len(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether no nets are routed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total wire length over all routes (µm), edges only.
+    pub fn total_wirelength(&self, grid: &RegionGrid) -> f64 {
+        self.iter().map(|r| r.wirelength(grid)).sum()
+    }
+}
+
+impl FromIterator<RouteTree> for RouteSet {
+    fn from_iter<I: IntoIterator<Item = RouteTree>>(iter: I) -> Self {
+        let mut set = RouteSet::default();
+        for r in iter {
+            set.replace(r);
+        }
+        set
+    }
+}
+
+/// Computes the point-to-point Manhattan length `Le` between a source and a
+/// sink (paper §3.1), exposed as a free function for budgeting code.
+pub fn manhattan_le(source: Point, sink: Point) -> f64 {
+    source.manhattan(sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::tech::Technology;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 320.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    fn edge(g: &RegionGrid, a: (u32, u32), b: (u32, u32)) -> GridEdge {
+        GridEdge::new(g, g.idx(a.0, a.1), g.idx(b.0, b.1)).unwrap()
+    }
+
+    /// An L-shaped route: (0,0) → (2,0) → (2,2).
+    fn l_route(g: &RegionGrid) -> RouteTree {
+        let edges = vec![
+            edge(g, (0, 0), (1, 0)),
+            edge(g, (1, 0), (2, 0)),
+            edge(g, (2, 0), (2, 1)),
+            edge(g, (2, 1), (2, 2)),
+        ];
+        RouteTree::new(g, 0, g.idx(0, 0), edges).unwrap()
+    }
+
+    #[test]
+    fn edge_normalization_and_dir() {
+        let g = grid();
+        let e = GridEdge::new(&g, g.idx(1, 0), g.idx(0, 0)).unwrap();
+        assert!(e.a() < e.b());
+        assert_eq!(e.dir(&g), Dir::H);
+        let e = edge(&g, (0, 0), (0, 1));
+        assert_eq!(e.dir(&g), Dir::V);
+        assert_eq!(e.length(&g), 64.0);
+    }
+
+    #[test]
+    fn non_adjacent_edge_rejected() {
+        let g = grid();
+        assert!(GridEdge::new(&g, g.idx(0, 0), g.idx(2, 0)).is_err());
+        assert!(GridEdge::new(&g, g.idx(0, 0), g.idx(0, 0)).is_err());
+        assert!(GridEdge::new(&g, g.idx(0, 0), g.idx(1, 1)).is_err());
+    }
+
+    #[test]
+    fn route_regions_and_wirelength() {
+        let g = grid();
+        let r = l_route(&g);
+        assert_eq!(r.regions().len(), 5);
+        assert_eq!(r.wirelength(&g), 4.0 * 64.0);
+    }
+
+    #[test]
+    fn occupies_by_direction() {
+        let g = grid();
+        let r = l_route(&g);
+        assert!(r.occupies(&g, g.idx(1, 0), Dir::H));
+        assert!(!r.occupies(&g, g.idx(1, 0), Dir::V));
+        // Corner region has both.
+        assert!(r.occupies(&g, g.idx(2, 0), Dir::H));
+        assert!(r.occupies(&g, g.idx(2, 0), Dir::V));
+    }
+
+    #[test]
+    fn length_in_region_half_tile_per_incident_edge() {
+        let g = grid();
+        let r = l_route(&g);
+        // Pass-through region (1,0): two H edges → full tile.
+        assert_eq!(r.length_in_region(&g, g.idx(1, 0)), (64.0, 0.0));
+        // End region (0,0): one H edge → half tile.
+        assert_eq!(r.length_in_region(&g, g.idx(0, 0)), (32.0, 0.0));
+        // Corner: one H + one V.
+        assert_eq!(r.length_in_region(&g, g.idx(2, 0)), (32.0, 32.0));
+        // Sum over regions equals wirelength.
+        let total: f64 = r
+            .regions()
+            .iter()
+            .map(|&q| {
+                let (h, v) = r.length_in_region(&g, q);
+                h + v
+            })
+            .sum();
+        assert_eq!(total, r.wirelength(&g));
+    }
+
+    #[test]
+    fn path_follows_tree() {
+        let g = grid();
+        let r = l_route(&g);
+        let p = r.path(g.idx(0, 0), g.idx(2, 2)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], g.idx(0, 0));
+        assert_eq!(p[4], g.idx(2, 2));
+        // Path endpoints not on the tree → None.
+        assert!(r.path(g.idx(0, 0), g.idx(4, 4)).is_none());
+        // Same-region path.
+        assert_eq!(r.path(g.idx(1, 0), g.idx(1, 0)).unwrap(), vec![g.idx(1, 0)]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let g = grid();
+        let edges = vec![
+            edge(&g, (0, 0), (1, 0)),
+            edge(&g, (1, 0), (1, 1)),
+            edge(&g, (1, 1), (0, 1)),
+            edge(&g, (0, 1), (0, 0)),
+        ];
+        assert!(matches!(
+            RouteTree::new(&g, 0, g.idx(0, 0), edges),
+            Err(GridError::DisconnectedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_is_rejected() {
+        let g = grid();
+        let edges = vec![edge(&g, (0, 0), (1, 0)), edge(&g, (3, 3), (4, 3))];
+        assert!(matches!(
+            RouteTree::new(&g, 0, g.idx(0, 0), edges),
+            Err(GridError::DisconnectedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn root_not_on_edges_is_rejected() {
+        let g = grid();
+        let edges = vec![edge(&g, (1, 0), (2, 0))];
+        assert!(RouteTree::new(&g, 0, g.idx(4, 4), edges).is_err());
+    }
+
+    #[test]
+    fn trivial_route() {
+        let g = grid();
+        let r = RouteTree::trivial(9, g.idx(2, 2));
+        assert_eq!(r.regions(), vec![g.idx(2, 2)]);
+        assert_eq!(r.wirelength(&g), 0.0);
+        assert_eq!(r.path(g.idx(2, 2), g.idx(2, 2)).unwrap(), vec![g.idx(2, 2)]);
+    }
+
+    #[test]
+    fn route_set_insert_and_duplicate() {
+        let g = grid();
+        let mut set = RouteSet::with_capacity(2);
+        set.insert(RouteTree::trivial(0, g.idx(0, 0))).unwrap();
+        assert!(matches!(
+            set.insert(RouteTree::trivial(0, g.idx(0, 0))),
+            Err(GridError::DuplicateRoute { net: 0 })
+        ));
+        assert_eq!(set.len(), 1);
+        assert!(set.get(0).is_some());
+        assert!(set.get(1).is_none());
+        set.replace(RouteTree::trivial(1, g.idx(1, 1)));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn route_set_total_wirelength() {
+        let g = grid();
+        let set: RouteSet = vec![l_route(&g), RouteTree::trivial(1, g.idx(0, 0))]
+            .into_iter()
+            .collect();
+        assert_eq!(set.total_wirelength(&g), 256.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The random sensitivity model of the paper's evaluation.
+//!
+//! Paper §4: "In the case of 30%, a signal net is sensitive to random 30%
+//! of other signal nets in the netlist." Sensitivity is symmetric (§2.1
+//! defines mutual sensitivity) and decided per unordered net pair. Storing
+//! an n² bit matrix for 34k nets is wasteful, so the relation is a
+//! deterministic hash of the pair and a seed — O(1) per query, zero
+//! storage, reproducible across runs.
+
+use crate::net::NetId;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric pseudo-random net-to-net sensitivity with a given rate.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::SensitivityModel;
+///
+/// let s = SensitivityModel::new(0.3, 42);
+/// // Symmetric and irreflexive.
+/// assert_eq!(s.is_sensitive(3, 9), s.is_sensitive(9, 3));
+/// assert!(!s.is_sensitive(5, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityModel {
+    rate: f64,
+    seed: u64,
+}
+
+impl SensitivityModel {
+    /// Creates a model with sensitivity `rate` in `[0, 1]` and an RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "sensitivity rate {rate} outside [0, 1]");
+        SensitivityModel { rate, seed }
+    }
+
+    /// The configured sensitivity rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether nets `a` and `b` are sensitive to each other.
+    pub fn is_sensitive(&self, a: NetId, b: NetId) -> bool {
+        if a == b {
+            return false;
+        }
+        let lo = a.min(b) as u64;
+        let hi = a.max(b) as u64;
+        let h = splitmix64(self.seed ^ (lo << 32 | hi));
+        // 53-bit mantissa → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.rate
+    }
+
+    /// The local sensitivity `Sᵢ` of `net` within a group of co-located
+    /// nets: the fraction of the *other* group members sensitive to it
+    /// (the `Sᵢ` of the paper's Formula (3)).
+    pub fn local_sensitivity(&self, net: NetId, group: &[NetId]) -> f64 {
+        let others = group.iter().filter(|&&g| g != net).count();
+        if others == 0 {
+            return 0.0;
+        }
+        let sensitive = group
+            .iter()
+            .filter(|&&g| g != net && self.is_sensitive(net, g))
+            .count();
+        sensitive as f64 / others as f64
+    }
+
+    /// Measured global sensitivity rate of `net` against `total` nets —
+    /// used in tests to confirm the hash honours the configured rate.
+    pub fn measured_rate(&self, net: NetId, total: NetId) -> f64 {
+        if total <= 1 {
+            return 0.0;
+        }
+        let count = (0..total).filter(|&j| self.is_sensitive(net, j)).count();
+        count as f64 / (total - 1) as f64
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_irreflexive() {
+        let s = SensitivityModel::new(0.5, 7);
+        for a in 0..50u32 {
+            assert!(!s.is_sensitive(a, a));
+            for b in 0..50u32 {
+                assert_eq!(s.is_sensitive(a, b), s.is_sensitive(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_and_one() {
+        let s0 = SensitivityModel::new(0.0, 1);
+        let s1 = SensitivityModel::new(1.0, 1);
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                assert!(!s0.is_sensitive(a, b));
+                if a != b {
+                    assert!(s1.is_sensitive(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_close_to_configured() {
+        let s = SensitivityModel::new(0.3, 12345);
+        let rate = s.measured_rate(0, 5000);
+        assert!((rate - 0.3).abs() < 0.03, "measured {rate}");
+        let s = SensitivityModel::new(0.5, 999);
+        let rate = s.measured_rate(17, 5000);
+        assert!((rate - 0.5).abs() < 0.03, "measured {rate}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SensitivityModel::new(0.5, 1);
+        let b = SensitivityModel::new(0.5, 2);
+        let disagreements = (0..200u32)
+            .filter(|&i| a.is_sensitive(i, i + 1) != b.is_sensitive(i, i + 1))
+            .count();
+        assert!(disagreements > 20);
+    }
+
+    #[test]
+    fn local_sensitivity_counts_group_members() {
+        let s = SensitivityModel::new(1.0, 3);
+        // Rate 1: everything is mutually sensitive, so S_i = 1 in any group.
+        assert_eq!(s.local_sensitivity(0, &[0, 1, 2, 3]), 1.0);
+        // Singleton and absent-self groups.
+        assert_eq!(s.local_sensitivity(0, &[0]), 0.0);
+        assert_eq!(s.local_sensitivity(9, &[1, 2]), s.local_sensitivity(9, &[2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_rate_panics() {
+        let _ = SensitivityModel::new(1.5, 0);
+    }
+}

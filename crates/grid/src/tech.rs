@@ -1,0 +1,181 @@
+//! Technology parameters.
+//!
+//! The paper evaluates at the ITRS 0.10 µm node (Vdd = 1.05 V) with a 3 GHz
+//! clock and assumes uniform drivers, receivers and wire geometry for all
+//! global interconnects (§2.1–2.2). [`Technology::itrs_100nm`] is that
+//! operating point; the fields are consumed consistently by the RLC
+//! simulator (extraction), the SINO track model (pitch) and the area model
+//! (track pitch and utilization).
+
+use serde::{Deserialize, Serialize};
+
+/// Process/operating parameters shared by every model in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::tech::Technology;
+///
+/// let t = Technology::itrs_100nm();
+/// assert_eq!(t.vdd, 1.05);
+/// assert!((t.rise_time - 33.3e-12).abs() < 1e-12);
+/// assert!(t.wire_res_per_um > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Supply voltage (V). ITRS 1999, 0.10 µm node: 1.05 V.
+    pub vdd: f64,
+    /// Clock frequency (Hz); the paper evaluates at 3 GHz.
+    pub clock_hz: f64,
+    /// Input ramp rise time (s); 10% of the clock period.
+    pub rise_time: f64,
+    /// Global wire width (µm).
+    pub wire_width: f64,
+    /// Global wire spacing (µm).
+    pub wire_spacing: f64,
+    /// Global wire thickness (µm).
+    pub wire_thickness: f64,
+    /// Wire resistance per micrometre (Ω/µm).
+    pub wire_res_per_um: f64,
+    /// Ground capacitance per micrometre (F/µm).
+    pub wire_cap_gnd_per_um: f64,
+    /// Coupling capacitance to one adjacent wire per micrometre (F/µm).
+    pub wire_cap_couple_per_um: f64,
+    /// Uniform driver output resistance (Ω).
+    pub driver_res: f64,
+    /// Uniform receiver load capacitance (F).
+    pub load_cap: f64,
+    /// Fraction of a region's span usable as routing tracks on one layer of
+    /// the layer pair (the rest is P/G, vias and blockage).
+    pub routing_utilization: f64,
+}
+
+impl Technology {
+    /// The paper's operating point: ITRS 1999 roadmap, 0.10 µm node, 3 GHz.
+    ///
+    /// Wire RC values follow from copper resistivity (ρ ≈ 2.0 µΩ·cm,
+    /// including barrier/temperature derating) over a 0.5 × 1.0 µm global
+    /// wire cross-section, and typical global-layer capacitances of
+    /// ~0.22 fF/µm split between ground and two neighbours.
+    pub fn itrs_100nm() -> Self {
+        let clock_hz = 3.0e9;
+        Technology {
+            vdd: 1.05,
+            clock_hz,
+            rise_time: 0.1 / clock_hz,
+            wire_width: 0.5,
+            wire_spacing: 0.5,
+            wire_thickness: 1.0,
+            wire_res_per_um: 0.04,
+            wire_cap_gnd_per_um: 0.06e-15,
+            wire_cap_couple_per_um: 0.08e-15,
+            driver_res: 60.0,
+            load_cap: 20.0e-15,
+            routing_utilization: 0.25,
+        }
+    }
+
+    /// The 0.13 µm node: slower clock, wider/laxer global wiring. Used by
+    /// the `motivation` bench to reproduce the paper's §1 claim that
+    /// crosstalk becomes increasingly critical as technology advances.
+    pub fn itrs_130nm() -> Self {
+        let clock_hz = 1.6e9;
+        Technology {
+            vdd: 1.3,
+            clock_hz,
+            rise_time: 0.1 / clock_hz,
+            wire_width: 0.7,
+            wire_spacing: 0.7,
+            wire_thickness: 1.2,
+            wire_res_per_um: 0.025,
+            wire_cap_gnd_per_um: 0.07e-15,
+            wire_cap_couple_per_um: 0.075e-15,
+            driver_res: 80.0,
+            load_cap: 25.0e-15,
+            routing_utilization: 0.25,
+        }
+    }
+
+    /// The 0.18 µm node: the oldest point of the sweep.
+    pub fn itrs_180nm() -> Self {
+        let clock_hz = 1.0e9;
+        Technology {
+            vdd: 1.8,
+            clock_hz,
+            rise_time: 0.1 / clock_hz,
+            wire_width: 1.0,
+            wire_spacing: 1.0,
+            wire_thickness: 1.5,
+            wire_res_per_um: 0.015,
+            wire_cap_gnd_per_um: 0.08e-15,
+            wire_cap_couple_per_um: 0.07e-15,
+            driver_res: 100.0,
+            load_cap: 30.0e-15,
+            routing_utilization: 0.25,
+        }
+    }
+
+    /// Track pitch (µm): wire width plus spacing.
+    pub fn pitch(&self) -> f64 {
+        self.wire_width + self.wire_spacing
+    }
+
+    /// Clock period (s).
+    pub fn period(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Number of routing tracks a span of `extent` µm supports.
+    pub fn tracks_for(&self, extent: f64) -> u32 {
+        ((extent * self.routing_utilization) / self.pitch()).floor().max(0.0) as u32
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::itrs_100nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_itrs() {
+        assert_eq!(Technology::default(), Technology::itrs_100nm());
+    }
+
+    #[test]
+    fn pitch_and_period() {
+        let t = Technology::itrs_100nm();
+        assert_eq!(t.pitch(), 1.0);
+        assert!((t.period() - 1.0 / 3.0e9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn tracks_scale_with_extent() {
+        let t = Technology::itrs_100nm();
+        assert_eq!(t.tracks_for(64.0), 16);
+        assert_eq!(t.tracks_for(128.0), 32);
+        assert_eq!(t.tracks_for(0.0), 0);
+    }
+
+    #[test]
+    fn rise_time_is_tenth_of_period() {
+        let t = Technology::itrs_100nm();
+        assert!((t.rise_time * t.clock_hz - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_order_sensibly() {
+        let n100 = Technology::itrs_100nm();
+        let n130 = Technology::itrs_130nm();
+        let n180 = Technology::itrs_180nm();
+        // Newer nodes: faster clocks, sharper edges, tighter pitch, lower Vdd.
+        assert!(n100.clock_hz > n130.clock_hz && n130.clock_hz > n180.clock_hz);
+        assert!(n100.rise_time < n130.rise_time);
+        assert!(n100.pitch() < n130.pitch() && n130.pitch() < n180.pitch());
+        assert!(n100.vdd < n130.vdd && n130.vdd < n180.vdd);
+    }
+}

@@ -1,0 +1,287 @@
+//! Track utilization, density and overflow.
+//!
+//! Paper §3.1: the horizontal utilization of a region is
+//! `HU(R) = Nns + Nss` — net segments plus shields — and the routing density
+//! is `HD(R) = HU(R)/HC(R)`; the relative overflow `HOFR(R)` is the number
+//! of overflowing segments over the capacity. [`TrackUsage`] tracks those
+//! quantities for every region and direction.
+
+use crate::region::{RegionGrid, RegionIdx};
+use crate::route::{Dir, RouteSet};
+use serde::{Deserialize, Serialize};
+
+/// Per-region, per-direction track bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::{Dir, TrackUsage};
+/// # use gsino_grid::{geom::{Point, Rect}, region::RegionGrid, tech::Technology};
+/// # fn main() -> Result<(), gsino_grid::GridError> {
+/// # let die = Rect::new(Point::new(0.0, 0.0), Point::new(128.0, 128.0))?;
+/// # let grid = RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0)?;
+/// let mut usage = TrackUsage::new(&grid);
+/// usage.add_nets(0, Dir::H, 10);
+/// usage.set_shields(0, Dir::H, 4);
+/// assert_eq!(usage.used(0, Dir::H), 14);
+/// assert!((usage.density(0, Dir::H) - 14.0 / 16.0).abs() < 1e-12);
+/// assert_eq!(usage.overflow(0, Dir::H), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackUsage {
+    hc: u32,
+    vc: u32,
+    h_nets: Vec<u32>,
+    v_nets: Vec<u32>,
+    h_shields: Vec<u32>,
+    v_shields: Vec<u32>,
+}
+
+impl TrackUsage {
+    /// Creates empty usage for every region of `grid`.
+    pub fn new(grid: &RegionGrid) -> Self {
+        let n = grid.num_regions() as usize;
+        TrackUsage {
+            hc: grid.hc(),
+            vc: grid.vc(),
+            h_nets: vec![0; n],
+            v_nets: vec![0; n],
+            h_shields: vec![0; n],
+            v_shields: vec![0; n],
+        }
+    }
+
+    /// Builds usage from a complete routing solution (net segments only;
+    /// shields are added afterwards by the SINO phase).
+    pub fn from_routes(grid: &RegionGrid, routes: &RouteSet) -> Self {
+        let mut usage = TrackUsage::new(grid);
+        for route in routes.iter() {
+            for r in route.regions() {
+                if route.occupies(grid, r, Dir::H) {
+                    usage.h_nets[r as usize] += 1;
+                }
+                if route.occupies(grid, r, Dir::V) {
+                    usage.v_nets[r as usize] += 1;
+                }
+            }
+        }
+        usage
+    }
+
+    /// Number of regions tracked.
+    pub fn num_regions(&self) -> usize {
+        self.h_nets.len()
+    }
+
+    /// Adds `n` net segments in `dir` at region `r`.
+    pub fn add_nets(&mut self, r: RegionIdx, dir: Dir, n: u32) {
+        match dir {
+            Dir::H => self.h_nets[r as usize] += n,
+            Dir::V => self.v_nets[r as usize] += n,
+        }
+    }
+
+    /// Net-segment count `Nns` in `dir` at region `r`.
+    pub fn nets(&self, r: RegionIdx, dir: Dir) -> u32 {
+        match dir {
+            Dir::H => self.h_nets[r as usize],
+            Dir::V => self.v_nets[r as usize],
+        }
+    }
+
+    /// Sets the shield count `Nss` in `dir` at region `r`.
+    pub fn set_shields(&mut self, r: RegionIdx, dir: Dir, n: u32) {
+        match dir {
+            Dir::H => self.h_shields[r as usize] = n,
+            Dir::V => self.v_shields[r as usize] = n,
+        }
+    }
+
+    /// Shield count `Nss` in `dir` at region `r`.
+    pub fn shields(&self, r: RegionIdx, dir: Dir) -> u32 {
+        match dir {
+            Dir::H => self.h_shields[r as usize],
+            Dir::V => self.v_shields[r as usize],
+        }
+    }
+
+    /// Utilization `HU = Nns + Nss` (or `VU`) at region `r`.
+    pub fn used(&self, r: RegionIdx, dir: Dir) -> u32 {
+        self.nets(r, dir) + self.shields(r, dir)
+    }
+
+    /// Capacity in `dir`.
+    pub fn capacity(&self, dir: Dir) -> u32 {
+        match dir {
+            Dir::H => self.hc,
+            Dir::V => self.vc,
+        }
+    }
+
+    /// Routing density `HD = HU/HC` (or vertical analogue).
+    pub fn density(&self, r: RegionIdx, dir: Dir) -> f64 {
+        self.used(r, dir) as f64 / self.capacity(dir).max(1) as f64
+    }
+
+    /// Overflowing track count `max(0, HU − HC)`.
+    pub fn overflow(&self, r: RegionIdx, dir: Dir) -> u32 {
+        self.used(r, dir).saturating_sub(self.capacity(dir))
+    }
+
+    /// Relative overflow `HOFR = overflow / capacity`.
+    pub fn relative_overflow(&self, r: RegionIdx, dir: Dir) -> f64 {
+        self.overflow(r, dir) as f64 / self.capacity(dir).max(1) as f64
+    }
+
+    /// Combined congestion of a region: the max of its H and V densities.
+    /// Used by Phase III to pick the most/least congested regions.
+    pub fn congestion(&self, r: RegionIdx) -> f64 {
+        self.density(r, Dir::H).max(self.density(r, Dir::V))
+    }
+
+    /// Total overflow across all regions and directions.
+    pub fn total_overflow(&self) -> u64 {
+        let mut t = 0u64;
+        for r in 0..self.num_regions() as u32 {
+            t += self.overflow(r, Dir::H) as u64 + self.overflow(r, Dir::V) as u64;
+        }
+        t
+    }
+
+    /// Total shield count across all regions and directions — the shielding
+    /// area of a solution, in tracks.
+    pub fn total_shields(&self) -> u64 {
+        self.h_shields.iter().map(|&s| s as u64).sum::<u64>()
+            + self.v_shields.iter().map(|&s| s as u64).sum::<u64>()
+    }
+
+    /// Renders an ASCII congestion map of one direction: rows from the top
+    /// of the die down, one glyph per region —
+    /// `.` <25%, `-` <50%, `+` <75%, `*` <100%, `#` overflowing.
+    pub fn ascii_map(&self, grid: &RegionGrid, dir: Dir) -> String {
+        let mut out = String::with_capacity(
+            ((grid.nx() + 1) * grid.ny()) as usize,
+        );
+        for cy in (0..grid.ny()).rev() {
+            for cx in 0..grid.nx() {
+                let d = self.density(grid.idx(cx, cy), dir);
+                out.push(match d {
+                    d if d < 0.25 => '.',
+                    d if d < 0.50 => '-',
+                    d if d < 0.75 => '+',
+                    d if d <= 1.00 => '*',
+                    _ => '#',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The region with the highest combined congestion.
+    pub fn most_congested(&self) -> RegionIdx {
+        let mut best = 0u32;
+        let mut best_c = -1.0;
+        for r in 0..self.num_regions() as u32 {
+            let c = self.congestion(r);
+            if c > best_c {
+                best_c = c;
+                best = r;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::route::{GridEdge, RouteTree};
+    use crate::tech::Technology;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(192.0, 192.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    #[test]
+    fn from_routes_counts_presence_not_edges() {
+        let g = grid();
+        // Straight horizontal route across the top row.
+        let edges = vec![
+            GridEdge::new(&g, g.idx(0, 0), g.idx(1, 0)).unwrap(),
+            GridEdge::new(&g, g.idx(1, 0), g.idx(2, 0)).unwrap(),
+        ];
+        let route = RouteTree::new(&g, 0, g.idx(0, 0), edges).unwrap();
+        let routes: RouteSet = vec![route].into_iter().collect();
+        let usage = TrackUsage::from_routes(&g, &routes);
+        // Each of the three regions hosts exactly one horizontal segment,
+        // even the pass-through one with two incident edges.
+        for cx in 0..3 {
+            assert_eq!(usage.nets(g.idx(cx, 0), Dir::H), 1);
+            assert_eq!(usage.nets(g.idx(cx, 0), Dir::V), 0);
+        }
+    }
+
+    #[test]
+    fn density_overflow_and_totals() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        let r = g.idx(1, 1);
+        u.add_nets(r, Dir::H, 20);
+        assert_eq!(u.capacity(Dir::H), 16);
+        assert_eq!(u.overflow(r, Dir::H), 4);
+        assert!((u.relative_overflow(r, Dir::H) - 0.25).abs() < 1e-12);
+        assert_eq!(u.total_overflow(), 4);
+        u.set_shields(r, Dir::H, 3);
+        assert_eq!(u.used(r, Dir::H), 23);
+        assert_eq!(u.total_shields(), 3);
+    }
+
+    #[test]
+    fn congestion_picks_max_direction() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        let r = g.idx(0, 0);
+        u.add_nets(r, Dir::H, 4);
+        u.add_nets(r, Dir::V, 8);
+        assert!((u.congestion(r) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_congested_region() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        u.add_nets(g.idx(2, 2), Dir::V, 12);
+        u.add_nets(g.idx(0, 1), Dir::H, 5);
+        assert_eq!(u.most_congested(), g.idx(2, 2));
+    }
+
+    #[test]
+    fn ascii_map_shape_and_glyphs() {
+        let g = grid();
+        let mut u = TrackUsage::new(&g);
+        u.add_nets(g.idx(0, 0), Dir::H, 20); // overflow
+        u.add_nets(g.idx(1, 0), Dir::H, 10); // ~63%
+        let map = u.ascii_map(&g, Dir::H);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), g.ny() as usize);
+        assert!(lines.iter().all(|l| l.len() == g.nx() as usize));
+        // Bottom row (printed last) holds the hot regions.
+        let bottom = lines[g.ny() as usize - 1];
+        assert!(bottom.starts_with("#+"), "bottom row {bottom:?}");
+        assert!(map.contains('.'));
+    }
+
+    #[test]
+    fn trivial_routes_consume_nothing() {
+        let g = grid();
+        let routes: RouteSet = vec![RouteTree::trivial(0, g.idx(0, 0))].into_iter().collect();
+        let u = TrackUsage::from_routes(&g, &routes);
+        assert_eq!(u.total_overflow(), 0);
+        assert_eq!(u.nets(g.idx(0, 0), Dir::H), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! From SINO layouts to simulator block specs.
+//!
+//! The noise table is built by simulating SINO solutions (paper §2.2). The
+//! simulator sees one *block* at a time — the victim's maximal run of
+//! signal wires between shields — because coupling across shields is what
+//! shielding suppresses. Sensitive same-block wires become simultaneously
+//! switching aggressors (the LSK model's worst case); insensitive ones are
+//! quiet; bounding shields are included so their return paths are modelled.
+
+use crate::{LskError, Result};
+use gsino_rlc::coupled::{BlockSpec, WireRole};
+use gsino_sino::instance::SinoInstance;
+use gsino_sino::layout::{Layout, Slot};
+use gsino_grid::tech::Technology;
+
+/// Builds the [`BlockSpec`] simulating the noise seen by `victim` (a
+/// segment index of `instance`) in `layout`, for a run of `length_um`.
+///
+/// Returns `None` if the victim is alone in its block (nothing couples).
+///
+/// # Errors
+///
+/// * [`LskError::BadDistance`] for a non-positive length.
+/// * Block-construction errors from the simulator are propagated.
+///
+/// # Panics
+///
+/// Panics if `victim` is not placed in `layout` — validate layouts against
+/// their instance first.
+pub fn victim_block_spec(
+    instance: &SinoInstance,
+    layout: &Layout,
+    victim: usize,
+    length_um: f64,
+    tech: &Technology,
+) -> Result<Option<BlockSpec>> {
+    if !(length_um.is_finite() && length_um > 0.0) {
+        return Err(LskError::BadDistance { le: length_um });
+    }
+    let pos = layout.position_of(victim).expect("victim segment must be placed");
+    let slots = layout.slots();
+    // Find the victim's block bounds.
+    let mut start = pos;
+    while start > 0 && matches!(slots[start - 1], Slot::Signal(_)) {
+        start -= 1;
+    }
+    let mut end = pos;
+    while end + 1 < slots.len() && matches!(slots[end + 1], Slot::Signal(_)) {
+        end += 1;
+    }
+    if start == end {
+        return Ok(None);
+    }
+    let mut wires = Vec::new();
+    // Leading shield, if the block is bounded by one.
+    if start > 0 {
+        wires.push(WireRole::Shield);
+    }
+    for slot in &slots[start..=end] {
+        match slot {
+            Slot::Signal(seg) if *seg == victim => wires.push(WireRole::Victim),
+            Slot::Signal(seg) => {
+                if instance.is_sensitive(victim, *seg) {
+                    wires.push(WireRole::AggressorRising);
+                } else {
+                    wires.push(WireRole::Quiet);
+                }
+            }
+            Slot::Shield => unreachable!("block interior contains no shields"),
+        }
+    }
+    if end + 1 < slots.len() {
+        wires.push(WireRole::Shield);
+    }
+    Ok(Some(BlockSpec::new(wires, length_um, tech)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_sino::instance::SegmentSpec;
+    use gsino_grid::SensitivityModel;
+
+    fn inst(n: usize, rate: f64) -> SinoInstance {
+        let segs = (0..n).map(|i| SegmentSpec { net: i as u32, kth: 1.0 }).collect();
+        SinoInstance::from_model(segs, &SensitivityModel::new(rate, 9)).unwrap()
+    }
+
+    #[test]
+    fn lone_victim_yields_none() {
+        let inst = inst(2, 1.0);
+        let mut layout = Layout::from_order(&[0, 1]);
+        layout.insert_shield(1);
+        let spec =
+            victim_block_spec(&inst, &layout, 0, 500.0, &Technology::itrs_100nm()).unwrap();
+        assert!(spec.is_none());
+    }
+
+    #[test]
+    fn sensitive_neighbors_become_aggressors() {
+        let inst = inst(3, 1.0);
+        let layout = Layout::from_order(&[0, 1, 2]);
+        let spec = victim_block_spec(&inst, &layout, 1, 500.0, &Technology::itrs_100nm())
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            spec.wires(),
+            &[WireRole::AggressorRising, WireRole::Victim, WireRole::AggressorRising]
+        );
+    }
+
+    #[test]
+    fn insensitive_neighbors_are_quiet() {
+        let inst = inst(3, 0.0);
+        let layout = Layout::from_order(&[0, 1, 2]);
+        let spec = victim_block_spec(&inst, &layout, 1, 500.0, &Technology::itrs_100nm())
+            .unwrap()
+            .unwrap();
+        assert_eq!(spec.wires(), &[WireRole::Quiet, WireRole::Victim, WireRole::Quiet]);
+    }
+
+    #[test]
+    fn bounding_shields_included() {
+        let inst = inst(4, 1.0);
+        // shield | 0 1 | shield | 2 3.
+        let mut layout = Layout::from_order(&[0, 1, 2, 3]);
+        layout.insert_shield(2);
+        layout.insert_shield(0);
+        let spec = victim_block_spec(&inst, &layout, 0, 500.0, &Technology::itrs_100nm())
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            spec.wires(),
+            &[
+                WireRole::Shield,
+                WireRole::Victim,
+                WireRole::AggressorRising,
+                WireRole::Shield
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let inst = inst(2, 1.0);
+        let layout = Layout::from_order(&[0, 1]);
+        assert!(victim_block_spec(&inst, &layout, 0, 0.0, &Technology::itrs_100nm()).is_err());
+        assert!(
+            victim_block_spec(&inst, &layout, 0, f64::NAN, &Technology::itrs_100nm()).is_err()
+        );
+    }
+}

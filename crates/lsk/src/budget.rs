@@ -1,0 +1,104 @@
+//! Phase I crosstalk-budget partitioning (paper §3.1).
+//!
+//! The crosstalk voltage constraint at a sink maps through the noise table
+//! to an LSK bound. With the source-to-sink wire length approximated by the
+//! Manhattan distance `Le`, the uniform partition gives every segment on
+//! the source→sink path the coupling budget `Kth = LSK / Le`. Segments
+//! shared by several sinks take the minimum of the per-sink budgets.
+
+use crate::table::NoiseTable;
+use crate::{LskError, Result};
+
+/// The per-segment coupling budget for one sink: `Kth = LSK(vth) / Le`.
+///
+/// # Errors
+///
+/// * [`LskError::BadConstraint`] unless `0 < vth < Vdd`.
+/// * [`LskError::BadDistance`] unless `Le > 0`.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::Technology;
+/// use gsino_lsk::{kth_for_le, NoiseTable};
+///
+/// # fn main() -> Result<(), gsino_lsk::LskError> {
+/// let table = NoiseTable::calibrated(&Technology::itrs_100nm());
+/// let near = kth_for_le(&table, 0.15, 500.0)?;
+/// let far = kth_for_le(&table, 0.15, 2000.0)?;
+/// // Longer nets must budget a tighter per-region coupling.
+/// assert!(far < near);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kth_for_le(table: &NoiseTable, vth: f64, le: f64) -> Result<f64> {
+    if !(vth.is_finite() && vth > 0.0 && vth < table.vdd()) {
+        return Err(LskError::BadConstraint { vth });
+    }
+    if !(le.is_finite() && le > 0.0) {
+        return Err(LskError::BadDistance { le });
+    }
+    Ok(table.lsk_for_voltage(vth) / le)
+}
+
+/// Folds the shared-segment rule: the budget of a segment used by several
+/// sink paths is the minimum of the per-sink budgets.
+pub fn min_budget<I>(budgets: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    budgets
+        .into_iter()
+        .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.min(b))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::Technology;
+
+    fn table() -> NoiseTable {
+        NoiseTable::calibrated(&Technology::itrs_100nm())
+    }
+
+    #[test]
+    fn budget_scales_inversely_with_length() {
+        let t = table();
+        let k1 = kth_for_le(&t, 0.15, 1000.0).unwrap();
+        let k2 = kth_for_le(&t, 0.15, 2000.0).unwrap();
+        assert!((k1 / k2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_voltage_means_tighter_budget() {
+        let t = table();
+        let strict = kth_for_le(&t, 0.10, 1000.0).unwrap();
+        let loose = kth_for_le(&t, 0.20, 1000.0).unwrap();
+        assert!(strict < loose);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let t = table();
+        assert!(matches!(
+            kth_for_le(&t, 0.0, 1000.0),
+            Err(LskError::BadConstraint { .. })
+        ));
+        assert!(matches!(
+            kth_for_le(&t, 1.2, 1000.0),
+            Err(LskError::BadConstraint { .. })
+        ));
+        assert!(matches!(
+            kth_for_le(&t, 0.15, 0.0),
+            Err(LskError::BadDistance { .. })
+        ));
+        assert!(kth_for_le(&t, f64::NAN, 1000.0).is_err());
+    }
+
+    #[test]
+    fn min_budget_folds() {
+        assert_eq!(min_budget([]), None);
+        assert_eq!(min_budget([2.0]), Some(2.0));
+        assert_eq!(min_budget([2.0, 0.5, 1.0]), Some(0.5));
+    }
+}

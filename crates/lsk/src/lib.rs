@@ -1,0 +1,121 @@
+//! The length-scaled Keff (LSK) crosstalk model — paper §2.2.
+//!
+//! The LSK model is the paper's key modelling contribution: an extremely
+//! cheap estimate of long-range RLC crosstalk with *fidelity* (ranking
+//! agreement) against SPICE. For a net `Nᵢ` routed through regions `Rⱼ`
+//! with per-region coupling `Kᵢʲ` (from the SINO solution of each region)
+//! and in-region wire lengths `lⱼ`:
+//!
+//! ```text
+//! LSK = Σⱼ lⱼ · Kᵢʲ            (paper Eq. (1))
+//! ```
+//!
+//! The LSK value is then mapped to a crosstalk voltage through a 100-entry
+//! lookup table spanning 0.10–0.20 V (≈10–20% of Vdd = 1.05 V), built from
+//! circuit simulations of single-region SINO solutions at different wire
+//! lengths. This crate provides:
+//!
+//! * [`table`] — the [`NoiseTable`]: simulation-built or calibrated
+//!   closed-form, with forward (LSK→V) and inverse (V→LSK) lookup;
+//! * [`blockmap`] — the bridge from a SINO [`gsino_sino::Layout`] to the
+//!   [`gsino_rlc::BlockSpec`] the simulator consumes;
+//! * [`budget`] — Phase I's uniform crosstalk-budget partitioning
+//!   (`Kth = LSK / Le`, minimum over sinks on shared segments);
+//! * [`value`] — the LSK accumulation itself.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_grid::Technology;
+//! use gsino_lsk::{NoiseTable, value::lsk_value};
+//!
+//! let tech = Technology::itrs_100nm();
+//! let table = NoiseTable::calibrated(&tech);
+//! // A net with 600 µm at K = 0.5 and 400 µm at K = 1.5.
+//! let lsk = lsk_value([(600.0, 0.5), (400.0, 1.5)]);
+//! assert_eq!(lsk, 900.0);
+//! let v = table.voltage(lsk);
+//! assert!(v > 0.0 && v < 1.05);
+//! // The inverse is consistent.
+//! assert!((table.lsk_for_voltage(v) - lsk).abs() / lsk < 1e-6);
+//! ```
+
+pub mod blockmap;
+pub mod delay;
+pub mod budget;
+pub mod table;
+pub mod value;
+
+pub use blockmap::victim_block_spec;
+pub use budget::kth_for_le;
+pub use table::NoiseTable;
+pub use value::lsk_value;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by table construction and budgeting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LskError {
+    /// Table construction got too few usable samples.
+    TooFewSamples {
+        /// Samples available.
+        got: usize,
+    },
+    /// A voltage constraint outside the table's physical range.
+    BadConstraint {
+        /// The offending constraint (V).
+        vth: f64,
+    },
+    /// A non-positive source-sink distance in budgeting.
+    BadDistance {
+        /// The offending `Le` (µm).
+        le: f64,
+    },
+    /// Simulation failure while building the table.
+    Rlc(gsino_rlc::RlcError),
+    /// Numeric failure while building the table.
+    Numeric(gsino_numeric::NumericError),
+}
+
+impl fmt::Display for LskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LskError::TooFewSamples { got } => {
+                write!(f, "too few samples to build the noise table ({got})")
+            }
+            LskError::BadConstraint { vth } => {
+                write!(f, "crosstalk constraint {vth} V out of range")
+            }
+            LskError::BadDistance { le } => write!(f, "invalid source-sink distance {le}"),
+            LskError::Rlc(e) => write!(f, "simulation failure: {e}"),
+            LskError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl Error for LskError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LskError::Rlc(e) => Some(e),
+            LskError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gsino_rlc::RlcError> for LskError {
+    fn from(e: gsino_rlc::RlcError) -> Self {
+        LskError::Rlc(e)
+    }
+}
+
+impl From<gsino_numeric::NumericError> for LskError {
+    fn from(e: gsino_numeric::NumericError) -> Self {
+        LskError::Numeric(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = LskError> = std::result::Result<T, E>;

@@ -1,0 +1,41 @@
+//! LSK accumulation (paper Eq. (1)).
+
+/// Computes `LSK = Σⱼ lⱼ · Kⱼ` from `(length µm, coupling)` parts.
+///
+/// # Example
+///
+/// ```
+/// use gsino_lsk::value::lsk_value;
+///
+/// assert_eq!(lsk_value([(100.0, 1.0), (50.0, 2.0)]), 200.0);
+/// assert_eq!(lsk_value(std::iter::empty()), 0.0);
+/// ```
+pub fn lsk_value<I>(parts: I) -> f64
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    parts.into_iter().map(|(len, k)| len * k).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_products() {
+        assert_eq!(lsk_value([(10.0, 0.5)]), 5.0);
+        assert_eq!(lsk_value([(10.0, 0.5), (20.0, 0.25)]), 10.0);
+    }
+
+    #[test]
+    fn zero_coupling_contributes_nothing() {
+        assert_eq!(lsk_value([(1000.0, 0.0), (0.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn works_with_vec_and_iterator() {
+        let v = vec![(1.0, 1.0), (2.0, 2.0)];
+        assert_eq!(lsk_value(v.clone()), 5.0);
+        assert_eq!(lsk_value(v.into_iter().map(|(a, b)| (a * 2.0, b))), 10.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Piecewise-linear interpolation over a monotone table.
+//!
+//! The paper's LSK model is "a table with two columns, one for LSK and the
+//! other for the corresponding crosstalk voltage" (§2.2); budgeting needs the
+//! inverse direction (voltage → LSK). [`PiecewiseLinear`] provides both with
+//! clamped extrapolation at the ends.
+
+use crate::{NumericError, Result};
+
+/// A monotone piecewise-linear function `y = f(x)` with inverse lookup.
+///
+/// # Example
+///
+/// ```
+/// use gsino_numeric::PiecewiseLinear;
+///
+/// # fn main() -> Result<(), gsino_numeric::NumericError> {
+/// let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.inverse(25.0), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Builds the function from knot vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::EmptyInput`] if fewer than 2 knots.
+    /// * [`NumericError::DimensionMismatch`] if the vectors differ in length,
+    ///   if `xs` is not strictly increasing, or `ys` is not nondecreasing
+    ///   (the inverse would be ill-defined).
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.len() < 2 {
+            return Err(NumericError::EmptyInput { op: "PiecewiseLinear::new" });
+        }
+        if xs.len() != ys.len() {
+            return Err(NumericError::DimensionMismatch {
+                op: "PiecewiseLinear::new",
+                expected: format!("{} knots", xs.len()),
+                got: format!("{} knots", ys.len()),
+            });
+        }
+        if !xs.windows(2).all(|w| w[0] < w[1]) {
+            return Err(NumericError::DimensionMismatch {
+                op: "PiecewiseLinear::new",
+                expected: "strictly increasing x knots".to_string(),
+                got: "non-increasing x knots".to_string(),
+            });
+        }
+        if !ys.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(NumericError::DimensionMismatch {
+                op: "PiecewiseLinear::new",
+                expected: "nondecreasing y knots".to_string(),
+                got: "decreasing y knots".to_string(),
+            });
+        }
+        Ok(PiecewiseLinear { xs, ys })
+    }
+
+    /// The x knots.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y knots.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always false: construction requires at least two knots.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates `f(x)`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = match self.xs.partition_point(|&k| k <= x) {
+            0 => 1,
+            p => p,
+        };
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Evaluates the inverse `f⁻¹(y)`, clamping outside the range. On flat
+    /// segments the left edge is returned (the most conservative LSK bound
+    /// when inverting a noise table).
+    pub fn inverse(&self, y: f64) -> f64 {
+        let n = self.ys.len();
+        if y <= self.ys[0] {
+            return self.xs[0];
+        }
+        if y >= self.ys[n - 1] {
+            return self.xs[n - 1];
+        }
+        let i = match self.ys.partition_point(|&k| k < y) {
+            0 => 1,
+            p => p,
+        };
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        if y1 == y0 {
+            return x0;
+        }
+        x0 + (x1 - x0) * (y - y0) / (y1 - y0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![0.0, 1.0, 2.0, 4.0], vec![0.0, 2.0, 2.0, 8.0]).unwrap()
+    }
+
+    #[test]
+    fn eval_interior_and_knots() {
+        let f = table();
+        assert_eq!(f.eval(0.5), 1.0);
+        assert_eq!(f.eval(1.0), 2.0);
+        assert_eq!(f.eval(3.0), 5.0);
+    }
+
+    #[test]
+    fn eval_clamps() {
+        let f = table();
+        assert_eq!(f.eval(-1.0), 0.0);
+        assert_eq!(f.eval(10.0), 8.0);
+    }
+
+    #[test]
+    fn inverse_round_trips_on_strictly_increasing_parts() {
+        let f = table();
+        for &x in &[0.1, 0.9, 2.5, 3.9] {
+            let y = f.eval(x);
+            assert!((f.inverse(y) - x).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn inverse_flat_segment_returns_left_edge() {
+        let f = table();
+        assert_eq!(f.inverse(2.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_clamps() {
+        let f = table();
+        assert_eq!(f.inverse(-5.0), 0.0);
+        assert_eq!(f.inverse(100.0), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_knots() {
+        assert!(PiecewiseLinear::new(vec![0.0], vec![0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![1.0, 0.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Dense linear algebra and statistics for the GSINO reproduction.
+//!
+//! The coupled-RLC transient simulator needs a dense LU solver for its
+//! modified-nodal-analysis (MNA) systems, the shield-count estimator of the
+//! paper's Formula (3) needs linear least squares, and the LSK-model fidelity
+//! experiments need rank statistics. All of that lives here so the rest of
+//! the workspace stays free of ad-hoc numerics.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_numeric::{Matrix, LuFactors};
+//!
+//! # fn main() -> Result<(), gsino_numeric::NumericError> {
+//! // Solve a small linear system A x = b.
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuFactors::factor(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod interp;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod stats;
+
+pub use interp::PiecewiseLinear;
+pub use lstsq::{lstsq, polyfit};
+pub use lu::LuFactors;
+pub use matrix::Matrix;
+pub use stats::{isotonic_increasing, linear_fit, mean, pearson, spearman, variance, LinearFit};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numeric routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Matrix dimensions do not match the operation.
+    DimensionMismatch {
+        /// What the caller attempted.
+        op: &'static str,
+        /// Expected size description.
+        expected: String,
+        /// Observed size description.
+        got: String,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// The input collection is empty where data is required.
+    EmptyInput {
+        /// What the caller attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch { op, expected, got } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, got {got}")
+            }
+            NumericError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumericError::EmptyInput { op } => write!(f, "empty input to {op}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = NumericError> = std::result::Result<T, E>;

@@ -1,0 +1,153 @@
+//! Linear least squares via regularized normal equations.
+//!
+//! Used to fit the coefficients a₁..a₆ of the paper's Formula (3) (shield
+//! count as a function of net count and sensitivities) and to calibrate the
+//! analytic noise model against the transient simulator.
+
+use crate::{LuFactors, Matrix, NumericError, Result};
+
+/// Solves `min ‖A x − b‖₂` for a tall design matrix `A`.
+///
+/// A tiny Tikhonov ridge (`1e-12 · trace/n`) keeps nearly-collinear designs
+/// (such as Formula (3)'s correlated regressors) solvable; the perturbation
+/// is far below the noise floor of the fitted data.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] if `b.len() != A.rows()` or the
+///   system is under-determined (`rows < cols`).
+/// * [`NumericError::Singular`] if the normal equations are singular even
+///   after regularization.
+///
+/// # Example
+///
+/// ```
+/// use gsino_numeric::{lstsq, Matrix};
+///
+/// # fn main() -> Result<(), gsino_numeric::NumericError> {
+/// // Fit y = 2x + 1 from noisy-free samples.
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]])?;
+/// let x = lstsq(&a, &[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(NumericError::DimensionMismatch {
+            op: "lstsq",
+            expected: format!("rhs of length {}", a.rows()),
+            got: format!("rhs of length {}", b.len()),
+        });
+    }
+    if a.rows() < a.cols() {
+        return Err(NumericError::DimensionMismatch {
+            op: "lstsq",
+            expected: "rows >= cols".to_string(),
+            got: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    let n = ata.rows();
+    let mut trace = 0.0;
+    for i in 0..n {
+        trace += ata[(i, i)];
+    }
+    let ridge = 1e-12 * (trace / n as f64).max(1.0);
+    for i in 0..n {
+        ata[(i, i)] += ridge;
+    }
+    let atb = at.matvec(b)?;
+    let lu = LuFactors::factor(&ata)?;
+    lu.solve(&atb)
+}
+
+/// Fits a polynomial of the given `degree` to `(x, y)` samples, returning
+/// coefficients lowest-order first (`c[0] + c[1] x + …`).
+///
+/// # Errors
+///
+/// Same conditions as [`lstsq`]; additionally [`NumericError::EmptyInput`]
+/// when no samples are given and [`NumericError::DimensionMismatch`] when
+/// `x` and `y` differ in length.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>> {
+    if x.is_empty() {
+        return Err(NumericError::EmptyInput { op: "polyfit" });
+    }
+    if x.len() != y.len() {
+        return Err(NumericError::DimensionMismatch {
+            op: "polyfit",
+            expected: format!("{} samples", x.len()),
+            got: format!("{} samples", y.len()),
+        });
+    }
+    let cols = degree + 1;
+    let mut data = Vec::with_capacity(x.len() * cols);
+    for &xv in x {
+        let mut p = 1.0;
+        for _ in 0..cols {
+            data.push(p);
+            p *= xv;
+        }
+    }
+    let a = Matrix::from_vec(x.len(), cols, data)?;
+    lstsq(&a, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_fit() {
+        let c = polyfit(&[0.0, 1.0, 2.0, 3.0], &[1.0, 3.0, 5.0, 7.0], 1).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-9);
+        assert!((c[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fit() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x * x - 2.0 * x + 3.0).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-7);
+        assert!((c[1] + 2.0).abs() < 1e-7);
+        assert!((c[2] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_is_stable() {
+        // y = 4x with alternating ±0.1 noise; the fit should land near 4.
+        let xs: Vec<f64> = (1..=40).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 4.0 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let c = polyfit(&xs, &ys, 1).unwrap();
+        assert!(c[1] > 3.9 && c[1] < 4.1, "slope {}", c[1]);
+    }
+
+    #[test]
+    fn underdetermined_is_rejected() {
+        let a = Matrix::zeros(1, 2);
+        assert!(lstsq(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_rhs_is_rejected() {
+        let a = Matrix::zeros(3, 2);
+        assert!(lstsq(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_polyfit_is_rejected() {
+        assert!(matches!(polyfit(&[], &[], 1), Err(NumericError::EmptyInput { .. })));
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        assert!(polyfit(&[1.0], &[1.0, 2.0], 0).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! A small dense row-major matrix.
+//!
+//! Sized for the workloads in this workspace: MNA systems of a few hundred
+//! unknowns and least-squares normal equations with a handful of columns.
+
+use crate::{NumericError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use gsino_numeric::Matrix;
+///
+/// # fn main() -> Result<(), gsino_numeric::NumericError> {
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::EmptyInput`] for an empty row list and
+    /// [`NumericError::DimensionMismatch`] if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let first = rows.first().ok_or(NumericError::EmptyInput { op: "Matrix::from_rows" })?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(NumericError::DimensionMismatch {
+                    op: "Matrix::from_rows",
+                    expected: format!("{cols} columns"),
+                    got: format!("{} columns", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericError::DimensionMismatch {
+                op: "Matrix::from_vec",
+                expected: format!("{} elements", rows * cols),
+                got: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Adds `v` to entry `(r, c)` — the natural operation for MNA stamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        self[(r, c)] += v;
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix × matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(NumericError::DimensionMismatch {
+                op: "Matrix::matmul",
+                expected: format!("rhs with {} rows", self.cols),
+                got: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix × vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `v.len() != cols`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                op: "Matrix::matvec",
+                expected: format!("vector of length {}", self.cols),
+                got: format!("vector of length {}", v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute entry (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Scales every entry in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Element-wise `self + s * rhs`, used to form MNA companion matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on shape mismatch.
+    pub fn add_scaled(&self, rhs: &Matrix, s: f64) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(NumericError::DimensionMismatch {
+                op: "Matrix::add_scaled",
+                expected: format!("{}x{}", self.rows, self.cols),
+                got: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o += s * r;
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.5e}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(2, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let e = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert!(matches!(e, NumericError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        let e = Matrix::from_rows(&[]).unwrap_err();
+        assert!(matches!(e, NumericError::EmptyInput { .. }));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known_answer() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matvec_known_answer() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_len() {
+        let a = Matrix::zeros(2, 2);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = a.add_scaled(&b, 2.0).unwrap();
+        assert_eq!(c[(0, 0)], 3.0);
+        c.scale(0.5);
+        assert_eq!(c[(1, 1)], 1.5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", Matrix::identity(2));
+        assert!(s.contains("1.00000e0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(1, 1);
+        let _ = a[(1, 0)];
+    }
+}

@@ -1,0 +1,291 @@
+//! Descriptive statistics, correlation and monotone regression.
+//!
+//! The LSK-model fidelity experiment (paper §2.2 / tech report) ranks nets by
+//! modelled coupling and by simulated noise and checks the ranks agree —
+//! that is [`spearman`]. The LSK→voltage table must be monotone before it can
+//! be inverted for budgeting — that is [`isotonic_increasing`].
+
+use crate::{NumericError, Result};
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson product-moment correlation.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] if the slices differ in length.
+/// * [`NumericError::EmptyInput`] if fewer than 2 samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::DimensionMismatch {
+            op: "pearson",
+            expected: format!("{} samples", xs.len()),
+            got: format!("{} samples", ys.len()),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(NumericError::EmptyInput { op: "pearson" });
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        // A constant sequence has no defined correlation; report 0 so that
+        // fidelity experiments treat it as "no evidence" rather than failing.
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson correlation of the rank vectors).
+///
+/// # Errors
+///
+/// Propagates the conditions of [`pearson`].
+///
+/// # Example
+///
+/// ```
+/// use gsino_numeric::spearman;
+///
+/// # fn main() -> Result<(), gsino_numeric::NumericError> {
+/// // A monotone (but nonlinear) relationship ranks perfectly.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::DimensionMismatch {
+            op: "spearman",
+            expected: format!("{} samples", xs.len()),
+            got: format!("{} samples", ys.len()),
+        });
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r2: f64,
+}
+
+/// Ordinary least-squares line fit, with R².
+///
+/// The paper's empirical observation that "noise voltage is roughly a
+/// linearly increasing function of the wire length" is validated with this.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] if the slices differ in length.
+/// * [`NumericError::EmptyInput`] if fewer than 2 samples.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::DimensionMismatch {
+            op: "linear_fit",
+            expected: format!("{} samples", xs.len()),
+            got: format!("{} samples", ys.len()),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(NumericError::EmptyInput { op: "linear_fit" });
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let f = slope * x + intercept;
+        ss_res += (y - f) * (y - f);
+        ss_tot += (y - my) * (y - my);
+    }
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Ok(LinearFit { slope, intercept, r2 })
+}
+
+/// Pool-adjacent-violators (PAVA) isotonic regression: returns the
+/// monotone-nondecreasing sequence closest (least squares) to `ys`.
+///
+/// Used to force the simulated LSK→voltage samples into a proper monotone
+/// lookup table before inversion.
+pub fn isotonic_increasing(ys: &[f64]) -> Vec<f64> {
+    // Each block holds (sum, count); merging blocks keeps the running mean.
+    let mut sums: Vec<f64> = Vec::with_capacity(ys.len());
+    let mut counts: Vec<usize> = Vec::with_capacity(ys.len());
+    for &y in ys {
+        sums.push(y);
+        counts.push(1);
+        while sums.len() > 1 {
+            let n = sums.len();
+            let last_mean = sums[n - 1] / counts[n - 1] as f64;
+            let prev_mean = sums[n - 2] / counts[n - 2] as f64;
+            if prev_mean <= last_mean {
+                break;
+            }
+            let s = sums.pop().expect("nonempty");
+            let c = counts.pop().expect("nonempty");
+            sums[n - 2] += s;
+            counts[n - 2] += c;
+        }
+    }
+    let mut out = Vec::with_capacity(ys.len());
+    for (s, c) in sums.iter().zip(&counts) {
+        let m = s / *c as f64;
+        for _ in 0..*c {
+            out.push(m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_anticorrelation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[0.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.1, 0.2, 10.0, 11.0, 1000.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 6.0, 7.0];
+        let r = spearman(&x, &y).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 10.0, 20.0]), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn linear_fit_exact() {
+        let f = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r2_drops_with_noise() {
+        let f = linear_fit(&[0.0, 1.0, 2.0, 3.0], &[0.0, 5.0, 1.0, 6.0]).unwrap();
+        assert!(f.r2 < 0.9);
+    }
+
+    #[test]
+    fn isotonic_already_monotone_is_identity() {
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(isotonic_increasing(&ys), ys.to_vec());
+    }
+
+    #[test]
+    fn isotonic_pools_violators() {
+        let out = isotonic_increasing(&[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(out, vec![1.0, 2.5, 2.5, 4.0]);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn isotonic_all_decreasing_becomes_flat() {
+        let out = isotonic_increasing(&[3.0, 2.0, 1.0]);
+        assert!(out.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn errors_on_mismatched_lengths() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

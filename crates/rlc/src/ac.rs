@@ -1,0 +1,220 @@
+//! AC (frequency-domain) analysis.
+//!
+//! Solves the phasor system `(G + jωC)·x = b` over a frequency sweep —
+//! the `.AC` analysis of the SPICE workflow the paper's models are
+//! calibrated against. Complex arithmetic is avoided by the standard real
+//! embedding: with `x = xr + j·xi` and a real source vector `b`,
+//!
+//! ```text
+//! [ G   −ωC ] [xr]   [b]
+//! [ ωC    G ] [xi] = [0]
+//! ```
+//!
+//! which reuses the crate's real LU solver unchanged. The victim transfer
+//! function over frequency exposes the inductive resonance that makes
+//! multi-GHz crosstalk "RLC" rather than "RC" — the paper's core premise.
+
+use crate::mna::MnaSystem;
+use crate::netlist::Netlist;
+use crate::{Result, RlcError};
+use gsino_numeric::{LuFactors, Matrix};
+
+/// One frequency point of a transfer function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcPoint {
+    /// Frequency (Hz).
+    pub freq: f64,
+    /// Magnitude of the probed node voltage per volt of source.
+    pub magnitude: f64,
+    /// Phase (radians).
+    pub phase: f64,
+}
+
+/// Runs an AC sweep of a netlist: every voltage source becomes a unit
+/// phasor, and the probed node's complex response is recorded per
+/// frequency.
+///
+/// # Errors
+///
+/// * [`RlcError::BadProbe`] for a probe outside the netlist.
+/// * [`RlcError::BadTimeStep`] if `freqs` is empty or non-positive.
+/// * [`RlcError::Numeric`] if the embedded system is singular at some
+///   frequency (e.g. an undamped ideal resonance).
+///
+/// # Example
+///
+/// ```
+/// use gsino_rlc::ac::ac_sweep;
+/// use gsino_rlc::netlist::{Netlist, Waveform};
+///
+/// # fn main() -> Result<(), gsino_rlc::RlcError> {
+/// // RC low-pass: magnitude at the cutoff frequency is 1/√2.
+/// let r = 1000.0;
+/// let c = 1e-12;
+/// let mut nl = Netlist::new(2);
+/// nl.voltage_source(1, 0, Waveform::Dc(1.0))?;
+/// nl.resistor(1, 2, r)?;
+/// nl.capacitor(2, 0, c)?;
+/// let f_c = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+/// let sweep = ac_sweep(&nl, &[f_c], 2)?;
+/// assert!((sweep[0].magnitude - 0.7071).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ac_sweep(netlist: &Netlist, freqs: &[f64], probe: usize) -> Result<Vec<AcPoint>> {
+    if probe == 0 || probe > netlist.num_nodes() {
+        return Err(RlcError::BadProbe { node: probe });
+    }
+    if freqs.is_empty() || freqs.iter().any(|&f| !(f.is_finite() && f > 0.0)) {
+        return Err(RlcError::BadTimeStep { step: 0.0, stop: 0.0 });
+    }
+    let sys = MnaSystem::assemble(netlist);
+    let n = sys.n();
+    // Unit-amplitude phasor sources: reuse the DC source layout at t where
+    // every source reports its DC/final value, normalized to 1 V.
+    let mut b = vec![0.0; n];
+    sys.source_at(f64::MAX, &mut b);
+    for v in &mut b {
+        if *v != 0.0 {
+            *v = 1.0;
+        }
+    }
+    let mut out = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        // Real embedding of (G + jωC).
+        let mut big = Matrix::zeros(2 * n, 2 * n);
+        for r in 0..n {
+            for c in 0..n {
+                let g = sys.g[(r, c)];
+                let wc = omega * sys.c[(r, c)];
+                big[(r, c)] = g;
+                big[(r + n, c + n)] = g;
+                big[(r, c + n)] = -wc;
+                big[(r + n, c)] = wc;
+            }
+        }
+        let mut rhs = vec![0.0; 2 * n];
+        rhs[..n].copy_from_slice(&b);
+        let lu = LuFactors::factor(&big)?;
+        let x = lu.solve(&rhs)?;
+        let re = x[probe - 1];
+        let im = x[probe - 1 + n];
+        out.push(AcPoint {
+            freq: f,
+            magnitude: (re * re + im * im).sqrt(),
+            phase: im.atan2(re),
+        });
+    }
+    Ok(out)
+}
+
+/// Logarithmically spaced frequencies from `lo` to `hi` (inclusive-ish).
+pub fn log_sweep(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && points >= 2, "invalid sweep range");
+    let ratio = (hi / lo).ln();
+    (0..points)
+        .map(|i| lo * (ratio * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn rc_lowpass_rolls_off() {
+        let r = 1000.0;
+        let c = 1e-12;
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 2, r).unwrap();
+        nl.capacitor(2, 0, c).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let sweep = ac_sweep(&nl, &[fc / 100.0, fc, fc * 100.0], 2).unwrap();
+        assert!((sweep[0].magnitude - 1.0).abs() < 1e-3, "passband");
+        assert!((sweep[1].magnitude - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!(sweep[2].magnitude < 0.02, "stopband");
+        // Phase at the cutoff is −45°.
+        assert!((sweep[1].phase + std::f64::consts::FRAC_PI_4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn series_rlc_peaks_at_resonance() {
+        // Source - R - L - node - C - gnd: the capacitor voltage peaks near
+        // f0 = 1/(2π√(LC)) with quality factor Q = √(L/C)/R.
+        let (r, l, c) = (5.0, 1e-9, 1e-12);
+        let mut nl = Netlist::new(3);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 2, r).unwrap();
+        nl.inductor(2, 3, l).unwrap();
+        nl.capacitor(3, 0, c).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let freqs = log_sweep(f0 / 10.0, f0 * 10.0, 81);
+        let sweep = ac_sweep(&nl, &freqs, 3).unwrap();
+        let peak = sweep
+            .iter()
+            .max_by(|a, b| a.magnitude.partial_cmp(&b.magnitude).unwrap())
+            .unwrap();
+        let q = (l / c).sqrt() / r;
+        assert!(
+            (peak.freq - f0).abs() / f0 < 0.1,
+            "peak at {:.3e}, expected {f0:.3e}",
+            peak.freq
+        );
+        assert!(
+            (peak.magnitude - q).abs() / q < 0.15,
+            "peak magnitude {:.2}, expected Q = {q:.2}",
+            peak.magnitude
+        );
+    }
+
+    #[test]
+    fn coupled_line_victim_response_is_inductive_at_ghz() {
+        // The victim transfer function of a coupled pair must GROW with
+        // frequency in the GHz band (inductive/capacitive coupling), the
+        // opposite of a low-pass — the paper's premise for worrying about
+        // 3 GHz clocks.
+        use crate::coupled::{BlockSpec, WireRole};
+        use gsino_grid::tech::Technology;
+        let tech = Technology::itrs_100nm();
+        let spec = BlockSpec::new(
+            vec![WireRole::AggressorRising, WireRole::Victim],
+            1500.0,
+            &tech,
+        )
+        .unwrap();
+        let (nl, probes) = spec.build().unwrap();
+        let victim = probes[0];
+        let sweep = ac_sweep(&nl, &[0.1e9, 1.0e9, 3.0e9], victim).unwrap();
+        assert!(sweep[0].magnitude < sweep[1].magnitude);
+        assert!(sweep[1].magnitude < sweep[2].magnitude);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut nl = Netlist::new(1);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 0, 1.0).unwrap();
+        assert!(matches!(ac_sweep(&nl, &[1e9], 0), Err(RlcError::BadProbe { .. })));
+        assert!(matches!(ac_sweep(&nl, &[1e9], 2), Err(RlcError::BadProbe { .. })));
+        assert!(ac_sweep(&nl, &[], 1).is_err());
+        assert!(ac_sweep(&nl, &[-1.0], 1).is_err());
+    }
+
+    #[test]
+    fn log_sweep_spacing() {
+        let f = log_sweep(1.0, 100.0, 3);
+        assert_eq!(f.len(), 3);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[1] - 10.0).abs() < 1e-9);
+        assert!((f[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep range")]
+    fn log_sweep_rejects_bad_range() {
+        let _ = log_sweep(10.0, 1.0, 5);
+    }
+}

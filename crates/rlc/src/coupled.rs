@@ -1,0 +1,319 @@
+//! Coupled-line block circuits.
+//!
+//! Builds the simulation netlist for one *block* of a SINO track layout: a
+//! run of parallel wires at track pitch, each of which is a switching
+//! aggressor, the quiet victim under observation, another quiet wire, or a
+//! grounded shield. This is the circuit the paper feeds to SPICE when
+//! building its LSK table (§2.2): uniform drivers and receivers, one victim,
+//! simultaneous aggressors.
+//!
+//! Physics notes:
+//!
+//! * Capacitive coupling is stamped only between *adjacent* tracks — it is
+//!   short-range. A shield between two wires therefore intercepts it.
+//! * Mutual inductance is stamped between **every** pair of wires using
+//!   Grover's slowly decaying formula — it is long-range. A shield cannot
+//!   intercept it, but being grounded at both ends it carries return
+//!   current that opposes the aggressor flux, which is how shielding
+//!   suppresses inductive noise in reality (and in this simulator).
+
+use crate::netlist::{Netlist, Waveform};
+use crate::partial::{mutual_inductance, self_inductance};
+use crate::{Result, RlcError};
+use gsino_grid::tech::Technology;
+
+/// Role of one wire (track) in a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireRole {
+    /// Switches low→high at t = 0.
+    AggressorRising,
+    /// Switches high→low at t = 0 (modelled as a 0→−Vdd ramp so the
+    /// simulation starts from a consistent all-zero state; noise magnitude
+    /// is what matters).
+    AggressorFalling,
+    /// The quiet wire whose noise is recorded.
+    Victim,
+    /// A non-switching neighbour (driven low, not observed).
+    Quiet,
+    /// A shield: grounded at both ends.
+    Shield,
+}
+
+/// Shield-to-ground connection resistance (Ω) — vias into the P/G grid.
+const SHIELD_TIE_OHMS: f64 = 0.5;
+
+/// Longest block run the builder accepts (µm); beyond this, segmentation
+/// would need to grow and global wires are buffered anyway.
+const MAX_LENGTH_UM: f64 = 50_000.0;
+
+/// Specification of a coupled block: wires in track order plus a common
+/// parallel-run length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpec {
+    wires: Vec<WireRole>,
+    length_um: f64,
+    segments: usize,
+    tech: Technology,
+}
+
+impl BlockSpec {
+    /// Creates a block spec with the default segmentation (5 RLC π-segments
+    /// per wire).
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::BadBlock`] if the wire list is empty, contains no victim,
+    /// or the length is out of `(0, 50 000]` µm.
+    pub fn new(wires: Vec<WireRole>, length_um: f64, tech: &Technology) -> Result<Self> {
+        if !wires.contains(&WireRole::Victim) {
+            return Err(RlcError::BadBlock { reason: "no victim wire" });
+        }
+        Self::with_roles(wires, length_um, tech)
+    }
+
+    /// Creates a block spec for *delay* measurement: no quiet victim is
+    /// required, but at least one driven wire must exist (the wire whose
+    /// rise is timed).
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::BadBlock`] if no wire switches or the geometry is out of
+    /// range.
+    pub fn for_delay(wires: Vec<WireRole>, length_um: f64, tech: &Technology) -> Result<Self> {
+        if !wires
+            .iter()
+            .any(|w| matches!(w, WireRole::AggressorRising | WireRole::AggressorFalling))
+        {
+            return Err(RlcError::BadBlock { reason: "no driven wire to time" });
+        }
+        Self::with_roles(wires, length_um, tech)
+    }
+
+    fn with_roles(wires: Vec<WireRole>, length_um: f64, tech: &Technology) -> Result<Self> {
+        if wires.is_empty() {
+            return Err(RlcError::BadBlock { reason: "no wires" });
+        }
+        if !(length_um.is_finite() && length_um > 0.0 && length_um <= MAX_LENGTH_UM) {
+            return Err(RlcError::BadBlock { reason: "length out of range" });
+        }
+        Ok(BlockSpec { wires, length_um, segments: 5, tech: tech.clone() })
+    }
+
+    /// Node id of the far-end (receiver) node of wire `w` — usable as a
+    /// probe with [`crate::sim::TransientSim`].
+    pub fn far_end_node(&self, w: usize) -> usize {
+        self.main_node(w, self.segments)
+    }
+
+    /// Overrides the number of RLC segments per wire (min 1).
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        self.segments = segments.max(1);
+        self
+    }
+
+    /// The wire roles in track order.
+    pub fn wires(&self) -> &[WireRole] {
+        &self.wires
+    }
+
+    /// Parallel-run length (µm).
+    pub fn length_um(&self) -> f64 {
+        self.length_um
+    }
+
+    /// The technology used for extraction.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Node id of wire `w`'s main node `k` (`k = 0..=segments`).
+    ///
+    /// Each wire occupies `2·segments + 1` nodes: main nodes interleaved
+    /// with the internal nodes splitting each segment's series R and L.
+    fn main_node(&self, w: usize, k: usize) -> usize {
+        1 + w * (2 * self.segments + 1) + 2 * k
+    }
+
+    /// Node id of the internal (R–L midpoint) node of wire `w`, segment `k`.
+    fn mid_node(&self, w: usize, k: usize) -> usize {
+        1 + w * (2 * self.segments + 1) + 2 * k + 1
+    }
+
+    /// Builds the netlist and the victim far-end probe nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; all are internal-consistency checks,
+    /// so failures indicate a bug rather than bad user input.
+    #[allow(clippy::needless_range_loop)] // wire/segment index pairs mirror the geometry
+    pub fn build(&self) -> Result<(Netlist, Vec<usize>)> {
+        let w_count = self.wires.len();
+        let m = self.segments;
+        let wire_nodes = w_count * (2 * m + 1);
+        // One extra source node per driven aggressor.
+        let aggressors = self
+            .wires
+            .iter()
+            .filter(|r| matches!(r, WireRole::AggressorRising | WireRole::AggressorFalling))
+            .count();
+        let mut nl = Netlist::new(wire_nodes + aggressors);
+
+        let seg_len = self.length_um / m as f64;
+        let r_seg = self.tech.wire_res_per_um * seg_len;
+        let l_seg = self_inductance(seg_len, self.tech.wire_width, self.tech.wire_thickness);
+        let cg_half = self.tech.wire_cap_gnd_per_um * seg_len / 2.0;
+        let cc_half = self.tech.wire_cap_couple_per_um * seg_len / 2.0;
+        let pitch = self.tech.pitch();
+
+        // Per-wire ladders: main(k) --R--> mid(k) --L--> main(k+1).
+        let mut branch_of = vec![vec![0usize; m]; w_count];
+        for w in 0..w_count {
+            for k in 0..m {
+                nl.resistor(self.main_node(w, k), self.mid_node(w, k), r_seg)?;
+                let b = nl.inductor(self.mid_node(w, k), self.main_node(w, k + 1), l_seg)?;
+                branch_of[w][k] = b;
+                // Ground capacitance at both segment ends.
+                nl.capacitor(self.main_node(w, k), 0, cg_half)?;
+                nl.capacitor(self.main_node(w, k + 1), 0, cg_half)?;
+            }
+        }
+        // Coupling capacitance between adjacent tracks only.
+        for w in 0..w_count.saturating_sub(1) {
+            for k in 0..m {
+                nl.capacitor(self.main_node(w, k), self.main_node(w + 1, k), cc_half)?;
+                nl.capacitor(self.main_node(w, k + 1), self.main_node(w + 1, k + 1), cc_half)?;
+            }
+        }
+        // Mutual inductance between every wire pair, per segment position.
+        for i in 0..w_count {
+            for j in (i + 1)..w_count {
+                let d = pitch * (j - i) as f64;
+                let mval = mutual_inductance(seg_len, d);
+                for k in 0..m {
+                    nl.mutual(branch_of[i][k], branch_of[j][k], mval)?;
+                }
+            }
+        }
+        // Terminations.
+        let mut src_node = wire_nodes + 1;
+        let mut probes = Vec::new();
+        for (w, role) in self.wires.iter().enumerate() {
+            let near = self.main_node(w, 0);
+            let far = self.main_node(w, m);
+            match role {
+                WireRole::AggressorRising | WireRole::AggressorFalling => {
+                    let v1 = if *role == WireRole::AggressorRising {
+                        self.tech.vdd
+                    } else {
+                        -self.tech.vdd
+                    };
+                    nl.voltage_source(
+                        src_node,
+                        0,
+                        Waveform::Ramp { v0: 0.0, v1, t_start: 0.0, t_rise: self.tech.rise_time },
+                    )?;
+                    nl.resistor(src_node, near, self.tech.driver_res)?;
+                    nl.capacitor(far, 0, self.tech.load_cap)?;
+                    src_node += 1;
+                }
+                WireRole::Victim | WireRole::Quiet => {
+                    // Quiet driver holding low: Rd to ground.
+                    nl.resistor(near, 0, self.tech.driver_res)?;
+                    nl.capacitor(far, 0, self.tech.load_cap)?;
+                    if *role == WireRole::Victim {
+                        probes.push(far);
+                    }
+                }
+                WireRole::Shield => {
+                    nl.resistor(near, 0, SHIELD_TIE_OHMS)?;
+                    nl.resistor(far, 0, SHIELD_TIE_OHMS)?;
+                }
+            }
+        }
+        Ok((nl, probes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::itrs_100nm()
+    }
+
+    #[test]
+    fn requires_a_victim() {
+        assert!(matches!(
+            BlockSpec::new(vec![WireRole::AggressorRising], 100.0, &tech()),
+            Err(RlcError::BadBlock { .. })
+        ));
+        assert!(BlockSpec::new(vec![WireRole::Victim], 100.0, &tech()).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_length() {
+        assert!(BlockSpec::new(vec![], 100.0, &tech()).is_err());
+        assert!(BlockSpec::new(vec![WireRole::Victim], 0.0, &tech()).is_err());
+        assert!(BlockSpec::new(vec![WireRole::Victim], f64::NAN, &tech()).is_err());
+        assert!(BlockSpec::new(vec![WireRole::Victim], 1e9, &tech()).is_err());
+    }
+
+    #[test]
+    fn node_layout_is_disjoint() {
+        let spec =
+            BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 100.0, &tech()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..2 {
+            for k in 0..=5 {
+                assert!(seen.insert(spec.main_node(w, k)));
+            }
+            for k in 0..5 {
+                assert!(seen.insert(spec.mid_node(w, k)));
+            }
+        }
+    }
+
+    #[test]
+    fn builds_expected_element_counts() {
+        let spec = BlockSpec::new(
+            vec![WireRole::AggressorRising, WireRole::Victim, WireRole::Shield],
+            500.0,
+            &tech(),
+        )
+        .unwrap()
+        .with_segments(3);
+        let (nl, probes) = spec.build().unwrap();
+        // 3 wires × 3 inductor segments.
+        assert_eq!(nl.num_inductors(), 9);
+        // One driven aggressor.
+        assert_eq!(nl.num_vsources(), 1);
+        assert_eq!(probes.len(), 1);
+    }
+
+    #[test]
+    fn probe_is_victim_far_end() {
+        let spec =
+            BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 100.0, &tech()).unwrap();
+        let (_, probes) = spec.build().unwrap();
+        assert_eq!(probes, vec![spec.main_node(0, 5)]);
+    }
+
+    #[test]
+    fn segments_floor_at_one() {
+        let spec = BlockSpec::new(vec![WireRole::Victim], 100.0, &tech())
+            .unwrap()
+            .with_segments(0);
+        assert!(spec.build().is_ok());
+    }
+
+    #[test]
+    fn mutuals_pass_passivity_for_wide_blocks() {
+        // 12 wires at pitch: the farthest mutual must stay below the self
+        // inductance or Netlist::mutual would reject it.
+        let mut wires = vec![WireRole::AggressorRising; 11];
+        wires.push(WireRole::Victim);
+        let spec = BlockSpec::new(wires, 2000.0, &tech()).unwrap();
+        assert!(spec.build().is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! Signal-delay measurement in the transient simulator.
+//!
+//! Used to validate the Elmore-with-Miller-factor estimates behind the
+//! paper's §4 remark that SINO solutions have "a relatively smaller delay
+//! per unit length as no neighboring wires switch simultaneously" (its
+//! reference \[12\]).
+
+use crate::coupled::BlockSpec;
+use crate::sim::TransientSim;
+use crate::{Result, RlcError};
+
+/// 50%-Vdd crossing time (s) of wire `w`'s far end, measured from t = 0.
+///
+/// # Errors
+///
+/// * [`RlcError::BadProbe`] if `w` is out of range.
+/// * [`RlcError::BadBlock`] if the wire never crosses 50% within the
+///   simulated window (e.g. it is not driven).
+pub fn rise_delay(spec: &BlockSpec, w: usize) -> Result<f64> {
+    if w >= spec.wires().len() {
+        return Err(RlcError::BadProbe { node: w });
+    }
+    let (netlist, _) = spec.build()?;
+    let probe = spec.far_end_node(w);
+    let tr = spec.tech().rise_time;
+    let sim = TransientSim::new(tr / 50.0, tr * 12.0)?;
+    let result = sim.run(&netlist, &[probe])?;
+    let half = spec.tech().vdd / 2.0;
+    let samples = result.samples(probe)?;
+    for (i, &v) in samples.iter().enumerate() {
+        if v.abs() >= half {
+            // Linear interpolation within the crossing step.
+            if i == 0 {
+                return Ok(0.0);
+            }
+            let t0 = result.times()[i - 1];
+            let t1 = result.times()[i];
+            let v0 = samples[i - 1].abs();
+            let v1 = v.abs();
+            let frac = if v1 > v0 { (half - v0) / (v1 - v0) } else { 1.0 };
+            return Ok(t0 + frac * (t1 - t0));
+        }
+    }
+    Err(RlcError::BadBlock { reason: "wire never crossed 50% Vdd" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupled::WireRole;
+    use gsino_grid::tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::itrs_100nm()
+    }
+
+    #[test]
+    fn longer_wires_are_slower() {
+        let mk = |len| {
+            BlockSpec::for_delay(vec![WireRole::AggressorRising], len, &tech()).unwrap()
+        };
+        let d1 = rise_delay(&mk(500.0), 0).unwrap();
+        let d2 = rise_delay(&mk(2000.0), 0).unwrap();
+        assert!(d2 > d1, "2 mm ({d2:.3e}) must be slower than 0.5 mm ({d1:.3e})");
+    }
+
+    #[test]
+    fn opposite_switching_neighbors_slow_the_wire() {
+        // Miller effect: neighbours ramping the other way roughly double
+        // the effective coupling capacitance.
+        let quiet = BlockSpec::for_delay(
+            vec![WireRole::Quiet, WireRole::AggressorRising, WireRole::Quiet],
+            1500.0,
+            &tech(),
+        )
+        .unwrap();
+        let opposite = BlockSpec::for_delay(
+            vec![
+                WireRole::AggressorFalling,
+                WireRole::AggressorRising,
+                WireRole::AggressorFalling,
+            ],
+            1500.0,
+            &tech(),
+        )
+        .unwrap();
+        let dq = rise_delay(&quiet, 1).unwrap();
+        let do_ = rise_delay(&opposite, 1).unwrap();
+        assert!(
+            do_ > dq * 1.05,
+            "opposite neighbours ({do_:.3e}) must slow vs quiet ({dq:.3e})"
+        );
+    }
+
+    #[test]
+    fn same_direction_neighbors_speed_the_wire() {
+        let quiet = BlockSpec::for_delay(
+            vec![WireRole::Quiet, WireRole::AggressorRising, WireRole::Quiet],
+            1500.0,
+            &tech(),
+        )
+        .unwrap();
+        let same = BlockSpec::for_delay(
+            vec![
+                WireRole::AggressorRising,
+                WireRole::AggressorRising,
+                WireRole::AggressorRising,
+            ],
+            1500.0,
+            &tech(),
+        )
+        .unwrap();
+        let dq = rise_delay(&quiet, 1).unwrap();
+        let ds = rise_delay(&same, 1).unwrap();
+        assert!(ds < dq, "in-phase neighbours ({ds:.3e}) must speed vs quiet ({dq:.3e})");
+    }
+
+    #[test]
+    fn undriven_wire_errors() {
+        assert!(BlockSpec::for_delay(vec![WireRole::Quiet], 500.0, &tech()).is_err());
+        let spec = BlockSpec::for_delay(
+            vec![WireRole::AggressorRising, WireRole::Quiet],
+            500.0,
+            &tech(),
+        )
+        .unwrap();
+        // Quiet wire never crosses 50%.
+        assert!(rise_delay(&spec, 1).is_err());
+        assert!(rise_delay(&spec, 7).is_err());
+    }
+}

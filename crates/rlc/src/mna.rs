@@ -1,0 +1,198 @@
+//! Modified nodal analysis assembly.
+//!
+//! The circuit becomes the descriptor system `C ẋ + G x = b(t)` with
+//! unknowns `x = [node voltages | inductor currents | source currents]`:
+//!
+//! * resistors stamp conductance into `G` node rows;
+//! * capacitors stamp into `C` node rows;
+//! * an inductor branch `a→b` stamps its current into the node KCL rows of
+//!   `G` and its voltage equation `v_a − v_b − L di/dt (− Σ M di_k/dt) = 0`
+//!   into its own row (`±1` in `G`, `−L`/`−M` in `C`);
+//! * a voltage source stamps its current into node rows and its defining
+//!   equation `v_a − v_b = E(t)` into its own row, with `E(t)` in `b`.
+
+use crate::netlist::Netlist;
+use gsino_numeric::Matrix;
+
+/// Assembled MNA system.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    /// Static (resistive/topological) matrix `G`.
+    pub g: Matrix,
+    /// Storage (capacitive/inductive) matrix `C`.
+    pub c: Matrix,
+    /// Per-source `(row, waveform)` pairs for building `b(t)`.
+    source_rows: Vec<(usize, crate::netlist::Waveform)>,
+    /// Number of unknowns.
+    n: usize,
+}
+
+impl MnaSystem {
+    /// Assembles the system matrices from a netlist.
+    pub fn assemble(netlist: &Netlist) -> Self {
+        let nv = netlist.num_nodes();
+        let nl = netlist.num_inductors();
+        let n = netlist.num_unknowns();
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+
+        // Map node id (1-based, 0 = ground) to matrix row, or None.
+        let row = |node: usize| -> Option<usize> { (node > 0).then(|| node - 1) };
+
+        for r in &netlist.resistors {
+            let cond = 1.0 / r.ohms;
+            if let Some(a) = row(r.a) {
+                g.add_at(a, a, cond);
+            }
+            if let Some(b) = row(r.b) {
+                g.add_at(b, b, cond);
+            }
+            if let (Some(a), Some(b)) = (row(r.a), row(r.b)) {
+                g.add_at(a, b, -cond);
+                g.add_at(b, a, -cond);
+            }
+        }
+        for cap in &netlist.capacitors {
+            if let Some(a) = row(cap.a) {
+                c.add_at(a, a, cap.farads);
+            }
+            if let Some(b) = row(cap.b) {
+                c.add_at(b, b, cap.farads);
+            }
+            if let (Some(a), Some(b)) = (row(cap.a), row(cap.b)) {
+                c.add_at(a, b, -cap.farads);
+                c.add_at(b, a, -cap.farads);
+            }
+        }
+        for (k, ind) in netlist.inductors.iter().enumerate() {
+            let br = nv + k;
+            // KCL: current leaves node a, enters node b.
+            if let Some(a) = row(ind.a) {
+                g.add_at(a, br, 1.0);
+                g.add_at(br, a, 1.0);
+            }
+            if let Some(b) = row(ind.b) {
+                g.add_at(b, br, -1.0);
+                g.add_at(br, b, -1.0);
+            }
+            // Branch equation: v_a − v_b − L di/dt = 0.
+            c.add_at(br, br, -ind.henries);
+        }
+        for &(i, j, m) in &netlist.mutuals {
+            let bi = nv + i;
+            let bj = nv + j;
+            c.add_at(bi, bj, -m);
+            c.add_at(bj, bi, -m);
+        }
+        let mut source_rows = Vec::with_capacity(netlist.num_vsources());
+        for (k, src) in netlist.vsources.iter().enumerate() {
+            let br = nv + nl + k;
+            if let Some(a) = row(src.a) {
+                g.add_at(a, br, 1.0);
+                g.add_at(br, a, 1.0);
+            }
+            if let Some(b) = row(src.b) {
+                g.add_at(b, br, -1.0);
+                g.add_at(br, b, -1.0);
+            }
+            source_rows.push((br, src.waveform));
+        }
+        MnaSystem { g, c, source_rows, n }
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fills the source vector `b(t)` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n`.
+    pub fn source_at(&self, t: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "source buffer size");
+        out.fill(0.0);
+        for (row, w) in &self.source_rows {
+            out[*row] = w.at(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+    use gsino_numeric::LuFactors;
+
+    /// DC solve of `G x = b` for resistive circuits.
+    fn dc_solve(netlist: &Netlist, t: f64) -> Vec<f64> {
+        let sys = MnaSystem::assemble(netlist);
+        let mut b = vec![0.0; sys.n()];
+        sys.source_at(t, &mut b);
+        LuFactors::factor(&sys.g).unwrap().solve(&b).unwrap()
+    }
+
+    #[test]
+    fn voltage_divider() {
+        // 1 V across two equal resistors: the midpoint sits at 0.5 V.
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 2, 100.0).unwrap();
+        nl.resistor(2, 0, 100.0).unwrap();
+        let x = dc_solve(&nl, 0.0);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_current_sign() {
+        // 1 V across 100 Ω: 10 mA flows; MNA reports the branch current of
+        // the source as −10 mA with our stamp orientation.
+        let mut nl = Netlist::new(1);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 0, 100.0).unwrap();
+        let x = dc_solve(&nl, 0.0);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1].abs() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inductor_is_short_at_dc() {
+        // Source -- R -- L -- ground. At DC the inductor drops nothing, so
+        // the whole source voltage appears across R.
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Dc(2.0)).unwrap();
+        nl.resistor(1, 2, 50.0).unwrap();
+        nl.inductor(2, 0, 1e-9).unwrap();
+        let x = dc_solve(&nl, 0.0);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 0.0).abs() < 1e-12, "node after R is at ground potential");
+    }
+
+    #[test]
+    fn ramp_source_vector() {
+        let mut nl = Netlist::new(1);
+        nl.voltage_source(1, 0, Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 0.0, t_rise: 1e-9 })
+            .unwrap();
+        nl.resistor(1, 0, 1.0).unwrap();
+        let sys = MnaSystem::assemble(&nl);
+        let mut b = vec![0.0; sys.n()];
+        sys.source_at(0.5e-9, &mut b);
+        assert_eq!(b, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn storage_matrix_symmetric_for_mutuals() {
+        let mut nl = Netlist::new(4);
+        let i = nl.inductor(1, 2, 2e-9).unwrap();
+        let j = nl.inductor(3, 4, 2e-9).unwrap();
+        nl.mutual(i, j, 1e-9).unwrap();
+        let sys = MnaSystem::assemble(&nl);
+        let bi = 4 + i;
+        let bj = 4 + j;
+        assert_eq!(sys.c[(bi, bj)], -1e-9);
+        assert_eq!(sys.c[(bj, bi)], -1e-9);
+        assert_eq!(sys.c[(bi, bi)], -2e-9);
+    }
+}

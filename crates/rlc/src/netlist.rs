@@ -1,0 +1,294 @@
+//! Circuit netlists for the transient simulator.
+//!
+//! Node `0` is ground; nodes `1..=num_nodes` are the unknowns. Inductors and
+//! voltage sources contribute branch-current unknowns (standard MNA).
+
+use crate::{Result, RlcError};
+
+/// Time-dependent source value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Waveform {
+    /// Constant voltage.
+    Dc(f64),
+    /// Linear ramp from `v0` to `v1` starting at `t_start` over `t_rise`,
+    /// holding `v1` afterwards.
+    Ramp {
+        /// Initial value (V).
+        v0: f64,
+        /// Final value (V).
+        v1: f64,
+        /// Ramp start time (s).
+        t_start: f64,
+        /// Rise time (s); must be positive.
+        t_rise: f64,
+    },
+}
+
+impl Waveform {
+    /// The source value at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Ramp { v0, v1, t_start, t_rise } => {
+                if t <= t_start {
+                    v0
+                } else if t >= t_start + t_rise {
+                    v1
+                } else {
+                    v0 + (v1 - v0) * (t - t_start) / t_rise
+                }
+            }
+        }
+    }
+}
+
+/// A resistor between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Resistor {
+    pub a: usize,
+    pub b: usize,
+    pub ohms: f64,
+}
+
+/// A capacitor between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Capacitor {
+    pub a: usize,
+    pub b: usize,
+    pub farads: f64,
+}
+
+/// An inductor branch between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Inductor {
+    pub a: usize,
+    pub b: usize,
+    pub henries: f64,
+}
+
+/// A voltage source branch (positive terminal `a`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct VSource {
+    pub a: usize,
+    pub b: usize,
+    pub waveform: Waveform,
+}
+
+/// A linear circuit: R, C, L (with mutual coupling) and voltage sources.
+///
+/// # Example
+///
+/// ```
+/// use gsino_rlc::netlist::{Netlist, Waveform};
+///
+/// # fn main() -> Result<(), gsino_rlc::RlcError> {
+/// // A driven RC low-pass: V(1) -- R --> node 2 -- C --> ground.
+/// let mut nl = Netlist::new(2);
+/// nl.voltage_source(1, 0, Waveform::Dc(1.0))?;
+/// nl.resistor(1, 2, 1000.0)?;
+/// nl.capacitor(2, 0, 1e-12)?;
+/// assert_eq!(nl.num_nodes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    num_nodes: usize,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) capacitors: Vec<Capacitor>,
+    pub(crate) inductors: Vec<Inductor>,
+    /// `(inductor index, inductor index, mutual henries)`.
+    pub(crate) mutuals: Vec<(usize, usize, f64)>,
+    pub(crate) vsources: Vec<VSource>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with `num_nodes` non-ground nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Netlist { num_nodes, ..Netlist::default() }
+    }
+
+    /// Number of non-ground nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of inductor branches added so far.
+    pub fn num_inductors(&self) -> usize {
+        self.inductors.len()
+    }
+
+    /// Number of voltage sources added so far.
+    pub fn num_vsources(&self) -> usize {
+        self.vsources.len()
+    }
+
+    /// Total number of MNA unknowns: node voltages plus branch currents.
+    pub fn num_unknowns(&self) -> usize {
+        self.num_nodes + self.inductors.len() + self.vsources.len()
+    }
+
+    fn check_node(&self, n: usize) -> Result<()> {
+        if n > self.num_nodes {
+            return Err(RlcError::NodeOutOfRange { node: n, num_nodes: self.num_nodes });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::NodeOutOfRange`] or [`RlcError::BadElementValue`] for a
+    /// non-positive or non-finite resistance.
+    pub fn resistor(&mut self, a: usize, b: usize, ohms: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(RlcError::BadElementValue { kind: "resistance", value: ohms });
+        }
+        self.resistors.push(Resistor { a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::NodeOutOfRange`] or [`RlcError::BadElementValue`] for a
+    /// negative or non-finite capacitance (zero is allowed and ignored).
+    pub fn capacitor(&mut self, a: usize, b: usize, farads: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(farads.is_finite() && farads >= 0.0) {
+            return Err(RlcError::BadElementValue { kind: "capacitance", value: farads });
+        }
+        if farads > 0.0 {
+            self.capacitors.push(Capacitor { a, b, farads });
+        }
+        Ok(())
+    }
+
+    /// Adds an inductor branch and returns its index (for mutual coupling).
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::NodeOutOfRange`] or [`RlcError::BadElementValue`] for a
+    /// non-positive or non-finite inductance.
+    pub fn inductor(&mut self, a: usize, b: usize, henries: f64) -> Result<usize> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(henries.is_finite() && henries > 0.0) {
+            return Err(RlcError::BadElementValue { kind: "inductance", value: henries });
+        }
+        self.inductors.push(Inductor { a, b, henries });
+        Ok(self.inductors.len() - 1)
+    }
+
+    /// Couples two inductor branches with mutual inductance `m` (H).
+    ///
+    /// # Errors
+    ///
+    /// * [`RlcError::InductorOutOfRange`] for unknown branch indices.
+    /// * [`RlcError::NonPassiveMutual`] if `m² > L₁·L₂` — such a matrix
+    ///   would pump energy out of nothing and the integration would explode.
+    /// * [`RlcError::BadElementValue`] for non-finite `m`.
+    pub fn mutual(&mut self, i: usize, j: usize, m: f64) -> Result<()> {
+        let count = self.inductors.len();
+        if i >= count {
+            return Err(RlcError::InductorOutOfRange { index: i, count });
+        }
+        if j >= count || i == j {
+            return Err(RlcError::InductorOutOfRange { index: j, count });
+        }
+        if !m.is_finite() {
+            return Err(RlcError::BadElementValue { kind: "mutual inductance", value: m });
+        }
+        let li = self.inductors[i].henries;
+        let lj = self.inductors[j].henries;
+        if m * m > li * lj {
+            return Err(RlcError::NonPassiveMutual { pair: (i, j) });
+        }
+        self.mutuals.push((i, j, m));
+        Ok(())
+    }
+
+    /// Adds an ideal voltage source (positive terminal `a`).
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::NodeOutOfRange`] for bad node indices.
+    pub fn voltage_source(&mut self, a: usize, b: usize, waveform: Waveform) -> Result<usize> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        self.vsources.push(VSource { a, b, waveform });
+        Ok(self.vsources.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_ramp() {
+        let w = Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 1.0, t_rise: 2.0 };
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(1.0), 0.0);
+        assert_eq!(w.at(2.0), 0.5);
+        assert_eq!(w.at(3.0), 1.0);
+        assert_eq!(w.at(99.0), 1.0);
+        assert_eq!(Waveform::Dc(2.5).at(7.0), 2.5);
+    }
+
+    #[test]
+    fn node_bounds_checked() {
+        let mut nl = Netlist::new(2);
+        assert!(nl.resistor(1, 2, 10.0).is_ok());
+        assert!(matches!(
+            nl.resistor(1, 3, 10.0),
+            Err(RlcError::NodeOutOfRange { node: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let mut nl = Netlist::new(2);
+        assert!(nl.resistor(1, 0, 0.0).is_err());
+        assert!(nl.resistor(1, 0, -5.0).is_err());
+        assert!(nl.resistor(1, 0, f64::NAN).is_err());
+        assert!(nl.capacitor(1, 0, -1e-15).is_err());
+        assert!(nl.inductor(1, 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_capacitance_is_dropped() {
+        let mut nl = Netlist::new(1);
+        nl.capacitor(1, 0, 0.0).unwrap();
+        assert!(nl.capacitors.is_empty());
+    }
+
+    #[test]
+    fn mutual_passivity_enforced() {
+        let mut nl = Netlist::new(4);
+        let i = nl.inductor(1, 2, 1e-9).unwrap();
+        let j = nl.inductor(3, 4, 1e-9).unwrap();
+        assert!(nl.mutual(i, j, 0.9e-9).is_ok());
+        assert!(matches!(
+            nl.mutual(i, j, 1.1e-9),
+            Err(RlcError::NonPassiveMutual { .. })
+        ));
+        assert!(nl.mutual(i, i, 0.1e-9).is_err());
+        assert!(nl.mutual(i, 5, 0.1e-9).is_err());
+    }
+
+    #[test]
+    fn unknown_count() {
+        let mut nl = Netlist::new(3);
+        nl.inductor(1, 2, 1e-9).unwrap();
+        nl.voltage_source(3, 0, Waveform::Dc(1.0)).unwrap();
+        assert_eq!(nl.num_unknowns(), 5);
+        assert_eq!(nl.num_inductors(), 1);
+        assert_eq!(nl.num_vsources(), 1);
+    }
+}

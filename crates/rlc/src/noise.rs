@@ -1,0 +1,152 @@
+//! The recorded noise metric.
+//!
+//! The paper's LSK table maps model values to "the corresponding crosstalk
+//! voltage" obtained from SPICE (§2.2). The equivalent quantity here is the
+//! peak absolute voltage at the victim's far-end receiver while every
+//! aggressor in the block switches at t = 0.
+
+use crate::coupled::BlockSpec;
+use crate::sim::TransientSim;
+use crate::Result;
+
+/// Default number of rise times simulated; covers the aggressor edge, the
+/// line flight time and the dominant ringing for millimetre-scale global
+/// wires at the ITRS 0.10 µm operating point.
+const RISE_TIMES_SIMULATED: f64 = 8.0;
+
+/// Time steps per rise time (trapezoidal integration is second order; 50
+/// points per edge keeps the peak estimate within a fraction of a percent).
+const STEPS_PER_RISE: f64 = 50.0;
+
+/// Simulates a block and returns the peak victim noise (V).
+///
+/// # Errors
+///
+/// Propagates netlist construction and factorization errors from the
+/// simulator; well-formed [`BlockSpec`]s do not fail.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::tech::Technology;
+/// use gsino_rlc::coupled::{BlockSpec, WireRole};
+/// use gsino_rlc::noise::peak_noise;
+///
+/// # fn main() -> Result<(), gsino_rlc::RlcError> {
+/// let tech = Technology::itrs_100nm();
+/// let bare = BlockSpec::new(
+///     vec![WireRole::AggressorRising, WireRole::Victim],
+///     1500.0,
+///     &tech,
+/// )?;
+/// let shielded = BlockSpec::new(
+///     vec![WireRole::AggressorRising, WireRole::Shield, WireRole::Victim],
+///     1500.0,
+///     &tech,
+/// )?;
+/// // Shield insertion reduces the victim's noise.
+/// assert!(peak_noise(&shielded)? < peak_noise(&bare)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn peak_noise(spec: &BlockSpec) -> Result<f64> {
+    let (netlist, probes) = spec.build()?;
+    if probes.is_empty() {
+        return Ok(0.0);
+    }
+    let tr = spec.tech().rise_time;
+    let sim = TransientSim::new(tr / STEPS_PER_RISE, tr * RISE_TIMES_SIMULATED)?;
+    let result = sim.run(&netlist, &probes)?;
+    Ok(result.max_peak())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupled::WireRole;
+    use gsino_grid::tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::itrs_100nm()
+    }
+
+    #[test]
+    fn no_aggressor_means_negligible_noise() {
+        let spec =
+            BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 1000.0, &tech()).unwrap();
+        let v = peak_noise(&spec).unwrap();
+        assert!(v < 1e-6, "quiet block should be silent, got {v}");
+    }
+
+    #[test]
+    fn noise_grows_with_aggressor_count() {
+        let one = BlockSpec::new(
+            vec![WireRole::AggressorRising, WireRole::Victim, WireRole::Quiet],
+            1000.0,
+            &tech(),
+        )
+        .unwrap();
+        let two = BlockSpec::new(
+            vec![WireRole::AggressorRising, WireRole::Victim, WireRole::AggressorRising],
+            1000.0,
+            &tech(),
+        )
+        .unwrap();
+        let v1 = peak_noise(&one).unwrap();
+        let v2 = peak_noise(&two).unwrap();
+        assert!(v2 > v1, "two aggressors ({v2}) must beat one ({v1})");
+    }
+
+    #[test]
+    fn noise_grows_with_length() {
+        let tech = tech();
+        let mk = |len| {
+            BlockSpec::new(
+                vec![WireRole::AggressorRising, WireRole::Victim],
+                len,
+                &tech,
+            )
+            .unwrap()
+        };
+        let v500 = peak_noise(&mk(500.0)).unwrap();
+        let v1500 = peak_noise(&mk(1500.0)).unwrap();
+        let v3000 = peak_noise(&mk(3000.0)).unwrap();
+        assert!(v500 < v1500 && v1500 < v3000, "{v500} {v1500} {v3000}");
+    }
+
+    #[test]
+    fn noise_is_a_fraction_of_vdd() {
+        let spec = BlockSpec::new(
+            vec![
+                WireRole::AggressorRising,
+                WireRole::AggressorRising,
+                WireRole::Victim,
+                WireRole::AggressorRising,
+            ],
+            2000.0,
+            &tech(),
+        )
+        .unwrap();
+        let v = peak_noise(&spec).unwrap();
+        assert!(v > 0.01 && v < 1.05, "physically plausible noise, got {v}");
+    }
+
+    #[test]
+    fn distant_aggressor_still_couples() {
+        // Inductive coupling is long range: an aggressor three tracks away
+        // with interposed quiet wires must still induce visible noise.
+        let spec = BlockSpec::new(
+            vec![
+                WireRole::AggressorRising,
+                WireRole::Quiet,
+                WireRole::Quiet,
+                WireRole::Victim,
+            ],
+            2000.0,
+            &tech(),
+        )
+        .unwrap();
+        let v = peak_noise(&spec).unwrap();
+        assert!(v > 1e-3, "long-range coupling expected, got {v}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Trapezoidal-rule transient integration.
+//!
+//! For `C ẋ + G x = b(t)` the trapezoidal step is
+//! `(2C/h + G) x₁ = (2C/h − G) x₀ + b₀ + b₁`,
+//! A-stable and second-order — the classic SPICE default, appropriate for
+//! the lightly damped coupled-RLC lines simulated here.
+
+use crate::mna::MnaSystem;
+use crate::netlist::Netlist;
+use crate::{Result, RlcError};
+use gsino_numeric::{LuFactors, Matrix};
+
+/// Transient simulation configuration and driver.
+///
+/// # Example
+///
+/// ```
+/// use gsino_rlc::netlist::{Netlist, Waveform};
+/// use gsino_rlc::sim::TransientSim;
+///
+/// # fn main() -> Result<(), gsino_rlc::RlcError> {
+/// // RC step response: v(t) = 1 − e^{−t/RC}, RC = 1 ns.
+/// let mut nl = Netlist::new(2);
+/// nl.voltage_source(1, 0, Waveform::Dc(1.0))?;
+/// nl.resistor(1, 2, 1000.0)?;
+/// nl.capacitor(2, 0, 1e-12)?;
+/// let result = TransientSim::new(1e-11, 5e-9)?.run(&nl, &[2])?;
+/// let v_end = *result.samples(2)?.last().expect("has samples");
+/// assert!((v_end - 1.0).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSim {
+    step: f64,
+    stop: f64,
+}
+
+impl TransientSim {
+    /// Creates a simulator with fixed step `step` (s) up to `stop` (s).
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::BadTimeStep`] unless `0 < step <= stop` and both finite.
+    pub fn new(step: f64, stop: f64) -> Result<Self> {
+        if !(step.is_finite() && stop.is_finite() && step > 0.0 && stop >= step) {
+            return Err(RlcError::BadTimeStep { step, stop });
+        }
+        Ok(TransientSim { step, stop })
+    }
+
+    /// Runs the transient, recording the listed probe nodes.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlcError::BadProbe`] for probe nodes outside the netlist.
+    /// * [`RlcError::Numeric`] if the companion matrix cannot be factored
+    ///   (e.g. a floating node with no DC path).
+    pub fn run(&self, netlist: &Netlist, probes: &[usize]) -> Result<TransientResult> {
+        for &p in probes {
+            if p == 0 || p > netlist.num_nodes() {
+                return Err(RlcError::BadProbe { node: p });
+            }
+        }
+        let sys = MnaSystem::assemble(netlist);
+        let n = sys.n();
+        let h = self.step;
+        // A = 2C/h + G (factored once); Bmat = 2C/h − G.
+        let a = sys.c.add_scaled(&sys.g, h / 2.0)?.scaled(2.0 / h);
+        let bmat = sys.c.add_scaled(&sys.g, -h / 2.0)?.scaled(2.0 / h);
+        let lu = LuFactors::factor(&a)?;
+
+        let steps = (self.stop / h).ceil() as usize;
+        let mut x = vec![0.0; n];
+        let mut b0 = vec![0.0; n];
+        let mut b1 = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        sys.source_at(0.0, &mut b0);
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); probes.len()];
+        times.push(0.0);
+        for (ti, &p) in probes.iter().enumerate() {
+            traces[ti].push(x[p - 1]);
+        }
+        for s in 1..=steps {
+            let t1 = s as f64 * h;
+            sys.source_at(t1, &mut b1);
+            let bx = bmat.matvec(&x)?;
+            for i in 0..n {
+                rhs[i] = bx[i] + b0[i] + b1[i];
+            }
+            x = lu.solve(&rhs)?;
+            std::mem::swap(&mut b0, &mut b1);
+            times.push(t1);
+            for (ti, &p) in probes.iter().enumerate() {
+                traces[ti].push(x[p - 1]);
+            }
+        }
+        Ok(TransientResult { probes: probes.to_vec(), times, traces })
+    }
+}
+
+/// Helper: `Matrix::scale` returning the matrix (builder-style).
+trait Scaled {
+    fn scaled(self, s: f64) -> Self;
+}
+
+impl Scaled for Matrix {
+    fn scaled(mut self, s: f64) -> Self {
+        self.scale(s);
+        self
+    }
+}
+
+/// Recorded probe waveforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    probes: Vec<usize>,
+    times: Vec<f64>,
+    traces: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The sample instants (s).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The recorded samples of a probe node.
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::BadProbe`] if the node was not probed.
+    pub fn samples(&self, node: usize) -> Result<&[f64]> {
+        let idx = self
+            .probes
+            .iter()
+            .position(|&p| p == node)
+            .ok_or(RlcError::BadProbe { node })?;
+        Ok(&self.traces[idx])
+    }
+
+    /// Peak absolute value observed at a probe.
+    ///
+    /// # Errors
+    ///
+    /// [`RlcError::BadProbe`] if the node was not probed.
+    pub fn peak_abs(&self, node: usize) -> Result<f64> {
+        Ok(self.samples(node)?.iter().fold(0.0_f64, |m, &v| m.max(v.abs())))
+    }
+
+    /// The maximum peak over all probes.
+    pub fn max_peak(&self) -> f64 {
+        self.traces
+            .iter()
+            .flat_map(|t| t.iter())
+            .fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let r = 1000.0;
+        let c = 1e-12;
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 2, r).unwrap();
+        nl.capacitor(2, 0, c).unwrap();
+        let res = TransientSim::new(1e-12, 3e-9).unwrap().run(&nl, &[2]).unwrap();
+        let samples = res.samples(2).unwrap();
+        let times = res.times();
+        for (i, &t) in times.iter().enumerate().step_by(100) {
+            let expect = 1.0 - (-t / (r * c)).exp();
+            assert!(
+                (samples[i] - expect).abs() < 5e-3,
+                "t={t:.2e}: got {} want {expect}",
+                samples[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lc_oscillation_frequency() {
+        // Underdamped series RLC (Q ≈ 63): the capacitor voltage rings
+        // around its 1 V final value at f₀ = 1/(2π√(LC)).
+        let l = 1e-9;
+        let c = 1e-12;
+        let mut nl = Netlist::new(3);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 2, 0.5).unwrap();
+        nl.inductor(2, 3, l).unwrap();
+        nl.capacitor(3, 0, c).unwrap();
+        let res = TransientSim::new(2e-13, 2e-9).unwrap().run(&nl, &[3]).unwrap();
+        let samples = res.samples(3).unwrap();
+        // Count crossings of the final value to estimate the ring period.
+        let mut crossings = Vec::new();
+        for i in 1..samples.len() {
+            if (samples[i - 1] - 1.0).signum() != (samples[i] - 1.0).signum() {
+                crossings.push(res.times()[i]);
+            }
+        }
+        assert!(crossings.len() >= 4, "should ring repeatedly, got {crossings:?}");
+        let half_period = crossings[3] - crossings[2];
+        let f_meas = 1.0 / (2.0 * half_period);
+        let f_expect = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        assert!(
+            (f_meas - f_expect).abs() / f_expect < 0.1,
+            "measured {f_meas:.3e}, expected {f_expect:.3e}"
+        );
+    }
+
+    #[test]
+    fn capacitive_coupling_injects_noise() {
+        // Aggressor ramp coupled via Cc into a resistively held victim.
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 0.0, t_rise: 1e-10 })
+            .unwrap();
+        nl.capacitor(1, 2, 1e-13).unwrap();
+        nl.resistor(2, 0, 1000.0).unwrap();
+        let res = TransientSim::new(1e-12, 1e-9).unwrap().run(&nl, &[2]).unwrap();
+        let peak = res.peak_abs(2).unwrap();
+        assert!(peak > 0.01, "coupled noise should be visible, got {peak}");
+        // And the victim settles back toward zero.
+        let last = *res.samples(2).unwrap().last().unwrap();
+        assert!(last.abs() < 0.02, "noise should decay, got {last}");
+    }
+
+    #[test]
+    fn bad_timestep_rejected() {
+        assert!(TransientSim::new(0.0, 1.0).is_err());
+        assert!(TransientSim::new(1.0, 0.5).is_err());
+        assert!(TransientSim::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn bad_probe_rejected() {
+        let mut nl = Netlist::new(1);
+        nl.resistor(1, 0, 1.0).unwrap();
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        let sim = TransientSim::new(1e-12, 1e-11).unwrap();
+        assert!(matches!(sim.run(&nl, &[2]), Err(RlcError::BadProbe { node: 2 })));
+        assert!(matches!(sim.run(&nl, &[0]), Err(RlcError::BadProbe { node: 0 })));
+    }
+
+    #[test]
+    fn missing_probe_lookup_fails() {
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+        nl.resistor(1, 2, 10.0).unwrap();
+        nl.resistor(2, 0, 10.0).unwrap();
+        let res = TransientSim::new(1e-12, 1e-11).unwrap().run(&nl, &[2]).unwrap();
+        assert!(res.samples(1).is_err());
+        assert!(res.peak_abs(2).is_ok());
+    }
+
+    #[test]
+    fn energy_stays_bounded_with_mutual_coupling() {
+        // Two coupled LC tanks; passivity means no blow-up over many cycles.
+        let mut nl = Netlist::new(2);
+        nl.voltage_source(1, 0, Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 0.0, t_rise: 1e-11 })
+            .unwrap();
+        let i = nl.inductor(1, 2, 1e-9).unwrap();
+        let j = nl.inductor(2, 0, 1e-9).unwrap();
+        nl.mutual(i, j, 0.8e-9).unwrap();
+        nl.capacitor(2, 0, 1e-13).unwrap();
+        let res = TransientSim::new(1e-13, 5e-9).unwrap().run(&nl, &[2]).unwrap();
+        assert!(res.peak_abs(2).unwrap() < 10.0, "trapezoidal must stay bounded");
+    }
+}

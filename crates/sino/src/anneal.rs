@@ -1,0 +1,177 @@
+//! Simulated-annealing polish for SINO solutions.
+//!
+//! The SINO problem is NP-hard (paper §3); the greedy constructor is fast
+//! but can over-shield. This annealer explores reorderings and shield
+//! moves, keeping the best *feasible* layout seen. It is used by the
+//! `sino_solvers` ablation bench and available to callers who trade runtime
+//! for area.
+
+use crate::instance::SinoInstance;
+use crate::keff::evaluate;
+use crate::layout::Layout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Total proposed moves.
+    pub iters: usize,
+    /// Initial temperature (in cost units).
+    pub t0: f64,
+    /// Final temperature.
+    pub t1: f64,
+    /// RNG seed (deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig { iters: 4000, t0: 4.0, t1: 0.05, seed: 0xD1CE }
+    }
+}
+
+/// Cost: area plus steep penalties for violations, so the search may pass
+/// through infeasible states but is pulled back.
+fn cost(instance: &SinoInstance, layout: &Layout) -> f64 {
+    let eval = evaluate(instance, layout);
+    layout.area() as f64
+        + 25.0 * eval.cap_violations as f64
+        + 50.0 * eval.total_overflow()
+}
+
+/// Anneals from a feasible starting layout; returns a layout that is never
+/// worse (by area) and always feasible.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `start` is infeasible; callers obtain
+/// feasible layouts from the greedy solver first.
+pub fn improve(instance: &SinoInstance, start: Layout, config: &AnnealConfig) -> Layout {
+    debug_assert!(
+        evaluate(instance, &start).feasible,
+        "annealer requires a feasible starting layout"
+    );
+    if instance.n() < 2 || config.iters == 0 {
+        return start;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = start.clone();
+    let mut current_cost = cost(instance, &current);
+    let mut best = start;
+    let mut best_area = best.area();
+    let ratio = (config.t1 / config.t0).max(1e-9);
+    for step in 0..config.iters {
+        let t = config.t0 * ratio.powf(step as f64 / config.iters as f64);
+        let candidate = propose(&current, &mut rng);
+        let c = cost(instance, &candidate);
+        let accept = c <= current_cost
+            || rng.gen::<f64>() < ((current_cost - c) / t.max(1e-12)).exp();
+        if accept {
+            current = candidate;
+            current_cost = c;
+            if current.area() < best_area && evaluate(instance, &current).feasible {
+                best = current.clone();
+                best_area = best.area();
+            }
+        }
+    }
+    best
+}
+
+/// Proposes a random neighbouring layout.
+fn propose(layout: &Layout, rng: &mut StdRng) -> Layout {
+    let mut next = layout.clone();
+    let area = next.area();
+    match rng.gen_range(0..4u8) {
+        // Swap two tracks.
+        0 if area >= 2 => {
+            let a = rng.gen_range(0..area);
+            let b = rng.gen_range(0..area);
+            next.swap(a, b);
+        }
+        // Relocate a track.
+        1 if area >= 2 => {
+            let from = rng.gen_range(0..area);
+            let to = rng.gen_range(0..area);
+            next.relocate(from, to);
+        }
+        // Insert a shield.
+        2 => {
+            let gap = rng.gen_range(0..=area);
+            next.insert_shield(gap);
+        }
+        // Remove a random shield.
+        _ => {
+            let shields = next.shield_positions();
+            if !shields.is_empty() {
+                let pos = shields[rng.gen_range(0..shields.len())];
+                next.remove_shield_at(pos);
+            }
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::solve_greedy;
+    use crate::instance::SegmentSpec;
+    use gsino_grid::SensitivityModel;
+
+    fn instance(n: usize, rate: f64, kth: f64, seed: u64) -> SinoInstance {
+        let segs = (0..n).map(|i| SegmentSpec { net: i as u32, kth }).collect();
+        SinoInstance::from_model(segs, &SensitivityModel::new(rate, seed)).unwrap()
+    }
+
+    #[test]
+    fn result_is_feasible_and_no_larger() {
+        for seed in 0..5u64 {
+            let inst = instance(10, 0.5, 0.5, seed);
+            let greedy = solve_greedy(&inst);
+            let annealed = improve(
+                &inst,
+                greedy.clone(),
+                &AnnealConfig { iters: 2000, seed, ..AnnealConfig::default() },
+            );
+            assert!(evaluate(&inst, &annealed).feasible, "seed {seed}");
+            assert!(
+                annealed.area() <= greedy.area(),
+                "seed {seed}: annealed {} > greedy {}",
+                annealed.area(),
+                greedy.area()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let inst = instance(8, 0.6, 0.3, 11);
+        let start = solve_greedy(&inst);
+        let cfg = AnnealConfig { iters: 1500, seed: 99, ..AnnealConfig::default() };
+        let a = improve(&inst, start.clone(), &cfg);
+        let b = improve(&inst, start, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let inst = instance(6, 0.4, 0.5, 3);
+        let start = solve_greedy(&inst);
+        let out = improve(
+            &inst,
+            start.clone(),
+            &AnnealConfig { iters: 0, ..AnnealConfig::default() },
+        );
+        assert_eq!(out, start);
+    }
+
+    #[test]
+    fn tiny_instances_pass_through() {
+        let inst = instance(1, 1.0, 0.1, 5);
+        let start = solve_greedy(&inst);
+        let out = improve(&inst, start.clone(), &AnnealConfig::default());
+        assert_eq!(out, start);
+    }
+}

@@ -1,0 +1,325 @@
+//! Greedy constructive SINO solver.
+//!
+//! Three stages, mirroring how the min-area SINO heuristics of the paper's
+//! reference \[4\] are organized:
+//!
+//! 1. **Ordering/placement** — segments are placed one at a time (hardest
+//!    first: highest sensitivity, tightest budget) into the gap that
+//!    minimizes capacitive violations, then inductive overflow.
+//! 2. **Repair** — while constraints are violated, insert the shield that
+//!    best reduces the violation (between the offending adjacent pair for
+//!    capacitive problems; at the best split point of the worst-overflow
+//!    segment's block for inductive ones). Full isolation is always
+//!    feasible, so this terminates.
+//! 3. **Compaction** — drop every shield whose removal keeps feasibility,
+//!    right to left, minimizing area.
+
+use crate::instance::SinoInstance;
+use crate::keff::evaluate;
+use crate::layout::{Layout, Slot};
+
+/// Runs the greedy constructive solver; the result is always feasible.
+pub fn solve_greedy(instance: &SinoInstance) -> Layout {
+    let n = instance.n();
+    if n == 0 {
+        return Layout::from_slots(Vec::new()).expect("empty layout is well-formed");
+    }
+    // Hardest-first ordering: high sensitivity, then tight budget.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let sa = instance.local_sensitivity(a);
+        let sb = instance.local_sensitivity(b);
+        sb.partial_cmp(&sa)
+            .expect("finite sensitivity")
+            .then(
+                instance
+                    .segment(a)
+                    .kth
+                    .partial_cmp(&instance.segment(b).kth)
+                    .expect("finite budgets"),
+            )
+            .then(a.cmp(&b))
+    });
+
+    let mut layout = Layout::from_slots(Vec::new()).expect("empty layout");
+    for &seg in &order {
+        layout = place_best(instance, &layout, seg);
+    }
+    repair(instance, &mut layout);
+    compact(instance, &mut layout);
+    layout
+}
+
+/// Net ordering only — the "NO" of the paper's ID+NO baseline (§4):
+/// greedily orders segments "to eliminate as much capacitive coupling as
+/// possible" but inserts **no shields**, so inductive (and possibly
+/// residual capacitive) violations remain. Used to measure how many nets
+/// violate when routing ignores RLC crosstalk (Table 1).
+pub fn order_only(instance: &SinoInstance) -> Layout {
+    let n = instance.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let sa = instance.local_sensitivity(a);
+        let sb = instance.local_sensitivity(b);
+        sb.partial_cmp(&sa).expect("finite sensitivity").then(a.cmp(&b))
+    });
+    let mut layout = Layout::from_slots(Vec::new()).expect("empty layout");
+    for &seg in &order {
+        // The paper's net-ordering stage knows nothing about inductive
+        // coupling; it only avoids sensitive adjacency. Placing at the
+        // first (not the globally K-best) cap-clean gap mirrors that.
+        layout = place_first_cap_clean(instance, &layout, seg);
+    }
+    layout
+}
+
+/// Inserts `seg` at the first gap that adds no capacitive violation (or
+/// the gap adding the fewest, if none is clean).
+fn place_first_cap_clean(instance: &SinoInstance, layout: &Layout, seg: usize) -> Layout {
+    let mut best: Option<(usize, Layout)> = None;
+    for gap in 0..=layout.area() {
+        let mut slots = layout.slots().to_vec();
+        slots.insert(gap, Slot::Signal(seg));
+        let candidate = Layout::from_slots(slots).expect("insertion keeps uniqueness");
+        let cap = crate::keff::cap_violations(instance, &candidate);
+        if cap == 0 {
+            return candidate;
+        }
+        if best.as_ref().is_none_or(|(bc, _)| cap < *bc) {
+            best = Some((cap, candidate));
+        }
+    }
+    best.expect("at least one gap exists").1
+}
+
+/// Tries every insertion gap for `seg` and keeps the best.
+fn place_best(instance: &SinoInstance, layout: &Layout, seg: usize) -> Layout {
+    let mut best: Option<(usize, f64, Layout)> = None;
+    for gap in 0..=layout.area() {
+        let mut slots = layout.slots().to_vec();
+        slots.insert(gap, Slot::Signal(seg));
+        let candidate = Layout::from_slots(slots).expect("insertion keeps uniqueness");
+        let eval = evaluate(instance, &candidate);
+        let key = (eval.cap_violations, eval.total_overflow());
+        let better = match &best {
+            None => true,
+            Some((bc, bo, _)) => key.0 < *bc || (key.0 == *bc && key.1 < *bo - 1e-12),
+        };
+        if better {
+            best = Some((key.0, key.1, candidate));
+        }
+    }
+    best.expect("at least one gap exists").2
+}
+
+/// Inserts shields until the layout is feasible.
+pub(crate) fn repair(instance: &SinoInstance, layout: &mut Layout) {
+    // Bounded by the number of insertable gaps (full isolation).
+    let max_iters = 4 * instance.n() + 4;
+    for _ in 0..max_iters {
+        let eval = evaluate(instance, layout);
+        if eval.feasible {
+            return;
+        }
+        if eval.cap_violations > 0 {
+            // Split the first adjacent sensitive pair.
+            let slots = layout.slots().to_vec();
+            let mut inserted = false;
+            for (i, w) in slots.windows(2).enumerate() {
+                if let (Slot::Signal(a), Slot::Signal(b)) = (w[0], w[1]) {
+                    if instance.is_sensitive(a, b) {
+                        layout.insert_shield(i + 1);
+                        inserted = true;
+                        break;
+                    }
+                }
+            }
+            debug_assert!(inserted, "cap violation implies an adjacent pair");
+            continue;
+        }
+        // Inductive overflow: split the worst segment's block at the gap
+        // that minimizes (total overflow, worst segment's K).
+        let (worst, _) = eval.worst_overflow().expect("infeasible without cap violations");
+        let pos = layout.position_of(worst).expect("segment is placed");
+        let (block_start, block_len) = enclosing_block(layout, pos);
+        let mut best: Option<(f64, f64, usize)> = None;
+        for gap in (block_start + 1)..(block_start + block_len) {
+            let mut candidate = layout.clone();
+            candidate.insert_shield(gap);
+            let e = evaluate(instance, &candidate);
+            let key = (e.total_overflow(), e.k[worst]);
+            let better = match &best {
+                None => true,
+                Some((bo, bk, _)) => {
+                    key.0 < *bo - 1e-12 || ((key.0 - *bo).abs() <= 1e-12 && key.1 < *bk - 1e-12)
+                }
+            };
+            if better {
+                best = Some((key.0, key.1, gap));
+            }
+        }
+        match best {
+            Some((_, _, gap)) => layout.insert_shield(gap),
+            // Single-segment block cannot overflow; defensive fallback.
+            None => return,
+        }
+    }
+    debug_assert!(
+        evaluate(instance, layout).feasible,
+        "repair must reach feasibility within its iteration bound"
+    );
+}
+
+/// `(start, len)` of the maximal signal run containing track `pos`.
+fn enclosing_block(layout: &Layout, pos: usize) -> (usize, usize) {
+    let slots = layout.slots();
+    let mut start = pos;
+    while start > 0 && matches!(slots[start - 1], Slot::Signal(_)) {
+        start -= 1;
+    }
+    let mut end = pos;
+    while end + 1 < slots.len() && matches!(slots[end + 1], Slot::Signal(_)) {
+        end += 1;
+    }
+    (start, end - start + 1)
+}
+
+/// Removes every shield whose removal keeps the layout feasible.
+pub(crate) fn compact(instance: &SinoInstance, layout: &mut Layout) {
+    let mut pos = layout.area();
+    while pos > 0 {
+        pos -= 1;
+        if matches!(layout.slots().get(pos), Some(Slot::Shield)) {
+            let mut candidate = layout.clone();
+            candidate.remove_shield_at(pos);
+            if evaluate(instance, &candidate).feasible {
+                *layout = candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::SegmentSpec;
+    use gsino_grid::SensitivityModel;
+
+    fn instance(n: usize, rate: f64, kth: f64, seed: u64) -> SinoInstance {
+        let segs = (0..n).map(|i| SegmentSpec { net: i as u32, kth }).collect();
+        SinoInstance::from_model(segs, &SensitivityModel::new(rate, seed)).unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = SinoInstance::new(vec![], vec![]).unwrap();
+        let l = solve_greedy(&inst);
+        assert_eq!(l.area(), 0);
+    }
+
+    #[test]
+    fn singleton_needs_no_shields() {
+        let inst = instance(1, 1.0, 0.01, 1);
+        let l = solve_greedy(&inst);
+        assert_eq!(l.area(), 1);
+        assert_eq!(l.num_shields(), 0);
+        assert!(evaluate(&inst, &l).feasible);
+    }
+
+    #[test]
+    fn always_feasible_across_rates_and_budgets() {
+        for &rate in &[0.0, 0.3, 0.5, 1.0] {
+            for &kth in &[0.05, 0.5, 2.0] {
+                for n in [2, 5, 9, 16] {
+                    let inst = instance(n, rate, kth, 42 + n as u64);
+                    let l = solve_greedy(&inst);
+                    let eval = evaluate(&inst, &l);
+                    assert!(
+                        eval.feasible,
+                        "rate {rate} kth {kth} n {n}: cap {}, overflow {}",
+                        eval.cap_violations,
+                        eval.total_overflow()
+                    );
+                    assert!(l.validate(n).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insensitive_nets_need_no_shields() {
+        let inst = instance(10, 0.0, 0.01, 5);
+        let l = solve_greedy(&inst);
+        assert_eq!(l.num_shields(), 0);
+        assert_eq!(l.area(), 10);
+    }
+
+    #[test]
+    fn tight_budget_needs_more_shields_than_loose() {
+        let tight = instance(12, 0.6, 0.1, 9);
+        let loose = instance(12, 0.6, 3.0, 9);
+        let st = solve_greedy(&tight).num_shields();
+        let sl = solve_greedy(&loose).num_shields();
+        assert!(st >= sl, "tight {st} >= loose {sl}");
+        assert!(st > 0, "rate 0.6 with kth 0.1 must need shields");
+    }
+
+    #[test]
+    fn fully_sensitive_tiny_budget_isolates_everyone() {
+        let inst = instance(5, 1.0, 1e-6, 2);
+        let l = solve_greedy(&inst);
+        assert!(evaluate(&inst, &l).feasible);
+        // Every neighbouring pair must be separated: n−1 shields.
+        assert_eq!(l.num_shields(), 4);
+    }
+
+    #[test]
+    fn compaction_leaves_no_removable_shield() {
+        let inst = instance(10, 0.5, 0.4, 77);
+        let l = solve_greedy(&inst);
+        for pos in l.shield_positions() {
+            let mut candidate = l.clone();
+            candidate.remove_shield_at(pos);
+            assert!(
+                !evaluate(&inst, &candidate).feasible,
+                "shield at {pos} is removable — compaction missed it"
+            );
+        }
+    }
+
+    #[test]
+    fn order_only_places_everyone_without_shields() {
+        let inst = instance(12, 0.5, 0.1, 3);
+        let l = order_only(&inst);
+        assert_eq!(l.area(), 12);
+        assert_eq!(l.num_shields(), 0);
+        assert!(l.validate(12).is_ok());
+    }
+
+    #[test]
+    fn order_only_beats_identity_order_on_cap_violations() {
+        // With a moderate sensitivity rate, greedy ordering should leave no
+        // more adjacent sensitive pairs than the identity order.
+        let inst = instance(14, 0.4, 1e9, 8);
+        let ordered = order_only(&inst);
+        let identity = Layout::from_order(&(0..14).collect::<Vec<_>>());
+        let co = evaluate(&inst, &ordered).cap_violations;
+        let ci = evaluate(&inst, &identity).cap_violations;
+        assert!(co <= ci, "ordered {co} > identity {ci}");
+    }
+
+    #[test]
+    fn enclosing_block_bounds() {
+        let l = Layout::from_slots(vec![
+            Slot::Signal(0),
+            Slot::Shield,
+            Slot::Signal(1),
+            Slot::Signal(2),
+            Slot::Shield,
+        ])
+        .unwrap();
+        assert_eq!(enclosing_block(&l, 0), (0, 1));
+        assert_eq!(enclosing_block(&l, 2), (2, 2));
+        assert_eq!(enclosing_block(&l, 3), (2, 2));
+    }
+}

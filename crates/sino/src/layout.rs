@@ -1,0 +1,339 @@
+//! Track layouts: candidate SINO solutions.
+//!
+//! A layout is the ordered content of the tracks a region devotes to one
+//! direction: each track holds a net segment or a shield. The region walls
+//! (P/G wires, paper §2.1) bound the layout on both sides and behave like
+//! shields for the coupling model.
+
+use crate::{Result, SinoError};
+
+/// Content of one track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// A net segment, identified by its index in the instance.
+    Signal(usize),
+    /// A grounded shield wire.
+    Shield,
+}
+
+/// An ordered track assignment.
+///
+/// Invariant (checked by [`Layout::validate`] and preserved by the editing
+/// methods): every segment index `0..n` appears exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    slots: Vec<Slot>,
+}
+
+impl Layout {
+    /// A shield-free layout placing segments in the given order.
+    pub fn from_order(order: &[usize]) -> Self {
+        Layout { slots: order.iter().map(|&i| Slot::Signal(i)).collect() }
+    }
+
+    /// Builds a layout from explicit slots.
+    ///
+    /// # Errors
+    ///
+    /// [`SinoError::MalformedLayout`] if any segment repeats.
+    pub fn from_slots(slots: Vec<Slot>) -> Result<Self> {
+        let l = Layout { slots };
+        l.check_duplicates()?;
+        Ok(l)
+    }
+
+    fn check_duplicates(&self) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.slots {
+            if let Slot::Signal(i) = s {
+                if !seen.insert(*i) {
+                    return Err(SinoError::MalformedLayout { reason: "duplicate segment" });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates against an instance size: every segment `0..n` exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`SinoError::MalformedLayout`] on any mismatch.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        self.check_duplicates()?;
+        let count = self.slots.iter().filter(|s| matches!(s, Slot::Signal(_))).count();
+        if count != n {
+            return Err(SinoError::MalformedLayout { reason: "segment count mismatch" });
+        }
+        for s in &self.slots {
+            if let Slot::Signal(i) = s {
+                if *i >= n {
+                    return Err(SinoError::MalformedLayout { reason: "segment index range" });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The slots in track order.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of occupied tracks — the paper's *area* of a SINO solution.
+    pub fn area(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of shields.
+    pub fn num_shields(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Shield)).count()
+    }
+
+    /// Track position of a segment, if present.
+    pub fn position_of(&self, segment: usize) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Slot::Signal(segment))
+    }
+
+    /// Inserts a shield before track `gap` (`gap == area()` appends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap > area()`.
+    pub fn insert_shield(&mut self, gap: usize) {
+        assert!(gap <= self.slots.len(), "gap {gap} out of range");
+        self.slots.insert(gap, Slot::Shield);
+    }
+
+    /// Removes the shield at track `pos`, returning whether one was there.
+    pub fn remove_shield_at(&mut self, pos: usize) -> bool {
+        if pos < self.slots.len() && self.slots[pos] == Slot::Shield {
+            self.slots.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Positions of all shields.
+    pub fn shield_positions(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, Slot::Shield).then_some(i))
+            .collect()
+    }
+
+    /// Swaps the contents of two tracks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+    }
+
+    /// Moves the slot at `from` so it ends up at position `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn relocate(&mut self, from: usize, to: usize) {
+        let s = self.slots.remove(from);
+        self.slots.insert(to.min(self.slots.len()), s);
+    }
+
+    /// Renders the layout as text: `[3 1 | 0 2]` — segment indices in
+    /// track order with `|` for shields, bracketed by the region walls.
+    pub fn render(&self) -> String {
+        let mut out = String::from("[");
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match slot {
+                Slot::Signal(s) => out.push_str(&s.to_string()),
+                Slot::Shield => out.push('|'),
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    /// Iterates over the maximal runs of signal tracks between shields (and
+    /// walls): each item is `(start_track, segment indices in order)`.
+    pub fn blocks(&self) -> Vec<(usize, Vec<usize>)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(usize, Vec<usize>)> = None;
+        for (pos, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Slot::Signal(seg) => match &mut cur {
+                    Some((_, v)) => v.push(*seg),
+                    None => cur = Some((pos, vec![*seg])),
+                },
+                Slot::Shield => {
+                    if let Some(b) = cur.take() {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        if let Some(b) = cur.take() {
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_order_roundtrip() {
+        let l = Layout::from_order(&[2, 0, 1]);
+        assert_eq!(l.area(), 3);
+        assert_eq!(l.num_shields(), 0);
+        assert_eq!(l.position_of(0), Some(1));
+        assert_eq!(l.position_of(3), None);
+        assert!(l.validate(3).is_ok());
+        assert!(l.validate(4).is_err());
+    }
+
+    #[test]
+    fn duplicate_segments_rejected() {
+        assert!(Layout::from_slots(vec![Slot::Signal(0), Slot::Signal(0)]).is_err());
+    }
+
+    #[test]
+    fn shield_editing() {
+        let mut l = Layout::from_order(&[0, 1]);
+        l.insert_shield(1);
+        assert_eq!(l.slots(), &[Slot::Signal(0), Slot::Shield, Slot::Signal(1)]);
+        assert_eq!(l.num_shields(), 1);
+        assert_eq!(l.shield_positions(), vec![1]);
+        assert!(!l.remove_shield_at(0));
+        assert!(l.remove_shield_at(1));
+        assert_eq!(l.area(), 2);
+    }
+
+    #[test]
+    fn blocks_split_by_shields() {
+        let l = Layout::from_slots(vec![
+            Slot::Signal(0),
+            Slot::Signal(1),
+            Slot::Shield,
+            Slot::Signal(2),
+            Slot::Shield,
+        ])
+        .unwrap();
+        let blocks = l.blocks();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], (0, vec![0, 1]));
+        assert_eq!(blocks[1], (3, vec![2]));
+    }
+
+    #[test]
+    fn blocks_of_empty_and_all_shield() {
+        assert!(Layout::from_slots(vec![]).unwrap().blocks().is_empty());
+        assert!(Layout::from_slots(vec![Slot::Shield, Slot::Shield])
+            .unwrap()
+            .blocks()
+            .is_empty());
+    }
+
+    #[test]
+    fn swap_and_relocate() {
+        let mut l = Layout::from_order(&[0, 1, 2]);
+        l.swap(0, 2);
+        assert_eq!(l.position_of(2), Some(0));
+        l.relocate(0, 2);
+        assert_eq!(l.position_of(2), Some(2));
+        // Relocating to the end clamps.
+        l.relocate(0, 99);
+        assert_eq!(l.area(), 3);
+    }
+
+    #[test]
+    fn render_shows_tracks_and_shields() {
+        let mut l = Layout::from_order(&[3, 1, 0]);
+        l.insert_shield(2);
+        assert_eq!(l.render(), "[3 1 | 0]");
+        assert_eq!(Layout::from_slots(vec![]).unwrap().render(), "[]");
+    }
+
+    #[test]
+    fn out_of_range_segment_rejected() {
+        let l = Layout::from_order(&[0, 5]);
+        assert!(l.validate(2).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_layout(n: usize) -> impl Strategy<Value = Layout> {
+        (Just(n), prop::collection::vec(0usize..=n, 0..6)).prop_map(|(n, gaps)| {
+            let mut l = Layout::from_order(&(0..n).collect::<Vec<_>>());
+            for g in gaps {
+                l.insert_shield(g.min(l.area()));
+            }
+            l
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Editing operations preserve the exactly-once segment invariant.
+        #[test]
+        fn edits_preserve_validity(
+            n in 1usize..10,
+            a_frac in 0.0f64..1.0,
+            b_frac in 0.0f64..1.0,
+            layout in (1usize..10).prop_flat_map(arb_layout),
+        ) {
+            let mut l = layout;
+            let area = l.area();
+            let a = ((area - 1) as f64 * a_frac) as usize;
+            let b = ((area - 1) as f64 * b_frac) as usize;
+            l.swap(a, b);
+            l.relocate(a, b);
+            let segs = l.slots().iter().filter(|s| matches!(s, Slot::Signal(_))).count();
+            prop_assert!(l.validate(segs).is_ok());
+            let _ = n;
+        }
+
+        /// Blocks partition the signal slots: every segment appears in
+        /// exactly one block, and block contents are in track order.
+        #[test]
+        fn blocks_partition_segments(layout in (1usize..12).prop_flat_map(arb_layout)) {
+            let blocks = layout.blocks();
+            let mut seen = std::collections::HashSet::new();
+            for (start, segs) in &blocks {
+                for (i, seg) in segs.iter().enumerate() {
+                    prop_assert_eq!(layout.slots()[start + i], Slot::Signal(*seg));
+                    prop_assert!(seen.insert(*seg), "segment in two blocks");
+                }
+            }
+            let total = layout
+                .slots()
+                .iter()
+                .filter(|s| matches!(s, Slot::Signal(_)))
+                .count();
+            prop_assert_eq!(seen.len(), total);
+        }
+
+        /// Shield bookkeeping: positions listed are exactly the shields.
+        #[test]
+        fn shield_positions_consistent(layout in (1usize..12).prop_flat_map(arb_layout)) {
+            let positions = layout.shield_positions();
+            prop_assert_eq!(positions.len(), layout.num_shields());
+            for p in positions {
+                prop_assert_eq!(layout.slots()[p], Slot::Shield);
+            }
+        }
+    }
+}

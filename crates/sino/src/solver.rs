@@ -1,0 +1,134 @@
+//! The user-facing SINO solver facade.
+
+use crate::anneal::{improve, AnnealConfig};
+use crate::greedy::solve_greedy;
+use crate::instance::SinoInstance;
+use crate::keff::evaluate;
+use crate::layout::Layout;
+use crate::Result;
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct SolverConfig {
+    /// Optional simulated-annealing polish after the greedy construction.
+    /// `None` (the default) is the fast path used by the full-chip flow;
+    /// Phase II calls SINO once per region and the greedy solution is
+    /// already feasible and compact.
+    pub anneal: Option<AnnealConfig>,
+}
+
+
+impl SolverConfig {
+    /// Enables annealing with the given iteration budget and seed.
+    pub fn with_anneal(iters: usize, seed: u64) -> Self {
+        SolverConfig { anneal: Some(AnnealConfig { iters, seed, ..AnnealConfig::default() }) }
+    }
+}
+
+/// Min-area SINO solver: greedy construction, optional annealing polish.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::SensitivityModel;
+/// use gsino_sino::instance::{SegmentSpec, SinoInstance};
+/// use gsino_sino::solver::{SinoSolver, SolverConfig};
+/// use gsino_sino::keff::evaluate;
+///
+/// # fn main() -> Result<(), gsino_sino::SinoError> {
+/// let segs = (0..10).map(|i| SegmentSpec { net: i, kth: 0.8 }).collect();
+/// let inst = SinoInstance::from_model(segs, &SensitivityModel::new(0.3, 5))?;
+/// let layout = SinoSolver::new(SolverConfig::default()).solve(&inst)?;
+/// assert!(evaluate(&inst, &layout).feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SinoSolver {
+    config: SolverConfig,
+}
+
+impl SinoSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        SinoSolver { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves an instance; the returned layout is feasible and validated.
+    ///
+    /// # Errors
+    ///
+    /// Layout validation errors indicate an internal bug; instances that can
+    /// be constructed are always solvable (full isolation is feasible).
+    pub fn solve(&self, instance: &SinoInstance) -> Result<Layout> {
+        let mut layout = solve_greedy(instance);
+        if let Some(cfg) = &self.config.anneal {
+            layout = improve(instance, layout, cfg);
+        }
+        layout.validate(instance.n())?;
+        debug_assert!(evaluate(instance, &layout).feasible);
+        Ok(layout)
+    }
+
+    /// Minimum shield count for an instance (solves and counts) — the
+    /// ground truth Formula (3) is fitted against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SinoSolver::solve`].
+    pub fn min_shields(&self, instance: &SinoInstance) -> Result<usize> {
+        Ok(self.solve(instance)?.num_shields())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::SegmentSpec;
+    use gsino_grid::SensitivityModel;
+
+    fn instance(n: usize, rate: f64, kth: f64, seed: u64) -> SinoInstance {
+        let segs = (0..n).map(|i| SegmentSpec { net: i as u32, kth }).collect();
+        SinoInstance::from_model(segs, &SensitivityModel::new(rate, seed)).unwrap()
+    }
+
+    #[test]
+    fn default_solver_is_greedy_only() {
+        let s = SinoSolver::default();
+        assert!(s.config().anneal.is_none());
+    }
+
+    #[test]
+    fn solve_and_min_shields_consistent() {
+        let inst = instance(12, 0.5, 0.4, 21);
+        let solver = SinoSolver::default();
+        let layout = solver.solve(&inst).unwrap();
+        assert_eq!(solver.min_shields(&inst).unwrap(), layout.num_shields());
+    }
+
+    #[test]
+    fn annealed_never_worse() {
+        for seed in [1u64, 2, 3] {
+            let inst = instance(14, 0.6, 0.35, seed);
+            let greedy = SinoSolver::default().solve(&inst).unwrap();
+            let annealed = SinoSolver::new(SolverConfig::with_anneal(3000, seed))
+                .solve(&inst)
+                .unwrap();
+            assert!(annealed.area() <= greedy.area());
+            assert!(evaluate(&inst, &annealed).feasible);
+        }
+    }
+
+    #[test]
+    fn empty_instance_solves_empty() {
+        let inst = SinoInstance::new(vec![], vec![]).unwrap();
+        let layout = SinoSolver::default().solve(&inst).unwrap();
+        assert_eq!(layout.area(), 0);
+    }
+}

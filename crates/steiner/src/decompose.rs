@@ -1,0 +1,128 @@
+//! Net decomposition into two-pin connections.
+//!
+//! The iterative-deletion router (paper §3.1, \[10\]) operates on per-net
+//! connection graphs over routing regions. To keep those graphs small even
+//! for multi-pin nets, each net is first decomposed along its Steiner
+//! topology: every tree edge becomes a two-pin [`Connection`] whose corridor
+//! (bounding box + halo) bounds the router's search. The union of the routed
+//! connections reassembles the net's routing tree.
+
+use crate::steiner::iterated_one_steiner;
+use gsino_grid::geom::Point;
+use gsino_grid::net::{Net, NetId};
+
+/// A two-pin routing task produced by decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Connection {
+    /// The net this connection belongs to.
+    pub net: NetId,
+    /// One endpoint (a pin or a Steiner point of the net's topology).
+    pub from: Point,
+    /// The other endpoint.
+    pub to: Point,
+}
+
+impl Connection {
+    /// Manhattan length of the connection.
+    pub fn manhattan(&self) -> f64 {
+        self.from.manhattan(self.to)
+    }
+}
+
+/// Decomposes a net into two-pin connections along its Steiner tree edges.
+///
+/// Single-pin nets yield no connections; two-pin nets yield exactly one.
+/// Zero-length tree edges (duplicate pin locations) are dropped — they need
+/// no routing.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::geom::Point;
+/// use gsino_grid::net::Net;
+/// use gsino_steiner::decompose_net;
+///
+/// let net = Net::new(5, vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(5.0, 8.0),
+/// ]);
+/// // A Steiner point at (5, 0) splits the net into three connections.
+/// let conns = decompose_net(&net);
+/// assert_eq!(conns.len(), 3);
+/// assert!(conns.iter().all(|c| c.net == 5));
+/// ```
+pub fn decompose_net(net: &Net) -> Vec<Connection> {
+    let pins = net.pins();
+    if pins.len() < 2 {
+        return Vec::new();
+    }
+    let tree = iterated_one_steiner(pins);
+    let vertices = tree.vertices();
+    tree.edges()
+        .iter()
+        .map(|&(a, b)| Connection { net: net.id(), from: vertices[a], to: vertices[b] })
+        .filter(|c| c.manhattan() > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pin_yields_nothing() {
+        let net = Net::new(0, vec![Point::new(1.0, 1.0)]);
+        assert!(decompose_net(&net).is_empty());
+    }
+
+    #[test]
+    fn two_pin_yields_one_connection() {
+        let net = Net::two_pin(1, Point::new(0.0, 0.0), Point::new(5.0, 5.0));
+        let conns = decompose_net(&net);
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].manhattan(), 10.0);
+    }
+
+    #[test]
+    fn duplicate_pins_drop_zero_length_edges() {
+        let net = Net::new(
+            2,
+            vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(3.0, 0.0)],
+        );
+        let conns = decompose_net(&net);
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].manhattan(), 3.0);
+    }
+
+    #[test]
+    fn connection_lengths_sum_to_tree_length() {
+        let pins = vec![
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 2.0),
+        ];
+        let net = Net::new(3, pins.clone());
+        let total: f64 = decompose_net(&net).iter().map(Connection::manhattan).sum();
+        assert_eq!(total, iterated_one_steiner(&pins).length());
+    }
+
+    #[test]
+    fn endpoints_cover_all_pins() {
+        let pins = vec![
+            Point::new(0.0, 0.0),
+            Point::new(9.0, 1.0),
+            Point::new(4.0, 7.0),
+            Point::new(8.0, 8.0),
+        ];
+        let net = Net::new(4, pins.clone());
+        let conns = decompose_net(&net);
+        for p in &pins {
+            let covered = conns.iter().any(|c| {
+                (c.from.x == p.x && c.from.y == p.y) || (c.to.x == p.x && c.to.y == p.y)
+            });
+            assert!(covered, "pin {p} not covered by any connection");
+        }
+    }
+}

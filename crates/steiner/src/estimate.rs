@@ -1,0 +1,73 @@
+//! RSMT wire-length estimation for Formula (2)'s `f(WL)` normalizer.
+
+use crate::steiner::iterated_one_steiner;
+use gsino_grid::geom::Point;
+
+/// Estimates the rectilinear Steiner minimum tree length of a pin set (µm).
+///
+/// * 0–1 pins → 0;
+/// * 2 pins → exact (Manhattan distance);
+/// * 3 pins → exact (the half-perimeter of the bounding box is optimal for
+///   three terminals);
+/// * otherwise → the iterated 1-Steiner heuristic.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::geom::Point;
+/// use gsino_steiner::rsmt_estimate;
+///
+/// let pins = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 5.0)];
+/// assert_eq!(rsmt_estimate(&pins), 7.0);
+/// ```
+pub fn rsmt_estimate(pins: &[Point]) -> f64 {
+    match pins.len() {
+        0 | 1 => 0.0,
+        2 => pins[0].manhattan(pins[1]),
+        3 => {
+            let (mut lx, mut ly, mut hx, mut hy) =
+                (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for p in pins {
+                lx = lx.min(p.x);
+                ly = ly.min(p.y);
+                hx = hx.max(p.x);
+                hy = hy.max(p.y);
+            }
+            (hx - lx) + (hy - ly)
+        }
+        _ => iterated_one_steiner(pins).length(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_pin_is_manhattan() {
+        assert_eq!(rsmt_estimate(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]), 7.0);
+    }
+
+    #[test]
+    fn three_pin_is_hpwl() {
+        let pins = [Point::new(0.0, 0.0), Point::new(10.0, 2.0), Point::new(4.0, 8.0)];
+        assert_eq!(rsmt_estimate(&pins), 18.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(rsmt_estimate(&[]), 0.0);
+        assert_eq!(rsmt_estimate(&[Point::new(9.0, 9.0)]), 0.0);
+    }
+
+    #[test]
+    fn four_pin_uses_steiner() {
+        let pins = [
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 2.0),
+        ];
+        assert_eq!(rsmt_estimate(&pins), 4.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Rectilinear Steiner-tree heuristics.
+//!
+//! Phase I of the paper normalizes the wire length of a net against "the
+//! estimated wire length of the Rectilinear Steiner Minimum Tree (RSMT) for
+//! the current net" (Formula (2)). This crate provides:
+//!
+//! * [`mst`] — an O(n²) Prim rectilinear minimum spanning tree;
+//! * [`steiner`] — the iterated 1-Steiner heuristic over Hanan candidates;
+//! * [`estimate`] — the RSMT length estimator used for `f(WL)`;
+//! * [`decompose`] — decomposition of a multi-pin net into two-pin
+//!   connections along its Steiner topology, the unit the iterative-deletion
+//!   router operates on.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_grid::geom::Point;
+//! use gsino_steiner::steiner::iterated_one_steiner;
+//!
+//! // A plus-shaped net: the optimal tree uses a Steiner point at (1, 1).
+//! let pins = [
+//!     Point::new(0.0, 1.0),
+//!     Point::new(2.0, 1.0),
+//!     Point::new(1.0, 0.0),
+//!     Point::new(1.0, 2.0),
+//! ];
+//! let tree = iterated_one_steiner(&pins);
+//! assert_eq!(tree.length(), 4.0);
+//! ```
+
+pub mod decompose;
+pub mod estimate;
+pub mod mst;
+pub mod steiner;
+
+pub use decompose::{decompose_net, Connection};
+pub use estimate::rsmt_estimate;
+pub use mst::{rectilinear_mst, MstResult};
+pub use steiner::{iterated_one_steiner, SteinerTree};

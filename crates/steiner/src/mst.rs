@@ -1,0 +1,141 @@
+//! Rectilinear minimum spanning tree (Prim's algorithm).
+
+use gsino_grid::geom::Point;
+
+/// A rectilinear MST over a point set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MstResult {
+    /// Tree edges as index pairs into the input point slice.
+    pub edges: Vec<(usize, usize)>,
+    /// Total rectilinear length.
+    pub length: f64,
+}
+
+/// Computes the rectilinear MST of `points` with Prim's algorithm in O(n²).
+///
+/// Point sets of size 0 or 1 yield an empty tree of length 0. Duplicate
+/// points connect with zero-length edges, which is harmless for wire-length
+/// estimation.
+///
+/// # Example
+///
+/// ```
+/// use gsino_grid::geom::Point;
+/// use gsino_steiner::rectilinear_mst;
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(3.0, 4.0)];
+/// let mst = rectilinear_mst(&pts);
+/// assert_eq!(mst.length, 7.0);
+/// assert_eq!(mst.edges.len(), 2);
+/// ```
+pub fn rectilinear_mst(points: &[Point]) -> MstResult {
+    let n = points.len();
+    if n < 2 {
+        return MstResult { edges: Vec::new(), length: 0.0 };
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    in_tree[0] = true;
+    for i in 1..n {
+        best_dist[i] = points[0].manhattan(points[i]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut length = 0.0;
+    for _ in 1..n {
+        // Pick the nearest out-of-tree point.
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for i in 0..n {
+            if !in_tree[i] && best_dist[i] < pick_d {
+                pick_d = best_dist[i];
+                pick = i;
+            }
+        }
+        debug_assert!(pick != usize::MAX, "graph is complete; a pick always exists");
+        in_tree[pick] = true;
+        edges.push((best_from[pick], pick));
+        length += pick_d;
+        // Relax distances through the new point.
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = points[pick].manhattan(points[i]);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_from[i] = pick;
+                }
+            }
+        }
+    }
+    MstResult { edges, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(rectilinear_mst(&[]).length, 0.0);
+        assert_eq!(rectilinear_mst(&[Point::new(1.0, 1.0)]).length, 0.0);
+    }
+
+    #[test]
+    fn two_points() {
+        let mst = rectilinear_mst(&[Point::new(0.0, 0.0), Point::new(2.0, 3.0)]);
+        assert_eq!(mst.length, 5.0);
+        assert_eq!(mst.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn collinear_points_chain() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mst = rectilinear_mst(&pts);
+        assert_eq!(mst.length, 4.0);
+        assert_eq!(mst.edges.len(), 4);
+    }
+
+    #[test]
+    fn square_corners() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        // Any MST of the unit square has length 3.
+        assert_eq!(rectilinear_mst(&pts).length, 3.0);
+    }
+
+    #[test]
+    fn duplicates_are_zero_cost() {
+        let pts = [Point::new(5.0, 5.0), Point::new(5.0, 5.0), Point::new(6.0, 5.0)];
+        assert_eq!(rectilinear_mst(&pts).length, 1.0);
+    }
+
+    #[test]
+    fn tree_spans_all_points() {
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::new((i * 7 % 13) as f64, (i * 11 % 17) as f64))
+            .collect();
+        let mst = rectilinear_mst(&pts);
+        assert_eq!(mst.edges.len(), pts.len() - 1);
+        // Union-find check that edges connect everything.
+        let mut parent: Vec<usize> = (0..pts.len()).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(a, b) in &mst.edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..pts.len() {
+            assert_eq!(find(&mut parent, i), root);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Explores Phase I crosstalk budgeting: how the uniform partition turns a
+//! voltage constraint into per-segment coupling budgets, and what Phase III
+//! re-budgeting changes (paper §3.1 and Fig. 2).
+//!
+//! ```text
+//! cargo run --example budget_explorer --release
+//! ```
+
+use gsino::core::pipeline::{run_flow_with_artifacts, Approach, GsinoConfig};
+use gsino::grid::{Circuit, Net, Point, Rect, SensitivityModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three nets of very different lengths sharing a die.
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(2048.0, 512.0))?;
+    let nets = vec![
+        Net::two_pin(0, Point::new(16.0, 100.0), Point::new(2030.0, 100.0)), // 2 mm
+        Net::two_pin(1, Point::new(16.0, 104.0), Point::new(1000.0, 104.0)), // 1 mm
+        Net::two_pin(2, Point::new(16.0, 108.0), Point::new(300.0, 108.0)),  // 0.3 mm
+        // Some company so the regions are not trivial.
+        Net::two_pin(3, Point::new(16.0, 98.0), Point::new(2030.0, 98.0)),
+        Net::two_pin(4, Point::new(16.0, 102.0), Point::new(2030.0, 102.0)),
+    ];
+    let circuit = Circuit::new("budgets", die, nets)?;
+    let config = GsinoConfig {
+        sensitivity: SensitivityModel::new(1.0, 3),
+        ..GsinoConfig::default()
+    };
+    let (outcome, internals) =
+        run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
+
+    println!("uniform budgeting (Kth = LSK(0.15 V) / Le), per net:");
+    let lsk_bound = internals.table.lsk_for_voltage(config.vth);
+    println!("  LSK bound for 0.15 V: {lsk_bound:.0} um");
+    for net in circuit.nets() {
+        let le = net.source().manhattan(net.sinks()[0]);
+        println!(
+            "  net {}: Le = {:6.0} um -> uniform Kth = {:.3}",
+            net.id(),
+            le,
+            lsk_bound / le
+        );
+    }
+
+    println!("\nfinal per-segment budgets along net 0's route (after Phase III):");
+    let route = outcome.routes.get(0).expect("routed");
+    for r in route.regions() {
+        for dir in [gsino::grid::Dir::H, gsino::grid::Dir::V] {
+            if let Some(kth) = internals.budgets.kth(0, r, dir) {
+                let k = internals.sino.k_of(0, r, dir).unwrap_or(0.0);
+                println!("  region {r:>4} {dir:?}: Kth {kth:.3}, achieved K {k:.3}");
+            }
+        }
+    }
+    println!(
+        "\noutcome: {} violations, {} shields",
+        outcome.violations.violating_nets(),
+        outcome.total_shields
+    );
+    Ok(())
+}

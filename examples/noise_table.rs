@@ -1,0 +1,39 @@
+//! Rebuilds the paper's LSK→voltage table from transient simulations and
+//! compares it against the calibrated closed form used by the routing flow
+//! (paper §2.2).
+//!
+//! ```text
+//! cargo run --example noise_table --release
+//! ```
+
+use gsino::grid::Technology;
+use gsino::lsk::NoiseTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::itrs_100nm();
+    println!("building the LSK table from coupled-RLC transient simulations…");
+    let simulated = NoiseTable::from_simulation(
+        &tech,
+        7,
+        &[400.0, 800.0, 1200.0, 1800.0, 2400.0, 3000.0],
+        6,
+    )?;
+    let calibrated = NoiseTable::calibrated(&tech);
+
+    println!("\n{:>10} | {:>10} | {:>10}", "LSK (um)", "sim (V)", "analytic (V)");
+    for i in (0..100).step_by(10) {
+        let (lsk, v) = simulated.entries()[i];
+        println!("{lsk:>10.0} | {v:>10.4} | {:>10.4}", calibrated.voltage(lsk));
+    }
+    let (lsk_lo, _) = simulated.entries()[0];
+    let (lsk_hi, _) = simulated.entries()[99];
+    println!(
+        "\nthe paper's 100-entry table spans 0.10-0.20 V, i.e. LSK {:.0}..{:.0} um here",
+        lsk_lo, lsk_hi
+    );
+    println!(
+        "budgeting example: a 1500 um net at 0.15 V gets Kth = {:.3}",
+        simulated.lsk_for_voltage(0.15) / 1500.0
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: route a small circuit with GSINO and inspect the outcome.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use gsino::core::analysis::NoiseProfile;
+use gsino::core::pipeline::{run_flow_with_artifacts, Approach, GsinoConfig};
+use gsino::grid::{Circuit, Net, Point, Rect, SensitivityModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1 mm × 1 mm die with a mix of local and chip-crossing nets.
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(1024.0, 1024.0))?;
+    let mut nets = Vec::new();
+    for i in 0..120u32 {
+        let x = 16.0 + (i as f64 * 137.0) % 960.0;
+        let y = 16.0 + (i as f64 * 211.0) % 960.0;
+        if i % 4 == 0 {
+            // Chip-crossing two-pin net.
+            nets.push(Net::two_pin(i, Point::new(x, y), Point::new(1008.0 - x, 1008.0 - y)));
+        } else {
+            // Local three-pin net.
+            nets.push(Net::new(
+                i,
+                vec![
+                    Point::new(x, y),
+                    Point::new((x + 130.0).min(1020.0), y),
+                    Point::new(x, (y + 90.0).min(1020.0)),
+                ],
+            ));
+        }
+    }
+    let circuit = Circuit::new("quickstart", die, nets)?;
+
+    // 30% sensitivity, 0.15 V crosstalk constraint — the paper's setup.
+    let config = GsinoConfig {
+        sensitivity: SensitivityModel::new(0.3, 42),
+        ..GsinoConfig::default()
+    };
+    let (outcome, internals) =
+        run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
+
+    println!("GSINO on {} nets:", circuit.num_nets());
+    println!("  average wire length : {:8.1} um", outcome.wirelength.mean_um);
+    println!(
+        "  routing area        : {:8.0} x {:8.0} um ({:.3e} um^2)",
+        outcome.area.width,
+        outcome.area.height,
+        outcome.area.area()
+    );
+    println!("  shields inserted    : {:8}", outcome.total_shields);
+    println!(
+        "  crosstalk violations: {:8} (constraint {:.2} V)",
+        outcome.violations.violating_nets(),
+        outcome.violations.vth
+    );
+    if let Some(stats) = outcome.refine_stats {
+        println!(
+            "  phase III           : fixed {} nets (+{} shields, -{} recovered)",
+            stats.pass1_nets, stats.pass1_shields_added, stats.pass2_shields_removed
+        );
+    }
+    println!(
+        "  phase times         : route {:.2}s, sino {:.2}s, refine {:.2}s",
+        outcome.timings.route_s, outcome.timings.sino_s, outcome.timings.refine_s
+    );
+    let profile = NoiseProfile::measure(
+        &circuit,
+        &internals.grid,
+        &outcome.routes,
+        &internals.sino,
+        &internals.table,
+        config.vth,
+    );
+    println!(
+        "\nper-sink noise profile ({} sinks, p50 {:.3} V, worst {:.3} V, margin {:+.3} V):",
+        profile.len(),
+        profile.quantile(0.5),
+        profile.max(),
+        profile.worst_margin()
+    );
+    print!("{}", profile.histogram(0.2));
+    Ok(())
+}

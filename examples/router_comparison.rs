@@ -1,0 +1,60 @@
+//! Domain scenario: compare the three routing approaches on a synthetic
+//! ISPD'98-like circuit — one row of the paper's Tables 1–3.
+//!
+//! ```text
+//! cargo run --example router_comparison --release -- [scale]
+//! ```
+
+use gsino::circuits::{generate, CircuitSpec};
+use gsino::core::baseline::{run_id_no, run_isino};
+use gsino::core::pipeline::{run_gsino, GsinoConfig, GsinoOutcome};
+use gsino::grid::SensitivityModel;
+
+fn row(outcome: &GsinoOutcome, nets: usize) -> String {
+    format!(
+        "{:>6}: wl {:7.1} um | area {:.4e} um^2 | shields {:5} | violations {:4} ({:4.1}%)",
+        outcome.approach.to_string(),
+        outcome.wirelength.mean_um,
+        outcome.area.area(),
+        outcome.total_shields,
+        outcome.violations.violating_nets(),
+        100.0 * outcome.violations.violating_nets() as f64 / nets as f64,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.3)
+        .clamp(0.01, 1.0);
+    let spec = CircuitSpec::ibm01().scaled(scale);
+    let circuit = generate(&spec, 2002)?;
+    println!(
+        "{} at scale {scale}: {} nets on a {:.0} x {:.0} um die\n",
+        spec.name,
+        circuit.num_nets(),
+        spec.die_w,
+        spec.die_h
+    );
+    for rate in [0.3, 0.5] {
+        let config = GsinoConfig {
+            sensitivity: SensitivityModel::new(rate, 2002),
+            ..GsinoConfig::default()
+        };
+        println!("sensitivity rate {:.0}%:", rate * 100.0);
+        let id_no = run_id_no(&circuit, &config)?;
+        let isino = run_isino(&circuit, &config)?;
+        let gsino = run_gsino(&circuit, &config)?;
+        println!("  {}", row(&id_no, circuit.num_nets()));
+        println!("  {}", row(&isino, circuit.num_nets()));
+        println!("  {}", row(&gsino, circuit.num_nets()));
+        let base = id_no.area.area();
+        println!(
+            "  area overhead vs ID+NO: iSINO {:+.2}%, GSINO {:+.2}%\n",
+            100.0 * (isino.area.area() - base) / base,
+            100.0 * (gsino.area.area() - base) / base,
+        );
+    }
+    Ok(())
+}

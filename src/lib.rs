@@ -1,0 +1,49 @@
+//! GSINO — a from-scratch reproduction of *"Towards Global Routing With
+//! RLC Crosstalk Constraints"* (J. D. Z. Ma and L. He, DAC 2002).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`numeric`] — dense LU, least squares, statistics;
+//! * [`grid`] — the routing-region substrate (geometry, technology, nets,
+//!   routes, utilization, the max-row × max-column area metric);
+//! * [`steiner`] — rectilinear Steiner-tree heuristics and net
+//!   decomposition;
+//! * [`rlc`] — the coupled-RLC transient simulator standing in for SPICE;
+//! * [`sino`] — simultaneous shield insertion and net ordering within a
+//!   region, with the Keff coupling model and Formula (3);
+//! * [`lsk`] — the length-scaled Keff noise model and its 100-entry
+//!   voltage table;
+//! * [`core`] — the GSINO three-phase flow, the iterative-deletion router
+//!   and the ID+NO / iSINO baselines;
+//! * [`circuits`] — ISPD'98-like synthetic benchmarks and the experiment
+//!   harness regenerating the paper's tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gsino::core::pipeline::{run_gsino, GsinoConfig};
+//! use gsino::grid::{Circuit, Net, Point, Rect};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let die = Rect::new(Point::new(0.0, 0.0), Point::new(512.0, 512.0))?;
+//! let nets: Vec<Net> = (0..30)
+//!     .map(|i| {
+//!         let y = 32.0 + (i as f64 * 15.0) % 448.0;
+//!         Net::two_pin(i, Point::new(16.0, y), Point::new(496.0, y))
+//!     })
+//!     .collect();
+//! let circuit = Circuit::new("quick", die, nets)?;
+//! let outcome = run_gsino(&circuit, &GsinoConfig::default())?;
+//! assert!(outcome.violations.is_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gsino_circuits as circuits;
+pub use gsino_core as core;
+pub use gsino_grid as grid;
+pub use gsino_lsk as lsk;
+pub use gsino_numeric as numeric;
+pub use gsino_rlc as rlc;
+pub use gsino_sino as sino;
+pub use gsino_steiner as steiner;

@@ -1,0 +1,133 @@
+//! Failure injection: malformed inputs must be rejected with typed errors,
+//! never panics, and degenerate-but-legal inputs must work.
+
+use gsino::core::pipeline::{run_gsino, GsinoConfig};
+use gsino::core::CoreError;
+use gsino::grid::{Circuit, GridError, Net, Point, Rect, RegionGrid, Technology};
+use gsino::lsk::{kth_for_le, LskError, NoiseTable};
+use gsino::rlc::{Netlist, RlcError, Waveform};
+use gsino::sino::{instance::SegmentSpec, SinoError, SinoInstance};
+
+#[test]
+fn circuit_construction_rejects_bad_inputs() {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+    assert!(matches!(
+        Circuit::new("x", die, vec![]),
+        Err(GridError::EmptyCircuit)
+    ));
+    assert!(matches!(
+        Circuit::new("x", die, vec![Net::new(0, vec![])]),
+        Err(GridError::EmptyNet { .. })
+    ));
+    assert!(matches!(
+        Circuit::new("x", die, vec![Net::new(0, vec![Point::new(500.0, 0.0)])]),
+        Err(GridError::PinOutsideDie { .. })
+    ));
+}
+
+#[test]
+fn grid_rejects_unusable_tiles() {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+    let tech = Technology::itrs_100nm();
+    for tile in [0.0, -4.0, f64::NAN, 1.0] {
+        assert!(
+            matches!(RegionGrid::from_die(die, &tech, tile), Err(GridError::BadTile { .. })),
+            "tile {tile} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn pipeline_rejects_bad_constraints() {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(256.0, 256.0)).unwrap();
+    let circuit = Circuit::new(
+        "x",
+        die,
+        vec![Net::two_pin(0, Point::new(10.0, 10.0), Point::new(200.0, 200.0))],
+    )
+    .unwrap();
+    for vth in [0.0, -0.1, 1.05, 2.0, f64::NAN] {
+        let config = GsinoConfig { vth, ..GsinoConfig::default() };
+        assert!(
+            matches!(run_gsino(&circuit, &config), Err(CoreError::BadConfig { .. })),
+            "vth {vth} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn sino_rejects_bad_budgets_and_matrices() {
+    assert!(matches!(
+        SinoInstance::new(vec![SegmentSpec { net: 0, kth: 0.0 }], vec![false]),
+        Err(SinoError::BadBudget { .. })
+    ));
+    assert!(matches!(
+        SinoInstance::new(vec![SegmentSpec { net: 0, kth: 1.0 }], vec![false; 3]),
+        Err(SinoError::MalformedLayout { .. })
+    ));
+}
+
+#[test]
+fn rlc_rejects_nonphysical_elements() {
+    let mut nl = Netlist::new(2);
+    assert!(matches!(
+        nl.resistor(1, 2, -10.0),
+        Err(RlcError::BadElementValue { .. })
+    ));
+    assert!(matches!(
+        nl.resistor(1, 5, 10.0),
+        Err(RlcError::NodeOutOfRange { .. })
+    ));
+    let i = nl.inductor(1, 2, 1e-9).unwrap();
+    let j = nl.inductor(2, 0, 1e-9).unwrap();
+    assert!(matches!(
+        nl.mutual(i, j, 2e-9),
+        Err(RlcError::NonPassiveMutual { .. })
+    ));
+    nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
+}
+
+#[test]
+fn lsk_budgeting_rejects_out_of_range() {
+    let table = NoiseTable::calibrated(&Technology::itrs_100nm());
+    assert!(matches!(kth_for_le(&table, 0.15, 0.0), Err(LskError::BadDistance { .. })));
+    assert!(matches!(kth_for_le(&table, 5.0, 100.0), Err(LskError::BadConstraint { .. })));
+}
+
+#[test]
+fn degenerate_circuits_still_flow() {
+    // Single net, single pin: nothing to route, nothing to violate.
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(256.0, 256.0)).unwrap();
+    let circuit =
+        Circuit::new("deg", die, vec![Net::new(0, vec![Point::new(10.0, 10.0)])]).unwrap();
+    let outcome = run_gsino(&circuit, &GsinoConfig::default()).unwrap();
+    assert!(outcome.violations.is_clean());
+    assert_eq!(outcome.total_shields, 0);
+    assert_eq!(outcome.wirelength.total_um, 0.0);
+
+    // All pins in one region.
+    let circuit = Circuit::new(
+        "local",
+        die,
+        vec![Net::new(
+            0,
+            vec![Point::new(1.0, 1.0), Point::new(30.0, 20.0), Point::new(5.0, 40.0)],
+        )],
+    )
+    .unwrap();
+    let outcome = run_gsino(&circuit, &GsinoConfig::default()).unwrap();
+    assert!(outcome.violations.is_clean());
+    assert!(outcome.wirelength.total_um > 0.0, "local nets report HPWL");
+}
+
+#[test]
+fn errors_format_and_chain() {
+    // Every error type implements Display + Error with sources.
+    use std::error::Error;
+    let e = CoreError::BadConfig { reason: "demo".into() };
+    assert!(e.to_string().contains("demo"));
+    let e = CoreError::Lsk(LskError::BadConstraint { vth: 9.0 });
+    assert!(e.source().is_some());
+    let e = RlcError::Numeric(gsino::numeric::NumericError::EmptyInput { op: "x" });
+    assert!(e.source().is_some());
+}

@@ -1,0 +1,146 @@
+//! Integration tests: the three flows end-to-end on deterministic circuits.
+
+use gsino::core::baseline::{run_id_no, run_isino};
+use gsino::core::pipeline::{run_gsino, Approach, GsinoConfig};
+use gsino::grid::{Circuit, Net, Point, Rect, SensitivityModel};
+use gsino::sino::NssModel;
+
+/// A deterministic mid-size circuit with a congested core and long buses.
+fn test_circuit() -> Circuit {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(1536.0, 1024.0)).unwrap();
+    let mut nets = Vec::new();
+    let mut id = 0u32;
+    // Two buses crossing most of the chip.
+    for bus in 0..2u32 {
+        for i in 0..12u32 {
+            let y = 256.0 + bus as f64 * 384.0 + i as f64 * 3.0;
+            nets.push(Net::two_pin(id, Point::new(24.0, y), Point::new(1510.0, y)));
+            id += 1;
+        }
+    }
+    // Scattered local nets.
+    for i in 0..80u32 {
+        let x = 32.0 + (i as f64 * 97.0) % 1400.0;
+        let y = 32.0 + (i as f64 * 61.0) % 950.0;
+        nets.push(Net::new(
+            id,
+            vec![
+                Point::new(x, y),
+                Point::new((x + 180.0).min(1530.0), y),
+                Point::new(x, (y + 120.0).min(1020.0)),
+            ],
+        ));
+        id += 1;
+    }
+    Circuit::new("integration", die, nets).unwrap()
+}
+
+fn config(rate: f64) -> GsinoConfig {
+    GsinoConfig {
+        sensitivity: SensitivityModel::new(rate, 77),
+        // Pre-fitted coefficients keep the test fast and deterministic.
+        nss_model: Some(NssModel::from_coefficients(
+            [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+            0.5,
+        )),
+        threads: 2,
+        ..GsinoConfig::default()
+    }
+}
+
+#[test]
+fn gsino_eliminates_all_violations() {
+    let circuit = test_circuit();
+    let outcome = run_gsino(&circuit, &config(0.5)).unwrap();
+    assert_eq!(outcome.approach, Approach::Gsino);
+    assert!(
+        outcome.violations.is_clean(),
+        "GSINO left {} violating nets",
+        outcome.violations.violating_nets()
+    );
+    assert!(outcome.refine_stats.unwrap().clean);
+}
+
+#[test]
+fn isino_eliminates_all_violations() {
+    let circuit = test_circuit();
+    let outcome = run_isino(&circuit, &config(0.5)).unwrap();
+    assert!(outcome.violations.is_clean());
+    assert!(outcome.total_shields > 0, "a sensitive circuit needs shields");
+}
+
+#[test]
+fn id_no_violates_on_sensitive_buses() {
+    let circuit = test_circuit();
+    let outcome = run_id_no(&circuit, &config(0.5)).unwrap();
+    assert!(
+        outcome.violations.violating_nets() > 0,
+        "unshielded 1.5 mm buses at 50% sensitivity must violate"
+    );
+    assert_eq!(outcome.total_shields, 0);
+}
+
+#[test]
+fn every_net_gets_a_route_spanning_its_pins() {
+    let circuit = test_circuit();
+    let outcome = run_gsino(&circuit, &config(0.3)).unwrap();
+    let grid = gsino::grid::RegionGrid::new(
+        &circuit,
+        &gsino::grid::Technology::itrs_100nm(),
+        64.0,
+    )
+    .unwrap();
+    for net in circuit.nets() {
+        let route = outcome.routes.get(net.id()).expect("every net routed");
+        let root = grid.region_of(net.source());
+        for sink in net.sinks() {
+            assert!(
+                route.path(root, grid.region_of(*sink)).is_some(),
+                "net {} cannot reach a sink",
+                net.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn flows_are_deterministic() {
+    let circuit = test_circuit();
+    let a = run_gsino(&circuit, &config(0.5)).unwrap();
+    let b = run_gsino(&circuit, &config(0.5)).unwrap();
+    assert_eq!(a.wirelength.total_um, b.wirelength.total_um);
+    assert_eq!(a.total_shields, b.total_shields);
+    assert_eq!(a.area.area(), b.area.area());
+    assert_eq!(
+        a.violations.violating_nets(),
+        b.violations.violating_nets()
+    );
+}
+
+#[test]
+fn shield_counts_ordered_gsino_below_isino() {
+    // GSINO reserves and minimizes shielding area during routing and
+    // recovers shields in Phase III, so it should never need vastly more
+    // shields than iSINO; on sensitive circuits it needs fewer.
+    let circuit = test_circuit();
+    let cfg = config(0.5);
+    let isino = run_isino(&circuit, &cfg).unwrap();
+    let gsino = run_gsino(&circuit, &cfg).unwrap();
+    assert!(
+        (gsino.total_shields as f64) < 1.2 * isino.total_shields as f64,
+        "GSINO {} shields vs iSINO {}",
+        gsino.total_shields,
+        isino.total_shields
+    );
+}
+
+#[test]
+fn zero_sensitivity_needs_no_shields_anywhere() {
+    let circuit = test_circuit();
+    let cfg = config(0.0);
+    let gsino = run_gsino(&circuit, &cfg).unwrap();
+    assert_eq!(gsino.total_shields, 0);
+    assert!(gsino.violations.is_clean());
+    let isino = run_isino(&circuit, &cfg).unwrap();
+    assert_eq!(isino.total_shields, 0);
+}
