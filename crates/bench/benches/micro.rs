@@ -2,12 +2,15 @@
 //! SINO solving, Keff evaluation, transient simulation and the ID router.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gsino_circuits::generator::generate;
+use gsino_circuits::spec::CircuitSpec;
 use gsino_grid::geom::{Point, Rect};
 use gsino_grid::net::{Circuit, Net};
 use gsino_grid::region::RegionGrid;
 use gsino_grid::sensitivity::SensitivityModel;
 use gsino_grid::tech::Technology;
-use gsino_core::router::{route_all, ShieldTerm, Weights};
+use gsino_core::router::reference::SeedAstarRouter;
+use gsino_core::router::{route_all, AstarRouter, ShieldTerm, Weights};
 use gsino_numeric::{LuFactors, Matrix};
 use gsino_rlc::coupled::{BlockSpec, WireRole};
 use gsino_rlc::peak_noise;
@@ -103,9 +106,69 @@ fn bench_router(c: &mut Criterion) {
     });
 }
 
+/// A 500-net generator circuit (the acceptance workload for the flat
+/// routing core): a scaled `ibm01` with the net count pinned to 500.
+fn astar_workload() -> (Circuit, RegionGrid) {
+    let mut spec = CircuitSpec::ibm01();
+    spec.num_nets = 500;
+    let circuit = generate(&spec, 2002).expect("generator circuit");
+    let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).expect("grid");
+    (circuit, grid)
+}
+
+/// Seed HashMap/BinaryHeap A* vs the flat-array scratch kernel vs the
+/// speculative parallel router, all on the same 500-net circuit. The
+/// route sets are asserted byte-identical before any timing is reported,
+/// so a regression in either axis (speed or fidelity) fails the bench.
+fn bench_astar_search(c: &mut Criterion) {
+    let (circuit, grid) = astar_workload();
+    let weights = Weights::default();
+    let seed_router = SeedAstarRouter::new(&grid, weights, ShieldTerm::None);
+    let flat_router = AstarRouter::new(&grid, weights, ShieldTerm::None);
+    // Both kernels route the same pre-decomposed connection list, so the
+    // comparison isolates the search/assembly core from the (identical)
+    // Steiner preprocessing.
+    let conns = flat_router.prepare(&circuit);
+    let seed_routes = seed_router.route_prepared(&circuit, &conns).expect("seed routes");
+    let mut scratch = flat_router.make_scratch();
+    let (flat_routes, _) =
+        flat_router.route_prepared(&circuit, &conns, &mut scratch).expect("flat routes");
+    let (par_routes, _) = flat_router.route_with_threads(&circuit, 0).expect("parallel");
+    assert_eq!(seed_routes, flat_routes, "flat A* must match the seed bit for bit");
+    assert_eq!(seed_routes, par_routes, "parallel A* must match the seed bit for bit");
+    assert_eq!(
+        seed_routes.total_wirelength(&grid),
+        flat_routes.total_wirelength(&grid)
+    );
+    c.bench_function("astar_search_seed_hashmap_500nets", |b| {
+        b.iter(|| {
+            seed_router
+                .route_prepared(std::hint::black_box(&circuit), &conns)
+                .expect("routes")
+        })
+    });
+    c.bench_function("astar_search_flat_scratch_500nets", |b| {
+        b.iter(|| {
+            flat_router
+                .route_prepared(std::hint::black_box(&circuit), &conns, &mut scratch)
+                .expect("routes")
+        })
+    });
+    c.bench_function("astar_full_seed_500nets", |b| {
+        b.iter(|| seed_router.route(std::hint::black_box(&circuit)).expect("routes"))
+    });
+    c.bench_function("astar_full_flat_500nets", |b| {
+        b.iter(|| {
+            flat_router
+                .route_with_scratch(std::hint::black_box(&circuit), &mut scratch)
+                .expect("routes")
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_steiner, bench_lu, bench_sino, bench_rlc, bench_router
+    targets = bench_steiner, bench_lu, bench_sino, bench_rlc, bench_router, bench_astar_search
 }
 criterion_main!(benches);

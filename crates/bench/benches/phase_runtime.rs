@@ -1,13 +1,120 @@
 //! **E3** — the paper's §5 runtime claim: "The majority of running time in
 //! the current three-phase GSINO algorithm is consumed by the ID-based
 //! global routing phase."
+//!
+//! Also measures the flat-array Phase I core against the seed HashMap
+//! router on the 500-net generator circuit: the route sets must be
+//! byte-identical and the flat kernel is expected to be ≥2× faster.
 
 use gsino_bench::{banner, bench_experiment_config};
 use gsino_circuits::experiment::run_suite;
+use gsino_circuits::generator::generate;
+use gsino_circuits::spec::CircuitSpec;
+use gsino_core::pipeline::{run_gsino, GsinoConfig, RouterKind};
+use gsino_core::router::reference::SeedAstarRouter;
+use gsino_core::router::{AstarRouter, ShieldTerm, Weights};
+use gsino_grid::region::RegionGrid;
+use gsino_grid::tech::Technology;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `f` over `reps` runs.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// Phase I flat-vs-seed comparison on the 500-net generator circuit.
+fn phase1_speedup_report() {
+    let mut spec = CircuitSpec::ibm01();
+    spec.num_nets = 500;
+    let circuit = generate(&spec, 2002).expect("generator circuit");
+    let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).expect("grid");
+    let weights = Weights::default();
+    let seed_router = SeedAstarRouter::new(&grid, weights, ShieldTerm::None);
+    let flat_router = AstarRouter::new(&grid, weights, ShieldTerm::None);
+
+    // Shared Steiner preprocessing, so the comparison isolates the
+    // rebuilt search/assembly core.
+    let conns = flat_router.prepare(&circuit);
+    let mut scratch = flat_router.make_scratch();
+    let seed_routes = seed_router.route_prepared(&circuit, &conns).expect("seed routes");
+    let (flat_routes, _) =
+        flat_router.route_prepared(&circuit, &conns, &mut scratch).expect("flat routes");
+    let (par_routes, stats) = flat_router
+        .route_prepared_with_threads(&circuit, &conns, 0)
+        .expect("parallel");
+    assert_eq!(seed_routes, flat_routes, "flat Phase I must match the seed bit for bit");
+    assert_eq!(seed_routes, par_routes, "parallel Phase I must match the seed bit for bit");
+
+    let reps = 7;
+    let t_seed = time_median(reps, || {
+        seed_router.route_prepared(&circuit, &conns).expect("routes");
+    });
+    let t_flat = time_median(reps, || {
+        flat_router.route_prepared(&circuit, &conns, &mut scratch).expect("routes");
+    });
+    let t_par = time_median(reps, || {
+        flat_router.route_prepared_with_threads(&circuit, &conns, 0).expect("routes");
+    });
+    let t_prepare = time_median(reps, || {
+        flat_router.prepare(&circuit);
+    });
+    println!("== phase I core, 500-net generator circuit (medians of {reps}) ==");
+    println!("  steiner prepare (shared)  {:>9.2} ms", t_prepare * 1e3);
+    println!("  seed HashMap A*           {:>9.2} ms", t_seed * 1e3);
+    println!(
+        "  flat scratch A*           {:>9.2} ms   ({:.2}x vs seed)",
+        t_flat * 1e3,
+        t_seed / t_flat
+    );
+    println!(
+        "  flat parallel A*          {:>9.2} ms   ({:.2}x vs seed, {} reroutes)",
+        t_par * 1e3,
+        t_seed / t_par,
+        stats.speculative_reroutes
+    );
+    println!(
+        "  total wirelength identical: {} um",
+        seed_routes.total_wirelength(&grid)
+    );
+}
+
+/// Per-phase timing split of the full flows, both router kinds.
+fn router_kind_phase_split() {
+    let spec = CircuitSpec::ibm01().scaled(0.06);
+    let circuit = generate(&spec, 2002).expect("generator circuit");
+    for (kind, label) in [
+        (RouterKind::IterativeDeletion, "iterative deletion"),
+        (RouterKind::SequentialAstar, "sequential A*"),
+    ] {
+        let config = GsinoConfig { router: kind, ..GsinoConfig::default() };
+        match run_gsino(&circuit, &config) {
+            Ok(outcome) => {
+                let t = outcome.timings;
+                println!(
+                    "  {label:<20} route {:.2}s  budget {:.2}s  sino {:.2}s  refine {:.2}s  total {:.2}s  (wl {:.0} um)",
+                    t.route_s, t.budget_s, t.sino_s, t.refine_s, t.total_s,
+                    outcome.wirelength.total_um,
+                );
+            }
+            Err(e) => println!("  {label}: failed: {e}"),
+        }
+    }
+}
 
 fn main() {
     let config = bench_experiment_config();
     eprintln!("{}", banner("phase_runtime", &config));
+    phase1_speedup_report();
+    println!("== full-flow phase split by router kind ==");
+    router_kind_phase_split();
     match run_suite(&config) {
         Ok(results) => {
             println!("{}", results.render_runtime_breakdown());

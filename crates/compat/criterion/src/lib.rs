@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a plain wall-clock
+//! harness: a warmup phase sizes the per-sample iteration count, then
+//! `sample_size` samples are timed and min/median/mean nanoseconds per
+//! iteration are printed. No plotting, no statistics beyond that; the
+//! numbers are honest medians and good enough to compare two
+//! implementations in the same process.
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always runs one batch element per measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The measurement harness handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The bench registry/configuration object.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(300),
+            target_sample_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples are measured per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warmup duration used to calibrate iteration counts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the wall-clock budget of one measured sample.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warmup: discover how many iterations fit the warmup budget.
+        let mut iters: u64 = 1;
+        let mut warm_elapsed;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            warm_elapsed = b.elapsed;
+            if warm_elapsed >= self.warmup || iters >= 1 << 30 {
+                break;
+            }
+            // Grow toward the warmup budget.
+            let grow = if warm_elapsed.is_zero() {
+                64.0
+            } else {
+                (self.warmup.as_secs_f64() / warm_elapsed.as_secs_f64()).clamp(1.5, 64.0)
+            };
+            iters = ((iters as f64) * grow).ceil() as u64;
+        }
+        let per_iter = warm_elapsed.as_secs_f64() / iters as f64;
+        let sample_iters =
+            ((self.target_sample_time.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            sample_iters,
+        );
+        self
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a bench group as a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros this workspace uses:
+//! range strategies over integers and floats, `Just`, tuple strategies,
+//! `prop::collection::vec`, `prop_map`/`prop_flat_map`, the `proptest!`
+//! macro with `#![proptest_config(...)]`, and `prop_assert!`-family macros
+//! (which panic like `assert!`, failing the test case directly).
+//!
+//! Cases are sampled deterministically from a seed derived from the test
+//! name, so failures reproduce run to run. There is no shrinking: the
+//! failing case's panic message carries the case index, and re-running the
+//! same test replays the identical sequence.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of cases and (ignored) knobs, mirroring `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// `prop::` namespace as re-exported by the real prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Strategy producing vectors whose length is drawn from `size`
+        /// and whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs the
+/// body over `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)*
+                let __run = || $body;
+                __run();
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn combinators_compose(
+            pair in (Just(7usize), 0.0f64..1.0),
+            mapped in (1usize..4).prop_map(|n| n * 2),
+            flat in (1usize..4).prop_flat_map(|n| prop::collection::vec(Just(n), 1..3)),
+        ) {
+            prop_assert_eq!(pair.0, 7);
+            prop_assert!(mapped % 2 == 0 && mapped < 8);
+            prop_assert!(!flat.is_empty() && flat.iter().all(|&x| x == flat[0]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::for_case("det", 3);
+        let mut b = crate::test_runner::TestRng::for_case("det", 3);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crate registry, so this shim implements a
+//! small value-tree serialization model: [`Serialize`] renders a type into
+//! a [`Value`], [`Deserialize`] rebuilds it, and the companion `serde_json`
+//! shim converts values to and from JSON text. The derive macros (from the
+//! local `serde_derive`) cover the shapes this workspace actually uses —
+//! named-field structs, unit structs and C-like enums — and honour
+//! `#[serde(skip)]`.
+//!
+//! The JSON produced is field-name compatible with real serde, so circuit
+//! files written by either implementation parse in the other.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An ordered object: keys in insertion order, so output is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Appends a key/value pair (does not deduplicate).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// First value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also unit structs and `None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (u8..u64, usize).
+    U64(u64),
+    /// Signed integer that does not fit unsigned.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String (also C-like enum variants).
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Map),
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a descriptive message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError::new(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders a value tree from a type.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds a type from a value tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the value's shape does not match the type.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for i64")))?,
+                    Value::I64(n) => *n,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+// ---- containers ----
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (*self).serialize_value()
+    }
+}
+
+impl<K: std::fmt::Display + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut sorted: Vec<(&K, &V)> = self.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
+        let mut m = Map::new();
+        for (k, v) in sorted {
+            m.insert(k.to_string(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize_value(&42u32.serialize_value()).unwrap(), 42);
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u32>::deserialize_value(&vec![1u32, 2].serialize_value()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn integers_accept_float_json_forms() {
+        assert_eq!(u32::deserialize_value(&Value::F64(7.0)).unwrap(), 7);
+        assert!(u32::deserialize_value(&Value::F64(7.5)).is_err());
+        assert_eq!(f64::deserialize_value(&Value::U64(7)).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn shape_mismatch_reports_kinds() {
+        let e = u32::deserialize_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("b", Value::U64(1));
+        m.insert("a", Value::U64(2));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("a"), Some(&Value::U64(2)));
+    }
+}

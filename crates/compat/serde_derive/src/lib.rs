@@ -1,0 +1,298 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! No registry access means no `syn`/`quote`, so the item is parsed by
+//! hand from the raw token stream. Supported shapes — the ones this
+//! workspace derives on — are named-field structs, unit structs and C-like
+//! enums, with `#[serde(skip)]` honoured on fields. Anything else panics
+//! at expansion time with a pointed message rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name and whether `#[serde(skip)]` applies.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The derivable item shapes.
+enum Shape {
+    /// `struct Name { field: T, ... }`
+    Struct { name: String, fields: Vec<Field> },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { A, B, ... }`
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected a type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct { name, fields: parse_fields(g.stream()) }
+            }
+            _ => panic!(
+                "serde derive shim: struct `{name}` must have named fields or be a unit struct"
+            ),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            _ => panic!("serde derive shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Whether an attribute group is `serde(... skip ...)`.
+fn attr_is_skip(tokens: &[TokenTree], hash_idx: usize) -> bool {
+    if let Some(TokenTree::Group(g)) = tokens.get(hash_idx + 1) {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    return args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+                }
+            }
+        }
+    }
+    false
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Attributes and visibility ahead of the field name.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    skip |= attr_is_skip(&tokens, i);
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde derive shim: expected a field name, found {:?}", tokens[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde derive shim: field `{name}` missing `:` (tuple structs unsupported)"),
+        }
+        // Consume the type: tokens until a comma outside angle brackets.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde derive shim: expected a variant name");
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde derive shim: enum variant `{name}` has data; only C-like enums are supported"
+            ),
+            Some(other) => panic!("serde derive shim: unexpected token {other} after `{name}`"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+/// Derives the shim `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Shape::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "m.insert(\"{0}\", ::serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize_value(&self) -> ::serde::Value {{\n\
+                     let mut m = ::serde::Map::new();\n\
+                     {inserts}\
+                     ::serde::Value::Object(m)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Str(String::from(match self {{ {arms} }}))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match m.get(\"{0}\") {{\n\
+                           Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                           None => return Err(::serde::DeError::new(\
+                             \"missing field `{0}` in {name}\")),\n\
+                         }},\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize_value(v: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Object(m) => Ok({name} {{ {inits} }}),\n\
+                       _ => Err(::serde::DeError::new(\"expected object for {name}\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn deserialize_value(v: &::serde::Value) \
+                   -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                   ::serde::Value::Null | ::serde::Value::Object(_) => Ok({name}),\n\
+                   _ => Err(::serde::DeError::new(\"expected null for {name}\")),\n\
+                 }}\n\
+               }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize_value(v: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms}\
+                         other => Err(::serde::DeError::new(format!(\
+                           \"unknown {name} variant `{{other}}`\"))),\n\
+                       }},\n\
+                       _ => Err(::serde::DeError::new(\"expected string for {name}\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}

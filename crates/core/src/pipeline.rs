@@ -69,7 +69,8 @@ pub struct GsinoConfig {
     pub solver: SolverConfig,
     /// Phase III bounds.
     pub refine: RefineConfig,
-    /// Worker threads for Phase II (0 = available parallelism).
+    /// Worker threads for Phase I's A* batches and Phase II's region
+    /// solves (0 = available parallelism).
     pub threads: usize,
     /// Pre-fitted Formula (3) model; `None` fits one per GSINO run.
     pub nss_model: Option<NssModel>,
@@ -247,9 +248,11 @@ pub(crate) fn run_flow(
         RouterKind::IterativeDeletion => {
             IdRouter::new(&grid, config.weights, shield_term).route(circuit)?
         }
-        RouterKind::SequentialAstar => {
-            AstarRouter::new(&grid, config.weights, shield_term).route(circuit)?
-        }
+        // Phase I parallelism honours the same thread budget as Phase II;
+        // the speculative batches commit in sequential order, so the
+        // output is identical for every thread count.
+        RouterKind::SequentialAstar => AstarRouter::new(&grid, config.weights, shield_term)
+            .route_with_threads(circuit, config.threads)?,
     };
     let route_s = t0.elapsed().as_secs_f64();
     let _ = route_all;

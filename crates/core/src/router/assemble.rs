@@ -1,0 +1,384 @@
+//! Shared flat-array route-tree assembly.
+//!
+//! Both Phase I routers finish the same way: merge each net's surviving
+//! region edges, span them with a BFS tree from the source region, and
+//! prune dangling branches that reach no pin. The seed implementation did
+//! this twice (once per router) over `HashMap` adjacency/parent/degree
+//! maps with an O(E²) leaf-pruning scan; this module does it once over
+//! epoch-stamped flat arrays shared across all nets of a run, with a
+//! worklist pruner that retires each edge exactly once (O(E)).
+//!
+//! Determinism: the adjacency CSR preserves the order edges are supplied
+//! in (sorted), so the BFS visits regions in exactly the order the seed's
+//! insertion-ordered adjacency lists produced, and pruning is confluent —
+//! the surviving tree is the union of pin-to-root paths regardless of
+//! removal order. Output trees are therefore byte-identical to the seed's.
+
+use crate::{CoreError, Result};
+use gsino_grid::net::{Circuit, NetId};
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{GridEdge, RouteSet, RouteTree};
+use std::collections::HashMap;
+
+/// Epoch-stamped buffers reused across every net of an assembly pass.
+#[derive(Debug, Default)]
+pub(crate) struct AssembleScratch {
+    epoch: u32,
+    /// Per-region incident-edge count (stamped).
+    deg: Vec<u32>,
+    deg_stamp: Vec<u32>,
+    /// Per-region CSR slot start and fill cursor (stamped with `deg`).
+    start: Vec<u32>,
+    fill: Vec<u32>,
+    /// CSR payload: for adjacency, the neighbor region and the edge index.
+    adj_region: Vec<RegionIdx>,
+    adj_edge: Vec<u32>,
+    /// Regions touched this net, in first-touch order.
+    nodes: Vec<RegionIdx>,
+    /// BFS parent (stamped).
+    parent: Vec<RegionIdx>,
+    parent_stamp: Vec<u32>,
+    /// BFS queue; after the walk it holds the visit order.
+    queue: Vec<RegionIdx>,
+    /// Pin-region marks (stamped).
+    pin_stamp: Vec<u32>,
+    /// Tree-edge liveness during pruning.
+    alive: Vec<bool>,
+    /// Worklist of prunable leaf regions.
+    worklist: Vec<RegionIdx>,
+    /// Surviving edges, sorted before tree construction.
+    out_edges: Vec<GridEdge>,
+}
+
+impl AssembleScratch {
+    pub(crate) fn new() -> Self {
+        AssembleScratch::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.deg.len() < n {
+            self.deg.resize(n, 0);
+            self.deg_stamp.resize(n, 0);
+            self.start.resize(n, 0);
+            self.fill.resize(n, 0);
+            self.parent.resize(n, 0);
+            self.parent_stamp.resize(n, 0);
+            self.pin_stamp.resize(n, 0);
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.deg_stamp.fill(0);
+            self.parent_stamp.fill(0);
+            self.pin_stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Builds one net's route tree from its (sorted, deduplicated) edges.
+    fn net_tree(
+        &mut self,
+        grid: &RegionGrid,
+        net: NetId,
+        root: RegionIdx,
+        pin_regions: &[RegionIdx],
+        edges: &[GridEdge],
+    ) -> Result<RouteTree> {
+        self.ensure(grid.num_regions() as usize);
+        self.next_epoch();
+        let epoch = self.epoch;
+
+        // Degree count + first-touch node list.
+        self.nodes.clear();
+        for e in edges {
+            for r in [e.a(), e.b()] {
+                let ri = r as usize;
+                if self.deg_stamp[ri] != epoch {
+                    self.deg_stamp[ri] = epoch;
+                    self.deg[ri] = 0;
+                    self.nodes.push(r);
+                }
+                self.deg[ri] += 1;
+            }
+        }
+        // CSR offsets in node-discovery order; fill preserves edge order,
+        // so each region's neighbor list reads exactly like the seed's
+        // insertion-ordered `HashMap<RegionIdx, Vec<RegionIdx>>` lists.
+        let mut offset = 0u32;
+        for &r in &self.nodes {
+            let ri = r as usize;
+            self.start[ri] = offset;
+            self.fill[ri] = offset;
+            offset += self.deg[ri];
+        }
+        self.adj_region.clear();
+        self.adj_region.resize(offset as usize, 0);
+        self.adj_edge.clear();
+        self.adj_edge.resize(offset as usize, 0);
+        for (ei, e) in edges.iter().enumerate() {
+            for (r, other) in [(e.a(), e.b()), (e.b(), e.a())] {
+                let slot = self.fill[r as usize] as usize;
+                self.fill[r as usize] += 1;
+                self.adj_region[slot] = other;
+                self.adj_edge[slot] = ei as u32;
+            }
+        }
+
+        // Pin marks.
+        for &p in pin_regions {
+            self.pin_stamp[p as usize] = epoch;
+        }
+
+        // BFS spanning walk from the root.
+        self.queue.clear();
+        self.parent_stamp[root as usize] = epoch;
+        self.parent[root as usize] = root;
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let r = self.queue[head];
+            head += 1;
+            let ri = r as usize;
+            if self.deg_stamp[ri] != epoch {
+                continue; // Root disconnected from every edge.
+            }
+            let (s, f) = (self.start[ri] as usize, self.fill[ri] as usize);
+            for slot in s..f {
+                let n = self.adj_region[slot];
+                if self.parent_stamp[n as usize] != epoch {
+                    self.parent_stamp[n as usize] = epoch;
+                    self.parent[n as usize] = r;
+                    self.queue.push(n);
+                }
+            }
+        }
+        for &p in pin_regions {
+            if self.parent_stamp[p as usize] != epoch {
+                return Err(CoreError::RoutingFailed { net });
+            }
+        }
+
+        // Tree edges: one per visited non-root region. Reuse `deg` as the
+        // tree degree and the CSR as tree incidence (rebuilt below).
+        let visited = self.queue.len();
+        let tree_edge_count = visited - 1;
+        self.out_edges.clear();
+        for i in 1..visited {
+            let child = self.queue[i];
+            self.out_edges.push(GridEdge::new(grid, child, self.parent[child as usize])?);
+        }
+        debug_assert_eq!(self.out_edges.len(), tree_edge_count);
+
+        // Rebuild degree + incidence over the tree edges only.
+        for i in 0..visited {
+            self.deg[self.queue[i] as usize] = 0;
+        }
+        for e in &self.out_edges {
+            self.deg[e.a() as usize] += 1;
+            self.deg[e.b() as usize] += 1;
+        }
+        let mut offset = 0u32;
+        for i in 0..visited {
+            let ri = self.queue[i] as usize;
+            self.start[ri] = offset;
+            self.fill[ri] = offset;
+            offset += self.deg[ri];
+        }
+        self.adj_region.clear();
+        self.adj_region.resize(offset as usize, 0);
+        self.adj_edge.clear();
+        self.adj_edge.resize(offset as usize, 0);
+        for (ei, e) in self.out_edges.iter().enumerate() {
+            for (r, other) in [(e.a(), e.b()), (e.b(), e.a())] {
+                let slot = self.fill[r as usize] as usize;
+                self.fill[r as usize] += 1;
+                self.adj_region[slot] = other;
+                self.adj_edge[slot] = ei as u32;
+            }
+        }
+
+        // Worklist pruning: retire non-pin leaves until none remain. Each
+        // edge dies at most once, so this is O(E) where the seed rescanned
+        // the whole edge set per removal (O(E²)).
+        self.alive.clear();
+        self.alive.resize(tree_edge_count, true);
+        self.worklist.clear();
+        for i in 0..visited {
+            let r = self.queue[i];
+            if self.deg[r as usize] == 1 && self.pin_stamp[r as usize] != epoch {
+                self.worklist.push(r);
+            }
+        }
+        let mut alive_count = tree_edge_count;
+        while let Some(u) = self.worklist.pop() {
+            let ui = u as usize;
+            if self.deg[ui] != 1 {
+                continue; // Already fully pruned via its only edge.
+            }
+            let (s, f) = (self.start[ui] as usize, self.fill[ui] as usize);
+            for slot in s..f {
+                let ei = self.adj_edge[slot] as usize;
+                if !self.alive[ei] {
+                    continue;
+                }
+                let v = self.adj_region[slot];
+                self.alive[ei] = false;
+                alive_count -= 1;
+                self.deg[ui] -= 1;
+                self.deg[v as usize] -= 1;
+                if self.deg[v as usize] == 1 && self.pin_stamp[v as usize] != epoch {
+                    self.worklist.push(v);
+                }
+                break;
+            }
+        }
+
+        let mut tree: Vec<GridEdge> = self
+            .out_edges
+            .iter()
+            .zip(self.alive.iter())
+            .filter_map(|(e, alive)| alive.then_some(*e))
+            .collect();
+        debug_assert_eq!(tree.len(), alive_count);
+        tree.sort_unstable();
+        RouteTree::new(grid, net, root, tree).map_err(CoreError::from)
+    }
+}
+
+/// Assembles one [`RouteTree`] per net from per-net edge pools: merge,
+/// BFS-span from the source region, prune dangling non-pin branches.
+///
+/// Shared by both Phase I routers. Edges may contain duplicates; they are
+/// sorted and deduplicated here so tie-breaking is deterministic.
+///
+/// # Errors
+///
+/// [`CoreError::RoutingFailed`] if a net's pins are not all connected by
+/// its edge pool (internal invariant violation).
+pub(crate) fn assemble_trees(
+    grid: &RegionGrid,
+    circuit: &Circuit,
+    per_net: &mut HashMap<NetId, Vec<GridEdge>>,
+) -> Result<RouteSet> {
+    let mut scratch = AssembleScratch::new();
+    let mut pin_regions: Vec<RegionIdx> = Vec::new();
+    let mut routes = RouteSet::with_capacity(circuit.num_nets());
+    for net in circuit.nets() {
+        let root = grid.region_of(net.source());
+        let edges = match per_net.get_mut(&net.id()) {
+            None => {
+                routes.insert(RouteTree::trivial(net.id(), root))?;
+                continue;
+            }
+            Some(edges) => {
+                edges.sort_unstable();
+                edges.dedup();
+                &*edges
+            }
+        };
+        pin_regions.clear();
+        pin_regions.extend(net.pins().iter().map(|p| grid.region_of(*p)));
+        pin_regions.sort_unstable();
+        pin_regions.dedup();
+        routes.insert(scratch.net_tree(grid, net.id(), root, &pin_regions, edges)?)?;
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+    use gsino_grid::tech::Technology;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    #[test]
+    fn prunes_dangling_branch() {
+        let g = grid();
+        let net = Net::two_pin(0, Point::new(32.0, 32.0), Point::new(160.0, 32.0));
+        let die = *g.die();
+        let circuit = Circuit::new("t", die, vec![net]).unwrap();
+        // Path (0,0)-(1,0)-(2,0) plus a dangling stub (1,0)-(1,1)-(1,2).
+        let edges = vec![
+            GridEdge::new(&g, g.idx(0, 0), g.idx(1, 0)).unwrap(),
+            GridEdge::new(&g, g.idx(1, 0), g.idx(2, 0)).unwrap(),
+            GridEdge::new(&g, g.idx(1, 0), g.idx(1, 1)).unwrap(),
+            GridEdge::new(&g, g.idx(1, 1), g.idx(1, 2)).unwrap(),
+        ];
+        let mut per_net = HashMap::from([(0u32, edges)]);
+        let routes = assemble_trees(&g, &circuit, &mut per_net).unwrap();
+        let r = routes.get(0).unwrap();
+        assert_eq!(r.edges().len(), 2, "stub must be pruned: {:?}", r.edges());
+    }
+
+    #[test]
+    fn cycle_collapses_to_tree() {
+        let g = grid();
+        let net = Net::two_pin(0, Point::new(32.0, 32.0), Point::new(96.0, 96.0));
+        let circuit = Circuit::new("t", *g.die(), vec![net]).unwrap();
+        // Full 2x2 cycle; the tree must drop exactly one edge.
+        let edges = vec![
+            GridEdge::new(&g, g.idx(0, 0), g.idx(1, 0)).unwrap(),
+            GridEdge::new(&g, g.idx(0, 0), g.idx(0, 1)).unwrap(),
+            GridEdge::new(&g, g.idx(1, 0), g.idx(1, 1)).unwrap(),
+            GridEdge::new(&g, g.idx(0, 1), g.idx(1, 1)).unwrap(),
+        ];
+        let mut per_net = HashMap::from([(0u32, edges)]);
+        let routes = assemble_trees(&g, &circuit, &mut per_net).unwrap();
+        assert_eq!(routes.get(0).unwrap().edges().len(), 2);
+    }
+
+    #[test]
+    fn disconnected_pin_is_an_error() {
+        let g = grid();
+        let net = Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 600.0));
+        let circuit = Circuit::new("t", *g.die(), vec![net]).unwrap();
+        let edges = vec![GridEdge::new(&g, g.idx(0, 0), g.idx(1, 0)).unwrap()];
+        let mut per_net = HashMap::from([(0u32, edges)]);
+        assert!(matches!(
+            assemble_trees(&g, &circuit, &mut per_net),
+            Err(CoreError::RoutingFailed { net: 0 })
+        ));
+    }
+
+    #[test]
+    fn unrouted_net_gets_trivial_tree() {
+        let g = grid();
+        let net = Net::new(0, vec![Point::new(10.0, 10.0)]);
+        let circuit = Circuit::new("t", *g.die(), vec![net]).unwrap();
+        let routes = assemble_trees(&g, &circuit, &mut HashMap::new()).unwrap();
+        assert_eq!(routes.get(0).unwrap().edges().len(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_many_nets_is_isolated() {
+        let g = grid();
+        let nets: Vec<Net> = (0..30)
+            .map(|i| {
+                let y = 32.0 + (i as f64 * 64.0) % 576.0;
+                Net::two_pin(i, Point::new(32.0, y), Point::new(600.0, y))
+            })
+            .collect();
+        let circuit = Circuit::new("t", *g.die(), nets).unwrap();
+        let mut per_net: HashMap<NetId, Vec<GridEdge>> = HashMap::new();
+        for net in circuit.nets() {
+            let (x0, y) = g.coords(g.region_of(net.source()));
+            let (x1, _) = g.coords(g.region_of(net.pins()[1]));
+            let edges: Vec<GridEdge> = (x0..x1)
+                .map(|x| GridEdge::new(&g, g.idx(x, y), g.idx(x + 1, y)).unwrap())
+                .collect();
+            per_net.insert(net.id(), edges);
+        }
+        let routes = assemble_trees(&g, &circuit, &mut per_net).unwrap();
+        for net in circuit.nets() {
+            assert_eq!(routes.get(net.id()).unwrap().edges().len(), 9);
+        }
+    }
+}

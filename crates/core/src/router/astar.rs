@@ -11,43 +11,30 @@
 //! Cost model per region step, mirroring Formula (2)'s terms: the tile
 //! length (wire length), β·HD with `HU = Nns + Nss` (committed demand plus
 //! the GSINO shield reservation), and γ·HOFR once a region would overflow.
+//!
+//! # Implementation
+//!
+//! The search kernel is the flat-array [`SearchScratch`] (epoch-stamped
+//! `g`/`prev` arrays plus a monotone bucket heap) instead of the seed's
+//! per-call `HashMap`s and `BinaryHeap`; the seed lives on in
+//! [`super::reference`] as the correctness and performance baseline, and
+//! the `router_equivalence` suite proves the two produce byte-identical
+//! route sets. [`AstarRouter::route_with_threads`] additionally routes
+//! batches of connections speculatively across threads and commits them in
+//! the sequential order, re-routing any connection whose search read a
+//! region that an earlier commit in the batch touched — so the parallel
+//! output equals the sequential output bit for bit (see `router` module
+//! docs for the argument).
 
+use super::assemble::assemble_trees;
+use super::scratch::SearchScratch;
 use super::{ShieldTerm, Weights};
 use crate::{CoreError, Result};
 use gsino_grid::net::{Circuit, NetId};
 use gsino_grid::region::{RegionGrid, RegionIdx};
-use gsino_grid::route::{Dir, GridEdge, RouteSet, RouteTree};
+use gsino_grid::route::{Dir, GridEdge, RouteSet};
 use gsino_steiner::decompose::{decompose_net, Connection};
-use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
-
-/// Min-heap entry for A*.
-#[derive(Debug, PartialEq)]
-struct OpenEntry {
-    /// f = g + h (µm-equivalent cost).
-    f: f64,
-    region: RegionIdx,
-}
-
-impl Eq for OpenEntry {}
-
-impl PartialOrd for OpenEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OpenEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need the smallest f.
-        other
-            .f
-            .partial_cmp(&self.f)
-            .expect("finite costs")
-            .then_with(|| other.region.cmp(&self.region))
-    }
-}
+use std::collections::HashMap;
 
 /// The sequential congestion-aware A* router.
 ///
@@ -72,105 +59,365 @@ pub struct AstarRouter<'a> {
     grid: &'a RegionGrid,
     weights: Weights,
     shield_term: ShieldTerm,
+    /// Per-region `(cx, cy)`, precomputed so the expansion loop never
+    /// divides.
+    coords: Vec<(u32, u32)>,
+    /// Per-region geometric centers, precomputed with the exact same
+    /// arithmetic as [`RegionGrid::center`] so heuristic values (and
+    /// therefore tie-breaking) match the seed router bit for bit.
+    centers: Vec<gsino_grid::geom::Point>,
+}
+
+/// One speculative search result awaiting ordered commit.
+enum Speculative {
+    /// Terminals share a region; nothing to route.
+    Skip,
+    /// A path plus the set of regions whose demand the search read.
+    Found { path: Vec<RegionIdx>, reads: Vec<RegionIdx> },
+    /// The search failed; the ordered re-route will surface the error.
+    Failed,
 }
 
 impl<'a> AstarRouter<'a> {
-    /// Creates the router.
+    /// Creates the router (precomputes per-region coordinate and center
+    /// tables, O(regions)).
     pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
-        AstarRouter { grid, weights, shield_term }
+        let coords = (0..grid.num_regions()).map(|r| grid.coords(r)).collect();
+        let centers = (0..grid.num_regions()).map(|r| grid.center(r)).collect();
+        AstarRouter { grid, weights, shield_term, coords, centers }
     }
 
-    /// Routes the circuit, committing demand connection by connection
-    /// (longest first, so the hardest connections see the emptiest chip —
-    /// the standard sequential-router ordering heuristic).
+    /// A scratch sized for this router's grid: the heap bucket quantum is
+    /// one minimum step cost, so each bucket holds about one wavefront
+    /// ring. Callers of [`AstarRouter::route_prepared`] should obtain
+    /// their scratch here rather than `SearchScratch::new()`, whose
+    /// default quantum is not tuned to the grid.
+    pub fn make_scratch(&self) -> SearchScratch {
+        SearchScratch::with_bucket_width(
+            self.weights.alpha * self.grid.tile_w().min(self.grid.tile_h()),
+        )
+    }
+
+    /// Routes the circuit sequentially with an internal scratch.
     ///
     /// # Errors
     ///
-    /// [`CoreError::RoutingFailed`] if route assembly fails (internal
-    /// invariant; A* itself always finds a path on a connected grid).
+    /// [`CoreError::RoutingFailed`] if a connection's target region cannot
+    /// be reached or route assembly fails.
     pub fn route(&self, circuit: &Circuit) -> Result<(RouteSet, super::RouterStats)> {
-        let mut stats = super::RouterStats::default();
+        let mut scratch = self.make_scratch();
+        self.route_with_scratch(circuit, &mut scratch)
+    }
+
+    /// Routes the circuit, batching independent connections across
+    /// `threads` worker threads (`0` = available parallelism).
+    ///
+    /// Speculative searches run against a demand snapshot; commits happen
+    /// in the sequential order, and any connection whose search read a
+    /// region a predecessor's commit changed is re-routed on the spot — so
+    /// the result is bit-for-bit identical to [`AstarRouter::route`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AstarRouter::route`].
+    pub fn route_with_threads(
+        &self,
+        circuit: &Circuit,
+        threads: usize,
+    ) -> Result<(RouteSet, super::RouterStats)> {
+        let conns = self.prepare(circuit);
+        self.route_prepared_with_threads(circuit, &conns, threads)
+    }
+
+    /// Parallel variant of [`AstarRouter::route_prepared`]: same
+    /// speculative batching and ordered commit as
+    /// [`AstarRouter::route_with_threads`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AstarRouter::route`].
+    pub fn route_prepared_with_threads(
+        &self,
+        circuit: &Circuit,
+        conns: &[Connection],
+        threads: usize,
+    ) -> Result<(RouteSet, super::RouterStats)> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        if threads <= 1 {
+            let mut scratch = self.make_scratch();
+            return self.route_prepared(circuit, conns, &mut scratch);
+        }
+        self.route_parallel(circuit, conns, threads)
+    }
+
+    /// Routes the circuit sequentially, reusing caller-owned scratch space
+    /// (epoch stamping makes consecutive calls independent).
+    ///
+    /// # Errors
+    ///
+    /// See [`AstarRouter::route`].
+    pub fn route_with_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut SearchScratch,
+    ) -> Result<(RouteSet, super::RouterStats)> {
+        let conns = self.prepare(circuit);
+        self.route_prepared(circuit, &conns, scratch)
+    }
+
+    /// Routes pre-decomposed connections (see [`AstarRouter::prepare`])
+    /// sequentially over caller-owned scratch space.
+    ///
+    /// Splitting preparation from routing lets batch flows and benches
+    /// decompose once and route many times; `conns` must be the exact
+    /// output of [`AstarRouter::prepare`] for the same circuit (the
+    /// longest-first order is part of the router's contract).
+    ///
+    /// # Errors
+    ///
+    /// See [`AstarRouter::route`].
+    pub fn route_prepared(
+        &self,
+        circuit: &Circuit,
+        conns: &[Connection],
+        scratch: &mut SearchScratch,
+    ) -> Result<(RouteSet, super::RouterStats)> {
+        let mut stats =
+            super::RouterStats { connections: conns.len(), ..Default::default() };
+        let nregions = self.grid.num_regions() as usize;
+        let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
+        let mut per_net: HashMap<NetId, Vec<GridEdge>> = HashMap::new();
+        scratch.counters = Default::default();
+        for c in conns {
+            let t1 = self.grid.region_of(c.from);
+            let t2 = self.grid.region_of(c.to);
+            if t1 == t2 {
+                continue;
+            }
+            let path = self
+                .astar(scratch, t1, t2, &demand)
+                .ok_or(CoreError::RoutingFailed { net: c.net })?;
+            commit_path(self.grid, path, &mut demand, per_net.entry(c.net).or_default(), None)?;
+        }
+        stats.stale_skips = scratch.counters.stale_skips;
+        let routes = assemble_trees(self.grid, circuit, &mut per_net)?;
+        Ok((routes, stats))
+    }
+
+    fn route_parallel(
+        &self,
+        circuit: &Circuit,
+        conns: &[Connection],
+        threads: usize,
+    ) -> Result<(RouteSet, super::RouterStats)> {
+        use std::sync::mpsc;
+        use std::sync::Arc;
+
+        let mut stats =
+            super::RouterStats { connections: conns.len(), ..Default::default() };
+        let nregions = self.grid.num_regions() as usize;
+        let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
+        // `version[r]` is the commit ordinal that last changed region r's
+        // demand; a speculative search is valid iff nothing it read moved
+        // after its snapshot.
+        let mut version: Vec<u32> = vec![0; nregions];
+        let mut commit_seq: u32 = 0;
+        let mut per_net: HashMap<NetId, Vec<GridEdge>> = HashMap::new();
+        let mut committer = self.make_scratch();
+        // Batches several times the thread count keep speculation windows
+        // (and thus re-route rates) small while leaving every worker a few
+        // connections per round.
+        let batch = threads * 4;
+
+        // One persistent worker per thread for the whole route: each gets
+        // its batch assignment over a channel (the chunk plus an Arc'd
+        // demand snapshot frozen at batch start) and reports its stripe's
+        // results back; spawning per batch would cost a thread spawn/join
+        // cycle every `batch` connections.
+        type Snapshot = Arc<[Vec<u32>; 2]>;
+        let mut result = Ok(());
+        let routes_out: Option<RouteSet> = std::thread::scope(|scope| {
+            let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<(usize, Speculative)>, usize)>();
+            let mut batch_txs: Vec<mpsc::Sender<(&[Connection], Snapshot)>> = Vec::new();
+            for w in 0..threads {
+                let (tx, rx) = mpsc::channel::<(&[Connection], Snapshot)>();
+                batch_txs.push(tx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    let mut scratch = self.make_scratch();
+                    scratch.set_record_reads(true);
+                    while let Ok((chunk, snapshot)) = rx.recv() {
+                        let before = scratch.counters.stale_skips;
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < chunk.len() {
+                            let c = &chunk[i];
+                            let t1 = self.grid.region_of(c.from);
+                            let t2 = self.grid.region_of(c.to);
+                            let spec = if t1 == t2 {
+                                Speculative::Skip
+                            } else {
+                                match self.astar(&mut scratch, t1, t2, &snapshot) {
+                                    Some(path) => Speculative::Found {
+                                        path: path.to_vec(),
+                                        reads: scratch.reads().to_vec(),
+                                    },
+                                    None => Speculative::Failed,
+                                }
+                            };
+                            out.push((i, spec));
+                            i += threads;
+                        }
+                        let skips = scratch.counters.stale_skips - before;
+                        if result_tx.send((w, out, skips)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+
+            let mut start = 0;
+            while start < conns.len() {
+                let chunk = &conns[start..(start + batch).min(conns.len())];
+                start += chunk.len();
+                let snapshot: Snapshot = Arc::new(demand.clone());
+                for tx in &batch_txs {
+                    if tx.send((chunk, Arc::clone(&snapshot))).is_err() {
+                        result = Err(CoreError::RoutingFailed { net: chunk[0].net });
+                        return None;
+                    }
+                }
+                let mut slots: Vec<Option<Speculative>> = Vec::new();
+                slots.resize_with(chunk.len(), || None);
+                for _ in 0..threads {
+                    let Ok((_, stripe, skips)) = result_rx.recv() else {
+                        result = Err(CoreError::RoutingFailed { net: chunk[0].net });
+                        return None;
+                    };
+                    stats.stale_skips += skips;
+                    for (i, spec) in stripe {
+                        slots[i] = Some(spec);
+                    }
+                }
+                let snap = commit_seq;
+                for (slot, c) in slots.into_iter().zip(chunk) {
+                    let spec = slot.expect("every slot routed");
+                    let valid = match &spec {
+                        Speculative::Skip => continue,
+                        Speculative::Found { reads, .. } => {
+                            reads.iter().all(|&r| version[r as usize] <= snap)
+                        }
+                        Speculative::Failed => false,
+                    };
+                    commit_seq += 1;
+                    let commit = if valid {
+                        let Speculative::Found { path, .. } = spec else { unreachable!() };
+                        commit_path(
+                            self.grid,
+                            &path,
+                            &mut demand,
+                            per_net.entry(c.net).or_default(),
+                            Some((&mut version, commit_seq)),
+                        )
+                    } else {
+                        stats.speculative_reroutes += 1;
+                        let t1 = self.grid.region_of(c.from);
+                        let t2 = self.grid.region_of(c.to);
+                        match self.astar(&mut committer, t1, t2, &demand) {
+                            None => Err(CoreError::RoutingFailed { net: c.net }),
+                            Some(path) => {
+                                let path = path.to_vec();
+                                commit_path(
+                                    self.grid,
+                                    &path,
+                                    &mut demand,
+                                    per_net.entry(c.net).or_default(),
+                                    Some((&mut version, commit_seq)),
+                                )
+                            }
+                        }
+                    };
+                    if let Err(e) = commit {
+                        result = Err(e);
+                        return None;
+                    }
+                }
+            }
+            drop(batch_txs); // Workers drain and exit before the scope joins.
+            stats.stale_skips += committer.counters.stale_skips;
+            match assemble_trees(self.grid, circuit, &mut per_net) {
+                Ok(routes) => Some(routes),
+                Err(e) => {
+                    result = Err(e);
+                    None
+                }
+            }
+        });
+        result?;
+        let routes = routes_out.expect("Ok result implies routes");
+        Ok((routes, stats))
+    }
+
+    /// Steiner-decomposes every net into two-pin connections, longest
+    /// first (the standard sequential-router ordering heuristic: the
+    /// hardest connections see the emptiest chip). The output feeds
+    /// [`AstarRouter::route_prepared`].
+    pub fn prepare(&self, circuit: &Circuit) -> Vec<Connection> {
         let mut conns: Vec<Connection> = Vec::new();
         for net in circuit.nets() {
             conns.extend(decompose_net(net));
         }
-        stats.connections = conns.len();
-        // Longest connections first.
         conns.sort_by(|a, b| {
             b.manhattan()
                 .partial_cmp(&a.manhattan())
                 .expect("finite lengths")
                 .then_with(|| a.net.cmp(&b.net))
         });
-        let nregions = self.grid.num_regions() as usize;
-        let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
-        let mut per_net: HashMap<NetId, HashSet<GridEdge>> = HashMap::new();
-        for c in &conns {
-            let t1 = self.grid.region_of(c.from);
-            let t2 = self.grid.region_of(c.to);
-            if t1 == t2 {
-                continue;
-            }
-            let path = self.astar(t1, t2, &demand);
-            // Commit demand and collect edges.
-            let entry = per_net.entry(c.net).or_default();
-            for w in path.windows(2) {
-                let edge = GridEdge::new(self.grid, w[0], w[1])?;
-                let d = match edge.dir(self.grid) {
-                    Dir::H => 0,
-                    Dir::V => 1,
-                };
-                for r in [w[0], w[1]] {
-                    demand[d][r as usize] += 1;
-                }
-                entry.insert(edge);
-            }
-        }
-        let routes = assemble_trees(self.grid, circuit, &per_net)?;
-        Ok((routes, stats))
+        conns
     }
 
-    /// Congestion-aware A* between two regions.
-    fn astar(&self, from: RegionIdx, to: RegionIdx, demand: &[Vec<u32>; 2]) -> Vec<RegionIdx> {
-        let mut open = BinaryHeap::new();
-        let mut g: HashMap<RegionIdx, f64> = HashMap::new();
-        let mut prev: HashMap<RegionIdx, RegionIdx> = HashMap::new();
-        g.insert(from, 0.0);
-        open.push(OpenEntry { f: self.grid.center_distance(from, to), region: from });
-        while let Some(OpenEntry { region, .. }) = open.pop() {
-            if region == to {
-                break;
-            }
-            let g_here = g[&region];
-            for n in self.grid.neighbors(region).collect::<Vec<_>>() {
-                let step = self.step_cost(region, n, demand);
-                let tentative = g_here + step;
-                if g.get(&n).is_none_or(|&old| tentative < old - 1e-12) {
-                    g.insert(n, tentative);
-                    prev.insert(n, region);
-                    open.push(OpenEntry {
-                        f: tentative + self.grid.center_distance(n, to),
-                        region: n,
-                    });
-                }
-            }
-        }
-        let mut path = vec![to];
-        let mut cur = to;
-        while cur != from {
-            cur = prev[&cur];
-            path.push(cur);
-        }
-        path.reverse();
-        path
+    /// Congestion-aware A* between two regions over the flat scratch.
+    /// Returns `None` if `to` is unreachable (never panics — the seed
+    /// indexed `prev[&cur]` and panicked here).
+    fn astar<'s>(
+        &self,
+        scratch: &'s mut SearchScratch,
+        from: RegionIdx,
+        to: RegionIdx,
+        demand: &[Vec<u32>; 2],
+    ) -> Option<&'s [RegionIdx]> {
+        let grid = self.grid;
+        let coords = &self.coords;
+        let centers = &self.centers;
+        let target_center = centers[to as usize];
+        scratch
+            .astar(
+                grid.num_regions() as usize,
+                from,
+                to,
+                // neighbor_array order (W, E, S, N) with the cached,
+                // division-free coordinates.
+                |r| {
+                    let (cx, cy) = coords[r as usize];
+                    grid.neighbor_array_at(r, cx, cy)
+                },
+                |a, b| self.step_cost(a, b, demand),
+                |r| centers[r as usize].manhattan(target_center),
+            )
+            .ok()
     }
 
     /// Cost of stepping across one region boundary: length plus the same
     /// density/overflow pressure as Formula (2), scaled into µm.
     fn step_cost(&self, a: RegionIdx, b: RegionIdx, demand: &[Vec<u32>; 2]) -> f64 {
         let edge_dir = {
-            let (ax, ay) = self.grid.coords(a);
-            let (bx, by) = self.grid.coords(b);
+            let (ax, ay) = self.coords[a as usize];
+            let (bx, by) = self.coords[b as usize];
             debug_assert!(ax.abs_diff(bx) + ay.abs_diff(by) == 1);
             if ay == by {
                 Dir::H
@@ -194,82 +441,31 @@ impl<'a> AstarRouter<'a> {
     }
 }
 
-/// Shared with the ID router: merge per-net edges, spanning-tree from the
-/// source region, prune non-pin dangling branches.
-pub(crate) fn assemble_trees(
+/// Commits one routed path: bumps demand on both endpoint regions of every
+/// edge, collects the edges into the net's pool, and (in parallel mode)
+/// stamps the touched regions with the commit ordinal.
+fn commit_path(
     grid: &RegionGrid,
-    circuit: &Circuit,
-    per_net: &HashMap<NetId, HashSet<GridEdge>>,
-) -> Result<RouteSet> {
-    let mut routes = RouteSet::with_capacity(circuit.num_nets());
-    for net in circuit.nets() {
-        let root = grid.region_of(net.source());
-        let pin_regions: HashSet<RegionIdx> =
-            net.pins().iter().map(|p| grid.region_of(*p)).collect();
-        let edges = match per_net.get(&net.id()) {
-            None => {
-                routes.insert(RouteTree::trivial(net.id(), root))?;
-                continue;
-            }
-            Some(edges) => {
-                let mut sorted: Vec<GridEdge> = edges.iter().copied().collect();
-                sorted.sort_unstable();
-                sorted
-            }
+    path: &[RegionIdx],
+    demand: &mut [Vec<u32>; 2],
+    edges_out: &mut Vec<GridEdge>,
+    mut version: Option<(&mut Vec<u32>, u32)>,
+) -> Result<()> {
+    for w in path.windows(2) {
+        let edge = GridEdge::new(grid, w[0], w[1])?;
+        let d = match edge.dir(grid) {
+            Dir::H => 0,
+            Dir::V => 1,
         };
-        let mut adjacency: HashMap<RegionIdx, Vec<RegionIdx>> = HashMap::new();
-        for e in &edges {
-            adjacency.entry(e.a()).or_default().push(e.b());
-            adjacency.entry(e.b()).or_default().push(e.a());
-        }
-        let mut parent: HashMap<RegionIdx, RegionIdx> = HashMap::new();
-        parent.insert(root, root);
-        let mut queue = VecDeque::from([root]);
-        while let Some(r) = queue.pop_front() {
-            if let Some(ns) = adjacency.get(&r) {
-                for &n in ns {
-                    if let Entry::Vacant(v) = parent.entry(n) {
-                        v.insert(r);
-                        queue.push_back(n);
-                    }
-                }
+        for r in [w[0], w[1]] {
+            demand[d][r as usize] += 1;
+            if let Some((version, seq)) = version.as_mut() {
+                version[r as usize] = *seq;
             }
         }
-        for pr in &pin_regions {
-            if !parent.contains_key(pr) {
-                return Err(CoreError::RoutingFailed { net: net.id() });
-            }
-        }
-        let mut degree: HashMap<RegionIdx, u32> = HashMap::new();
-        let mut tree: std::collections::BTreeSet<GridEdge> = Default::default();
-        for (&child, &par) in &parent {
-            if child != par {
-                tree.insert(GridEdge::new(grid, child, par)?);
-                *degree.entry(child).or_insert(0) += 1;
-                *degree.entry(par).or_insert(0) += 1;
-            }
-        }
-        loop {
-            let leaf_edge = tree
-                .iter()
-                .find(|e| {
-                    let la = degree[&e.a()] == 1 && !pin_regions.contains(&e.a());
-                    let lb = degree[&e.b()] == 1 && !pin_regions.contains(&e.b());
-                    la || lb
-                })
-                .copied();
-            match leaf_edge {
-                Some(e) => {
-                    tree.remove(&e);
-                    *degree.get_mut(&e.a()).expect("tracked") -= 1;
-                    *degree.get_mut(&e.b()).expect("tracked") -= 1;
-                }
-                None => break,
-            }
-        }
-        routes.insert(RouteTree::new(grid, net.id(), root, tree.into_iter().collect())?)?;
+        edges_out.push(edge);
     }
-    Ok(routes)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -279,6 +475,7 @@ mod tests {
     use gsino_grid::net::Net;
     use gsino_grid::tech::Technology;
     use gsino_grid::usage::TrackUsage;
+    use std::collections::HashSet;
 
     fn setup(nets: Vec<Net>, side: f64) -> (Circuit, RegionGrid) {
         let die = Rect::new(Point::new(0.0, 0.0), Point::new(side, side)).unwrap();
@@ -369,5 +566,87 @@ mod tests {
         let (a, _) = router.route(&circuit).unwrap();
         let (b, _) = router.route(&circuit).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let (circuit, grid) = setup(
+            (0..15u32)
+                .map(|i| {
+                    let x = 24.0 + (i as f64 * 83.0) % 580.0;
+                    let y = 24.0 + (i as f64 * 59.0) % 580.0;
+                    Net::two_pin(i, Point::new(x, y), Point::new(616.0 - x, 616.0 - y))
+                })
+                .collect(),
+            640.0,
+        );
+        let router = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None);
+        let mut scratch = router.make_scratch();
+        let (a, _) = router.route_with_scratch(&circuit, &mut scratch).unwrap();
+        // Same scratch, second run: epoch stamping must isolate it fully.
+        let (b, _) = router.route_with_scratch(&circuit, &mut scratch).unwrap();
+        let (fresh, _) = router.route(&circuit).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn parallel_routing_matches_sequential_bit_for_bit() {
+        // Dense enough that speculative searches collide and re-route.
+        let (circuit, grid) = setup(
+            (0..60u32)
+                .map(|i| {
+                    let x = 16.0 + (i as f64 * 37.0) % 600.0;
+                    let y = 16.0 + (i as f64 * 53.0) % 600.0;
+                    Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+                })
+                .collect(),
+            640.0,
+        );
+        let router = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None);
+        let (seq, _) = router.route(&circuit).unwrap();
+        for threads in [2, 3, 8] {
+            let (par, _) = router.route_with_threads(&circuit, threads).unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_one_by_n_grid_routes_without_panicking() {
+        // Regression for the seed's `prev[&cur]` panic path: a 1×N die
+        // exercises the narrowest possible search frontier.
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(64.0, 640.0)).unwrap();
+        let nets = vec![
+            Net::two_pin(0, Point::new(32.0, 16.0), Point::new(32.0, 620.0)),
+            Net::two_pin(1, Point::new(16.0, 320.0), Point::new(48.0, 16.0)),
+        ];
+        let circuit = Circuit::new("thin", die, nets).unwrap();
+        let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
+        assert_eq!((grid.nx(), grid.ny()), (1, 10));
+        let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        assert_eq!(routes.get(0).unwrap().wirelength(&grid), 9.0 * 64.0);
+        let (par, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route_with_threads(&circuit, 4)
+            .unwrap();
+        assert_eq!(routes, par);
+    }
+
+    #[test]
+    fn stale_skips_are_counted() {
+        let (circuit, grid) = setup(
+            (0..30u32)
+                .map(|i| {
+                    let y = 16.0 + (i % 3) as f64;
+                    Net::two_pin(i, Point::new(16.0, y), Point::new(620.0, y))
+                })
+                .collect(),
+            640.0,
+        );
+        let (_, stats) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        assert!(stats.stale_skips > 0, "congested search must hit stale entries");
     }
 }

@@ -140,13 +140,21 @@ impl Corridor {
 }
 
 /// Reusable BFS buffers for [`Corridor::connected_without`].
+///
+/// All per-call state is epoch-stamped the same way the router's
+/// `SearchScratch` is: a `visited`/`adj_head` entry is live only when its
+/// stamp matches the current epoch, so starting a new connectivity query
+/// is an O(1) counter bump instead of an O(regions) clear. One scratch is
+/// shared across every corridor of an ID run.
 #[derive(Debug, Default)]
 pub struct CorridorScratch {
+    epoch: u32,
     adj_head: Vec<i32>,
+    adj_stamp: Vec<u32>,
     adj_next: Vec<i32>,
     adj_to: Vec<u16>,
     adj_len: usize,
-    visited: Vec<bool>,
+    visited: Vec<u32>,
     queue: Vec<u16>,
 }
 
@@ -157,29 +165,46 @@ impl CorridorScratch {
     }
 
     fn prepare(&mut self, regions: usize, edges: usize) {
-        self.adj_head.clear();
-        self.adj_head.resize(regions, -1);
+        if self.adj_head.len() < regions {
+            self.adj_head.resize(regions, -1);
+            self.adj_stamp.resize(regions, 0);
+            self.visited.resize(regions, 0);
+        }
         let cap = edges * 2;
         if self.adj_next.len() < cap {
             self.adj_next.resize(cap, -1);
             self.adj_to.resize(cap, 0);
         }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.adj_stamp.fill(0);
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
         self.adj_len = 0;
-        self.visited.clear();
-        self.visited.resize(regions, false);
         self.queue.clear();
+    }
+
+    #[inline]
+    fn head_of(&self, r: u16) -> i32 {
+        if self.adj_stamp[r as usize] == self.epoch {
+            self.adj_head[r as usize]
+        } else {
+            -1
+        }
     }
 
     fn push_adj(&mut self, from: u16, to: u16) {
         let slot = self.adj_len;
         self.adj_len += 1;
         self.adj_to[slot] = to;
-        self.adj_next[slot] = self.adj_head[from as usize];
+        self.adj_next[slot] = self.head_of(from);
         self.adj_head[from as usize] = slot as i32;
+        self.adj_stamp[from as usize] = self.epoch;
     }
 
     fn bfs(&mut self, from: u16, to: u16) -> bool {
-        self.visited[from as usize] = true;
+        self.visited[from as usize] = self.epoch;
         self.queue.push(from);
         let mut head = 0;
         while head < self.queue.len() {
@@ -188,11 +213,11 @@ impl CorridorScratch {
             if r == to {
                 return true;
             }
-            let mut slot = self.adj_head[r as usize];
+            let mut slot = self.head_of(r);
             while slot >= 0 {
                 let n = self.adj_to[slot as usize];
-                if !self.visited[n as usize] {
-                    self.visited[n as usize] = true;
+                if self.visited[n as usize] != self.epoch {
+                    self.visited[n as usize] = self.epoch;
                     self.queue.push(n);
                 }
                 slot = self.adj_next[slot as usize];

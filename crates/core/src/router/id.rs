@@ -1,15 +1,15 @@
 //! The iterative-deletion main loop (paper Fig. 1).
 
+use super::assemble::assemble_trees;
 use super::corridor::{Corridor, CorridorScratch};
 use super::{ShieldTerm, Weights};
-use crate::{CoreError, Result};
+use crate::Result;
 use gsino_grid::net::{Circuit, NetId};
 use gsino_grid::region::{RegionGrid, RegionIdx};
-use gsino_grid::route::{Dir, GridEdge, RouteSet, RouteTree};
+use gsino_grid::route::{Dir, GridEdge, RouteSet};
 use gsino_steiner::decompose::{decompose_net, Connection};
 use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 
 /// Manhattan distance between two regions in tile steps.
 fn t1x_diff(grid: &RegionGrid, a: RegionIdx, b: RegionIdx) -> u32 {
@@ -31,6 +31,13 @@ pub struct RouterStats {
     pub kept: usize,
     /// Stale heap entries that were re-inserted with a fresh weight.
     pub reinserts: usize,
+    /// A* pop-loop entries skipped because their region was already
+    /// expanded (closed-set / stale-entry skips; A* router only).
+    pub stale_skips: usize,
+    /// Speculatively routed connections that had to be re-routed at
+    /// commit time because a predecessor's commit touched a region their
+    /// search read (parallel A* router only).
+    pub speculative_reroutes: usize,
 }
 
 /// One two-pin connection's routing state.
@@ -328,14 +335,12 @@ impl<'a> IdRouter<'a> {
             + self.weights.gamma * hofr / 2.0
     }
 
-    /// Builds one [`RouteTree`] per net from the surviving corridor paths:
-    /// union the connection edges, take a BFS spanning tree from the source
-    /// region, prune dangling non-pin branches.
+    /// Builds one [`RouteTree`] per net from the surviving corridor paths
+    /// via the shared flat-array assembly (`super::assemble`): union the
+    /// connection edges, BFS-span from the source region, prune dangling
+    /// non-pin branches with the O(E) worklist pruner.
     fn assemble(&self, circuit: &Circuit, conns: &[ConnState]) -> Result<RouteSet> {
-        // Gather surviving global edges per net. Ordered sets keep the
-        // spanning-tree tie-breaking deterministic across runs, so ID+NO
-        // and iSINO (which share this routing stage) match exactly.
-        let mut per_net: HashMap<NetId, BTreeSet<GridEdge>> = HashMap::new();
+        let mut per_net: HashMap<NetId, Vec<GridEdge>> = HashMap::new();
         for c in conns {
             let entry = per_net.entry(c.net).or_default();
             for e in 0..c.corridor.num_edges() {
@@ -343,78 +348,11 @@ impl<'a> IdRouter<'a> {
                     let (a, b, _) = c.corridor.edge(e);
                     let ga = c.corridor.global(self.grid, a);
                     let gb = c.corridor.global(self.grid, b);
-                    entry.insert(GridEdge::new(self.grid, ga, gb)?);
+                    entry.push(GridEdge::new(self.grid, ga, gb)?);
                 }
             }
         }
-        let mut routes = RouteSet::with_capacity(circuit.num_nets());
-        for net in circuit.nets() {
-            let root = self.grid.region_of(net.source());
-            let pin_regions: HashSet<RegionIdx> =
-                net.pins().iter().map(|p| self.grid.region_of(*p)).collect();
-            let edges = match per_net.get(&net.id()) {
-                None => {
-                    routes.insert(RouteTree::trivial(net.id(), root))?;
-                    continue;
-                }
-                Some(edges) => edges,
-            };
-            // BFS spanning tree from the root.
-            let mut adjacency: HashMap<RegionIdx, Vec<RegionIdx>> = HashMap::new();
-            for e in edges {
-                adjacency.entry(e.a()).or_default().push(e.b());
-                adjacency.entry(e.b()).or_default().push(e.a());
-            }
-            let mut parent: HashMap<RegionIdx, RegionIdx> = HashMap::new();
-            parent.insert(root, root);
-            let mut queue = VecDeque::from([root]);
-            while let Some(r) = queue.pop_front() {
-                if let Some(ns) = adjacency.get(&r) {
-                    for &n in ns {
-                        if let Entry::Vacant(v) = parent.entry(n) {
-                            v.insert(r);
-                            queue.push_back(n);
-                        }
-                    }
-                }
-            }
-            for pr in &pin_regions {
-                if !parent.contains_key(pr) {
-                    return Err(CoreError::RoutingFailed { net: net.id() });
-                }
-            }
-            // Tree edges, then prune non-pin leaves.
-            let mut degree: HashMap<RegionIdx, u32> = HashMap::new();
-            let mut tree: BTreeSet<GridEdge> = BTreeSet::new();
-            for (&child, &par) in &parent {
-                if child != par {
-                    tree.insert(GridEdge::new(self.grid, child, par)?);
-                    *degree.entry(child).or_insert(0) += 1;
-                    *degree.entry(par).or_insert(0) += 1;
-                }
-            }
-            loop {
-                let leaf_edge = tree
-                    .iter()
-                    .find(|e| {
-                        let la = degree[&e.a()] == 1 && !pin_regions.contains(&e.a());
-                        let lb = degree[&e.b()] == 1 && !pin_regions.contains(&e.b());
-                        la || lb
-                    })
-                    .copied();
-                match leaf_edge {
-                    Some(e) => {
-                        tree.remove(&e);
-                        *degree.get_mut(&e.a()).expect("degree tracked") -= 1;
-                        *degree.get_mut(&e.b()).expect("degree tracked") -= 1;
-                    }
-                    None => break,
-                }
-            }
-            let route = RouteTree::new(self.grid, net.id(), root, tree.into_iter().collect())?;
-            routes.insert(route)?;
-        }
-        Ok(routes)
+        assemble_trees(self.grid, circuit, &mut per_net)
     }
 }
 

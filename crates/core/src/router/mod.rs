@@ -1,24 +1,64 @@
-//! The iterative-deletion (ID) global router.
+//! Phase I global routers: iterative deletion and sequential A*.
 //!
 //! Paper §3.1 and Fig. 1, following Cong–Preas: construct a connection
 //! graph per net over the routing regions, then *iteratively delete the
 //! maximum-weight edge* whose removal keeps the net connected, until every
 //! graph is a tree. Because all nets' edges compete in one pool, the
 //! result is independent of any net ordering — the property the paper
-//! chose the ID algorithm for.
+//! chose the ID algorithm for. The sequential A* router ([`AstarRouter`])
+//! is the paper's §5 future-work alternative: faster, order-dependent.
 //!
 //! Multi-pin nets are decomposed into two-pin connections along their
 //! Steiner topology first (see [`gsino_steiner::decompose`]); each
 //! connection's graph is its corridor — the bounding box of its endpoints
 //! plus a one-region halo.
+//!
+//! # The flat-array search core
+//!
+//! Routing regions live in a small dense index space (`RegionIdx` is
+//! `cy·nx + cx`), so all per-search state is kept in flat arrays indexed
+//! by region rather than hash maps — the same layout STAIRoute and the
+//! multicommodity-flow routers use. The pieces:
+//!
+//! * [`SearchScratch`] — reusable A* state: `g`/`prev` arrays stamped with
+//!   a search *epoch* (reset is an O(1) counter bump; an entry is live
+//!   only if its stamp equals the current epoch) plus a monotone bucket
+//!   heap binned by quantized f-cost whose pop order is exactly
+//!   `(f, region)` — byte-compatible with the seed's `BinaryHeap`.
+//! * `assemble` — shared route-tree assembly over epoch-stamped CSR
+//!   adjacency with an O(E) worklist pruner (the seed rebuilt `HashMap`s
+//!   per net and pruned leaves in O(E²)).
+//! * [`gsino_grid::region::RegionGrid::neighbor_array`] — fixed
+//!   `[Option<RegionIdx>; 4]` neighbor lookup, no boxed iterators in the
+//!   expansion loop.
+//! * [`reference`] — the seed implementation, kept verbatim so tests and
+//!   benches can prove equivalence and measure the speedup.
+//!
+//! # Parallel Phase I and the commit-ordering rule
+//!
+//! [`AstarRouter::route_with_threads`] routes batches of connections
+//! speculatively across worker threads against a frozen demand snapshot,
+//! then **commits strictly in the sequential order**. Each speculative
+//! search records every region whose demand it read; at commit time the
+//! path is accepted only if none of those regions was touched by an
+//! earlier commit in the batch, otherwise the connection is re-routed on
+//! the committing thread against current demand. Because a deterministic
+//! search that reads identical inputs takes identical steps, an accepted
+//! speculative path is exactly what the sequential router would have
+//! produced — so parallel output equals sequential output bit for bit,
+//! for any thread count.
 
+mod assemble;
 mod astar;
 mod corridor;
 mod id;
+pub mod reference;
+mod scratch;
 
 pub use astar::AstarRouter;
 pub use corridor::Corridor;
 pub use id::{route_all, IdRouter, RouterStats};
+pub use scratch::{SearchCounters, SearchScratch, Unreachable};
 
 use gsino_sino::nss::NssModel;
 

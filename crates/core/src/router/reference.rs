@@ -1,0 +1,277 @@
+//! The seed (pre-flat-array) A* router, preserved verbatim as a
+//! correctness and performance baseline.
+//!
+//! [`SeedAstarRouter`] keeps the original `HashMap`-based search state,
+//! boxed neighbor iteration, `BinaryHeap` open list and O(E²) leaf-pruning
+//! assembly. The `router_equivalence` test suite asserts that
+//! [`super::AstarRouter`] produces byte-identical [`RouteSet`]s, and the
+//! `micro` bench measures the speedup of the flat-array kernel against
+//! this implementation. It is not used by any production flow.
+
+use super::{ShieldTerm, Weights};
+use crate::{CoreError, Result};
+use gsino_grid::net::{Circuit, NetId};
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, GridEdge, RouteSet, RouteTree};
+use gsino_steiner::decompose::{decompose_net, Connection};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Min-heap entry for A*.
+#[derive(Debug, PartialEq)]
+struct OpenEntry {
+    /// f = g + h (µm-equivalent cost).
+    f: f64,
+    region: RegionIdx,
+}
+
+impl Eq for OpenEntry {}
+
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest f.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .expect("finite costs")
+            .then_with(|| other.region.cmp(&self.region))
+    }
+}
+
+/// The seed sequential congestion-aware A* router (reference only).
+pub struct SeedAstarRouter<'a> {
+    grid: &'a RegionGrid,
+    weights: Weights,
+    shield_term: ShieldTerm,
+}
+
+impl<'a> SeedAstarRouter<'a> {
+    /// Creates the reference router.
+    pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
+        SeedAstarRouter { grid, weights, shield_term }
+    }
+
+    /// Routes the circuit exactly as the seed implementation did.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoutingFailed`] if route assembly fails.
+    pub fn route(&self, circuit: &Circuit) -> Result<RouteSet> {
+        let mut conns: Vec<Connection> = Vec::new();
+        for net in circuit.nets() {
+            conns.extend(decompose_net(net));
+        }
+        // Longest connections first.
+        conns.sort_by(|a, b| {
+            b.manhattan()
+                .partial_cmp(&a.manhattan())
+                .expect("finite lengths")
+                .then_with(|| a.net.cmp(&b.net))
+        });
+        self.route_prepared(circuit, &conns)
+    }
+
+    /// Routes pre-decomposed connections (the seed loop without the shared
+    /// Steiner preprocessing), so benches can compare search kernels
+    /// without the identical decomposition cost drowning the signal.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoutingFailed`] if route assembly fails.
+    pub fn route_prepared(&self, circuit: &Circuit, conns: &[Connection]) -> Result<RouteSet> {
+        let nregions = self.grid.num_regions() as usize;
+        let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
+        let mut per_net: HashMap<NetId, HashSet<GridEdge>> = HashMap::new();
+        for c in conns {
+            let t1 = self.grid.region_of(c.from);
+            let t2 = self.grid.region_of(c.to);
+            if t1 == t2 {
+                continue;
+            }
+            let path = self.astar(t1, t2, &demand);
+            // Commit demand and collect edges.
+            let entry = per_net.entry(c.net).or_default();
+            for w in path.windows(2) {
+                let edge = GridEdge::new(self.grid, w[0], w[1])?;
+                let d = match edge.dir(self.grid) {
+                    Dir::H => 0,
+                    Dir::V => 1,
+                };
+                for r in [w[0], w[1]] {
+                    demand[d][r as usize] += 1;
+                }
+                entry.insert(edge);
+            }
+        }
+        assemble_trees_reference(self.grid, circuit, &per_net)
+    }
+
+    /// Congestion-aware A* between two regions (seed form: fresh
+    /// `HashMap`s and a collected neighbor `Vec` per expansion).
+    fn astar(&self, from: RegionIdx, to: RegionIdx, demand: &[Vec<u32>; 2]) -> Vec<RegionIdx> {
+        let mut open = BinaryHeap::new();
+        let mut g: HashMap<RegionIdx, f64> = HashMap::new();
+        let mut prev: HashMap<RegionIdx, RegionIdx> = HashMap::new();
+        g.insert(from, 0.0);
+        open.push(OpenEntry { f: self.grid.center_distance(from, to), region: from });
+        while let Some(OpenEntry { region, .. }) = open.pop() {
+            if region == to {
+                break;
+            }
+            let g_here = g[&region];
+            for n in self.grid.neighbors(region).collect::<Vec<_>>() {
+                let step = self.step_cost(region, n, demand);
+                let tentative = g_here + step;
+                if g.get(&n).is_none_or(|&old| tentative < old - 1e-12) {
+                    g.insert(n, tentative);
+                    prev.insert(n, region);
+                    open.push(OpenEntry {
+                        f: tentative + self.grid.center_distance(n, to),
+                        region: n,
+                    });
+                }
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[&cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Seed step cost (identical arithmetic to the flat router's).
+    fn step_cost(&self, a: RegionIdx, b: RegionIdx, demand: &[Vec<u32>; 2]) -> f64 {
+        let edge_dir = {
+            let (ax, ay) = self.grid.coords(a);
+            let (bx, by) = self.grid.coords(b);
+            debug_assert!(ax.abs_diff(bx) + ay.abs_diff(by) == 1);
+            if ay == by {
+                Dir::H
+            } else {
+                Dir::V
+            }
+        };
+        let (len, cap, d) = match edge_dir {
+            Dir::H => (self.grid.tile_w(), self.grid.hc() as f64, 0),
+            Dir::V => (self.grid.tile_h(), self.grid.vc() as f64, 1),
+        };
+        let mut penalty = 0.0;
+        for r in [a, b] {
+            let nns = demand[d][r as usize] as f64;
+            let used = nns + self.shield_term.shields(nns);
+            penalty += self.weights.beta * (used / cap) / 2.0;
+            penalty += self.weights.gamma * ((used - cap).max(0.0) / cap) / 2.0;
+        }
+        // α scales the pure length term, matching Formula (2)'s balance.
+        self.weights.alpha * len + penalty * len
+    }
+}
+
+/// Seed assembly: merge per-net edges, spanning-tree from the source
+/// region over `HashMap` adjacency, prune non-pin dangling branches by
+/// rescanning the whole edge set per removal.
+pub(crate) fn assemble_trees_reference(
+    grid: &RegionGrid,
+    circuit: &Circuit,
+    per_net: &HashMap<NetId, HashSet<GridEdge>>,
+) -> Result<RouteSet> {
+    let mut routes = RouteSet::with_capacity(circuit.num_nets());
+    for net in circuit.nets() {
+        let root = grid.region_of(net.source());
+        let pin_regions: HashSet<RegionIdx> =
+            net.pins().iter().map(|p| grid.region_of(*p)).collect();
+        let edges = match per_net.get(&net.id()) {
+            None => {
+                routes.insert(RouteTree::trivial(net.id(), root))?;
+                continue;
+            }
+            Some(edges) => {
+                let mut sorted: Vec<GridEdge> = edges.iter().copied().collect();
+                sorted.sort_unstable();
+                sorted
+            }
+        };
+        let mut adjacency: HashMap<RegionIdx, Vec<RegionIdx>> = HashMap::new();
+        for e in &edges {
+            adjacency.entry(e.a()).or_default().push(e.b());
+            adjacency.entry(e.b()).or_default().push(e.a());
+        }
+        let mut parent: HashMap<RegionIdx, RegionIdx> = HashMap::new();
+        parent.insert(root, root);
+        let mut queue = VecDeque::from([root]);
+        while let Some(r) = queue.pop_front() {
+            if let Some(ns) = adjacency.get(&r) {
+                for &n in ns {
+                    if let Entry::Vacant(v) = parent.entry(n) {
+                        v.insert(r);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        for pr in &pin_regions {
+            if !parent.contains_key(pr) {
+                return Err(CoreError::RoutingFailed { net: net.id() });
+            }
+        }
+        let mut degree: HashMap<RegionIdx, u32> = HashMap::new();
+        let mut tree: std::collections::BTreeSet<GridEdge> = Default::default();
+        for (&child, &par) in &parent {
+            if child != par {
+                tree.insert(GridEdge::new(grid, child, par)?);
+                *degree.entry(child).or_insert(0) += 1;
+                *degree.entry(par).or_insert(0) += 1;
+            }
+        }
+        loop {
+            let leaf_edge = tree
+                .iter()
+                .find(|e| {
+                    let la = degree[&e.a()] == 1 && !pin_regions.contains(&e.a());
+                    let lb = degree[&e.b()] == 1 && !pin_regions.contains(&e.b());
+                    la || lb
+                })
+                .copied();
+            match leaf_edge {
+                Some(e) => {
+                    tree.remove(&e);
+                    *degree.get_mut(&e.a()).expect("tracked") -= 1;
+                    *degree.get_mut(&e.b()).expect("tracked") -= 1;
+                }
+                None => break,
+            }
+        }
+        routes.insert(RouteTree::new(grid, net.id(), root, tree.into_iter().collect())?)?;
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+    use gsino_grid::tech::Technology;
+
+    #[test]
+    fn reference_router_still_routes() {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets = vec![Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 32.0))];
+        let circuit = Circuit::new("t", die, nets).unwrap();
+        let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
+        let routes = SeedAstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+            .route(&circuit)
+            .unwrap();
+        assert_eq!(routes.get(0).unwrap().wirelength(&grid), 9.0 * 64.0);
+    }
+}

@@ -201,19 +201,35 @@ impl RegionGrid {
         (ax == bx && ay.abs_diff(by) == 1) || (ay == by && ax.abs_diff(bx) == 1)
     }
 
+    /// The up-to-four edge neighbours of a region as a fixed array in
+    /// west, east, south, north order (`None` where the die ends).
+    ///
+    /// This is the allocation-free form the routing hot paths iterate; the
+    /// order matches [`RegionGrid::neighbors`] exactly, which search-order
+    /// determinism across router implementations relies on.
+    #[inline]
+    pub fn neighbor_array(&self, r: RegionIdx) -> [Option<RegionIdx>; 4] {
+        let (cx, cy) = self.coords(r);
+        self.neighbor_array_at(r, cx, cy)
+    }
+
+    /// [`RegionGrid::neighbor_array`] with the caller supplying `r`'s grid
+    /// coordinates — the form hot loops with a coordinate cache use, so
+    /// the W/E/S/N order lives in exactly one place.
+    #[inline]
+    pub fn neighbor_array_at(&self, r: RegionIdx, cx: u32, cy: u32) -> [Option<RegionIdx>; 4] {
+        debug_assert_eq!(self.coords(r), (cx, cy));
+        [
+            (cx > 0).then(|| r - 1),
+            (cx + 1 < self.nx).then(|| r + 1),
+            (cy > 0).then(|| r - self.nx),
+            (cy + 1 < self.ny).then(|| r + self.nx),
+        ]
+    }
+
     /// Up-to-four edge neighbours of a region.
     pub fn neighbors(&self, r: RegionIdx) -> impl Iterator<Item = RegionIdx> + '_ {
-        let (cx, cy) = self.coords(r);
-        let candidates = [
-            (cx.wrapping_sub(1), cy),
-            (cx + 1, cy),
-            (cx, cy.wrapping_sub(1)),
-            (cx, cy + 1),
-        ];
-        candidates
-            .into_iter()
-            .filter(move |&(x, y)| x < self.nx && y < self.ny)
-            .map(move |(x, y)| self.idx(x, y))
+        self.neighbor_array(r).into_iter().flatten()
     }
 
     /// Manhattan distance between region centers (µm).
@@ -271,6 +287,23 @@ mod tests {
         for r in 0..g.num_regions() {
             assert_eq!(g.region_of(g.center(r)), r);
             assert!(g.region_rect(r).contains(g.center(r)));
+        }
+    }
+
+    #[test]
+    fn neighbor_array_matches_iterator_order() {
+        let g = grid();
+        for r in 0..g.num_regions() {
+            let from_array: Vec<RegionIdx> =
+                g.neighbor_array(r).into_iter().flatten().collect();
+            let from_iter: Vec<RegionIdx> = g.neighbors(r).collect();
+            assert_eq!(from_array, from_iter);
+            let (cx, cy) = g.coords(r);
+            let [w, e, s, n] = g.neighbor_array(r);
+            assert_eq!(w.is_some(), cx > 0);
+            assert_eq!(e.is_some(), cx + 1 < g.nx());
+            assert_eq!(s.is_some(), cy > 0);
+            assert_eq!(n.is_some(), cy + 1 < g.ny());
         }
     }
 

@@ -1,0 +1,87 @@
+//! Equivalence properties of the flat-array routing core against the seed
+//! implementation kept in `gsino_core::router::reference`.
+//!
+//! The flat `SearchScratch` A* (epoch-stamped arrays, monotone bucket
+//! heap, closed-set skips) and the worklist-based tree assembly must be
+//! observationally *identical* to the seed `HashMap`/`BinaryHeap` router —
+//! same route sets byte for byte — on generator circuits across seeds, as
+//! must the speculative parallel Phase I for any thread count.
+
+use gsino_circuits::generator::generate;
+use gsino_circuits::spec::CircuitSpec;
+use gsino_core::router::reference::SeedAstarRouter;
+use gsino_core::router::{AstarRouter, ShieldTerm, Weights};
+use gsino_grid::region::RegionGrid;
+use gsino_grid::tech::Technology;
+use proptest::prelude::*;
+
+fn routers_setup(seed: u64, scale: f64) -> (gsino_grid::net::Circuit, RegionGrid) {
+    let spec = CircuitSpec::ibm01().scaled(scale);
+    let circuit = generate(&spec, seed).expect("generator circuits are valid");
+    let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).expect("valid grid");
+    (circuit, grid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The flat-array A* returns byte-identical route sets to the seed
+    /// HashMap implementation on seeded random circuits.
+    #[test]
+    fn flat_astar_matches_seed_router(seed in 0u64..5000) {
+        let (circuit, grid) = routers_setup(seed, 0.02);
+        let weights = Weights::default();
+        let flat = AstarRouter::new(&grid, weights, ShieldTerm::None);
+        let reference = SeedAstarRouter::new(&grid, weights, ShieldTerm::None);
+        let (flat_routes, _) = flat.route(&circuit).expect("flat routes");
+        let seed_routes = reference.route(&circuit).expect("reference routes");
+        prop_assert_eq!(flat_routes, seed_routes);
+    }
+
+    /// Two consecutive `route` calls on one reused scratch are
+    /// deterministic and equal to a fresh-scratch run.
+    #[test]
+    fn reused_scratch_is_deterministic(seed in 0u64..5000) {
+        let (circuit, grid) = routers_setup(seed, 0.02);
+        let router = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None);
+        let mut scratch = router.make_scratch();
+        let (first, _) = router.route_with_scratch(&circuit, &mut scratch).expect("routes");
+        let (second, _) = router.route_with_scratch(&circuit, &mut scratch).expect("routes");
+        let (fresh, _) = router.route(&circuit).expect("routes");
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(&first, &fresh);
+    }
+
+    /// Speculative parallel Phase I commits in sequential order and is
+    /// bit-for-bit identical to the sequential router.
+    #[test]
+    fn parallel_astar_matches_sequential(seed in 0u64..5000, threads in 2usize..9) {
+        let (circuit, grid) = routers_setup(seed, 0.02);
+        let router = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None);
+        let (seq, _) = router.route(&circuit).expect("sequential routes");
+        let (par, _) = router.route_with_threads(&circuit, threads).expect("parallel routes");
+        prop_assert_eq!(seq, par);
+    }
+}
+
+/// One denser non-property check: a mid-size circuit where congestion
+/// pressure forces detours, wirelength and trees must still agree across
+/// the seed router, the flat router, and the parallel flat router.
+#[test]
+fn dense_circuit_full_agreement() {
+    let (circuit, grid) = routers_setup(2002, 0.06);
+    let weights = Weights::default();
+    let flat = AstarRouter::new(&grid, weights, ShieldTerm::None);
+    let (seq, stats) = flat.route(&circuit).expect("flat");
+    let seed_routes = SeedAstarRouter::new(&grid, weights, ShieldTerm::None)
+        .route(&circuit)
+        .expect("reference");
+    assert_eq!(seq, seed_routes);
+    assert_eq!(
+        seq.total_wirelength(&grid),
+        seed_routes.total_wirelength(&grid)
+    );
+    let (par, par_stats) = flat.route_with_threads(&circuit, 4).expect("parallel");
+    assert_eq!(seq, par);
+    assert_eq!(stats.connections, par_stats.connections);
+}
