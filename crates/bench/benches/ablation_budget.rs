@@ -17,15 +17,28 @@ fn main() {
         .clamp(0.01, 1.0);
     let spec = CircuitSpec::ibm01().scaled(scale);
     let circuit = generate(&spec, 2002).expect("generation");
-    println!("ablation on {} at scale {scale} ({} nets)\n", spec.name, circuit.num_nets());
+    println!(
+        "ablation on {} at scale {scale} ({} nets)\n",
+        spec.name,
+        circuit.num_nets()
+    );
     let variants: [(&str, RefineConfig); 3] = [
         (
             "uniform budgets only",
-            RefineConfig { max_pass1_iters: 0, enable_pass2: false, pass2_sweeps: 0, ..RefineConfig::default() },
+            RefineConfig {
+                max_pass1_iters: 0,
+                enable_pass2: false,
+                pass2_sweeps: 0,
+                ..RefineConfig::default()
+            },
         ),
         (
             "pass 1 only",
-            RefineConfig { enable_pass2: false, pass2_sweeps: 0, ..RefineConfig::default() },
+            RefineConfig {
+                enable_pass2: false,
+                pass2_sweeps: 0,
+                ..RefineConfig::default()
+            },
         ),
         ("full phase III", RefineConfig::default()),
     ];

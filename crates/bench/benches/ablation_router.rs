@@ -17,7 +17,11 @@ fn main() {
         .clamp(0.01, 1.0);
     let spec = CircuitSpec::ibm01().scaled(scale);
     let circuit = generate(&spec, 2002).expect("generation");
-    println!("router ablation on {} at scale {scale} ({} nets)\n", spec.name, circuit.num_nets());
+    println!(
+        "router ablation on {} at scale {scale} ({} nets)\n",
+        spec.name,
+        circuit.num_nets()
+    );
     println!(
         "{:<22} | {:>9} | {:>12} | {:>9} | {:>10}",
         "router", "mean WL", "area (um^2)", "route (s)", "violations"

@@ -17,13 +17,16 @@ fn main() {
         .clamp(0.01, 1.0);
     let spec = CircuitSpec::ibm01().scaled(scale);
     let circuit = generate(&spec, 2002).expect("generation");
-    println!("ablation on {} at scale {scale} ({} nets)\n", spec.name, circuit.num_nets());
+    println!(
+        "ablation on {} at scale {scale} ({} nets)\n",
+        spec.name,
+        circuit.num_nets()
+    );
     println!(
         "{:<22} | {:>9} | {:>12} | {:>8} | {:>10}",
         "configuration", "mean WL", "area (um^2)", "shields", "violations"
     );
-    for (label, reservation) in [("with Nss reservation", true), ("without (ablated)", false)]
-    {
+    for (label, reservation) in [("with Nss reservation", true), ("without (ablated)", false)] {
         for rate in [0.3, 0.5] {
             let config = GsinoConfig {
                 sensitivity: SensitivityModel::new(rate, 2002),

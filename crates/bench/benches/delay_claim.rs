@@ -21,9 +21,21 @@ fn main() {
         "neighbour regime", "Elmore (ps)", "simulated (ps)"
     );
     let cases: [(&str, NeighborActivity, WireRole); 3] = [
-        ("opposite switching (worst)", NeighborActivity::SwitchingOpposite, WireRole::AggressorFalling),
-        ("quiet (SINO guarantee)", NeighborActivity::Quiet, WireRole::Quiet),
-        ("same direction (best)", NeighborActivity::SwitchingSame, WireRole::AggressorRising),
+        (
+            "opposite switching (worst)",
+            NeighborActivity::SwitchingOpposite,
+            WireRole::AggressorFalling,
+        ),
+        (
+            "quiet (SINO guarantee)",
+            NeighborActivity::Quiet,
+            WireRole::Quiet,
+        ),
+        (
+            "same direction (best)",
+            NeighborActivity::SwitchingSame,
+            WireRole::AggressorRising,
+        ),
     ];
     for (label, activity, neighbor_role) in cases {
         let est = elmore_delay(&tech, len, activity, activity);
@@ -37,9 +49,7 @@ fn main() {
         println!("{label:<28} | {:>12.2} | {:>12.2}", est * 1e12, sim * 1e12);
     }
     let adv = sino_delay_advantage(&tech, len);
-    println!(
-        "\nSINO delay-per-unit-length advantage (quiet / worst-case): {adv:.2}"
-    );
+    println!("\nSINO delay-per-unit-length advantage (quiet / worst-case): {adv:.2}");
     println!(
         "paper S4: a GSINO wire-length overhead of X% therefore costs roughly {:.2}X% in delay",
         adv

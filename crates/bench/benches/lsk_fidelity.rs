@@ -31,8 +31,12 @@ fn main() {
     for _ in 0..24 {
         let n = rng.gen_range(3..=8usize);
         let rate = [0.3, 0.5, 0.8][rng.gen_range(0..3usize)];
-        let segs: Vec<SegmentSpec> =
-            (0..n).map(|i| SegmentSpec { net: i as u32, kth: 1e9 }).collect();
+        let segs: Vec<SegmentSpec> = (0..n)
+            .map(|i| SegmentSpec {
+                net: i as u32,
+                kth: 1e9,
+            })
+            .collect();
         let inst = SinoInstance::from_model(segs, &SensitivityModel::new(rate, rng.gen()))
             .expect("valid instance");
         let mut order: Vec<usize> = (0..n).collect();
@@ -62,7 +66,10 @@ fn main() {
         }
     }
     let rho = spearman(&ks, &noises).expect("enough samples");
-    println!("E1.1 rank fidelity at {fixed_len} um: Spearman rho = {rho:.3} over {} samples", ks.len());
+    println!(
+        "E1.1 rank fidelity at {fixed_len} um: Spearman rho = {rho:.3} over {} samples",
+        ks.len()
+    );
     println!("     (paper claims high fidelity; expect rho >= 0.8)");
 
     // 2. Linearity in length for a fixed configuration whose noise stays
@@ -85,7 +92,10 @@ fn main() {
         vs.push(peak_noise(&spec).expect("simulates"));
     }
     let fit = linear_fit(&lengths, &vs).expect("fits");
-    println!("\nE1.2 noise vs length: R^2 = {:.4} (slope {:.3e} V/um)", fit.r2, fit.slope);
+    println!(
+        "\nE1.2 noise vs length: R^2 = {:.4} (slope {:.3e} V/um)",
+        fit.r2, fit.slope
+    );
     println!("     (paper: noise is roughly linear in wire length; expect R^2 >= 0.85)");
 
     // 3. Simulated table vs calibrated closed form.
@@ -106,5 +116,8 @@ fn main() {
         max_rel = max_rel.max((v - c).abs() / v);
         println!("{lsk:>10.0} | {v:>9.4} | {c:>9.4}");
     }
-    println!("max relative deviation at sampled entries: {:.1}%", 100.0 * max_rel);
+    println!(
+        "max relative deviation at sampled entries: {:.1}%",
+        100.0 * max_rel
+    );
 }

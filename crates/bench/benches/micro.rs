@@ -4,13 +4,13 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gsino_circuits::generator::generate;
 use gsino_circuits::spec::CircuitSpec;
+use gsino_core::router::reference::SeedAstarRouter;
+use gsino_core::router::{route_all, AstarRouter, ShieldTerm, Weights};
 use gsino_grid::geom::{Point, Rect};
 use gsino_grid::net::{Circuit, Net};
 use gsino_grid::region::RegionGrid;
 use gsino_grid::sensitivity::SensitivityModel;
 use gsino_grid::tech::Technology;
-use gsino_core::router::reference::SeedAstarRouter;
-use gsino_core::router::{route_all, AstarRouter, ShieldTerm, Weights};
 use gsino_numeric::{LuFactors, Matrix};
 use gsino_rlc::coupled::{BlockSpec, WireRole};
 use gsino_rlc::peak_noise;
@@ -57,10 +57,8 @@ fn bench_lu(c: &mut Criterion) {
 }
 
 fn bench_sino(c: &mut Criterion) {
-    let segs: Vec<SegmentSpec> =
-        (0..14).map(|i| SegmentSpec { net: i, kth: 0.5 }).collect();
-    let inst =
-        SinoInstance::from_model(segs, &SensitivityModel::new(0.5, 7)).expect("valid");
+    let segs: Vec<SegmentSpec> = (0..14).map(|i| SegmentSpec { net: i, kth: 0.5 }).collect();
+    let inst = SinoInstance::from_model(segs, &SensitivityModel::new(0.5, 7)).expect("valid");
     let solver = SinoSolver::default();
     c.bench_function("sino_greedy_14segments", |b| {
         b.iter(|| solver.solve(std::hint::black_box(&inst)).expect("solves"))
@@ -99,8 +97,7 @@ fn bench_router(c: &mut Criterion) {
     c.bench_function("id_router_100nets", |b| {
         b.iter_batched(
             || (),
-            |_| route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
-                .expect("routes"),
+            |_| route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).expect("routes"),
             BatchSize::LargeInput,
         )
     });
@@ -129,13 +126,24 @@ fn bench_astar_search(c: &mut Criterion) {
     // comparison isolates the search/assembly core from the (identical)
     // Steiner preprocessing.
     let conns = flat_router.prepare(&circuit);
-    let seed_routes = seed_router.route_prepared(&circuit, &conns).expect("seed routes");
+    let seed_routes = seed_router
+        .route_prepared(&circuit, &conns)
+        .expect("seed routes");
     let mut scratch = flat_router.make_scratch();
-    let (flat_routes, _) =
-        flat_router.route_prepared(&circuit, &conns, &mut scratch).expect("flat routes");
-    let (par_routes, _) = flat_router.route_with_threads(&circuit, 0).expect("parallel");
-    assert_eq!(seed_routes, flat_routes, "flat A* must match the seed bit for bit");
-    assert_eq!(seed_routes, par_routes, "parallel A* must match the seed bit for bit");
+    let (flat_routes, _) = flat_router
+        .route_prepared(&circuit, &conns, &mut scratch)
+        .expect("flat routes");
+    let (par_routes, _) = flat_router
+        .route_with_threads(&circuit, 0)
+        .expect("parallel");
+    assert_eq!(
+        seed_routes, flat_routes,
+        "flat A* must match the seed bit for bit"
+    );
+    assert_eq!(
+        seed_routes, par_routes,
+        "parallel A* must match the seed bit for bit"
+    );
     assert_eq!(
         seed_routes.total_wirelength(&grid),
         flat_routes.total_wirelength(&grid)
@@ -155,7 +163,11 @@ fn bench_astar_search(c: &mut Criterion) {
         })
     });
     c.bench_function("astar_full_seed_500nets", |b| {
-        b.iter(|| seed_router.route(std::hint::black_box(&circuit)).expect("routes"))
+        b.iter(|| {
+            seed_router
+                .route(std::hint::black_box(&circuit))
+                .expect("routes")
+        })
     });
     c.bench_function("astar_full_flat_500nets", |b| {
         b.iter(|| {

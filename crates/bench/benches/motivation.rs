@@ -16,18 +16,28 @@ fn main() {
         ("0.10 um, 3.0 GHz", Technology::itrs_100nm()),
     ];
     println!("victim between two rising aggressors, 1.5 mm parallel run\n");
-    println!("{:<18} | {:>9} | {:>10} | {:>9}", "node", "Vdd (V)", "noise (V)", "% of Vdd");
+    println!(
+        "{:<18} | {:>9} | {:>10} | {:>9}",
+        "node", "Vdd (V)", "noise (V)", "% of Vdd"
+    );
     let mut last_frac = 0.0;
     for (label, tech) in nodes {
         let spec = BlockSpec::new(
-            vec![WireRole::AggressorRising, WireRole::Victim, WireRole::AggressorRising],
+            vec![
+                WireRole::AggressorRising,
+                WireRole::Victim,
+                WireRole::AggressorRising,
+            ],
             1500.0,
             &tech,
         )
         .expect("valid block");
         let v = peak_noise(&spec).expect("simulates");
         let frac = 100.0 * v / tech.vdd;
-        println!("{label:<18} | {:>9.2} | {:>10.4} | {:>8.1}%", tech.vdd, v, frac);
+        println!(
+            "{label:<18} | {:>9.2} | {:>10.4} | {:>8.1}%",
+            tech.vdd, v, frac
+        );
         assert!(
             frac >= last_frac,
             "noise fraction must grow as technology advances"

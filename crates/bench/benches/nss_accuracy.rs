@@ -24,7 +24,10 @@ fn main() {
 
     let solver = SinoSolver::default();
     println!("\nheld-out comparison (truth = min-area SINO shields):");
-    println!("{:>5} {:>6} | {:>6} {:>9}", "Nns", "rate", "truth", "estimate");
+    println!(
+        "{:>5} {:>6} | {:>6} {:>9}",
+        "Nns", "rate", "truth", "estimate"
+    );
     let mut abs_err = 0.0;
     let mut truth_sum = 0.0;
     for &n in &[5usize, 9, 14, 18, 24, 30] {

@@ -3,18 +3,24 @@
 //! global routing phase."
 //!
 //! Also measures the flat-array Phase I core against the seed HashMap
-//! router on the 500-net generator circuit: the route sets must be
-//! byte-identical and the flat kernel is expected to be ≥2× faster.
+//! router, and the incremental-connectivity ID router against the
+//! preserved PR-1 BFS kernel, on the 500-net generator circuit: the route
+//! sets must be byte-identical and the new kernels are expected to be ≥2×
+//! faster. The measurements are summarised to `BENCH_phase1.json`
+//! (override with `GSINO_BENCH_OUT`) for the CI regression gate
+//! (`bench_gate` binary vs the committed `baseline/BENCH_phase1.json`).
 
+use gsino_bench::report::{phase1_out_path, JsonDoc};
 use gsino_bench::{banner, bench_experiment_config};
 use gsino_circuits::experiment::run_suite;
 use gsino_circuits::generator::generate;
 use gsino_circuits::spec::CircuitSpec;
 use gsino_core::pipeline::{run_gsino, GsinoConfig, RouterKind};
-use gsino_core::router::reference::SeedAstarRouter;
-use gsino_core::router::{AstarRouter, ShieldTerm, Weights};
+use gsino_core::router::reference::{SeedAstarRouter, SeedIdRouter};
+use gsino_core::router::{AstarRouter, IdRouter, ShieldTerm, Weights};
 use gsino_grid::region::RegionGrid;
 use gsino_grid::tech::Technology;
+use serde::{Map, Value};
 use std::time::Instant;
 
 /// Median wall-clock seconds of `f` over `reps` runs.
@@ -30,12 +36,30 @@ fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Phase I flat-vs-seed comparison on the 500-net generator circuit.
-fn phase1_speedup_report() {
+/// Timings one kernel comparison leaves behind (milliseconds, medians).
+struct KernelTimings {
+    reference_ms: f64,
+    new_ms: f64,
+}
+
+impl KernelTimings {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.new_ms
+    }
+}
+
+/// The 500-net generator circuit both Phase I comparisons run on.
+fn workload() -> (gsino_grid::net::Circuit, RegionGrid) {
     let mut spec = CircuitSpec::ibm01();
     spec.num_nets = 500;
     let circuit = generate(&spec, 2002).expect("generator circuit");
     let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).expect("grid");
+    (circuit, grid)
+}
+
+/// Phase I flat-vs-seed comparison on the 500-net generator circuit.
+fn phase1_speedup_report() -> KernelTimings {
+    let (circuit, grid) = workload();
     let weights = Weights::default();
     let seed_router = SeedAstarRouter::new(&grid, weights, ShieldTerm::None);
     let flat_router = AstarRouter::new(&grid, weights, ShieldTerm::None);
@@ -44,24 +68,39 @@ fn phase1_speedup_report() {
     // rebuilt search/assembly core.
     let conns = flat_router.prepare(&circuit);
     let mut scratch = flat_router.make_scratch();
-    let seed_routes = seed_router.route_prepared(&circuit, &conns).expect("seed routes");
-    let (flat_routes, _) =
-        flat_router.route_prepared(&circuit, &conns, &mut scratch).expect("flat routes");
+    let seed_routes = seed_router
+        .route_prepared(&circuit, &conns)
+        .expect("seed routes");
+    let (flat_routes, _) = flat_router
+        .route_prepared(&circuit, &conns, &mut scratch)
+        .expect("flat routes");
     let (par_routes, stats) = flat_router
         .route_prepared_with_threads(&circuit, &conns, 0)
         .expect("parallel");
-    assert_eq!(seed_routes, flat_routes, "flat Phase I must match the seed bit for bit");
-    assert_eq!(seed_routes, par_routes, "parallel Phase I must match the seed bit for bit");
+    assert_eq!(
+        seed_routes, flat_routes,
+        "flat Phase I must match the seed bit for bit"
+    );
+    assert_eq!(
+        seed_routes, par_routes,
+        "parallel Phase I must match the seed bit for bit"
+    );
 
     let reps = 7;
     let t_seed = time_median(reps, || {
-        seed_router.route_prepared(&circuit, &conns).expect("routes");
+        seed_router
+            .route_prepared(&circuit, &conns)
+            .expect("routes");
     });
     let t_flat = time_median(reps, || {
-        flat_router.route_prepared(&circuit, &conns, &mut scratch).expect("routes");
+        flat_router
+            .route_prepared(&circuit, &conns, &mut scratch)
+            .expect("routes");
     });
     let t_par = time_median(reps, || {
-        flat_router.route_prepared_with_threads(&circuit, &conns, 0).expect("routes");
+        flat_router
+            .route_prepared_with_threads(&circuit, &conns, 0)
+            .expect("routes");
     });
     let t_prepare = time_median(reps, || {
         flat_router.prepare(&circuit);
@@ -84,6 +123,99 @@ fn phase1_speedup_report() {
         "  total wirelength identical: {} um",
         seed_routes.total_wirelength(&grid)
     );
+    KernelTimings {
+        reference_ms: t_seed * 1e3,
+        new_ms: t_flat * 1e3,
+    }
+}
+
+/// ID-path Phase I: the incremental-connectivity kernel against the
+/// preserved PR-1 BFS kernel, byte-identical route sets required. The
+/// Steiner decomposition is shared (same methodology as the A* report) so
+/// the numbers isolate the deletion kernel.
+fn id_phase1_speedup_report() -> KernelTimings {
+    let (circuit, grid) = workload();
+    let weights = Weights::default();
+    let reference = SeedIdRouter::new(&grid, weights, ShieldTerm::None);
+    let incremental = IdRouter::new(&grid, weights, ShieldTerm::None);
+    let conns = incremental.prepare(&circuit);
+    let (ref_routes, ref_stats) = reference
+        .route_prepared(&circuit, &conns)
+        .expect("PR-1 ID routes");
+    let (inc_routes, inc_stats) = incremental
+        .route_prepared(&circuit, &conns)
+        .expect("incremental ID routes");
+    assert_eq!(
+        ref_routes, inc_routes,
+        "incremental ID Phase I must match the PR-1 kernel bit for bit"
+    );
+    assert_eq!(
+        ref_stats.deletions, inc_stats.deletions,
+        "deletion sequences must agree"
+    );
+
+    let reps = 5;
+    let t_ref = time_median(reps, || {
+        reference.route_prepared(&circuit, &conns).expect("routes");
+    });
+    let t_inc = time_median(reps, || {
+        incremental
+            .route_prepared(&circuit, &conns)
+            .expect("routes");
+    });
+    println!("== ID-path phase I, 500-net generator circuit (medians of {reps}) ==");
+    println!("  PR-1 BFS kernel           {:>9.2} ms", t_ref * 1e3);
+    println!(
+        "  incremental connectivity  {:>9.2} ms   ({:.2}x vs PR-1)",
+        t_inc * 1e3,
+        t_ref / t_inc
+    );
+    println!(
+        "  connectivity: {} O(1) hits, {} recomputes ({} deletions, {} kept)",
+        inc_stats.connectivity_o1_hits,
+        inc_stats.connectivity_recomputes,
+        inc_stats.deletions,
+        inc_stats.kept
+    );
+    println!(
+        "  total wirelength identical: {} um",
+        ref_routes.total_wirelength(&grid)
+    );
+    KernelTimings {
+        reference_ms: t_ref * 1e3,
+        new_ms: t_inc * 1e3,
+    }
+}
+
+/// Writes the machine-readable Phase I summary the CI gate consumes.
+fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings) {
+    let mut workload = Map::new();
+    workload.insert("circuit", Value::Str("ibm01".into()));
+    workload.insert("nets", Value::U64(500));
+    let mut astar_m = Map::new();
+    astar_m.insert("seed_ms", Value::F64(astar.reference_ms));
+    astar_m.insert("flat_ms", Value::F64(astar.new_ms));
+    astar_m.insert("speedup_vs_seed", Value::F64(astar.speedup()));
+    let mut id_m = Map::new();
+    id_m.insert("reference_ms", Value::F64(id.reference_ms));
+    id_m.insert("incremental_ms", Value::F64(id.new_ms));
+    id_m.insert("speedup_vs_pr1", Value::F64(id.speedup()));
+    let mut root = Map::new();
+    root.insert("schema", Value::U64(1));
+    root.insert("workload", Value::Object(workload));
+    root.insert("astar", Value::Object(astar_m));
+    root.insert("id", Value::Object(id_m));
+    let path = phase1_out_path();
+    match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("could not serialize bench summary: {e}"),
+    }
 }
 
 /// Per-phase timing split of the full flows, both router kinds.
@@ -94,7 +226,10 @@ fn router_kind_phase_split() {
         (RouterKind::IterativeDeletion, "iterative deletion"),
         (RouterKind::SequentialAstar, "sequential A*"),
     ] {
-        let config = GsinoConfig { router: kind, ..GsinoConfig::default() };
+        let config = GsinoConfig {
+            router: kind,
+            ..GsinoConfig::default()
+        };
         match run_gsino(&circuit, &config) {
             Ok(outcome) => {
                 let t = outcome.timings;
@@ -112,7 +247,9 @@ fn router_kind_phase_split() {
 fn main() {
     let config = bench_experiment_config();
     eprintln!("{}", banner("phase_runtime", &config));
-    phase1_speedup_report();
+    let astar = phase1_speedup_report();
+    let id = id_phase1_speedup_report();
+    write_phase1_summary(&astar, &id);
     println!("== full-flow phase split by router kind ==");
     router_kind_phase_split();
     match run_suite(&config) {

@@ -14,8 +14,12 @@ fn main() {
     for n in [6usize, 10, 14, 18, 24] {
         for rate in [0.3, 0.5, 0.8] {
             for seed in 0..4u64 {
-                let segs: Vec<SegmentSpec> =
-                    (0..n).map(|i| SegmentSpec { net: i as u32, kth: 0.5 }).collect();
+                let segs: Vec<SegmentSpec> = (0..n)
+                    .map(|i| SegmentSpec {
+                        net: i as u32,
+                        kth: 0.5,
+                    })
+                    .collect();
                 let inst = SinoInstance::from_model(
                     segs,
                     &SensitivityModel::new(rate, seed ^ (n as u64) << 8),
@@ -25,11 +29,17 @@ fn main() {
             }
         }
     }
-    println!("corpus: {} region instances (n in 6..24, rates 0.3/0.5/0.8)\n", corpus.len());
+    println!(
+        "corpus: {} region instances (n in 6..24, rates 0.3/0.5/0.8)\n",
+        corpus.len()
+    );
 
     for (label, config) in [
         ("greedy only", SolverConfig::default()),
-        ("greedy + SA (4k iters)", SolverConfig::with_anneal(4000, 0xA11)),
+        (
+            "greedy + SA (4k iters)",
+            SolverConfig::with_anneal(4000, 0xA11),
+        ),
     ] {
         let solver = SinoSolver::new(config);
         let t0 = Instant::now();

@@ -16,9 +16,7 @@ fn main() {
     match run_suite(&config) {
         Ok(results) => {
             println!("{}", results.render_table2());
-            println!(
-                "paper reference: ibm01 639 -> 683 (+6.89%) @30%, 639 -> 706 (+10.49%) @50%"
-            );
+            println!("paper reference: ibm01 639 -> 683 (+6.89%) @30%, 639 -> 706 (+10.49%) @50%");
         }
         Err(e) => {
             eprintln!("table2 failed: {e}");

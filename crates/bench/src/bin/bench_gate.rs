@@ -1,0 +1,161 @@
+//! CI bench-regression gate for Phase I.
+//!
+//! Compares a freshly measured `BENCH_phase1.json` (written by
+//! `cargo bench -p gsino-bench --bench phase_runtime`) against the
+//! committed baseline and exits non-zero if Phase I regressed by more than
+//! the tolerance (default 15%, `--max-regress 0.15`).
+//!
+//! Wall-clock milliseconds are not comparable across machines, so the
+//! gated metric is the **normalized Phase I wall time**: the new kernel's
+//! time divided by the preserved reference kernel's time from the same
+//! run (the inverse of the reported speedup). A >15% rise of that ratio
+//! means the production kernel got slower relative to a fixed workload on
+//! whatever hardware CI happens to run — exactly the regression the gate
+//! exists to catch. The absolute times are reported alongside for humans.
+//!
+//! The normalization removes most but not all hardware sensitivity: the
+//! HashMap-heavy reference kernels and the flat-array kernels respond
+//! differently to cache sizes and vCPU contention, and the medians come
+//! from 5–7 reps. If the gate flakes on a runner-hardware change with no
+//! code change, regenerate `crates/bench/baseline/BENCH_phase1.json` from
+//! a CI run on the new hardware (download the summary the bench job
+//! prints) rather than widening `--max-regress`.
+//!
+//! Usage:
+//!   bench_gate --current BENCH_phase1.json \
+//!              --baseline crates/bench/baseline/BENCH_phase1.json \
+//!              [--max-regress 0.15]
+
+use gsino_bench::report::{num, JsonDoc};
+use std::process::ExitCode;
+
+struct Args {
+    current: String,
+    baseline: String,
+    max_regress: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut current = None;
+    let mut baseline = None;
+    let mut max_regress = 0.15;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--current" => current = Some(value("--current")?),
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--max-regress" => {
+                max_regress = value("--max-regress")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --max-regress: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        current: current.ok_or("--current is required")?,
+        baseline: baseline.ok_or("--baseline is required")?,
+        max_regress,
+    })
+}
+
+fn load(path: &str) -> Result<JsonDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// One gated kernel: compares normalized wall time (new/reference).
+fn check(
+    label: &str,
+    current: &JsonDoc,
+    baseline: &JsonDoc,
+    section: &str,
+    new_key: &str,
+    ref_key: &str,
+    max_regress: f64,
+) -> Result<(), String> {
+    let read = |doc: &JsonDoc, key: &str| -> Result<f64, String> {
+        num(&doc.0, &[section, key])
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{label}: missing/invalid `{section}.{key}`"))
+    };
+    let cur_norm = read(current, new_key)? / read(current, ref_key)?;
+    let base_norm = read(baseline, new_key)? / read(baseline, ref_key)?;
+    let ratio = cur_norm / base_norm;
+    let verdict = if ratio > 1.0 + max_regress {
+        "FAIL"
+    } else {
+        "ok"
+    };
+    println!(
+        "{label:<24} normalized {cur_norm:.4} vs baseline {base_norm:.4} \
+         ({:+.1}% — {verdict}, tolerance +{:.0}%)",
+        (ratio - 1.0) * 100.0,
+        max_regress * 100.0,
+    );
+    println!(
+        "{:<24} absolute: {:.2} ms now vs {:.2} ms at baseline (reference kernel {:.2} ms vs {:.2} ms)",
+        "",
+        read(current, new_key)?,
+        read(baseline, new_key)?,
+        read(current, ref_key)?,
+        read(baseline, ref_key)?,
+    );
+    if ratio > 1.0 + max_regress {
+        return Err(format!(
+            "{label}: Phase I wall time regressed {:.1}% vs baseline (> {:.0}% tolerance)",
+            (ratio - 1.0) * 100.0,
+            max_regress * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (current, baseline) = match (load(&args.current), load(&args.baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for e in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for (label, section, new_key, ref_key) in [
+        ("astar flat kernel", "astar", "flat_ms", "seed_ms"),
+        (
+            "id incremental kernel",
+            "id",
+            "incremental_ms",
+            "reference_ms",
+        ),
+    ] {
+        if let Err(e) = check(
+            label,
+            &current,
+            &baseline,
+            section,
+            new_key,
+            ref_key,
+            args.max_regress,
+        ) {
+            eprintln!("bench_gate: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate passed");
+        ExitCode::SUCCESS
+    }
+}

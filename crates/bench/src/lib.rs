@@ -13,6 +13,8 @@
 use gsino_circuits::experiment::ExperimentConfig;
 use gsino_circuits::spec::CircuitSpec;
 
+pub mod report;
+
 /// Bench-default experiment configuration: honours `GSINO_SCALE` and
 /// `GSINO_CIRCUITS`, otherwise runs `ibm01` at scale 0.3 so that
 /// `cargo bench --workspace` finishes in minutes.
@@ -34,7 +36,11 @@ pub fn banner(name: &str, config: &ExperimentConfig) -> String {
          (set GSINO_SCALE=1.0 GSINO_CIRCUITS=ibm01,ibm02,... for the full suite; \
          see EXPERIMENTS.md for recorded full-scale results)",
         config.scale,
-        config.circuits.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+        config
+            .circuits
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>(),
         config.rates,
     )
 }
@@ -46,8 +52,7 @@ mod tests {
     #[test]
     fn default_bench_config_is_small() {
         // Only meaningful when the env vars are unset (the common case).
-        if std::env::var("GSINO_SCALE").is_err() && std::env::var("GSINO_CIRCUITS").is_err()
-        {
+        if std::env::var("GSINO_SCALE").is_err() && std::env::var("GSINO_CIRCUITS").is_err() {
             let c = bench_experiment_config();
             assert!(c.scale <= 0.3 + 1e-9);
             assert_eq!(c.circuits.len(), 1);

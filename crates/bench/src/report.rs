@@ -1,0 +1,85 @@
+//! Machine-readable bench summaries (`BENCH_phase1.json`) and the helpers
+//! the regression gate shares with the benches.
+//!
+//! The compat `serde` shim keeps [`Value`] trait-free, so documents are
+//! wrapped in [`JsonDoc`] for (de)serialization. Summaries record both
+//! absolute wall times and **in-run speedup ratios** (new kernel vs the
+//! preserved reference kernel, measured back to back on the same machine);
+//! the CI gate compares the ratios, which makes the committed baseline
+//! meaningful on any hardware.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Owned JSON document wrapper around the shim's [`Value`].
+#[derive(Debug, Clone)]
+pub struct JsonDoc(pub Value);
+
+impl Serialize for JsonDoc {
+    fn serialize_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for JsonDoc {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(JsonDoc(v.clone()))
+    }
+}
+
+/// Walks an object path (`["id", "speedup_vs_pr1"]`) through a value tree.
+pub fn get<'a>(mut v: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    for key in path {
+        match v {
+            Value::Object(m) => v = m.get(key)?,
+            _ => return None,
+        }
+    }
+    Some(v)
+}
+
+/// Reads a numeric leaf at `path`, accepting any JSON number shape.
+pub fn num(v: &Value, path: &[&str]) -> Option<f64> {
+    match get(v, path)? {
+        Value::F64(f) => Some(*f),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Output path for the Phase I bench summary: `$GSINO_BENCH_OUT` or
+/// `BENCH_phase1.json` in the bench's working directory.
+pub fn phase1_out_path() -> String {
+    std::env::var("GSINO_BENCH_OUT").unwrap_or_else(|_| "BENCH_phase1.json".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Map;
+
+    fn doc() -> Value {
+        let mut inner = Map::new();
+        inner.insert("speedup", Value::F64(2.5));
+        inner.insert("count", Value::U64(7));
+        let mut outer = Map::new();
+        outer.insert("id", Value::Object(inner));
+        Value::Object(outer)
+    }
+
+    #[test]
+    fn path_walking_reads_nested_numbers() {
+        let d = doc();
+        assert_eq!(num(&d, &["id", "speedup"]), Some(2.5));
+        assert_eq!(num(&d, &["id", "count"]), Some(7.0));
+        assert_eq!(num(&d, &["id", "missing"]), None);
+        assert_eq!(num(&d, &["missing", "speedup"]), None);
+    }
+
+    #[test]
+    fn json_doc_roundtrips() {
+        let text = serde_json::to_string(&JsonDoc(doc())).expect("serialize");
+        let back: JsonDoc = serde_json::from_str(&text).expect("parse");
+        assert_eq!(num(&back.0, &["id", "speedup"]), Some(2.5));
+    }
+}

@@ -23,7 +23,11 @@ fn main() {
         .get(2)
         .map(|s| {
             let v: Vec<f64> = s.split(',').filter_map(|x| x.parse().ok()).collect();
-            Weights { alpha: v[0], beta: v[1], gamma: v[2] }
+            Weights {
+                alpha: v[0],
+                beta: v[1],
+                gamma: v[2],
+            }
         })
         .unwrap_or_default();
     let spec = CircuitSpec::suite()
@@ -37,15 +41,25 @@ fn main() {
 
     let n = circuit.num_nets() as f64;
     let mean_hpwl = circuit.mean_hpwl();
-    let mean_steiner: f64 =
-        circuit.nets().iter().map(|net| rsmt_estimate(net.pins())).sum::<f64>() / n;
-    println!("{name} scale {scale}: {} nets, die {:.0} x {:.0}", circuit.num_nets(),
-        spec.die_w, spec.die_h);
+    let mean_steiner: f64 = circuit
+        .nets()
+        .iter()
+        .map(|net| rsmt_estimate(net.pins()))
+        .sum::<f64>()
+        / n;
+    println!(
+        "{name} scale {scale}: {} nets, die {:.0} x {:.0}",
+        circuit.num_nets(),
+        spec.die_w,
+        spec.die_h
+    );
     println!("mean HPWL      {mean_hpwl:8.1} um");
-    println!("mean RSMT est  {mean_steiner:8.1} um  (target {:.0})", spec.target_wl);
+    println!(
+        "mean RSMT est  {mean_steiner:8.1} um  (target {:.0})",
+        spec.target_wl
+    );
 
-    let (routes, stats) =
-        route_all(&grid, &circuit, weights, ShieldTerm::None).expect("routing");
+    let (routes, stats) = route_all(&grid, &circuit, weights, ShieldTerm::None).expect("routing");
     let wl = wirelength_stats(&circuit, &grid, &routes);
     println!(
         "mean routed    {:8.1} um  (inflation vs RSMT {:.2}x)",
@@ -83,9 +97,15 @@ fn main() {
     use gsino_sino::solver::SolverConfig;
     let table = NoiseTable::calibrated(&tech);
     for rate in [0.3, 0.5] {
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(rate, 2002 ^ 0xC1C);
         let sino = solve_regions(
             &grid,

@@ -29,8 +29,10 @@ fn main() {
             "--rates" => {
                 i += 1;
                 if let Some(list) = args.get(i) {
-                    let rates: Vec<f64> =
-                        list.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                    let rates: Vec<f64> = list
+                        .split(',')
+                        .filter_map(|s| s.trim().parse().ok())
+                        .collect();
                     if !rates.is_empty() {
                         config.rates = rates;
                     }
@@ -40,14 +42,18 @@ fn main() {
                 i += 1;
                 if let Some(list) = args.get(i) {
                     let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
-                    config.circuits =
-                        CircuitSpec::suite().into_iter().filter(|c| wanted.contains(&c.name.as_str())).collect();
+                    config.circuits = CircuitSpec::suite()
+                        .into_iter()
+                        .filter(|c| wanted.contains(&c.name.as_str()))
+                        .collect();
                 }
             }
             "--seed" => {
                 i += 1;
-                config.seed =
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(config.seed);
+                config.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(config.seed);
             }
             "--json" => {
                 i += 1;
@@ -67,7 +73,11 @@ fn main() {
     eprintln!(
         "running suite: scale {:.2}, circuits {:?}, rates {:?}",
         config.scale,
-        config.circuits.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+        config
+            .circuits
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>(),
         config.rates
     );
     let results = match run_suite(&config) {

@@ -9,10 +9,8 @@
 
 use crate::generator::generate;
 use crate::spec::CircuitSpec;
-use gsino_core::pipeline::{
-    reference_kth, run_gsino, GsinoConfig, GsinoOutcome, PhaseTimings,
-};
 use gsino_core::baseline::{run_id_no, run_isino};
+use gsino_core::pipeline::{reference_kth, run_gsino, GsinoConfig, GsinoOutcome, PhaseTimings};
 use gsino_core::{CoreError, Result};
 use gsino_grid::sensitivity::SensitivityModel;
 use gsino_grid::tech::Technology;
@@ -59,7 +57,9 @@ impl ExperimentConfig {
         }
         if let Ok(list) = std::env::var("GSINO_CIRCUITS") {
             let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
-            config.circuits.retain(|c| wanted.contains(&c.name.as_str()));
+            config
+                .circuits
+                .retain(|c| wanted.contains(&c.name.as_str()));
             if config.circuits.is_empty() {
                 config.circuits = CircuitSpec::suite();
             }
@@ -110,7 +110,13 @@ pub struct ApproachResult {
 
 impl ApproachResult {
     fn from_outcome(o: &GsinoOutcome, nets: usize) -> Self {
-        let PhaseTimings { route_s, sino_s, refine_s, total_s, .. } = o.timings;
+        let PhaseTimings {
+            route_s,
+            sino_s,
+            refine_s,
+            total_s,
+            ..
+        } = o.timings;
         ApproachResult {
             violating_nets: o.violations.violating_nets(),
             violating_pct: 100.0 * o.violations.violating_nets() as f64 / nets.max(1) as f64,
@@ -210,7 +216,10 @@ pub fn run_suite(config: &ExperimentConfig) -> Result<SuiteResults> {
             });
         }
     }
-    Ok(SuiteResults { scale: config.scale, results })
+    Ok(SuiteResults {
+        scale: config.scale,
+        results,
+    })
 }
 
 impl SuiteResults {
@@ -272,8 +281,7 @@ impl SuiteResults {
     /// Table 2: average wire lengths of ID+NO and GSINO solutions.
     pub fn render_table2(&self) -> String {
         let rates = self.rates();
-        let mut out =
-            String::from("Table 2: average wire lengths (um); GSINO overhead vs ID+NO\n");
+        let mut out = String::from("Table 2: average wire lengths (um); GSINO overhead vs ID+NO\n");
         out.push_str(&format!("{:<8}", "circuit"));
         for r in &rates {
             out.push_str(&format!(
@@ -300,9 +308,8 @@ impl SuiteResults {
 
     /// Table 3: routing areas of ID+NO, iSINO and GSINO solutions.
     pub fn render_table3(&self) -> String {
-        let mut out = String::from(
-            "Table 3: routing areas (um x um); overheads vs ID+NO in parentheses\n",
-        );
+        let mut out =
+            String::from("Table 3: routing areas (um x um); overheads vs ID+NO in parentheses\n");
         for &rate in &self.rates() {
             out.push_str(&format!("sensitivity rate = {:.0}%\n", rate * 100.0));
             out.push_str(&format!(
@@ -311,8 +318,7 @@ impl SuiteResults {
             ));
             for name in self.names() {
                 if let Some(c) = self.get(&name, rate) {
-                    let ovh =
-                        |a: &ApproachResult| 100.0 * (a.area - c.id_no.area) / c.id_no.area;
+                    let ovh = |a: &ApproachResult| 100.0 * (a.area - c.id_no.area) / c.id_no.area;
                     out.push_str(&format!(
                         "{:<8} | {:>5.0} x {:>5.0} | {:>5.0} x {:>5.0} ({:>6.2}%) | {:>5.0} x {:>5.0} ({:>6.2}%)\n",
                         name,
@@ -374,9 +380,8 @@ impl SuiteResults {
 
     /// The §5 claim: share of GSINO runtime spent in the ID routing phase.
     pub fn render_runtime_breakdown(&self) -> String {
-        let mut out = String::from(
-            "Runtime breakdown of GSINO (paper S5 expects routing to dominate)\n",
-        );
+        let mut out =
+            String::from("Runtime breakdown of GSINO (paper S5 expects routing to dominate)\n");
         for r in &self.results {
             let g = &r.gsino;
             out.push_str(&format!(
@@ -453,7 +458,10 @@ mod tests {
             isino: fake_approach(600.0, 1.2e6, 0),
             gsino: fake_approach(gsino_wl, 1.1e6, 0),
         };
-        SuiteResults { scale: 1.0, results: vec![cell(0.3, 620.0), cell(0.5, 660.0)] }
+        SuiteResults {
+            scale: 1.0,
+            results: vec![cell(0.3, 620.0), cell(0.5, 660.0)],
+        }
     }
 
     #[test]

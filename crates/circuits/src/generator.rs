@@ -103,15 +103,17 @@ fn sample_net(
     };
     // Exponential span with the chosen mean, clamped to the die.
     let u: f64 = rng.gen_range(1e-9..1.0);
-    let span = (-span_mean * (1.0 - u).ln())
-        .clamp(8.0, 0.92 * spec.die_w.min(spec.die_h));
+    let span = (-span_mean * (1.0 - u).ln()).clamp(8.0, 0.92 * spec.die_w.min(spec.die_h));
     // Anchor: hotspot or uniform.
     let anchor = if rng.gen::<f64>() < CLUSTER_FRACTION {
         let c = clusters[rng.gen_range(0..clusters.len())];
         let r = 0.15 * spec.die_w.min(spec.die_h);
         Point::new(c.x + rng.gen_range(-r..r), c.y + rng.gen_range(-r..r))
     } else {
-        Point::new(rng.gen_range(0.0..spec.die_w), rng.gen_range(0.0..spec.die_h))
+        Point::new(
+            rng.gen_range(0.0..spec.die_w),
+            rng.gen_range(0.0..spec.die_h),
+        )
     };
     let pins: Vec<Point> = (0..degree)
         .map(|_| {
@@ -191,7 +193,10 @@ mod tests {
     fn mean_wirelength_calibrated() {
         // Full-size die so clamping doesn't bias the calibration.
         let spec = CircuitSpec::ibm01();
-        let spec = CircuitSpec { num_nets: 3000, ..spec };
+        let spec = CircuitSpec {
+            num_nets: 3000,
+            ..spec
+        };
         let c = generate(&spec, 5).unwrap();
         let mean = c.mean_hpwl();
         assert!(
@@ -203,7 +208,10 @@ mod tests {
 
     #[test]
     fn pin_distribution_dominated_by_two_pin() {
-        let spec = CircuitSpec { num_nets: 4000, ..CircuitSpec::ibm01() };
+        let spec = CircuitSpec {
+            num_nets: 4000,
+            ..CircuitSpec::ibm01()
+        };
         let c = generate(&spec, 7).unwrap();
         let two = c.nets().iter().filter(|n| n.degree() == 2).count() as f64;
         let frac = two / c.num_nets() as f64;
@@ -215,7 +223,10 @@ mod tests {
 
     #[test]
     fn span_distribution_has_heavy_tail() {
-        let spec = CircuitSpec { num_nets: 4000, ..CircuitSpec::ibm01() };
+        let spec = CircuitSpec {
+            num_nets: 4000,
+            ..CircuitSpec::ibm01()
+        };
         let c = generate(&spec, 11).unwrap();
         let target = spec.target_wl;
         let long = c.nets().iter().filter(|n| n.hpwl() > 2.0 * target).count() as f64;

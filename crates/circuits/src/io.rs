@@ -47,8 +47,7 @@ impl From<std::io::Error> for IoError {
 ///
 /// [`IoError`] on write or serialization failure.
 pub fn write_circuit<W: Write>(circuit: &Circuit, mut w: W) -> Result<(), IoError> {
-    let s = serde_json::to_string_pretty(circuit)
-        .map_err(|e| IoError::Format(e.to_string()))?;
+    let s = serde_json::to_string_pretty(circuit).map_err(|e| IoError::Format(e.to_string()))?;
     w.write_all(s.as_bytes())?;
     Ok(())
 }
@@ -61,8 +60,7 @@ pub fn write_circuit<W: Write>(circuit: &Circuit, mut w: W) -> Result<(), IoErro
 pub fn read_circuit<R: Read>(mut r: R) -> Result<Circuit, IoError> {
     let mut s = String::new();
     r.read_to_string(&mut s)?;
-    let circuit: Circuit =
-        serde_json::from_str(&s).map_err(|e| IoError::Format(e.to_string()))?;
+    let circuit: Circuit = serde_json::from_str(&s).map_err(|e| IoError::Format(e.to_string()))?;
     // Serde bypasses the constructor; re-validate.
     let revalidated = Circuit::new(
         circuit.name().to_string(),
@@ -123,7 +121,10 @@ mod tests {
             "die": {"lo": {"x": 0.0, "y": 0.0}, "hi": {"x": 10.0, "y": 10.0}},
             "nets": [{"id": 0, "pins": [{"x": 99.0, "y": 0.0}]}]
         }"#;
-        assert!(matches!(read_circuit(json.as_bytes()), Err(IoError::Format(_))));
+        assert!(matches!(
+            read_circuit(json.as_bytes()),
+            Err(IoError::Format(_))
+        ));
     }
 
     #[test]

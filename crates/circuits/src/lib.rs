@@ -27,8 +27,8 @@
 //! ```
 
 pub mod experiment;
-pub mod io;
 pub mod generator;
+pub mod io;
 pub mod spec;
 
 pub use experiment::{ExperimentConfig, SuiteResults};

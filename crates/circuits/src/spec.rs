@@ -44,8 +44,7 @@ impl CircuitSpec {
         let tracks = 16.0;
         let regions = (die_w / tile) * (die_h / tile);
         let slots_per_net = target_wl / tile + 2.5;
-        let nets =
-            (TARGET_DENSITY * tracks * 2.0 * regions / slots_per_net).round() as usize;
+        let nets = (TARGET_DENSITY * tracks * 2.0 * regions / slots_per_net).round() as usize;
         CircuitSpec {
             name: name.to_string(),
             num_nets: nets.min(published),
@@ -131,7 +130,12 @@ mod tests {
     fn net_counts_capped_by_published() {
         for spec in CircuitSpec::suite() {
             assert!(spec.num_nets <= spec.published_nets, "{}", spec.name);
-            assert!(spec.num_nets > 500, "{} too small: {}", spec.name, spec.num_nets);
+            assert!(
+                spec.num_nets > 500,
+                "{} too small: {}",
+                spec.name,
+                spec.num_nets
+            );
         }
     }
 
@@ -156,9 +160,7 @@ mod tests {
         let s = CircuitSpec::ibm02().scaled(0.25);
         assert_eq!(s.target_wl, 724.0);
         assert!((s.die_w / CircuitSpec::ibm02().die_w - 0.5).abs() < 1e-9);
-        assert!(
-            (s.num_nets as f64 / CircuitSpec::ibm02().num_nets as f64 - 0.25).abs() < 0.01
-        );
+        assert!((s.num_nets as f64 / CircuitSpec::ibm02().num_nets as f64 - 0.25).abs() < 0.01);
         // Extreme scales clamp.
         let tiny = CircuitSpec::ibm01().scaled(1e-9);
         assert!(tiny.num_nets >= 8);

@@ -102,7 +102,10 @@ impl Criterion {
         let mut iters: u64 = 1;
         let mut warm_elapsed;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             warm_elapsed = b.elapsed;
             if warm_elapsed >= self.warmup || iters >= 1 << 30 {
@@ -121,7 +124,10 @@ impl Criterion {
             ((self.target_sample_time.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64).max(1);
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             samples.push(b.elapsed.as_secs_f64() / sample_iters as f64);
         }
@@ -203,7 +209,10 @@ mod tests {
 
     #[test]
     fn iter_batched_excludes_setup() {
-        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
         b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
         assert!(b.elapsed < Duration::from_secs(1));
     }

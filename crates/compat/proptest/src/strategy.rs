@@ -20,10 +20,7 @@ pub trait Strategy {
     }
 
     /// Feeds sampled values into `f` to pick a dependent strategy.
-    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
-        self,
-        f: F,
-    ) -> FlatMapStrategy<Self, F>
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMapStrategy<Self, F>
     where
         Self: Sized,
     {

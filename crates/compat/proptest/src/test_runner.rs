@@ -16,7 +16,9 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E3779B97F4A7C15)) }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E3779B97F4A7C15)),
+        }
     }
 
     /// The next 64 uniformly random bits.

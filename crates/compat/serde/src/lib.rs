@@ -310,8 +310,14 @@ mod tests {
 
     #[test]
     fn primitives_roundtrip() {
-        assert_eq!(u32::deserialize_value(&42u32.serialize_value()).unwrap(), 42);
-        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()).unwrap(), 1.5);
+        assert_eq!(
+            u32::deserialize_value(&42u32.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
         assert_eq!(
             String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(),
             "hi"
@@ -320,7 +326,10 @@ mod tests {
             Vec::<u32>::deserialize_value(&vec![1u32, 2].serialize_value()).unwrap(),
             vec![1, 2]
         );
-        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -45,17 +45,19 @@ fn parse_item(input: TokenStream) -> Shape {
     match kind.as_str() {
         "struct" => match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::Struct { name, fields: parse_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: parse_fields(g.stream()),
+            },
             _ => panic!(
                 "serde derive shim: struct `{name}` must have named fields or be a unit struct"
             ),
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             _ => panic!("serde derive shim: malformed enum `{name}`"),
         },
         other => panic!("serde derive: cannot derive for `{other}` items"),
@@ -126,13 +128,18 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             if i >= tokens.len() {
                 break;
             }
-            panic!("serde derive shim: expected a field name, found {:?}", tokens[i].to_string());
+            panic!(
+                "serde derive shim: expected a field name, found {:?}",
+                tokens[i].to_string()
+            );
         };
         let name = name.to_string();
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            _ => panic!("serde derive shim: field `{name}` missing `:` (tuple structs unsupported)"),
+            _ => {
+                panic!("serde derive shim: field `{name}` missing `:` (tuple structs unsupported)")
+            }
         }
         // Consume the type: tokens until a comma outside angle brackets.
         let mut angle = 0i32;

@@ -58,7 +58,11 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
 ///
 /// [`Error`] on malformed JSON or a shape mismatch.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let value = Parser { bytes: s.as_bytes(), pos: 0 }.parse_document()?;
+    let value = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
     T::deserialize_value(&value).map_err(|e| Error::new(e.to_string()))
 }
 
@@ -149,7 +153,10 @@ impl<'a> Parser<'a> {
         let v = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
-            return Err(Error::new(format!("trailing characters at byte {}", self.pos)));
+            return Err(Error::new(format!(
+                "trailing characters at byte {}",
+                self.pos
+            )));
         }
         Ok(v)
     }
@@ -299,7 +306,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -326,7 +338,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(m));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -369,7 +386,12 @@ mod tests {
             let s = Value::F64(f);
             let mut out = String::new();
             write_value(&s, &mut out, None, 0).unwrap();
-            let parsed = Parser { bytes: out.as_bytes(), pos: 0 }.parse_document().unwrap();
+            let parsed = Parser {
+                bytes: out.as_bytes(),
+                pos: 0,
+            }
+            .parse_document()
+            .unwrap();
             match parsed {
                 Value::F64(g) => assert_eq!(f.to_bits(), g.to_bits(), "{out}"),
                 Value::U64(n) => assert_eq!(f, n as f64),

@@ -101,8 +101,14 @@ impl NoiseProfile {
             let lo = ceil * i as f64 / BINS as f64;
             let hi = ceil * (i + 1) as f64 / BINS as f64;
             let bar = "#".repeat(c * WIDTH / max_count);
-            let marker = if self.vth > lo && self.vth <= hi { " <- vth" } else { "" };
-            out.push_str(&format!("{lo:5.3}-{hi:5.3} V |{bar:<WIDTH$}| {c}{marker}\n"));
+            let marker = if self.vth > lo && self.vth <= hi {
+                " <- vth"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{lo:5.3}-{hi:5.3} V |{bar:<WIDTH$}| {c}{marker}\n"
+            ));
         }
         out
     }
@@ -134,12 +140,17 @@ mod tests {
         let circuit = Circuit::new("p", die, nets).unwrap();
         let tech = Technology::itrs_100nm();
         let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         let table = NoiseTable::calibrated(&tech);
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::RoutedPath)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::RoutedPath,
+        )
+        .unwrap();
         let sino = solve_regions(
             &grid,
             &routes,
@@ -194,7 +205,10 @@ mod tests {
 
     #[test]
     fn empty_profile_behaves() {
-        let p = NoiseProfile { voltages: Vec::new(), vth: 0.15 };
+        let p = NoiseProfile {
+            voltages: Vec::new(),
+            vth: 0.15,
+        };
         assert!(p.is_empty());
         assert_eq!(p.max(), 0.0);
         assert_eq!(p.quantile(0.5), 0.0);

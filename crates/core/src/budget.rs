@@ -121,12 +121,9 @@ pub fn congestion_weighted_budgets(
 ) -> Result<Budgets> {
     let mut budgets = Budgets::default();
     let min_le = (grid.tile_w().min(grid.tile_h())) / 2.0;
-    let lsk_bound_of = |le: f64| -> Result<f64> {
-        Ok(kth_for_le(table, vth, le)? * le)
-    };
+    let lsk_bound_of = |le: f64| -> Result<f64> { Ok(kth_for_le(table, vth, le)? * le) };
     let weight = |r: RegionIdx, dir: Dir| -> f64 {
-        let headroom =
-            (usage.capacity(dir) as f64 - usage.used(r, dir) as f64).max(1.0);
+        let headroom = (usage.capacity(dir) as f64 - usage.used(r, dir) as f64).max(1.0);
         1.0 / headroom
     };
     for net in circuit.nets() {
@@ -308,11 +305,16 @@ mod tests {
     #[test]
     fn every_occupied_segment_gets_a_budget() {
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         for route in routes.iter() {
             for r in route.regions() {
                 for dir in [Dir::H, Dir::V] {
@@ -330,11 +332,16 @@ mod tests {
     #[test]
     fn longer_nets_get_tighter_budgets() {
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         // Net 0 is 568 µm long; a hypothetical shorter net would budget
         // looser. Check budget matches the closed form LSK/Le.
         let lsk_bound = table.lsk_for_voltage(0.15);
@@ -348,14 +355,25 @@ mod tests {
         // The routed path is at least as long as the Manhattan distance, so
         // RoutedPath budgets are at most the Manhattan ones.
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let manhattan =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
-        let routed =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::RoutedPath)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let manhattan = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
+        let routed = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::RoutedPath,
+        )
+        .unwrap();
         for (key, kth_routed) in routed.iter() {
             let kth_m = manhattan.kth(key.0, key.1, key.2).unwrap();
             assert!(
@@ -368,17 +386,25 @@ mod tests {
     #[test]
     fn shared_segments_take_min_budget() {
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         // Net 1 has two sinks with different Le; its segments near the
         // source shared by both paths must carry the tighter (smaller) kth.
         let net = circuit.net(1).unwrap();
         let lsk_bound = table.lsk_for_voltage(0.15);
-        let les: Vec<f64> =
-            net.sinks().iter().map(|s| net.source().manhattan(*s)).collect();
+        let les: Vec<f64> = net
+            .sinks()
+            .iter()
+            .map(|s| net.source().manhattan(*s))
+            .collect();
         let tightest = lsk_bound / les.iter().cloned().fold(0.0, f64::max);
         let route = routes.get(1).unwrap();
         let root = grid.region_of(net.source());
@@ -393,16 +419,25 @@ mod tests {
     #[test]
     fn trivial_routes_need_no_budget() {
         let die = Rect::new(Point::new(0.0, 0.0), Point::new(128.0, 128.0)).unwrap();
-        let nets = vec![Net::two_pin(0, Point::new(5.0, 5.0), Point::new(20.0, 20.0))];
+        let nets = vec![Net::two_pin(
+            0,
+            Point::new(5.0, 5.0),
+            Point::new(20.0, 20.0),
+        )];
         let circuit = Circuit::new("t", die, nets).unwrap();
         let tech = Technology::itrs_100nm();
         let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
         let table = NoiseTable::calibrated(&tech);
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         assert!(budgets.is_empty());
         assert_eq!(budgets.median_kth(), None);
     }
@@ -411,8 +446,7 @@ mod tests {
     fn congestion_weighted_budgets_preserve_path_bound() {
         use gsino_grid::usage::TrackUsage;
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         let mut usage = TrackUsage::from_routes(&grid, &routes);
         // Make one region on net 0's route look congested.
         let hot = routes.get(0).unwrap().regions()[2];
@@ -432,7 +466,10 @@ mod tests {
         let route = routes.get(0).unwrap();
         let root = grid.region_of(net.source());
         let path = route.path(root, grid.region_of(net.sinks()[0])).unwrap();
-        let le: f64 = path.windows(2).map(|w| grid.center_distance(w[0], w[1])).sum();
+        let le: f64 = path
+            .windows(2)
+            .map(|w| grid.center_distance(w[0], w[1]))
+            .sum();
         let lsk_bound = table.lsk_for_voltage(0.15);
         let mut total = 0.0;
         for &r in &path {
@@ -442,7 +479,10 @@ mod tests {
             }
         }
         let _ = le;
-        assert!(total <= lsk_bound * 1.0001, "path bound {total} > {lsk_bound}");
+        assert!(
+            total <= lsk_bound * 1.0001,
+            "path bound {total} > {lsk_bound}"
+        );
         // The congested region gets a looser budget than its neighbours.
         let cool = path.iter().copied().find(|&r| r != hot).unwrap();
         let k_hot = weighted.kth(0, hot, Dir::H).unwrap();
@@ -453,8 +493,7 @@ mod tests {
     #[test]
     fn non_uniform_constraints_tighten_selected_nets() {
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         // Net 0 is a clock-like net with a strict 0.10 V ceiling; others 0.15.
         let strict = budgets_with_constraints(
             &circuit,
@@ -465,9 +504,15 @@ mod tests {
             LengthModel::Manhattan,
         )
         .unwrap();
-        let uniform =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let uniform = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let r = routes.get(0).unwrap().regions()[1];
         let ks = strict.kth(0, r, Dir::H).unwrap();
         let ku = uniform.kth(0, r, Dir::H).unwrap();
@@ -475,9 +520,7 @@ mod tests {
         // Other nets unchanged.
         let r1 = routes.get(1).unwrap().regions()[0];
         for dir in [Dir::H, Dir::V] {
-            if let (Some(a), Some(b)) =
-                (strict.kth(1, r1, dir), uniform.kth(1, r1, dir))
-            {
+            if let (Some(a), Some(b)) = (strict.kth(1, r1, dir), uniform.kth(1, r1, dir)) {
                 assert!((a - b).abs() < 1e-12);
             }
         }
@@ -486,11 +529,16 @@ mod tests {
     #[test]
     fn median_kth_reported() {
         let (circuit, grid, table) = straight_circuit();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let med = budgets.median_kth().unwrap();
         assert!(med > 0.0 && med.is_finite());
     }

@@ -35,7 +35,11 @@ pub fn wirelength_stats(
     }
     WirelengthStats {
         total_um: total,
-        mean_um: if count == 0 { 0.0 } else { total / count as f64 },
+        mean_um: if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        },
         nets: count,
     }
 }
@@ -59,8 +63,7 @@ mod tests {
         ];
         let circuit = Circuit::new("t", die, nets).unwrap();
         let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         let stats = wirelength_stats(&circuit, &grid, &routes);
         assert_eq!(stats.nets, 2);
         assert!((stats.total_um - (9.0 * 64.0 + 30.0)).abs() < 1e-9);

@@ -67,11 +67,7 @@ impl RegionSino {
     }
 
     /// Mutable access for Phase III.
-    pub fn solution_mut(
-        &mut self,
-        region: RegionIdx,
-        dir: Dir,
-    ) -> Option<&mut RegionSolution> {
+    pub fn solution_mut(&mut self, region: RegionIdx, dir: Dir) -> Option<&mut RegionSolution> {
         self.solutions.get_mut(&(region, dir))
     }
 
@@ -91,7 +87,10 @@ impl RegionSino {
 
     /// Total shields over all regions (the shielding area, in tracks).
     pub fn total_shields(&self) -> u64 {
-        self.solutions.values().map(|s| s.layout.num_shields() as u64).sum()
+        self.solutions
+            .values()
+            .map(|s| s.layout.num_shields() as u64)
+            .sum()
     }
 
     /// Writes every region's shield count into a usage snapshot.
@@ -150,7 +149,9 @@ pub fn solve_regions(
 ) -> Result<RegionSino> {
     let work = assignments(grid, routes);
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -176,7 +177,15 @@ pub fn solve_regions(
             RegionMode::OrderOnly => gsino_sino::greedy::order_only(&instance),
         };
         let k = evaluate(&instance, &layout).k;
-        Ok(((*region, *dir), RegionSolution { nets: nets.clone(), instance, layout, k }))
+        Ok((
+            (*region, *dir),
+            RegionSolution {
+                nets: nets.clone(),
+                instance,
+                layout,
+                k,
+            },
+        ))
     };
 
     let mut solutions = HashMap::with_capacity(work.len());
@@ -187,18 +196,18 @@ pub fn solve_regions(
         }
     } else {
         let chunk = work.len().div_ceil(threads);
-        let results: Vec<Result<Vec<Solved>>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            slice.iter().map(solve_one).collect::<Result<Vec<_>>>()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            });
+        let results: Vec<Result<Vec<Solved>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || slice.iter().map(solve_one).collect::<Result<Vec<_>>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         for r in results {
             for (key, sol) in r? {
                 solutions.insert(key, sol);
@@ -236,17 +245,18 @@ mod tests {
         (circuit, grid, table)
     }
 
-    fn solve(
-        n: u32,
-        rate: f64,
-        mode: RegionMode,
-    ) -> (Circuit, RegionGrid, RegionSino) {
+    fn solve(n: u32, rate: f64, mode: RegionMode) -> (Circuit, RegionGrid, RegionSino) {
         let (circuit, grid, table) = bus_circuit(n);
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(rate, 3);
         let sino = solve_regions(
             &grid,
@@ -305,11 +315,16 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let (circuit, grid, table) = bus_circuit(12);
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(0.5, 3);
         let serial = solve_regions(
             &grid,

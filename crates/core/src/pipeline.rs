@@ -1,6 +1,8 @@
 //! End-to-end flows: GSINO and the shared plumbing for the baselines.
 
-use crate::budget::{congestion_weighted_budgets, uniform_budgets, BudgetPolicy, Budgets, LengthModel};
+use crate::budget::{
+    congestion_weighted_budgets, uniform_budgets, BudgetPolicy, Budgets, LengthModel,
+};
 use crate::metrics::{wirelength_stats, WirelengthStats};
 use crate::phase2::{solve_regions, RegionMode, RegionSino};
 use crate::refine::{refine, RefineConfig, RefineStats};
@@ -202,7 +204,12 @@ pub fn run_flow_with_artifacts(
     let (o, a) = run_flow(circuit, config, approach)?;
     Ok((
         o,
-        FlowInternals { grid: a.grid, table: a.table, budgets: a.budgets, sino: a.sino },
+        FlowInternals {
+            grid: a.grid,
+            table: a.table,
+            budgets: a.budgets,
+            sino: a.sino,
+        },
     ))
 }
 
@@ -240,7 +247,10 @@ pub(crate) fn run_flow(
                     NssModel::fit(kth_ref, config.nss_fit_seed)?
                 }
             };
-            ShieldTerm::Estimated { model, rate: config.sensitivity.rate() }
+            ShieldTerm::Estimated {
+                model,
+                rate: config.sensitivity.rate(),
+            }
         }
         _ => ShieldTerm::None,
     };
@@ -346,7 +356,15 @@ pub(crate) fn run_flow(
         },
         refine_stats,
     };
-    Ok((outcome, FlowArtifacts { grid, table, budgets, sino }))
+    Ok((
+        outcome,
+        FlowArtifacts {
+            grid,
+            table,
+            budgets,
+            sino,
+        },
+    ))
 }
 
 /// Representative segment budget for fitting Formula (3) before any route
@@ -363,7 +381,11 @@ pub fn reference_kth(circuit: &Circuit, table: &NoiseTable, vth: f64) -> f64 {
             count += 1;
         }
     }
-    let mean_le = if count == 0 { 1.0 } else { (sum / count as f64).max(1.0) };
+    let mean_le = if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).max(1.0)
+    };
     (lsk_bound / mean_le).clamp(0.05, 10.0)
 }
 

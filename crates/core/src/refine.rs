@@ -85,10 +85,14 @@ pub fn refine(
     config: &RefineConfig,
 ) -> Result<RefineStats> {
     let mut stats = RefineStats::default();
-    pass1(circuit, grid, routes, budgets, sino, table, vth, solver, config, &mut stats)?;
+    pass1(
+        circuit, grid, routes, budgets, sino, table, vth, solver, config, &mut stats,
+    )?;
     stats.clean = check(circuit, grid, routes, sino, table, vth).is_clean();
     if config.enable_pass2 && stats.clean {
-        pass2(circuit, grid, routes, budgets, sino, table, vth, solver, config, &mut stats)?;
+        pass2(
+            circuit, grid, routes, budgets, sino, table, vth, solver, config, &mut stats,
+        )?;
     }
     Ok(stats)
 }
@@ -113,17 +117,17 @@ fn pass1(
     stats: &mut RefineStats,
 ) -> Result<()> {
     let solver = SinoSolver::new(solver);
-    let mut severity: std::collections::HashMap<gsino_grid::net::NetId, f64> = check(
-        circuit, grid, routes, sino, table, vth,
-    )
-    .nets_by_severity()
-    .into_iter()
-    .collect();
+    let mut severity: std::collections::HashMap<gsino_grid::net::NetId, f64> =
+        check(circuit, grid, routes, sino, table, vth)
+            .nets_by_severity()
+            .into_iter()
+            .collect();
     for _ in 0..config.max_pass1_iters {
-        let net_id = match severity
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then_with(|| b.0.cmp(a.0)))
-        {
+        let net_id = match severity.iter().max_by(|a, b| {
+            a.1.partial_cmp(b.1)
+                .expect("finite")
+                .then_with(|| b.0.cmp(a.0))
+        }) {
             Some((&n, _)) => n,
             None => return Ok(()),
         };
@@ -150,8 +154,7 @@ fn pass1(
                                 Dir::H => grid.hc(),
                                 Dir::V => grid.vc(),
                             } as f64;
-                            let density =
-                                (sol.nets.len() + sol.layout.num_shields()) as f64 / cap;
+                            let density = (sol.nets.len() + sol.layout.num_shields()) as f64 / cap;
                             candidates.push((density, r, dir));
                         }
                     }
@@ -168,7 +171,9 @@ fn pass1(
                 // improved further in this pass.
                 None => break,
             };
-            let sol = sino.solution_mut(r, dir).expect("candidate came from a solution");
+            let sol = sino
+                .solution_mut(r, dir)
+                .expect("candidate came from a solution");
             let idx = sol.index_of(net_id).expect("net is in this region");
             // Tighten the segment budget so SINO must shield it harder
             // (Formula (3)'s inverse role in the paper — decide how much
@@ -180,8 +185,7 @@ fn pass1(
             let before = sol.layout.num_shields();
             sol.layout = solver.solve(&sol.instance)?;
             sol.refresh_k();
-            stats.pass1_shields_added +=
-                (sol.layout.num_shields().saturating_sub(before)) as u64;
+            stats.pass1_shields_added += (sol.layout.num_shields().saturating_sub(before)) as u64;
             // Recheck only the nets whose coupling this region re-solve
             // could have changed.
             let affected = sino
@@ -385,17 +389,22 @@ mod tests {
         let circuit = Circuit::new("viol", die, nets).unwrap();
         let tech = Technology::itrs_100nm();
         let grid = gsino_grid::RegionGrid::new(&circuit, &tech, 64.0).unwrap();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         let table = NoiseTable::calibrated(&tech);
         // Budget with a loose vth (0.30) but check against a strict one
         // (0.15) — mimics the Manhattan-underestimate situation that makes
         // Phase III necessary, in a controlled way. A mid sensitivity rate
         // matters: at rate 1.0 capacitive freedom already isolates every
         // net (K = 0 everywhere) and nothing can violate.
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.30, LengthModel::Manhattan)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.30,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(0.5, 3);
         let sino = solve_regions(
             &grid,
@@ -430,7 +439,11 @@ mod tests {
         assert!(stats.clean);
         assert!(stats.pass1_nets > 0);
         let after = check(&circuit, &grid, &routes, &sino, &table, 0.15);
-        assert!(after.is_clean(), "{} nets still violate", after.violating_nets());
+        assert!(
+            after.is_clean(),
+            "{} nets still violate",
+            after.violating_nets()
+        );
     }
 
     #[test]
@@ -447,7 +460,10 @@ mod tests {
             &table,
             0.30,
             SolverConfig::default(),
-            &RefineConfig { enable_pass2: false, ..RefineConfig::default() },
+            &RefineConfig {
+                enable_pass2: false,
+                ..RefineConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(stats.pass1_nets, 0);
@@ -467,7 +483,10 @@ mod tests {
             &table,
             0.15,
             SolverConfig::default(),
-            &RefineConfig { pass2_sweeps: 2, ..RefineConfig::default() },
+            &RefineConfig {
+                pass2_sweeps: 2,
+                ..RefineConfig::default()
+            },
         )
         .unwrap();
         assert!(stats.clean);

@@ -167,7 +167,8 @@ impl AssembleScratch {
         self.out_edges.clear();
         for i in 1..visited {
             let child = self.queue[i];
-            self.out_edges.push(GridEdge::new(grid, child, self.parent[child as usize])?);
+            self.out_edges
+                .push(GridEdge::new(grid, child, self.parent[child as usize])?);
         }
         debug_assert_eq!(self.out_edges.len(), tree_edge_count);
 

@@ -73,7 +73,10 @@ enum Speculative {
     /// Terminals share a region; nothing to route.
     Skip,
     /// A path plus the set of regions whose demand the search read.
-    Found { path: Vec<RegionIdx>, reads: Vec<RegionIdx> },
+    Found {
+        path: Vec<RegionIdx>,
+        reads: Vec<RegionIdx>,
+    },
     /// The search failed; the ordered re-route will surface the error.
     Failed,
 }
@@ -84,7 +87,13 @@ impl<'a> AstarRouter<'a> {
     pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
         let coords = (0..grid.num_regions()).map(|r| grid.coords(r)).collect();
         let centers = (0..grid.num_regions()).map(|r| grid.center(r)).collect();
-        AstarRouter { grid, weights, shield_term, coords, centers }
+        AstarRouter {
+            grid,
+            weights,
+            shield_term,
+            coords,
+            centers,
+        }
     }
 
     /// A scratch sized for this router's grid: the heap bucket quantum is
@@ -143,7 +152,9 @@ impl<'a> AstarRouter<'a> {
         threads: usize,
     ) -> Result<(RouteSet, super::RouterStats)> {
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             threads
         };
@@ -186,8 +197,10 @@ impl<'a> AstarRouter<'a> {
         conns: &[Connection],
         scratch: &mut SearchScratch,
     ) -> Result<(RouteSet, super::RouterStats)> {
-        let mut stats =
-            super::RouterStats { connections: conns.len(), ..Default::default() };
+        let mut stats = super::RouterStats {
+            connections: conns.len(),
+            ..Default::default()
+        };
         let nregions = self.grid.num_regions() as usize;
         let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
         let mut per_net: HashMap<NetId, Vec<GridEdge>> = HashMap::new();
@@ -201,7 +214,13 @@ impl<'a> AstarRouter<'a> {
             let path = self
                 .astar(scratch, t1, t2, &demand)
                 .ok_or(CoreError::RoutingFailed { net: c.net })?;
-            commit_path(self.grid, path, &mut demand, per_net.entry(c.net).or_default(), None)?;
+            commit_path(
+                self.grid,
+                path,
+                &mut demand,
+                per_net.entry(c.net).or_default(),
+                None,
+            )?;
         }
         stats.stale_skips = scratch.counters.stale_skips;
         let routes = assemble_trees(self.grid, circuit, &mut per_net)?;
@@ -217,8 +236,10 @@ impl<'a> AstarRouter<'a> {
         use std::sync::mpsc;
         use std::sync::Arc;
 
-        let mut stats =
-            super::RouterStats { connections: conns.len(), ..Default::default() };
+        let mut stats = super::RouterStats {
+            connections: conns.len(),
+            ..Default::default()
+        };
         let nregions = self.grid.num_regions() as usize;
         let mut demand = [vec![0u32; nregions], vec![0u32; nregions]];
         // `version[r]` is the commit ordinal that last changed region r's
@@ -241,7 +262,8 @@ impl<'a> AstarRouter<'a> {
         type Snapshot = Arc<[Vec<u32>; 2]>;
         let mut result = Ok(());
         let routes_out: Option<RouteSet> = std::thread::scope(|scope| {
-            let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<(usize, Speculative)>, usize)>();
+            let (result_tx, result_rx) =
+                mpsc::channel::<(usize, Vec<(usize, Speculative)>, usize)>();
             let mut batch_txs: Vec<mpsc::Sender<(&[Connection], Snapshot)>> = Vec::new();
             for w in 0..threads {
                 let (tx, rx) = mpsc::channel::<(&[Connection], Snapshot)>();
@@ -316,7 +338,9 @@ impl<'a> AstarRouter<'a> {
                     };
                     commit_seq += 1;
                     let commit = if valid {
-                        let Speculative::Found { path, .. } = spec else { unreachable!() };
+                        let Speculative::Found { path, .. } = spec else {
+                            unreachable!()
+                        };
                         commit_path(
                             self.grid,
                             &path,
@@ -486,8 +510,14 @@ mod tests {
 
     #[test]
     fn straight_net_routes_minimally() {
-        let (circuit, grid) =
-            setup(vec![Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 32.0))], 640.0);
+        let (circuit, grid) = setup(
+            vec![Net::two_pin(
+                0,
+                Point::new(32.0, 32.0),
+                Point::new(600.0, 32.0),
+            )],
+            640.0,
+        );
         let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
             .route(&circuit)
             .unwrap();
@@ -527,7 +557,10 @@ mod tests {
         let rows_used = (0..grid.ny())
             .filter(|&cy| (0..grid.nx()).any(|cx| usage.nets(grid.idx(cx, cy), Dir::H) > 0))
             .count();
-        assert!(rows_used >= 3, "A* must spread 40 nets beyond capacity-16 rows");
+        assert!(
+            rows_used >= 3,
+            "A* must spread 40 nets beyond capacity-16 rows"
+        );
     }
 
     #[test]
@@ -545,8 +578,7 @@ mod tests {
             .route(&circuit)
             .unwrap();
         let (b, _) =
-            super::super::route_all(&grid, &circuit, Weights::default(), ShieldTerm::None)
-                .unwrap();
+            super::super::route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         assert_eq!(a.total_wirelength(&grid), b.total_wirelength(&grid));
     }
 
@@ -647,6 +679,9 @@ mod tests {
         let (_, stats) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
             .route(&circuit)
             .unwrap();
-        assert!(stats.stale_skips > 0, "congested search must hit stale entries");
+        assert!(
+            stats.stale_skips > 0,
+            "congested search must hit stale entries"
+        );
     }
 }

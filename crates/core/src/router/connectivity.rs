@@ -1,0 +1,558 @@
+//! Incremental corridor connectivity for the iterative-deletion router.
+//!
+//! The ID main loop asks one question per candidate deletion: *do the two
+//! terminals stay connected if this edge dies?* The seed kernel answered
+//! with a full BFS over corridor adjacency per query
+//! ([`Corridor::connected_without`]), which made connectivity the dominant
+//! Phase I cost. This module replaces the per-query BFS with a cached
+//! bridge analysis so that almost every query is O(1):
+//!
+//! * One **Tarjan low-link DFS** over the alive corridor graph finds every
+//!   bridge in O(V+E); a BFS from the same pass extracts a short witness
+//!   path `P` between the terminals. An edge disconnects the terminals iff
+//!   it is a bridge **and** lies on `P` (a separating edge lies on every
+//!   terminal path, and a bridge on one simple terminal path separates).
+//! * The analysis is stamped with the corridor's **revision** (bumped by
+//!   every [`Corridor::kill`]). While the revision matches, a query is a
+//!   plain double array lookup.
+//! * After a kill the cache goes *stale*, but it is **not** recomputed
+//!   eagerly — three monotonicity facts answer almost everything in O(1):
+//!   deletion never reconnects, so a cached "already disconnected" verdict
+//!   is final; a separating bridge stays separating while deletions
+//!   continue, so `sep` verdicts persist across revisions; and while the
+//!   witness path is intact (no kill touched it — see
+//!   [`BridgeCache::note_kill`]) any query about an off-path edge is
+//!   answered `true`, because `P` itself avoids that edge. Only a query
+//!   about an unclassified path edge (or a query after the path broke)
+//!   pays the O(V+E) recompute.
+//! * A recompute triggered by a query about edge `e` routes the fresh
+//!   witness path **around** `e` when possible, so the kill that typically
+//!   follows a `true` answer leaves the new path intact — the common
+//!   query→delete cycle of the ID loop settles into one recompute per
+//!   *diversion*, not one per kill.
+//!
+//! The per-call DFS/BFS state lives in [`ConnectivityScratch`], shared by
+//! every corridor of an ID run and epoch-stamped exactly like
+//! [`super::SearchScratch`] and [`super::CorridorScratch`]: starting a
+//! recompute is an O(1) counter bump, never an O(regions) clear.
+//!
+//! # Invalidation contract
+//!
+//! Callers that kill corridor edges directly should pair every effective
+//! [`Corridor::kill`] with one [`BridgeCache::note_kill`] on the
+//! corridor's cache — that is how the intact-path shortcut learns about
+//! witness-path deaths. The pairing is enforced structurally: the
+//! shortcut cross-checks the corridor's revision counter against the
+//! number of reported kills, so an unpaired kill degrades to a recompute
+//! instead of a stale answer (and debug builds verify the witness path on
+//! every shortcut). See `crates/core/src/router/README.md` for the full
+//! contract.
+
+use super::corridor::Corridor;
+
+/// Sentinel for "no parent edge" (DFS root) / "no parent region".
+const NONE: u32 = u32::MAX;
+
+/// Counters describing how the incremental connectivity behaved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectivityCounters {
+    /// Queries answered from a revision-fresh bridge set (O(1)).
+    pub fresh_hits: usize,
+    /// Stale-cache queries answered through the intact witness path (O(1)).
+    pub shortcut_hits: usize,
+    /// Full O(V+E) Tarjan/BFS recomputes.
+    pub recomputes: usize,
+}
+
+/// Reusable DFS/BFS buffers for the bridge analysis.
+///
+/// One scratch serves every corridor of a routing run. All arrays are
+/// epoch-stamped: an entry is live only when its stamp equals the current
+/// epoch, so starting a recompute costs O(1) regardless of how large the
+/// previous corridor was.
+#[derive(Debug, Default)]
+pub struct ConnectivityScratch {
+    epoch: u32,
+    /// CSR-ish adjacency heads per region (epoch-stamped).
+    adj_head: Vec<i32>,
+    adj_stamp: Vec<u32>,
+    adj_next: Vec<i32>,
+    adj_to: Vec<u16>,
+    adj_edge: Vec<u32>,
+    adj_len: usize,
+    /// DFS discovery stamp / order / low-link per region.
+    visit: Vec<u32>,
+    tin: Vec<u32>,
+    low: Vec<u32>,
+    /// DFS frames: (region, next adjacency slot, edge to parent).
+    stack: Vec<(u16, i32, u32)>,
+    /// Bridge flags per edge, valid for the current recompute only.
+    bridge: Vec<bool>,
+    /// Edges flagged in `bridge` (bounds the post-recompute clear).
+    bridge_set: Vec<u32>,
+    /// BFS visitation stamp and parent edge per region. The BFS runs up to
+    /// twice per recompute (once avoiding the queried edge, once without
+    /// the restriction), so it carries its own epoch.
+    bfs_epoch: u32,
+    bfs_visit: Vec<u32>,
+    bfs_parent: Vec<u32>,
+    bfs_queue: Vec<u16>,
+    /// Behaviour counters accumulated across queries (reset by the caller).
+    pub counters: ConnectivityCounters,
+}
+
+impl ConnectivityScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> Self {
+        ConnectivityScratch::default()
+    }
+
+    fn prepare(&mut self, regions: usize, edges: usize) {
+        if self.adj_head.len() < regions {
+            self.adj_head.resize(regions, -1);
+            self.adj_stamp.resize(regions, 0);
+            self.visit.resize(regions, 0);
+            self.tin.resize(regions, 0);
+            self.low.resize(regions, 0);
+            self.bfs_visit.resize(regions, 0);
+            self.bfs_parent.resize(regions, NONE);
+        }
+        let cap = edges * 2;
+        if self.adj_next.len() < cap {
+            self.adj_next.resize(cap, -1);
+            self.adj_to.resize(cap, 0);
+            self.adj_edge.resize(cap, 0);
+        }
+        if self.bridge.len() < edges {
+            self.bridge.resize(edges, false);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.adj_stamp.fill(0);
+            self.visit.fill(0);
+            self.epoch = 1;
+        }
+        self.adj_len = 0;
+        self.stack.clear();
+        self.bfs_queue.clear();
+        while let Some(e) = self.bridge_set.pop() {
+            self.bridge[e as usize] = false;
+        }
+    }
+
+    #[inline]
+    fn head_of(&self, r: u16) -> i32 {
+        if self.adj_stamp[r as usize] == self.epoch {
+            self.adj_head[r as usize]
+        } else {
+            -1
+        }
+    }
+
+    #[inline]
+    fn push_adj(&mut self, from: u16, to: u16, edge: u32) {
+        let slot = self.adj_len;
+        self.adj_len += 1;
+        self.adj_to[slot] = to;
+        self.adj_edge[slot] = edge;
+        self.adj_next[slot] = self.head_of(from);
+        self.adj_head[from as usize] = slot as i32;
+        self.adj_stamp[from as usize] = self.epoch;
+    }
+
+    /// Iterative Tarjan low-link DFS from `root` over the alive adjacency.
+    /// Marks every bridge of `root`'s component in `self.bridge`.
+    fn dfs_bridges(&mut self, root: u16) {
+        let mut timer = 0u32;
+        self.visit[root as usize] = self.epoch;
+        self.tin[root as usize] = timer;
+        self.low[root as usize] = timer;
+        timer += 1;
+        self.stack.push((root, self.head_of(root), NONE));
+        while let Some(&(node, slot, parent_edge)) = self.stack.last() {
+            if slot < 0 {
+                self.stack.pop();
+                if let Some(&(parent, _, _)) = self.stack.last() {
+                    let (ni, pi) = (node as usize, parent as usize);
+                    if self.low[ni] < self.low[pi] {
+                        self.low[pi] = self.low[ni];
+                    }
+                    if self.low[ni] > self.tin[pi] {
+                        self.bridge[parent_edge as usize] = true;
+                        self.bridge_set.push(parent_edge);
+                    }
+                }
+                continue;
+            }
+            let s = slot as usize;
+            let (to, eid) = (self.adj_to[s], self.adj_edge[s]);
+            self.stack.last_mut().expect("frame exists").1 = self.adj_next[s];
+            if eid == parent_edge {
+                continue;
+            }
+            let (ni, ti) = (node as usize, to as usize);
+            if self.visit[ti] == self.epoch {
+                if self.tin[ti] < self.low[ni] {
+                    self.low[ni] = self.tin[ti];
+                }
+            } else {
+                self.visit[ti] = self.epoch;
+                self.tin[ti] = timer;
+                self.low[ti] = timer;
+                timer += 1;
+                self.stack.push((to, self.head_of(to), eid));
+            }
+        }
+    }
+
+    /// BFS from `from` to `to` skipping edge `avoid` (pass [`NONE`] for no
+    /// restriction); returns whether `to` was reached and leaves parent
+    /// edges in `self.bfs_parent` for path extraction.
+    fn bfs_path(&mut self, from: u16, to: u16, avoid: u32) -> bool {
+        self.bfs_epoch = self.bfs_epoch.wrapping_add(1);
+        if self.bfs_epoch == 0 {
+            self.bfs_visit.fill(0);
+            self.bfs_epoch = 1;
+        }
+        self.bfs_queue.clear();
+        self.bfs_visit[from as usize] = self.bfs_epoch;
+        self.bfs_parent[from as usize] = NONE;
+        self.bfs_queue.push(from);
+        let mut head = 0;
+        while head < self.bfs_queue.len() {
+            let r = self.bfs_queue[head];
+            head += 1;
+            if r == to {
+                return true;
+            }
+            let mut slot = self.head_of(r);
+            while slot >= 0 {
+                let s = slot as usize;
+                let n = self.adj_to[s];
+                let eid = self.adj_edge[s];
+                if eid != avoid && self.bfs_visit[n as usize] != self.bfs_epoch {
+                    self.bfs_visit[n as usize] = self.bfs_epoch;
+                    self.bfs_parent[n as usize] = eid;
+                    self.bfs_queue.push(n);
+                }
+                slot = self.adj_next[s];
+            }
+        }
+        false
+    }
+}
+
+/// Per-corridor cached bridge analysis.
+///
+/// One cache accompanies each [`Corridor`] through an ID run; the heavy
+/// per-recompute state lives in the shared [`ConnectivityScratch`].
+#[derive(Debug, Default)]
+pub struct BridgeCache {
+    /// Corridor revision the analysis was computed at.
+    revision: u32,
+    /// Whether any analysis has been computed yet.
+    valid: bool,
+    /// Whether the terminals were connected at `revision`.
+    connected: bool,
+    /// Whether the witness path is known intact since `revision`.
+    path_intact: bool,
+    /// Membership of the witness path, per edge (exact per revision).
+    on_path: Vec<bool>,
+    /// Killing `e` separates the terminals. **Monotone**: once an edge
+    /// separates the pair it keeps separating under further deletions, so
+    /// entries persist across recomputes and answer stale queries in O(1).
+    sep: Vec<bool>,
+    /// Edges of the witness path (bounds clears of `on_path`).
+    path_edges: Vec<u32>,
+    /// Kills reported via [`Self::note_kill`] since the last recompute.
+    /// The intact-path shortcut also requires `revision + noted_kills ==
+    /// corridor.revision()`, so an unpaired [`Corridor::kill`] degrades to
+    /// a recompute instead of a stale answer — the contract is enforced
+    /// structurally, not just by the debug assert.
+    noted_kills: u32,
+}
+
+impl BridgeCache {
+    /// Creates an empty cache; the first query recomputes.
+    pub fn new() -> Self {
+        BridgeCache::default()
+    }
+
+    /// Records that `e` was killed in the corridor this cache mirrors.
+    ///
+    /// Call it exactly once per effective [`Corridor::kill`]; this is what
+    /// keeps the O(1) intact-path shortcut fast (see the module docs). A
+    /// missed (or spurious) call is detected through the corridor's
+    /// revision counter and costs a recompute, never a wrong answer.
+    #[inline]
+    pub fn note_kill(&mut self, e: usize) {
+        self.noted_kills = self.noted_kills.wrapping_add(1);
+        if self.valid && e < self.on_path.len() && self.on_path[e] {
+            self.path_intact = false;
+        }
+    }
+
+    /// Whether the terminals of `corridor` stay connected if edge `e` were
+    /// dead — same semantics as the BFS [`Corridor::connected_without`],
+    /// including the disconnected-corridor case: once the terminal pair is
+    /// disconnected the answer is `false` for every `e`, even when `e` is
+    /// the only edge touching some isolated region.
+    pub fn connected_without(
+        &mut self,
+        corridor: &Corridor,
+        e: usize,
+        scratch: &mut ConnectivityScratch,
+    ) -> bool {
+        let (t1, t2) = corridor.terminals();
+        if t1 == t2 {
+            return true;
+        }
+        if self.valid {
+            // Monotone verdicts are good at any revision: a separating
+            // edge keeps separating, a disconnected pair stays apart.
+            if self.sep[e] {
+                scratch.counters.fresh_hits += 1;
+                return false;
+            }
+            if !self.connected {
+                scratch.counters.fresh_hits += 1;
+                return false;
+            }
+            if self.revision == corridor.revision() {
+                scratch.counters.fresh_hits += 1;
+                return true; // connected, and `e` is not separating
+            }
+            // The witness path avoids `e` and every edge on it is still
+            // alive, so it proves connectivity without `e` by itself. The
+            // revision arithmetic rejects the shortcut whenever some kill
+            // was not reported through `note_kill` (the path might be
+            // secretly dead), falling through to a recompute.
+            if self.path_intact
+                && !self.on_path[e]
+                && corridor.revision() == self.revision.wrapping_add(self.noted_kills)
+            {
+                debug_assert!(
+                    self.path_edges
+                        .iter()
+                        .all(|&pe| corridor.is_alive(pe as usize)),
+                    "witness path has a dead edge: a kill was not paired with note_kill"
+                );
+                scratch.counters.shortcut_hits += 1;
+                return true;
+            }
+        }
+        self.recompute(corridor, e, scratch);
+        self.connected && !self.sep[e]
+    }
+
+    /// One O(V+E) pass: Tarjan bridges of the terminal component, BFS
+    /// witness path (routed around `queried` when possible, so the kill
+    /// that typically follows a `true` answer keeps the path intact),
+    /// separating-edge flags.
+    fn recompute(
+        &mut self,
+        corridor: &Corridor,
+        queried: usize,
+        scratch: &mut ConnectivityScratch,
+    ) {
+        scratch.counters.recomputes += 1;
+        let (t1, t2) = corridor.terminals();
+        let num_edges = corridor.num_edges();
+        scratch.prepare(corridor.num_regions(), num_edges);
+        for e in 0..num_edges {
+            if corridor.is_alive(e) {
+                let (a, b, _) = corridor.edge(e);
+                scratch.push_adj(a, b, e as u32);
+                scratch.push_adj(b, a, e as u32);
+            }
+        }
+        if self.on_path.len() < num_edges {
+            self.on_path.resize(num_edges, false);
+            self.sep.resize(num_edges, false);
+        }
+        while let Some(pe) = self.path_edges.pop() {
+            self.on_path[pe as usize] = false;
+        }
+        scratch.dfs_bridges(t1);
+        self.connected = scratch.visit[t2 as usize] == scratch.epoch;
+        if self.connected {
+            // Prefer a witness path that avoids the queried edge; fall
+            // back to any path when the queried edge is on every one
+            // (i.e. it separates the terminals).
+            let reached =
+                scratch.bfs_path(t1, t2, queried as u32) || scratch.bfs_path(t1, t2, NONE);
+            debug_assert!(reached, "BFS and DFS must agree on reachability");
+            // Walk the BFS parents back from t2: a bridge on this (simple)
+            // path separates the terminals; a separating edge must lie on
+            // every terminal path, so this path finds them all.
+            let mut r = t2;
+            while r != t1 {
+                let pe = scratch.bfs_parent[r as usize];
+                let (a, b, _) = corridor.edge(pe as usize);
+                self.on_path[pe as usize] = true;
+                if scratch.bridge[pe as usize] {
+                    self.sep[pe as usize] = true;
+                }
+                self.path_edges.push(pe);
+                r = if a == r { b } else { a };
+            }
+        }
+        self.path_intact = self.connected;
+        self.revision = corridor.revision();
+        self.noted_kills = 0;
+        self.valid = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::region::RegionGrid;
+    use gsino_grid::tech::Technology;
+
+    fn grid() -> RegionGrid {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap()
+    }
+
+    /// Every query agrees with the BFS reference across a full ID-style
+    /// deletion sequence on a small corridor.
+    #[test]
+    fn agrees_with_bfs_through_deletion_sequence() {
+        let g = grid();
+        let mut c = Corridor::new(&g, g.idx(1, 1), g.idx(4, 3), 1);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut bfs = super::super::corridor::CorridorScratch::new();
+        // Deterministic pseudo-random deletion order.
+        let mut state = 0x9e3779b9u64;
+        loop {
+            let mut progressed = false;
+            for _ in 0..c.num_edges() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = (state >> 33) as usize % c.num_edges();
+                let fast = cache.connected_without(&c, e, &mut scratch);
+                let slow = c.connected_without(e, &mut bfs);
+                assert_eq!(fast, slow, "edge {e} disagrees");
+                if fast && c.is_alive(e) {
+                    c.kill(e);
+                    cache.note_kill(e);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Terminals must still be connected at the end.
+        assert!(
+            cache.connected_without(&c, c.num_edges() - 1, &mut scratch) || {
+                let (t1, t2) = c.terminals();
+                t1 == t2
+            }
+        );
+    }
+
+    #[test]
+    fn single_bridge_is_not_deletable() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 0), 0);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        assert!(!cache.connected_without(&c, 0, &mut scratch));
+    }
+
+    #[test]
+    fn cycle_edges_are_deletable_in_o1_after_one_pass() {
+        let g = grid();
+        let c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 1), 0);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        for e in 0..4 {
+            assert!(cache.connected_without(&c, e, &mut scratch), "edge {e}");
+        }
+        assert_eq!(
+            scratch.counters.recomputes, 1,
+            "one pass serves all queries"
+        );
+    }
+
+    #[test]
+    fn disconnected_terminals_answer_false_for_every_edge() {
+        let g = grid();
+        // 3x1 corridor: 0 -e0- 1 -e1- 2, terminals at the ends.
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(2, 0), 0);
+        assert_eq!(c.num_edges(), 2);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        assert!(!cache.connected_without(&c, 0, &mut scratch));
+        assert!(!cache.connected_without(&c, 1, &mut scratch));
+        // Force-disconnect (never happens in the ID loop, which only kills
+        // deletable edges — but the public API must stay truthful).
+        c.kill(1);
+        cache.note_kill(1);
+        for e in 0..2 {
+            assert!(
+                !cache.connected_without(&c, e, &mut scratch),
+                "already-disconnected corridor must report false for edge {e}"
+            );
+        }
+    }
+
+    /// An unpaired `Corridor::kill` (contract violation) must cost a
+    /// recompute, never a stale answer: the revision arithmetic rejects
+    /// the intact-path shortcut when kills were not reported.
+    #[test]
+    fn unpaired_kill_degrades_to_recompute_not_stale_answer() {
+        let g = grid();
+        // 2x2 cycle corridor between diagonal terminals.
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 1), 0);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut bfs = super::super::corridor::CorridorScratch::new();
+        assert!(cache.connected_without(&c, 0, &mut scratch));
+        // Kill WITHOUT note_kill — possibly a witness-path edge.
+        for e in 0..c.num_edges() {
+            if c.is_alive(e) {
+                c.kill(e);
+                break;
+            }
+        }
+        for e in 0..c.num_edges() {
+            let fast = cache.connected_without(&c, e, &mut scratch);
+            let slow = c.connected_without(e, &mut bfs);
+            assert_eq!(fast, slow, "edge {e} stale after unpaired kill");
+        }
+    }
+
+    #[test]
+    fn stale_shortcut_skips_recomputes_for_off_path_edges() {
+        let g = grid();
+        // A wide corridor: killing far-apart cycle edges must not force a
+        // recompute each time.
+        let c = Corridor::new(&g, g.idx(0, 0), g.idx(5, 3), 1);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut c = c;
+        let mut kills = 0;
+        for e in 0..c.num_edges() {
+            if cache.connected_without(&c, e, &mut scratch) {
+                c.kill(e);
+                cache.note_kill(e);
+                kills += 1;
+            }
+            if kills >= 8 {
+                break;
+            }
+        }
+        assert!(kills >= 8);
+        assert!(
+            scratch.counters.recomputes < kills,
+            "expected fewer recomputes ({}) than kills ({kills})",
+            scratch.counters.recomputes
+        );
+    }
+}

@@ -28,6 +28,9 @@ pub struct Corridor {
     alive_count: usize,
     /// Local indices of the two terminals.
     terminals: (u16, u16),
+    /// Bumped by every [`Self::kill`]; connectivity caches stamp their
+    /// analyses with this (see [`super::connectivity`]).
+    revision: u32,
 }
 
 impl Corridor {
@@ -58,7 +61,17 @@ impl Corridor {
         let alive_count = edges.len();
         let lt1 = ((y1 - y0) * w + (x1 - x0)) as u16;
         let lt2 = ((y2 - y0) * w + (x2 - x0)) as u16;
-        Corridor { x0, y0, w, h, edges, alive, alive_count, terminals: (lt1, lt2) }
+        Corridor {
+            x0,
+            y0,
+            w,
+            h,
+            edges,
+            alive,
+            alive_count,
+            terminals: (lt1, lt2),
+            revision: 0,
+        }
     }
 
     /// Number of regions in the corridor.
@@ -100,7 +113,16 @@ impl Corridor {
         if self.alive[e] {
             self.alive[e] = false;
             self.alive_count -= 1;
+            self.revision += 1;
         }
+    }
+
+    /// Deletion revision: bumped once per effective [`Self::kill`].
+    ///
+    /// [`super::connectivity::BridgeCache`] stamps its bridge analysis with
+    /// this counter and recomputes lazily when it drifts.
+    pub fn revision(&self) -> u32 {
+        self.revision
     }
 
     /// Converts a local region index to the global [`RegionIdx`].
@@ -112,6 +134,15 @@ impl Corridor {
 
     /// Whether the two terminals stay connected if edge `skip` were dead.
     /// BFS over alive edges; `scratch` buffers are reused across calls.
+    ///
+    /// This is the reference oracle (used by the PR-1 kernel preserved in
+    /// [`super::reference`] and by the equivalence suites); the production
+    /// ID router answers the same question incrementally through
+    /// [`super::connectivity::BridgeCache`]. The question is strictly about
+    /// the *terminal pair*: once the terminals are disconnected the answer
+    /// is `false` for every `skip` — including a `skip` that is the only
+    /// edge touching an isolated region, which changes nothing about the
+    /// pair's reachability.
     pub fn connected_without(&self, skip: usize, scratch: &mut CorridorScratch) -> bool {
         let (t1, t2) = self.terminals;
         if t1 == t2 {
@@ -273,7 +304,10 @@ mod tests {
         // Corridor is 2x1: a single H edge between the terminals.
         assert_eq!(c.num_edges(), 1);
         let mut scratch = CorridorScratch::new();
-        assert!(!c.connected_without(0, &mut scratch), "only edge is a bridge");
+        assert!(
+            !c.connected_without(0, &mut scratch),
+            "only edge is a bridge"
+        );
         c.kill(0);
         assert_eq!(c.alive_edges(), 0);
     }
@@ -309,6 +343,51 @@ mod tests {
         assert_eq!(c.num_edges(), 0);
         let (t1, t2) = c.terminals();
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn revision_counts_effective_kills_only() {
+        let g = grid();
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(2, 0), 0);
+        assert_eq!(c.revision(), 0);
+        c.kill(0);
+        c.kill(0); // idempotent: no second bump
+        assert_eq!(c.revision(), 1);
+        c.kill(1);
+        assert_eq!(c.revision(), 2);
+    }
+
+    /// Regression: an already-disconnected terminal pair must report
+    /// `false` for *every* `skip`, including when `skip` is the only edge
+    /// touching an isolated region (a naive "is `skip` a separating
+    /// bridge?" rewrite answers `true` here, because `skip` separates
+    /// nothing that is not already separated).
+    #[test]
+    fn disconnected_corridor_is_never_connected_without() {
+        let g = grid();
+        // 3x1 corridor: regions 0 -e0- 1 -e1- 2, terminals at the ends.
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(2, 0), 0);
+        assert_eq!(c.num_edges(), 2);
+        let mut scratch = CorridorScratch::new();
+        c.kill(1);
+        // Region 2 (terminal t2) is now isolated; e1 is the only edge that
+        // touched it and it is dead.
+        for skip in 0..2 {
+            assert!(
+                !c.connected_without(skip, &mut scratch),
+                "skip {skip} on a disconnected pair must be false"
+            );
+        }
+        // Same shape with the isolated region off the terminal path: pair
+        // stays connected, the dead edge changes nothing.
+        let mut c2 = Corridor::new(&g, g.idx(0, 0), g.idx(1, 0), 0);
+        assert_eq!(c2.num_edges(), 1);
+        assert!(
+            !c2.connected_without(0, &mut scratch),
+            "only edge is a bridge"
+        );
+        c2.kill(0);
+        assert!(!c2.connected_without(0, &mut scratch));
     }
 
     #[test]

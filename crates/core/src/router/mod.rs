@@ -31,8 +31,15 @@
 //! * [`gsino_grid::region::RegionGrid::neighbor_array`] — fixed
 //!   `[Option<RegionIdx>; 4]` neighbor lookup, no boxed iterators in the
 //!   expansion loop.
-//! * [`reference`] — the seed implementation, kept verbatim so tests and
-//!   benches can prove equivalence and measure the speedup.
+//! * [`connectivity`] — incremental corridor connectivity for the ID
+//!   router: one Tarjan low-link pass per corridor revision caches every
+//!   bridge, so the per-deletion "do the terminals survive?" query is an
+//!   O(1) lookup (plus an intact-witness-path shortcut that answers most
+//!   stale queries without recomputing). See
+//!   `crates/core/src/router/README.md` for the epoch/revision contract.
+//! * [`reference`] — the seed A* implementation and the PR-1 BFS-based ID
+//!   implementation, kept verbatim so tests and benches can prove
+//!   equivalence and measure the speedup.
 //!
 //! # Parallel Phase I and the commit-ordering rule
 //!
@@ -50,13 +57,15 @@
 
 mod assemble;
 mod astar;
+pub mod connectivity;
 mod corridor;
 mod id;
 pub mod reference;
 mod scratch;
 
 pub use astar::AstarRouter;
-pub use corridor::Corridor;
+pub use connectivity::{BridgeCache, ConnectivityCounters, ConnectivityScratch};
+pub use corridor::{Corridor, CorridorScratch};
 pub use id::{route_all, IdRouter, RouterStats};
 pub use scratch::{SearchCounters, SearchScratch, Unreachable};
 
@@ -76,7 +85,11 @@ pub struct Weights {
 
 impl Default for Weights {
     fn default() -> Self {
-        Weights { alpha: 2.0, beta: 1.0, gamma: 50.0 }
+        Weights {
+            alpha: 2.0,
+            beta: 1.0,
+            gamma: 50.0,
+        }
     }
 }
 

@@ -1,13 +1,26 @@
-//! The seed (pre-flat-array) A* router, preserved verbatim as a
-//! correctness and performance baseline.
+//! The seed (pre-flat-array) A* router and the PR-1 (pre-incremental-
+//! connectivity) ID router, preserved verbatim as correctness and
+//! performance baselines.
 //!
 //! [`SeedAstarRouter`] keeps the original `HashMap`-based search state,
 //! boxed neighbor iteration, `BinaryHeap` open list and O(E²) leaf-pruning
 //! assembly. The `router_equivalence` test suite asserts that
 //! [`super::AstarRouter`] produces byte-identical [`RouteSet`]s, and the
 //! `micro` bench measures the speedup of the flat-array kernel against
-//! this implementation. It is not used by any production flow.
+//! this implementation.
+//!
+//! [`SeedIdRouter`] keeps the PR-1 iterative-deletion loop: a full BFS
+//! ([`Corridor::connected_without`]) per candidate deletion and two whole-
+//! corridor demand sweeps per kill. The production [`super::IdRouter`]
+//! answers connectivity through the cached bridge analysis of
+//! [`super::connectivity`] instead and must stay byte-identical to this
+//! router (`router_equivalence` suite, `phase_runtime` bench).
+//!
+//! Neither is used by any production flow.
 
+use super::assemble::assemble_trees;
+use super::corridor::{Corridor, CorridorScratch};
+use super::id::RouterStats;
 use super::{ShieldTerm, Weights};
 use crate::{CoreError, Result};
 use gsino_grid::net::{Circuit, NetId};
@@ -55,7 +68,11 @@ pub struct SeedAstarRouter<'a> {
 impl<'a> SeedAstarRouter<'a> {
     /// Creates the reference router.
     pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
-        SeedAstarRouter { grid, weights, shield_term }
+        SeedAstarRouter {
+            grid,
+            weights,
+            shield_term,
+        }
     }
 
     /// Routes the circuit exactly as the seed implementation did.
@@ -120,7 +137,10 @@ impl<'a> SeedAstarRouter<'a> {
         let mut g: HashMap<RegionIdx, f64> = HashMap::new();
         let mut prev: HashMap<RegionIdx, RegionIdx> = HashMap::new();
         g.insert(from, 0.0);
-        open.push(OpenEntry { f: self.grid.center_distance(from, to), region: from });
+        open.push(OpenEntry {
+            f: self.grid.center_distance(from, to),
+            region: from,
+        });
         while let Some(OpenEntry { region, .. }) = open.pop() {
             if region == to {
                 break;
@@ -174,6 +194,309 @@ impl<'a> SeedAstarRouter<'a> {
         }
         // α scales the pure length term, matching Formula (2)'s balance.
         self.weights.alpha * len + penalty * len
+    }
+}
+
+/// Manhattan distance between two regions in tile steps (PR-1 copy).
+fn t1x_diff(grid: &RegionGrid, a: RegionIdx, b: RegionIdx) -> u32 {
+    let (ax, ay) = grid.coords(a);
+    let (bx, by) = grid.coords(b);
+    ax.abs_diff(bx) + ay.abs_diff(by)
+}
+
+/// One two-pin connection's routing state (PR-1 copy).
+struct RefConnState {
+    net: NetId,
+    corridor: Corridor,
+    f_wl: Vec<f64>,
+    presence: Vec<[u16; 2]>,
+    needed_edges: f64,
+    alive_edges: usize,
+    kept: Vec<bool>,
+}
+
+impl RefConnState {
+    fn phi(&self) -> f64 {
+        if self.alive_edges == 0 {
+            return 1.0;
+        }
+        (self.needed_edges / self.alive_edges as f64).min(1.0)
+    }
+}
+
+/// Max-heap entry (f64 weight, connection, edge) — PR-1 copy.
+#[derive(Debug, PartialEq)]
+struct RefHeapEntry {
+    w: f64,
+    conn: u32,
+    edge: u32,
+}
+
+impl Eq for RefHeapEntry {}
+
+impl PartialOrd for RefHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RefHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.w
+            .partial_cmp(&other.w)
+            .expect("weights are finite")
+            .then_with(|| self.conn.cmp(&other.conn))
+            .then_with(|| self.edge.cmp(&other.edge))
+    }
+}
+
+/// The PR-1 ID router: BFS connectivity per candidate deletion, two
+/// whole-corridor demand sweeps per kill (reference only).
+pub struct SeedIdRouter<'a> {
+    grid: &'a RegionGrid,
+    weights: Weights,
+    shield_term: ShieldTerm,
+    halo: u32,
+}
+
+impl<'a> SeedIdRouter<'a> {
+    /// Creates the reference ID router.
+    pub fn new(grid: &'a RegionGrid, weights: Weights, shield_term: ShieldTerm) -> Self {
+        SeedIdRouter {
+            grid,
+            weights,
+            shield_term,
+            halo: 1,
+        }
+    }
+
+    /// Routes every net exactly as the PR-1 implementation did.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoutingFailed`] if a net's connections could not be
+    /// assembled into a pin-spanning tree.
+    pub fn route(&self, circuit: &Circuit) -> Result<(RouteSet, RouterStats)> {
+        let mut conns = Vec::new();
+        for net in circuit.nets() {
+            conns.extend(decompose_net(net));
+        }
+        self.route_prepared(circuit, &conns)
+    }
+
+    /// Routes pre-decomposed connections (the PR-1 ID loop without the
+    /// shared Steiner preprocessing), so benches can compare deletion
+    /// kernels without the identical decomposition cost drowning the
+    /// signal.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::route`].
+    #[allow(clippy::needless_range_loop)] // direction index d pairs demand[d] with presence[_][d]
+    pub fn route_prepared(
+        &self,
+        circuit: &Circuit,
+        connections: &[Connection],
+    ) -> Result<(RouteSet, RouterStats)> {
+        let mut stats = RouterStats::default();
+        let mut conns: Vec<RefConnState> = Vec::new();
+        for c in connections {
+            if let Some(state) = self.connection_state(c) {
+                conns.push(state);
+            }
+        }
+        stats.connections = conns.len();
+
+        let nregions = self.grid.num_regions() as usize;
+        let mut demand = [vec![0f64; nregions], vec![0f64; nregions]];
+        for c in &conns {
+            let phi = c.phi();
+            for local in 0..c.corridor.num_regions() {
+                let global = c.corridor.global(self.grid, local as u16) as usize;
+                for d in 0..2 {
+                    if c.presence[local][d] > 0 {
+                        demand[d][global] += phi;
+                    }
+                }
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        for (ci, c) in conns.iter().enumerate() {
+            stats.edges_initial += c.corridor.num_edges();
+            for e in 0..c.corridor.num_edges() {
+                let w = self.weight(c, e, &demand);
+                heap.push(RefHeapEntry {
+                    w,
+                    conn: ci as u32,
+                    edge: e as u32,
+                });
+            }
+        }
+
+        let mut scratch = CorridorScratch::new();
+        let refresh_every = (stats.edges_initial / 8).max(1000);
+        let mut since_refresh = 0usize;
+        while let Some(RefHeapEntry { w, conn, edge }) = heap.pop() {
+            if since_refresh >= refresh_every {
+                since_refresh = 0;
+                for (ci, c) in conns.iter().enumerate() {
+                    for e in 0..c.corridor.num_edges() {
+                        if c.corridor.is_alive(e) && !c.kept[e] {
+                            let w = self.weight(c, e, &demand);
+                            heap.push(RefHeapEntry {
+                                w,
+                                conn: ci as u32,
+                                edge: e as u32,
+                            });
+                        }
+                    }
+                }
+            }
+            let c = &mut conns[conn as usize];
+            let e = edge as usize;
+            if !c.corridor.is_alive(e) || c.kept[e] {
+                continue;
+            }
+            let current = self.weight(c, e, &demand);
+            if w - current > 0.05 * current.abs().max(0.1) {
+                stats.reinserts += 1;
+                heap.push(RefHeapEntry {
+                    w: current,
+                    conn,
+                    edge,
+                });
+                continue;
+            }
+            if c.corridor.connected_without(e, &mut scratch) {
+                let phi_old = c.phi();
+                for local in 0..c.corridor.num_regions() {
+                    let global = c.corridor.global(self.grid, local as u16) as usize;
+                    for d in 0..2 {
+                        if c.presence[local][d] > 0 {
+                            demand[d][global] -= phi_old;
+                        }
+                    }
+                }
+                let (a, b, dir) = c.corridor.edge(e);
+                c.corridor.kill(e);
+                c.alive_edges -= 1;
+                let d = match dir {
+                    Dir::H => 0,
+                    Dir::V => 1,
+                };
+                for local in [a, b] {
+                    let p = &mut c.presence[local as usize][d];
+                    *p -= 1;
+                }
+                let phi_new = c.phi();
+                for local in 0..c.corridor.num_regions() {
+                    let global = c.corridor.global(self.grid, local as u16) as usize;
+                    for dd in 0..2 {
+                        if c.presence[local][dd] > 0 {
+                            demand[dd][global] += phi_new;
+                        }
+                    }
+                }
+                stats.deletions += 1;
+                since_refresh += 1;
+            } else {
+                c.kept[e] = true;
+                stats.kept += 1;
+            }
+        }
+
+        let routes = self.assemble(circuit, &conns)?;
+        Ok((routes, stats))
+    }
+
+    fn connection_state(&self, c: &Connection) -> Option<RefConnState> {
+        let t1 = self.grid.region_of(c.from);
+        let t2 = self.grid.region_of(c.to);
+        if t1 == t2 {
+            return None;
+        }
+        let corridor = Corridor::new(self.grid, t1, t2, self.halo);
+        let mut presence = vec![[0u16; 2]; corridor.num_regions()];
+        let rsmt_um = c
+            .manhattan()
+            .max(self.grid.tile_w().min(self.grid.tile_h()));
+        let dist = |p: u16, q: u16| -> f64 {
+            let gp = corridor.global(self.grid, p);
+            let gq = corridor.global(self.grid, q);
+            self.grid.center_distance(gp, gq)
+        };
+        let (t1l, t2l) = corridor.terminals();
+        let mut f_wl = Vec::with_capacity(corridor.num_edges());
+        for e in 0..corridor.num_edges() {
+            let (a, b, dir) = corridor.edge(e);
+            let d = match dir {
+                Dir::H => 0,
+                Dir::V => 1,
+            };
+            presence[a as usize][d] += 1;
+            presence[b as usize][d] += 1;
+            let len_e = match dir {
+                Dir::H => self.grid.tile_w(),
+                Dir::V => self.grid.tile_h(),
+            };
+            let through =
+                (dist(t1l, a) + len_e + dist(b, t2l)).min(dist(t1l, b) + len_e + dist(a, t2l));
+            f_wl.push(through / rsmt_um);
+        }
+        let kept = vec![false; corridor.num_edges()];
+        let needed_edges = ((t1x_diff(self.grid, t1, t2)) as f64).max(1.0);
+        let alive_edges = corridor.num_edges();
+        Some(RefConnState {
+            net: c.net,
+            corridor,
+            f_wl,
+            presence,
+            needed_edges,
+            alive_edges,
+            kept,
+        })
+    }
+
+    fn weight(&self, c: &RefConnState, e: usize, demand: &[Vec<f64>; 2]) -> f64 {
+        let (a, b, dir) = c.corridor.edge(e);
+        let d = match dir {
+            Dir::H => 0,
+            Dir::V => 1,
+        };
+        let cap = match dir {
+            Dir::H => self.grid.hc(),
+            Dir::V => self.grid.vc(),
+        } as f64;
+        let ga = c.corridor.global(self.grid, a) as usize;
+        let gb = c.corridor.global(self.grid, b) as usize;
+        let mut hd = 0.0;
+        let mut hofr = 0.0;
+        for g in [ga, gb] {
+            let nns = demand[d][g];
+            let used = nns + self.shield_term.shields(nns);
+            hd += used / cap;
+            hofr += (nns - cap).max(0.0) / cap;
+        }
+        self.weights.alpha * c.f_wl[e]
+            + self.weights.beta * hd / 2.0
+            + self.weights.gamma * hofr / 2.0
+    }
+
+    fn assemble(&self, circuit: &Circuit, conns: &[RefConnState]) -> Result<RouteSet> {
+        let mut per_net: HashMap<NetId, Vec<GridEdge>> = HashMap::new();
+        for c in conns {
+            let entry = per_net.entry(c.net).or_default();
+            for e in 0..c.corridor.num_edges() {
+                if c.corridor.is_alive(e) {
+                    let (a, b, _) = c.corridor.edge(e);
+                    let ga = c.corridor.global(self.grid, a);
+                    let gb = c.corridor.global(self.grid, b);
+                    entry.push(GridEdge::new(self.grid, ga, gb)?);
+                }
+            }
+        }
+        assemble_trees(self.grid, circuit, &mut per_net)
     }
 }
 
@@ -251,7 +574,12 @@ pub(crate) fn assemble_trees_reference(
                 None => break,
             }
         }
-        routes.insert(RouteTree::new(grid, net.id(), root, tree.into_iter().collect())?)?;
+        routes.insert(RouteTree::new(
+            grid,
+            net.id(),
+            root,
+            tree.into_iter().collect(),
+        )?)?;
     }
     Ok(routes)
 }
@@ -266,7 +594,11 @@ mod tests {
     #[test]
     fn reference_router_still_routes() {
         let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
-        let nets = vec![Net::two_pin(0, Point::new(32.0, 32.0), Point::new(600.0, 32.0))];
+        let nets = vec![Net::two_pin(
+            0,
+            Point::new(32.0, 32.0),
+            Point::new(600.0, 32.0),
+        )];
         let circuit = Circuit::new("t", die, nets).unwrap();
         let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).unwrap();
         let routes = SeedAstarRouter::new(&grid, Weights::default(), ShieldTerm::None)

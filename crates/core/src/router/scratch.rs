@@ -7,6 +7,11 @@
 //! which makes resetting the whole scratch an O(1) counter bump instead of
 //! an O(regions) clear.
 //!
+//! The same epoch-stamping idiom recurs across the routing core: BFS
+//! adjacency in [`super::CorridorScratch`] and the Tarjan/BFS buffers of
+//! [`super::connectivity::ConnectivityScratch`] reset the same way, so any
+//! of them can be reused across corridors and circuits of any size.
+//!
 //! The open list is a *monotone bucket heap*: entries are binned by
 //! quantized f-cost, and because the Manhattan-center heuristic is
 //! consistent (every step costs at least its length term), popped f-costs
@@ -79,15 +84,25 @@ pub struct SearchScratch {
 impl SearchScratch {
     /// Creates an empty scratch with a default bucket quantum.
     pub fn new() -> Self {
-        SearchScratch { width: 1.0, ..Default::default() }
+        SearchScratch {
+            width: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Creates a scratch whose bucket quantum matches the smallest step
     /// cost of the grid (`alpha · min(tile_w, tile_h)`), so each bucket
     /// holds roughly one wavefront ring.
     pub fn with_bucket_width(width: f64) -> Self {
-        let width = if width.is_finite() && width > 0.0 { width } else { 1.0 };
-        SearchScratch { width, ..Default::default() }
+        let width = if width.is_finite() && width > 0.0 {
+            width
+        } else {
+            1.0
+        };
+        SearchScratch {
+            width,
+            ..Default::default()
+        }
     }
 
     /// Turns read-set recording on or off (off by default). The parallel
@@ -297,7 +312,11 @@ fn bucket_pop_min(bucket: &mut Vec<(f64, RegionIdx)>) -> (f64, RegionIdx) {
             break;
         }
         let r = l + 1;
-        let smallest = if r < len && entry_less(bucket[r], bucket[l]) { r } else { l };
+        let smallest = if r < len && entry_less(bucket[r], bucket[l]) {
+            r
+        } else {
+            l
+        };
         if entry_less(bucket[smallest], bucket[i]) {
             bucket.swap(i, smallest);
             i = smallest;
@@ -328,7 +347,14 @@ mod tests {
     fn finds_shortest_line_path() {
         let mut s = SearchScratch::new();
         let path = s
-            .astar(8, 1, 6, line_neighbors(8), |_, _| 1.0, |r| (6i64 - r as i64).abs() as f64)
+            .astar(
+                8,
+                1,
+                6,
+                line_neighbors(8),
+                |_, _| 1.0,
+                |r| (6i64 - r as i64).abs() as f64,
+            )
             .unwrap();
         assert_eq!(path, &[1, 2, 3, 4, 5, 6]);
     }
@@ -344,7 +370,9 @@ mod tests {
     #[test]
     fn trivial_same_region_search() {
         let mut s = SearchScratch::new();
-        let path = s.astar(4, 2, 2, line_neighbors(4), |_, _| 1.0, |_| 0.0).unwrap();
+        let path = s
+            .astar(4, 2, 2, line_neighbors(4), |_, _| 1.0, |_| 0.0)
+            .unwrap();
         assert_eq!(path, &[2]);
     }
 
@@ -369,8 +397,15 @@ mod tests {
     fn read_set_covers_expanded_frontier() {
         let mut s = SearchScratch::new();
         s.set_record_reads(true);
-        s.astar(8, 0, 3, line_neighbors(8), |_, _| 1.0, |r| (3i64 - r as i64).abs() as f64)
-            .unwrap();
+        s.astar(
+            8,
+            0,
+            3,
+            line_neighbors(8),
+            |_, _| 1.0,
+            |r| (3i64 - r as i64).abs() as f64,
+        )
+        .unwrap();
         let reads = s.reads().to_vec();
         // Every region whose demand a sequential run would price must be
         // in the read set: expanded regions and their neighbors.
@@ -414,7 +449,14 @@ mod tests {
         let mut s = SearchScratch::with_bucket_width(2.0);
         s.ensure(16);
         s.next_epoch();
-        let entries = [(7.5, 3u32), (0.5, 9), (7.5, 1), (2.0, 4), (0.5, 2), (13.0, 0)];
+        let entries = [
+            (7.5, 3u32),
+            (0.5, 9),
+            (7.5, 1),
+            (2.0, 4),
+            (0.5, 2),
+            (13.0, 0),
+        ];
         for (f, r) in entries {
             s.push(f, r);
         }

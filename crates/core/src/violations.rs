@@ -70,7 +70,9 @@ impl ViolationReport {
     pub fn nets_by_severity(&self) -> Vec<(NetId, f64)> {
         let mut v: Vec<(NetId, f64)> = self.per_net.iter().map(|(&n, &x)| (n, x)).collect();
         v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite voltages").then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite voltages")
+                .then_with(|| a.0.cmp(&b.0))
         });
         v
     }
@@ -118,7 +120,12 @@ pub fn check_net(
         let lsk = sink_lsk(grid, route, sino, net, sink);
         let voltage = table.voltage(lsk);
         if voltage > vth + 1e-9 {
-            out.push(SinkViolation { net: net.id(), sink, lsk, voltage });
+            out.push(SinkViolation {
+                net: net.id(),
+                sink,
+                lsk,
+                voltage,
+            });
         }
     }
     out
@@ -133,7 +140,10 @@ pub fn check(
     table: &NoiseTable,
     vth: f64,
 ) -> ViolationReport {
-    let mut report = ViolationReport { vth, ..ViolationReport::default() };
+    let mut report = ViolationReport {
+        vth,
+        ..ViolationReport::default()
+    };
     for net in circuit.nets() {
         let route = match routes.get(net.id()) {
             Some(r) => r,
@@ -174,8 +184,7 @@ mod tests {
         let circuit = Circuit::new("dense", die, nets).unwrap();
         let tech = Technology::itrs_100nm();
         let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
         let table = NoiseTable::calibrated(&tech);
         (circuit, grid, routes, table)
     }
@@ -184,9 +193,15 @@ mod tests {
     fn order_only_dense_bus_violates() {
         // 12 fully sensitive 2.5 mm nets with no shields must violate.
         let (circuit, grid, routes, table) = dense_bus(12, 2560.0);
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(1.0, 3);
         let sino = solve_regions(
             &grid,
@@ -199,7 +214,10 @@ mod tests {
         )
         .unwrap();
         let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
-        assert!(report.violating_nets() > 0, "dense unshielded bus must violate");
+        assert!(
+            report.violating_nets() > 0,
+            "dense unshielded bus must violate"
+        );
         let (_, v) = report.worst_net().unwrap();
         assert!(v > 0.15);
         assert!(!report.is_clean());
@@ -208,9 +226,15 @@ mod tests {
     #[test]
     fn sino_dense_bus_is_clean() {
         let (circuit, grid, routes, table) = dense_bus(12, 2560.0);
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::RoutedPath)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::RoutedPath,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(1.0, 3);
         let sino = solve_regions(
             &grid,
@@ -223,15 +247,25 @@ mod tests {
         )
         .unwrap();
         let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
-        assert!(report.is_clean(), "{} nets violate", report.violating_nets());
+        assert!(
+            report.is_clean(),
+            "{} nets violate",
+            report.violating_nets()
+        );
     }
 
     #[test]
     fn insensitive_nets_never_violate() {
         let (circuit, grid, routes, table) = dense_bus(12, 2560.0);
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(0.0, 3);
         let sino = solve_regions(
             &grid,
@@ -250,9 +284,15 @@ mod tests {
     #[test]
     fn severity_ordering_is_deterministic() {
         let (circuit, grid, routes, table) = dense_bus(10, 2560.0);
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(1.0, 3);
         let sino = solve_regions(
             &grid,
@@ -277,9 +317,15 @@ mod tests {
         let sens = SensitivityModel::new(1.0, 3);
         let tech = Technology::itrs_100nm();
         let table = NoiseTable::calibrated(&tech);
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sino = solve_regions(
             &grid,
             &routes,

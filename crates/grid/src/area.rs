@@ -74,8 +74,7 @@ impl AreaModel {
             let mut row = 0.0;
             for cx in 0..grid.nx() {
                 let r = grid.idx(cx, cy);
-                row += grid.tile_w()
-                    + usage.overflow(r, Dir::V) as f64 * growth_per_track;
+                row += grid.tile_w() + usage.overflow(r, Dir::V) as f64 * growth_per_track;
             }
             max_row = max_row.max(row);
         }
@@ -86,12 +85,14 @@ impl AreaModel {
             let mut col = 0.0;
             for cy in 0..grid.ny() {
                 let r = grid.idx(cx, cy);
-                col += grid.tile_h()
-                    + usage.overflow(r, Dir::H) as f64 * growth_per_track;
+                col += grid.tile_h() + usage.overflow(r, Dir::H) as f64 * growth_per_track;
             }
             max_col = max_col.max(col);
         }
-        RoutingArea { width: max_row, height: max_col }
+        RoutingArea {
+            width: max_row,
+            height: max_col,
+        }
     }
 }
 
@@ -161,8 +162,14 @@ mod tests {
 
     #[test]
     fn overhead_vs_baseline() {
-        let base = RoutingArea { width: 100.0, height: 100.0 };
-        let grown = RoutingArea { width: 110.0, height: 100.0 };
+        let base = RoutingArea {
+            width: 100.0,
+            height: 100.0,
+        };
+        let grown = RoutingArea {
+            width: 110.0,
+            height: 100.0,
+        };
         assert!((grown.overhead_vs(&base) - 0.1).abs() < 1e-12);
     }
 }

@@ -60,7 +60,9 @@ impl Rect {
         let lo = Point::new(a.x.min(b.x), a.y.min(b.y));
         let hi = Point::new(a.x.max(b.x), a.y.max(b.y));
         if hi.x - lo.x <= 0.0 || hi.y - lo.y <= 0.0 {
-            return Err(GridError::DegenerateRect { corners: (a.x, a.y, b.x, b.y) });
+            return Err(GridError::DegenerateRect {
+                corners: (a.x, a.y, b.x, b.y),
+            });
         }
         Ok(Rect { lo, hi })
     }
@@ -103,7 +105,9 @@ impl Rect {
     /// Returns [`GridError::DegenerateRect`] for an empty point set.
     pub fn bounding(points: &[Point], eps: f64) -> Result<Self> {
         if points.is_empty() {
-            return Err(GridError::DegenerateRect { corners: (0.0, 0.0, 0.0, 0.0) });
+            return Err(GridError::DegenerateRect {
+                corners: (0.0, 0.0, 0.0, 0.0),
+            });
         }
         let mut lo = points[0];
         let mut hi = points[0];
@@ -173,7 +177,11 @@ mod tests {
 
     #[test]
     fn bounding_box_of_points() {
-        let pts = [Point::new(1.0, 5.0), Point::new(3.0, 2.0), Point::new(2.0, 8.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(3.0, 2.0),
+            Point::new(2.0, 8.0),
+        ];
         let r = Rect::bounding(&pts, 0.1).unwrap();
         assert_eq!(r.lo(), Point::new(1.0, 2.0));
         assert_eq!(r.hi(), Point::new(3.0, 8.0));

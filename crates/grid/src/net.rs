@@ -41,7 +41,10 @@ impl Net {
 
     /// Convenience constructor for the common two-pin net.
     pub fn two_pin(id: NetId, source: Pin, sink: Pin) -> Self {
-        Net { id, pins: vec![source, sink] }
+        Net {
+            id,
+            pins: vec![source, sink],
+        }
     }
 
     /// The net id.
@@ -102,7 +105,10 @@ impl Net {
         }
         for p in &self.pins {
             if !die.contains(*p) {
-                return Err(GridError::PinOutsideDie { net: self.id, at: (p.x, p.y) });
+                return Err(GridError::PinOutsideDie {
+                    net: self.id,
+                    at: (p.x, p.y),
+                });
             }
         }
         Ok(())
@@ -131,7 +137,11 @@ impl Circuit {
         for n in &nets {
             n.validate(&die)?;
         }
-        Ok(Circuit { name: name.into(), die, nets })
+        Ok(Circuit {
+            name: name.into(),
+            die,
+            nets,
+        })
     }
 
     /// The circuit's name (e.g. `"ibm01"`).
@@ -156,11 +166,14 @@ impl Circuit {
 
     /// Looks up a net by id.
     pub fn net(&self, id: NetId) -> Option<&Net> {
-        self.nets.get(id as usize).filter(|n| n.id() == id).or_else(|| {
-            // Ids normally equal indices; fall back to scanning if a caller
-            // constructed nets with arbitrary ids.
-            self.nets.iter().find(|n| n.id() == id)
-        })
+        self.nets
+            .get(id as usize)
+            .filter(|n| n.id() == id)
+            .or_else(|| {
+                // Ids normally equal indices; fall back to scanning if a caller
+                // constructed nets with arbitrary ids.
+                self.nets.iter().find(|n| n.id() == id)
+            })
     }
 
     /// Mean HPWL over all nets (µm) — a quick placement-quality metric used
@@ -185,7 +198,11 @@ mod tests {
     fn hpwl_multi_pin() {
         let n = Net::new(
             0,
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 20.0), Point::new(5.0, 30.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 20.0),
+                Point::new(5.0, 30.0),
+            ],
         );
         assert_eq!(n.hpwl(), 40.0);
     }

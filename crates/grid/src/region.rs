@@ -150,7 +150,10 @@ impl RegionGrid {
     ///
     /// Panics if the coordinates are out of range.
     pub fn idx(&self, cx: u32, cy: u32) -> RegionIdx {
-        assert!(cx < self.nx && cy < self.ny, "region ({cx},{cy}) out of range");
+        assert!(
+            cx < self.nx && cy < self.ny,
+            "region ({cx},{cy}) out of range"
+        );
         cy * self.nx + cx
     }
 
@@ -167,10 +170,10 @@ impl RegionGrid {
     /// The region containing a point (boundary points map to the lower
     /// region; the die's hi edge maps into the last row/column).
     pub fn region_of(&self, p: Point) -> RegionIdx {
-        let cx = (((p.x - self.die.lo().x) / self.tile_w) as i64)
-            .clamp(0, self.nx as i64 - 1) as u32;
-        let cy = (((p.y - self.die.lo().y) / self.tile_h) as i64)
-            .clamp(0, self.ny as i64 - 1) as u32;
+        let cx =
+            (((p.x - self.die.lo().x) / self.tile_w) as i64).clamp(0, self.nx as i64 - 1) as u32;
+        let cy =
+            (((p.y - self.die.lo().y) / self.tile_h) as i64).clamp(0, self.ny as i64 - 1) as u32;
         self.idx(cx, cy)
     }
 
@@ -294,8 +297,7 @@ mod tests {
     fn neighbor_array_matches_iterator_order() {
         let g = grid();
         for r in 0..g.num_regions() {
-            let from_array: Vec<RegionIdx> =
-                g.neighbor_array(r).into_iter().flatten().collect();
+            let from_array: Vec<RegionIdx> = g.neighbor_array(r).into_iter().flatten().collect();
             let from_iter: Vec<RegionIdx> = g.neighbors(r).collect();
             assert_eq!(from_array, from_iter);
             let (cx, cy) = g.coords(r);

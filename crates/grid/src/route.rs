@@ -51,7 +51,10 @@ impl GridEdge {
         if !grid.adjacent(a, b) {
             return Err(GridError::NonAdjacentEdge { edge: (a, b) });
         }
-        Ok(GridEdge { a: a.min(b), b: a.max(b) })
+        Ok(GridEdge {
+            a: a.min(b),
+            b: a.max(b),
+        })
     }
 
     /// Lower region index.
@@ -136,12 +139,22 @@ impl RouteTree {
             let _ = grid;
             return Err(GridError::DisconnectedRoute { net });
         }
-        Ok(RouteTree { net, root, edges, adjacency })
+        Ok(RouteTree {
+            net,
+            root,
+            edges,
+            adjacency,
+        })
     }
 
     /// A route that never leaves the root region (all pins in one region).
     pub fn trivial(net: NetId, root: RegionIdx) -> Self {
-        RouteTree { net, root, edges: Vec::new(), adjacency: HashMap::new() }
+        RouteTree {
+            net,
+            root,
+            edges: Vec::new(),
+            adjacency: HashMap::new(),
+        }
     }
 
     /// The routed net's id.
@@ -171,7 +184,9 @@ impl RouteTree {
 
     /// Whether the route occupies a track of direction `dir` in region `r`.
     pub fn occupies(&self, grid: &RegionGrid, r: RegionIdx, dir: Dir) -> bool {
-        self.edges.iter().any(|e| (e.a() == r || e.b() == r) && e.dir(grid) == dir)
+        self.edges
+            .iter()
+            .any(|e| (e.a() == r || e.b() == r) && e.dir(grid) == dir)
     }
 
     /// Wire length of the route (µm): sum of center-to-center edge lengths.
@@ -199,8 +214,7 @@ impl RouteTree {
     /// Region path between two regions on the tree (inclusive of both ends),
     /// or `None` if either region is not on the tree.
     pub fn path(&self, from: RegionIdx, to: RegionIdx) -> Option<Vec<RegionIdx>> {
-        let on_tree =
-            |r: RegionIdx| r == self.root || self.adjacency.contains_key(&r);
+        let on_tree = |r: RegionIdx| r == self.root || self.adjacency.contains_key(&r);
         if !on_tree(from) || !on_tree(to) {
             return None;
         }
@@ -261,7 +275,9 @@ pub struct RouteSet {
 impl RouteSet {
     /// Creates an empty route set sized for `num_nets` nets.
     pub fn with_capacity(num_nets: usize) -> Self {
-        RouteSet { routes: vec![None; num_nets] }
+        RouteSet {
+            routes: vec![None; num_nets],
+        }
     }
 
     /// Inserts a route.

@@ -35,7 +35,10 @@ impl SensitivityModel {
     ///
     /// Panics if `rate` is not within `[0, 1]`.
     pub fn new(rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "sensitivity rate {rate} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "sensitivity rate {rate} outside [0, 1]"
+        );
         SensitivityModel { rate, seed }
     }
 
@@ -152,7 +155,10 @@ mod tests {
         assert_eq!(s.local_sensitivity(0, &[0, 1, 2, 3]), 1.0);
         // Singleton and absent-self groups.
         assert_eq!(s.local_sensitivity(0, &[0]), 0.0);
-        assert_eq!(s.local_sensitivity(9, &[1, 2]), s.local_sensitivity(9, &[2, 1]));
+        assert_eq!(
+            s.local_sensitivity(9, &[1, 2]),
+            s.local_sensitivity(9, &[2, 1])
+        );
     }
 
     #[test]

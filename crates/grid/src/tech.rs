@@ -127,7 +127,9 @@ impl Technology {
 
     /// Number of routing tracks a span of `extent` µm supports.
     pub fn tracks_for(&self, extent: f64) -> u32 {
-        ((extent * self.routing_utilization) / self.pitch()).floor().max(0.0) as u32
+        ((extent * self.routing_utilization) / self.pitch())
+            .floor()
+            .max(0.0) as u32
     }
 }
 

@@ -161,9 +161,7 @@ impl TrackUsage {
     /// of the die down, one glyph per region —
     /// `.` <25%, `-` <50%, `+` <75%, `*` <100%, `#` overflowing.
     pub fn ascii_map(&self, grid: &RegionGrid, dir: Dir) -> String {
-        let mut out = String::with_capacity(
-            ((grid.nx() + 1) * grid.ny()) as usize,
-        );
+        let mut out = String::with_capacity(((grid.nx() + 1) * grid.ny()) as usize);
         for cy in (0..grid.ny()).rev() {
             for cx in 0..grid.nx() {
                 let d = self.density(grid.idx(cx, cy), dir);
@@ -279,7 +277,9 @@ mod tests {
     #[test]
     fn trivial_routes_consume_nothing() {
         let g = grid();
-        let routes: RouteSet = vec![RouteTree::trivial(0, g.idx(0, 0))].into_iter().collect();
+        let routes: RouteSet = vec![RouteTree::trivial(0, g.idx(0, 0))]
+            .into_iter()
+            .collect();
         let u = TrackUsage::from_routes(&g, &routes);
         assert_eq!(u.total_overflow(), 0);
         assert_eq!(u.nets(g.idx(0, 0), Dir::H), 0);

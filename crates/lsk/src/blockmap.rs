@@ -8,10 +8,10 @@
 //! quiet; bounding shields are included so their return paths are modelled.
 
 use crate::{LskError, Result};
+use gsino_grid::tech::Technology;
 use gsino_rlc::coupled::{BlockSpec, WireRole};
 use gsino_sino::instance::SinoInstance;
 use gsino_sino::layout::{Layout, Slot};
-use gsino_grid::tech::Technology;
 
 /// Builds the [`BlockSpec`] simulating the noise seen by `victim` (a
 /// segment index of `instance`) in `layout`, for a run of `length_um`.
@@ -37,7 +37,9 @@ pub fn victim_block_spec(
     if !(length_um.is_finite() && length_um > 0.0) {
         return Err(LskError::BadDistance { le: length_um });
     }
-    let pos = layout.position_of(victim).expect("victim segment must be placed");
+    let pos = layout
+        .position_of(victim)
+        .expect("victim segment must be placed");
     let slots = layout.slots();
     // Find the victim's block bounds.
     let mut start = pos;
@@ -78,11 +80,16 @@ pub fn victim_block_spec(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsino_sino::instance::SegmentSpec;
     use gsino_grid::SensitivityModel;
+    use gsino_sino::instance::SegmentSpec;
 
     fn inst(n: usize, rate: f64) -> SinoInstance {
-        let segs = (0..n).map(|i| SegmentSpec { net: i as u32, kth: 1.0 }).collect();
+        let segs = (0..n)
+            .map(|i| SegmentSpec {
+                net: i as u32,
+                kth: 1.0,
+            })
+            .collect();
         SinoInstance::from_model(segs, &SensitivityModel::new(rate, 9)).unwrap()
     }
 
@@ -91,8 +98,7 @@ mod tests {
         let inst = inst(2, 1.0);
         let mut layout = Layout::from_order(&[0, 1]);
         layout.insert_shield(1);
-        let spec =
-            victim_block_spec(&inst, &layout, 0, 500.0, &Technology::itrs_100nm()).unwrap();
+        let spec = victim_block_spec(&inst, &layout, 0, 500.0, &Technology::itrs_100nm()).unwrap();
         assert!(spec.is_none());
     }
 
@@ -105,7 +111,11 @@ mod tests {
             .unwrap();
         assert_eq!(
             spec.wires(),
-            &[WireRole::AggressorRising, WireRole::Victim, WireRole::AggressorRising]
+            &[
+                WireRole::AggressorRising,
+                WireRole::Victim,
+                WireRole::AggressorRising
+            ]
         );
     }
 
@@ -116,7 +126,10 @@ mod tests {
         let spec = victim_block_spec(&inst, &layout, 1, 500.0, &Technology::itrs_100nm())
             .unwrap()
             .unwrap();
-        assert_eq!(spec.wires(), &[WireRole::Quiet, WireRole::Victim, WireRole::Quiet]);
+        assert_eq!(
+            spec.wires(),
+            &[WireRole::Quiet, WireRole::Victim, WireRole::Quiet]
+        );
     }
 
     #[test]
@@ -145,8 +158,6 @@ mod tests {
         let inst = inst(2, 1.0);
         let layout = Layout::from_order(&[0, 1]);
         assert!(victim_block_spec(&inst, &layout, 0, 0.0, &Technology::itrs_100nm()).is_err());
-        assert!(
-            victim_block_spec(&inst, &layout, 0, f64::NAN, &Technology::itrs_100nm()).is_err()
-        );
+        assert!(victim_block_spec(&inst, &layout, 0, f64::NAN, &Technology::itrs_100nm()).is_err());
     }
 }

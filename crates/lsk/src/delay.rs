@@ -90,13 +90,17 @@ pub fn delay_per_um(
 /// point, which is why GSINO's wire-length overhead overstates its
 /// performance penalty.
 pub fn sino_delay_advantage(tech: &Technology, len_um: f64) -> f64 {
-    delay_per_um(tech, len_um, NeighborActivity::Quiet, NeighborActivity::Quiet)
-        / delay_per_um(
-            tech,
-            len_um,
-            NeighborActivity::SwitchingOpposite,
-            NeighborActivity::SwitchingOpposite,
-        )
+    delay_per_um(
+        tech,
+        len_um,
+        NeighborActivity::Quiet,
+        NeighborActivity::Quiet,
+    ) / delay_per_um(
+        tech,
+        len_um,
+        NeighborActivity::SwitchingOpposite,
+        NeighborActivity::SwitchingOpposite,
+    )
 }
 
 #[cfg(test)]
@@ -118,7 +122,12 @@ mod tests {
     #[test]
     fn activity_ordering() {
         let t = tech();
-        let same = elmore_delay(&t, 1000.0, NeighborActivity::SwitchingSame, NeighborActivity::SwitchingSame);
+        let same = elmore_delay(
+            &t,
+            1000.0,
+            NeighborActivity::SwitchingSame,
+            NeighborActivity::SwitchingSame,
+        );
         let quiet = elmore_delay(&t, 1000.0, NeighborActivity::Quiet, NeighborActivity::Quiet);
         let opp = elmore_delay(
             &t,
@@ -134,7 +143,10 @@ mod tests {
         let t = tech();
         let d1 = elmore_delay(&t, 500.0, NeighborActivity::Quiet, NeighborActivity::Quiet);
         let d2 = elmore_delay(&t, 2000.0, NeighborActivity::Quiet, NeighborActivity::Quiet);
-        assert!(d2 > 4.0 * d1 * 0.9, "quadratic RC term should dominate at 2 mm");
+        assert!(
+            d2 > 4.0 * d1 * 0.9,
+            "quadratic RC term should dominate at 2 mm"
+        );
     }
 
     #[test]
@@ -149,7 +161,12 @@ mod tests {
     #[test]
     fn magnitudes_physical() {
         // A 1.5 mm global wire at 0.1 um: tens of picoseconds.
-        let d = elmore_delay(&tech(), 1500.0, NeighborActivity::Quiet, NeighborActivity::Quiet);
+        let d = elmore_delay(
+            &tech(),
+            1500.0,
+            NeighborActivity::Quiet,
+            NeighborActivity::Quiet,
+        );
         assert!(d > 5e-12 && d < 100e-12, "delay {d:.3e}");
     }
 }

@@ -41,8 +41,8 @@
 //! ```
 
 pub mod blockmap;
-pub mod delay;
 pub mod budget;
+pub mod delay;
 pub mod table;
 pub mod value;
 

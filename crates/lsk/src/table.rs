@@ -82,7 +82,11 @@ impl NoiseTable {
         }
         let tail_slope = slope_of_tail(&xs, &ys);
         let pwl = PiecewiseLinear::new(xs, ys).expect("analytic knots are monotone");
-        NoiseTable { pwl, vdd, tail_slope }
+        NoiseTable {
+            pwl,
+            vdd,
+            tail_slope,
+        }
     }
 
     /// Builds the table the paper's way: simulate random SINO solutions of
@@ -105,11 +109,14 @@ impl NoiseTable {
             for _ in 0..configs_per_length {
                 let n = rng.gen_range(3..=8usize);
                 let rate = [0.3, 0.5, 0.8][rng.gen_range(0..3usize)];
-                let segs: Vec<SegmentSpec> =
-                    (0..n).map(|i| SegmentSpec { net: i as u32, kth: 1e9 }).collect();
-                let inst =
-                    SinoInstance::from_model(segs, &SensitivityModel::new(rate, rng.gen()))
-                        .map_err(|_| LskError::TooFewSamples { got: 0 })?;
+                let segs: Vec<SegmentSpec> = (0..n)
+                    .map(|i| SegmentSpec {
+                        net: i as u32,
+                        kth: 1e9,
+                    })
+                    .collect();
+                let inst = SinoInstance::from_model(segs, &SensitivityModel::new(rate, rng.gen()))
+                    .map_err(|_| LskError::TooFewSamples { got: 0 })?;
                 let mut order: Vec<usize> = (0..n).collect();
                 for i in (1..n).rev() {
                     order.swap(i, rng.gen_range(0..=i));
@@ -200,7 +207,11 @@ impl NoiseTable {
         }
         let tail_slope = slope_of_tail(&txs, &tys);
         let pwl = PiecewiseLinear::new(txs, tys)?;
-        Ok(NoiseTable { pwl, vdd, tail_slope })
+        Ok(NoiseTable {
+            pwl,
+            vdd,
+            tail_slope,
+        })
     }
 
     /// The supply voltage the table was built for.
@@ -356,8 +367,7 @@ mod tests {
     fn small_simulated_table_is_sane() {
         // Keep this tiny so debug-mode `cargo test` stays quick; the full
         // simulated table is exercised by the lsk_fidelity bench in release.
-        let t =
-            NoiseTable::from_simulation(&tech(), 42, &[800.0, 2000.0, 3500.0], 4).unwrap();
+        let t = NoiseTable::from_simulation(&tech(), 42, &[800.0, 2000.0, 3500.0], 4).unwrap();
         assert_eq!(t.entries().len(), TABLE_ENTRIES);
         assert!(t.voltage(0.0) < 1e-9);
         assert!(t.voltage(4000.0) > t.voltage(400.0));

@@ -38,7 +38,9 @@ impl PiecewiseLinear {
     ///   (the inverse would be ill-defined).
     pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
         if xs.len() < 2 {
-            return Err(NumericError::EmptyInput { op: "PiecewiseLinear::new" });
+            return Err(NumericError::EmptyInput {
+                op: "PiecewiseLinear::new",
+            });
         }
         if xs.len() != ys.len() {
             return Err(NumericError::DimensionMismatch {

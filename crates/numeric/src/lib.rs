@@ -65,7 +65,10 @@ impl fmt::Display for NumericError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NumericError::DimensionMismatch { op, expected, got } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, got {got}"
+                )
             }
             NumericError::Singular { pivot } => {
                 write!(f, "matrix is singular at pivot {pivot}")

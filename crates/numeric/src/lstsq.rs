@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn empty_polyfit_is_rejected() {
-        assert!(matches!(polyfit(&[], &[], 1), Err(NumericError::EmptyInput { .. })));
+        assert!(matches!(
+            polyfit(&[], &[], 1),
+            Err(NumericError::EmptyInput { .. })
+        ));
     }
 
     #[test]

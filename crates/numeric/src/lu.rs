@@ -99,7 +99,11 @@ impl LuFactors {
                 }
             }
         }
-        Ok(LuFactors { lu, perm, perm_sign })
+        Ok(LuFactors {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored system.
@@ -149,10 +153,7 @@ impl LuFactors {
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
     pub fn solve_in_place(&self, b: &mut [f64], scratch: &mut Vec<f64>) -> Result<()> {
-        let x = {
-            
-            self.solve(b)?
-        };
+        let x = { self.solve(b)? };
         scratch.clear();
         scratch.extend_from_slice(&x);
         b.copy_from_slice(scratch);
@@ -175,7 +176,10 @@ mod tests {
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
         let ax = a.matvec(x).unwrap();
-        ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0_f64, f64::max)
+        ax.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0_f64, f64::max)
     }
 
     #[test]
@@ -203,7 +207,9 @@ mod tests {
         let mut data = Vec::with_capacity(n * n);
         let mut s = 12345_u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / ((1_u64 << 31) as f64) - 1.0
         };
         for _ in 0..n * n {
@@ -222,13 +228,19 @@ mod tests {
     #[test]
     fn singular_matrix_is_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(LuFactors::factor(&a), Err(NumericError::Singular { .. })));
+        assert!(matches!(
+            LuFactors::factor(&a),
+            Err(NumericError::Singular { .. })
+        ));
     }
 
     #[test]
     fn zero_row_is_rejected() {
         let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
-        assert!(matches!(LuFactors::factor(&a), Err(NumericError::Singular { .. })));
+        assert!(matches!(
+            LuFactors::factor(&a),
+            Err(NumericError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -50,7 +54,9 @@ impl Matrix {
     /// Returns [`NumericError::EmptyInput`] for an empty row list and
     /// [`NumericError::DimensionMismatch`] if rows have differing lengths.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
-        let first = rows.first().ok_or(NumericError::EmptyInput { op: "Matrix::from_rows" })?;
+        let first = rows.first().ok_or(NumericError::EmptyInput {
+            op: "Matrix::from_rows",
+        })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -63,7 +69,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -238,14 +248,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

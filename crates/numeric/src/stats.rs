@@ -64,7 +64,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
 /// Average ranks (1-based) with ties sharing the mean rank.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -159,8 +163,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
         ss_res += (y - f) * (y - f);
         ss_tot += (y - my) * (y - my);
     }
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Ok(LinearFit { slope, intercept, r2 })
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// Pool-adjacent-violators (PAVA) isotonic regression: returns the

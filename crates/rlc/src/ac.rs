@@ -66,7 +66,10 @@ pub fn ac_sweep(netlist: &Netlist, freqs: &[f64], probe: usize) -> Result<Vec<Ac
         return Err(RlcError::BadProbe { node: probe });
     }
     if freqs.is_empty() || freqs.iter().any(|&f| !(f.is_finite() && f > 0.0)) {
-        return Err(RlcError::BadTimeStep { step: 0.0, stop: 0.0 });
+        return Err(RlcError::BadTimeStep {
+            step: 0.0,
+            stop: 0.0,
+        });
     }
     let sys = MnaSystem::assemble(netlist);
     let n = sys.n();
@@ -197,8 +200,14 @@ mod tests {
         let mut nl = Netlist::new(1);
         nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
         nl.resistor(1, 0, 1.0).unwrap();
-        assert!(matches!(ac_sweep(&nl, &[1e9], 0), Err(RlcError::BadProbe { .. })));
-        assert!(matches!(ac_sweep(&nl, &[1e9], 2), Err(RlcError::BadProbe { .. })));
+        assert!(matches!(
+            ac_sweep(&nl, &[1e9], 0),
+            Err(RlcError::BadProbe { .. })
+        ));
+        assert!(matches!(
+            ac_sweep(&nl, &[1e9], 2),
+            Err(RlcError::BadProbe { .. })
+        ));
         assert!(ac_sweep(&nl, &[], 1).is_err());
         assert!(ac_sweep(&nl, &[-1.0], 1).is_err());
     }

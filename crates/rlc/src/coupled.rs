@@ -66,7 +66,9 @@ impl BlockSpec {
     /// or the length is out of `(0, 50 000]` µm.
     pub fn new(wires: Vec<WireRole>, length_um: f64, tech: &Technology) -> Result<Self> {
         if !wires.contains(&WireRole::Victim) {
-            return Err(RlcError::BadBlock { reason: "no victim wire" });
+            return Err(RlcError::BadBlock {
+                reason: "no victim wire",
+            });
         }
         Self::with_roles(wires, length_um, tech)
     }
@@ -84,7 +86,9 @@ impl BlockSpec {
             .iter()
             .any(|w| matches!(w, WireRole::AggressorRising | WireRole::AggressorFalling))
         {
-            return Err(RlcError::BadBlock { reason: "no driven wire to time" });
+            return Err(RlcError::BadBlock {
+                reason: "no driven wire to time",
+            });
         }
         Self::with_roles(wires, length_um, tech)
     }
@@ -94,9 +98,16 @@ impl BlockSpec {
             return Err(RlcError::BadBlock { reason: "no wires" });
         }
         if !(length_um.is_finite() && length_um > 0.0 && length_um <= MAX_LENGTH_UM) {
-            return Err(RlcError::BadBlock { reason: "length out of range" });
+            return Err(RlcError::BadBlock {
+                reason: "length out of range",
+            });
         }
-        Ok(BlockSpec { wires, length_um, segments: 5, tech: tech.clone() })
+        Ok(BlockSpec {
+            wires,
+            length_um,
+            segments: 5,
+            tech: tech.clone(),
+        })
     }
 
     /// Node id of the far-end (receiver) node of wire `w` — usable as a
@@ -181,7 +192,11 @@ impl BlockSpec {
         for w in 0..w_count.saturating_sub(1) {
             for k in 0..m {
                 nl.capacitor(self.main_node(w, k), self.main_node(w + 1, k), cc_half)?;
-                nl.capacitor(self.main_node(w, k + 1), self.main_node(w + 1, k + 1), cc_half)?;
+                nl.capacitor(
+                    self.main_node(w, k + 1),
+                    self.main_node(w + 1, k + 1),
+                    cc_half,
+                )?;
             }
         }
         // Mutual inductance between every wire pair, per segment position.
@@ -210,7 +225,12 @@ impl BlockSpec {
                     nl.voltage_source(
                         src_node,
                         0,
-                        Waveform::Ramp { v0: 0.0, v1, t_start: 0.0, t_rise: self.tech.rise_time },
+                        Waveform::Ramp {
+                            v0: 0.0,
+                            v1,
+                            t_start: 0.0,
+                            t_rise: self.tech.rise_time,
+                        },
                     )?;
                     nl.resistor(src_node, near, self.tech.driver_res)?;
                     nl.capacitor(far, 0, self.tech.load_cap)?;
@@ -261,8 +281,7 @@ mod tests {
 
     #[test]
     fn node_layout_is_disjoint() {
-        let spec =
-            BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 100.0, &tech()).unwrap();
+        let spec = BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 100.0, &tech()).unwrap();
         let mut seen = std::collections::HashSet::new();
         for w in 0..2 {
             for k in 0..=5 {
@@ -277,7 +296,11 @@ mod tests {
     #[test]
     fn builds_expected_element_counts() {
         let spec = BlockSpec::new(
-            vec![WireRole::AggressorRising, WireRole::Victim, WireRole::Shield],
+            vec![
+                WireRole::AggressorRising,
+                WireRole::Victim,
+                WireRole::Shield,
+            ],
             500.0,
             &tech(),
         )
@@ -293,8 +316,7 @@ mod tests {
 
     #[test]
     fn probe_is_victim_far_end() {
-        let spec =
-            BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 100.0, &tech()).unwrap();
+        let spec = BlockSpec::new(vec![WireRole::Victim, WireRole::Quiet], 100.0, &tech()).unwrap();
         let (_, probes) = spec.build().unwrap();
         assert_eq!(probes, vec![spec.main_node(0, 5)]);
     }

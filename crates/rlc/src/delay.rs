@@ -37,11 +37,17 @@ pub fn rise_delay(spec: &BlockSpec, w: usize) -> Result<f64> {
             let t1 = result.times()[i];
             let v0 = samples[i - 1].abs();
             let v1 = v.abs();
-            let frac = if v1 > v0 { (half - v0) / (v1 - v0) } else { 1.0 };
+            let frac = if v1 > v0 {
+                (half - v0) / (v1 - v0)
+            } else {
+                1.0
+            };
             return Ok(t0 + frac * (t1 - t0));
         }
     }
-    Err(RlcError::BadBlock { reason: "wire never crossed 50% Vdd" })
+    Err(RlcError::BadBlock {
+        reason: "wire never crossed 50% Vdd",
+    })
 }
 
 #[cfg(test)]
@@ -56,12 +62,13 @@ mod tests {
 
     #[test]
     fn longer_wires_are_slower() {
-        let mk = |len| {
-            BlockSpec::for_delay(vec![WireRole::AggressorRising], len, &tech()).unwrap()
-        };
+        let mk = |len| BlockSpec::for_delay(vec![WireRole::AggressorRising], len, &tech()).unwrap();
         let d1 = rise_delay(&mk(500.0), 0).unwrap();
         let d2 = rise_delay(&mk(2000.0), 0).unwrap();
-        assert!(d2 > d1, "2 mm ({d2:.3e}) must be slower than 0.5 mm ({d1:.3e})");
+        assert!(
+            d2 > d1,
+            "2 mm ({d2:.3e}) must be slower than 0.5 mm ({d1:.3e})"
+        );
     }
 
     #[test]
@@ -112,7 +119,10 @@ mod tests {
         .unwrap();
         let dq = rise_delay(&quiet, 1).unwrap();
         let ds = rise_delay(&same, 1).unwrap();
-        assert!(ds < dq, "in-phase neighbours ({ds:.3e}) must speed vs quiet ({dq:.3e})");
+        assert!(
+            ds < dq,
+            "in-phase neighbours ({ds:.3e}) must speed vs quiet ({dq:.3e})"
+        );
     }
 
     #[test]

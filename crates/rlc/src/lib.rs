@@ -115,7 +115,10 @@ impl fmt::Display for RlcError {
                 write!(f, "invalid {kind} value {value}")
             }
             RlcError::NonPassiveMutual { pair } => {
-                write!(f, "mutual inductance between branches {pair:?} violates passivity")
+                write!(
+                    f,
+                    "mutual inductance between branches {pair:?} violates passivity"
+                )
             }
             RlcError::InductorOutOfRange { index, count } => {
                 write!(f, "inductor index {index} out of range (have {count})")

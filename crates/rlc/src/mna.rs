@@ -97,7 +97,12 @@ impl MnaSystem {
             }
             source_rows.push((br, src.waveform));
         }
-        MnaSystem { g, c, source_rows, n }
+        MnaSystem {
+            g,
+            c,
+            source_rows,
+            n,
+        }
     }
 
     /// Number of unknowns.
@@ -167,14 +172,26 @@ mod tests {
         nl.inductor(2, 0, 1e-9).unwrap();
         let x = dc_solve(&nl, 0.0);
         assert!((x[0] - 2.0).abs() < 1e-12);
-        assert!((x[1] - 0.0).abs() < 1e-12, "node after R is at ground potential");
+        assert!(
+            (x[1] - 0.0).abs() < 1e-12,
+            "node after R is at ground potential"
+        );
     }
 
     #[test]
     fn ramp_source_vector() {
         let mut nl = Netlist::new(1);
-        nl.voltage_source(1, 0, Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 0.0, t_rise: 1e-9 })
-            .unwrap();
+        nl.voltage_source(
+            1,
+            0,
+            Waveform::Ramp {
+                v0: 0.0,
+                v1: 1.0,
+                t_start: 0.0,
+                t_rise: 1e-9,
+            },
+        )
+        .unwrap();
         nl.resistor(1, 0, 1.0).unwrap();
         let sys = MnaSystem::assemble(&nl);
         let mut b = vec![0.0; sys.n()];

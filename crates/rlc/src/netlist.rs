@@ -29,7 +29,12 @@ impl Waveform {
     pub fn at(&self, t: f64) -> f64 {
         match *self {
             Waveform::Dc(v) => v,
-            Waveform::Ramp { v0, v1, t_start, t_rise } => {
+            Waveform::Ramp {
+                v0,
+                v1,
+                t_start,
+                t_rise,
+            } => {
                 if t <= t_start {
                     v0
                 } else if t >= t_start + t_rise {
@@ -105,7 +110,10 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist with `num_nodes` non-ground nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Netlist { num_nodes, ..Netlist::default() }
+        Netlist {
+            num_nodes,
+            ..Netlist::default()
+        }
     }
 
     /// Number of non-ground nodes.
@@ -130,7 +138,10 @@ impl Netlist {
 
     fn check_node(&self, n: usize) -> Result<()> {
         if n > self.num_nodes {
-            return Err(RlcError::NodeOutOfRange { node: n, num_nodes: self.num_nodes });
+            return Err(RlcError::NodeOutOfRange {
+                node: n,
+                num_nodes: self.num_nodes,
+            });
         }
         Ok(())
     }
@@ -145,7 +156,10 @@ impl Netlist {
         self.check_node(a)?;
         self.check_node(b)?;
         if !(ohms.is_finite() && ohms > 0.0) {
-            return Err(RlcError::BadElementValue { kind: "resistance", value: ohms });
+            return Err(RlcError::BadElementValue {
+                kind: "resistance",
+                value: ohms,
+            });
         }
         self.resistors.push(Resistor { a, b, ohms });
         Ok(())
@@ -161,7 +175,10 @@ impl Netlist {
         self.check_node(a)?;
         self.check_node(b)?;
         if !(farads.is_finite() && farads >= 0.0) {
-            return Err(RlcError::BadElementValue { kind: "capacitance", value: farads });
+            return Err(RlcError::BadElementValue {
+                kind: "capacitance",
+                value: farads,
+            });
         }
         if farads > 0.0 {
             self.capacitors.push(Capacitor { a, b, farads });
@@ -179,7 +196,10 @@ impl Netlist {
         self.check_node(a)?;
         self.check_node(b)?;
         if !(henries.is_finite() && henries > 0.0) {
-            return Err(RlcError::BadElementValue { kind: "inductance", value: henries });
+            return Err(RlcError::BadElementValue {
+                kind: "inductance",
+                value: henries,
+            });
         }
         self.inductors.push(Inductor { a, b, henries });
         Ok(self.inductors.len() - 1)
@@ -202,7 +222,10 @@ impl Netlist {
             return Err(RlcError::InductorOutOfRange { index: j, count });
         }
         if !m.is_finite() {
-            return Err(RlcError::BadElementValue { kind: "mutual inductance", value: m });
+            return Err(RlcError::BadElementValue {
+                kind: "mutual inductance",
+                value: m,
+            });
         }
         let li = self.inductors[i].henries;
         let lj = self.inductors[j].henries;
@@ -232,7 +255,12 @@ mod tests {
 
     #[test]
     fn waveform_ramp() {
-        let w = Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 1.0, t_rise: 2.0 };
+        let w = Waveform::Ramp {
+            v0: 0.0,
+            v1: 1.0,
+            t_start: 1.0,
+            t_rise: 2.0,
+        };
         assert_eq!(w.at(0.0), 0.0);
         assert_eq!(w.at(1.0), 0.0);
         assert_eq!(w.at(2.0), 0.5);

@@ -87,7 +87,11 @@ mod tests {
         )
         .unwrap();
         let two = BlockSpec::new(
-            vec![WireRole::AggressorRising, WireRole::Victim, WireRole::AggressorRising],
+            vec![
+                WireRole::AggressorRising,
+                WireRole::Victim,
+                WireRole::AggressorRising,
+            ],
             1000.0,
             &tech(),
         )

@@ -70,7 +70,10 @@ pub fn self_inductance(len_um: f64, width_um: f64, thickness_um: f64) -> f64 {
 /// assert!(m10 > 0.5 * m1);  // …but slowly (long-range coupling)
 /// ```
 pub fn mutual_inductance(len_um: f64, dist_um: f64) -> f64 {
-    assert!(len_um > 0.0 && dist_um > 0.0, "non-positive filament geometry");
+    assert!(
+        len_um > 0.0 && dist_um > 0.0,
+        "non-positive filament geometry"
+    );
     let l = len_um * 1e-6;
     let d = dist_um * 1e-6;
     let r = l / d;
@@ -135,7 +138,10 @@ mod tests {
         let m4 = mutual_inductance(l, 8.0);
         let d12 = m1 - m2;
         let d24 = m2 - m4;
-        assert!((d12 - d24).abs() / d12 < 0.05, "decrements {d12:.3e} vs {d24:.3e}");
+        assert!(
+            (d12 - d24).abs() / d12 < 0.05,
+            "decrements {d12:.3e} vs {d24:.3e}"
+        );
     }
 
     #[test]

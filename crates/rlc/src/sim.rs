@@ -96,7 +96,11 @@ impl TransientSim {
                 traces[ti].push(x[p - 1]);
             }
         }
-        Ok(TransientResult { probes: probes.to_vec(), times, traces })
+        Ok(TransientResult {
+            probes: probes.to_vec(),
+            times,
+            traces,
+        })
     }
 }
 
@@ -146,7 +150,10 @@ impl TransientResult {
     ///
     /// [`RlcError::BadProbe`] if the node was not probed.
     pub fn peak_abs(&self, node: usize) -> Result<f64> {
-        Ok(self.samples(node)?.iter().fold(0.0_f64, |m, &v| m.max(v.abs())))
+        Ok(self
+            .samples(node)?
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs())))
     }
 
     /// The maximum peak over all probes.
@@ -171,7 +178,10 @@ mod tests {
         nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
         nl.resistor(1, 2, r).unwrap();
         nl.capacitor(2, 0, c).unwrap();
-        let res = TransientSim::new(1e-12, 3e-9).unwrap().run(&nl, &[2]).unwrap();
+        let res = TransientSim::new(1e-12, 3e-9)
+            .unwrap()
+            .run(&nl, &[2])
+            .unwrap();
         let samples = res.samples(2).unwrap();
         let times = res.times();
         for (i, &t) in times.iter().enumerate().step_by(100) {
@@ -195,7 +205,10 @@ mod tests {
         nl.resistor(1, 2, 0.5).unwrap();
         nl.inductor(2, 3, l).unwrap();
         nl.capacitor(3, 0, c).unwrap();
-        let res = TransientSim::new(2e-13, 2e-9).unwrap().run(&nl, &[3]).unwrap();
+        let res = TransientSim::new(2e-13, 2e-9)
+            .unwrap()
+            .run(&nl, &[3])
+            .unwrap();
         let samples = res.samples(3).unwrap();
         // Count crossings of the final value to estimate the ring period.
         let mut crossings = Vec::new();
@@ -204,7 +217,10 @@ mod tests {
                 crossings.push(res.times()[i]);
             }
         }
-        assert!(crossings.len() >= 4, "should ring repeatedly, got {crossings:?}");
+        assert!(
+            crossings.len() >= 4,
+            "should ring repeatedly, got {crossings:?}"
+        );
         let half_period = crossings[3] - crossings[2];
         let f_meas = 1.0 / (2.0 * half_period);
         let f_expect = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
@@ -218,11 +234,23 @@ mod tests {
     fn capacitive_coupling_injects_noise() {
         // Aggressor ramp coupled via Cc into a resistively held victim.
         let mut nl = Netlist::new(2);
-        nl.voltage_source(1, 0, Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 0.0, t_rise: 1e-10 })
-            .unwrap();
+        nl.voltage_source(
+            1,
+            0,
+            Waveform::Ramp {
+                v0: 0.0,
+                v1: 1.0,
+                t_start: 0.0,
+                t_rise: 1e-10,
+            },
+        )
+        .unwrap();
         nl.capacitor(1, 2, 1e-13).unwrap();
         nl.resistor(2, 0, 1000.0).unwrap();
-        let res = TransientSim::new(1e-12, 1e-9).unwrap().run(&nl, &[2]).unwrap();
+        let res = TransientSim::new(1e-12, 1e-9)
+            .unwrap()
+            .run(&nl, &[2])
+            .unwrap();
         let peak = res.peak_abs(2).unwrap();
         assert!(peak > 0.01, "coupled noise should be visible, got {peak}");
         // And the victim settles back toward zero.
@@ -243,8 +271,14 @@ mod tests {
         nl.resistor(1, 0, 1.0).unwrap();
         nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
         let sim = TransientSim::new(1e-12, 1e-11).unwrap();
-        assert!(matches!(sim.run(&nl, &[2]), Err(RlcError::BadProbe { node: 2 })));
-        assert!(matches!(sim.run(&nl, &[0]), Err(RlcError::BadProbe { node: 0 })));
+        assert!(matches!(
+            sim.run(&nl, &[2]),
+            Err(RlcError::BadProbe { node: 2 })
+        ));
+        assert!(matches!(
+            sim.run(&nl, &[0]),
+            Err(RlcError::BadProbe { node: 0 })
+        ));
     }
 
     #[test]
@@ -253,7 +287,10 @@ mod tests {
         nl.voltage_source(1, 0, Waveform::Dc(1.0)).unwrap();
         nl.resistor(1, 2, 10.0).unwrap();
         nl.resistor(2, 0, 10.0).unwrap();
-        let res = TransientSim::new(1e-12, 1e-11).unwrap().run(&nl, &[2]).unwrap();
+        let res = TransientSim::new(1e-12, 1e-11)
+            .unwrap()
+            .run(&nl, &[2])
+            .unwrap();
         assert!(res.samples(1).is_err());
         assert!(res.peak_abs(2).is_ok());
     }
@@ -262,13 +299,28 @@ mod tests {
     fn energy_stays_bounded_with_mutual_coupling() {
         // Two coupled LC tanks; passivity means no blow-up over many cycles.
         let mut nl = Netlist::new(2);
-        nl.voltage_source(1, 0, Waveform::Ramp { v0: 0.0, v1: 1.0, t_start: 0.0, t_rise: 1e-11 })
-            .unwrap();
+        nl.voltage_source(
+            1,
+            0,
+            Waveform::Ramp {
+                v0: 0.0,
+                v1: 1.0,
+                t_start: 0.0,
+                t_rise: 1e-11,
+            },
+        )
+        .unwrap();
         let i = nl.inductor(1, 2, 1e-9).unwrap();
         let j = nl.inductor(2, 0, 1e-9).unwrap();
         nl.mutual(i, j, 0.8e-9).unwrap();
         nl.capacitor(2, 0, 1e-13).unwrap();
-        let res = TransientSim::new(1e-13, 5e-9).unwrap().run(&nl, &[2]).unwrap();
-        assert!(res.peak_abs(2).unwrap() < 10.0, "trapezoidal must stay bounded");
+        let res = TransientSim::new(1e-13, 5e-9)
+            .unwrap()
+            .run(&nl, &[2])
+            .unwrap();
+        assert!(
+            res.peak_abs(2).unwrap() < 10.0,
+            "trapezoidal must stay bounded"
+        );
     }
 }

@@ -27,7 +27,12 @@ pub struct AnnealConfig {
 
 impl Default for AnnealConfig {
     fn default() -> Self {
-        AnnealConfig { iters: 4000, t0: 4.0, t1: 0.05, seed: 0xD1CE }
+        AnnealConfig {
+            iters: 4000,
+            t0: 4.0,
+            t1: 0.05,
+            seed: 0xD1CE,
+        }
     }
 }
 
@@ -35,9 +40,7 @@ impl Default for AnnealConfig {
 /// through infeasible states but is pulled back.
 fn cost(instance: &SinoInstance, layout: &Layout) -> f64 {
     let eval = evaluate(instance, layout);
-    layout.area() as f64
-        + 25.0 * eval.cap_violations as f64
-        + 50.0 * eval.total_overflow()
+    layout.area() as f64 + 25.0 * eval.cap_violations as f64 + 50.0 * eval.total_overflow()
 }
 
 /// Anneals from a feasible starting layout; returns a layout that is never
@@ -65,8 +68,8 @@ pub fn improve(instance: &SinoInstance, start: Layout, config: &AnnealConfig) ->
         let t = config.t0 * ratio.powf(step as f64 / config.iters as f64);
         let candidate = propose(&current, &mut rng);
         let c = cost(instance, &candidate);
-        let accept = c <= current_cost
-            || rng.gen::<f64>() < ((current_cost - c) / t.max(1e-12)).exp();
+        let accept =
+            c <= current_cost || rng.gen::<f64>() < ((current_cost - c) / t.max(1e-12)).exp();
         if accept {
             current = candidate;
             current_cost = c;
@@ -133,7 +136,11 @@ mod tests {
             let annealed = improve(
                 &inst,
                 greedy.clone(),
-                &AnnealConfig { iters: 2000, seed, ..AnnealConfig::default() },
+                &AnnealConfig {
+                    iters: 2000,
+                    seed,
+                    ..AnnealConfig::default()
+                },
             );
             assert!(evaluate(&inst, &annealed).feasible, "seed {seed}");
             assert!(
@@ -149,7 +156,11 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let inst = instance(8, 0.6, 0.3, 11);
         let start = solve_greedy(&inst);
-        let cfg = AnnealConfig { iters: 1500, seed: 99, ..AnnealConfig::default() };
+        let cfg = AnnealConfig {
+            iters: 1500,
+            seed: 99,
+            ..AnnealConfig::default()
+        };
         let a = improve(&inst, start.clone(), &cfg);
         let b = improve(&inst, start, &cfg);
         assert_eq!(a, b);
@@ -162,7 +173,10 @@ mod tests {
         let out = improve(
             &inst,
             start.clone(),
-            &AnnealConfig { iters: 0, ..AnnealConfig::default() },
+            &AnnealConfig {
+                iters: 0,
+                ..AnnealConfig::default()
+            },
         );
         assert_eq!(out, start);
     }

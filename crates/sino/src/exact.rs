@@ -159,7 +159,10 @@ impl<'a> Search<'a> {
 /// ```
 pub fn solve_exact(instance: &SinoInstance, node_limit: Option<u64>) -> Result<ExactSolution> {
     let n = instance.n();
-    assert!(n <= 60, "exact solver is for region-sized instances (n <= 60)");
+    assert!(
+        n <= 60,
+        "exact solver is for region-sized instances (n <= 60)"
+    );
     if n == 0 {
         return Ok(ExactSolution {
             layout: Layout::from_slots(Vec::new())?,
@@ -183,7 +186,11 @@ pub fn solve_exact(instance: &SinoInstance, node_limit: Option<u64>) -> Result<E
     let layout = Layout::from_slots(search.best.expect("greedy seeds an incumbent"))?;
     layout.validate(n)?;
     debug_assert!(evaluate(instance, &layout).feasible);
-    Ok(ExactSolution { layout, optimal: !search.truncated, nodes: search.nodes })
+    Ok(ExactSolution {
+        layout,
+        optimal: !search.truncated,
+        nodes: search.nodes,
+    })
 }
 
 #[cfg(test)]

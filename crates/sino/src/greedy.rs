@@ -61,7 +61,9 @@ pub fn order_only(instance: &SinoInstance) -> Layout {
     order.sort_by(|&a, &b| {
         let sa = instance.local_sensitivity(a);
         let sb = instance.local_sensitivity(b);
-        sb.partial_cmp(&sa).expect("finite sensitivity").then(a.cmp(&b))
+        sb.partial_cmp(&sa)
+            .expect("finite sensitivity")
+            .then(a.cmp(&b))
     });
     let mut layout = Layout::from_slots(Vec::new()).expect("empty layout");
     for &seg in &order {
@@ -139,7 +141,9 @@ pub(crate) fn repair(instance: &SinoInstance, layout: &mut Layout) {
         }
         // Inductive overflow: split the worst segment's block at the gap
         // that minimizes (total overflow, worst segment's K).
-        let (worst, _) = eval.worst_overflow().expect("infeasible without cap violations");
+        let (worst, _) = eval
+            .worst_overflow()
+            .expect("infeasible without cap violations");
         let pos = layout.position_of(worst).expect("segment is placed");
         let (block_start, block_len) = enclosing_block(layout, pos);
         let mut best: Option<(f64, f64, usize)> = None;

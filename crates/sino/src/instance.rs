@@ -70,11 +70,16 @@ impl SinoInstance {
     pub fn new(segments: Vec<SegmentSpec>, mut sensitive: Vec<bool>) -> Result<Self> {
         let n = segments.len();
         if sensitive.len() != n * n {
-            return Err(SinoError::MalformedLayout { reason: "sensitivity matrix size" });
+            return Err(SinoError::MalformedLayout {
+                reason: "sensitivity matrix size",
+            });
         }
         for (i, s) in segments.iter().enumerate() {
             if !(s.kth.is_finite() && s.kth > 0.0) {
-                return Err(SinoError::BadBudget { segment: i, kth: s.kth });
+                return Err(SinoError::BadBudget {
+                    segment: i,
+                    kth: s.kth,
+                });
             }
         }
         for i in 0..n {
@@ -85,7 +90,10 @@ impl SinoInstance {
                 sensitive[j * n + i] = s;
             }
         }
-        Ok(SinoInstance { segments, sensitive })
+        Ok(SinoInstance {
+            segments,
+            sensitive,
+        })
     }
 
     /// Number of segments.
@@ -142,7 +150,9 @@ impl SinoInstance {
         if n <= 1 {
             return 0.0;
         }
-        let cnt = (0..n).filter(|&j| j != i && self.is_sensitive(i, j)).count();
+        let cnt = (0..n)
+            .filter(|&j| j != i && self.is_sensitive(i, j))
+            .count();
         cnt as f64 / (n - 1) as f64
     }
 
@@ -164,13 +174,17 @@ mod tests {
     use super::*;
 
     fn specs(n: usize) -> Vec<SegmentSpec> {
-        (0..n).map(|i| SegmentSpec { net: i as u32, kth: 1.0 }).collect()
+        (0..n)
+            .map(|i| SegmentSpec {
+                net: i as u32,
+                kth: 1.0,
+            })
+            .collect()
     }
 
     #[test]
     fn from_model_symmetry() {
-        let inst =
-            SinoInstance::from_model(specs(6), &SensitivityModel::new(0.5, 3)).unwrap();
+        let inst = SinoInstance::from_model(specs(6), &SensitivityModel::new(0.5, 3)).unwrap();
         for i in 0..6 {
             assert!(!inst.is_sensitive(i, i));
             for j in 0..6 {
@@ -226,8 +240,7 @@ mod tests {
 
     #[test]
     fn local_sensitivity_full_rate() {
-        let inst =
-            SinoInstance::from_model(specs(5), &SensitivityModel::new(1.0, 1)).unwrap();
+        let inst = SinoInstance::from_model(specs(5), &SensitivityModel::new(1.0, 1)).unwrap();
         for i in 0..5 {
             assert_eq!(inst.local_sensitivity(i), 1.0);
         }

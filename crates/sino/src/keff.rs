@@ -168,12 +168,8 @@ mod tests {
     #[test]
     fn shield_blocks_coupling_entirely() {
         let inst = all_sensitive(2, 10.0);
-        let layout = Layout::from_slots(vec![
-            Slot::Signal(0),
-            Slot::Shield,
-            Slot::Signal(1),
-        ])
-        .unwrap();
+        let layout =
+            Layout::from_slots(vec![Slot::Signal(0), Slot::Shield, Slot::Signal(1)]).unwrap();
         let eval = evaluate(&inst, &layout);
         assert_eq!(eval.k, vec![0.0, 0.0]);
         assert_eq!(eval.cap_violations, 0);
@@ -185,7 +181,10 @@ mod tests {
     #[test]
     fn insensitive_pairs_do_not_couple() {
         let inst = SinoInstance::new(
-            vec![SegmentSpec { net: 0, kth: 1.0 }, SegmentSpec { net: 1, kth: 1.0 }],
+            vec![
+                SegmentSpec { net: 0, kth: 1.0 },
+                SegmentSpec { net: 1, kth: 1.0 },
+            ],
             vec![false; 4],
         )
         .unwrap();

@@ -28,7 +28,9 @@ pub struct Layout {
 impl Layout {
     /// A shield-free layout placing segments in the given order.
     pub fn from_order(order: &[usize]) -> Self {
-        Layout { slots: order.iter().map(|&i| Slot::Signal(i)).collect() }
+        Layout {
+            slots: order.iter().map(|&i| Slot::Signal(i)).collect(),
+        }
     }
 
     /// Builds a layout from explicit slots.
@@ -47,7 +49,9 @@ impl Layout {
         for s in &self.slots {
             if let Slot::Signal(i) = s {
                 if !seen.insert(*i) {
-                    return Err(SinoError::MalformedLayout { reason: "duplicate segment" });
+                    return Err(SinoError::MalformedLayout {
+                        reason: "duplicate segment",
+                    });
                 }
             }
         }
@@ -61,14 +65,22 @@ impl Layout {
     /// [`SinoError::MalformedLayout`] on any mismatch.
     pub fn validate(&self, n: usize) -> Result<()> {
         self.check_duplicates()?;
-        let count = self.slots.iter().filter(|s| matches!(s, Slot::Signal(_))).count();
+        let count = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Signal(_)))
+            .count();
         if count != n {
-            return Err(SinoError::MalformedLayout { reason: "segment count mismatch" });
+            return Err(SinoError::MalformedLayout {
+                reason: "segment count mismatch",
+            });
         }
         for s in &self.slots {
             if let Slot::Signal(i) = s {
                 if *i >= n {
-                    return Err(SinoError::MalformedLayout { reason: "segment index range" });
+                    return Err(SinoError::MalformedLayout {
+                        reason: "segment index range",
+                    });
                 }
             }
         }
@@ -87,7 +99,10 @@ impl Layout {
 
     /// Number of shields.
     pub fn num_shields(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Shield)).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Shield))
+            .count()
     }
 
     /// Track position of a segment, if present.

@@ -131,12 +131,7 @@ impl NssModel {
     /// # Errors
     ///
     /// Propagates solver errors (none for well-formed grids).
-    pub fn relative_error(
-        &self,
-        seed: u64,
-        counts: &[usize],
-        rates: &[f64],
-    ) -> Result<f64> {
+    pub fn relative_error(&self, seed: u64, counts: &[usize], rates: &[f64]) -> Result<f64> {
         let solver = SinoSolver::default();
         let mut abs_err = 0.0;
         let mut truth_sum = 0.0;
@@ -145,7 +140,10 @@ impl NssModel {
             for &rate in rates {
                 let model = SensitivityModel::new(rate, seed ^ (n as u64) << 8);
                 let segs: Vec<SegmentSpec> = (0..n)
-                    .map(|i| SegmentSpec { net: i as u32, kth: self.kth_ref })
+                    .map(|i| SegmentSpec {
+                        net: i as u32,
+                        kth: self.kth_ref,
+                    })
                     .collect();
                 let inst = SinoInstance::from_model(segs, &model)?;
                 let truth = solver.min_shields(&inst)? as f64;
@@ -177,10 +175,7 @@ impl NssModel {
 /// # Errors
 ///
 /// Propagates solver errors (internal invariants only).
-pub fn kth_for_extra_shield(
-    instance: &SinoInstance,
-    segment: usize,
-) -> Result<Option<f64>> {
+pub fn kth_for_extra_shield(instance: &SinoInstance, segment: usize) -> Result<Option<f64>> {
     let solver = SinoSolver::default();
     let base_shields = solver.min_shields(instance)?;
     let kth_now = instance.segment(segment).kth;
@@ -239,8 +234,7 @@ mod tests {
 
     #[test]
     fn fit_accuracy_reasonable() {
-        let m = NssModel::fit_grid(0.4, 11, &[4, 8, 12, 16, 24], &[0.2, 0.4, 0.6, 0.8], 2)
-            .unwrap();
+        let m = NssModel::fit_grid(0.4, 11, &[4, 8, 12, 16, 24], &[0.2, 0.4, 0.6, 0.8], 2).unwrap();
         let err = m
             .relative_error(1234, &[6, 10, 14, 20, 28], &[0.3, 0.5, 0.7])
             .unwrap();
@@ -262,10 +256,8 @@ mod tests {
     #[test]
     fn kth_inverse_buys_exactly_one_more_shield() {
         use gsino_grid::SensitivityModel;
-        let segs: Vec<SegmentSpec> =
-            (0..8).map(|i| SegmentSpec { net: i, kth: 0.8 }).collect();
-        let inst =
-            SinoInstance::from_model(segs, &SensitivityModel::new(0.6, 5)).unwrap();
+        let segs: Vec<SegmentSpec> = (0..8).map(|i| SegmentSpec { net: i, kth: 0.8 }).collect();
+        let inst = SinoInstance::from_model(segs, &SensitivityModel::new(0.6, 5)).unwrap();
         let solver = SinoSolver::default();
         let base = solver.min_shields(&inst).unwrap();
         let kth = kth_for_extra_shield(&inst, 0).unwrap();
@@ -288,10 +280,8 @@ mod tests {
     fn kth_inverse_none_when_isolated() {
         use gsino_grid::SensitivityModel;
         // Rate 0: no coupling at all; no budget reduction can force shields.
-        let segs: Vec<SegmentSpec> =
-            (0..5).map(|i| SegmentSpec { net: i, kth: 1.0 }).collect();
-        let inst =
-            SinoInstance::from_model(segs, &SensitivityModel::new(0.0, 1)).unwrap();
+        let segs: Vec<SegmentSpec> = (0..5).map(|i| SegmentSpec { net: i, kth: 1.0 }).collect();
+        let inst = SinoInstance::from_model(segs, &SensitivityModel::new(0.0, 1)).unwrap();
         assert_eq!(kth_for_extra_shield(&inst, 2).unwrap(), None);
     }
 }

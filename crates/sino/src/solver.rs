@@ -8,8 +8,7 @@ use crate::layout::Layout;
 use crate::Result;
 
 /// Solver configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SolverConfig {
     /// Optional simulated-annealing polish after the greedy construction.
     /// `None` (the default) is the fast path used by the full-chip flow;
@@ -18,11 +17,16 @@ pub struct SolverConfig {
     pub anneal: Option<AnnealConfig>,
 }
 
-
 impl SolverConfig {
     /// Enables annealing with the given iteration budget and seed.
     pub fn with_anneal(iters: usize, seed: u64) -> Self {
-        SolverConfig { anneal: Some(AnnealConfig { iters, seed, ..AnnealConfig::default() }) }
+        SolverConfig {
+            anneal: Some(AnnealConfig {
+                iters,
+                seed,
+                ..AnnealConfig::default()
+            }),
+        }
     }
 }
 

@@ -61,7 +61,11 @@ pub fn decompose_net(net: &Net) -> Vec<Connection> {
     let vertices = tree.vertices();
     tree.edges()
         .iter()
-        .map(|&(a, b)| Connection { net: net.id(), from: vertices[a], to: vertices[b] })
+        .map(|&(a, b)| Connection {
+            net: net.id(),
+            from: vertices[a],
+            to: vertices[b],
+        })
         .filter(|c| c.manhattan() > 0.0)
         .collect()
 }
@@ -88,7 +92,11 @@ mod tests {
     fn duplicate_pins_drop_zero_length_edges() {
         let net = Net::new(
             2,
-            vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(3.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 0.0),
+            ],
         );
         let conns = decompose_net(&net);
         assert_eq!(conns.len(), 1);
@@ -119,9 +127,9 @@ mod tests {
         let net = Net::new(4, pins.clone());
         let conns = decompose_net(&net);
         for p in &pins {
-            let covered = conns.iter().any(|c| {
-                (c.from.x == p.x && c.from.y == p.y) || (c.to.x == p.x && c.to.y == p.y)
-            });
+            let covered = conns
+                .iter()
+                .any(|c| (c.from.x == p.x && c.from.y == p.y) || (c.to.x == p.x && c.to.y == p.y));
             assert!(covered, "pin {p} not covered by any connection");
         }
     }

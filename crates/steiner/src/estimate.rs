@@ -1,4 +1,11 @@
 //! RSMT wire-length estimation for Formula (2)'s `f(WL)` normalizer.
+//!
+//! The 4+-pin path delegates to [`iterated_one_steiner`], whose candidate
+//! search runs over a cached pairwise-distance grid (one build per round
+//! instead of one per Hanan candidate) — estimation-heavy callers such as
+//! net decomposition and the circuit diagnostics get the speedup without
+//! any API change, and the returned lengths are bit-identical to the
+//! uncached evaluation.
 
 use crate::steiner::iterated_one_steiner;
 use gsino_grid::geom::Point;
@@ -25,8 +32,12 @@ pub fn rsmt_estimate(pins: &[Point]) -> f64 {
         0 | 1 => 0.0,
         2 => pins[0].manhattan(pins[1]),
         3 => {
-            let (mut lx, mut ly, mut hx, mut hy) =
-                (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+            let (mut lx, mut ly, mut hx, mut hy) = (
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+            );
             for p in pins {
                 lx = lx.min(p.x);
                 ly = ly.min(p.y);
@@ -45,12 +56,19 @@ mod tests {
 
     #[test]
     fn two_pin_is_manhattan() {
-        assert_eq!(rsmt_estimate(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]), 7.0);
+        assert_eq!(
+            rsmt_estimate(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]),
+            7.0
+        );
     }
 
     #[test]
     fn three_pin_is_hpwl() {
-        let pins = [Point::new(0.0, 0.0), Point::new(10.0, 2.0), Point::new(4.0, 8.0)];
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 2.0),
+            Point::new(4.0, 8.0),
+        ];
         assert_eq!(rsmt_estimate(&pins), 18.0);
     }
 
@@ -69,5 +87,40 @@ mod tests {
             Point::new(1.0, 2.0),
         ];
         assert_eq!(rsmt_estimate(&pins), 4.0);
+    }
+
+    /// The estimate is monotone under the lower/upper bounds whatever path
+    /// (exact or cached-heuristic) serves the pin count.
+    #[test]
+    fn estimate_stays_between_hpwl_and_mst() {
+        use crate::mst::rectilinear_mst;
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 200) as f64
+        };
+        for trial in 0..12 {
+            let n = 2 + trial % 9;
+            let pins: Vec<Point> = (0..n).map(|_| Point::new(next(), next())).collect();
+            let est = rsmt_estimate(&pins);
+            let mst = rectilinear_mst(&pins).length;
+            let (mut lx, mut ly, mut hx, mut hy) = (
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+            );
+            for p in &pins {
+                lx = lx.min(p.x);
+                ly = ly.min(p.y);
+                hx = hx.max(p.x);
+                hy = hy.max(p.y);
+            }
+            let hpwl = (hx - lx) + (hy - ly);
+            assert!(est <= mst + 1e-9, "estimate {est} above MST {mst}");
+            assert!(est + 1e-9 >= hpwl, "estimate {est} below HPWL {hpwl}");
+        }
     }
 }

@@ -31,7 +31,10 @@ pub struct MstResult {
 pub fn rectilinear_mst(points: &[Point]) -> MstResult {
     let n = points.len();
     if n < 2 {
-        return MstResult { edges: Vec::new(), length: 0.0 };
+        return MstResult {
+            edges: Vec::new(),
+            length: 0.0,
+        };
     }
     let mut in_tree = vec![false; n];
     let mut best_dist = vec![f64::INFINITY; n];
@@ -52,7 +55,10 @@ pub fn rectilinear_mst(points: &[Point]) -> MstResult {
                 pick = i;
             }
         }
-        debug_assert!(pick != usize::MAX, "graph is complete; a pick always exists");
+        debug_assert!(
+            pick != usize::MAX,
+            "graph is complete; a pick always exists"
+        );
         in_tree[pick] = true;
         edges.push((best_from[pick], pick));
         length += pick_d;
@@ -109,7 +115,11 @@ mod tests {
 
     #[test]
     fn duplicates_are_zero_cost() {
-        let pts = [Point::new(5.0, 5.0), Point::new(5.0, 5.0), Point::new(6.0, 5.0)];
+        let pts = [
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(6.0, 5.0),
+        ];
         assert_eq!(rectilinear_mst(&pts).length, 1.0);
     }
 

@@ -4,6 +4,15 @@
 //! rectilinear MST length, until no candidate helps. This is the classic
 //! practical RSMT heuristic: within ~1% of optimal on small nets, and the
 //! nets of the ISPD'98 suite are dominated by low pin counts.
+//!
+//! Candidate evaluation reuses a **pairwise-distance grid**: the Manhattan
+//! distances between the current vertices are computed once per round and
+//! every Hanan candidate is scored by a Prim pass over that cached grid
+//! plus one fresh distance row for the candidate itself — the same
+//! arithmetic as [`rectilinear_mst`] on the extended point set, operand
+//! for operand, so the chosen Steiner points (and the final tree) are
+//! bit-identical to the uncached evaluation while the per-candidate cost
+//! drops from `n²` distance computations (plus an allocation) to `n`.
 
 use crate::mst::rectilinear_mst;
 use gsino_grid::geom::Point;
@@ -70,17 +79,24 @@ pub fn iterated_one_steiner(pins: &[Point]) -> SteinerTree {
     let mut vertices: Vec<Point> = pins.to_vec();
     let num_pins = pins.len();
     if num_pins < 2 {
-        return SteinerTree { vertices, num_pins, edges: Vec::new(), length: 0.0 };
+        return SteinerTree {
+            vertices,
+            num_pins,
+            edges: Vec::new(),
+            length: 0.0,
+        };
     }
     if num_pins <= MAX_PINS_FOR_STEINER {
+        let mut grid = DistGrid::default();
         loop {
-            let base = rectilinear_mst(&vertices).length;
+            // One distance-grid build per round, shared by every candidate.
+            grid.rebuild(&vertices);
+            let base = grid.mst_length(false);
             let mut best_gain = 1e-9;
             let mut best: Option<Point> = None;
             for c in hanan_candidates(&vertices) {
-                vertices.push(c);
-                let len = rectilinear_mst(&vertices).length;
-                vertices.pop();
+                grid.set_candidate(&vertices, c);
+                let len = grid.mst_length(true);
                 let gain = base - len;
                 if gain > best_gain {
                     best_gain = gain;
@@ -95,7 +111,111 @@ pub fn iterated_one_steiner(pins: &[Point]) -> SteinerTree {
         prune_useless_steiner_points(&mut vertices, num_pins);
     }
     let mst = rectilinear_mst(&vertices);
-    SteinerTree { vertices, num_pins, edges: mst.edges, length: mst.length }
+    SteinerTree {
+        vertices,
+        num_pins,
+        edges: mst.edges,
+        length: mst.length,
+    }
+}
+
+/// Cached pairwise-distance grid for one round of candidate evaluation.
+///
+/// Holds the `n × n` Manhattan distances of the current vertex set plus a
+/// single swappable candidate row, and reusable Prim buffers. The MST
+/// length computed here replicates [`rectilinear_mst`]'s Prim loop exactly
+/// — same strict-`<` pick with lowest-index ties, same relaxation, same
+/// accumulation order — on bitwise-identical distances (Manhattan is
+/// deterministic), so lengths match the uncached path bit for bit.
+#[derive(Debug, Default)]
+struct DistGrid {
+    /// Vertex count the grid was built for.
+    n: usize,
+    /// Row-major `n × n` pairwise distances.
+    d: Vec<f64>,
+    /// Distances from the current candidate (index `n`) to each vertex.
+    cand: Vec<f64>,
+    /// Prim working buffers, reused across candidates and rounds.
+    in_tree: Vec<bool>,
+    best_dist: Vec<f64>,
+}
+
+impl DistGrid {
+    /// Rebuilds the pairwise grid for `vertices` (once per round).
+    fn rebuild(&mut self, vertices: &[Point]) {
+        let n = vertices.len();
+        self.n = n;
+        self.d.clear();
+        self.d.resize(n * n, 0.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dij = vertices[i].manhattan(vertices[j]);
+                self.d[i * n + j] = dij;
+                self.d[j * n + i] = dij;
+            }
+        }
+    }
+
+    /// Loads the candidate row: distances from `c` to every vertex.
+    fn set_candidate(&mut self, vertices: &[Point], c: Point) {
+        self.cand.clear();
+        self.cand.extend(vertices.iter().map(|p| c.manhattan(*p)));
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        if j == self.n {
+            self.cand[i]
+        } else if i == self.n {
+            self.cand[j]
+        } else {
+            self.d[i * self.n + j]
+        }
+    }
+
+    /// Prim MST length over the cached grid, optionally including the
+    /// candidate as the last vertex (mirrors `rectilinear_mst` on the
+    /// vertex list with the candidate pushed last).
+    fn mst_length(&mut self, with_candidate: bool) -> f64 {
+        let nv = self.n + usize::from(with_candidate);
+        if nv < 2 {
+            return 0.0;
+        }
+        self.in_tree.clear();
+        self.in_tree.resize(nv, false);
+        self.best_dist.clear();
+        self.best_dist.resize(nv, f64::INFINITY);
+        self.in_tree[0] = true;
+        for i in 1..nv {
+            self.best_dist[i] = self.dist(0, i);
+        }
+        let mut length = 0.0;
+        for _ in 1..nv {
+            let mut pick = usize::MAX;
+            let mut pick_d = f64::INFINITY;
+            for i in 0..nv {
+                if !self.in_tree[i] && self.best_dist[i] < pick_d {
+                    pick_d = self.best_dist[i];
+                    pick = i;
+                }
+            }
+            debug_assert!(
+                pick != usize::MAX,
+                "graph is complete; a pick always exists"
+            );
+            self.in_tree[pick] = true;
+            length += pick_d;
+            for i in 0..nv {
+                if !self.in_tree[i] {
+                    let d = self.dist(pick, i);
+                    if d < self.best_dist[i] {
+                        self.best_dist[i] = d;
+                    }
+                }
+            }
+        }
+        length
+    }
 }
 
 /// Hanan grid points (x from one vertex, y from another) not already present.
@@ -173,7 +293,11 @@ mod tests {
 
     #[test]
     fn l_shape_three_pins() {
-        let pins = [Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0)];
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+        ];
         let t = iterated_one_steiner(&pins);
         assert_eq!(t.length(), 7.0);
     }
@@ -183,7 +307,9 @@ mod tests {
         // Deterministic pseudo-random point sets.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 100) as f64
         };
         for trial in 0..20 {
@@ -194,8 +320,12 @@ mod tests {
             assert!(st <= mst + 1e-9, "steiner {st} > mst {mst} on {pins:?}");
             // HPWL is a lower bound for the RSMT.
             let hpwl = {
-                let (mut lx, mut ly, mut hx, mut hy) =
-                    (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+                let (mut lx, mut ly, mut hx, mut hy) = (
+                    f64::INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NEG_INFINITY,
+                );
                 for p in &pins {
                     lx = lx.min(p.x);
                     ly = ly.min(p.y);
@@ -216,6 +346,61 @@ mod tests {
         let t = iterated_one_steiner(&pins);
         assert!(t.steiner_points().is_empty());
         assert_eq!(t.length(), rectilinear_mst(&pins).length);
+    }
+
+    /// The cached distance-grid evaluation must be *bitwise* identical to
+    /// the naive "push candidate, rerun `rectilinear_mst`" evaluation it
+    /// replaced — same Steiner points, same final length.
+    #[test]
+    fn dist_grid_matches_naive_candidate_evaluation() {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 50) as f64
+        };
+        for trial in 0..15 {
+            let n = 3 + trial % 9;
+            let pins: Vec<Point> = (0..n).map(|_| Point::new(next(), next())).collect();
+            // Naive reference: the pre-cache algorithm, verbatim.
+            let naive = {
+                let mut vertices = pins.clone();
+                loop {
+                    let base = rectilinear_mst(&vertices).length;
+                    let mut best_gain = 1e-9;
+                    let mut best: Option<Point> = None;
+                    for c in hanan_candidates(&vertices) {
+                        vertices.push(c);
+                        let len = rectilinear_mst(&vertices).length;
+                        vertices.pop();
+                        let gain = base - len;
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best = Some(c);
+                        }
+                    }
+                    match best {
+                        Some(c) => vertices.push(c),
+                        None => break,
+                    }
+                }
+                prune_useless_steiner_points(&mut vertices, pins.len());
+                let mst = rectilinear_mst(&vertices);
+                (vertices, mst.length)
+            };
+            let cached = iterated_one_steiner(&pins);
+            assert_eq!(
+                cached.vertices(),
+                &naive.0[..],
+                "vertices differ on {pins:?}"
+            );
+            assert_eq!(
+                cached.length().to_bits(),
+                naive.1.to_bits(),
+                "length differs"
+            );
+        }
     }
 
     #[test]

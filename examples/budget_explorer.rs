@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sensitivity: SensitivityModel::new(1.0, 3),
         ..GsinoConfig::default()
     };
-    let (outcome, internals) =
-        run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
+    let (outcome, internals) = run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
 
     println!("uniform budgeting (Kth = LSK(0.15 V) / Le), per net:");
     let lsk_bound = internals.table.lsk_for_voltage(config.vth);

@@ -14,8 +14,7 @@ use gsino::grid::{SensitivityModel, Technology};
 use gsino::lsk::{victim_block_spec, NoiseTable};
 use gsino::rlc::peak_noise;
 use gsino::sino::{
-    evaluate, greedy::order_only, instance::SegmentSpec, SinoInstance, SinoSolver,
-    SolverConfig,
+    evaluate, greedy::order_only, instance::SegmentSpec, SinoInstance, SinoSolver, SolverConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 17 segments share the region: 16 bus bits (all mutually sensitive)
     // plus one victim control line. Budget each for the 0.15 V constraint.
     let kth = table.lsk_for_voltage(vth) / bus_len_um;
-    let segments: Vec<SegmentSpec> =
-        (0..17).map(|i| SegmentSpec { net: i, kth }).collect();
+    let segments: Vec<SegmentSpec> = (0..17).map(|i| SegmentSpec { net: i, kth }).collect();
     let instance = SinoInstance::from_model(segments, &SensitivityModel::new(1.0, 7))?;
     println!("bus of 17 mutually sensitive segments, {bus_len_um} um run");
     println!("per-segment coupling budget Kth = {kth:.3}");

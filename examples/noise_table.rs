@@ -12,18 +12,20 @@ use gsino::lsk::NoiseTable;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::itrs_100nm();
     println!("building the LSK table from coupled-RLC transient simulations…");
-    let simulated = NoiseTable::from_simulation(
-        &tech,
-        7,
-        &[400.0, 800.0, 1200.0, 1800.0, 2400.0, 3000.0],
-        6,
-    )?;
+    let simulated =
+        NoiseTable::from_simulation(&tech, 7, &[400.0, 800.0, 1200.0, 1800.0, 2400.0, 3000.0], 6)?;
     let calibrated = NoiseTable::calibrated(&tech);
 
-    println!("\n{:>10} | {:>10} | {:>10}", "LSK (um)", "sim (V)", "analytic (V)");
+    println!(
+        "\n{:>10} | {:>10} | {:>10}",
+        "LSK (um)", "sim (V)", "analytic (V)"
+    );
     for i in (0..100).step_by(10) {
         let (lsk, v) = simulated.entries()[i];
-        println!("{lsk:>10.0} | {v:>10.4} | {:>10.4}", calibrated.voltage(lsk));
+        println!(
+            "{lsk:>10.0} | {v:>10.4} | {:>10.4}",
+            calibrated.voltage(lsk)
+        );
     }
     let (lsk_lo, _) = simulated.entries()[0];
     let (lsk_hi, _) = simulated.entries()[99];

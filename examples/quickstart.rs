@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let y = 16.0 + (i as f64 * 211.0) % 960.0;
         if i % 4 == 0 {
             // Chip-crossing two-pin net.
-            nets.push(Net::two_pin(i, Point::new(x, y), Point::new(1008.0 - x, 1008.0 - y)));
+            nets.push(Net::two_pin(
+                i,
+                Point::new(x, y),
+                Point::new(1008.0 - x, 1008.0 - y),
+            ));
         } else {
             // Local three-pin net.
             nets.push(Net::new(
@@ -37,11 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sensitivity: SensitivityModel::new(0.3, 42),
         ..GsinoConfig::default()
     };
-    let (outcome, internals) =
-        run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
+    let (outcome, internals) = run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
 
     println!("GSINO on {} nets:", circuit.num_nets());
-    println!("  average wire length : {:8.1} um", outcome.wirelength.mean_um);
+    println!(
+        "  average wire length : {:8.1} um",
+        outcome.wirelength.mean_um
+    );
     println!(
         "  routing area        : {:8.0} x {:8.0} um ({:.3e} um^2)",
         outcome.area.width,

@@ -31,7 +31,10 @@ fn grid_rejects_unusable_tiles() {
     let tech = Technology::itrs_100nm();
     for tile in [0.0, -4.0, f64::NAN, 1.0] {
         assert!(
-            matches!(RegionGrid::from_die(die, &tech, tile), Err(GridError::BadTile { .. })),
+            matches!(
+                RegionGrid::from_die(die, &tech, tile),
+                Err(GridError::BadTile { .. })
+            ),
             "tile {tile} must be rejected"
         );
     }
@@ -43,13 +46,23 @@ fn pipeline_rejects_bad_constraints() {
     let circuit = Circuit::new(
         "x",
         die,
-        vec![Net::two_pin(0, Point::new(10.0, 10.0), Point::new(200.0, 200.0))],
+        vec![Net::two_pin(
+            0,
+            Point::new(10.0, 10.0),
+            Point::new(200.0, 200.0),
+        )],
     )
     .unwrap();
     for vth in [0.0, -0.1, 1.05, 2.0, f64::NAN] {
-        let config = GsinoConfig { vth, ..GsinoConfig::default() };
+        let config = GsinoConfig {
+            vth,
+            ..GsinoConfig::default()
+        };
         assert!(
-            matches!(run_gsino(&circuit, &config), Err(CoreError::BadConfig { .. })),
+            matches!(
+                run_gsino(&circuit, &config),
+                Err(CoreError::BadConfig { .. })
+            ),
             "vth {vth} must be rejected"
         );
     }
@@ -90,8 +103,14 @@ fn rlc_rejects_nonphysical_elements() {
 #[test]
 fn lsk_budgeting_rejects_out_of_range() {
     let table = NoiseTable::calibrated(&Technology::itrs_100nm());
-    assert!(matches!(kth_for_le(&table, 0.15, 0.0), Err(LskError::BadDistance { .. })));
-    assert!(matches!(kth_for_le(&table, 5.0, 100.0), Err(LskError::BadConstraint { .. })));
+    assert!(matches!(
+        kth_for_le(&table, 0.15, 0.0),
+        Err(LskError::BadDistance { .. })
+    ));
+    assert!(matches!(
+        kth_for_le(&table, 5.0, 100.0),
+        Err(LskError::BadConstraint { .. })
+    ));
 }
 
 #[test]
@@ -111,7 +130,11 @@ fn degenerate_circuits_still_flow() {
         die,
         vec![Net::new(
             0,
-            vec![Point::new(1.0, 1.0), Point::new(30.0, 20.0), Point::new(5.0, 40.0)],
+            vec![
+                Point::new(1.0, 1.0),
+                Point::new(30.0, 20.0),
+                Point::new(5.0, 40.0),
+            ],
         )],
     )
     .unwrap();
@@ -124,7 +147,9 @@ fn degenerate_circuits_still_flow() {
 fn errors_format_and_chain() {
     // Every error type implements Display + Error with sources.
     use std::error::Error;
-    let e = CoreError::BadConfig { reason: "demo".into() };
+    let e = CoreError::BadConfig {
+        reason: "demo".into(),
+    };
     assert!(e.to_string().contains("demo"));
     let e = CoreError::Lsk(LskError::BadConstraint { vth: 9.0 });
     assert!(e.source().is_some());

@@ -6,9 +6,7 @@ use gsino::core::budget::{uniform_budgets, LengthModel};
 use gsino::core::phase2::{solve_regions, RegionMode};
 use gsino::core::router::{route_all, ShieldTerm, Weights};
 use gsino::core::violations::sink_lsk;
-use gsino::grid::{
-    Circuit, Dir, Net, Point, Rect, RegionGrid, SensitivityModel, Technology,
-};
+use gsino::grid::{Circuit, Dir, Net, Point, Rect, RegionGrid, SensitivityModel, Technology};
 use gsino::lsk::{lsk_value, NoiseTable};
 use gsino::sino::evaluate;
 use gsino::sino::solver::SolverConfig;
@@ -34,9 +32,15 @@ fn sink_lsk_matches_manual_accumulation() {
     let (circuit, grid) = bus(8, 1536.0);
     let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
     let table = NoiseTable::calibrated(&Technology::itrs_100nm());
-    let budgets =
-        uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-            .unwrap();
+    let budgets = uniform_budgets(
+        &circuit,
+        &grid,
+        &routes,
+        &table,
+        0.15,
+        LengthModel::Manhattan,
+    )
+    .unwrap();
     let sens = SensitivityModel::new(0.5, 5);
     let sino = solve_regions(
         &grid,
@@ -71,9 +75,15 @@ fn region_k_values_match_layout_evaluation() {
     let (circuit, grid) = bus(10, 1024.0);
     let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
     let table = NoiseTable::calibrated(&Technology::itrs_100nm());
-    let budgets =
-        uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::RoutedPath)
-            .unwrap();
+    let budgets = uniform_budgets(
+        &circuit,
+        &grid,
+        &routes,
+        &table,
+        0.15,
+        LengthModel::RoutedPath,
+    )
+    .unwrap();
     let sens = SensitivityModel::new(0.5, 5);
     let sino = solve_regions(
         &grid,
@@ -99,11 +109,16 @@ fn longer_nets_accumulate_more_lsk() {
     let mut last = 0.0;
     for len in [512.0, 1024.0, 2048.0] {
         let (circuit, grid) = bus(6, len);
-        let (routes, _) =
-            route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let budgets =
-            uniform_budgets(&circuit, &grid, &routes, &table, 0.15, LengthModel::Manhattan)
-                .unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
         let sens = SensitivityModel::new(1.0, 5);
         let sino = solve_regions(
             &grid,

@@ -66,7 +66,10 @@ fn isino_eliminates_all_violations() {
     let circuit = test_circuit();
     let outcome = run_isino(&circuit, &config(0.5)).unwrap();
     assert!(outcome.violations.is_clean());
-    assert!(outcome.total_shields > 0, "a sensitive circuit needs shields");
+    assert!(
+        outcome.total_shields > 0,
+        "a sensitive circuit needs shields"
+    );
 }
 
 #[test]
@@ -84,12 +87,8 @@ fn id_no_violates_on_sensitive_buses() {
 fn every_net_gets_a_route_spanning_its_pins() {
     let circuit = test_circuit();
     let outcome = run_gsino(&circuit, &config(0.3)).unwrap();
-    let grid = gsino::grid::RegionGrid::new(
-        &circuit,
-        &gsino::grid::Technology::itrs_100nm(),
-        64.0,
-    )
-    .unwrap();
+    let grid = gsino::grid::RegionGrid::new(&circuit, &gsino::grid::Technology::itrs_100nm(), 64.0)
+        .unwrap();
     for net in circuit.nets() {
         let route = outcome.routes.get(net.id()).expect("every net routed");
         let root = grid.region_of(net.source());
@@ -111,10 +110,7 @@ fn flows_are_deterministic() {
     assert_eq!(a.wirelength.total_um, b.wirelength.total_um);
     assert_eq!(a.total_shields, b.total_shields);
     assert_eq!(a.area.area(), b.area.area());
-    assert_eq!(
-        a.violations.violating_nets(),
-        b.violations.violating_nets()
-    );
+    assert_eq!(a.violations.violating_nets(), b.violations.violating_nets());
 }
 
 #[test]

@@ -1,16 +1,25 @@
 //! Equivalence properties of the flat-array routing core against the seed
-//! implementation kept in `gsino_core::router::reference`.
+//! implementations kept in `gsino_core::router::reference`.
 //!
 //! The flat `SearchScratch` A* (epoch-stamped arrays, monotone bucket
 //! heap, closed-set skips) and the worklist-based tree assembly must be
 //! observationally *identical* to the seed `HashMap`/`BinaryHeap` router —
 //! same route sets byte for byte — on generator circuits across seeds, as
 //! must the speculative parallel Phase I for any thread count.
+//!
+//! The same holds for the ID path: the incremental-connectivity ID router
+//! (`router::connectivity`) must match the preserved PR-1 BFS kernel
+//! (`reference::SeedIdRouter`) byte for byte, and the bridge-based
+//! `connected_without` must agree with the BFS reference on randomly
+//! generated corridors through arbitrary ID-style deletion sequences.
 
 use gsino_circuits::generator::generate;
 use gsino_circuits::spec::CircuitSpec;
-use gsino_core::router::reference::SeedAstarRouter;
-use gsino_core::router::{AstarRouter, ShieldTerm, Weights};
+use gsino_core::router::reference::{SeedAstarRouter, SeedIdRouter};
+use gsino_core::router::{
+    route_all, AstarRouter, BridgeCache, ConnectivityScratch, Corridor, CorridorScratch,
+    ShieldTerm, Weights,
+};
 use gsino_grid::region::RegionGrid;
 use gsino_grid::tech::Technology;
 use proptest::prelude::*;
@@ -52,6 +61,65 @@ proptest! {
         prop_assert_eq!(&first, &fresh);
     }
 
+    /// The incremental-connectivity ID router returns byte-identical route
+    /// sets (and identical deletion counters) to the preserved PR-1 BFS
+    /// kernel on seeded random circuits.
+    #[test]
+    fn incremental_id_matches_pr1_reference(seed in 0u64..5000) {
+        let (circuit, grid) = routers_setup(seed, 0.02);
+        let weights = Weights::default();
+        let (routes, stats) = route_all(&grid, &circuit, weights, ShieldTerm::None)
+            .expect("incremental ID routes");
+        let (ref_routes, ref_stats) = SeedIdRouter::new(&grid, weights, ShieldTerm::None)
+            .route(&circuit)
+            .expect("PR-1 ID routes");
+        prop_assert_eq!(routes, ref_routes);
+        prop_assert_eq!(stats.connections, ref_stats.connections);
+        prop_assert_eq!(stats.deletions, ref_stats.deletions);
+        prop_assert_eq!(stats.kept, ref_stats.kept);
+        prop_assert_eq!(stats.reinserts, ref_stats.reinserts);
+    }
+
+    /// Bridge-based `connected_without` agrees with the BFS reference on
+    /// randomly generated corridors through a full ID-style deletion
+    /// sequence (query every edge; kill when deletable), including queries
+    /// about dead edges and disconnected leftovers.
+    #[test]
+    fn bridge_connectivity_agrees_with_bfs(
+        x1 in 0u32..9, y1 in 0u32..9, x2 in 0u32..9, y2 in 0u32..9,
+        halo in 0u32..2, order_seed in 0u64..1_000_000,
+    ) {
+        let die = gsino_grid::geom::Rect::new(
+            gsino_grid::geom::Point::new(0.0, 0.0),
+            gsino_grid::geom::Point::new(640.0, 640.0),
+        ).expect("die");
+        let grid = RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).expect("grid");
+        let mut corridor = Corridor::new(&grid, grid.idx(x1, y1), grid.idx(x2, y2), halo);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut bfs = CorridorScratch::new();
+        let mut state = order_seed.wrapping_mul(2) | 1;
+        let edges = corridor.num_edges();
+        for _round in 0..4 {
+            for _ in 0..edges.max(1) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if edges == 0 {
+                    break;
+                }
+                let e = (state >> 33) as usize % edges;
+                let fast = cache.connected_without(&corridor, e, &mut scratch);
+                let slow = corridor.connected_without(e, &mut bfs);
+                prop_assert_eq!(fast, slow, "edge {} diverged", e);
+                if fast && corridor.is_alive(e) {
+                    corridor.kill(e);
+                    cache.note_kill(e);
+                }
+            }
+        }
+    }
+
     /// Speculative parallel Phase I commits in sequential order and is
     /// bit-for-bit identical to the sequential router.
     #[test]
@@ -84,4 +152,28 @@ fn dense_circuit_full_agreement() {
     let (par, par_stats) = flat.route_with_threads(&circuit, 4).expect("parallel");
     assert_eq!(seq, par);
     assert_eq!(stats.connections, par_stats.connections);
+}
+
+/// Denser ID check: under congestion pressure the incremental kernel must
+/// still match the PR-1 reference byte for byte, while answering most
+/// connectivity queries without a recompute.
+#[test]
+fn dense_circuit_id_agreement() {
+    let (circuit, grid) = routers_setup(2002, 0.04);
+    let weights = Weights::default();
+    let (routes, stats) = route_all(&grid, &circuit, weights, ShieldTerm::None).expect("flat ID");
+    let (ref_routes, _) = SeedIdRouter::new(&grid, weights, ShieldTerm::None)
+        .route(&circuit)
+        .expect("PR-1 ID");
+    assert_eq!(routes, ref_routes);
+    assert_eq!(
+        routes.total_wirelength(&grid),
+        ref_routes.total_wirelength(&grid)
+    );
+    assert!(
+        stats.connectivity_recomputes < stats.connectivity_o1_hits,
+        "recomputes ({}) should be rarer than O(1) hits ({})",
+        stats.connectivity_recomputes,
+        stats.connectivity_o1_hits
+    );
 }
