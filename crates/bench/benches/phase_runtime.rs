@@ -3,23 +3,31 @@
 //! global routing phase."
 //!
 //! Also measures the flat-array Phase I core against the seed HashMap
-//! router, and the incremental-connectivity ID router against the
-//! preserved PR-1 BFS kernel, on the 500-net generator circuit: the route
-//! sets must be byte-identical and the new kernels are expected to be ≥2×
-//! faster. The measurements are summarised to `BENCH_phase1.json`
-//! (override with `GSINO_BENCH_OUT`) for the CI regression gate
-//! (`bench_gate` binary vs the committed `baseline/BENCH_phase1.json`).
+//! router, the incremental-connectivity ID router against the preserved
+//! PR-1 BFS kernel, and the incremental Phase II SINO engine against the
+//! preserved `gsino_sino::reference` solver, on the 500-net generator
+//! circuit: the route sets / region solutions must be byte-identical and
+//! the new kernels are expected to be ≥2× faster. The measurements are
+//! summarised to `BENCH_phase1.json` and `BENCH_phase2.json` (override
+//! with `GSINO_BENCH_OUT` / `GSINO_BENCH_PHASE2_OUT`) for the CI
+//! regression gate (`bench_gate` binary vs the committed
+//! `baseline/BENCH_phase{1,2}.json`).
 
-use gsino_bench::report::{phase1_out_path, JsonDoc};
+use gsino_bench::report::{phase1_out_path, phase2_out_path, JsonDoc};
 use gsino_bench::{banner, bench_experiment_config};
 use gsino_circuits::experiment::run_suite;
 use gsino_circuits::generator::generate;
 use gsino_circuits::spec::CircuitSpec;
+use gsino_core::budget::{uniform_budgets, LengthModel};
+use gsino_core::phase2::{prepare_instances, solve_prepared, RegionMode, SinoEngine};
 use gsino_core::pipeline::{run_gsino, GsinoConfig, RouterKind};
 use gsino_core::router::reference::{SeedAstarRouter, SeedIdRouter};
 use gsino_core::router::{AstarRouter, IdRouter, ShieldTerm, Weights};
 use gsino_grid::region::RegionGrid;
+use gsino_grid::sensitivity::SensitivityModel;
 use gsino_grid::tech::Technology;
+use gsino_lsk::table::NoiseTable;
+use gsino_sino::solver::SolverConfig;
 use serde::{Map, Value};
 use std::time::Instant;
 
@@ -218,6 +226,102 @@ fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings) {
     }
 }
 
+/// Phase II: the incremental `DeltaEval` SINO engine against the
+/// preserved clone-and-reevaluate reference solver, on the per-region
+/// instances of the routed 500-net circuit. The engine-independent
+/// preprocessing (`prepare_instances`: grouping, budget resolution,
+/// sensitivity matrices) is shared, so the numbers isolate the solving
+/// engines — the same methodology as the Phase I kernel comparisons. Both
+/// engines must produce bit-identical `RegionSino` states (layouts,
+/// couplings, instances).
+fn phase2_speedup_report() -> (KernelTimings, usize) {
+    let (circuit, grid) = workload();
+    let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+        .route(&circuit)
+        .expect("routes");
+    let table = NoiseTable::calibrated(&Technology::itrs_100nm());
+    let budgets = uniform_budgets(
+        &circuit,
+        &grid,
+        &routes,
+        &table,
+        0.15,
+        LengthModel::Manhattan,
+    )
+    .expect("budgets");
+    let sens = SensitivityModel::new(0.3, 1);
+    let config = SolverConfig::default();
+    let work =
+        prepare_instances(&grid, &routes, &budgets, &sens).expect("prepared region instances");
+    let solve = |engine: SinoEngine| {
+        solve_prepared(&work, config, RegionMode::Sino, 1, engine).expect("region solve")
+    };
+    let reference = solve(SinoEngine::Reference);
+    let incremental = solve(SinoEngine::Incremental);
+    assert_eq!(
+        reference, incremental,
+        "incremental Phase II must match the reference solver bit for bit"
+    );
+
+    let reps = 5;
+    let t_prepare = time_median(reps, || {
+        prepare_instances(&grid, &routes, &budgets, &sens).expect("prepared");
+    });
+    let t_ref = time_median(reps, || {
+        solve(SinoEngine::Reference);
+    });
+    let t_inc = time_median(reps, || {
+        solve(SinoEngine::Incremental);
+    });
+    println!("== phase II SINO engine, 500-net generator circuit (medians of {reps}) ==");
+    println!("  instance prepare (shared) {:>9.2} ms", t_prepare * 1e3);
+    println!("  reference clone+rescan    {:>9.2} ms", t_ref * 1e3);
+    println!(
+        "  incremental DeltaEval     {:>9.2} ms   ({:.2}x vs reference)",
+        t_inc * 1e3,
+        t_ref / t_inc
+    );
+    println!(
+        "  identical region solutions: {} instances, {} shields",
+        incremental.len(),
+        incremental.total_shields()
+    );
+    (
+        KernelTimings {
+            reference_ms: t_ref * 1e3,
+            new_ms: t_inc * 1e3,
+        },
+        incremental.len(),
+    )
+}
+
+/// Writes the machine-readable Phase II summary the CI gate consumes.
+fn write_phase2_summary(sino: &KernelTimings, regions: usize) {
+    let mut workload = Map::new();
+    workload.insert("circuit", Value::Str("ibm01".into()));
+    workload.insert("nets", Value::U64(500));
+    workload.insert("regions", Value::U64(regions as u64));
+    let mut sino_m = Map::new();
+    sino_m.insert("reference_ms", Value::F64(sino.reference_ms));
+    sino_m.insert("incremental_ms", Value::F64(sino.new_ms));
+    sino_m.insert("speedup_vs_reference", Value::F64(sino.speedup()));
+    let mut root = Map::new();
+    root.insert("schema", Value::U64(1));
+    root.insert("workload", Value::Object(workload));
+    root.insert("sino", Value::Object(sino_m));
+    let path = phase2_out_path();
+    match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("could not serialize bench summary: {e}"),
+    }
+}
+
 /// Per-phase timing split of the full flows, both router kinds.
 fn router_kind_phase_split() {
     let spec = CircuitSpec::ibm01().scaled(0.06);
@@ -250,6 +354,8 @@ fn main() {
     let astar = phase1_speedup_report();
     let id = id_phase1_speedup_report();
     write_phase1_summary(&astar, &id);
+    let (sino, regions) = phase2_speedup_report();
+    write_phase2_summary(&sino, regions);
     println!("== full-flow phase split by router kind ==");
     router_kind_phase_split();
     match run_suite(&config) {

@@ -1,50 +1,85 @@
-//! CI bench-regression gate for Phase I.
+//! CI bench-regression gate for the phase benches.
 //!
-//! Compares a freshly measured `BENCH_phase1.json` (written by
-//! `cargo bench -p gsino-bench --bench phase_runtime`) against the
-//! committed baseline and exits non-zero if Phase I regressed by more than
+//! Compares freshly measured bench summaries (written by
+//! `cargo bench -p gsino-bench --bench phase_runtime`:
+//! `BENCH_phase1.json` and `BENCH_phase2.json`) against their committed
+//! baselines and exits non-zero if any gated kernel regressed by more than
 //! the tolerance (default 15%, `--max-regress 0.15`).
 //!
 //! Wall-clock milliseconds are not comparable across machines, so the
-//! gated metric is the **normalized Phase I wall time**: the new kernel's
-//! time divided by the preserved reference kernel's time from the same
-//! run (the inverse of the reported speedup). A >15% rise of that ratio
-//! means the production kernel got slower relative to a fixed workload on
+//! gated metric is the **normalized wall time**: the new kernel's time
+//! divided by the preserved reference kernel's time from the same run
+//! (the inverse of the reported speedup). A >15% rise of that ratio means
+//! the production kernel got slower relative to a fixed workload on
 //! whatever hardware CI happens to run — exactly the regression the gate
 //! exists to catch. The absolute times are reported alongside for humans.
 //!
 //! The normalization removes most but not all hardware sensitivity: the
-//! HashMap-heavy reference kernels and the flat-array kernels respond
+//! clone-heavy reference kernels and the flat/incremental kernels respond
 //! differently to cache sizes and vCPU contention, and the medians come
 //! from 5–7 reps. If the gate flakes on a runner-hardware change with no
-//! code change, regenerate `crates/bench/baseline/BENCH_phase1.json` from
-//! a CI run on the new hardware (download the summary the bench job
-//! prints) rather than widening `--max-regress`.
+//! code change, regenerate `crates/bench/baseline/BENCH_phase*.json` from
+//! a CI run on the new hardware (download the `bench-summaries` artifact
+//! the bench job uploads) rather than widening `--max-regress`.
 //!
 //! Usage:
-//!   bench_gate --current BENCH_phase1.json \
-//!              --baseline crates/bench/baseline/BENCH_phase1.json \
-//!              [--max-regress 0.15]
+//!   bench_gate --pair BENCH_phase1.json=crates/bench/baseline/BENCH_phase1.json \
+//!              --pair BENCH_phase2.json=crates/bench/baseline/BENCH_phase2.json \
+//!              [--max-regress 0.15] [--summary-out summary.md]
+//!
+//! The legacy single-phase flags `--current X --baseline Y` are still
+//! accepted and equivalent to one `--pair X=Y`. `--summary-out` appends a
+//! phase-by-phase markdown table (suitable for `$GITHUB_STEP_SUMMARY`).
 
-use gsino_bench::report::{num, JsonDoc};
+use gsino_bench::report::{get, num, JsonDoc};
 use std::process::ExitCode;
 
+/// Every kernel the gate knows how to check: display label, JSON section,
+/// new-kernel key, reference-kernel key. A summary file is gated on every
+/// metric whose section it contains.
+const METRICS: &[(&str, &str, &str, &str)] = &[
+    ("astar flat kernel", "astar", "flat_ms", "seed_ms"),
+    (
+        "id incremental kernel",
+        "id",
+        "incremental_ms",
+        "reference_ms",
+    ),
+    (
+        "sino incremental engine",
+        "sino",
+        "incremental_ms",
+        "reference_ms",
+    ),
+];
+
 struct Args {
-    current: String,
-    baseline: String,
+    /// `(current, baseline)` summary path pairs.
+    pairs: Vec<(String, String)>,
     max_regress: f64,
+    summary_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut pairs = Vec::new();
     let mut current = None;
     let mut baseline = None;
     let mut max_regress = 0.15;
+    let mut summary_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
+            "--pair" => {
+                let v = value("--pair")?;
+                let (cur, base) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--pair expects CURRENT=BASELINE, got `{v}`"))?;
+                pairs.push((cur.to_string(), base.to_string()));
+            }
             "--current" => current = Some(value("--current")?),
             "--baseline" => baseline = Some(value("--baseline")?),
+            "--summary-out" => summary_out = Some(value("--summary-out")?),
             "--max-regress" => {
                 max_regress = value("--max-regress")?
                     .parse::<f64>()
@@ -53,10 +88,20 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    match (current, baseline) {
+        (Some(c), Some(b)) => pairs.push((c, b)),
+        (None, None) => {}
+        _ => return Err("--current and --baseline must be given together".into()),
+    }
+    if pairs.is_empty() {
+        return Err(
+            "at least one --pair CURRENT=BASELINE (or --current/--baseline) is required".into(),
+        );
+    }
     Ok(Args {
-        current: current.ok_or("--current is required")?,
-        baseline: baseline.ok_or("--baseline is required")?,
+        pairs,
         max_regress,
+        summary_out,
     })
 }
 
@@ -65,15 +110,26 @@ fn load(path: &str) -> Result<JsonDoc, String> {
     serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
+/// Outcome of one gated kernel, kept for the markdown summary.
+struct Row {
+    label: &'static str,
+    cur_norm: f64,
+    base_norm: f64,
+    delta_pct: f64,
+    pass: bool,
+}
+
 /// One gated kernel: compares normalized wall time (new/reference).
+#[allow(clippy::too_many_arguments)]
 fn check(
-    label: &str,
+    label: &'static str,
     current: &JsonDoc,
     baseline: &JsonDoc,
     section: &str,
     new_key: &str,
     ref_key: &str,
     max_regress: f64,
+    rows: &mut Vec<Row>,
 ) -> Result<(), String> {
     let read = |doc: &JsonDoc, key: &str| -> Result<f64, String> {
         num(&doc.0, &[section, key])
@@ -83,11 +139,15 @@ fn check(
     let cur_norm = read(current, new_key)? / read(current, ref_key)?;
     let base_norm = read(baseline, new_key)? / read(baseline, ref_key)?;
     let ratio = cur_norm / base_norm;
-    let verdict = if ratio > 1.0 + max_regress {
-        "FAIL"
-    } else {
-        "ok"
-    };
+    let pass = ratio <= 1.0 + max_regress;
+    let verdict = if pass { "ok" } else { "FAIL" };
+    rows.push(Row {
+        label,
+        cur_norm,
+        base_norm,
+        delta_pct: (ratio - 1.0) * 100.0,
+        pass,
+    });
     println!(
         "{label:<24} normalized {cur_norm:.4} vs baseline {base_norm:.4} \
          ({:+.1}% — {verdict}, tolerance +{:.0}%)",
@@ -102,14 +162,45 @@ fn check(
         read(current, ref_key)?,
         read(baseline, ref_key)?,
     );
-    if ratio > 1.0 + max_regress {
+    if !pass {
         return Err(format!(
-            "{label}: Phase I wall time regressed {:.1}% vs baseline (> {:.0}% tolerance)",
+            "{label}: normalized wall time regressed {:.1}% vs baseline (> {:.0}% tolerance)",
             (ratio - 1.0) * 100.0,
             max_regress * 100.0
         ));
     }
     Ok(())
+}
+
+/// Appends the phase-by-phase markdown table (for `$GITHUB_STEP_SUMMARY`).
+fn write_summary(path: &str, rows: &[Row], max_regress: f64) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut md = String::from("## Bench gate\n\n");
+    let _ = writeln!(
+        md,
+        "| Kernel | Normalized now | Baseline | Δ | Verdict (tolerance +{:.0}%) |",
+        max_regress * 100.0
+    );
+    md.push_str("|---|---|---|---|---|\n");
+    for r in rows {
+        let _ = writeln!(
+            md,
+            "| {} | {:.4} | {:.4} | {:+.1}% | {} |",
+            r.label,
+            r.cur_norm,
+            r.base_norm,
+            r.delta_pct,
+            if r.pass { "✅ ok" } else { "❌ FAIL" }
+        );
+    }
+    md.push('\n');
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(md.as_bytes()))
+        .map_err(|e| format!("write summary {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -120,34 +211,51 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (current, baseline) = match (load(&args.current), load(&args.baseline)) {
-        (Ok(c), Ok(b)) => (c, b),
-        (c, b) => {
-            for e in [c.err(), b.err()].into_iter().flatten() {
-                eprintln!("bench_gate: {e}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
     let mut failed = false;
-    for (label, section, new_key, ref_key) in [
-        ("astar flat kernel", "astar", "flat_ms", "seed_ms"),
-        (
-            "id incremental kernel",
-            "id",
-            "incremental_ms",
-            "reference_ms",
-        ),
-    ] {
-        if let Err(e) = check(
-            label,
-            &current,
-            &baseline,
-            section,
-            new_key,
-            ref_key,
-            args.max_regress,
-        ) {
+    let mut gated = 0usize;
+    let mut rows: Vec<Row> = Vec::new();
+    for (cur_path, base_path) in &args.pairs {
+        let (current, baseline) = match (load(cur_path), load(base_path)) {
+            (Ok(c), Ok(b)) => (c, b),
+            (c, b) => {
+                for e in [c.err(), b.err()].into_iter().flatten() {
+                    eprintln!("bench_gate: {e}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        println!("== {cur_path} vs {base_path} ==");
+        for (label, section, new_key, ref_key) in METRICS {
+            // The committed baseline is the source of truth for what must
+            // be gated: a section present in either file is checked, so a
+            // kernel that silently vanishes from the fresh summary fails
+            // the gate instead of being skipped.
+            if get(&current.0, &[section]).is_none() && get(&baseline.0, &[section]).is_none() {
+                continue;
+            }
+            gated += 1;
+            if let Err(e) = check(
+                label,
+                &current,
+                &baseline,
+                section,
+                new_key,
+                ref_key,
+                args.max_regress,
+                &mut rows,
+            ) {
+                eprintln!("bench_gate: {e}");
+                failed = true;
+            }
+        }
+    }
+    if gated == 0 {
+        eprintln!("bench_gate: no gated sections found in any summary");
+        failed = true;
+    }
+    if let Some(path) = &args.summary_out {
+        if let Err(e) = write_summary(path, &rows, args.max_regress) {
             eprintln!("bench_gate: {e}");
             failed = true;
         }
@@ -155,7 +263,7 @@ fn main() -> ExitCode {
     if failed {
         ExitCode::FAILURE
     } else {
-        println!("bench gate passed");
+        println!("bench gate passed ({gated} kernels)");
         ExitCode::SUCCESS
     }
 }

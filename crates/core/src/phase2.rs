@@ -3,8 +3,11 @@
 //!
 //! Every `(region, direction)` pair whose tracks host net segments becomes
 //! an independent SINO instance — the paper's no-coupling-across-regions
-//! assumption (§2.1) makes them independent — so they are solved in
-//! parallel with deterministic per-region seeds.
+//! assumption (§2.1) makes them independent — so they are drained from a
+//! shared worklist by a deterministic pool of workers, each reusing one
+//! [`DeltaEval`] scratch across all the regions it solves. Per-region
+//! annealer seeds are derived from the region key, so the result is
+//! identical for every thread count and work-stealing interleaving.
 
 use crate::budget::Budgets;
 use crate::Result;
@@ -13,11 +16,13 @@ use gsino_grid::region::{RegionGrid, RegionIdx};
 use gsino_grid::route::{Dir, RouteSet};
 use gsino_grid::sensitivity::SensitivityModel;
 use gsino_grid::usage::TrackUsage;
+use gsino_sino::delta::DeltaEval;
 use gsino_sino::instance::{SegmentSpec, SinoInstance};
-use gsino_sino::keff::evaluate;
+use gsino_sino::keff::{coupling, evaluate};
 use gsino_sino::layout::Layout;
 use gsino_sino::solver::{SinoSolver, SolverConfig};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How the per-region problem is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +32,22 @@ pub enum RegionMode {
     /// Net ordering only (the "NO" baseline): no shields, capacitive
     /// coupling minimized best-effort, inductive constraints ignored.
     OrderOnly,
+}
+
+/// Which SINO solver implementation Phase II drives.
+///
+/// Both engines produce **bit-identical** [`RegionSino`] states; the
+/// reference engine exists as the baseline for the `phase_runtime` bench
+/// and the equivalence tests, exactly like the Phase I
+/// `reference::SeedIdRouter` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinoEngine {
+    /// The incremental [`DeltaEval`]-based solvers (production path).
+    #[default]
+    Incremental,
+    /// The preserved seed clone-and-reevaluate solvers
+    /// ([`gsino_sino::reference`]).
+    Reference,
 }
 
 /// The solved state of one `(region, direction)`.
@@ -132,7 +153,8 @@ fn assignments(grid: &RegionGrid, routes: &RouteSet) -> Vec<((RegionIdx, Dir), V
     out
 }
 
-/// Solves every region. `threads = 0` uses the available parallelism.
+/// Solves every region with the production (incremental) engine.
+/// `threads = 0` uses the available parallelism.
 ///
 /// # Errors
 ///
@@ -147,7 +169,105 @@ pub fn solve_regions(
     mode: RegionMode,
     threads: usize,
 ) -> Result<RegionSino> {
-    let work = assignments(grid, routes);
+    solve_regions_with_engine(
+        grid,
+        routes,
+        budgets,
+        sensitivity,
+        solver_config,
+        mode,
+        threads,
+        SinoEngine::Incremental,
+    )
+}
+
+/// [`solve_regions`] with an explicit [`SinoEngine`]:
+/// [`prepare_instances`] followed by [`solve_prepared`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_regions`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_regions_with_engine(
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &Budgets,
+    sensitivity: &SensitivityModel,
+    solver_config: SolverConfig,
+    mode: RegionMode,
+    threads: usize,
+    engine: SinoEngine,
+) -> Result<RegionSino> {
+    let work = prepare_instances(grid, routes, budgets, sensitivity)?;
+    solve_prepared(&work, solver_config, mode, threads, engine)
+}
+
+/// One prepared per-region SINO problem (the Phase II analogue of the
+/// router's shared Steiner `prepare`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionInstance {
+    /// The `(region, direction)` this instance lives in.
+    pub key: (RegionIdx, Dir),
+    /// Nets with a segment here, ascending; index = instance segment index.
+    pub nets: Vec<NetId>,
+    /// The constructed SINO instance (budgets resolved).
+    pub instance: SinoInstance,
+}
+
+/// Groups routed nets by `(region, direction)` and builds every region's
+/// [`SinoInstance`] — the engine-independent Phase II preprocessing. The
+/// result is sorted by key, so downstream solving is deterministic.
+///
+/// # Errors
+///
+/// Propagates SINO construction errors (budgets are validated upstream,
+/// so failures indicate internal bugs).
+pub fn prepare_instances(
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &Budgets,
+    sensitivity: &SensitivityModel,
+) -> Result<Vec<RegionInstance>> {
+    assignments(grid, routes)
+        .into_iter()
+        .map(|((region, dir), nets)| {
+            let specs: Vec<SegmentSpec> = nets
+                .iter()
+                .map(|&net| SegmentSpec {
+                    net,
+                    kth: budgets.kth(net, region, dir).unwrap_or(1e9),
+                })
+                .collect();
+            let instance = SinoInstance::from_model(specs, sensitivity)?;
+            Ok(RegionInstance {
+                key: (region, dir),
+                nets,
+                instance,
+            })
+        })
+        .collect()
+}
+
+/// Solves prepared region instances with the chosen engine; `threads = 0`
+/// uses the available parallelism.
+///
+/// The instances are drained from an atomic worklist: each worker owns one
+/// [`DeltaEval`] scratch reused across every region it pops. Annealer
+/// seeds are a pure function of `(region, dir)`, and the results are keyed
+/// by `(region, dir)`, so any pop interleaving produces the same
+/// [`RegionSino`] — parallelism is observationally free, and both
+/// [`SinoEngine`]s are bit-identical.
+///
+/// # Errors
+///
+/// Propagates SINO solver errors (internal-invariant failures only).
+pub fn solve_prepared(
+    work: &[RegionInstance],
+    solver_config: SolverConfig,
+    mode: RegionMode,
+    threads: usize,
+    engine: SinoEngine,
+) -> Result<RegionSino> {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -156,32 +276,43 @@ pub fn solve_regions(
         threads
     };
     type Solved = ((RegionIdx, Dir), RegionSolution);
-    let solve_one = |((region, dir), nets): &((RegionIdx, Dir), Vec<NetId>)| -> Result<Solved> {
-        let specs: Vec<SegmentSpec> = nets
-            .iter()
-            .map(|&net| SegmentSpec {
-                net,
-                kth: budgets.kth(net, *region, *dir).unwrap_or(1e9),
-            })
-            .collect();
-        let instance = SinoInstance::from_model(specs, sensitivity)?;
+    let solve_one = |region_inst: &RegionInstance, scratch: &mut DeltaEval| -> Result<Solved> {
+        let (region, dir) = region_inst.key;
+        let instance = &region_inst.instance;
         let layout: Layout = match mode {
             RegionMode::Sino => {
                 // Deterministic per-region seed for the (optional) annealer.
                 let mut cfg = solver_config;
                 if let Some(a) = &mut cfg.anneal {
-                    a.seed ^= (*region as u64) << 1 | matches!(dir, Dir::V) as u64;
+                    a.seed ^= (region as u64) << 1 | matches!(dir, Dir::V) as u64;
                 }
-                SinoSolver::new(cfg).solve(&instance)?
+                match engine {
+                    SinoEngine::Incremental => {
+                        SinoSolver::new(cfg).solve_with(instance, scratch)?
+                    }
+                    SinoEngine::Reference => gsino_sino::reference::solve(&cfg, instance)?,
+                }
             }
-            RegionMode::OrderOnly => gsino_sino::greedy::order_only(&instance),
+            RegionMode::OrderOnly => match engine {
+                SinoEngine::Incremental => gsino_sino::greedy::order_only_with(instance, scratch),
+                SinoEngine::Reference => gsino_sino::reference::order_only(instance),
+            },
         };
-        let k = evaluate(&instance, &layout).k;
+        // The delta engine's cached couplings are bit-identical to a
+        // from-scratch pass whenever its final state is the returned
+        // layout (greedy-only solves and order-only); otherwise fall back
+        // to `coupling` — the `k` component of `evaluate`, without
+        // rescanning for violations the solvers already enforced.
+        let k = if engine == SinoEngine::Incremental && scratch.slots() == layout.slots() {
+            scratch.k_values().to_vec()
+        } else {
+            coupling(instance, &layout)
+        };
         Ok((
-            (*region, *dir),
+            (region, dir),
             RegionSolution {
-                nets: nets.clone(),
-                instance,
+                nets: region_inst.nets.clone(),
+                instance: instance.clone(),
                 layout,
                 k,
             },
@@ -190,17 +321,30 @@ pub fn solve_regions(
 
     let mut solutions = HashMap::with_capacity(work.len());
     if threads <= 1 || work.len() < 32 {
-        for item in &work {
-            let (key, sol) = solve_one(item)?;
+        let mut scratch = DeltaEval::new();
+        for item in work {
+            let (key, sol) = solve_one(item, &mut scratch)?;
             solutions.insert(key, sol);
         }
     } else {
-        let chunk = work.len().div_ceil(threads);
+        // Atomic worklist: workers pop the next unsolved region instead of
+        // owning a fixed chunk, so one pathological region cannot idle the
+        // rest of the pool.
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(work.len());
         let results: Vec<Result<Vec<Solved>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || slice.iter().map(solve_one).collect::<Result<Vec<_>>>())
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = DeltaEval::new();
+                        let mut solved = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = work.get(i) else { break };
+                            solved.push(solve_one(item, &mut scratch)?);
+                        }
+                        Ok(solved)
+                    })
                 })
                 .collect();
             handles
@@ -347,6 +491,101 @@ mod tests {
         )
         .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn incremental_engine_matches_reference_engine() {
+        let (circuit, grid, table) = bus_circuit(10);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
+        let sens = SensitivityModel::new(0.5, 3);
+        // With and without the annealer, serial and through the parallel
+        // worklist: every combination must be bit-identical to the
+        // preserved reference solver.
+        for config in [SolverConfig::default(), SolverConfig::with_anneal(400, 9)] {
+            for mode in [RegionMode::Sino, RegionMode::OrderOnly] {
+                let reference = solve_regions_with_engine(
+                    &grid,
+                    &routes,
+                    &budgets,
+                    &sens,
+                    config,
+                    mode,
+                    1,
+                    SinoEngine::Reference,
+                )
+                .unwrap();
+                for threads in [1, 4] {
+                    let incremental = solve_regions_with_engine(
+                        &grid,
+                        &routes,
+                        &budgets,
+                        &sens,
+                        config,
+                        mode,
+                        threads,
+                        SinoEngine::Incremental,
+                    )
+                    .unwrap();
+                    assert_eq!(reference, incremental, "mode {mode:?} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_route_set_solves_to_empty_region_sino() {
+        let (circuit, grid, table) = bus_circuit(4);
+        let routes = RouteSet::default();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
+        let sens = SensitivityModel::new(0.5, 3);
+        for engine in [SinoEngine::Incremental, SinoEngine::Reference] {
+            let sino = solve_regions_with_engine(
+                &grid,
+                &routes,
+                &budgets,
+                &sens,
+                SolverConfig::default(),
+                RegionMode::Sino,
+                0,
+                engine,
+            )
+            .unwrap();
+            assert!(sino.is_empty(), "{engine:?}");
+            assert_eq!(sino.len(), 0);
+            assert_eq!(sino.total_shields(), 0);
+            assert!(sino.keys().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_net_regions_need_no_shields_and_zero_coupling() {
+        let (_, _, sino) = solve(1, 1.0, RegionMode::Sino);
+        assert!(!sino.is_empty(), "one routed net must occupy regions");
+        for (r, d) in sino.keys() {
+            let sol = sino.solution(r, d).unwrap();
+            assert_eq!(sol.nets.len(), 1, "region {r} {d:?}");
+            assert_eq!(sol.layout.num_shields(), 0);
+            assert_eq!(sol.layout.area(), 1);
+            assert_eq!(sol.k, vec![0.0]);
+            assert!(evaluate(&sol.instance, &sol.layout).feasible);
+        }
     }
 
     #[test]

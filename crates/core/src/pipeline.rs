@@ -4,7 +4,7 @@ use crate::budget::{
     congestion_weighted_budgets, uniform_budgets, BudgetPolicy, Budgets, LengthModel,
 };
 use crate::metrics::{wirelength_stats, WirelengthStats};
-use crate::phase2::{solve_regions, RegionMode, RegionSino};
+use crate::phase2::{solve_regions_with_engine, RegionMode, RegionSino, SinoEngine};
 use crate::refine::{refine, RefineConfig, RefineStats};
 use crate::router::{route_all, AstarRouter, IdRouter, RouterStats, ShieldTerm, Weights};
 use crate::violations::{check, ViolationReport};
@@ -87,6 +87,10 @@ pub struct GsinoConfig {
     pub budget_policy: BudgetPolicy,
     /// Which global router drives Phase I.
     pub router: RouterKind,
+    /// Which SINO solver implementation drives Phase II. Both engines are
+    /// bit-identical; [`SinoEngine::Reference`] exists for ablations and
+    /// the bench gate's normalization baseline.
+    pub sino_engine: SinoEngine,
 }
 
 impl Default for GsinoConfig {
@@ -105,6 +109,7 @@ impl Default for GsinoConfig {
             shield_reservation: true,
             budget_policy: BudgetPolicy::Uniform,
             router: RouterKind::default(),
+            sino_engine: SinoEngine::default(),
         }
     }
 }
@@ -300,7 +305,7 @@ pub(crate) fn run_flow(
         Approach::IdNo => RegionMode::OrderOnly,
         _ => RegionMode::Sino,
     };
-    let mut sino = solve_regions(
+    let mut sino = solve_regions_with_engine(
         &grid,
         &routes,
         &budgets,
@@ -308,6 +313,7 @@ pub(crate) fn run_flow(
         config.solver,
         mode,
         config.threads,
+        config.sino_engine,
     )?;
     let sino_s = t0.elapsed().as_secs_f64();
 

@@ -197,8 +197,9 @@ impl<'a> IdRouter<'a> {
     ///
     /// # Errors
     ///
-    /// [`CoreError::RoutingFailed`] if a net's connections could not be
-    /// assembled into a pin-spanning tree (internal invariant violation).
+    /// [`CoreError::RoutingFailed`](crate::CoreError::RoutingFailed) if a
+    /// net's connections could not be assembled into a pin-spanning tree
+    /// (internal invariant violation).
     pub fn route(&self, circuit: &Circuit) -> Result<(RouteSet, RouterStats)> {
         let conns = self.prepare(circuit);
         self.route_prepared(circuit, &conns)

@@ -37,7 +37,7 @@
 //!   O(1) lookup (plus an intact-witness-path shortcut that answers most
 //!   stale queries without recomputing). See
 //!   `crates/core/src/router/README.md` for the epoch/revision contract.
-//! * [`reference`] — the seed A* implementation and the PR-1 BFS-based ID
+//! * [`mod@reference`] — the seed A* implementation and the PR-1 BFS-based ID
 //!   implementation, kept verbatim so tests and benches can prove
 //!   equivalence and measure the speedup.
 //!

@@ -5,10 +5,18 @@
 //! moves, keeping the best *feasible* layout seen. It is used by the
 //! `sino_solvers` ablation bench and available to callers who trade runtime
 //! for area.
+//!
+//! Moves are applied to one reusable [`DeltaEval`] and **undone on
+//! rejection** instead of cloning the layout per proposal (the seed
+//! clone-and-rescore annealer is preserved in [`crate::reference`]).
+//! The RNG consumption, cost arithmetic and acceptance tests replicate the
+//! seed annealer exactly, so for any seed both produce bit-identical
+//! layouts (`sino_equivalence` property suite).
 
+use crate::delta::DeltaEval;
 use crate::instance::SinoInstance;
 use crate::keff::evaluate;
-use crate::layout::Layout;
+use crate::layout::{Layout, Slot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,10 +45,10 @@ impl Default for AnnealConfig {
 }
 
 /// Cost: area plus steep penalties for violations, so the search may pass
-/// through infeasible states but is pulled back.
-fn cost(instance: &SinoInstance, layout: &Layout) -> f64 {
-    let eval = evaluate(instance, layout);
-    layout.area() as f64 + 25.0 * eval.cap_violations as f64 + 50.0 * eval.total_overflow()
+/// through infeasible states but is pulled back. Identical arithmetic to
+/// the seed annealer's cost function.
+fn cost(delta: &DeltaEval) -> f64 {
+    delta.area() as f64 + 25.0 * delta.cap_violations() as f64 + 50.0 * delta.total_overflow()
 }
 
 /// Anneals from a feasible starting layout; returns a layout that is never
@@ -51,6 +59,21 @@ fn cost(instance: &SinoInstance, layout: &Layout) -> f64 {
 /// Panics (debug assertion) if `start` is infeasible; callers obtain
 /// feasible layouts from the greedy solver first.
 pub fn improve(instance: &SinoInstance, start: Layout, config: &AnnealConfig) -> Layout {
+    improve_with(instance, start, config, &mut DeltaEval::new())
+}
+
+/// [`improve`] against caller-provided scratch, so batch drivers reuse one
+/// allocation across instances.
+///
+/// # Panics
+///
+/// Same conditions as [`improve`].
+pub fn improve_with(
+    instance: &SinoInstance,
+    start: Layout,
+    config: &AnnealConfig,
+    delta: &mut DeltaEval,
+) -> Layout {
     debug_assert!(
         evaluate(instance, &start).feasible,
         "annealer requires a feasible starting layout"
@@ -59,61 +82,109 @@ pub fn improve(instance: &SinoInstance, start: Layout, config: &AnnealConfig) ->
         return start;
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut current = start.clone();
-    let mut current_cost = cost(instance, &current);
-    let mut best = start;
-    let mut best_area = best.area();
+    delta.load(instance, &start);
+    let mut current_cost = cost(delta);
+    let mut best_slots: Vec<Slot> = start.slots().to_vec();
+    let mut best_area = start.area();
     let ratio = (config.t1 / config.t0).max(1e-9);
     for step in 0..config.iters {
         let t = config.t0 * ratio.powf(step as f64 / config.iters as f64);
-        let candidate = propose(&current, &mut rng);
-        let c = cost(instance, &candidate);
+        let undo = propose(instance, delta, &mut rng);
+        let c = cost(delta);
         let accept =
             c <= current_cost || rng.gen::<f64>() < ((current_cost - c) / t.max(1e-12)).exp();
         if accept {
-            current = candidate;
             current_cost = c;
-            if current.area() < best_area && evaluate(instance, &current).feasible {
-                best = current.clone();
-                best_area = best.area();
+            if delta.area() < best_area && delta.feasible() {
+                best_slots.clear();
+                best_slots.extend_from_slice(delta.slots());
+                best_area = best_slots.len();
             }
+        } else {
+            revert(instance, delta, undo);
         }
     }
-    best
+    // The move set preserves the exactly-once segment invariant.
+    Layout::from_slots_trusted(best_slots)
 }
 
-/// Proposes a random neighbouring layout.
-fn propose(layout: &Layout, rng: &mut StdRng) -> Layout {
-    let mut next = layout.clone();
-    let area = next.area();
+/// How to revert one applied proposal.
+enum Undo {
+    /// Swap back the same two tracks.
+    Swap(usize, usize),
+    /// Remove the slot at its landing position, reinsert at its origin.
+    Relocate { from: usize, applied: usize },
+    /// Remove the shield inserted at this gap.
+    InsertedShield(usize),
+    /// Reinsert a shield at this position (`None`: the proposal was a
+    /// no-op because no shield existed).
+    RemovedShield(Option<usize>),
+}
+
+/// Applies a random neighbouring move to `delta`, consuming the RNG in the
+/// exact sequence of the seed annealer's `propose`.
+fn propose(instance: &SinoInstance, delta: &mut DeltaEval, rng: &mut StdRng) -> Undo {
+    let area = delta.area();
     match rng.gen_range(0..4u8) {
         // Swap two tracks.
         0 if area >= 2 => {
             let a = rng.gen_range(0..area);
             let b = rng.gen_range(0..area);
-            next.swap(a, b);
+            delta.swap(instance, a, b);
+            Undo::Swap(a, b)
         }
         // Relocate a track.
         1 if area >= 2 => {
             let from = rng.gen_range(0..area);
             let to = rng.gen_range(0..area);
-            next.relocate(from, to);
+            delta.relocate(instance, from, to);
+            Undo::Relocate {
+                from,
+                applied: to.min(area - 1),
+            }
         }
         // Insert a shield.
         2 => {
             let gap = rng.gen_range(0..=area);
-            next.insert_shield(gap);
+            delta.insert_shield(instance, gap);
+            Undo::InsertedShield(gap)
         }
         // Remove a random shield.
         _ => {
-            let shields = next.shield_positions();
-            if !shields.is_empty() {
-                let pos = shields[rng.gen_range(0..shields.len())];
-                next.remove_shield_at(pos);
+            let shields = delta.num_shields();
+            if shields > 0 {
+                let idx = rng.gen_range(0..shields);
+                let pos = delta
+                    .slots()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == Slot::Shield)
+                    .nth(idx)
+                    .expect("shield count matches positions")
+                    .0;
+                delta.remove(instance, pos);
+                Undo::RemovedShield(Some(pos))
+            } else {
+                Undo::RemovedShield(None)
             }
         }
     }
-    next
+}
+
+/// Reverts one applied proposal exactly.
+fn revert(instance: &SinoInstance, delta: &mut DeltaEval, undo: Undo) {
+    match undo {
+        Undo::Swap(a, b) => delta.swap(instance, a, b),
+        Undo::Relocate { from, applied } => {
+            let slot = delta.remove(instance, applied);
+            delta.insert(instance, from, slot);
+        }
+        Undo::InsertedShield(gap) => {
+            delta.remove(instance, gap);
+        }
+        Undo::RemovedShield(Some(pos)) => delta.insert(instance, pos, Slot::Shield),
+        Undo::RemovedShield(None) => {}
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +258,21 @@ mod tests {
         let start = solve_greedy(&inst);
         let out = improve(&inst, start.clone(), &AnnealConfig::default());
         assert_eq!(out, start);
+    }
+
+    #[test]
+    fn matches_reference_annealer_bitwise() {
+        for seed in [3u64, 21, 77] {
+            let inst = instance(9, 0.6, 0.35, seed);
+            let start = solve_greedy(&inst);
+            let cfg = AnnealConfig {
+                iters: 1200,
+                seed,
+                ..AnnealConfig::default()
+            };
+            let fast = improve(&inst, start.clone(), &cfg);
+            let slow = crate::reference::improve(&inst, start, &cfg);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
     }
 }

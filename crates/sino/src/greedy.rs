@@ -1,4 +1,5 @@
-//! Greedy constructive SINO solver.
+//! Greedy constructive SINO solver, driven by the incremental
+//! [`DeltaEval`] engine.
 //!
 //! Three stages, mirroring how the min-area SINO heuristics of the paper's
 //! reference \[4\] are organized:
@@ -13,23 +14,39 @@
 //!    feasible, so this terminates.
 //! 3. **Compaction** — drop every shield whose removal keeps feasibility,
 //!    right to left, minimizing area.
+//!
+//! Every candidate is scored as a trial edit against one reusable
+//! [`DeltaEval`] (apply, read the key, undo) — O(affected block) per
+//! candidate instead of the seed's clone + full re-evaluate
+//! (preserved in [`crate::reference`]). The trial keys are bit-identical
+//! to the seed's, so the produced layouts are too (`sino_equivalence`
+//! property suite).
 
+use crate::delta::DeltaEval;
 use crate::instance::SinoInstance;
-use crate::keff::evaluate;
 use crate::layout::{Layout, Slot};
 
 /// Runs the greedy constructive solver; the result is always feasible.
 pub fn solve_greedy(instance: &SinoInstance) -> Layout {
+    solve_greedy_with(instance, &mut DeltaEval::new())
+}
+
+/// [`solve_greedy`] against caller-provided scratch, so batch drivers
+/// (Phase II's per-region worklist) reuse one allocation across instances.
+pub fn solve_greedy_with(instance: &SinoInstance, delta: &mut DeltaEval) -> Layout {
     let n = instance.n();
     if n == 0 {
         return Layout::from_slots(Vec::new()).expect("empty layout is well-formed");
     }
-    // Hardest-first ordering: high sensitivity, then tight budget.
+    // Hardest-first ordering: high sensitivity, then tight budget. The
+    // O(n) `local_sensitivity` is cached per segment instead of being
+    // recomputed inside the comparator; the compared values are the same
+    // f64s, so the order is identical to the seed solver's.
+    let sens: Vec<f64> = (0..n).map(|i| instance.local_sensitivity(i)).collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        let sa = instance.local_sensitivity(a);
-        let sb = instance.local_sensitivity(b);
-        sb.partial_cmp(&sa)
+        sens[b]
+            .partial_cmp(&sens[a])
             .expect("finite sensitivity")
             .then(
                 instance
@@ -41,13 +58,13 @@ pub fn solve_greedy(instance: &SinoInstance) -> Layout {
             .then(a.cmp(&b))
     });
 
-    let mut layout = Layout::from_slots(Vec::new()).expect("empty layout");
+    delta.reset(instance);
     for &seg in &order {
-        layout = place_best(instance, &layout, seg);
+        place_best(instance, delta, seg);
     }
-    repair(instance, &mut layout);
-    compact(instance, &mut layout);
-    layout
+    repair(instance, delta);
+    compact(instance, delta);
+    delta.to_layout()
 }
 
 /// Net ordering only — the "NO" of the paper's ID+NO baseline (§4):
@@ -56,102 +73,118 @@ pub fn solve_greedy(instance: &SinoInstance) -> Layout {
 /// residual capacitive) violations remain. Used to measure how many nets
 /// violate when routing ignores RLC crosstalk (Table 1).
 pub fn order_only(instance: &SinoInstance) -> Layout {
+    order_only_with(instance, &mut DeltaEval::new())
+}
+
+/// [`order_only`] against caller-provided scratch.
+pub fn order_only_with(instance: &SinoInstance, delta: &mut DeltaEval) -> Layout {
     let n = instance.n();
+    let sens: Vec<f64> = (0..n).map(|i| instance.local_sensitivity(i)).collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        let sa = instance.local_sensitivity(a);
-        let sb = instance.local_sensitivity(b);
-        sb.partial_cmp(&sa)
+        sens[b]
+            .partial_cmp(&sens[a])
             .expect("finite sensitivity")
             .then(a.cmp(&b))
     });
-    let mut layout = Layout::from_slots(Vec::new()).expect("empty layout");
+    delta.reset(instance);
     for &seg in &order {
         // The paper's net-ordering stage knows nothing about inductive
         // coupling; it only avoids sensitive adjacency. Placing at the
         // first (not the globally K-best) cap-clean gap mirrors that.
-        layout = place_first_cap_clean(instance, &layout, seg);
+        place_first_cap_clean(instance, delta, seg);
     }
-    layout
+    delta.to_layout()
 }
 
 /// Inserts `seg` at the first gap that adds no capacitive violation (or
 /// the gap adding the fewest, if none is clean).
-fn place_first_cap_clean(instance: &SinoInstance, layout: &Layout, seg: usize) -> Layout {
-    let mut best: Option<(usize, Layout)> = None;
-    for gap in 0..=layout.area() {
-        let mut slots = layout.slots().to_vec();
-        slots.insert(gap, Slot::Signal(seg));
-        let candidate = Layout::from_slots(slots).expect("insertion keeps uniqueness");
-        let cap = crate::keff::cap_violations(instance, &candidate);
+///
+/// Consecutive gap trials differ by one adjacent transposition, so the
+/// candidate **slides** right via `swap` instead of paying an
+/// insert/remove pair (and its memmoves) per gap. The visited states are
+/// exactly the per-gap insertions, so the decisions match the seed solver.
+fn place_first_cap_clean(instance: &SinoInstance, delta: &mut DeltaEval, seg: usize) {
+    let last = delta.area();
+    delta.insert(instance, 0, Slot::Signal(seg));
+    let mut best_cap = delta.cap_violations();
+    if best_cap == 0 {
+        return;
+    }
+    let mut best_gap = 0;
+    for gap in 1..=last {
+        delta.swap(instance, gap - 1, gap);
+        let cap = delta.cap_violations();
         if cap == 0 {
-            return candidate;
+            return;
         }
-        if best.as_ref().is_none_or(|(bc, _)| cap < *bc) {
-            best = Some((cap, candidate));
+        if cap < best_cap {
+            best_cap = cap;
+            best_gap = gap;
         }
     }
-    best.expect("at least one gap exists").1
+    // `seg` ended at the last gap; move it to the winner.
+    if best_gap != last {
+        delta.relocate(instance, last, best_gap);
+    }
 }
 
-/// Tries every insertion gap for `seg` and keeps the best.
-fn place_best(instance: &SinoInstance, layout: &Layout, seg: usize) -> Layout {
-    let mut best: Option<(usize, f64, Layout)> = None;
-    for gap in 0..=layout.area() {
-        let mut slots = layout.slots().to_vec();
-        slots.insert(gap, Slot::Signal(seg));
-        let candidate = Layout::from_slots(slots).expect("insertion keeps uniqueness");
-        let eval = evaluate(instance, &candidate);
-        let key = (eval.cap_violations, eval.total_overflow());
-        let better = match &best {
-            None => true,
-            Some((bc, bo, _)) => key.0 < *bc || (key.0 == *bc && key.1 < *bo - 1e-12),
-        };
-        if better {
-            best = Some((key.0, key.1, candidate));
+/// Tries every insertion gap for `seg` (sliding, see
+/// [`place_first_cap_clean`]) and keeps the best.
+fn place_best(instance: &SinoInstance, delta: &mut DeltaEval, seg: usize) {
+    let last = delta.area();
+    delta.insert(instance, 0, Slot::Signal(seg));
+    let mut best_key = (delta.cap_violations(), delta.total_overflow());
+    let mut best_gap = 0;
+    for gap in 1..=last {
+        delta.swap(instance, gap - 1, gap);
+        let key = (delta.cap_violations(), delta.total_overflow());
+        if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1 - 1e-12) {
+            best_key = key;
+            best_gap = gap;
         }
     }
-    best.expect("at least one gap exists").2
+    if best_gap != last {
+        delta.relocate(instance, last, best_gap);
+    }
 }
 
 /// Inserts shields until the layout is feasible.
-pub(crate) fn repair(instance: &SinoInstance, layout: &mut Layout) {
+pub(crate) fn repair(instance: &SinoInstance, delta: &mut DeltaEval) {
     // Bounded by the number of insertable gaps (full isolation).
     let max_iters = 4 * instance.n() + 4;
     for _ in 0..max_iters {
-        let eval = evaluate(instance, layout);
-        if eval.feasible {
+        if delta.feasible() {
             return;
         }
-        if eval.cap_violations > 0 {
+        if delta.cap_violations() > 0 {
             // Split the first adjacent sensitive pair.
-            let slots = layout.slots().to_vec();
-            let mut inserted = false;
-            for (i, w) in slots.windows(2).enumerate() {
+            let mut split = None;
+            for (i, w) in delta.slots().windows(2).enumerate() {
                 if let (Slot::Signal(a), Slot::Signal(b)) = (w[0], w[1]) {
                     if instance.is_sensitive(a, b) {
-                        layout.insert_shield(i + 1);
-                        inserted = true;
+                        split = Some(i + 1);
                         break;
                     }
                 }
             }
-            debug_assert!(inserted, "cap violation implies an adjacent pair");
+            match split {
+                Some(gap) => delta.insert_shield(instance, gap),
+                None => debug_assert!(false, "cap violation implies an adjacent pair"),
+            }
             continue;
         }
         // Inductive overflow: split the worst segment's block at the gap
         // that minimizes (total overflow, worst segment's K).
-        let (worst, _) = eval
+        let (worst, _) = delta
             .worst_overflow()
             .expect("infeasible without cap violations");
-        let pos = layout.position_of(worst).expect("segment is placed");
-        let (block_start, block_len) = enclosing_block(layout, pos);
+        let pos = delta.position_of(worst).expect("segment is placed");
+        let (block_start, block_len) = enclosing_block(delta.slots(), pos);
         let mut best: Option<(f64, f64, usize)> = None;
         for gap in (block_start + 1)..(block_start + block_len) {
-            let mut candidate = layout.clone();
-            candidate.insert_shield(gap);
-            let e = evaluate(instance, &candidate);
-            let key = (e.total_overflow(), e.k[worst]);
+            delta.insert_shield(instance, gap);
+            let key = (delta.total_overflow(), delta.k(worst));
             let better = match &best {
                 None => true,
                 Some((bo, bk, _)) => {
@@ -161,22 +194,22 @@ pub(crate) fn repair(instance: &SinoInstance, layout: &mut Layout) {
             if better {
                 best = Some((key.0, key.1, gap));
             }
+            delta.remove_shield_at(instance, gap);
         }
         match best {
-            Some((_, _, gap)) => layout.insert_shield(gap),
+            Some((_, _, gap)) => delta.insert_shield(instance, gap),
             // Single-segment block cannot overflow; defensive fallback.
             None => return,
         }
     }
     debug_assert!(
-        evaluate(instance, layout).feasible,
+        delta.feasible(),
         "repair must reach feasibility within its iteration bound"
     );
 }
 
 /// `(start, len)` of the maximal signal run containing track `pos`.
-fn enclosing_block(layout: &Layout, pos: usize) -> (usize, usize) {
-    let slots = layout.slots();
+fn enclosing_block(slots: &[Slot], pos: usize) -> (usize, usize) {
     let mut start = pos;
     while start > 0 && matches!(slots[start - 1], Slot::Signal(_)) {
         start -= 1;
@@ -189,15 +222,14 @@ fn enclosing_block(layout: &Layout, pos: usize) -> (usize, usize) {
 }
 
 /// Removes every shield whose removal keeps the layout feasible.
-pub(crate) fn compact(instance: &SinoInstance, layout: &mut Layout) {
-    let mut pos = layout.area();
+pub(crate) fn compact(instance: &SinoInstance, delta: &mut DeltaEval) {
+    let mut pos = delta.area();
     while pos > 0 {
         pos -= 1;
-        if matches!(layout.slots().get(pos), Some(Slot::Shield)) {
-            let mut candidate = layout.clone();
-            candidate.remove_shield_at(pos);
-            if evaluate(instance, &candidate).feasible {
-                *layout = candidate;
+        if matches!(delta.slots().get(pos), Some(Slot::Shield)) {
+            delta.remove_shield_at(instance, pos);
+            if !delta.feasible() {
+                delta.insert_shield(instance, pos);
             }
         }
     }
@@ -207,6 +239,7 @@ pub(crate) fn compact(instance: &SinoInstance, layout: &mut Layout) {
 mod tests {
     use super::*;
     use crate::instance::SegmentSpec;
+    use crate::keff::evaluate;
     use gsino_grid::SensitivityModel;
 
     fn instance(n: usize, rate: f64, kth: f64, seed: u64) -> SinoInstance {
@@ -292,6 +325,18 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_is_deterministic() {
+        let inst_a = instance(11, 0.5, 0.3, 13);
+        let inst_b = instance(4, 1.0, 0.2, 14);
+        let mut scratch = DeltaEval::new();
+        let first = solve_greedy_with(&inst_a, &mut scratch);
+        let _ = solve_greedy_with(&inst_b, &mut scratch);
+        let again = solve_greedy_with(&inst_a, &mut scratch);
+        assert_eq!(first, again);
+        assert_eq!(first, solve_greedy(&inst_a));
+    }
+
+    #[test]
     fn order_only_places_everyone_without_shields() {
         let inst = instance(12, 0.5, 0.1, 3);
         let l = order_only(&inst);
@@ -322,8 +367,8 @@ mod tests {
             Slot::Shield,
         ])
         .unwrap();
-        assert_eq!(enclosing_block(&l, 0), (0, 1));
-        assert_eq!(enclosing_block(&l, 2), (2, 2));
-        assert_eq!(enclosing_block(&l, 3), (2, 2));
+        assert_eq!(enclosing_block(l.slots(), 0), (0, 1));
+        assert_eq!(enclosing_block(l.slots(), 2), (2, 2));
+        assert_eq!(enclosing_block(l.slots(), 3), (2, 2));
     }
 }

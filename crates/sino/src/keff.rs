@@ -216,17 +216,23 @@ mod tests {
     #[test]
     fn inserting_shield_never_increases_k() {
         // Property: splitting any block removes cross terms and keeps
-        // within-side distances unchanged.
+        // within-side distances unchanged. Probed through the delta
+        // evaluator (insert, read, undo) instead of cloning `base` and
+        // rescanning per trial — the same O(affected-block) path the
+        // solvers use, checked here against the from-scratch `coupling`.
         let inst = all_sensitive(6, 0.1);
         let base = Layout::from_order(&[3, 1, 5, 0, 4, 2]);
         let k0 = coupling(&inst, &base);
+        let mut delta = crate::delta::DeltaEval::new();
+        delta.load(&inst, &base);
+        assert_eq!(delta.k_values(), &k0[..]);
         for gap in 0..=base.area() {
-            let mut l = base.clone();
-            l.insert_shield(gap);
-            let k1 = coupling(&inst, &l);
-            for i in 0..6 {
-                assert!(k1[i] <= k0[i] + 1e-12, "gap {gap} segment {i}");
+            delta.insert_shield(&inst, gap);
+            for (i, &k) in k0.iter().enumerate() {
+                assert!(delta.k(i) <= k + 1e-12, "gap {gap} segment {i}");
             }
+            delta.remove_shield_at(&inst, gap);
+            assert_eq!(delta.k_values(), &k0[..], "undo restores gap {gap}");
         }
     }
 

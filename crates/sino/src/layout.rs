@@ -44,6 +44,18 @@ impl Layout {
         Ok(l)
     }
 
+    /// Builds a layout from slots the caller guarantees duplicate-free —
+    /// used by `DeltaEval`, whose editing API preserves the invariant by
+    /// construction. Debug builds re-check it.
+    pub(crate) fn from_slots_trusted(slots: Vec<Slot>) -> Self {
+        let l = Layout { slots };
+        debug_assert!(
+            l.check_duplicates().is_ok(),
+            "trusted slots held a duplicate"
+        );
+        l
+    }
+
     fn check_duplicates(&self) -> Result<()> {
         let mut seen = std::collections::HashSet::new();
         for s in &self.slots {

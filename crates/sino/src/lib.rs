@@ -17,11 +17,20 @@
 //! * [`layout`] — a candidate solution: an ordered sequence of signal and
 //!   shield tracks;
 //! * [`keff`] — the block-based Keff coupling model and solution evaluation;
-//! * [`greedy`] — constructive solver (order + shield insertion + compaction);
-//! * [`anneal`] — simulated-annealing polish;
+//! * [`delta`] — the incremental evaluation engine: single-track edits are
+//!   re-scored by patching only the affected block neighbourhoods, with
+//!   bit-identical values to a from-scratch [`keff::evaluate`];
+//! * [`greedy`] — constructive solver (order + shield insertion + compaction),
+//!   scoring candidates through [`delta::DeltaEval`];
+//! * [`anneal`] — simulated-annealing polish (apply/undo moves, no clones);
 //! * [`solver`] — the user-facing facade combining the two;
+//! * [`mod@reference`] — the seed clone-and-reevaluate solvers, preserved
+//!   verbatim as the bit-identical correctness/performance baseline;
 //! * [`nss`] — the paper's Formula (3): the fitted 6-term shield-count
 //!   estimator used inside the global router's weight function.
+//!
+//! See `crates/sino/README.md` for the delta-evaluation contract (what each
+//! move invalidates, determinism guarantees).
 //!
 //! # Example
 //!
@@ -42,14 +51,17 @@
 //! ```
 
 pub mod anneal;
+pub mod delta;
 pub mod exact;
 pub mod greedy;
 pub mod instance;
 pub mod keff;
 pub mod layout;
 pub mod nss;
+pub mod reference;
 pub mod solver;
 
+pub use delta::DeltaEval;
 pub use instance::{SegmentSpec, SinoInstance};
 pub use keff::{evaluate, Evaluation};
 pub use layout::{Layout, Slot};

@@ -1,7 +1,8 @@
 //! The user-facing SINO solver facade.
 
-use crate::anneal::{improve, AnnealConfig};
-use crate::greedy::solve_greedy;
+use crate::anneal::{improve_with, AnnealConfig};
+use crate::delta::DeltaEval;
+use crate::greedy::solve_greedy_with;
 use crate::instance::SinoInstance;
 use crate::keff::evaluate;
 use crate::layout::Layout;
@@ -71,11 +72,24 @@ impl SinoSolver {
     /// Layout validation errors indicate an internal bug; instances that can
     /// be constructed are always solvable (full isolation is feasible).
     pub fn solve(&self, instance: &SinoInstance) -> Result<Layout> {
-        let mut layout = solve_greedy(instance);
+        self.solve_with(instance, &mut DeltaEval::new())
+    }
+
+    /// [`SinoSolver::solve`] against caller-provided [`DeltaEval`] scratch.
+    ///
+    /// Batch drivers (Phase II's per-region worklist) hold one scratch per
+    /// worker thread and reuse it across every instance they solve; the
+    /// result is identical to [`SinoSolver::solve`] for any reuse history.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SinoSolver::solve`].
+    pub fn solve_with(&self, instance: &SinoInstance, scratch: &mut DeltaEval) -> Result<Layout> {
+        let mut layout = solve_greedy_with(instance, scratch);
         if let Some(cfg) = &self.config.anneal {
-            layout = improve(instance, layout, cfg);
+            layout = improve_with(instance, layout, cfg, scratch);
         }
-        layout.validate(instance.n())?;
+        validate_fast(instance.n(), &layout)?;
         debug_assert!(evaluate(instance, &layout).feasible);
         Ok(layout)
     }
@@ -91,6 +105,41 @@ impl SinoSolver {
     }
 }
 
+/// Allocation-free [`Layout::validate`]: exactly-once occupancy through a
+/// `u128` mask for the region-sized instances Phase II produces, falling
+/// back to the full check for larger ones. Same acceptance set; kept
+/// unconditional so a (hypothetical) delta-engine invariant bug surfaces
+/// as an error in release builds too, not just under the debug oracle.
+fn validate_fast(n: usize, layout: &Layout) -> Result<()> {
+    if n > 128 {
+        return layout.validate(n);
+    }
+    let mut seen: u128 = 0;
+    let mut count = 0usize;
+    for slot in layout.slots() {
+        if let crate::layout::Slot::Signal(i) = *slot {
+            if i >= n {
+                return Err(crate::SinoError::MalformedLayout {
+                    reason: "segment index range",
+                });
+            }
+            if seen >> i & 1 == 1 {
+                return Err(crate::SinoError::MalformedLayout {
+                    reason: "duplicate segment",
+                });
+            }
+            seen |= 1 << i;
+            count += 1;
+        }
+    }
+    if count != n {
+        return Err(crate::SinoError::MalformedLayout {
+            reason: "segment count mismatch",
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +149,34 @@ mod tests {
     fn instance(n: usize, rate: f64, kth: f64, seed: u64) -> SinoInstance {
         let segs = (0..n).map(|i| SegmentSpec { net: i as u32, kth }).collect();
         SinoInstance::from_model(segs, &SensitivityModel::new(rate, seed)).unwrap()
+    }
+
+    #[test]
+    fn validate_fast_agrees_with_full_validate() {
+        use crate::layout::Layout;
+        // `from_order` places arbitrary indices (including duplicates and
+        // out-of-range ones) without checking, so every failure mode of
+        // the full validator is constructible.
+        let mut shielded = Layout::from_order(&[0, 2]);
+        shielded.insert_shield(1);
+        let mut shield_only = Layout::from_order(&[]);
+        shield_only.insert_shield(0);
+        let cases: Vec<(usize, Layout)> = vec![
+            (3, Layout::from_order(&[0, 1, 2])), // ok
+            (3, shielded),                       // count mismatch
+            (2, Layout::from_order(&[0, 5])),    // index range
+            (1, Layout::from_order(&[0, 0])),    // duplicate
+            (0, shield_only),                    // ok: shields only
+            (0, Layout::from_order(&[])),        // ok: empty
+        ];
+        for (n, layout) in cases {
+            assert_eq!(
+                validate_fast(n, &layout).is_ok(),
+                layout.validate(n).is_ok(),
+                "n {n} layout {}",
+                layout.render()
+            );
+        }
     }
 
     #[test]
@@ -126,6 +203,18 @@ mod tests {
                 .unwrap();
             assert!(annealed.area() <= greedy.area());
             assert!(evaluate(&inst, &annealed).feasible);
+        }
+    }
+
+    #[test]
+    fn solve_with_reused_scratch_matches_solve() {
+        let solver = SinoSolver::new(SolverConfig::with_anneal(800, 7));
+        let mut scratch = DeltaEval::new();
+        for seed in [4u64, 9, 23] {
+            let inst = instance(10, 0.5, 0.4, seed);
+            let fresh = solver.solve(&inst).unwrap();
+            let reused = solver.solve_with(&inst, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "seed {seed}");
         }
     }
 
