@@ -4,25 +4,31 @@
 //!
 //! Also measures the flat-array Phase I core against the seed HashMap
 //! router, the incremental-connectivity ID router against the preserved
-//! PR-1 BFS kernel, and the incremental Phase II SINO engine against the
-//! preserved `gsino_sino::reference` solver, on the 500-net generator
-//! circuit: the route sets / region solutions must be byte-identical and
-//! the new kernels are expected to be ≥2× faster. The measurements are
-//! summarised to `BENCH_phase1.json` and `BENCH_phase2.json` (override
-//! with `GSINO_BENCH_OUT` / `GSINO_BENCH_PHASE2_OUT`) for the CI
-//! regression gate (`bench_gate` binary vs the committed
-//! `baseline/BENCH_phase{1,2}.json`).
+//! PR-1 BFS kernel, the incremental Phase II SINO engine against the
+//! preserved `gsino_sino::reference` solver, and the incremental Phase III
+//! refinement pass against the preserved `refine::reference` pass, on the
+//! 500-net generator circuit: the route sets / region solutions / refined
+//! budgets must be byte-identical and the new kernels are expected to be
+//! ≥2× faster. The measurements are summarised to `BENCH_phase1.json`,
+//! `BENCH_phase2.json` and `BENCH_phase3.json` (override with
+//! `GSINO_BENCH_OUT` / `GSINO_BENCH_PHASE2_OUT` /
+//! `GSINO_BENCH_PHASE3_OUT`) for the CI regression gate (`bench_gate`
+//! binary vs the committed `baseline/BENCH_phase{1,2,3}.json`).
 
-use gsino_bench::report::{phase1_out_path, phase2_out_path, JsonDoc};
+use gsino_bench::report::{phase1_out_path, phase2_out_path, phase3_out_path, JsonDoc};
 use gsino_bench::{banner, bench_experiment_config};
 use gsino_circuits::experiment::run_suite;
 use gsino_circuits::generator::generate;
 use gsino_circuits::spec::CircuitSpec;
-use gsino_core::budget::{uniform_budgets, LengthModel};
-use gsino_core::phase2::{prepare_instances, solve_prepared, RegionMode, SinoEngine};
+use gsino_core::budget::{uniform_budgets, Budgets, LengthModel};
+use gsino_core::phase2::{
+    prepare_instances, solve_prepared, RegionInstance, RegionMode, RegionSino, SinoEngine,
+};
 use gsino_core::pipeline::{run_gsino, GsinoConfig, RouterKind};
+use gsino_core::refine::{self, RefineConfig, RefineStats};
 use gsino_core::router::reference::{SeedAstarRouter, SeedIdRouter};
 use gsino_core::router::{AstarRouter, IdRouter, ShieldTerm, Weights};
+use gsino_core::violations::check;
 use gsino_grid::region::RegionGrid;
 use gsino_grid::sensitivity::SensitivityModel;
 use gsino_grid::tech::Technology;
@@ -195,6 +201,21 @@ fn id_phase1_speedup_report() -> KernelTimings {
     }
 }
 
+/// Serializes one summary document and writes it to `path`, shared by all
+/// phase summary writers.
+fn write_summary_json(path: &str, root: Map) {
+    match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(path, text + "\n") {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("could not serialize bench summary: {e}"),
+    }
+}
+
 /// Writes the machine-readable Phase I summary the CI gate consumes.
 fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings) {
     let mut workload = Map::new();
@@ -214,16 +235,7 @@ fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings) {
     root.insert("astar", Value::Object(astar_m));
     root.insert("id", Value::Object(id_m));
     let path = phase1_out_path();
-    match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
-        Ok(text) => {
-            if let Err(e) = std::fs::write(&path, text + "\n") {
-                eprintln!("could not write {path}: {e}");
-            } else {
-                println!("wrote {path}");
-            }
-        }
-        Err(e) => eprintln!("could not serialize bench summary: {e}"),
-    }
+    write_summary_json(&path, root);
 }
 
 /// Phase II: the incremental `DeltaEval` SINO engine against the
@@ -252,9 +264,9 @@ fn phase2_speedup_report() -> (KernelTimings, usize) {
     let sens = SensitivityModel::new(0.3, 1);
     let config = SolverConfig::default();
     let work =
-        prepare_instances(&grid, &routes, &budgets, &sens).expect("prepared region instances");
+        prepare_instances(&grid, &routes, &budgets, &sens, 1).expect("prepared region instances");
     let solve = |engine: SinoEngine| {
-        solve_prepared(&work, config, RegionMode::Sino, 1, engine).expect("region solve")
+        solve_prepared(work.clone(), config, RegionMode::Sino, 1, engine).expect("region solve")
     };
     let reference = solve(SinoEngine::Reference);
     let incremental = solve(SinoEngine::Incremental);
@@ -265,14 +277,20 @@ fn phase2_speedup_report() -> (KernelTimings, usize) {
 
     let reps = 5;
     let t_prepare = time_median(reps, || {
-        prepare_instances(&grid, &routes, &budgets, &sens).expect("prepared");
+        prepare_instances(&grid, &routes, &budgets, &sens, 1).expect("prepared");
     });
-    let t_ref = time_median(reps, || {
-        solve(SinoEngine::Reference);
-    });
-    let t_inc = time_median(reps, || {
-        solve(SinoEngine::Incremental);
-    });
+    // `solve_prepared` consumes its work list; pre-clone one copy per rep
+    // outside the timed section so the numbers keep isolating the solving
+    // engines.
+    let time_engine = |engine: SinoEngine| {
+        let mut pool: Vec<Vec<RegionInstance>> = (0..reps).map(|_| work.clone()).collect();
+        time_median(reps, move || {
+            let work = pool.pop().expect("one prepared list per rep");
+            solve_prepared(work, config, RegionMode::Sino, 1, engine).expect("region solve");
+        })
+    };
+    let t_ref = time_engine(SinoEngine::Reference);
+    let t_inc = time_engine(SinoEngine::Incremental);
     println!("== phase II SINO engine, 500-net generator circuit (medians of {reps}) ==");
     println!("  instance prepare (shared) {:>9.2} ms", t_prepare * 1e3);
     println!("  reference clone+rescan    {:>9.2} ms", t_ref * 1e3);
@@ -310,16 +328,175 @@ fn write_phase2_summary(sino: &KernelTimings, regions: usize) {
     root.insert("workload", Value::Object(workload));
     root.insert("sino", Value::Object(sino_m));
     let path = phase2_out_path();
-    match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
-        Ok(text) => {
-            if let Err(e) = std::fs::write(&path, text + "\n") {
-                eprintln!("could not write {path}: {e}");
-            } else {
-                println!("wrote {path}");
-            }
-        }
-        Err(e) => eprintln!("could not serialize bench summary: {e}"),
-    }
+    write_summary_json(&path, root);
+}
+
+/// Phase III: the incremental refinement pass (cached LSK tracker,
+/// severity heap, persistent delta evaluators, transactional pass 2)
+/// against the preserved seed pass (`refine::reference`), on the routed
+/// 500-net circuit. Budgets are computed at a deliberately loose 0.40 V
+/// and refined against a strict 0.10 V constraint — recreating, at scale
+/// and in controlled form, the Manhattan-underestimate violations Phase
+/// III exists to repair (a few dozen violating nets, like the refine unit
+/// tests' loose-budget/strict-check setup). Both passes must produce
+/// bit-identical final budgets, region solutions and stats; the timed
+/// runs consume pre-cloned copies of the same inputs.
+fn phase3_speedup_report() -> (KernelTimings, usize, RefineStats) {
+    let (circuit, grid) = workload();
+    let (routes, _) = AstarRouter::new(&grid, Weights::default(), ShieldTerm::None)
+        .route(&circuit)
+        .expect("routes");
+    let table = NoiseTable::calibrated(&Technology::itrs_100nm());
+    let budgets0 = uniform_budgets(
+        &circuit,
+        &grid,
+        &routes,
+        &table,
+        0.40,
+        LengthModel::Manhattan,
+    )
+    .expect("budgets");
+    let sens = SensitivityModel::new(0.5, 3);
+    let work = prepare_instances(&grid, &routes, &budgets0, &sens, 1).expect("prepared");
+    let sino0 = solve_prepared(
+        work,
+        SolverConfig::default(),
+        RegionMode::Sino,
+        1,
+        SinoEngine::Incremental,
+    )
+    .expect("region solve");
+    let vth = 0.10;
+    let initial_violations = check(&circuit, &grid, &routes, &sino0, &table, vth).violating_nets();
+    assert!(
+        initial_violations > 0,
+        "phase III workload must start with violations"
+    );
+    let solver_cfg = SolverConfig::default();
+    let refine_cfg = RefineConfig::default();
+
+    // Correctness: both passes on identical inputs, bit-identical outputs.
+    let (mut b_ref, mut s_ref) = (budgets0.clone(), sino0.clone());
+    let stats_ref = refine::reference::refine(
+        &circuit,
+        &grid,
+        &routes,
+        &mut b_ref,
+        &mut s_ref,
+        &table,
+        vth,
+        solver_cfg,
+        &refine_cfg,
+    )
+    .expect("reference refine");
+    let (mut b_inc, mut s_inc) = (budgets0.clone(), sino0.clone());
+    let stats_inc = refine::refine(
+        &circuit,
+        &grid,
+        &routes,
+        &mut b_inc,
+        &mut s_inc,
+        &table,
+        vth,
+        solver_cfg,
+        &refine_cfg,
+    )
+    .expect("incremental refine");
+    assert_eq!(
+        stats_ref, stats_inc,
+        "incremental Phase III stats must match the reference pass"
+    );
+    assert_eq!(
+        b_ref, b_inc,
+        "incremental Phase III budgets must match the reference pass bit for bit"
+    );
+    assert_eq!(
+        s_ref, s_inc,
+        "incremental Phase III region solutions must match the reference pass bit for bit"
+    );
+
+    let reps = 5;
+    // Refinement mutates its inputs: pre-clone one (budgets, sino) pair
+    // per rep outside the timed section.
+    let mut pool_ref: Vec<(Budgets, RegionSino)> = (0..reps)
+        .map(|_| (budgets0.clone(), sino0.clone()))
+        .collect();
+    let t_ref = time_median(reps, || {
+        let (mut b, mut s) = pool_ref.pop().expect("one input pair per rep");
+        refine::reference::refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut b,
+            &mut s,
+            &table,
+            vth,
+            solver_cfg,
+            &refine_cfg,
+        )
+        .expect("reference refine");
+    });
+    let mut pool_inc: Vec<(Budgets, RegionSino)> = (0..reps)
+        .map(|_| (budgets0.clone(), sino0.clone()))
+        .collect();
+    let t_inc = time_median(reps, || {
+        let (mut b, mut s) = pool_inc.pop().expect("one input pair per rep");
+        refine::refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut b,
+            &mut s,
+            &table,
+            vth,
+            solver_cfg,
+            &refine_cfg,
+        )
+        .expect("incremental refine");
+    });
+    println!("== phase III refinement, 500-net generator circuit (medians of {reps}) ==");
+    println!("  initial violating nets    {initial_violations:>9}");
+    println!("  reference seed pass       {:>9.2} ms", t_ref * 1e3);
+    println!(
+        "  incremental tracker pass  {:>9.2} ms   ({:.2}x vs reference)",
+        t_inc * 1e3,
+        t_ref / t_inc
+    );
+    println!(
+        "  identical outcomes: {} nets fixed, +{} / -{} shields, clean: {}",
+        stats_inc.pass1_nets,
+        stats_inc.pass1_shields_added,
+        stats_inc.pass2_shields_removed,
+        stats_inc.clean
+    );
+    (
+        KernelTimings {
+            reference_ms: t_ref * 1e3,
+            new_ms: t_inc * 1e3,
+        },
+        initial_violations,
+        stats_inc,
+    )
+}
+
+/// Writes the machine-readable Phase III summary the CI gate consumes.
+fn write_phase3_summary(timings: &KernelTimings, initial_violations: usize, stats: &RefineStats) {
+    let mut workload = Map::new();
+    workload.insert("circuit", Value::Str("ibm01".into()));
+    workload.insert("nets", Value::U64(500));
+    workload.insert("initial_violations", Value::U64(initial_violations as u64));
+    workload.insert("pass1_nets", Value::U64(stats.pass1_nets as u64));
+    workload.insert("pass2_regions", Value::U64(stats.pass2_regions as u64));
+    let mut refine_m = Map::new();
+    refine_m.insert("reference_ms", Value::F64(timings.reference_ms));
+    refine_m.insert("incremental_ms", Value::F64(timings.new_ms));
+    refine_m.insert("speedup_vs_reference", Value::F64(timings.speedup()));
+    let mut root = Map::new();
+    root.insert("schema", Value::U64(1));
+    root.insert("workload", Value::Object(workload));
+    root.insert("refine", Value::Object(refine_m));
+    let path = phase3_out_path();
+    write_summary_json(&path, root);
 }
 
 /// Per-phase timing split of the full flows, both router kinds.
@@ -356,6 +533,8 @@ fn main() {
     write_phase1_summary(&astar, &id);
     let (sino, regions) = phase2_speedup_report();
     write_phase2_summary(&sino, regions);
+    let (refine_timings, initial_violations, refine_stats) = phase3_speedup_report();
+    write_phase3_summary(&refine_timings, initial_violations, &refine_stats);
     println!("== full-flow phase split by router kind ==");
     router_kind_phase_split();
     match run_suite(&config) {

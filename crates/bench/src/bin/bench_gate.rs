@@ -2,9 +2,10 @@
 //!
 //! Compares freshly measured bench summaries (written by
 //! `cargo bench -p gsino-bench --bench phase_runtime`:
-//! `BENCH_phase1.json` and `BENCH_phase2.json`) against their committed
-//! baselines and exits non-zero if any gated kernel regressed by more than
-//! the tolerance (default 15%, `--max-regress 0.15`).
+//! `BENCH_phase1.json`, `BENCH_phase2.json` and `BENCH_phase3.json`)
+//! against their committed baselines and exits non-zero if any gated
+//! kernel regressed by more than the tolerance (default 15%,
+//! `--max-regress 0.15`).
 //!
 //! Wall-clock milliseconds are not comparable across machines, so the
 //! gated metric is the **normalized wall time**: the new kernel's time
@@ -48,6 +49,12 @@ const METRICS: &[(&str, &str, &str, &str)] = &[
     (
         "sino incremental engine",
         "sino",
+        "incremental_ms",
+        "reference_ms",
+    ),
+    (
+        "refine incremental pass",
+        "refine",
         "incremental_ms",
         "reference_ms",
     ),

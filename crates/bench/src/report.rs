@@ -1,6 +1,6 @@
 //! Machine-readable bench summaries (`BENCH_phase1.json`,
-//! `BENCH_phase2.json`) and the helpers the regression gate shares with
-//! the benches.
+//! `BENCH_phase2.json`, `BENCH_phase3.json`) and the helpers the
+//! regression gate shares with the benches.
 //!
 //! The compat `serde` shim keeps [`Value`] trait-free, so documents are
 //! wrapped in [`JsonDoc`] for (de)serialization. Summaries record both
@@ -58,6 +58,12 @@ pub fn phase1_out_path() -> String {
 /// or `BENCH_phase2.json` in the bench's working directory.
 pub fn phase2_out_path() -> String {
     std::env::var("GSINO_BENCH_PHASE2_OUT").unwrap_or_else(|_| "BENCH_phase2.json".to_string())
+}
+
+/// Output path for the Phase III bench summary: `$GSINO_BENCH_PHASE3_OUT`
+/// or `BENCH_phase3.json` in the bench's working directory.
+pub fn phase3_out_path() -> String {
+    std::env::var("GSINO_BENCH_PHASE3_OUT").unwrap_or_else(|_| "BENCH_phase3.json".to_string())
 }
 
 #[cfg(test)]

@@ -23,6 +23,67 @@ use gsino_sino::layout::Layout;
 use gsino_sino::solver::{SinoSolver, SolverConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a thread-count request (`0` = available parallelism).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `f` over `items` on a pool draining an atomic worklist, moving
+/// each item out exactly once. Every worker owns one scratch value built
+/// by `make_scratch` and reused across all the items it pops; results
+/// carry their original index so callers can restore deterministic order.
+fn drain_worklist<T, U, S, M, F>(
+    items: Vec<T>,
+    workers: usize,
+    make_scratch: M,
+    f: F,
+) -> Vec<Result<Vec<(usize, U)>>>
+where
+    T: Send,
+    U: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(T, &mut S) -> Result<U> + Sync,
+{
+    // Each cell is locked exactly once (by whichever worker pops its
+    // index), so the mutexes are contention-free ownership transfer, not
+    // synchronization.
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.min(cells.len()).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = make_scratch();
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        let item = cell
+                            .lock()
+                            .expect("worklist cell poisoned")
+                            .take()
+                            .expect("each index is claimed once");
+                        done.push((i, f(item, &mut scratch)?));
+                    }
+                    Ok(done)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
 
 /// How the per-region problem is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,8 +259,8 @@ pub fn solve_regions_with_engine(
     threads: usize,
     engine: SinoEngine,
 ) -> Result<RegionSino> {
-    let work = prepare_instances(grid, routes, budgets, sensitivity)?;
-    solve_prepared(&work, solver_config, mode, threads, engine)
+    let work = prepare_instances(grid, routes, budgets, sensitivity, threads)?;
+    solve_prepared(work, solver_config, mode, threads, engine)
 }
 
 /// One prepared per-region SINO problem (the Phase II analogue of the
@@ -218,6 +279,13 @@ pub struct RegionInstance {
 /// [`SinoInstance`] — the engine-independent Phase II preprocessing. The
 /// result is sorted by key, so downstream solving is deterministic.
 ///
+/// `threads = 0` uses the available parallelism: instance construction
+/// (budget resolution plus the O(n²) sensitivity matrix per region) is
+/// embarrassingly parallel, so the groups are drained from the same kind
+/// of atomic worklist [`solve_prepared`] uses. Each instance is a pure
+/// function of its group, and results are reassembled in group order, so
+/// the output is identical for every thread count.
+///
 /// # Errors
 ///
 /// Propagates SINO construction errors (budgets are validated upstream,
@@ -227,56 +295,67 @@ pub fn prepare_instances(
     routes: &RouteSet,
     budgets: &Budgets,
     sensitivity: &SensitivityModel,
+    threads: usize,
 ) -> Result<Vec<RegionInstance>> {
-    assignments(grid, routes)
-        .into_iter()
-        .map(|((region, dir), nets)| {
-            let specs: Vec<SegmentSpec> = nets
-                .iter()
-                .map(|&net| SegmentSpec {
-                    net,
-                    kth: budgets.kth(net, region, dir).unwrap_or(1e9),
-                })
-                .collect();
-            let instance = SinoInstance::from_model(specs, sensitivity)?;
-            Ok(RegionInstance {
-                key: (region, dir),
-                nets,
-                instance,
+    let groups = assignments(grid, routes);
+    let threads = resolve_threads(threads);
+    let build = |((region, dir), nets): ((RegionIdx, Dir), Vec<NetId>)| -> Result<RegionInstance> {
+        let specs: Vec<SegmentSpec> = nets
+            .iter()
+            .map(|&net| SegmentSpec {
+                net,
+                kth: budgets.kth(net, region, dir).unwrap_or(1e9),
             })
+            .collect();
+        let instance = SinoInstance::from_model(specs, sensitivity)?;
+        Ok(RegionInstance {
+            key: (region, dir),
+            nets,
+            instance,
         })
-        .collect()
+    };
+    if threads <= 1 || groups.len() < 32 {
+        return groups.into_iter().map(build).collect();
+    }
+    let total = groups.len();
+    let results = drain_worklist(groups, threads, || (), |group, _: &mut ()| build(group));
+    let mut out: Vec<Option<RegionInstance>> = (0..total).map(|_| None).collect();
+    for r in results {
+        for (i, inst) in r? {
+            out[i] = Some(inst);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("every group is built exactly once"))
+        .collect())
 }
 
-/// Solves prepared region instances with the chosen engine; `threads = 0`
-/// uses the available parallelism.
+/// Solves prepared region instances with the chosen engine, consuming the
+/// work list; `threads = 0` uses the available parallelism.
 ///
 /// The instances are drained from an atomic worklist: each worker owns one
-/// [`DeltaEval`] scratch reused across every region it pops. Annealer
-/// seeds are a pure function of `(region, dir)`, and the results are keyed
-/// by `(region, dir)`, so any pop interleaving produces the same
-/// [`RegionSino`] — parallelism is observationally free, and both
-/// [`SinoEngine`]s are bit-identical.
+/// [`DeltaEval`] scratch reused across every region it pops, and each
+/// popped [`RegionInstance`] is **moved** into its [`RegionSolution`]
+/// (nets and instance alike) — no per-region clone of the prepared
+/// sensitivity matrix. Annealer seeds are a pure function of
+/// `(region, dir)`, and the results are keyed by `(region, dir)`, so any
+/// pop interleaving produces the same [`RegionSino`] — parallelism is
+/// observationally free, and both [`SinoEngine`]s are bit-identical.
 ///
 /// # Errors
 ///
 /// Propagates SINO solver errors (internal-invariant failures only).
 pub fn solve_prepared(
-    work: &[RegionInstance],
+    work: Vec<RegionInstance>,
     solver_config: SolverConfig,
     mode: RegionMode,
     threads: usize,
     engine: SinoEngine,
 ) -> Result<RegionSino> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = resolve_threads(threads);
     type Solved = ((RegionIdx, Dir), RegionSolution);
-    let solve_one = |region_inst: &RegionInstance, scratch: &mut DeltaEval| -> Result<Solved> {
+    let solve_one = |region_inst: RegionInstance, scratch: &mut DeltaEval| -> Result<Solved> {
         let (region, dir) = region_inst.key;
         let instance = &region_inst.instance;
         let layout: Layout = match mode {
@@ -311,8 +390,8 @@ pub fn solve_prepared(
         Ok((
             (region, dir),
             RegionSolution {
-                nets: region_inst.nets.clone(),
-                instance: instance.clone(),
+                nets: region_inst.nets,
+                instance: region_inst.instance,
                 layout,
                 k,
             },
@@ -330,30 +409,11 @@ pub fn solve_prepared(
         // Atomic worklist: workers pop the next unsolved region instead of
         // owning a fixed chunk, so one pathological region cannot idle the
         // rest of the pool.
-        let next = AtomicUsize::new(0);
-        let workers = threads.min(work.len());
-        let results: Vec<Result<Vec<Solved>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut scratch = DeltaEval::new();
-                        let mut solved = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = work.get(i) else { break };
-                            solved.push(solve_one(item, &mut scratch)?);
-                        }
-                        Ok(solved)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+        let results = drain_worklist(work, threads, DeltaEval::new, |item, scratch| {
+            solve_one(item, scratch)
         });
         for r in results {
-            for (key, sol) in r? {
+            for (_, (key, sol)) in r? {
                 solutions.insert(key, sol);
             }
         }
@@ -491,6 +551,61 @@ mod tests {
         )
         .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_prepare_and_consuming_solve_match_serial() {
+        // A spread-out circuit so the number of (region, dir) groups
+        // exceeds the serial-fallback threshold and the parallel worklists
+        // genuinely run.
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets: Vec<Net> = (0..24)
+            .map(|i| {
+                let x = 16.0 + (i as f64 * 37.0) % 600.0;
+                let y = 16.0 + (i as f64 * 53.0) % 600.0;
+                Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+            })
+            .collect();
+        let circuit = Circuit::new("spread", die, nets).unwrap();
+        let tech = Technology::itrs_100nm();
+        let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
+        let table = NoiseTable::calibrated(&tech);
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.15,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
+        let sens = SensitivityModel::new(0.5, 3);
+        let serial = prepare_instances(&grid, &routes, &budgets, &sens, 1).unwrap();
+        assert!(
+            serial.len() >= 32,
+            "need ≥32 groups to exercise the parallel path, got {}",
+            serial.len()
+        );
+        let parallel = prepare_instances(&grid, &routes, &budgets, &sens, 4).unwrap();
+        assert_eq!(serial, parallel, "parallel prepare must be bit-identical");
+        let solved_serial = solve_prepared(
+            serial,
+            SolverConfig::default(),
+            RegionMode::Sino,
+            1,
+            SinoEngine::Incremental,
+        )
+        .unwrap();
+        let solved_parallel = solve_prepared(
+            parallel,
+            SolverConfig::default(),
+            RegionMode::Sino,
+            4,
+            SinoEngine::Incremental,
+        )
+        .unwrap();
+        assert_eq!(solved_serial, solved_parallel);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::budget::{
 use crate::metrics::{wirelength_stats, WirelengthStats};
 use crate::phase2::{solve_regions_with_engine, RegionMode, RegionSino, SinoEngine};
 use crate::refine::{refine, RefineConfig, RefineStats};
-use crate::router::{route_all, AstarRouter, IdRouter, RouterStats, ShieldTerm, Weights};
+use crate::router::{AstarRouter, IdRouter, RouterStats, ShieldTerm, Weights};
 use crate::violations::{check, ViolationReport};
 use crate::{CoreError, Result};
 use gsino_grid::area::{AreaModel, RoutingArea};
@@ -270,7 +270,6 @@ pub(crate) fn run_flow(
             .route_with_threads(circuit, config.threads)?,
     };
     let route_s = t0.elapsed().as_secs_f64();
-    let _ = route_all;
 
     // Budgeting: GSINO budgets before knowing final lengths (Manhattan);
     // iSINO budgets after routing (path lengths); ID+NO ignores budgets but

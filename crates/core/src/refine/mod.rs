@@ -1,0 +1,820 @@
+//! Phase III: iterative local refinement (paper Fig. 2), incremental
+//! engine.
+//!
+//! Phase I budgets with the Manhattan source→sink estimate; detours make
+//! real paths longer, under-estimating crosstalk, so a few nets can still
+//! violate after Phase II. Pass 1 walks violating nets (worst first) and,
+//! for each, tightens the budget of its segment in the *least congested*
+//! region it crosses until one more shield goes in, re-running SINO there,
+//! until the net is clean. Pass 2 then walks the *most congested* regions
+//! and tries to buy a shield back: raise the budgets of the largest-slack
+//! nets until SINO drops a shield, accepting only if no net starts
+//! violating.
+//!
+//! # The incremental contract
+//!
+//! The seed pass (preserved verbatim in [`mod@reference`]) re-derived all of
+//! its bookkeeping from scratch per edit. This module keeps Phase III's
+//! cost proportional to what an edit actually touches, mirroring the
+//! [`gsino_sino::delta::DeltaEval`] contract of Phase II:
+//!
+//! * **What is cached.** A [`tracker::LskTracker`] holds, per sink, the
+//!   flat `(lⱼ, Kᵢʲ)` term list of paper Eq. (1) — region paths and
+//!   per-region lengths are fixed for the whole phase, so they are walked
+//!   exactly once at entry — plus a `(region, dir) → terms` reverse index
+//!   and the per-net worst violating voltage. Pass 1's work queue is a
+//!   [`tracker::SeverityQueue`] (lazy max-heap) instead of a full-map scan
+//!   per pick. One persistent `DeltaEval` per touched `(region, dir)`
+//!   (`RegionEngines`) mirrors that region's installed layout across
+//!   edits, so couplings after a re-solve are read straight from the
+//!   evaluator instead of a from-scratch re-evaluate.
+//!
+//! * **When it is patched.** A budget tweak re-solves its region through
+//!   [`SinoSolver::resolve_after_kth`] (bit-identical to a cold
+//!   `solve`, but leaving the evaluator mirroring the result); the
+//!   tracker then patches only the crossing nets' sums —
+//!   O(crossing segments + dirty-sink terms) instead of full
+//!   `check_net` route walks. Pass 2 trials run as transactions: the
+//!   evaluator state is saved ([`DeltaSnapshot`]), budgets are raised in
+//!   place, and a rejected recovery restores evaluator, layout, couplings
+//!   and budgets bitwise — no `RegionSolution` clone, no O(n²)
+//!   sensitivity-matrix copy.
+//!
+//! * **Why the result is identical.** Dirty sinks are re-summed over the
+//!   cached terms in the exact order the seed pass's `sink_lsk` iterates,
+//!   the queue reproduces the seed tie-break (highest voltage, then
+//!   smallest net id — see [`tracker::SeverityQueue`]), and the region
+//!   re-solves are the same pure function of the instance. Final
+//!   [`Budgets`], [`RegionSino`] and [`RefineStats`] are therefore
+//!   **bit-identical** to [`reference::refine`] — property-tested in
+//!   `tests/refine_equivalence.rs` and asserted in the `phase_runtime`
+//!   bench.
+//!
+//! * **The debug oracle.** In `cfg(debug_assertions)` builds, every region
+//!   edit (pass 1 install, pass 2 accept/reject) is followed by
+//!   [`tracker::LskTracker::oracle_check`], which re-runs the full
+//!   [`check`] and compares every severity and sink violation bitwise.
+
+pub mod reference;
+pub mod tracker;
+
+use crate::budget::Budgets;
+use crate::phase2::{RegionSino, RegionSolution};
+use crate::violations::check;
+use crate::Result;
+use gsino_grid::net::Circuit;
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, RouteSet};
+use gsino_lsk::table::NoiseTable;
+use gsino_sino::delta::{DeltaEval, DeltaSnapshot};
+use gsino_sino::solver::{SinoSolver, SolverConfig};
+use std::collections::{HashMap, HashSet};
+use tracker::{LskTracker, SeverityQueue};
+
+/// Safety bounds for the refinement loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineConfig {
+    /// Outer-loop bound of pass 1 (distinct net fixes).
+    pub max_pass1_iters: usize,
+    /// Inner-loop bound per net.
+    pub max_inner_iters: usize,
+    /// Whether to run the congestion-reduction pass 2.
+    pub enable_pass2: bool,
+    /// Full sweeps of pass 2.
+    pub pass2_sweeps: usize,
+    /// Pass 2 only visits regions at least this dense: shields in
+    /// under-capacity regions cost no routing area, so recovering them
+    /// buys nothing (the paper's pass 2 is congestion-driven).
+    pub pass2_density_floor: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_pass1_iters: 50_000,
+            max_inner_iters: 256,
+            enable_pass2: true,
+            pass2_sweeps: 2,
+            pass2_density_floor: 0.75,
+        }
+    }
+}
+
+/// What refinement did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Nets processed by pass 1.
+    pub pass1_nets: usize,
+    /// Shields added by pass 1.
+    pub pass1_shields_added: u64,
+    /// Shields recovered by pass 2.
+    pub pass2_shields_removed: u64,
+    /// Regions visited by pass 2.
+    pub pass2_regions: usize,
+    /// Nets pass 1 could not fix within its iteration bounds.
+    pub pass1_unfixed: usize,
+    /// Whether pass 1 left the solution violation-free.
+    pub clean: bool,
+}
+
+/// The persistent per-`(region, dir)` evaluators: each mirrors its
+/// region's installed layout across refine edits, loaded lazily on first
+/// touch and kept in sync by every install/rollback.
+#[derive(Debug, Default)]
+struct RegionEngines {
+    map: HashMap<(RegionIdx, Dir), DeltaEval>,
+}
+
+impl RegionEngines {
+    /// The evaluator of `(r, dir)`, loading it from the installed solution
+    /// on first touch.
+    fn engine(&mut self, r: RegionIdx, dir: Dir, sol: &RegionSolution) -> &mut DeltaEval {
+        self.map.entry((r, dir)).or_insert_with(|| {
+            let mut e = DeltaEval::new();
+            e.load(&sol.instance, &sol.layout);
+            e
+        })
+    }
+}
+
+/// How one pass-2 recovery attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Recovery {
+    /// A shield came out and every crossing net stayed clean.
+    Recovered,
+    /// A shield came out but some net started violating; the transaction
+    /// was rolled back bitwise.
+    Rejected,
+    /// No budget raise freed a shield; trial raises were dropped.
+    NoCandidate,
+}
+
+/// Runs both passes, mutating budgets and region solutions in place.
+///
+/// Bit-identical to [`reference::refine`] (same final [`Budgets`],
+/// [`RegionSino`] and [`RefineStats`]) — see the module docs for the
+/// incremental contract.
+///
+/// # Errors
+///
+/// Propagates SINO solver errors (internal-invariant failures only).
+#[allow(clippy::too_many_arguments)]
+pub fn refine(
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &mut Budgets,
+    sino: &mut RegionSino,
+    table: &NoiseTable,
+    vth: f64,
+    solver: SolverConfig,
+    config: &RefineConfig,
+) -> Result<RefineStats> {
+    let mut stats = RefineStats::default();
+    let mut tracker = LskTracker::new(circuit, grid, routes, sino, table, vth);
+    let mut engines = RegionEngines::default();
+    pass1(
+        circuit,
+        grid,
+        routes,
+        budgets,
+        sino,
+        table,
+        solver,
+        config,
+        &mut stats,
+        &mut tracker,
+        &mut engines,
+    )?;
+    stats.clean = tracker.is_clean();
+    debug_assert_eq!(
+        stats.clean,
+        check(circuit, grid, routes, sino, table, vth).is_clean(),
+        "tracker cleanliness diverged from a full check"
+    );
+    if config.enable_pass2 && stats.clean {
+        pass2(
+            circuit,
+            grid,
+            routes,
+            budgets,
+            sino,
+            table,
+            solver,
+            config,
+            &mut stats,
+            &mut tracker,
+            &mut engines,
+        )?;
+    }
+    Ok(stats)
+}
+
+/// Pass 1: eliminate crosstalk violations.
+///
+/// The violation report is maintained incrementally: re-solving one region
+/// only changes the coupling of the nets crossing it, so only those nets'
+/// cached sums are patched — this is what keeps Phase III cheap relative
+/// to the ID routing phase (paper §5).
+#[allow(clippy::too_many_arguments)]
+fn pass1(
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &mut Budgets,
+    sino: &mut RegionSino,
+    table: &NoiseTable,
+    solver: SolverConfig,
+    config: &RefineConfig,
+    stats: &mut RefineStats,
+    tracker: &mut LskTracker,
+    engines: &mut RegionEngines,
+) -> Result<()> {
+    let solver = SinoSolver::new(solver);
+    let mut queue = SeverityQueue::new(&tracker.nets_by_severity());
+    for _ in 0..config.max_pass1_iters {
+        let net_id = match queue.pick() {
+            Some(n) => n,
+            None => return Ok(()),
+        };
+        stats.pass1_nets += 1;
+        let route = routes.get(net_id).expect("violating net is routed");
+        for _ in 0..config.max_inner_iters {
+            if tracker.net_is_clean(net_id) {
+                break;
+            }
+            // Candidate segments of this net, least congested region first
+            // (paper: "the least congested routing region through which Ni
+            // is routed"), skipping segments that already have K = 0.
+            let mut candidates: Vec<(f64, RegionIdx, Dir)> = Vec::new();
+            for r in route.regions() {
+                for dir in [Dir::H, Dir::V] {
+                    if !route.occupies(grid, r, dir) {
+                        continue;
+                    }
+                    if let Some(sol) = sino.solution(r, dir) {
+                        let k = sol.index_of(net_id).map(|i| sol.k[i]).unwrap_or(0.0);
+                        if k > 1e-12 {
+                            let cap = match dir {
+                                Dir::H => grid.hc(),
+                                Dir::V => grid.vc(),
+                            } as f64;
+                            let density = (sol.nets.len() + sol.layout.num_shields()) as f64 / cap;
+                            candidates.push((density, r, dir));
+                        }
+                    }
+                }
+            }
+            candidates.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite densities")
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            let (_, r, dir) = match candidates.first() {
+                Some(&c) => c,
+                // No coupled segment left to shield; the net cannot be
+                // improved further in this pass.
+                None => break,
+            };
+            {
+                let sol = sino
+                    .solution_mut(r, dir)
+                    .expect("candidate came from a solution");
+                let idx = sol.index_of(net_id).expect("net is in this region");
+                // Tighten the segment budget so SINO must shield it harder
+                // (Formula (3)'s inverse role in the paper — decide how
+                // much Kth drops for one more shield). 0.7 trims K without
+                // grossly over-shielding the region.
+                let new_kth = (sol.k[idx] * 0.7).max(1e-9);
+                sol.instance.set_kth(idx, new_kth)?;
+                budgets.set(net_id, r, dir, new_kth);
+                let before = sol.layout.num_shields();
+                let engine = engines.engine(r, dir, sol);
+                engine.rebudget(&sol.instance, idx);
+                sol.layout = solver.resolve_after_kth(&sol.instance, engine)?;
+                // The evaluator mirrors the re-solved layout, so the
+                // couplings come straight from its cache — no re-evaluate.
+                sol.k.clear();
+                sol.k.extend_from_slice(engine.k_values());
+                stats.pass1_shields_added +=
+                    (sol.layout.num_shields().saturating_sub(before)) as u64;
+                tracker.region_updated(r, dir, &sol.k, table);
+            }
+            // Mirror the seed pass's affected-net recheck on the queue:
+            // every crossing net is re-enqueued (or dropped) at its
+            // tracked severity.
+            let affected = sino.solution(r, dir).expect("exists");
+            for &nid in &affected.nets {
+                queue.set(nid, tracker.net_worst(nid));
+            }
+            debug_oracle(tracker, circuit, grid, routes, sino, table);
+        }
+        // The net may be unfixable within bounds (no coupled segments
+        // left); drop it from the queue either way — if it is still dirty,
+        // the tracker (and the final report) flags it honestly.
+        if !tracker.net_is_clean(net_id) {
+            stats.pass1_unfixed += 1;
+        }
+        queue.remove(net_id);
+    }
+    Ok(())
+}
+
+/// Pass 2: reduce routing congestion by recovering shields where slack
+/// allows.
+#[allow(clippy::too_many_arguments)]
+fn pass2(
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &mut Budgets,
+    sino: &mut RegionSino,
+    table: &NoiseTable,
+    solver: SolverConfig,
+    config: &RefineConfig,
+    stats: &mut RefineStats,
+    tracker: &mut LskTracker,
+    engines: &mut RegionEngines,
+) -> Result<()> {
+    let solver = SinoSolver::new(solver);
+    let mut snap = DeltaSnapshot::new();
+    // The key set never changes during refinement; the seed pass re-sorted
+    // it per pick, identically.
+    let keys = sino.keys();
+    for _ in 0..config.pass2_sweeps {
+        let mut improved = false;
+        let mut visited: HashSet<(RegionIdx, Dir)> = HashSet::new();
+        loop {
+            // Most congested unvisited region with shields to recover.
+            let mut best: Option<(f64, RegionIdx, Dir)> = None;
+            for &(r, dir) in &keys {
+                if visited.contains(&(r, dir)) {
+                    continue;
+                }
+                let sol = sino.solution(r, dir).expect("key enumerated");
+                if sol.layout.num_shields() == 0 {
+                    continue;
+                }
+                let cap = match dir {
+                    Dir::H => grid.hc(),
+                    Dir::V => grid.vc(),
+                } as f64;
+                let density = (sol.nets.len() + sol.layout.num_shields()) as f64 / cap;
+                if density < config.pass2_density_floor {
+                    continue;
+                }
+                if best.is_none_or(|(d, _, _)| density > d) {
+                    best = Some((density, r, dir));
+                }
+            }
+            let (_, r, dir) = match best {
+                Some(b) => b,
+                None => break,
+            };
+            visited.insert((r, dir));
+            stats.pass2_regions += 1;
+            let outcome = try_recover_shield(
+                budgets, sino, tracker, table, &solver, engines, &mut snap, r, dir, stats,
+            )?;
+            debug_oracle(tracker, circuit, grid, routes, sino, table);
+            if outcome == Recovery::Recovered {
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Attempts to remove one shield from `(r, dir)` by raising budgets of the
+/// largest-slack nets; accepts only violation-free outcomes.
+///
+/// Runs as a transaction against the region's persistent evaluator: the
+/// pre-trial state is captured once ([`DeltaEval::save_into`]), budgets
+/// are raised in place, and rejection restores evaluator, layout,
+/// couplings and budgets bitwise — no [`RegionSolution`] clone.
+#[allow(clippy::too_many_arguments)]
+fn try_recover_shield(
+    budgets: &mut Budgets,
+    sino: &mut RegionSino,
+    tracker: &mut LskTracker,
+    table: &NoiseTable,
+    solver: &SinoSolver,
+    engines: &mut RegionEngines,
+    snap: &mut DeltaSnapshot,
+    r: RegionIdx,
+    dir: Dir,
+    stats: &mut RefineStats,
+) -> Result<Recovery> {
+    let sol = sino.solution_mut(r, dir).expect("caller checked existence");
+    let nets = sol.nets.clone();
+    let n = nets.len();
+    let base_shields = sol.layout.num_shields();
+    let engine = engines.engine(r, dir, sol);
+    // Transaction begin: the evaluator mirrors the installed layout, so
+    // the snapshot plus the saved budgets are the whole undo log.
+    engine.save_into(snap);
+    let saved_kth: Vec<f64> = (0..n).map(|i| sol.instance.segment(i).kth).collect();
+    let mut raised: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        // Largest remaining positive slack under the current layout.
+        let mut pick: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if raised.contains(&i) {
+                continue;
+            }
+            let slack = sol.instance.segment(i).kth - sol.k[i];
+            if slack > 1e-12 && pick.is_none_or(|(s, _)| slack > s) {
+                pick = Some((slack, i));
+            }
+        }
+        let (slack, i) = match pick {
+            Some(p) => p,
+            None => break,
+        };
+        sol.instance
+            .set_kth(i, sol.instance.segment(i).kth + slack)?;
+        raised.push(i);
+        engine.rebudget(&sol.instance, i);
+        let layout = solver.resolve_after_kth(&sol.instance, engine)?;
+        if layout.num_shields() >= base_shields {
+            continue;
+        }
+        // Tentatively install and verify through the tracker.
+        let removed = (base_shields - layout.num_shields()) as u64;
+        sol.layout = layout;
+        sol.k.clear();
+        sol.k.extend_from_slice(engine.k_values());
+        tracker.region_updated(r, dir, &sol.k, table);
+        if nets.iter().any(|&nid| !tracker.net_is_clean(nid)) {
+            // Roll the transaction back bitwise.
+            engine.restore(snap);
+            sol.layout = engine.to_layout();
+            sol.k.clear();
+            sol.k.extend_from_slice(engine.k_values());
+            for (i2, &kth) in saved_kth.iter().enumerate() {
+                sol.instance.set_kth(i2, kth)?;
+            }
+            tracker.region_updated(r, dir, &sol.k, table);
+            return Ok(Recovery::Rejected);
+        }
+        for &i2 in &raised {
+            budgets.set(nets[i2], r, dir, sol.instance.segment(i2).kth);
+        }
+        stats.pass2_shields_removed += removed;
+        return Ok(Recovery::Recovered);
+    }
+    // No shield came out: drop the trial budget raises and re-sync the
+    // evaluator to the (unchanged) installed layout.
+    for (i, &kth) in saved_kth.iter().enumerate() {
+        sol.instance.set_kth(i, kth)?;
+    }
+    engine.restore(snap);
+    Ok(Recovery::NoCandidate)
+}
+
+/// Debug-build oracle: the tracker must stay bit-identical to a full
+/// [`check`] after every region edit.
+#[cfg(debug_assertions)]
+fn debug_oracle(
+    tracker: &LskTracker,
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    sino: &RegionSino,
+    table: &NoiseTable,
+) {
+    tracker.oracle_check(circuit, grid, routes, sino, table);
+}
+
+#[cfg(not(debug_assertions))]
+#[inline]
+fn debug_oracle(
+    _tracker: &LskTracker,
+    _circuit: &Circuit,
+    _grid: &RegionGrid,
+    _routes: &RouteSet,
+    _sino: &RegionSino,
+    _table: &NoiseTable,
+) {
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{uniform_budgets, LengthModel};
+    use crate::phase2::{solve_regions, RegionMode};
+    use crate::router::{route_all, ShieldTerm, Weights};
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::{Circuit, Net};
+    use gsino_grid::sensitivity::SensitivityModel;
+    use gsino_grid::tech::Technology;
+
+    /// A bus guaranteed to violate after Phase II when budgets are computed
+    /// from a deliberately optimistic length estimate.
+    fn violating_setup() -> (
+        Circuit,
+        gsino_grid::RegionGrid,
+        RouteSet,
+        NoiseTable,
+        Budgets,
+        RegionSino,
+    ) {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(3840.0, 640.0)).unwrap();
+        let nets: Vec<Net> = (0..14)
+            .map(|i| {
+                Net::two_pin(
+                    i,
+                    Point::new(8.0, 320.0 + i as f64),
+                    Point::new(3830.0, 320.0 + i as f64),
+                )
+            })
+            .collect();
+        let circuit = Circuit::new("viol", die, nets).unwrap();
+        let tech = Technology::itrs_100nm();
+        let grid = gsino_grid::RegionGrid::new(&circuit, &tech, 64.0).unwrap();
+        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+        let table = NoiseTable::calibrated(&tech);
+        // Budget with a loose vth (0.30) but check against a strict one
+        // (0.15) — mimics the Manhattan-underestimate situation that makes
+        // Phase III necessary, in a controlled way. A mid sensitivity rate
+        // matters: at rate 1.0 capacitive freedom already isolates every
+        // net (K = 0 everywhere) and nothing can violate.
+        let budgets = uniform_budgets(
+            &circuit,
+            &grid,
+            &routes,
+            &table,
+            0.30,
+            LengthModel::Manhattan,
+        )
+        .unwrap();
+        let sens = SensitivityModel::new(0.5, 3);
+        let sino = solve_regions(
+            &grid,
+            &routes,
+            &budgets,
+            &sens,
+            SolverConfig::default(),
+            RegionMode::Sino,
+            1,
+        )
+        .unwrap();
+        (circuit, grid, routes, table, budgets, sino)
+    }
+
+    #[test]
+    fn pass1_eliminates_all_violations() {
+        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
+        let before = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert!(before.violating_nets() > 0, "setup must violate at 0.15 V");
+        let stats = refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut budgets,
+            &mut sino,
+            &table,
+            0.15,
+            SolverConfig::default(),
+            &RefineConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.clean);
+        assert!(stats.pass1_nets > 0);
+        let after = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert!(
+            after.is_clean(),
+            "{} nets still violate",
+            after.violating_nets()
+        );
+    }
+
+    #[test]
+    fn refine_on_clean_input_is_cheap() {
+        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
+        // Check against the same loose vth used for budgeting: no
+        // violations exist, so pass 1 should do nothing.
+        let stats = refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut budgets,
+            &mut sino,
+            &table,
+            0.30,
+            SolverConfig::default(),
+            &RefineConfig {
+                enable_pass2: false,
+                ..RefineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.pass1_nets, 0);
+        assert_eq!(stats.pass1_shields_added, 0);
+        assert!(stats.clean);
+    }
+
+    #[test]
+    fn pass2_never_reintroduces_violations() {
+        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
+        let stats = refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut budgets,
+            &mut sino,
+            &table,
+            0.15,
+            SolverConfig::default(),
+            &RefineConfig {
+                pass2_sweeps: 2,
+                ..RefineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(stats.clean);
+        let after = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert!(after.is_clean());
+    }
+
+    #[test]
+    fn pass1_respects_iteration_bounds() {
+        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
+        let stats = refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut budgets,
+            &mut sino,
+            &table,
+            0.15,
+            SolverConfig::default(),
+            &RefineConfig {
+                max_pass1_iters: 1,
+                max_inner_iters: 1,
+                enable_pass2: false,
+                pass2_sweeps: 0,
+                ..RefineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.pass1_nets, 1);
+    }
+
+    /// The incremental engine and the preserved seed pass must agree on
+    /// every output, bit for bit, across configurations.
+    #[test]
+    fn incremental_matches_reference_pass() {
+        let (circuit, grid, routes, table, budgets0, sino0) = violating_setup();
+        let configs = [
+            (SolverConfig::default(), RefineConfig::default()),
+            (
+                SolverConfig::default(),
+                RefineConfig {
+                    enable_pass2: false,
+                    ..RefineConfig::default()
+                },
+            ),
+            (SolverConfig::with_anneal(300, 11), RefineConfig::default()),
+            (
+                SolverConfig::default(),
+                RefineConfig {
+                    max_pass1_iters: 3,
+                    max_inner_iters: 2,
+                    ..RefineConfig::default()
+                },
+            ),
+        ];
+        for (solver, refine_cfg) in configs {
+            let (mut b_ref, mut s_ref) = (budgets0.clone(), sino0.clone());
+            let (mut b_inc, mut s_inc) = (budgets0.clone(), sino0.clone());
+            let stats_ref = reference::refine(
+                &circuit,
+                &grid,
+                &routes,
+                &mut b_ref,
+                &mut s_ref,
+                &table,
+                0.15,
+                solver,
+                &refine_cfg,
+            )
+            .unwrap();
+            let stats_inc = refine(
+                &circuit,
+                &grid,
+                &routes,
+                &mut b_inc,
+                &mut s_inc,
+                &table,
+                0.15,
+                solver,
+                &refine_cfg,
+            )
+            .unwrap();
+            assert_eq!(stats_ref, stats_inc, "stats diverged ({refine_cfg:?})");
+            assert_eq!(b_ref, b_inc, "budgets diverged ({refine_cfg:?})");
+            assert_eq!(s_ref, s_inc, "region solutions diverged ({refine_cfg:?})");
+        }
+    }
+
+    /// The heap-backed queue picks exactly the net `nets_by_severity`
+    /// ranks first (highest voltage, ties to the smallest net id) — the
+    /// deterministic ordering both engines share.
+    #[test]
+    fn queue_pick_agrees_with_nets_by_severity() {
+        let (circuit, grid, routes, table, _, sino) = violating_setup();
+        let tracker = LskTracker::new(&circuit, &grid, &routes, &sino, &table, 0.15);
+        let ranked = tracker.nets_by_severity();
+        assert!(!ranked.is_empty(), "setup must violate");
+        let mut queue = SeverityQueue::new(&ranked);
+        for &(net, _) in &ranked {
+            assert_eq!(queue.pick(), Some(net));
+            queue.remove(net);
+        }
+        assert_eq!(queue.pick(), None);
+        // Cross-check against the report the seed pass scans.
+        let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
+        assert_eq!(ranked, report.nets_by_severity());
+    }
+
+    /// A rejected pass-2 recovery must leave budgets, region solutions and
+    /// the tracker bitwise-untouched — no state leaks from the transaction.
+    #[test]
+    fn rejected_recovery_rolls_back_completely() {
+        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
+        refine(
+            &circuit,
+            &grid,
+            &routes,
+            &mut budgets,
+            &mut sino,
+            &table,
+            0.15,
+            SolverConfig::default(),
+            &RefineConfig::default(),
+        )
+        .unwrap();
+        // The tightest constraint the refined solution still meets:
+        // recovering any load-bearing shield there must violate and roll
+        // back.
+        let worst = check(&circuit, &grid, &routes, &sino, &table, 0.0)
+            .worst_net()
+            .map(|(_, v)| v)
+            .expect("some coupling remains");
+        let vth = worst + 1e-6;
+        let mut tracker = LskTracker::new(&circuit, &grid, &routes, &sino, &table, vth);
+        assert!(tracker.is_clean(), "vth sits above the worst voltage");
+        let solver = SinoSolver::new(SolverConfig::default());
+        let mut engines = RegionEngines::default();
+        let mut snap = DeltaSnapshot::new();
+        let mut stats = RefineStats::default();
+        let mut rejected = 0;
+        for (r, dir) in sino.keys() {
+            if sino.solution(r, dir).unwrap().layout.num_shields() == 0 {
+                continue;
+            }
+            let budgets_before = budgets.clone();
+            let sino_before = sino.clone();
+            let severity_before = tracker.nets_by_severity();
+            let outcome = try_recover_shield(
+                &mut budgets,
+                &mut sino,
+                &mut tracker,
+                &table,
+                &solver,
+                &mut engines,
+                &mut snap,
+                r,
+                dir,
+                &mut stats,
+            )
+            .unwrap();
+            match outcome {
+                Recovery::Rejected => {
+                    rejected += 1;
+                    assert_eq!(budgets, budgets_before, "budgets leaked at {r} {dir:?}");
+                    assert_eq!(sino, sino_before, "solutions leaked at {r} {dir:?}");
+                    assert_eq!(
+                        tracker.nets_by_severity(),
+                        severity_before,
+                        "tracker leaked at {r} {dir:?}"
+                    );
+                    tracker.oracle_check(&circuit, &grid, &routes, &sino, &table);
+                }
+                Recovery::NoCandidate => {
+                    assert_eq!(budgets, budgets_before);
+                    assert_eq!(sino, sino_before);
+                }
+                Recovery::Recovered => {}
+            }
+        }
+        assert!(
+            rejected > 0,
+            "scenario produced no rejected recovery; tighten vth"
+        );
+    }
+}

@@ -1,15 +1,26 @@
-//! Phase III: iterative local refinement (paper Fig. 2).
+//! The seed (pre-tracker) Phase III pass, preserved verbatim as the
+//! correctness and performance baseline for the incremental engine.
 //!
-//! Phase I budgets with the Manhattan source→sink estimate; detours make
-//! real paths longer, under-estimating crosstalk, so a few nets can still
-//! violate after Phase II. Pass 1 walks violating nets (worst first) and,
-//! for each, tightens the budget of its segment in the *least congested*
-//! region it crosses until one more shield goes in, re-running SINO there,
-//! until the net is clean. Pass 2 then walks the *most congested* regions
-//! and tries to buy a shield back: raise the budgets of the largest-slack
-//! nets until SINO drops a shield, accepting only if no net starts
-//! violating.
+//! Every budget tweak here re-solves the touched region from scratch and
+//! re-walks the full route of every crossing net per recheck
+//! ([`check_net`] recomputes the region path, per-region lengths and
+//! coupling lookups every time), pass 1 re-scans its whole severity map
+//! per outer iteration, and pass 2 clones the entire [`RegionSolution`]
+//! (including the O(n²) sensitivity matrix) per recovery attempt — the
+//! from-scratch hot paths the incremental pass in [`super`] replaced with
+//! the cached [`super::tracker::LskTracker`], the severity heap and the
+//! [`gsino_sino::delta::DeltaEval`] transaction API. The incremental pass
+//! must stay **bit-identical** to this module: same final [`Budgets`],
+//! same [`crate::phase2::RegionSino`], same [`RefineStats`]. That contract
+//! is enforced by the `refine_equivalence` property suite, the debug-build
+//! full-`check` oracle inside the incremental pass, and the
+//! `phase_runtime` bench.
+//!
+//! Nothing in this module is used by any production flow.
+//!
+//! [`RegionSolution`]: crate::phase2::RegionSolution
 
+use super::{RefineConfig, RefineStats};
 use crate::budget::Budgets;
 use crate::phase2::RegionSino;
 use crate::violations::{check, check_net};
@@ -21,53 +32,7 @@ use gsino_lsk::table::NoiseTable;
 use gsino_sino::solver::{SinoSolver, SolverConfig};
 use std::collections::HashSet;
 
-/// Safety bounds for the refinement loops.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RefineConfig {
-    /// Outer-loop bound of pass 1 (distinct net fixes).
-    pub max_pass1_iters: usize,
-    /// Inner-loop bound per net.
-    pub max_inner_iters: usize,
-    /// Whether to run the congestion-reduction pass 2.
-    pub enable_pass2: bool,
-    /// Full sweeps of pass 2.
-    pub pass2_sweeps: usize,
-    /// Pass 2 only visits regions at least this dense: shields in
-    /// under-capacity regions cost no routing area, so recovering them
-    /// buys nothing (the paper's pass 2 is congestion-driven).
-    pub pass2_density_floor: f64,
-}
-
-impl Default for RefineConfig {
-    fn default() -> Self {
-        RefineConfig {
-            max_pass1_iters: 50_000,
-            max_inner_iters: 256,
-            enable_pass2: true,
-            pass2_sweeps: 2,
-            pass2_density_floor: 0.75,
-        }
-    }
-}
-
-/// What refinement did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RefineStats {
-    /// Nets processed by pass 1.
-    pub pass1_nets: usize,
-    /// Shields added by pass 1.
-    pub pass1_shields_added: u64,
-    /// Shields recovered by pass 2.
-    pub pass2_shields_removed: u64,
-    /// Regions visited by pass 2.
-    pub pass2_regions: usize,
-    /// Nets pass 1 could not fix within its iteration bounds.
-    pub pass1_unfixed: usize,
-    /// Whether pass 1 left the solution violation-free.
-    pub clean: bool,
-}
-
-/// Runs both passes, mutating budgets and region solutions in place.
+/// Runs both seed passes, mutating budgets and region solutions in place.
 ///
 /// # Errors
 ///
@@ -353,168 +318,4 @@ fn try_recover_shield(
         return Ok(true);
     }
     Ok(false)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::budget::{uniform_budgets, LengthModel};
-    use crate::phase2::{solve_regions, RegionMode};
-    use crate::router::{route_all, ShieldTerm, Weights};
-    use gsino_grid::geom::{Point, Rect};
-    use gsino_grid::net::{Circuit, Net};
-    use gsino_grid::sensitivity::SensitivityModel;
-    use gsino_grid::tech::Technology;
-
-    /// A bus guaranteed to violate after Phase II when budgets are computed
-    /// from a deliberately optimistic length estimate.
-    fn violating_setup() -> (
-        Circuit,
-        gsino_grid::RegionGrid,
-        RouteSet,
-        NoiseTable,
-        Budgets,
-        RegionSino,
-    ) {
-        let die = Rect::new(Point::new(0.0, 0.0), Point::new(3840.0, 640.0)).unwrap();
-        let nets: Vec<Net> = (0..14)
-            .map(|i| {
-                Net::two_pin(
-                    i,
-                    Point::new(8.0, 320.0 + i as f64),
-                    Point::new(3830.0, 320.0 + i as f64),
-                )
-            })
-            .collect();
-        let circuit = Circuit::new("viol", die, nets).unwrap();
-        let tech = Technology::itrs_100nm();
-        let grid = gsino_grid::RegionGrid::new(&circuit, &tech, 64.0).unwrap();
-        let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
-        let table = NoiseTable::calibrated(&tech);
-        // Budget with a loose vth (0.30) but check against a strict one
-        // (0.15) — mimics the Manhattan-underestimate situation that makes
-        // Phase III necessary, in a controlled way. A mid sensitivity rate
-        // matters: at rate 1.0 capacitive freedom already isolates every
-        // net (K = 0 everywhere) and nothing can violate.
-        let budgets = uniform_budgets(
-            &circuit,
-            &grid,
-            &routes,
-            &table,
-            0.30,
-            LengthModel::Manhattan,
-        )
-        .unwrap();
-        let sens = SensitivityModel::new(0.5, 3);
-        let sino = solve_regions(
-            &grid,
-            &routes,
-            &budgets,
-            &sens,
-            SolverConfig::default(),
-            RegionMode::Sino,
-            1,
-        )
-        .unwrap();
-        (circuit, grid, routes, table, budgets, sino)
-    }
-
-    #[test]
-    fn pass1_eliminates_all_violations() {
-        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
-        let before = check(&circuit, &grid, &routes, &sino, &table, 0.15);
-        assert!(before.violating_nets() > 0, "setup must violate at 0.15 V");
-        let stats = refine(
-            &circuit,
-            &grid,
-            &routes,
-            &mut budgets,
-            &mut sino,
-            &table,
-            0.15,
-            SolverConfig::default(),
-            &RefineConfig::default(),
-        )
-        .unwrap();
-        assert!(stats.clean);
-        assert!(stats.pass1_nets > 0);
-        let after = check(&circuit, &grid, &routes, &sino, &table, 0.15);
-        assert!(
-            after.is_clean(),
-            "{} nets still violate",
-            after.violating_nets()
-        );
-    }
-
-    #[test]
-    fn refine_on_clean_input_is_cheap() {
-        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
-        // Check against the same loose vth used for budgeting: no
-        // violations exist, so pass 1 should do nothing.
-        let stats = refine(
-            &circuit,
-            &grid,
-            &routes,
-            &mut budgets,
-            &mut sino,
-            &table,
-            0.30,
-            SolverConfig::default(),
-            &RefineConfig {
-                enable_pass2: false,
-                ..RefineConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(stats.pass1_nets, 0);
-        assert_eq!(stats.pass1_shields_added, 0);
-        assert!(stats.clean);
-    }
-
-    #[test]
-    fn pass2_never_reintroduces_violations() {
-        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
-        let stats = refine(
-            &circuit,
-            &grid,
-            &routes,
-            &mut budgets,
-            &mut sino,
-            &table,
-            0.15,
-            SolverConfig::default(),
-            &RefineConfig {
-                pass2_sweeps: 2,
-                ..RefineConfig::default()
-            },
-        )
-        .unwrap();
-        assert!(stats.clean);
-        let after = check(&circuit, &grid, &routes, &sino, &table, 0.15);
-        assert!(after.is_clean());
-    }
-
-    #[test]
-    fn pass1_respects_iteration_bounds() {
-        let (circuit, grid, routes, table, mut budgets, mut sino) = violating_setup();
-        let stats = refine(
-            &circuit,
-            &grid,
-            &routes,
-            &mut budgets,
-            &mut sino,
-            &table,
-            0.15,
-            SolverConfig::default(),
-            &RefineConfig {
-                max_pass1_iters: 1,
-                max_inner_iters: 1,
-                enable_pass2: false,
-                pass2_sweeps: 0,
-                ..RefineConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(stats.pass1_nets, 1);
-    }
 }

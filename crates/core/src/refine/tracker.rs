@@ -1,0 +1,470 @@
+//! Cached LSK violation tracking for the incremental Phase III pass.
+//!
+//! The seed pass re-derives everything per recheck: [`check_net`] walks
+//! the route tree (BFS region path), re-scans the edge list for per-region
+//! lengths and re-resolves every coupling through two hash lookups — per
+//! sink, per region, per edit. But Phase III never changes the routes:
+//! the region paths, the per-region lengths and the set of segments each
+//! sink's LSK sum draws from are all fixed at entry. [`LskTracker`]
+//! computes them once and caches, per sink, the flat term list
+//! `(lⱼ, Kᵢʲ)` of paper Eq. (1) in the exact order [`sink_lsk`] iterates
+//! it, plus a reverse index `(region, dir) → terms`. A region re-solve
+//! then patches only the crossing nets' sums:
+//! [`LskTracker::region_updated`] overwrites the affected `K` entries and
+//! re-sums only the dirtied sinks — O(crossing segments + dirty-sink path
+//! terms), with no tree walks and no hash lookups per region.
+//!
+//! # Bitwise-equality contract
+//!
+//! Every cached value is **bit-identical** to the from-scratch
+//! [`check`]/[`check_net`] walks, not merely close: dirtied sinks are
+//! re-summed over the cached term list in the exact iteration order of
+//! [`sink_lsk`] (no running-delta float updates, which would drift), so
+//! the f64 rounding sequence — and therefore every looked-up voltage and
+//! every severity comparison downstream — reproduces the seed pass
+//! exactly. `cfg(debug_assertions)` builds verify the full tracker state
+//! against a fresh [`check`] via [`LskTracker::oracle_check`] after every
+//! region edit of the incremental pass; the `refine_equivalence` property
+//! suite drives random edit sequences against the same oracle in any
+//! build.
+//!
+//! [`check`]: crate::violations::check
+//! [`check_net`]: crate::violations::check_net
+//! [`sink_lsk`]: crate::violations::sink_lsk
+
+use crate::phase2::RegionSino;
+use crate::violations::SinkViolation;
+use gsino_grid::net::{Circuit, NetId};
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, RouteSet};
+use gsino_lsk::table::NoiseTable;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One cached sink: its net, its index within the net, its term range and
+/// the current LSK/voltage.
+#[derive(Debug, Clone)]
+struct SinkState {
+    net: NetId,
+    /// Sink index within the net (0 = first sink).
+    sink: u32,
+    /// `(offset, len)` into the flat term arrays.
+    terms: (u32, u32),
+    lsk: f64,
+    voltage: f64,
+}
+
+/// One entry of the `(region, dir) → terms` reverse index: which term of
+/// which sink a region re-solve patches, and from which segment of the
+/// region's coupling vector the new value is read.
+#[derive(Debug, Clone, Copy)]
+struct SegmentRef {
+    /// Index into [`LskTracker::sinks`].
+    sink: u32,
+    /// Absolute index into the flat term arrays.
+    term: u32,
+    /// Segment index within the region's `k` vector.
+    seg: u32,
+}
+
+/// Incrementally maintained per-sink LSK values and per-net violation
+/// severities of one routing solution — the ground-truth mirror of
+/// [`check`](crate::violations::check) under region re-solves.
+#[derive(Debug, Clone)]
+pub struct LskTracker {
+    vth: f64,
+    /// All tracked sinks, in `check`'s iteration order (circuit net order,
+    /// then sink order).
+    sinks: Vec<SinkState>,
+    /// Flat per-sink term lengths `lⱼ` (fixed: routes never change).
+    term_len: Vec<f64>,
+    /// Flat per-sink term couplings `Kᵢʲ` (patched per region re-solve).
+    term_k: Vec<f64>,
+    /// Reverse index: the terms a `(region, dir)` re-solve can change.
+    by_segment: HashMap<(RegionIdx, Dir), Vec<SegmentRef>>,
+    /// `net → contiguous range into sinks`.
+    net_range: HashMap<NetId, (u32, u32)>,
+    /// Ground truth: worst violating voltage per net (bit-identical to
+    /// `check`'s per-net map).
+    worst: HashMap<NetId, f64>,
+    /// Scratch: sinks dirtied by the update in flight.
+    dirty: Vec<u32>,
+    /// Scratch: nets owning dirtied sinks.
+    dirty_nets: Vec<NetId>,
+}
+
+impl LskTracker {
+    /// Builds the tracker from the current solution state — the only
+    /// full-circuit walk; everything after is patched per region edit.
+    ///
+    /// Nets without a route, or with a trivial (edge-free) route, have no
+    /// segments and can never violate; they are not tracked, mirroring
+    /// [`check_net`](crate::violations::check_net)'s empty-route shortcut.
+    pub fn new(
+        circuit: &Circuit,
+        grid: &RegionGrid,
+        routes: &RouteSet,
+        sino: &RegionSino,
+        table: &NoiseTable,
+        vth: f64,
+    ) -> Self {
+        let mut t = LskTracker {
+            vth,
+            sinks: Vec::new(),
+            term_len: Vec::new(),
+            term_k: Vec::new(),
+            by_segment: HashMap::new(),
+            net_range: HashMap::new(),
+            worst: HashMap::new(),
+            dirty: Vec::new(),
+            dirty_nets: Vec::new(),
+        };
+        for net in circuit.nets() {
+            let route = match routes.get(net.id()) {
+                Some(r) => r,
+                None => continue,
+            };
+            if route.edges().is_empty() {
+                continue;
+            }
+            let root = grid.region_of(net.source());
+            let first_sink = t.sinks.len() as u32;
+            for (sink_index, sink) in net.sinks().iter().enumerate() {
+                let sink_region = grid.region_of(*sink);
+                let path = match route.path(root, sink_region) {
+                    Some(p) => p,
+                    None => route.regions(),
+                };
+                let offset = t.term_len.len() as u32;
+                for &r in &path {
+                    let (lh, lv) = route.length_in_region(grid, r);
+                    for (dir, len) in [(Dir::H, lh), (Dir::V, lv)] {
+                        let term = t.term_len.len() as u32;
+                        // Register the term only if the net owns a segment
+                        // here — only those couplings can ever change; the
+                        // rest stay 0.0 forever, exactly like `sink_lsk`'s
+                        // `unwrap_or(0.0)`.
+                        let k = match sino
+                            .solution(r, dir)
+                            .and_then(|sol| sol.index_of(net.id()).map(|i| (sol.k[i], i)))
+                        {
+                            Some((k, seg)) => {
+                                t.by_segment.entry((r, dir)).or_default().push(SegmentRef {
+                                    sink: t.sinks.len() as u32,
+                                    term,
+                                    seg: seg as u32,
+                                });
+                                k
+                            }
+                            None => 0.0,
+                        };
+                        t.term_len.push(len);
+                        t.term_k.push(k);
+                    }
+                }
+                let len = t.term_len.len() as u32 - offset;
+                let lsk: f64 = (offset..offset + len)
+                    .map(|i| t.term_len[i as usize] * t.term_k[i as usize])
+                    .sum();
+                t.sinks.push(SinkState {
+                    net: net.id(),
+                    sink: sink_index as u32,
+                    terms: (offset, len),
+                    lsk,
+                    voltage: table.voltage(lsk),
+                });
+            }
+            t.net_range
+                .insert(net.id(), (first_sink, t.sinks.len() as u32 - first_sink));
+            t.refresh_net(net.id());
+        }
+        t
+    }
+
+    /// The constraint voltage the tracker flags against.
+    pub fn vth(&self) -> f64 {
+        self.vth
+    }
+
+    /// Patches every cached term the re-solved `(region, dir)` feeds and
+    /// re-sums the dirtied sinks. `k` is the region's refreshed coupling
+    /// vector (`RegionSolution::k`), indexed by segment.
+    pub fn region_updated(&mut self, region: RegionIdx, dir: Dir, k: &[f64], table: &NoiseTable) {
+        self.dirty.clear();
+        self.dirty_nets.clear();
+        let Some(entries) = self.by_segment.get(&(region, dir)) else {
+            return;
+        };
+        for e in entries {
+            let nk = k[e.seg as usize];
+            // Bitwise-unchanged couplings cannot change any sum; skipping
+            // them is exact, not approximate.
+            if self.term_k[e.term as usize].to_bits() != nk.to_bits() {
+                self.term_k[e.term as usize] = nk;
+                self.dirty.push(e.sink);
+            }
+        }
+        for i in 0..self.dirty.len() {
+            let s = self.dirty[i] as usize;
+            let (offset, len) = self.sinks[s].terms;
+            // Full re-sum in `sink_lsk`'s term order — never a running
+            // delta, so the f64 rounding matches a fresh walk bit for bit.
+            let lsk: f64 = (offset..offset + len)
+                .map(|t| self.term_len[t as usize] * self.term_k[t as usize])
+                .sum();
+            let st = &mut self.sinks[s];
+            st.lsk = lsk;
+            st.voltage = table.voltage(lsk);
+            if !self.dirty_nets.contains(&st.net) {
+                self.dirty_nets.push(st.net);
+            }
+        }
+        for i in 0..self.dirty_nets.len() {
+            self.refresh_net(self.dirty_nets[i]);
+        }
+    }
+
+    /// Recomputes one net's worst violating voltage from its cached sinks
+    /// (the same max-fold as `check`'s per-net accumulation).
+    fn refresh_net(&mut self, net: NetId) {
+        let Some(&(start, len)) = self.net_range.get(&net) else {
+            return;
+        };
+        let mut worst: Option<f64> = None;
+        for s in start..start + len {
+            let v = self.sinks[s as usize].voltage;
+            if v > self.vth + 1e-9 {
+                worst = Some(worst.map_or(v, |w| w.max(v)));
+            }
+        }
+        match worst {
+            Some(w) => {
+                self.worst.insert(net, w);
+            }
+            None => {
+                self.worst.remove(&net);
+            }
+        }
+    }
+
+    /// Whether no tracked net violates — bit-identical to
+    /// [`check`](crate::violations::check)`.is_clean()`.
+    pub fn is_clean(&self) -> bool {
+        self.worst.is_empty()
+    }
+
+    /// Whether one net is violation-free — the cached equivalent of
+    /// [`check_net`](crate::violations::check_net)`.is_empty()`.
+    pub fn net_is_clean(&self, net: NetId) -> bool {
+        !self.worst.contains_key(&net)
+    }
+
+    /// The worst violating voltage of a net, if it violates.
+    pub fn net_worst(&self, net: NetId) -> Option<f64> {
+        self.worst.get(&net).copied()
+    }
+
+    /// Number of violating nets.
+    pub fn violating_nets(&self) -> usize {
+        self.worst.len()
+    }
+
+    /// Violating nets, most severe first, ties broken by ascending net id —
+    /// the exact order of
+    /// [`ViolationReport::nets_by_severity`](crate::violations::ViolationReport::nets_by_severity).
+    pub fn nets_by_severity(&self) -> Vec<(NetId, f64)> {
+        let mut v: Vec<(NetId, f64)> = self.worst.iter().map(|(&n, &x)| (n, x)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite voltages")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// All violating sinks in `check`'s report order (circuit net order,
+    /// then sink order) — for oracle comparison against
+    /// [`check`](crate::violations::check)`.sinks`.
+    pub fn sink_violations(&self) -> Vec<SinkViolation> {
+        self.sinks
+            .iter()
+            .filter(|s| s.voltage > self.vth + 1e-9)
+            .map(|s| SinkViolation {
+                net: s.net,
+                sink: s.sink as usize,
+                lsk: s.lsk,
+                voltage: s.voltage,
+            })
+            .collect()
+    }
+
+    /// Debug oracle: the full tracker state must be bit-identical to a
+    /// from-scratch [`check`](crate::violations::check) of the current
+    /// solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cached value diverged.
+    pub fn oracle_check(
+        &self,
+        circuit: &Circuit,
+        grid: &RegionGrid,
+        routes: &RouteSet,
+        sino: &RegionSino,
+        table: &NoiseTable,
+    ) {
+        let report = crate::violations::check(circuit, grid, routes, sino, table, self.vth);
+        assert_eq!(
+            self.nets_by_severity(),
+            report.nets_by_severity(),
+            "LskTracker severity diverged from check"
+        );
+        assert_eq!(
+            self.sink_violations(),
+            report.sinks,
+            "LskTracker sink violations diverged from check"
+        );
+    }
+}
+
+/// Pass 1's work queue: the severity map plus a lazy-deletion max-heap
+/// replacing the seed pass's O(violating nets) full-map scan per pick.
+///
+/// Ordering: highest voltage first, ties broken by **ascending net id** —
+/// the exact tie-break of the seed pass's `max_by` scan (and of
+/// [`ViolationReport::nets_by_severity`]), so both engines pick the same
+/// net when voltages are equal. See `severity_ordering` in the module
+/// tests.
+///
+/// Note the queue is *not* ground truth: like the seed pass's severity
+/// map, a net dropped via [`SeverityQueue::remove`] (fixed or given up on)
+/// stays out until a later region edit touches it again through
+/// [`SeverityQueue::set`].
+///
+/// [`ViolationReport::nets_by_severity`]: crate::violations::ViolationReport::nets_by_severity
+#[derive(Debug, Default)]
+pub struct SeverityQueue {
+    map: HashMap<NetId, f64>,
+    heap: BinaryHeap<SeverityEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SeverityEntry {
+    voltage: f64,
+    net: NetId,
+}
+
+impl Ord for SeverityEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.voltage
+            .partial_cmp(&other.voltage)
+            .expect("finite voltages")
+            .then_with(|| other.net.cmp(&self.net))
+    }
+}
+
+impl PartialOrd for SeverityEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for SeverityEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for SeverityEntry {}
+
+impl SeverityQueue {
+    /// Seeds the queue (typically from [`LskTracker::nets_by_severity`]).
+    pub fn new(initial: &[(NetId, f64)]) -> Self {
+        let mut q = SeverityQueue::default();
+        for &(net, voltage) in initial {
+            q.set(net, Some(voltage));
+        }
+        q
+    }
+
+    /// Updates one net's severity: `Some` (re-)enqueues it, `None` drops
+    /// it — mirroring the seed pass's per-affected-net insert/remove.
+    pub fn set(&mut self, net: NetId, worst: Option<f64>) {
+        match worst {
+            Some(voltage) => {
+                self.map.insert(net, voltage);
+                self.heap.push(SeverityEntry { voltage, net });
+            }
+            None => {
+                self.map.remove(&net);
+            }
+        }
+    }
+
+    /// Drops a net from the queue (processed, fixed or given up on).
+    pub fn remove(&mut self, net: NetId) {
+        self.map.remove(&net);
+    }
+
+    /// The most severe queued net (highest voltage, then smallest id), or
+    /// `None` when the queue is empty. Stale heap entries are discarded
+    /// lazily; a returned entry always matches the live map bitwise.
+    pub fn pick(&mut self) -> Option<NetId> {
+        while let Some(top) = self.heap.peek() {
+            match self.map.get(&top.net) {
+                Some(v) if v.to_bits() == top.voltage.to_bits() => return Some(top.net),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of queued nets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_voltage_then_ascending_net_id() {
+        let mut q = SeverityQueue::new(&[(7, 0.5), (3, 0.5), (9, 0.75), (1, 0.25)]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pick(), Some(9));
+        q.remove(9);
+        // Equal voltages: the smaller net id wins, exactly like
+        // `nets_by_severity`'s (desc voltage, asc id) order.
+        assert_eq!(q.pick(), Some(3));
+        q.remove(3);
+        assert_eq!(q.pick(), Some(7));
+        q.remove(7);
+        assert_eq!(q.pick(), Some(1));
+        q.remove(1);
+        assert_eq!(q.pick(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_skipped_and_reinsertion_works() {
+        let mut q = SeverityQueue::new(&[(2, 0.9), (5, 0.4)]);
+        // Net 2's severity drops below net 5's: the stale 0.9 entry must
+        // not win.
+        q.set(2, Some(0.3));
+        assert_eq!(q.pick(), Some(5));
+        // Dropping and re-adding with the old voltage revalidates the old
+        // heap entry — still correct, because it matches the map again.
+        q.set(2, None);
+        assert_eq!(q.pick(), Some(5));
+        q.set(2, Some(0.9));
+        assert_eq!(q.pick(), Some(2));
+    }
+}

@@ -50,6 +50,14 @@ impl ViolationReport {
     }
 
     /// The most severely violating net and its worst voltage.
+    ///
+    /// Deterministic despite the backing `HashMap`: ties on voltage go to
+    /// the **smallest net id** (the comparator reverses the id order, so
+    /// `max_by` favours lower ids). This is the same total order
+    /// [`ViolationReport::nets_by_severity`] ranks by and the Phase III
+    /// severity queue ([`crate::refine::tracker::SeverityQueue`]) pops by,
+    /// which is what lets the incremental and reference refinement passes
+    /// pick the same net on equal voltages.
     pub fn worst_net(&self) -> Option<(NetId, f64)> {
         self.per_net
             .iter()
@@ -66,7 +74,12 @@ impl ViolationReport {
         self.per_net.get(&net).copied()
     }
 
-    /// Violating nets, most severe first.
+    /// Violating nets, most severe first — descending voltage, ties broken
+    /// by ascending net id. The order is total (voltages are finite and
+    /// net ids unique), so it is deterministic regardless of hash-map
+    /// iteration order, and its first element is exactly
+    /// [`ViolationReport::worst_net`] / the net Phase III's severity queue
+    /// picks first.
     pub fn nets_by_severity(&self) -> Vec<(NetId, f64)> {
         let mut v: Vec<(NetId, f64)> = self.per_net.iter().map(|(&n, &x)| (n, x)).collect();
         v.sort_by(|a, b| {
@@ -279,6 +292,31 @@ mod tests {
         .unwrap();
         let report = check(&circuit, &grid, &routes, &sino, &table, 0.15);
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn worst_net_ties_break_to_smallest_net_id() {
+        // Two nets with bitwise-equal worst voltages: the smaller id must
+        // win in `worst_net` and lead `nets_by_severity` — the shared
+        // tie-break of both Phase III engines.
+        let mut report = ViolationReport {
+            vth: 0.15,
+            ..ViolationReport::default()
+        };
+        for (net, v) in [(7, 0.5), (3, 0.5), (9, 0.25)] {
+            report.per_net.insert(net, v);
+            report.sinks.push(SinkViolation {
+                net,
+                sink: 0,
+                lsk: 0.0,
+                voltage: v,
+            });
+        }
+        assert_eq!(report.worst_net(), Some((3, 0.5)));
+        let ranked = report.nets_by_severity();
+        assert_eq!(ranked[0], (3, 0.5));
+        assert_eq!(ranked[1], (7, 0.5));
+        assert_eq!(ranked[2], (9, 0.25));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Equivalence properties of the incremental Phase III pass against the
+//! seed pass kept in `gsino_core::refine::reference`.
+//!
+//! Two contracts are property-tested here, mirroring
+//! `router_equivalence.rs` (Phase I) and `sino_equivalence.rs` (Phase II):
+//!
+//! 1. **The tracker contract** — `refine::tracker::LskTracker` stays
+//!    bitwise-equal to a from-scratch `violations::check` (same severity
+//!    ranking, same violating sinks, same LSK values and voltages) across
+//!    random region-edit sequences: budget tightenings *and* loosenings,
+//!    re-solves, on random regions.
+//! 2. **The pass contract** — `refine::refine` produces bit-identical
+//!    final `Budgets`, `RegionSino` and `RefineStats` to
+//!    `refine::reference::refine` across random circuits, sensitivity
+//!    rates, constraint pairs and solver/refine configurations.
+
+use gsino_core::budget::{uniform_budgets, Budgets, LengthModel};
+use gsino_core::phase2::{solve_regions, RegionMode, RegionSino};
+use gsino_core::refine::tracker::LskTracker;
+use gsino_core::refine::{self, RefineConfig};
+use gsino_core::router::{route_all, ShieldTerm, Weights};
+use gsino_core::violations::check;
+use gsino_grid::geom::{Point, Rect};
+use gsino_grid::net::{Circuit, Net};
+use gsino_grid::route::RouteSet;
+use gsino_grid::sensitivity::SensitivityModel;
+use gsino_grid::tech::Technology;
+use gsino_grid::RegionGrid;
+use gsino_lsk::table::NoiseTable;
+use gsino_sino::solver::{SinoSolver, SolverConfig};
+use proptest::prelude::*;
+
+/// A dense single-row bus (every net couples hard) solved through Phase
+/// II with budgets computed at `budget_vth` — loose budgets plus a strict
+/// check voltage recreate the Manhattan-underestimate violations Phase
+/// III repairs.
+#[allow(clippy::type_complexity)]
+fn bus_setup(
+    n: u32,
+    len: f64,
+    rate: f64,
+    budget_vth: f64,
+    seed: u64,
+) -> (
+    Circuit,
+    RegionGrid,
+    RouteSet,
+    NoiseTable,
+    Budgets,
+    RegionSino,
+) {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(len.max(640.0), 640.0)).unwrap();
+    let nets: Vec<Net> = (0..n)
+        .map(|i| {
+            Net::two_pin(
+                i,
+                Point::new(8.0, 320.0 + i as f64),
+                Point::new(len - 8.0, 320.0 + i as f64),
+            )
+        })
+        .collect();
+    let circuit = Circuit::new("bus", die, nets).unwrap();
+    let tech = Technology::itrs_100nm();
+    let grid = RegionGrid::new(&circuit, &tech, 64.0).unwrap();
+    let (routes, _) = route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).unwrap();
+    let table = NoiseTable::calibrated(&tech);
+    let budgets = uniform_budgets(
+        &circuit,
+        &grid,
+        &routes,
+        &table,
+        budget_vth,
+        LengthModel::Manhattan,
+    )
+    .unwrap();
+    let sens = SensitivityModel::new(rate, seed);
+    let sino = solve_regions(
+        &grid,
+        &routes,
+        &budgets,
+        &sens,
+        SolverConfig::default(),
+        RegionMode::Sino,
+        1,
+    )
+    .unwrap();
+    (circuit, grid, routes, table, budgets, sino)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random budget-edit + re-solve sequences keep every `LskTracker`
+    /// aggregate bitwise-equal to a from-scratch `check` — severity
+    /// ranking, violating sinks, LSK values and voltages alike.
+    #[test]
+    fn tracker_matches_check_across_random_edits(
+        n in 4u32..12,
+        rate_pct in 20u32..=80,
+        seed in 0u64..50,
+        vth_m in 10u32..=30,
+        ops in prop::collection::vec((0usize..64, 0usize..64, 30u32..160), 1..12),
+    ) {
+        let vth = vth_m as f64 / 100.0;
+        let (circuit, grid, routes, table, _, mut sino) =
+            bus_setup(n, 2560.0, rate_pct as f64 / 100.0, 0.30, seed);
+        let mut tracker = LskTracker::new(&circuit, &grid, &routes, &sino, &table, vth);
+        let solver = SinoSolver::new(SolverConfig::default());
+        let keys = sino.keys();
+        prop_assert!(!keys.is_empty());
+        for (key_sel, seg_sel, factor_pct) in ops {
+            let (r, dir) = keys[key_sel % keys.len()];
+            {
+                let sol = sino.solution_mut(r, dir).expect("key enumerated");
+                if sol.nets.is_empty() {
+                    continue;
+                }
+                let seg = seg_sel % sol.nets.len();
+                // Tighten or loosen one budget, then re-solve the region —
+                // exactly the kind of local perturbation Phase III applies.
+                let new_kth = (sol.instance.segment(seg).kth * factor_pct as f64 / 100.0)
+                    .max(1e-9);
+                sol.instance.set_kth(seg, new_kth).expect("valid budget");
+                sol.layout = solver.solve(&sol.instance).expect("solvable");
+                sol.refresh_k();
+                let k = sol.k.clone();
+                tracker.region_updated(r, dir, &k, &table);
+            }
+            let report = check(&circuit, &grid, &routes, &sino, &table, vth);
+            prop_assert_eq!(tracker.nets_by_severity(), report.nets_by_severity());
+            prop_assert_eq!(tracker.sink_violations(), report.sinks.clone());
+            prop_assert_eq!(tracker.is_clean(), report.is_clean());
+            prop_assert_eq!(tracker.violating_nets(), report.violating_nets());
+        }
+    }
+
+    /// The incremental pass and the preserved seed pass agree bit for bit
+    /// on every output across random workloads and configurations.
+    #[test]
+    fn refine_matches_reference(
+        n in 6u32..14,
+        rate_pct in 30u32..=70,
+        seed in 0u64..50,
+        vth_m in 12u32..=20,
+        pass2_sel in 0u32..2,
+        anneal_iters in 0usize..200,
+    ) {
+        let enable_pass2 = pass2_sel == 1;
+        let vth = vth_m as f64 / 100.0;
+        let (circuit, grid, routes, table, budgets0, sino0) =
+            bus_setup(n, 3840.0, rate_pct as f64 / 100.0, 0.30, seed);
+        let solver = match anneal_iters {
+            0 => SolverConfig::default(),
+            iters => SolverConfig::with_anneal(iters, seed),
+        };
+        let config = RefineConfig {
+            enable_pass2,
+            ..RefineConfig::default()
+        };
+        let (mut b_ref, mut s_ref) = (budgets0.clone(), sino0.clone());
+        let stats_ref = refine::reference::refine(
+            &circuit, &grid, &routes, &mut b_ref, &mut s_ref, &table, vth, solver, &config,
+        )
+        .expect("reference refine");
+        let (mut b_inc, mut s_inc) = (budgets0, sino0);
+        let stats_inc = refine::refine(
+            &circuit, &grid, &routes, &mut b_inc, &mut s_inc, &table, vth, solver, &config,
+        )
+        .expect("incremental refine");
+        prop_assert_eq!(stats_ref, stats_inc);
+        prop_assert_eq!(b_ref, b_inc);
+        prop_assert_eq!(s_ref, s_inc);
+    }
+}
+
+/// One denser non-property check: a workload where both passes do real
+/// work (violations fixed by pass 1, shields recovered by pass 2), with
+/// the full output state compared.
+#[test]
+fn dense_refine_full_agreement() {
+    let (circuit, grid, routes, table, budgets0, sino0) = bus_setup(14, 3840.0, 0.5, 0.30, 3);
+    let before = check(&circuit, &grid, &routes, &sino0, &table, 0.15);
+    assert!(before.violating_nets() > 0, "setup must violate at 0.15 V");
+    let (mut b_ref, mut s_ref) = (budgets0.clone(), sino0.clone());
+    let stats_ref = refine::reference::refine(
+        &circuit,
+        &grid,
+        &routes,
+        &mut b_ref,
+        &mut s_ref,
+        &table,
+        0.15,
+        SolverConfig::default(),
+        &RefineConfig::default(),
+    )
+    .unwrap();
+    let (mut b_inc, mut s_inc) = (budgets0, sino0);
+    let stats_inc = refine::refine(
+        &circuit,
+        &grid,
+        &routes,
+        &mut b_inc,
+        &mut s_inc,
+        &table,
+        0.15,
+        SolverConfig::default(),
+        &RefineConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(stats_ref, stats_inc);
+    assert!(stats_inc.clean);
+    assert!(stats_inc.pass1_nets > 0);
+    assert_eq!(b_ref, b_inc);
+    assert_eq!(s_ref, s_inc);
+    assert!(check(&circuit, &grid, &routes, &s_inc, &table, 0.15).is_clean());
+}
