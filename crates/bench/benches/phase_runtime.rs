@@ -143,11 +143,20 @@ fn phase1_speedup_report() -> KernelTimings {
     }
 }
 
+/// Connectivity behaviour counters of the incremental ID run, reported
+/// into `BENCH_phase1.json` and gated by `bench_gate` (the workload is
+/// deterministic, so the counts are exactly reproducible).
+struct ConnectivityCounts {
+    o1_hits: usize,
+    repairs: usize,
+    recomputes: usize,
+}
+
 /// ID-path Phase I: the incremental-connectivity kernel against the
 /// preserved PR-1 BFS kernel, byte-identical route sets required. The
 /// Steiner decomposition is shared (same methodology as the A* report) so
 /// the numbers isolate the deletion kernel.
-fn id_phase1_speedup_report() -> KernelTimings {
+fn id_phase1_speedup_report() -> (KernelTimings, ConnectivityCounts) {
     let (circuit, grid) = workload();
     let weights = Weights::default();
     let reference = SeedIdRouter::new(&grid, weights, ShieldTerm::None);
@@ -185,8 +194,9 @@ fn id_phase1_speedup_report() -> KernelTimings {
         t_ref / t_inc
     );
     println!(
-        "  connectivity: {} O(1) hits, {} recomputes ({} deletions, {} kept)",
+        "  connectivity: {} O(1) hits, {} path repairs, {} recomputes ({} deletions, {} kept)",
         inc_stats.connectivity_o1_hits,
+        inc_stats.connectivity_repairs,
         inc_stats.connectivity_recomputes,
         inc_stats.deletions,
         inc_stats.kept
@@ -195,10 +205,17 @@ fn id_phase1_speedup_report() -> KernelTimings {
         "  total wirelength identical: {} um",
         ref_routes.total_wirelength(&grid)
     );
-    KernelTimings {
-        reference_ms: t_ref * 1e3,
-        new_ms: t_inc * 1e3,
-    }
+    (
+        KernelTimings {
+            reference_ms: t_ref * 1e3,
+            new_ms: t_inc * 1e3,
+        },
+        ConnectivityCounts {
+            o1_hits: inc_stats.connectivity_o1_hits,
+            repairs: inc_stats.connectivity_repairs,
+            recomputes: inc_stats.connectivity_recomputes,
+        },
+    )
 }
 
 /// Serializes one summary document and writes it to `path`, shared by all
@@ -217,7 +234,7 @@ fn write_summary_json(path: &str, root: Map) {
 }
 
 /// Writes the machine-readable Phase I summary the CI gate consumes.
-fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings) {
+fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings, conn: &ConnectivityCounts) {
     let mut workload = Map::new();
     workload.insert("circuit", Value::Str("ibm01".into()));
     workload.insert("nets", Value::U64(500));
@@ -229,6 +246,15 @@ fn write_phase1_summary(astar: &KernelTimings, id: &KernelTimings) {
     id_m.insert("reference_ms", Value::F64(id.reference_ms));
     id_m.insert("incremental_ms", Value::F64(id.new_ms));
     id_m.insert("speedup_vs_pr1", Value::F64(id.speedup()));
+    // Deterministic connectivity behaviour counts, gated as hard ceilings
+    // by bench_gate (see COUNT_METRICS there): a change that quietly
+    // reintroduces per-kill recomputes fails CI even if wall time hides it.
+    id_m.insert("connectivity_o1_hits", Value::U64(conn.o1_hits as u64));
+    id_m.insert("connectivity_repairs", Value::U64(conn.repairs as u64));
+    id_m.insert(
+        "connectivity_recomputes",
+        Value::U64(conn.recomputes as u64),
+    );
     let mut root = Map::new();
     root.insert("schema", Value::U64(1));
     root.insert("workload", Value::Object(workload));
@@ -529,8 +555,8 @@ fn main() {
     let config = bench_experiment_config();
     eprintln!("{}", banner("phase_runtime", &config));
     let astar = phase1_speedup_report();
-    let id = id_phase1_speedup_report();
-    write_phase1_summary(&astar, &id);
+    let (id, conn) = id_phase1_speedup_report();
+    write_phase1_summary(&astar, &id, &conn);
     let (sino, regions) = phase2_speedup_report();
     write_phase2_summary(&sino, regions);
     let (refine_timings, initial_violations, refine_stats) = phase3_speedup_report();

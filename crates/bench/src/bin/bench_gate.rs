@@ -15,6 +15,12 @@
 //! whatever hardware CI happens to run — exactly the regression the gate
 //! exists to catch. The absolute times are reported alongside for humans.
 //!
+//! Deterministic **behaviour counts** (currently the ID router's
+//! connectivity recompute/repair counters) are gated alongside the
+//! timings with the same tolerance; being exact integers on a fixed
+//! workload, they catch algorithmic regressions that wall-time noise
+//! would mask.
+//!
 //! The normalization removes most but not all hardware sensitivity: the
 //! clone-heavy reference kernels and the flat/incremental kernels respond
 //! differently to cache sizes and vCPU contention, and the medians come
@@ -58,6 +64,18 @@ const METRICS: &[(&str, &str, &str, &str)] = &[
         "incremental_ms",
         "reference_ms",
     ),
+];
+
+/// Deterministic behaviour counts gated as hard ceilings: the workload is
+/// a fixed generator circuit, so these are exactly reproducible across
+/// machines and a rise means an algorithmic regression (e.g. localized
+/// connectivity repairs degrading back into full recomputes) even when
+/// wall time is too noisy to show it. A count present in the committed
+/// baseline must be present in the fresh summary and must not exceed the
+/// baseline by more than the tolerance.
+const COUNT_METRICS: &[(&str, &str, &str)] = &[
+    ("id full recomputes", "id", "connectivity_recomputes"),
+    ("id localized repairs", "id", "connectivity_repairs"),
 ];
 
 struct Args {
@@ -179,23 +197,79 @@ fn check(
     Ok(())
 }
 
+/// One gated behaviour count: `current` must not exceed the committed
+/// baseline count by more than the tolerance. Gated only when the
+/// baseline carries the count; once it does, a summary that drops it
+/// fails instead of being skipped.
+fn check_count(
+    label: &'static str,
+    current: &JsonDoc,
+    baseline: &JsonDoc,
+    section: &str,
+    key: &str,
+    max_regress: f64,
+    rows: &mut Vec<Row>,
+) -> Result<bool, String> {
+    let Some(base) = num(&baseline.0, &[section, key]).filter(|v| v.is_finite() && *v >= 0.0)
+    else {
+        return Ok(false); // pre-count baseline: nothing to gate yet
+    };
+    let cur = num(&current.0, &[section, key])
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| {
+            format!("{label}: baseline gates `{section}.{key}` but the fresh summary lacks it")
+        })?;
+    let ratio = if base > 0.0 { cur / base } else { 1.0 + cur };
+    let pass = ratio <= 1.0 + max_regress;
+    let verdict = if pass { "ok" } else { "FAIL" };
+    rows.push(Row {
+        label,
+        cur_norm: cur,
+        base_norm: base,
+        delta_pct: (ratio - 1.0) * 100.0,
+        pass,
+    });
+    println!(
+        "{label:<24} count {cur:.0} vs baseline {base:.0} \
+         ({:+.1}% — {verdict}, tolerance +{:.0}%)",
+        (ratio - 1.0) * 100.0,
+        max_regress * 100.0,
+    );
+    if !pass {
+        return Err(format!(
+            "{label}: behaviour count rose {:.1}% vs baseline (> {:.0}% tolerance)",
+            (ratio - 1.0) * 100.0,
+            max_regress * 100.0
+        ));
+    }
+    Ok(true)
+}
+
 /// Appends the phase-by-phase markdown table (for `$GITHUB_STEP_SUMMARY`).
 fn write_summary(path: &str, rows: &[Row], max_regress: f64) -> Result<(), String> {
     use std::fmt::Write as _;
     let mut md = String::from("## Bench gate\n\n");
     let _ = writeln!(
         md,
-        "| Kernel | Normalized now | Baseline | Δ | Verdict (tolerance +{:.0}%) |",
+        "| Metric | Now | Baseline | Δ | Verdict (tolerance +{:.0}%) |",
         max_regress * 100.0
     );
     md.push_str("|---|---|---|---|---|\n");
+    // Counts are whole numbers; normalized times are ratios.
+    let fmt = |v: f64| {
+        if v.fract() == 0.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.4}")
+        }
+    };
     for r in rows {
         let _ = writeln!(
             md,
-            "| {} | {:.4} | {:.4} | {:+.1}% | {} |",
+            "| {} | {} | {} | {:+.1}% | {} |",
             r.label,
-            r.cur_norm,
-            r.base_norm,
+            fmt(r.cur_norm),
+            fmt(r.base_norm),
             r.delta_pct,
             if r.pass { "✅ ok" } else { "❌ FAIL" }
         );
@@ -254,6 +328,24 @@ fn main() -> ExitCode {
             ) {
                 eprintln!("bench_gate: {e}");
                 failed = true;
+            }
+        }
+        for (label, section, key) in COUNT_METRICS {
+            match check_count(
+                label,
+                &current,
+                &baseline,
+                section,
+                key,
+                args.max_regress,
+                &mut rows,
+            ) {
+                Ok(counted) => gated += counted as usize,
+                Err(e) => {
+                    eprintln!("bench_gate: {e}");
+                    gated += 1;
+                    failed = true;
+                }
             }
         }
     }

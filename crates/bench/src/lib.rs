@@ -9,6 +9,12 @@
 //!   set 1.0 to regenerate the full calibrated suite, several minutes);
 //! * `GSINO_CIRCUITS` — comma list of circuits (default `ibm01` for the
 //!   benches; the `tables` binary defaults to all six).
+//!
+//! # Architecture
+//!
+//! The phase summaries (`BENCH_phase*.json`) and the `bench_gate`
+//! regression gate enforce the incremental-engine contracts described
+//! in `ARCHITECTURE.md` at the repository root.
 
 use gsino_circuits::experiment::ExperimentConfig;
 use gsino_circuits::spec::CircuitSpec;

@@ -25,6 +25,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Architecture
+//!
+//! The pipeline-wide map — which phase this crate serves and the
+//! incremental-engine contracts shared across the workspace — lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 pub mod experiment;
 pub mod generator;

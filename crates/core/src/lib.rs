@@ -43,6 +43,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Architecture
+//!
+//! The pipeline-wide map — which phase this crate serves and the
+//! incremental-engine contracts shared across the workspace — lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 pub mod analysis;
 pub mod baseline;

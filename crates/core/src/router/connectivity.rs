@@ -5,13 +5,21 @@
 //! with a full BFS over corridor adjacency per query
 //! ([`Corridor::connected_without`]), which made connectivity the dominant
 //! Phase I cost. This module replaces the per-query BFS with a cached
-//! bridge analysis so that almost every query is O(1):
+//! bridge analysis so that almost every query is O(1), and scopes the
+//! remaining passes to the terminals' connected component:
 //!
 //! * One **Tarjan low-link DFS** over the alive corridor graph finds every
 //!   bridge in O(V+E); a BFS from the same pass extracts a short witness
 //!   path `P` between the terminals. An edge disconnects the terminals iff
 //!   it is a bridge **and** lies on `P` (a separating edge lies on every
 //!   terminal path, and a bridge on one simple terminal path separates).
+//! * Both traversals walk the corridor's **alive arc lists**
+//!   ([`Corridor::first_arc`]/[`Corridor::next_arc`]), which
+//!   [`Corridor::kill`] unlinks in O(1). Starting from a terminal they
+//!   visit exactly the terminal component's alive edges — a recompute is
+//!   **component-scoped**, O(V_c + E_c), never the PR-2 corridor-scoped
+//!   O(V + E_total) rebuild that iterated every edge (dead ones included)
+//!   to copy adjacency into scratch.
 //! * The analysis is stamped with the corridor's **revision** (bumped by
 //!   every [`Corridor::kill`]). While the revision matches, a query is a
 //!   plain double array lookup.
@@ -22,14 +30,23 @@
 //!   continue, so `sep` verdicts persist across revisions; and while the
 //!   witness path is intact (no kill touched it — see
 //!   [`BridgeCache::note_kill`]) any query about an off-path edge is
-//!   answered `true`, because `P` itself avoids that edge. Only a query
-//!   about an unclassified path edge (or a query after the path broke)
-//!   pays the O(V+E) recompute.
-//! * A recompute triggered by a query about edge `e` routes the fresh
-//!   witness path **around** `e` when possible, so the kill that typically
-//!   follows a `true` answer leaves the new path intact — the common
-//!   query→delete cycle of the ID loop settles into one recompute per
-//!   *diversion*, not one per kill.
+//!   answered `true`, because `P` itself avoids that edge.
+//! * Every other stale query — the witness path **broke** (a kill hit
+//!   it), or the query is about a path edge the monotone facts cannot
+//!   classify — is settled by a **localized repair**
+//!   (`BridgeCache::resolve_stale`): one component-scoped BFS around the
+//!   queried edge either installs a fresh witness path (re-arming the
+//!   O(1) shortcut) or, by failing while a live path exists, proves the
+//!   edge separating. Repairs are *batched* by construction — a burst of
+//!   deletions along one route invalidates the path once, and the single
+//!   BFS at the next query heals every break at once, instead of the
+//!   PR-2 behaviour of one full Tarjan recompute per path hit.
+//! * The full Tarjan pass therefore runs **once per corridor** (the first
+//!   query, seeding the monotone bridge set so every bridge that exists
+//!   up front yields O(1) `sep` verdicts) and again only if a caller
+//!   violates the kill-notification contract below. Its witness path is
+//!   routed **around** the queried edge when possible so the kill that
+//!   typically follows a `true` answer leaves the new path intact.
 //!
 //! The per-call DFS/BFS state lives in [`ConnectivityScratch`], shared by
 //! every corridor of an ID run and epoch-stamped exactly like
@@ -42,11 +59,11 @@
 //! [`Corridor::kill`] with one [`BridgeCache::note_kill`] on the
 //! corridor's cache — that is how the intact-path shortcut learns about
 //! witness-path deaths. The pairing is enforced structurally: the
-//! shortcut cross-checks the corridor's revision counter against the
-//! number of reported kills, so an unpaired kill degrades to a recompute
-//! instead of a stale answer (and debug builds verify the witness path on
-//! every shortcut). See `crates/core/src/router/README.md` for the full
-//! contract.
+//! shortcut *and* the repair cross-check the corridor's revision counter
+//! against the number of reported kills, so an unpaired kill degrades to a
+//! recompute instead of a stale answer (and debug builds verify the
+//! witness path on every shortcut). See
+//! `crates/core/src/router/README.md` for the full contract.
 
 use super::corridor::Corridor;
 
@@ -60,7 +77,12 @@ pub struct ConnectivityCounters {
     pub fresh_hits: usize,
     /// Stale-cache queries answered through the intact witness path (O(1)).
     pub shortcut_hits: usize,
-    /// Full O(V+E) Tarjan/BFS recomputes.
+    /// Localized stale-query resolutions ([`BridgeCache`]'s
+    /// `resolve_stale`): a component-scoped BFS repaired the witness path
+    /// (healing a whole burst of breaks at once) or proved the queried
+    /// edge separating, without recomputing the bridge analysis.
+    pub repairs: usize,
+    /// Full component-scoped Tarjan/BFS bridge recomputes.
     pub recomputes: usize,
 }
 
@@ -69,22 +91,17 @@ pub struct ConnectivityCounters {
 /// One scratch serves every corridor of a routing run. All arrays are
 /// epoch-stamped: an entry is live only when its stamp equals the current
 /// epoch, so starting a recompute costs O(1) regardless of how large the
-/// previous corridor was.
+/// previous corridor was. Adjacency is *not* copied here — traversals walk
+/// the corridor's own alive arc lists, so their cost is bounded by the
+/// traversed component.
 #[derive(Debug, Default)]
 pub struct ConnectivityScratch {
     epoch: u32,
-    /// CSR-ish adjacency heads per region (epoch-stamped).
-    adj_head: Vec<i32>,
-    adj_stamp: Vec<u32>,
-    adj_next: Vec<i32>,
-    adj_to: Vec<u16>,
-    adj_edge: Vec<u32>,
-    adj_len: usize,
     /// DFS discovery stamp / order / low-link per region.
     visit: Vec<u32>,
     tin: Vec<u32>,
     low: Vec<u32>,
-    /// DFS frames: (region, next adjacency slot, edge to parent).
+    /// DFS frames: (region, next alive arc, edge to parent).
     stack: Vec<(u16, i32, u32)>,
     /// Bridge flags per edge, valid for the current recompute only.
     bridge: Vec<bool>,
@@ -107,32 +124,27 @@ impl ConnectivityScratch {
         ConnectivityScratch::default()
     }
 
-    fn prepare(&mut self, regions: usize, edges: usize) {
-        if self.adj_head.len() < regions {
-            self.adj_head.resize(regions, -1);
-            self.adj_stamp.resize(regions, 0);
+    /// Grows the region/edge-indexed arrays; never shrinks them.
+    fn ensure_capacity(&mut self, regions: usize, edges: usize) {
+        if self.visit.len() < regions {
             self.visit.resize(regions, 0);
             self.tin.resize(regions, 0);
             self.low.resize(regions, 0);
             self.bfs_visit.resize(regions, 0);
             self.bfs_parent.resize(regions, NONE);
         }
-        let cap = edges * 2;
-        if self.adj_next.len() < cap {
-            self.adj_next.resize(cap, -1);
-            self.adj_to.resize(cap, 0);
-            self.adj_edge.resize(cap, 0);
-        }
         if self.bridge.len() < edges {
             self.bridge.resize(edges, false);
         }
+    }
+
+    fn prepare(&mut self, regions: usize, edges: usize) {
+        self.ensure_capacity(regions, edges);
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            self.adj_stamp.fill(0);
             self.visit.fill(0);
             self.epoch = 1;
         }
-        self.adj_len = 0;
         self.stack.clear();
         self.bfs_queue.clear();
         while let Some(e) = self.bridge_set.pop() {
@@ -140,37 +152,18 @@ impl ConnectivityScratch {
         }
     }
 
-    #[inline]
-    fn head_of(&self, r: u16) -> i32 {
-        if self.adj_stamp[r as usize] == self.epoch {
-            self.adj_head[r as usize]
-        } else {
-            -1
-        }
-    }
-
-    #[inline]
-    fn push_adj(&mut self, from: u16, to: u16, edge: u32) {
-        let slot = self.adj_len;
-        self.adj_len += 1;
-        self.adj_to[slot] = to;
-        self.adj_edge[slot] = edge;
-        self.adj_next[slot] = self.head_of(from);
-        self.adj_head[from as usize] = slot as i32;
-        self.adj_stamp[from as usize] = self.epoch;
-    }
-
-    /// Iterative Tarjan low-link DFS from `root` over the alive adjacency.
-    /// Marks every bridge of `root`'s component in `self.bridge`.
-    fn dfs_bridges(&mut self, root: u16) {
+    /// Iterative Tarjan low-link DFS from `root` over the corridor's alive
+    /// arc lists. Marks every bridge of `root`'s component in
+    /// `self.bridge`; regions outside the component are never touched.
+    fn dfs_bridges(&mut self, corridor: &Corridor, root: u16) {
         let mut timer = 0u32;
         self.visit[root as usize] = self.epoch;
         self.tin[root as usize] = timer;
         self.low[root as usize] = timer;
         timer += 1;
-        self.stack.push((root, self.head_of(root), NONE));
-        while let Some(&(node, slot, parent_edge)) = self.stack.last() {
-            if slot < 0 {
+        self.stack.push((root, corridor.first_arc(root), NONE));
+        while let Some(&(node, arc, parent_edge)) = self.stack.last() {
+            if arc < 0 {
                 self.stack.pop();
                 if let Some(&(parent, _, _)) = self.stack.last() {
                     let (ni, pi) = (node as usize, parent as usize);
@@ -184,9 +177,8 @@ impl ConnectivityScratch {
                 }
                 continue;
             }
-            let s = slot as usize;
-            let (to, eid) = (self.adj_to[s], self.adj_edge[s]);
-            self.stack.last_mut().expect("frame exists").1 = self.adj_next[s];
+            let (to, eid) = (corridor.arc_to(arc), corridor.arc_edge(arc) as u32);
+            self.stack.last_mut().expect("frame exists").1 = corridor.next_arc(arc);
             if eid == parent_edge {
                 continue;
             }
@@ -200,15 +192,16 @@ impl ConnectivityScratch {
                 self.tin[ti] = timer;
                 self.low[ti] = timer;
                 timer += 1;
-                self.stack.push((to, self.head_of(to), eid));
+                self.stack.push((to, corridor.first_arc(to), eid));
             }
         }
     }
 
-    /// BFS from `from` to `to` skipping edge `avoid` (pass [`NONE`] for no
-    /// restriction); returns whether `to` was reached and leaves parent
-    /// edges in `self.bfs_parent` for path extraction.
-    fn bfs_path(&mut self, from: u16, to: u16, avoid: u32) -> bool {
+    /// BFS from `from` to `to` over the alive arc lists, skipping edge
+    /// `avoid` (pass [`NONE`] for no restriction); returns whether `to`
+    /// was reached and leaves parent edges in `self.bfs_parent` for path
+    /// extraction. Cost is bounded by `from`'s component.
+    fn bfs_path(&mut self, corridor: &Corridor, from: u16, to: u16, avoid: u32) -> bool {
         self.bfs_epoch = self.bfs_epoch.wrapping_add(1);
         if self.bfs_epoch == 0 {
             self.bfs_visit.fill(0);
@@ -225,17 +218,16 @@ impl ConnectivityScratch {
             if r == to {
                 return true;
             }
-            let mut slot = self.head_of(r);
-            while slot >= 0 {
-                let s = slot as usize;
-                let n = self.adj_to[s];
-                let eid = self.adj_edge[s];
+            let mut arc = corridor.first_arc(r);
+            while arc >= 0 {
+                let eid = corridor.arc_edge(arc) as u32;
+                let n = corridor.arc_to(arc);
                 if eid != avoid && self.bfs_visit[n as usize] != self.bfs_epoch {
                     self.bfs_visit[n as usize] = self.bfs_epoch;
                     self.bfs_parent[n as usize] = eid;
                     self.bfs_queue.push(n);
                 }
-                slot = self.adj_next[s];
+                arc = corridor.next_arc(arc);
             }
         }
         false
@@ -254,21 +246,31 @@ pub struct BridgeCache {
     valid: bool,
     /// Whether the terminals were connected at `revision`.
     connected: bool,
-    /// Whether the witness path is known intact since `revision`.
+    /// Whether the witness path is known intact (every edge alive).
     path_intact: bool,
-    /// Membership of the witness path, per edge (exact per revision).
+    /// Membership of the witness path, per edge (exact for the currently
+    /// installed path, which a repair may have refreshed after `revision`).
     on_path: Vec<bool>,
     /// Killing `e` separates the terminals. **Monotone**: once an edge
     /// separates the pair it keeps separating under further deletions, so
     /// entries persist across recomputes and answer stale queries in O(1).
     sep: Vec<bool>,
+    /// `e` is a bridge of the corridor graph. **Monotone** like `sep`:
+    /// deletion never creates a cycle, so a bridge stays a bridge for as
+    /// long as it lives. Merged from every Tarjan pass and combined with
+    /// the witness path: a known bridge lying on a path that was fully
+    /// alive when installed was separating at that instant, hence (also
+    /// monotone) separating forever — an O(1) `false` that needs neither
+    /// a BFS nor a fresh bridge analysis.
+    bridge: Vec<bool>,
     /// Edges of the witness path (bounds clears of `on_path`).
     path_edges: Vec<u32>,
     /// Kills reported via [`Self::note_kill`] since the last recompute.
-    /// The intact-path shortcut also requires `revision + noted_kills ==
-    /// corridor.revision()`, so an unpaired [`Corridor::kill`] degrades to
-    /// a recompute instead of a stale answer — the contract is enforced
-    /// structurally, not just by the debug assert.
+    /// The intact-path shortcut and the localized repair also require
+    /// `revision + noted_kills == corridor.revision()`, so an unpaired
+    /// [`Corridor::kill`] degrades to a recompute instead of a stale
+    /// answer — the contract is enforced structurally, not just by the
+    /// debug assert.
     noted_kills: u32,
 }
 
@@ -322,33 +324,113 @@ impl BridgeCache {
                 scratch.counters.fresh_hits += 1;
                 return true; // connected, and `e` is not separating
             }
-            // The witness path avoids `e` and every edge on it is still
-            // alive, so it proves connectivity without `e` by itself. The
-            // revision arithmetic rejects the shortcut whenever some kill
-            // was not reported through `note_kill` (the path might be
-            // secretly dead), falling through to a recompute.
-            if self.path_intact
-                && !self.on_path[e]
-                && corridor.revision() == self.revision.wrapping_add(self.noted_kills)
-            {
-                debug_assert!(
-                    self.path_edges
-                        .iter()
-                        .all(|&pe| corridor.is_alive(pe as usize)),
-                    "witness path has a dead edge: a kill was not paired with note_kill"
-                );
-                scratch.counters.shortcut_hits += 1;
-                return true;
+            // Stale shortcuts need every kill accounted for: the revision
+            // arithmetic rejects them whenever some kill was not reported
+            // through `note_kill` (the path might be secretly dead),
+            // falling through to a recompute.
+            if corridor.revision() == self.revision.wrapping_add(self.noted_kills) {
+                // The witness path avoids `e` and every edge on it is
+                // still alive, so it proves connectivity without `e` by
+                // itself.
+                if self.path_intact && !self.on_path[e] {
+                    debug_assert!(
+                        self.path_edges
+                            .iter()
+                            .all(|&pe| corridor.is_alive(pe as usize)),
+                        "witness path has a dead edge: a kill was not paired with note_kill"
+                    );
+                    scratch.counters.shortcut_hits += 1;
+                    return true;
+                }
+                return self.resolve_stale(corridor, e, scratch);
             }
         }
         self.recompute(corridor, e, scratch);
         self.connected && !self.sep[e]
     }
 
-    /// One O(V+E) pass: Tarjan bridges of the terminal component, BFS
-    /// witness path (routed around `queried` when possible, so the kill
-    /// that typically follows a `true` answer keeps the path intact),
-    /// separating-edge flags.
+    /// Settles a stale query the O(1) shortcuts could not answer — the
+    /// witness path broke (possibly in several places, if a burst of
+    /// deletions ran along the old route) or the query is about a path
+    /// edge — with one component-scoped BFS around `e`, never a full
+    /// bridge recompute:
+    ///
+    /// * BFS reaches the far terminal → that fresh path (which avoids `e`
+    ///   and heals every accumulated break at once) proves the verdict
+    ///   `true` and re-arms the O(1) shortcut.
+    /// * BFS fails but the installed path is intact → the path itself
+    ///   proves the terminals connected while the BFS proves no terminal
+    ///   path avoids `e`: verdict `false`, `e` is learned separating
+    ///   (monotone) without a second pass.
+    /// * BFS fails with a broken path → one unrestricted BFS decides
+    ///   between "`e` separating" (install the found path, learn `sep`)
+    ///   and "pair disconnected" (monotone `false` forever).
+    fn resolve_stale(
+        &mut self,
+        corridor: &Corridor,
+        e: usize,
+        scratch: &mut ConnectivityScratch,
+    ) -> bool {
+        let (t1, t2) = corridor.terminals();
+        scratch.ensure_capacity(corridor.num_regions(), corridor.num_edges());
+        scratch.counters.repairs += 1;
+        if scratch.bfs_path(corridor, t1, t2, e as u32) {
+            self.install_path(corridor, scratch);
+            return true;
+        }
+        if self.path_intact {
+            // Intact path ⇒ connected; failed BFS ⇒ nothing avoids `e`.
+            debug_assert!(self.on_path[e], "off-path intact queries hit the shortcut");
+            self.sep[e] = true;
+            return false;
+        }
+        if scratch.bfs_path(corridor, t1, t2, NONE) {
+            self.install_path(corridor, scratch);
+            self.sep[e] = true;
+        } else {
+            self.connected = false;
+            while let Some(pe) = self.path_edges.pop() {
+                self.on_path[pe as usize] = false;
+            }
+            self.path_intact = false;
+        }
+        false
+    }
+
+    /// Installs the BFS parent chain `t1 → t2` from `scratch` as the new
+    /// witness path, replacing the previous one. Every path edge that is
+    /// a known (monotone) bridge is flagged separating in bulk: the path
+    /// is fully alive right now, so each bridge on it separates the
+    /// terminals — valid after a fresh Tarjan pass *and* after a repair
+    /// whose bridge knowledge is older than the path.
+    fn install_path(&mut self, corridor: &Corridor, scratch: &ConnectivityScratch) {
+        while let Some(pe) = self.path_edges.pop() {
+            self.on_path[pe as usize] = false;
+        }
+        let (t1, t2) = corridor.terminals();
+        let mut r = t2;
+        while r != t1 {
+            let pe = scratch.bfs_parent[r as usize];
+            let (a, b, _) = corridor.edge(pe as usize);
+            self.on_path[pe as usize] = true;
+            if self.bridge[pe as usize] {
+                self.sep[pe as usize] = true;
+            }
+            self.path_edges.push(pe);
+            r = if a == r { b } else { a };
+        }
+        self.path_intact = true;
+    }
+
+    /// One component-scoped O(V_c + E_c) pass: Tarjan bridges of the
+    /// terminal component (over the alive arc lists — dead edges and
+    /// foreign components are never visited), BFS witness path (routed
+    /// around `queried` when possible, so the kill that typically follows
+    /// a `true` answer keeps the path intact), separating-edge flags for
+    /// every bridge on the path. Runs on the first query of a corridor
+    /// (seeding the monotone bridge set) and on the unpaired-kill
+    /// contract-violation fallback; every later stale query is settled by
+    /// [`Self::resolve_stale`]'s BFS passes instead.
     fn recompute(
         &mut self,
         corridor: &Corridor,
@@ -359,45 +441,35 @@ impl BridgeCache {
         let (t1, t2) = corridor.terminals();
         let num_edges = corridor.num_edges();
         scratch.prepare(corridor.num_regions(), num_edges);
-        for e in 0..num_edges {
-            if corridor.is_alive(e) {
-                let (a, b, _) = corridor.edge(e);
-                scratch.push_adj(a, b, e as u32);
-                scratch.push_adj(b, a, e as u32);
-            }
-        }
         if self.on_path.len() < num_edges {
             self.on_path.resize(num_edges, false);
             self.sep.resize(num_edges, false);
+            self.bridge.resize(num_edges, false);
         }
-        while let Some(pe) = self.path_edges.pop() {
-            self.on_path[pe as usize] = false;
+        scratch.dfs_bridges(corridor, t1);
+        // Fold the fresh bridges into the monotone set (never cleared:
+        // deletion cannot un-bridge an edge).
+        for &be in &scratch.bridge_set {
+            self.bridge[be as usize] = true;
         }
-        scratch.dfs_bridges(t1);
         self.connected = scratch.visit[t2 as usize] == scratch.epoch;
         if self.connected {
             // Prefer a witness path that avoids the queried edge; fall
             // back to any path when the queried edge is on every one
             // (i.e. it separates the terminals).
-            let reached =
-                scratch.bfs_path(t1, t2, queried as u32) || scratch.bfs_path(t1, t2, NONE);
+            let reached = scratch.bfs_path(corridor, t1, t2, queried as u32)
+                || scratch.bfs_path(corridor, t1, t2, NONE);
             debug_assert!(reached, "BFS and DFS must agree on reachability");
             // Walk the BFS parents back from t2: a bridge on this (simple)
             // path separates the terminals; a separating edge must lie on
             // every terminal path, so this path finds them all.
-            let mut r = t2;
-            while r != t1 {
-                let pe = scratch.bfs_parent[r as usize];
-                let (a, b, _) = corridor.edge(pe as usize);
-                self.on_path[pe as usize] = true;
-                if scratch.bridge[pe as usize] {
-                    self.sep[pe as usize] = true;
-                }
-                self.path_edges.push(pe);
-                r = if a == r { b } else { a };
+            self.install_path(corridor, scratch);
+        } else {
+            while let Some(pe) = self.path_edges.pop() {
+                self.on_path[pe as usize] = false;
             }
+            self.path_intact = false;
         }
-        self.path_intact = self.connected;
         self.revision = corridor.revision();
         self.noted_kills = 0;
         self.valid = true;
@@ -504,7 +576,8 @@ mod tests {
 
     /// An unpaired `Corridor::kill` (contract violation) must cost a
     /// recompute, never a stale answer: the revision arithmetic rejects
-    /// the intact-path shortcut when kills were not reported.
+    /// the intact-path shortcut and the localized repair when kills were
+    /// not reported.
     #[test]
     fn unpaired_kill_degrades_to_recompute_not_stale_answer() {
         let g = grid();
@@ -554,5 +627,83 @@ mod tests {
             "expected fewer recomputes ({}) than kills ({kills})",
             scratch.counters.recomputes
         );
+    }
+
+    /// A burst of deletions along the witness path is healed by ONE
+    /// localized repair at the next query, not one recompute per hit.
+    #[test]
+    fn path_kill_burst_heals_with_one_repair() {
+        let g = grid();
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(5, 0), 1);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut bfs = super::super::corridor::CorridorScratch::new();
+        // Seed the analysis (the verdict itself is irrelevant here).
+        let _ = cache.connected_without(&c, 0, &mut scratch);
+        assert_eq!(scratch.counters.recomputes, 1);
+        // Kill two edges of the installed witness path back to back (a
+        // same-route deletion burst), properly paired with note_kill.
+        let burst: Vec<u32> = cache.path_edges.iter().copied().take(2).collect();
+        assert_eq!(burst.len(), 2, "witness path long enough for a burst");
+        for &pe in &burst {
+            c.kill(pe as usize);
+            cache.note_kill(pe as usize);
+        }
+        assert!(!cache.path_intact, "burst must break the path");
+        // Query an edge that is alive and off the (old) path: exactly one
+        // repair, zero additional recomputes.
+        let probe = (0..c.num_edges())
+            .find(|&e| c.is_alive(e) && !cache.on_path[e])
+            .expect("an off-path alive edge exists");
+        let fast = cache.connected_without(&c, probe, &mut scratch);
+        assert_eq!(fast, c.connected_without(probe, &mut bfs));
+        assert!(fast, "wide corridor stays connected without one edge");
+        assert_eq!(scratch.counters.repairs, 1, "one repair heals the burst");
+        assert_eq!(scratch.counters.recomputes, 1, "no second full recompute");
+        assert!(cache.path_intact, "repair re-arms the O(1) shortcut");
+        // The very next off-path query rides the repaired path in O(1).
+        let probe2 = (0..c.num_edges())
+            .find(|&e| c.is_alive(e) && !cache.on_path[e])
+            .expect("an off-path alive edge exists");
+        let before = scratch.counters.shortcut_hits;
+        assert!(cache.connected_without(&c, probe2, &mut scratch));
+        assert_eq!(scratch.counters.shortcut_hits, before + 1);
+    }
+
+    /// A failed repair (the queried edge became separating while the
+    /// cache was stale) is settled locally — the BFS that failed to avoid
+    /// the edge doubles as the separation proof — and still answers
+    /// exactly like the BFS oracle.
+    #[test]
+    fn failed_repair_learns_separating_edges() {
+        let g = grid();
+        // 3x2 corridor between far corners: two rows of a ladder.
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(2, 1), 0);
+        let mut cache = BridgeCache::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut bfs = super::super::corridor::CorridorScratch::new();
+        // Whittle the corridor down until only one terminal path is left,
+        // keeping the cache honest throughout.
+        loop {
+            let mut killed = false;
+            for e in 0..c.num_edges() {
+                if c.is_alive(e) && cache.connected_without(&c, e, &mut scratch) {
+                    c.kill(e);
+                    cache.note_kill(e);
+                    killed = true;
+                    break;
+                }
+            }
+            if !killed {
+                break;
+            }
+        }
+        // Every surviving edge is now separating; the oracle must agree.
+        for e in 0..c.num_edges() {
+            if c.is_alive(e) {
+                assert!(!cache.connected_without(&c, e, &mut scratch));
+                assert!(!c.connected_without(e, &mut bfs));
+            }
+        }
     }
 }

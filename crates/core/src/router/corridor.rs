@@ -31,7 +31,19 @@ pub struct Corridor {
     /// Bumped by every [`Self::kill`]; connectivity caches stamp their
     /// analyses with this (see [`super::connectivity`]).
     revision: u32,
+    /// Doubly-linked alive-adjacency: `arc_head[r]` starts region `r`'s
+    /// list of alive arcs. Edge `e` owns arcs `2e` (anchored at endpoint
+    /// `a`) and `2e + 1` (at endpoint `b`); [`Self::kill`] unlinks both in
+    /// O(1), so a traversal from a terminal touches only the alive edges of
+    /// its connected component — this is what makes the connectivity
+    /// recomputes component-scoped instead of corridor-scoped.
+    arc_head: Vec<i32>,
+    arc_next: Vec<i32>,
+    arc_prev: Vec<i32>,
 }
+
+/// Sentinel for "end of arc list".
+const NO_ARC: i32 = -1;
 
 impl Corridor {
     /// Builds the corridor for terminals `t1`, `t2` with a `halo` of extra
@@ -61,6 +73,19 @@ impl Corridor {
         let alive_count = edges.len();
         let lt1 = ((y1 - y0) * w + (x1 - x0)) as u16;
         let lt2 = ((y2 - y0) * w + (x2 - x0)) as u16;
+        let mut arc_head = vec![NO_ARC; (w * h) as usize];
+        let mut arc_next = vec![NO_ARC; edges.len() * 2];
+        let mut arc_prev = vec![NO_ARC; edges.len() * 2];
+        for (e, &(a, b, _)) in edges.iter().enumerate() {
+            for (slot, r) in [(2 * e, a), (2 * e + 1, b)] {
+                let head = arc_head[r as usize];
+                arc_next[slot] = head;
+                if head != NO_ARC {
+                    arc_prev[head as usize] = slot as i32;
+                }
+                arc_head[r as usize] = slot as i32;
+            }
+        }
         Corridor {
             x0,
             y0,
@@ -71,6 +96,9 @@ impl Corridor {
             alive_count,
             terminals: (lt1, lt2),
             revision: 0,
+            arc_head,
+            arc_next,
+            arc_prev,
         }
     }
 
@@ -108,12 +136,57 @@ impl Corridor {
         self.alive[e]
     }
 
-    /// Kills edge `e` (idempotent).
+    /// Kills edge `e` (idempotent): unlinks its two arcs from the alive
+    /// adjacency in O(1) and bumps the revision.
     pub fn kill(&mut self, e: usize) {
         if self.alive[e] {
             self.alive[e] = false;
             self.alive_count -= 1;
             self.revision += 1;
+            let (a, b, _) = self.edges[e];
+            for (slot, r) in [(2 * e, a), (2 * e + 1, b)] {
+                let (prev, next) = (self.arc_prev[slot], self.arc_next[slot]);
+                if next != NO_ARC {
+                    self.arc_prev[next as usize] = prev;
+                }
+                if prev != NO_ARC {
+                    self.arc_next[prev as usize] = next;
+                } else {
+                    self.arc_head[r as usize] = next;
+                }
+            }
+        }
+    }
+
+    /// First alive arc anchored at region `r` (`-1` = none). Arcs walk the
+    /// *alive* adjacency only: [`Self::kill`] unlinks an edge's two arcs,
+    /// so a traversal from a terminal is bounded by that terminal's
+    /// connected component, not the corridor.
+    #[inline]
+    pub fn first_arc(&self, r: u16) -> i32 {
+        self.arc_head[r as usize]
+    }
+
+    /// Next alive arc after `arc` in the same region's list (`-1` = end).
+    #[inline]
+    pub fn next_arc(&self, arc: i32) -> i32 {
+        self.arc_next[arc as usize]
+    }
+
+    /// The edge an arc belongs to.
+    #[inline]
+    pub fn arc_edge(&self, arc: i32) -> usize {
+        arc as usize / 2
+    }
+
+    /// The region an arc points *to* (the far endpoint of its edge).
+    #[inline]
+    pub fn arc_to(&self, arc: i32) -> u16 {
+        let (a, b, _) = self.edges[arc as usize / 2];
+        if arc & 1 == 0 {
+            b
+        } else {
+            a
         }
     }
 
@@ -158,15 +231,6 @@ impl Corridor {
             }
         }
         scratch.bfs(t1, t2)
-    }
-
-    /// Iterates over the alive edges incident to local region `r`.
-    pub fn alive_incident(&self, r: u16) -> impl Iterator<Item = usize> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(move |(e, (a, b, _))| self.alive[*e] && (*a == r || *b == r))
-            .map(|(e, _)| e)
     }
 }
 
@@ -390,11 +454,30 @@ mod tests {
         assert!(!c2.connected_without(0, &mut scratch));
     }
 
+    /// The arc lists enumerate exactly the alive incident edges and shed
+    /// killed edges in O(1).
     #[test]
-    fn alive_incident_enumerates() {
+    fn arc_lists_track_alive_incidence() {
         let g = grid();
-        let c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 1), 0);
+        let mut c = Corridor::new(&g, g.idx(0, 0), g.idx(1, 1), 0);
+        let walk = |c: &Corridor, r: u16| {
+            let mut edges = Vec::new();
+            let mut arc = c.first_arc(r);
+            while arc >= 0 {
+                edges.push(c.arc_edge(arc));
+                assert_ne!(c.arc_to(arc), r, "arc points to the far endpoint");
+                arc = c.next_arc(arc);
+            }
+            edges.sort_unstable();
+            edges
+        };
         // Local region 0 (corner) touches one H and one V edge.
-        assert_eq!(c.alive_incident(0).count(), 2);
+        let before = walk(&c, 0);
+        assert_eq!(before.len(), 2);
+        c.kill(before[0]);
+        let after = walk(&c, 0);
+        assert_eq!(after, vec![before[1]]);
+        c.kill(before[1]);
+        assert!(walk(&c, 0).is_empty());
     }
 }

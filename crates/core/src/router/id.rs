@@ -2,9 +2,10 @@
 //!
 //! The inner loop answers "do the terminals survive this deletion?"
 //! through the incremental bridge analysis of [`super::connectivity`]
-//! (O(1) per query after one O(V+E) pass per corridor revision) instead of
-//! the PR-1 per-query BFS, and folds the two whole-corridor demand sweeps
-//! of a deletion into one. Both changes are observationally invisible: the
+//! (O(1) for almost every query: one component-scoped Tarjan pass per
+//! corridor plus localized witness-path repairs) instead of the PR-1
+//! per-query BFS, and folds the two whole-corridor demand sweeps of a
+//! deletion into one. Both changes are observationally invisible: the
 //! route sets stay byte-identical to the preserved PR-1 kernel
 //! ([`super::reference::SeedIdRouter`], enforced by the
 //! `router_equivalence` suite and the `phase_runtime` bench).
@@ -49,9 +50,15 @@ pub struct RouterStats {
     /// search read (parallel A* router only).
     pub speculative_reroutes: usize,
     /// Connectivity queries answered in O(1) — from a revision-fresh
-    /// bridge set or through the intact witness path (ID router only).
+    /// bridge set, a monotone verdict, or through the intact witness path
+    /// (ID router only).
     pub connectivity_o1_hits: usize,
-    /// Full O(V+E) bridge recomputes (ID router only).
+    /// Localized stale-query resolutions: a component-scoped BFS repaired
+    /// the witness path (healing any burst of breaks at once) or proved
+    /// the queried edge separating, without recomputing the bridge
+    /// analysis (ID router only).
+    pub connectivity_repairs: usize,
+    /// Full component-scoped Tarjan bridge recomputes (ID router only).
     pub connectivity_recomputes: usize,
 }
 
@@ -357,6 +364,7 @@ impl<'a> IdRouter<'a> {
             }
         }
         stats.connectivity_o1_hits = scratch.counters.fresh_hits + scratch.counters.shortcut_hits;
+        stats.connectivity_repairs = scratch.counters.repairs;
         stats.connectivity_recomputes = scratch.counters.recomputes;
 
         // 5. Assemble per-net routes from the surviving connection paths.

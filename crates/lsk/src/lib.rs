@@ -39,6 +39,12 @@
 //! // The inverse is consistent.
 //! assert!((table.lsk_for_voltage(v) - lsk).abs() / lsk < 1e-6);
 //! ```
+//!
+//! # Architecture
+//!
+//! The pipeline-wide map — which phase this crate serves and the
+//! incremental-engine contracts shared across the workspace — lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 pub mod blockmap;
 pub mod budget;

@@ -27,6 +27,12 @@
 //! let tree = iterated_one_steiner(&pins);
 //! assert_eq!(tree.length(), 4.0);
 //! ```
+//!
+//! # Architecture
+//!
+//! The pipeline-wide map — which phase this crate serves and the
+//! incremental-engine contracts shared across the workspace — lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 pub mod decompose;
 pub mod estimate;

@@ -1,43 +1,9 @@
-//! GSINO — a from-scratch reproduction of *"Towards Global Routing With
-//! RLC Crosstalk Constraints"* (J. D. Z. Ma and L. He, DAC 2002).
-//!
-//! This facade crate re-exports the whole workspace:
-//!
-//! * [`numeric`] — dense LU, least squares, statistics;
-//! * [`grid`] — the routing-region substrate (geometry, technology, nets,
-//!   routes, utilization, the max-row × max-column area metric);
-//! * [`steiner`] — rectilinear Steiner-tree heuristics and net
-//!   decomposition;
-//! * [`rlc`] — the coupled-RLC transient simulator standing in for SPICE;
-//! * [`sino`] — simultaneous shield insertion and net ordering within a
-//!   region, with the Keff coupling model and Formula (3);
-//! * [`lsk`] — the length-scaled Keff noise model and its 100-entry
-//!   voltage table;
-//! * [`core`] — the GSINO three-phase flow, the iterative-deletion router
-//!   and the ID+NO / iSINO baselines;
-//! * [`circuits`] — ISPD'98-like synthetic benchmarks and the experiment
-//!   harness regenerating the paper's tables.
-//!
-//! # Quickstart
-//!
-//! ```
-//! use gsino::core::pipeline::{run_gsino, GsinoConfig};
-//! use gsino::grid::{Circuit, Net, Point, Rect};
-//!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let die = Rect::new(Point::new(0.0, 0.0), Point::new(512.0, 512.0))?;
-//! let nets: Vec<Net> = (0..30)
-//!     .map(|i| {
-//!         let y = 32.0 + (i as f64 * 15.0) % 448.0;
-//!         Net::two_pin(i, Point::new(16.0, y), Point::new(496.0, y))
-//!     })
-//!     .collect();
-//! let circuit = Circuit::new("quick", die, nets)?;
-//! let outcome = run_gsino(&circuit, &GsinoConfig::default())?;
-//! assert!(outcome.violations.is_clean());
-//! # Ok(())
-//! # }
-//! ```
+//! The workspace README doubles as this facade crate's landing page, so
+//! its quickstart code block below is compiled and run by `cargo test`
+//! (a doctest) and cannot drift from the published entry point. Module
+//! docs for the re-exports: [`numeric`], [`grid`], [`steiner`], [`rlc`],
+//! [`sino`], [`lsk`], [`core`], [`circuits`].
+#![doc = include_str!("../README.md")]
 
 pub use gsino_circuits as circuits;
 pub use gsino_core as core;

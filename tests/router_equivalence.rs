@@ -154,6 +154,42 @@ fn dense_circuit_full_agreement() {
     assert_eq!(stats.connections, par_stats.connections);
 }
 
+/// Regression ceilings for the connectivity counters on the exact 500-net
+/// ibm01 workload the `phase_runtime` bench times (mirroring its
+/// bit-identical route-set assertion). The workload is deterministic, so
+/// the counts are exact; the ceilings sit a little above the measured
+/// values (1088 recomputes — one per corridor — and 6655 localized
+/// repairs) so legitimate tie-break-preserving changes don't trip them,
+/// while a change that quietly degrades localized repairs back into
+/// per-kill full recomputes fails loudly. `bench_gate` enforces the same
+/// ceilings in CI from `BENCH_phase1.json`.
+#[test]
+fn connectivity_counters_stay_at_measured_baseline() {
+    let mut spec = CircuitSpec::ibm01();
+    spec.num_nets = 500;
+    let circuit = generate(&spec, 2002).expect("generator circuit");
+    let grid = RegionGrid::new(&circuit, &Technology::itrs_100nm(), 64.0).expect("grid");
+    let (_, stats) =
+        route_all(&grid, &circuit, Weights::default(), ShieldTerm::None).expect("ID routes");
+    assert_eq!(
+        stats.connectivity_recomputes, stats.connections,
+        "full bridge recomputes must stay at exactly one per corridor"
+    );
+    assert!(
+        stats.connectivity_repairs <= 7000,
+        "localized repairs ({}) exceeded the measured baseline ceiling (7000)",
+        stats.connectivity_repairs
+    );
+    assert!(
+        stats.connectivity_o1_hits
+            >= 5 * (stats.connectivity_repairs + stats.connectivity_recomputes),
+        "O(1) hits ({}) should dominate localized passes ({} repairs, {} recomputes)",
+        stats.connectivity_o1_hits,
+        stats.connectivity_repairs,
+        stats.connectivity_recomputes
+    );
+}
+
 /// Denser ID check: under congestion pressure the incremental kernel must
 /// still match the PR-1 reference byte for byte, while answering most
 /// connectivity queries without a recompute.
