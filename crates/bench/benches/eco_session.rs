@@ -1,0 +1,177 @@
+//! **E7** — ECO session throughput: transactional edit replay against the
+//! routed 300-net generator circuit.
+//!
+//! Drives a long [`EcoSession`] — one edit per commit, the incremental
+//! fast path an interactive ECO loop would take — and reports edit
+//! throughput (edits/sec) and the patch-latency distribution (p50/p99 ms
+//! per commit), split by replay rung (budget-only vs Phase I). The final
+//! session state is asserted bit-identical to a from-scratch GSINO run on
+//! the edited circuit, so the numbers are only reported for a correct
+//! replay. The summary goes to `BENCH_eco.json` (override with
+//! `GSINO_BENCH_ECO_OUT`); `bench_gate` prints its metrics report-only.
+
+use gsino_bench::report::{eco_out_path, JsonDoc};
+use gsino_bench::{banner, bench_experiment_config};
+use gsino_circuits::generator::generate;
+use gsino_circuits::spec::CircuitSpec;
+use gsino_core::pipeline::{run_flow_with_artifacts, Approach, GsinoConfig};
+use gsino_core::session::{EcoEdit, EcoSession};
+use gsino_grid::geom::Point;
+use gsino_grid::net::{CircuitEdit, Net};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Map, Value};
+use std::time::Instant;
+
+const BUDGET_EDITS: usize = 120;
+const TOPOLOGY_EDITS: usize = 30;
+
+/// Per-commit wall times (ms) for one replay rung.
+struct Latencies(Vec<f64>);
+
+impl Latencies {
+    fn percentile(&self, p: f64) -> f64 {
+        // invariant: callers only build non-empty latency sets.
+        let mut v = self.0.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        v[idx]
+    }
+
+    fn total_s(&self) -> f64 {
+        self.0.iter().sum::<f64>() / 1e3
+    }
+}
+
+fn main() {
+    let config = bench_experiment_config();
+    eprintln!("{}", banner("eco_session", &config));
+
+    let mut spec = CircuitSpec::ibm01();
+    spec.num_nets = 300;
+    let circuit = generate(&spec, 2002).expect("generator circuit");
+    let die = circuit.die();
+    let flow_config = GsinoConfig {
+        threads: 1,
+        ..GsinoConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let mut session = EcoSession::new(&circuit, &flow_config).expect("seed session");
+    let seed_s = t0.elapsed().as_secs_f64();
+
+    let mut rng = StdRng::seed_from_u64(0xEC0_BE7C);
+    let live: Vec<u32> = session.circuit().nets().iter().map(|n| n.id()).collect();
+
+    // Budget-only rung: tighten one sink's constraint per commit.
+    let mut budget_ms = Vec::with_capacity(BUDGET_EDITS);
+    for _ in 0..BUDGET_EDITS {
+        let net = live[rng.gen_range(0..live.len())];
+        let vth = 0.10 + 0.08 * rng.gen::<f64>();
+        let t = Instant::now();
+        session.begin().expect("begin");
+        session
+            .apply(EcoEdit::TightenVth { net, sink: 0, vth })
+            .expect("apply");
+        session.commit().expect("commit");
+        budget_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let budget = Latencies(budget_ms);
+
+    // Phase I rung: add / remove a net per commit.
+    let mut topo_ms = Vec::with_capacity(TOPOLOGY_EDITS);
+    let mut next_id = 10_000u32;
+    for i in 0..TOPOLOGY_EDITS {
+        let edit = if i % 2 == 0 {
+            let (lo, hi) = (die.lo(), die.hi());
+            let x = lo.x + 16.0 + rng.gen::<f64>() * (hi.x - lo.x - 32.0);
+            let y = lo.y + 16.0 + rng.gen::<f64>() * (hi.y - lo.y - 32.0);
+            let id = next_id;
+            next_id += 1;
+            EcoEdit::Circuit(CircuitEdit::AddNet {
+                net: Net::two_pin(
+                    id,
+                    Point::new(x, y),
+                    Point::new(hi.x - x + lo.x, hi.y - y + lo.y),
+                ),
+            })
+        } else {
+            EcoEdit::Circuit(CircuitEdit::RemoveNet { net: next_id - 1 })
+        };
+        let t = Instant::now();
+        session.begin().expect("begin");
+        session.apply(edit).expect("apply");
+        session.commit().expect("commit");
+        topo_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let topo = Latencies(topo_ms);
+
+    let stats = *session.stats();
+    assert_eq!(stats.divergences, 0, "clean run must not diverge");
+    assert_eq!(stats.degraded_replays, 0, "clean run must not degrade");
+
+    // The numbers only count if the replayed state is the real state.
+    let (outcome, internals) =
+        run_flow_with_artifacts(session.circuit(), session.config(), Approach::Gsino)
+            .expect("from-scratch oracle");
+    assert_eq!(session.routes(), &outcome.routes, "routes diverged");
+    assert_eq!(session.budgets(), &internals.budgets, "budgets diverged");
+    assert_eq!(session.sino(), &internals.sino, "sino diverged");
+
+    let edits = (BUDGET_EDITS + TOPOLOGY_EDITS) as f64;
+    let total_s = budget.total_s() + topo.total_s();
+    let edits_per_sec = edits / total_s;
+    let scratch_ms_per_edit = seed_s * 1e3;
+
+    println!("== ECO session, 300-net generator circuit ==");
+    println!("  seed (from scratch)       {:>9.2} ms", seed_s * 1e3);
+    println!(
+        "  budget-only commits       {:>9} edits, p50 {:.3} ms, p99 {:.3} ms",
+        BUDGET_EDITS,
+        budget.percentile(0.50),
+        budget.percentile(0.99)
+    );
+    println!(
+        "  phase-I commits           {:>9} edits, p50 {:.3} ms, p99 {:.3} ms",
+        TOPOLOGY_EDITS,
+        topo.percentile(0.50),
+        topo.percentile(0.99)
+    );
+    println!("  overall                   {edits_per_sec:>9.1} edits/sec");
+    println!(
+        "  regions: {} re-solved, {} reused; oracle checks {}",
+        stats.regions_resolved, stats.regions_reused, stats.oracle_checks
+    );
+    println!("  final state bit-identical to from-scratch: yes");
+
+    let mut workload = Map::new();
+    workload.insert("circuit", Value::Str("ibm01".into()));
+    workload.insert("nets", Value::U64(300));
+    workload.insert("budget_edits", Value::U64(BUDGET_EDITS as u64));
+    workload.insert("topology_edits", Value::U64(TOPOLOGY_EDITS as u64));
+    let mut session_m = Map::new();
+    session_m.insert("edits_per_sec", Value::F64(edits_per_sec));
+    session_m.insert("p99_patch_ms", Value::F64(budget.percentile(0.99)));
+    session_m.insert("p50_patch_ms", Value::F64(budget.percentile(0.50)));
+    session_m.insert("p99_phase1_ms", Value::F64(topo.percentile(0.99)));
+    session_m.insert("p50_phase1_ms", Value::F64(topo.percentile(0.50)));
+    session_m.insert("scratch_ms", Value::F64(scratch_ms_per_edit));
+    session_m.insert("regions_resolved", Value::U64(stats.regions_resolved));
+    session_m.insert("regions_reused", Value::U64(stats.regions_reused));
+    session_m.insert("oracle_checks", Value::U64(stats.oracle_checks));
+    let mut root = Map::new();
+    root.insert("schema", Value::U64(1));
+    root.insert("workload", Value::Object(workload));
+    root.insert("session", Value::Object(session_m));
+    let path = eco_out_path();
+    match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("could not serialize bench summary: {e}"),
+    }
+}

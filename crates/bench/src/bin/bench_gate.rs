@@ -78,6 +78,16 @@ const COUNT_METRICS: &[(&str, &str, &str)] = &[
     ("id localized repairs", "id", "connectivity_repairs"),
 ];
 
+/// Value metrics that are **reported but never gated**: display label,
+/// JSON section, key. The ECO session throughput numbers (`BENCH_eco.json`)
+/// ride through here while baseline history accumulates; they appear in
+/// the console output and the markdown summary, but a regression cannot
+/// fail the gate yet.
+const REPORT_METRICS: &[(&str, &str, &str)] = &[
+    ("eco edits/sec", "session", "edits_per_sec"),
+    ("eco p99 patch ms", "session", "p99_patch_ms"),
+];
+
 struct Args {
     /// `(current, baseline)` summary path pairs.
     pairs: Vec<(String, String)>,
@@ -245,6 +255,47 @@ fn check_count(
     Ok(true)
 }
 
+/// One report-only value metric: printed (and added to the markdown
+/// summary) when the fresh summary carries it, never gated — absence,
+/// noise or regression cannot fail the run.
+fn report_value(
+    label: &'static str,
+    current: &JsonDoc,
+    baseline: &JsonDoc,
+    section: &str,
+    key: &str,
+    rows: &mut Vec<Row>,
+) {
+    let Some(cur) = num(&current.0, &[section, key]).filter(|v| v.is_finite()) else {
+        return;
+    };
+    match num(&baseline.0, &[section, key]).filter(|v| v.is_finite() && *v != 0.0) {
+        Some(base) => {
+            let delta_pct = (cur / base - 1.0) * 100.0;
+            println!(
+                "{label:<24} value {cur:.3} vs baseline {base:.3} ({delta_pct:+.1}% — report-only)"
+            );
+            rows.push(Row {
+                label,
+                cur_norm: cur,
+                base_norm: base,
+                delta_pct,
+                pass: true,
+            });
+        }
+        None => {
+            println!("{label:<24} value {cur:.3} (report-only, no baseline)");
+            rows.push(Row {
+                label,
+                cur_norm: cur,
+                base_norm: cur,
+                delta_pct: 0.0,
+                pass: true,
+            });
+        }
+    }
+}
+
 /// Appends the phase-by-phase markdown table (for `$GITHUB_STEP_SUMMARY`).
 fn write_summary(path: &str, rows: &[Row], max_regress: f64) -> Result<(), String> {
     use std::fmt::Write as _;
@@ -329,6 +380,9 @@ fn main() -> ExitCode {
                 eprintln!("bench_gate: {e}");
                 failed = true;
             }
+        }
+        for (label, section, key) in REPORT_METRICS {
+            report_value(label, &current, &baseline, section, key, &mut rows);
         }
         for (label, section, key) in COUNT_METRICS {
             match check_count(

@@ -66,6 +66,12 @@ pub fn phase3_out_path() -> String {
     std::env::var("GSINO_BENCH_PHASE3_OUT").unwrap_or_else(|_| "BENCH_phase3.json".to_string())
 }
 
+/// Output path for the ECO session bench summary: `$GSINO_BENCH_ECO_OUT`
+/// or `BENCH_eco.json` in the bench's working directory.
+pub fn eco_out_path() -> String {
+    std::env::var("GSINO_BENCH_ECO_OUT").unwrap_or_else(|_| "BENCH_eco.json".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

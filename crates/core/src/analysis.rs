@@ -42,6 +42,7 @@ impl NoiseProfile {
                 voltages.push(table.voltage(lsk));
             }
         }
+        // invariant: `NoiseTable::voltage` is finite for finite LSK inputs.
         voltages.sort_by(|a, b| a.partial_cmp(b).expect("finite voltages"));
         NoiseProfile { voltages, vth }
     }

@@ -15,6 +15,10 @@ use gsino_lsk::budget::kth_for_le;
 use gsino_lsk::table::NoiseTable;
 use std::collections::HashMap;
 
+/// One segment budget: `((net, region, dir), Kth)` — the key/value unit
+/// of [`Budgets`] and the element of per-net entry lists.
+pub type BudgetEntry = ((NetId, RegionIdx, Dir), f64);
+
 /// How the LSK bound is split along a path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BudgetPolicy {
@@ -57,6 +61,26 @@ impl Budgets {
         self.map.insert((net, region, dir), kth);
     }
 
+    /// Removes one segment budget, returning the displaced value — the
+    /// undo-log primitive ECO sessions pair with [`Self::set`].
+    pub fn remove(&mut self, net: NetId, region: RegionIdx, dir: Dir) -> Option<f64> {
+        self.map.remove(&(net, region, dir))
+    }
+
+    /// Every entry of one net, sorted by `(region, dir)` — the diff unit
+    /// for incremental re-budgeting (per-net entries are independent under
+    /// the uniform policy, see [`net_budget_entries`]).
+    pub fn net_entries(&self, net: NetId) -> Vec<BudgetEntry> {
+        let mut out: Vec<_> = self
+            .map
+            .iter()
+            .filter(|((n, _, _), _)| *n == net)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        out.sort_by_key(|((_, r, d), _)| (*r, matches!(d, Dir::V)));
+        out
+    }
+
     /// Number of budgeted segments.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -78,6 +102,8 @@ impl Budgets {
             return None;
         }
         let mut v: Vec<f64> = self.map.values().copied().collect();
+        // invariant: budgeting replaces infinite Kth with 1e9, so every
+        // stored budget is finite and the comparator is total.
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite budgets"));
         Some(v[v.len() / 2])
     }
@@ -202,69 +228,101 @@ pub fn budgets_with_constraints(
     length_model: LengthModel,
 ) -> Result<Budgets> {
     let mut budgets = Budgets::default();
-    let min_le = (grid.tile_w().min(grid.tile_h())) / 2.0;
     for net in circuit.nets() {
         let route = match routes.get(net.id()) {
             Some(r) => r,
             None => continue,
         };
-        if route.edges().is_empty() {
-            continue;
+        // Per-net entries are disjoint across nets (every key carries the
+        // net id), so extending the map per net reproduces the historic
+        // single-loop result bit for bit.
+        for (key, kth) in net_budget_entries(net, grid, route, table, vth_of, length_model)? {
+            budgets.map.insert(key, kth);
         }
-        let root = grid.region_of(net.source());
-        for (sink_index, sink) in net.sinks().iter().enumerate() {
-            let sink_region = grid.region_of(*sink);
-            let path = match route.path(root, sink_region) {
-                Some(p) => p,
-                None => route.regions(),
-            };
-            let le = match length_model {
-                LengthModel::Manhattan => net.source().manhattan(*sink),
-                LengthModel::RoutedPath => path
-                    .windows(2)
-                    .map(|w| grid.center_distance(w[0], w[1]))
-                    .sum::<f64>(),
-            }
-            .max(min_le);
-            let kth_sink = kth_for_le(table, vth_of(net.id(), sink_index), le)?;
-            for &r in &path {
-                for dir in [Dir::H, Dir::V] {
-                    if route.occupies(grid, r, dir) {
-                        let key = (net.id(), r, dir);
-                        let entry = budgets.map.entry(key).or_insert(f64::INFINITY);
-                        *entry = entry.min(kth_sink);
-                    }
+    }
+    Ok(budgets)
+}
+
+/// The budget entries one routed net contributes — the loop body of
+/// [`budgets_with_constraints`], factored out because under the uniform
+/// policy a net's entries depend only on *its own* pins and route. That
+/// independence is what lets an ECO session re-budget exactly the nets an
+/// edit touched and reuse every other entry bitwise. (The
+/// congestion-weighted policy reads global track usage and deliberately
+/// has no such per-net form.)
+///
+/// Returns the entries sorted by `(region, dir)`; nets without routed
+/// edges contribute nothing.
+///
+/// # Errors
+///
+/// Propagates [`gsino_lsk::LskError`] for out-of-range constraints.
+pub fn net_budget_entries(
+    net: &gsino_grid::net::Net,
+    grid: &RegionGrid,
+    route: &gsino_grid::route::RouteTree,
+    table: &NoiseTable,
+    vth_of: &dyn Fn(NetId, usize) -> f64,
+    length_model: LengthModel,
+) -> Result<Vec<BudgetEntry>> {
+    let mut entries: HashMap<(NetId, RegionIdx, Dir), f64> = HashMap::new();
+    let min_le = (grid.tile_w().min(grid.tile_h())) / 2.0;
+    if route.edges().is_empty() {
+        return Ok(Vec::new());
+    }
+    let root = grid.region_of(net.source());
+    for (sink_index, sink) in net.sinks().iter().enumerate() {
+        let sink_region = grid.region_of(*sink);
+        let path = match route.path(root, sink_region) {
+            Some(p) => p,
+            None => route.regions(),
+        };
+        let le = match length_model {
+            LengthModel::Manhattan => net.source().manhattan(*sink),
+            LengthModel::RoutedPath => path
+                .windows(2)
+                .map(|w| grid.center_distance(w[0], w[1]))
+                .sum::<f64>(),
+        }
+        .max(min_le);
+        let kth_sink = kth_for_le(table, vth_of(net.id(), sink_index), le)?;
+        for &r in &path {
+            for dir in [Dir::H, Dir::V] {
+                if route.occupies(grid, r, dir) {
+                    let key = (net.id(), r, dir);
+                    let entry = entries.entry(key).or_insert(f64::INFINITY);
+                    *entry = entry.min(kth_sink);
                 }
             }
         }
-        // Defensive cover: any occupied segment missed by all sink paths
-        // takes the tightest budget of the net.
-        let net_min = net
-            .sinks()
-            .iter()
-            .map(|s| net.source().manhattan(*s).max(min_le))
+    }
+    // Defensive cover: any occupied segment missed by all sink paths
+    // takes the tightest budget of the net.
+    let net_min = net
+        .sinks()
+        .iter()
+        .map(|s| net.source().manhattan(*s).max(min_le))
+        .fold(f64::INFINITY, f64::min);
+    if net_min.is_finite() {
+        let vth_min = (0..net.sinks().len())
+            .map(|i| vth_of(net.id(), i))
             .fold(f64::INFINITY, f64::min);
-        if net_min.is_finite() {
-            let vth_min = (0..net.sinks().len())
-                .map(|i| vth_of(net.id(), i))
-                .fold(f64::INFINITY, f64::min);
-            let fallback = kth_for_le(table, vth_min, net_min)?;
-            for r in route.regions() {
-                for dir in [Dir::H, Dir::V] {
-                    if route.occupies(grid, r, dir) {
-                        budgets.map.entry((net.id(), r, dir)).or_insert(fallback);
-                    }
+        let fallback = kth_for_le(table, vth_min, net_min)?;
+        for r in route.regions() {
+            for dir in [Dir::H, Dir::V] {
+                if route.occupies(grid, r, dir) {
+                    entries.entry((net.id(), r, dir)).or_insert(fallback);
                 }
             }
         }
     }
     // Replace any residual infinities (nets with zero-length sink paths).
-    for v in budgets.map.values_mut() {
-        if !v.is_finite() {
-            *v = 1e9;
-        }
-    }
-    Ok(budgets)
+    let mut out: Vec<_> = entries
+        .into_iter()
+        .map(|(k, v)| (k, if v.is_finite() { v } else { 1e9 }))
+        .collect();
+    out.sort_by_key(|((_, r, d), _)| (*r, matches!(d, Dir::V)));
+    Ok(out)
 }
 
 #[cfg(test)]

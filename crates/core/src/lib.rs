@@ -20,7 +20,10 @@
 //!   SINO), the comparison points of Tables 1–3;
 //! * [`analysis`] — per-sink noise profiles and histograms;
 //! * [`pipeline`] — end-to-end flows with per-phase timings;
-//! * [`metrics`] — wire-length, area and shield statistics.
+//! * [`metrics`] — wire-length, area and shield statistics;
+//! * [`session`] — fault-tolerant transactional ECO sessions over a routed
+//!   snapshot, with divergence self-checks and graceful degradation;
+//! * [`cancel`] — the deadline/cancellation token the phase drivers poll.
 //!
 //! # Example
 //!
@@ -53,16 +56,20 @@
 pub mod analysis;
 pub mod baseline;
 pub mod budget;
+pub mod cancel;
 pub mod metrics;
 pub mod phase2;
 pub mod pipeline;
 pub mod refine;
 pub mod router;
+pub mod session;
 pub mod violations;
 
 pub use baseline::{run_id_no, run_isino};
+pub use cancel::CancelToken;
 pub use pipeline::{run_gsino, GsinoConfig, GsinoOutcome};
 pub use router::Weights;
+pub use session::{EcoEdit, EcoSession, FaultKind, FaultPlan, OracleConfig, SessionStats};
 pub use violations::ViolationReport;
 
 use std::error::Error;
@@ -89,6 +96,20 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An ECO edit or fault plan referenced an id absent from the live
+    /// snapshot (stale net, out-of-range sink index, unknown region).
+    UnknownId {
+        /// What kind of id was looked up (`"net"`, `"sink"`, `"region"`).
+        kind: &'static str,
+        /// The offending id value.
+        id: u64,
+    },
+    /// A phase driver observed a fired [`cancel::CancelToken`] and stopped
+    /// cleanly; transactional callers restore their pre-edit state.
+    Canceled {
+        /// The phase that was interrupted.
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -99,6 +120,12 @@ impl fmt::Display for CoreError {
             CoreError::Lsk(e) => write!(f, "lsk error: {e}"),
             CoreError::RoutingFailed { net } => write!(f, "failed to route net {net}"),
             CoreError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            CoreError::UnknownId { kind, id } => {
+                write!(f, "unknown {kind} id {id} in edit against live snapshot")
+            }
+            CoreError::Canceled { phase } => {
+                write!(f, "canceled during {phase} (deadline or explicit cancel)")
+            }
         }
     }
 }

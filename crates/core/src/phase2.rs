@@ -67,6 +67,9 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
+                        // invariant: a cell is poisoned only if another
+                        // worker panicked (propagated below anyway), and
+                        // the atomic counter hands each index out once.
                         let item = cell
                             .lock()
                             .expect("worklist cell poisoned")
@@ -80,6 +83,8 @@ where
             .collect();
         handles
             .into_iter()
+            // invariant: re-raise a worker panic on the caller's thread
+            // rather than swallowing it into a mangled result set.
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
@@ -191,10 +196,30 @@ impl RegionSino {
     pub fn is_empty(&self) -> bool {
         self.solutions.is_empty()
     }
+
+    /// Installs (or replaces) one region's solution, returning the
+    /// displaced one — the ECO session's patch/undo primitive.
+    pub fn insert_solution(
+        &mut self,
+        region: RegionIdx,
+        dir: Dir,
+        sol: RegionSolution,
+    ) -> Option<RegionSolution> {
+        self.solutions.insert((region, dir), sol)
+    }
+
+    /// Removes one region's solution (the region lost its last segment),
+    /// returning it so a transaction rollback can put it back.
+    pub fn remove_solution(&mut self, region: RegionIdx, dir: Dir) -> Option<RegionSolution> {
+        self.solutions.remove(&(region, dir))
+    }
 }
 
-/// Groups routed nets by `(region, direction)`.
-fn assignments(grid: &RegionGrid, routes: &RouteSet) -> Vec<((RegionIdx, Dir), Vec<NetId>)> {
+/// Groups routed nets by `(region, direction)`: every pair whose tracks
+/// host at least one net segment, with its occupant list sorted ascending.
+/// Sorted by key, so iteration is deterministic. Public because the ECO
+/// session diffs two of these maps to find the regions an edit touched.
+pub fn assignments(grid: &RegionGrid, routes: &RouteSet) -> Vec<((RegionIdx, Dir), Vec<NetId>)> {
     let mut map: HashMap<(RegionIdx, Dir), Vec<NetId>> = HashMap::new();
     for route in routes.iter() {
         for r in route.regions() {
@@ -299,20 +324,8 @@ pub fn prepare_instances(
 ) -> Result<Vec<RegionInstance>> {
     let groups = assignments(grid, routes);
     let threads = resolve_threads(threads);
-    let build = |((region, dir), nets): ((RegionIdx, Dir), Vec<NetId>)| -> Result<RegionInstance> {
-        let specs: Vec<SegmentSpec> = nets
-            .iter()
-            .map(|&net| SegmentSpec {
-                net,
-                kth: budgets.kth(net, region, dir).unwrap_or(1e9),
-            })
-            .collect();
-        let instance = SinoInstance::from_model(specs, sensitivity)?;
-        Ok(RegionInstance {
-            key: (region, dir),
-            nets,
-            instance,
-        })
+    let build = |group: ((RegionIdx, Dir), Vec<NetId>)| -> Result<RegionInstance> {
+        build_instance(group.0, group.1, budgets, sensitivity)
     };
     if threads <= 1 || groups.len() < 32 {
         return groups.into_iter().map(build).collect();
@@ -327,8 +340,93 @@ pub fn prepare_instances(
     }
     Ok(out
         .into_iter()
+        // invariant: the loop above writes exactly one instance per group.
         .map(|o| o.expect("every group is built exactly once"))
         .collect())
+}
+
+/// Builds one region's [`RegionInstance`] from its occupant list — the
+/// loop body of [`prepare_instances`], public so the ECO session can
+/// rebuild exactly the regions an edit touched with the same code path.
+///
+/// # Errors
+///
+/// Propagates SINO construction errors.
+pub fn build_instance(
+    key: (RegionIdx, Dir),
+    nets: Vec<NetId>,
+    budgets: &Budgets,
+    sensitivity: &SensitivityModel,
+) -> Result<RegionInstance> {
+    let (region, dir) = key;
+    let specs: Vec<SegmentSpec> = nets
+        .iter()
+        .map(|&net| SegmentSpec {
+            net,
+            kth: budgets.kth(net, region, dir).unwrap_or(1e9),
+        })
+        .collect();
+    let instance = SinoInstance::from_model(specs, sensitivity)?;
+    Ok(RegionInstance {
+        key,
+        nets,
+        instance,
+    })
+}
+
+/// Solves one prepared region instance — the loop body of
+/// [`solve_prepared`], public so the ECO session (and its runtime oracle)
+/// can re-solve exactly the regions an edit touched with the same seeds
+/// and the same engine dispatch, guaranteeing bit-identical results.
+///
+/// # Errors
+///
+/// Propagates SINO solver errors.
+pub fn solve_instance(
+    region_inst: RegionInstance,
+    solver_config: SolverConfig,
+    mode: RegionMode,
+    engine: SinoEngine,
+    scratch: &mut DeltaEval,
+) -> Result<((RegionIdx, Dir), RegionSolution)> {
+    let (region, dir) = region_inst.key;
+    let instance = &region_inst.instance;
+    let layout: Layout = match mode {
+        RegionMode::Sino => {
+            // Deterministic per-region seed for the (optional) annealer.
+            let mut cfg = solver_config;
+            if let Some(a) = &mut cfg.anneal {
+                a.seed ^= (region as u64) << 1 | matches!(dir, Dir::V) as u64;
+            }
+            match engine {
+                SinoEngine::Incremental => SinoSolver::new(cfg).solve_with(instance, scratch)?,
+                SinoEngine::Reference => gsino_sino::reference::solve(&cfg, instance)?,
+            }
+        }
+        RegionMode::OrderOnly => match engine {
+            SinoEngine::Incremental => gsino_sino::greedy::order_only_with(instance, scratch),
+            SinoEngine::Reference => gsino_sino::reference::order_only(instance),
+        },
+    };
+    // The delta engine's cached couplings are bit-identical to a
+    // from-scratch pass whenever its final state is the returned
+    // layout (greedy-only solves and order-only); otherwise fall back
+    // to `coupling` — the `k` component of `evaluate`, without
+    // rescanning for violations the solvers already enforced.
+    let k = if engine == SinoEngine::Incremental && scratch.slots() == layout.slots() {
+        scratch.k_values().to_vec()
+    } else {
+        coupling(instance, &layout)
+    };
+    Ok((
+        (region, dir),
+        RegionSolution {
+            nets: region_inst.nets,
+            instance: region_inst.instance,
+            layout,
+            k,
+        },
+    ))
 }
 
 /// Solves prepared region instances with the chosen engine, consuming the
@@ -353,49 +451,39 @@ pub fn solve_prepared(
     threads: usize,
     engine: SinoEngine,
 ) -> Result<RegionSino> {
+    solve_prepared_cancel(
+        work,
+        solver_config,
+        mode,
+        threads,
+        engine,
+        &crate::cancel::CancelToken::never(),
+    )
+}
+
+/// [`solve_prepared`] polling a [`CancelToken`](crate::cancel::CancelToken)
+/// before each region solve. On cancellation the partial result is
+/// discarded and [`CoreError::Canceled`](crate::CoreError) is
+/// returned; no shared state has been touched, so transactional callers
+/// need nothing undone from this phase.
+///
+/// # Errors
+///
+/// [`CoreError::Canceled`](crate::CoreError) once the token
+/// fires, plus the same solver errors as [`solve_prepared`].
+pub fn solve_prepared_cancel(
+    work: Vec<RegionInstance>,
+    solver_config: SolverConfig,
+    mode: RegionMode,
+    threads: usize,
+    engine: SinoEngine,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<RegionSino> {
     let threads = resolve_threads(threads);
     type Solved = ((RegionIdx, Dir), RegionSolution);
     let solve_one = |region_inst: RegionInstance, scratch: &mut DeltaEval| -> Result<Solved> {
-        let (region, dir) = region_inst.key;
-        let instance = &region_inst.instance;
-        let layout: Layout = match mode {
-            RegionMode::Sino => {
-                // Deterministic per-region seed for the (optional) annealer.
-                let mut cfg = solver_config;
-                if let Some(a) = &mut cfg.anneal {
-                    a.seed ^= (region as u64) << 1 | matches!(dir, Dir::V) as u64;
-                }
-                match engine {
-                    SinoEngine::Incremental => {
-                        SinoSolver::new(cfg).solve_with(instance, scratch)?
-                    }
-                    SinoEngine::Reference => gsino_sino::reference::solve(&cfg, instance)?,
-                }
-            }
-            RegionMode::OrderOnly => match engine {
-                SinoEngine::Incremental => gsino_sino::greedy::order_only_with(instance, scratch),
-                SinoEngine::Reference => gsino_sino::reference::order_only(instance),
-            },
-        };
-        // The delta engine's cached couplings are bit-identical to a
-        // from-scratch pass whenever its final state is the returned
-        // layout (greedy-only solves and order-only); otherwise fall back
-        // to `coupling` — the `k` component of `evaluate`, without
-        // rescanning for violations the solvers already enforced.
-        let k = if engine == SinoEngine::Incremental && scratch.slots() == layout.slots() {
-            scratch.k_values().to_vec()
-        } else {
-            coupling(instance, &layout)
-        };
-        Ok((
-            (region, dir),
-            RegionSolution {
-                nets: region_inst.nets,
-                instance: region_inst.instance,
-                layout,
-                k,
-            },
-        ))
+        cancel.check("phase2")?;
+        solve_instance(region_inst, solver_config, mode, engine, scratch)
     };
 
     let mut solutions = HashMap::with_capacity(work.len());

@@ -1,7 +1,8 @@
 //! End-to-end flows: GSINO and the shared plumbing for the baselines.
 
 use crate::budget::{
-    congestion_weighted_budgets, uniform_budgets, BudgetPolicy, Budgets, LengthModel,
+    budgets_with_constraints, congestion_weighted_budgets, uniform_budgets, BudgetPolicy, Budgets,
+    LengthModel,
 };
 use crate::metrics::{wirelength_stats, WirelengthStats};
 use crate::phase2::{solve_regions_with_engine, RegionMode, RegionSino, SinoEngine};
@@ -91,6 +92,14 @@ pub struct GsinoConfig {
     /// bit-identical; [`SinoEngine::Reference`] exists for ablations and
     /// the bench gate's normalization baseline.
     pub sino_engine: SinoEngine,
+    /// Per-sink crosstalk-constraint overrides `(net, sink_index, vth)` —
+    /// the paper's §3.1 non-uniform constraints. Overridden sinks budget
+    /// against their own `vth`; everything else (violation checking, Phase
+    /// III targets, the Formula (3) fit) keeps the global [`Self::vth`].
+    /// ECO sessions use this to tighten a single sink's noise budget
+    /// without re-routing. Only supported under
+    /// [`BudgetPolicy::Uniform`].
+    pub vth_overrides: Vec<(u32, u32, f64)>,
 }
 
 impl Default for GsinoConfig {
@@ -110,6 +119,7 @@ impl Default for GsinoConfig {
             budget_policy: BudgetPolicy::Uniform,
             router: RouterKind::default(),
             sino_engine: SinoEngine::default(),
+            vth_overrides: Vec::new(),
         }
     }
 }
@@ -131,7 +141,44 @@ impl GsinoConfig {
                 reason: format!("tile size {}", self.tile_um),
             });
         }
+        // The routers order nets by a float score built from these
+        // weights; a NaN coefficient would panic their comparators.
+        if ![self.weights.alpha, self.weights.beta, self.weights.gamma]
+            .iter()
+            .all(|w| w.is_finite())
+        {
+            return Err(CoreError::BadConfig {
+                reason: "router weights must be finite".into(),
+            });
+        }
+        for &(net, sink, vth) in &self.vth_overrides {
+            if !(vth > 0.0 && vth < self.tech.vdd) {
+                return Err(CoreError::BadConfig {
+                    reason: format!(
+                        "vth override {vth} for net {net} sink {sink} outside (0, Vdd)"
+                    ),
+                });
+            }
+        }
+        if !self.vth_overrides.is_empty() && self.budget_policy == BudgetPolicy::CongestionWeighted
+        {
+            return Err(CoreError::BadConfig {
+                reason: "vth overrides require the uniform budget policy".into(),
+            });
+        }
         Ok(())
+    }
+
+    /// The constraint a given sink budgets against: its override if one is
+    /// configured (the last matching entry wins), the global [`Self::vth`]
+    /// otherwise.
+    pub fn vth_for(&self, net: u32, sink_index: usize) -> f64 {
+        self.vth_overrides
+            .iter()
+            .rev()
+            .find(|(n, s, _)| *n == net && *s as usize == sink_index)
+            .map(|(_, _, v)| *v)
+            .unwrap_or(self.vth)
     }
 }
 
@@ -280,6 +327,14 @@ pub(crate) fn run_flow(
         _ => LengthModel::Manhattan,
     };
     let mut budgets = match config.budget_policy {
+        BudgetPolicy::Uniform if !config.vth_overrides.is_empty() => budgets_with_constraints(
+            circuit,
+            &grid,
+            &routes,
+            &table,
+            &|net, sink| config.vth_for(net, sink),
+            length_model,
+        )?,
         BudgetPolicy::Uniform => {
             uniform_budgets(circuit, &grid, &routes, &table, config.vth, length_model)?
         }

@@ -59,6 +59,7 @@ pub mod reference;
 pub mod tracker;
 
 use crate::budget::Budgets;
+use crate::cancel::CancelToken;
 use crate::phase2::{RegionSino, RegionSolution};
 use crate::violations::check;
 use crate::Result;
@@ -170,6 +171,43 @@ pub fn refine(
     solver: SolverConfig,
     config: &RefineConfig,
 ) -> Result<RefineStats> {
+    refine_cancel(
+        circuit,
+        grid,
+        routes,
+        budgets,
+        sino,
+        table,
+        vth,
+        solver,
+        config,
+        &CancelToken::never(),
+    )
+}
+
+/// [`refine`] polling a [`CancelToken`] once per pass-1 net pick and once
+/// per pass-2 region pick. Cancellation leaves `budgets`/`sino` in a
+/// consistent but partially-refined state — transactional callers (the
+/// ECO session) refine **clones** and discard them on error, so nothing
+/// needs undoing here.
+///
+/// # Errors
+///
+/// [`CoreError::Canceled`](crate::CoreError) once the token
+/// fires, plus the same solver errors as [`refine`].
+#[allow(clippy::too_many_arguments)]
+pub fn refine_cancel(
+    circuit: &Circuit,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    budgets: &mut Budgets,
+    sino: &mut RegionSino,
+    table: &NoiseTable,
+    vth: f64,
+    solver: SolverConfig,
+    config: &RefineConfig,
+    cancel: &CancelToken,
+) -> Result<RefineStats> {
     let mut stats = RefineStats::default();
     let mut tracker = LskTracker::new(circuit, grid, routes, sino, table, vth);
     let mut engines = RegionEngines::default();
@@ -185,6 +223,7 @@ pub fn refine(
         &mut stats,
         &mut tracker,
         &mut engines,
+        cancel,
     )?;
     stats.clean = tracker.is_clean();
     debug_assert_eq!(
@@ -205,6 +244,7 @@ pub fn refine(
             &mut stats,
             &mut tracker,
             &mut engines,
+            cancel,
         )?;
     }
     Ok(stats)
@@ -229,15 +269,18 @@ fn pass1(
     stats: &mut RefineStats,
     tracker: &mut LskTracker,
     engines: &mut RegionEngines,
+    cancel: &CancelToken,
 ) -> Result<()> {
     let solver = SinoSolver::new(solver);
     let mut queue = SeverityQueue::new(&tracker.nets_by_severity());
     for _ in 0..config.max_pass1_iters {
+        cancel.check("phase3")?;
         let net_id = match queue.pick() {
             Some(n) => n,
             None => return Ok(()),
         };
         stats.pass1_nets += 1;
+        // invariant: the tracker only reports nets it scored from routes.
         let route = routes.get(net_id).expect("violating net is routed");
         for _ in 0..config.max_inner_iters {
             if tracker.net_is_clean(net_id) {
@@ -266,6 +309,7 @@ fn pass1(
                 }
             }
             candidates.sort_by(|a, b| {
+                // invariant: region densities are finite ratios of counts.
                 a.0.partial_cmp(&b.0)
                     .expect("finite densities")
                     .then_with(|| a.1.cmp(&b.1))
@@ -277,6 +321,8 @@ fn pass1(
                 None => break,
             };
             {
+                // invariant: the candidate list above was enumerated from
+                // this net's solved segments, so both lookups succeed.
                 let sol = sino
                     .solution_mut(r, dir)
                     .expect("candidate came from a solution");
@@ -303,6 +349,7 @@ fn pass1(
             // Mirror the seed pass's affected-net recheck on the queue:
             // every crossing net is re-enqueued (or dropped) at its
             // tracked severity.
+            // invariant: the picked key came from the solved-region scan.
             let affected = sino.solution(r, dir).expect("exists");
             for &nid in &affected.nets {
                 queue.set(nid, tracker.net_worst(nid));
@@ -335,6 +382,7 @@ fn pass2(
     stats: &mut RefineStats,
     tracker: &mut LskTracker,
     engines: &mut RegionEngines,
+    cancel: &CancelToken,
 ) -> Result<()> {
     let solver = SinoSolver::new(solver);
     let mut snap = DeltaSnapshot::new();
@@ -351,6 +399,7 @@ fn pass2(
                 if visited.contains(&(r, dir)) {
                     continue;
                 }
+                // invariant: iterating `keys()` of the same solution set.
                 let sol = sino.solution(r, dir).expect("key enumerated");
                 if sol.layout.num_shields() == 0 {
                     continue;
@@ -371,6 +420,7 @@ fn pass2(
                 Some(b) => b,
                 None => break,
             };
+            cancel.check("phase3")?;
             visited.insert((r, dir));
             stats.pass2_regions += 1;
             let outcome = try_recover_shield(
@@ -408,6 +458,7 @@ fn try_recover_shield(
     dir: Dir,
     stats: &mut RefineStats,
 ) -> Result<Recovery> {
+    // invariant: both callers verified this key holds a solution.
     let sol = sino.solution_mut(r, dir).expect("caller checked existence");
     let nets = sol.nets.clone();
     let n = nets.len();

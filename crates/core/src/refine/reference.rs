@@ -89,6 +89,8 @@ fn pass1(
             .collect();
     for _ in 0..config.max_pass1_iters {
         let net_id = match severity.iter().max_by(|a, b| {
+            // invariant: severity voltages come from the noise table and
+            // are finite.
             a.1.partial_cmp(b.1)
                 .expect("finite")
                 .then_with(|| b.0.cmp(a.0))
@@ -97,6 +99,7 @@ fn pass1(
             None => return Ok(()),
         };
         stats.pass1_nets += 1;
+        // invariant: the severity map was built by scoring routed nets.
         let net = circuit.net(net_id).expect("violating net exists");
         let route = routes.get(net_id).expect("violating net is routed");
         for _ in 0..config.max_inner_iters {
@@ -126,6 +129,7 @@ fn pass1(
                 }
             }
             candidates.sort_by(|a, b| {
+                // invariant: region densities are finite ratios of counts.
                 a.0.partial_cmp(&b.0)
                     .expect("finite densities")
                     .then_with(|| a.1.cmp(&b.1))
@@ -136,6 +140,8 @@ fn pass1(
                 // improved further in this pass.
                 None => break,
             };
+            // invariant: the candidate list above was enumerated from
+            // this net's solved segments, so both lookups succeed.
             let sol = sino
                 .solution_mut(r, dir)
                 .expect("candidate came from a solution");
@@ -158,6 +164,7 @@ fn pass1(
                 .map(|s| s.nets.clone())
                 .unwrap_or_default();
             for nid in affected {
+                // invariant: occupants of a solved region are routed nets.
                 let other = circuit.net(nid).expect("net exists");
                 let oroute = routes.get(nid).expect("routed");
                 let viols = check_net(grid, oroute, sino, table, vth, other);
@@ -214,6 +221,7 @@ fn pass2(
                 if visited.contains(&(r, dir)) {
                     continue;
                 }
+                // invariant: iterating `keys()` of the same solution set.
                 let sol = sino.solution(r, dir).expect("key enumerated");
                 if sol.layout.num_shields() == 0 {
                     continue;
@@ -266,6 +274,7 @@ fn try_recover_shield(
     stats: &mut RefineStats,
 ) -> Result<bool> {
     let (original, base_shields, nets) = {
+        // invariant: the caller verified this key holds a solution.
         let sol = sino.solution(r, dir).expect("caller checked existence");
         (sol.clone(), sol.layout.num_shields(), sol.nets.clone())
     };
@@ -296,17 +305,20 @@ fn try_recover_shield(
         // Tentatively install and verify globally.
         let removed = (base_shields - layout.num_shields()) as u64;
         {
+            // invariant: the key held a solution at entry; nothing removed it.
             let sol = sino.solution_mut(r, dir).expect("exists");
             sol.instance = trial.clone();
             sol.layout = layout;
             sol.refresh_k();
         }
         let any_violation = nets.iter().any(|&nid| {
+            // invariant: occupants of a solved region are routed nets.
             let net = circuit.net(nid).expect("net exists");
             let route = routes.get(nid).expect("routed");
             !check_net(grid, route, sino, table, vth, net).is_empty()
         });
         if any_violation {
+            // invariant: same key as the tentative install above.
             let sol = sino.solution_mut(r, dir).expect("exists");
             *sol = original;
             return Ok(false);

@@ -274,6 +274,8 @@ impl LskTracker {
     pub fn nets_by_severity(&self) -> Vec<(NetId, f64)> {
         let mut v: Vec<(NetId, f64)> = self.worst.iter().map(|(&n, &x)| (n, x)).collect();
         v.sort_by(|a, b| {
+            // invariant: tracked voltages come from the noise table, which
+            // is finite for finite LSK inputs.
             b.1.partial_cmp(&a.1)
                 .expect("finite voltages")
                 .then_with(|| a.0.cmp(&b.0))
@@ -355,6 +357,7 @@ struct SeverityEntry {
 
 impl Ord for SeverityEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // invariant: severity-queue voltages are finite (noise table).
         self.voltage
             .partial_cmp(&other.voltage)
             .expect("finite voltages")

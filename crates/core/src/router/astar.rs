@@ -328,6 +328,8 @@ impl<'a> AstarRouter<'a> {
                 }
                 let snap = commit_seq;
                 for (slot, c) in slots.into_iter().zip(chunk) {
+                    // invariant: the speculative pass above filled every
+                    // slot of this chunk before we got here.
                     let spec = slot.expect("every slot routed");
                     let valid = match &spec {
                         Speculative::Skip => continue,
@@ -339,6 +341,7 @@ impl<'a> AstarRouter<'a> {
                     commit_seq += 1;
                     let commit = if valid {
                         let Speculative::Found { path, .. } = spec else {
+                            // invariant: `valid` is only true for Found.
                             unreachable!()
                         };
                         commit_path(
@@ -383,6 +386,7 @@ impl<'a> AstarRouter<'a> {
             }
         });
         result?;
+        // invariant: the worker stores routes before returning Ok.
         let routes = routes_out.expect("Ok result implies routes");
         Ok((routes, stats))
     }
@@ -397,6 +401,7 @@ impl<'a> AstarRouter<'a> {
             conns.extend(decompose_net(net));
         }
         conns.sort_by(|a, b| {
+            // invariant: manhattan lengths of in-die pins are finite.
             b.manhattan()
                 .partial_cmp(&a.manhattan())
                 .expect("finite lengths")

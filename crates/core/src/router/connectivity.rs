@@ -178,6 +178,8 @@ impl ConnectivityScratch {
                 continue;
             }
             let (to, eid) = (corridor.arc_to(arc), corridor.arc_edge(arc) as u32);
+            // invariant: the enclosing loop only runs while the stack is
+            // non-empty; this frame was peeked at the top of the iteration.
             self.stack.last_mut().expect("frame exists").1 = corridor.next_arc(arc);
             if eid == parent_edge {
                 continue;

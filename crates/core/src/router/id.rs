@@ -14,6 +14,7 @@ use super::assemble::assemble_trees;
 use super::connectivity::{BridgeCache, ConnectivityScratch};
 use super::corridor::Corridor;
 use super::{ShieldTerm, Weights};
+use crate::cancel::CancelToken;
 use crate::Result;
 use gsino_grid::net::{Circuit, NetId};
 use gsino_grid::region::{RegionGrid, RegionIdx};
@@ -144,6 +145,9 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // invariant: heap weights are sums of finite coefficients
+        // (`GsinoConfig::validate` rejects non-finite `Weights`) times
+        // finite geometry, so the comparison is total.
         self.w
             .partial_cmp(&other.w)
             .expect("weights are finite")
@@ -212,6 +216,22 @@ impl<'a> IdRouter<'a> {
         self.route_prepared(circuit, &conns)
     }
 
+    /// [`Self::route`] polling a [`CancelToken`] between deletion batches,
+    /// so an ECO replay under a deadline can abandon Phase I cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Canceled`](crate::CoreError) once the token
+    /// fires, plus the same conditions as [`Self::route`].
+    pub fn route_cancel(
+        &self,
+        circuit: &Circuit,
+        cancel: &CancelToken,
+    ) -> Result<(RouteSet, RouterStats)> {
+        let conns = self.prepare(circuit);
+        self.route_prepared_cancel(circuit, &conns, cancel)
+    }
+
     /// Routes pre-decomposed connections (the ID loop without the shared
     /// Steiner preprocessing), so benches can compare deletion kernels
     /// without the identical decomposition cost drowning the signal —
@@ -225,6 +245,30 @@ impl<'a> IdRouter<'a> {
         circuit: &Circuit,
         connections: &[Connection],
     ) -> Result<(RouteSet, RouterStats)> {
+        self.route_prepared_cancel(circuit, connections, &CancelToken::never())
+    }
+
+    /// [`Self::route_prepared`] polling a [`CancelToken`] once per deletion
+    /// batch (every `CANCEL_POLL_POPS` heap pops): often enough that a
+    /// fired deadline stops the run within a fraction of a batch, rare
+    /// enough that the never-token path costs one branch per pop. The
+    /// partially-deleted corridor state is local to this call, so
+    /// cancellation leaves nothing to undo.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Canceled`](crate::CoreError) once the token
+    /// fires, plus the same conditions as [`Self::route`].
+    pub fn route_prepared_cancel(
+        &self,
+        circuit: &Circuit,
+        connections: &[Connection],
+        cancel: &CancelToken,
+    ) -> Result<(RouteSet, RouterStats)> {
+        /// Heap pops between cancellation polls.
+        const CANCEL_POLL_POPS: usize = 4096;
+        cancel.check("phase1")?;
+        let mut since_cancel_poll = 0usize;
         let mut stats = RouterStats::default();
         // 1. Build per-connection corridor state.
         let mut conns: Vec<ConnState> = Vec::new();
@@ -277,6 +321,11 @@ impl<'a> IdRouter<'a> {
         let refresh_every = (stats.edges_initial / 8).max(1000);
         let mut since_refresh = 0usize;
         while let Some(HeapEntry { w, conn, edge }) = heap.pop() {
+            since_cancel_poll += 1;
+            if since_cancel_poll >= CANCEL_POLL_POPS {
+                since_cancel_poll = 0;
+                cancel.check("phase1")?;
+            }
             if since_refresh >= refresh_every {
                 since_refresh = 0;
                 for (ci, c) in conns.iter().enumerate() {

@@ -50,6 +50,7 @@ impl PartialOrd for OpenEntry {
 impl Ord for OpenEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we need the smallest f.
+        // invariant: f sums finite edge costs and a finite heuristic.
         other
             .f
             .partial_cmp(&self.f)
@@ -87,6 +88,7 @@ impl<'a> SeedAstarRouter<'a> {
         }
         // Longest connections first.
         conns.sort_by(|a, b| {
+            // invariant: manhattan lengths of in-die pins are finite.
             b.manhattan()
                 .partial_cmp(&a.manhattan())
                 .expect("finite lengths")
@@ -242,6 +244,8 @@ impl PartialOrd for RefHeapEntry {
 
 impl Ord for RefHeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // invariant: same totality argument as the incremental router's
+        // heap — `GsinoConfig::validate` rejects non-finite `Weights`.
         self.w
             .partial_cmp(&other.w)
             .expect("weights are finite")
@@ -568,6 +572,8 @@ pub(crate) fn assemble_trees_reference(
             match leaf_edge {
                 Some(e) => {
                     tree.remove(&e);
+                    // invariant: every endpoint of a tree edge was counted
+                    // into `degree` when the tree was built.
                     *degree.get_mut(&e.a()).expect("tracked") -= 1;
                     *degree.get_mut(&e.b()).expect("tracked") -= 1;
                 }

@@ -1,0 +1,174 @@
+//! Typed ECO edits and their validation against the live snapshot.
+//!
+//! Every edit is validated **at apply time** against the transaction's
+//! working copy of the circuit and configuration (the live snapshot plus
+//! any edits already applied in the open transaction), so a stale id
+//! surfaces as a typed [`CoreError::UnknownId`] before the commit starts
+//! replaying anything — never as a panic inside a phase driver.
+
+use crate::pipeline::GsinoConfig;
+use crate::router::Weights;
+use crate::{CoreError, Result};
+use gsino_grid::net::{Circuit, CircuitEdit};
+use gsino_grid::GridError;
+
+/// One typed edit an [`EcoSession`](super::EcoSession) transaction can
+/// carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoEdit {
+    /// A netlist change (add / remove / re-pin a net). Topology edits
+    /// re-run Phase I — iterative deletion couples every net through the
+    /// shared demand field, so routes have no per-net incremental form —
+    /// but Phase II replays only the regions whose occupants or budgets
+    /// actually changed.
+    Circuit(CircuitEdit),
+    /// Tightens (or loosens) one sink's noise constraint: the session
+    /// config gains a `(net, sink, vth)` override. Budget-only — routes
+    /// are untouched; the edited net's budget entries are recomputed and
+    /// only regions whose `Kth` changed are re-solved.
+    TightenVth {
+        /// The net owning the sink.
+        net: u32,
+        /// The sink's index within [`gsino_grid::net::Net::sinks`].
+        sink: u32,
+        /// The new constraint (V), `0 < vth < Vdd`.
+        vth: f64,
+    },
+    /// Removes any constraint override on one sink, restoring the global
+    /// `vth`. Budget-only, like [`EcoEdit::TightenVth`].
+    RelaxVth {
+        /// The net owning the sink.
+        net: u32,
+        /// The sink's index.
+        sink: u32,
+    },
+    /// Resizes the routing-region tiles. The grid is uniform (it depends
+    /// only on the die and tile size), so this is the "resize a region"
+    /// edit at the only granularity the substrate supports — and it
+    /// invalidates every corridor, so it replays the full flow.
+    Retile {
+        /// The new nominal tile size (µm).
+        tile_um: f64,
+    },
+    /// Replaces the Formula (2) router weight constants. Re-weighting
+    /// changes every deletion decision, so it replays the full flow.
+    Reweight {
+        /// The new weight constants.
+        weights: Weights,
+    },
+}
+
+/// How much of the flow an edit invalidates — the session's degradation
+/// ladder, from cheapest to most expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum EditClass {
+    /// Routes stand; re-budget the edited nets and re-solve changed
+    /// regions.
+    BudgetOnly,
+    /// Re-run Phase I on the edited netlist; reuse unchanged Phase II
+    /// regions.
+    Phase1,
+    /// Everything is invalidated; rebuild from scratch.
+    FullRebuild,
+}
+
+impl EcoEdit {
+    /// Validates this edit against (and applies it to) the transaction's
+    /// working circuit/config, returning how much replay it demands.
+    ///
+    /// On error the working copies are left exactly as they were —
+    /// [`Circuit::apply_edit`] validates before mutating, and the config
+    /// paths below mutate only after their checks pass — so a rejected
+    /// edit never poisons the transaction.
+    pub(super) fn apply_to(
+        &self,
+        circuit: &mut Circuit,
+        config: &mut GsinoConfig,
+    ) -> Result<EditClass> {
+        match self {
+            EcoEdit::Circuit(edit) => {
+                circuit.apply_edit(edit.clone()).map_err(grid_edit_error)?;
+                Ok(EditClass::Phase1)
+            }
+            EcoEdit::TightenVth { net, sink, vth } => {
+                validate_sink(circuit, *net, *sink)?;
+                if !(*vth > 0.0 && *vth < config.tech.vdd) {
+                    return Err(CoreError::BadConfig {
+                        reason: format!("vth override {vth} outside (0, Vdd)"),
+                    });
+                }
+                config
+                    .vth_overrides
+                    .retain(|(n, s, _)| !(n == net && s == sink));
+                config.vth_overrides.push((*net, *sink, *vth));
+                Ok(EditClass::BudgetOnly)
+            }
+            EcoEdit::RelaxVth { net, sink } => {
+                validate_sink(circuit, *net, *sink)?;
+                config
+                    .vth_overrides
+                    .retain(|(n, s, _)| !(n == net && s == sink));
+                Ok(EditClass::BudgetOnly)
+            }
+            EcoEdit::Retile { tile_um } => {
+                if !(tile_um.is_finite() && *tile_um > 0.0) {
+                    return Err(CoreError::BadConfig {
+                        reason: format!("tile size {tile_um}"),
+                    });
+                }
+                config.tile_um = *tile_um;
+                Ok(EditClass::FullRebuild)
+            }
+            EcoEdit::Reweight { weights } => {
+                if ![weights.alpha, weights.beta, weights.gamma]
+                    .iter()
+                    .all(|w| w.is_finite())
+                {
+                    return Err(CoreError::BadConfig {
+                        reason: "router weights must be finite".into(),
+                    });
+                }
+                config.weights = *weights;
+                Ok(EditClass::FullRebuild)
+            }
+        }
+    }
+
+    /// The net whose budgets a [`EditClass::BudgetOnly`] edit touches.
+    pub(super) fn budget_net(&self) -> Option<u32> {
+        match self {
+            EcoEdit::TightenVth { net, .. } | EcoEdit::RelaxVth { net, .. } => Some(*net),
+            _ => None,
+        }
+    }
+}
+
+/// Maps netlist-edit failures onto the session's typed errors: stale ids
+/// become [`CoreError::UnknownId`], structural rejections stay as
+/// configuration errors.
+fn grid_edit_error(e: GridError) -> CoreError {
+    match e {
+        GridError::UnknownNet { net } => CoreError::UnknownId {
+            kind: "net",
+            id: net as u64,
+        },
+        other => CoreError::BadConfig {
+            reason: format!("netlist edit rejected: {other}"),
+        },
+    }
+}
+
+/// `UnknownId` unless `net` exists and `sink` indexes one of its sinks.
+fn validate_sink(circuit: &Circuit, net: u32, sink: u32) -> Result<()> {
+    let n = circuit.net(net).ok_or(CoreError::UnknownId {
+        kind: "net",
+        id: net as u64,
+    })?;
+    if (sink as usize) >= n.sinks().len() {
+        return Err(CoreError::UnknownId {
+            kind: "sink",
+            id: sink as u64,
+        });
+    }
+    Ok(())
+}

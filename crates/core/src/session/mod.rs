@@ -1,0 +1,1015 @@
+//! Fault-tolerant ECO sessions: transactional edit replay over a routed
+//! snapshot, with divergence self-checks and graceful degradation.
+//!
+//! An engineering change order (ECO) arrives after the expensive GSINO
+//! flow has already converged: a net is added or re-pinned, a sink's
+//! noise budget tightens, the router's cost weights are re-tuned. Instead
+//! of re-running the three-phase flow from scratch, an [`EcoSession`]
+//! holds the full routed snapshot — routes, pre-refine budgets, Phase II
+//! region solutions, post-refine state — and replays each batch of typed
+//! [`EcoEdit`]s through the narrowest phase slice that edit class
+//! invalidates.
+//!
+//! # Transaction lifecycle
+//!
+//! ```text
+//! begin() ──▶ apply(edit)* ──▶ commit()            (or rollback())
+//!                 │                 │
+//!                 │ id validation   │ pre-flight oracle audit
+//!                 │ (UnknownId)     │ replay affected phases
+//!                 │                 │ post-replay patched check
+//!                 ▼                 ▼
+//!             rejected edit     new snapshot, or bit-identical
+//!             leaves the txn    pre-edit state on any error
+//!             unchanged
+//! ```
+//!
+//! Commits are transactional in the strongest sense: the replay builds a
+//! complete candidate state **aside** and installs it only after every
+//! phase driver and oracle check succeeds, so a canceled deadline
+//! ([`CancelToken`]), a solver error, or a rejected edit leaves the
+//! session bit-identical to its pre-edit state — the PR-4 rollback
+//! discipline, applied at session scope.
+//!
+//! # Replay ladder
+//!
+//! * **Budget-only** ([`EcoEdit::TightenVth`] / [`EcoEdit::RelaxVth`]):
+//!   routes stand; the edited net's budget entries are recomputed through
+//!   the noise table and only regions whose `Kth` changed are re-solved.
+//! * **Topology** ([`EcoEdit::Circuit`]): iterative deletion couples all
+//!   nets through the shared demand field, so Phase I re-runs on the
+//!   edited netlist — but Phase II solutions are reused bitwise for every
+//!   region whose occupants and budgets are unchanged.
+//! * **Full rebuild** ([`EcoEdit::Retile`] / [`EcoEdit::Reweight`]):
+//!   everything is invalidated; the flow re-runs from scratch.
+//!
+//! Phase III always re-runs on clones of the pre-refine state: refinement
+//! is deterministic, so its output is bit-identical to a from-scratch run
+//! whenever its inputs are — which is exactly the invariant the session
+//! maintains.
+//!
+//! # Oracle sampling contract
+//!
+//! Incremental replay is fast but trusts its caches. Defense in depth
+//! comes from the sampled runtime oracle ([`OracleConfig`]): before each
+//! commit a sampled fraction of regions and nets is re-derived from first
+//! principles and re-solved with the preserved **reference** engines;
+//! after each replay a sampled fraction of the freshly patched regions is
+//! re-checked the same way. Under `debug_assertions` both fractions are
+//! forced to 1.0. A mismatch is a **divergence**: the session quarantines
+//! the suspect cache, counts it in [`SessionStats`], records the reason
+//! ([`EcoSession::last_divergence`]), and **gracefully degrades** by
+//! re-running the flow from scratch — correctness recovered at the price
+//! of one full replay, never a silent wrong answer.
+//!
+//! [`FaultPlan`] exists to prove that ladder end to end: tests inject a
+//! poisoned coupling, a stale route, or a corrupted budget term, and the
+//! suite asserts the oracle detects it and the degraded replay converges
+//! to the same bits as a from-scratch run.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_core::pipeline::GsinoConfig;
+//! use gsino_core::session::{EcoEdit, EcoSession};
+//! use gsino_grid::{Circuit, Net, Point, Rect};
+//! use gsino_sino::nss::NssModel;
+//!
+//! # fn main() -> Result<(), gsino_core::CoreError> {
+//! let die = Rect::new(Point::new(0.0, 0.0), Point::new(512.0, 512.0))?;
+//! let nets: Vec<Net> = (0..20)
+//!     .map(|i| {
+//!         let x = 16.0 + (i as f64 * 37.0) % 480.0;
+//!         let y = 16.0 + (i as f64 * 53.0) % 480.0;
+//!         Net::two_pin(i, Point::new(x, y), Point::new(500.0 - x, 500.0 - y))
+//!     })
+//!     .collect();
+//! let circuit = Circuit::new("demo", die, nets)?;
+//! let config = GsinoConfig {
+//!     nss_model: Some(NssModel::from_coefficients(
+//!         [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+//!         0.5,
+//!     )),
+//!     threads: 1,
+//!     ..GsinoConfig::default()
+//! };
+//! let mut session = EcoSession::new(&circuit, &config)?;
+//! session.begin()?;
+//! session.apply(EcoEdit::TightenVth { net: 3, sink: 0, vth: 0.12 })?;
+//! session.commit()?;
+//! assert_eq!(session.stats().commits, 1);
+//! assert!(session.violations().is_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+mod edit;
+mod fault;
+mod oracle;
+
+pub use edit::EcoEdit;
+pub use fault::{FaultKind, FaultPlan};
+pub use oracle::OracleConfig;
+
+use crate::budget::{
+    budgets_with_constraints, net_budget_entries, uniform_budgets, BudgetPolicy, Budgets,
+    LengthModel,
+};
+use crate::cancel::CancelToken;
+use crate::phase2::{
+    assignments, build_instance, prepare_instances, solve_instance, solve_prepared_cancel,
+    RegionMode, RegionSino,
+};
+use crate::pipeline::{reference_kth, GsinoConfig, RouterKind};
+use crate::refine::{refine_cancel, RefineStats};
+use crate::router::{AstarRouter, IdRouter, RouterStats, ShieldTerm};
+use crate::violations::{check, ViolationReport};
+use crate::{CoreError, Result};
+use edit::EditClass;
+use gsino_grid::net::Circuit;
+use gsino_grid::region::{RegionGrid, RegionIdx};
+use gsino_grid::route::{Dir, RouteSet};
+use gsino_lsk::table::NoiseTable;
+use gsino_sino::delta::DeltaEval;
+use gsino_sino::nss::NssModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Counters describing a session's lifetime (cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Commit attempts (successful or not).
+    pub commits: u64,
+    /// Explicit [`EcoSession::rollback`] calls.
+    pub rollbacks: u64,
+    /// Edits accepted by [`EcoSession::apply`].
+    pub edits_applied: u64,
+    /// Commits replayed on the budget-only rung.
+    pub budget_replays: u64,
+    /// Commits replayed on the Phase I rung.
+    pub phase1_replays: u64,
+    /// Commits replayed as full rebuilds (Retile/Reweight).
+    pub full_replays: u64,
+    /// Phase II region instances re-solved by incremental replays.
+    pub regions_resolved: u64,
+    /// Phase II region instances reused bitwise by incremental replays.
+    pub regions_reused: u64,
+    /// Individual oracle checks performed (audit + patched).
+    pub oracle_checks: u64,
+    /// Divergences the oracle detected.
+    pub divergences: u64,
+    /// From-scratch replays run to recover from divergences.
+    pub degraded_replays: u64,
+}
+
+/// The complete routed snapshot a session holds. Private: the accessors
+/// on [`EcoSession`] are the read surface, and every mutation goes
+/// through the transactional commit path (or explicit fault injection).
+struct SessionState {
+    circuit: Circuit,
+    config: GsinoConfig,
+    grid: RegionGrid,
+    table: NoiseTable,
+    routes: RouteSet,
+    router_stats: RouterStats,
+    /// Phase I budgets, before Phase III retightening — the replay cache
+    /// incremental budgeting patches.
+    budgets0: Budgets,
+    /// Phase II output, before Phase III — the replay cache incremental
+    /// region solving patches.
+    sino0: RegionSino,
+    /// Post-refine budgets (what [`crate::pipeline::run_gsino`] reports).
+    budgets: Budgets,
+    /// Post-refine region solutions.
+    sino: RegionSino,
+    refine_stats: RefineStats,
+}
+
+/// An open transaction: working copies of the circuit and configuration
+/// with the pending edits already folded in, plus the replay class they
+/// collectively demand.
+struct Txn {
+    circuit: Circuit,
+    config: GsinoConfig,
+    class: Option<EditClass>,
+    budget_nets: BTreeSet<u32>,
+}
+
+/// A persistent, fault-tolerant ECO session over one routed circuit. See
+/// the [module docs](self) for the lifecycle, replay ladder and oracle
+/// contract.
+pub struct EcoSession {
+    state: SessionState,
+    txn: Option<Txn>,
+    oracle: OracleConfig,
+    stats: SessionStats,
+    last_divergence: Option<String>,
+}
+
+impl EcoSession {
+    /// Routes the circuit from scratch (the full GSINO flow) and opens a
+    /// session over the result.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] for invalid configurations — including
+    /// [`BudgetPolicy::CongestionWeighted`], whose budgets depend on
+    /// global track usage and therefore have no per-net incremental form
+    /// — plus any flow error.
+    pub fn new(circuit: &Circuit, config: &GsinoConfig) -> Result<Self> {
+        Self::with_oracle(circuit, config, OracleConfig::default())
+    }
+
+    /// [`Self::new`] with explicit oracle sampling rates.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_oracle(
+        circuit: &Circuit,
+        config: &GsinoConfig,
+        oracle: OracleConfig,
+    ) -> Result<Self> {
+        if config.budget_policy == BudgetPolicy::CongestionWeighted {
+            return Err(CoreError::BadConfig {
+                reason: "ECO sessions require the uniform budget policy: congestion-weighted \
+                         budgets couple every net through global track usage, so no edit has \
+                         a bounded replay footprint"
+                    .into(),
+            });
+        }
+        let state = SessionState::rebuild(circuit.clone(), config.clone(), &CancelToken::never())?;
+        Ok(EcoSession {
+            state,
+            txn: None,
+            oracle,
+            stats: SessionStats::default(),
+            last_divergence: None,
+        })
+    }
+
+    /// Opens a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] if one is already open.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(CoreError::BadConfig {
+                reason: "a transaction is already open".into(),
+            });
+        }
+        self.txn = Some(Txn {
+            circuit: self.state.circuit.clone(),
+            config: self.state.config.clone(),
+            class: None,
+            budget_nets: BTreeSet::new(),
+        });
+        Ok(())
+    }
+
+    /// Validates an edit against the live snapshot (plus the edits already
+    /// pending in this transaction) and stages it. A rejected edit leaves
+    /// the transaction exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] if no transaction is open;
+    /// [`CoreError::UnknownId`] for stale net/sink ids;
+    /// [`CoreError::BadConfig`] for out-of-range values.
+    pub fn apply(&mut self, edit: EcoEdit) -> Result<()> {
+        let txn = self.txn.as_mut().ok_or_else(|| CoreError::BadConfig {
+            reason: "no open transaction (call begin() first)".into(),
+        })?;
+        let class = edit.apply_to(&mut txn.circuit, &mut txn.config)?;
+        if class == EditClass::BudgetOnly {
+            if let Some(net) = edit.budget_net() {
+                txn.budget_nets.insert(net);
+            }
+        }
+        txn.class = Some(txn.class.map_or(class, |c| c.max(class)));
+        self.stats.edits_applied += 1;
+        Ok(())
+    }
+
+    /// Discards the open transaction; the snapshot is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] if no transaction is open.
+    pub fn rollback(&mut self) -> Result<()> {
+        if self.txn.take().is_none() {
+            return Err(CoreError::BadConfig {
+                reason: "no open transaction to roll back".into(),
+            });
+        }
+        self.stats.rollbacks += 1;
+        Ok(())
+    }
+
+    /// Replays the open transaction's edits and installs the new
+    /// snapshot. See [`Self::commit_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::commit_with`].
+    pub fn commit(&mut self) -> Result<()> {
+        self.commit_with(&CancelToken::never())
+    }
+
+    /// [`Self::commit`] under a deadline/cancellation token.
+    ///
+    /// On **any** error — cancellation, a solver failure — the pending
+    /// edits are discarded and the session keeps a state bit-identical to
+    /// a correct pre-edit snapshot: the candidate state is built aside
+    /// and only installed on full success. (If the pre-flight oracle
+    /// found a divergence first, "correct pre-edit snapshot" means the
+    /// freshly rebuilt one, not the corrupted cache it replaced.)
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] if no transaction is open;
+    /// [`CoreError::Canceled`] once `cancel` fires; solver/routing errors
+    /// from the replayed phases.
+    pub fn commit_with(&mut self, cancel: &CancelToken) -> Result<()> {
+        let txn = self.txn.take().ok_or_else(|| CoreError::BadConfig {
+            reason: "no open transaction to commit".into(),
+        })?;
+        self.stats.commits += 1;
+        let mut rng = StdRng::seed_from_u64(
+            self.oracle
+                .seed
+                .wrapping_add(self.stats.commits.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+
+        // Pre-flight audit: spot-check the caches the replay is about to
+        // build on. Detecting a corruption *before* replaying makes
+        // recovery deterministic — the degraded rebuild below restores a
+        // clean pre-edit snapshot, and the replay proceeds on top of it.
+        if let Some(reason) = oracle::audit(
+            &self.state,
+            self.oracle.effective_audit(),
+            &mut rng,
+            &mut self.stats,
+        ) {
+            self.degrade(
+                reason,
+                self.state.circuit.clone(),
+                self.state.config.clone(),
+                cancel,
+            )?;
+        }
+
+        let Some(class) = txn.class else {
+            return Ok(()); // empty transaction: audited, nothing to replay
+        };
+        let (next, patched) = match class {
+            EditClass::FullRebuild => {
+                self.stats.full_replays += 1;
+                let next = SessionState::rebuild(txn.circuit, txn.config, cancel)?;
+                let patched = next.sino0.keys();
+                (next, patched)
+            }
+            EditClass::Phase1 => {
+                self.stats.phase1_replays += 1;
+                self.replay_phase1(txn.circuit, txn.config, cancel)?
+            }
+            EditClass::BudgetOnly => {
+                self.stats.budget_replays += 1;
+                self.replay_budgets(txn.circuit, txn.config, &txn.budget_nets, cancel)?
+            }
+        };
+
+        // Post-replay check: re-solve a sampled fraction of the patched
+        // regions with the reference engine. A divergence here means the
+        // incremental replay itself misbehaved; degrade by rebuilding the
+        // edited snapshot from scratch — the commit still succeeds.
+        if let Some(reason) = oracle::check_patched(
+            &next,
+            &patched,
+            self.oracle.effective_patched(),
+            &mut rng,
+            &mut self.stats,
+        ) {
+            return self.degrade(reason, next.circuit, next.config, cancel);
+        }
+        self.state = next;
+        Ok(())
+    }
+
+    /// Runs a full (100%-sampled) audit of the cached snapshot right now.
+    /// Returns `Ok(true)` if everything checked out; on divergence the
+    /// session recovers by degraded replay and returns `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// Flow errors from the recovery rebuild only.
+    pub fn verify_now(&mut self) -> Result<bool> {
+        let mut rng = StdRng::seed_from_u64(self.oracle.seed ^ 0x5EED);
+        if let Some(reason) = oracle::audit(&self.state, 1.0, &mut rng, &mut self.stats) {
+            self.degrade(
+                reason,
+                self.state.circuit.clone(),
+                self.state.config.clone(),
+                &CancelToken::never(),
+            )?;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Corrupts one cached artifact according to `plan` — the
+    /// fault-injection hook the failure-injection suite and the resilience
+    /// benches drive. See [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownId`] for stale explicit targets;
+    /// [`CoreError::BadConfig`] when there is nothing to corrupt.
+    pub fn inject_fault(&mut self, plan: &FaultPlan) -> Result<()> {
+        fault::inject(&mut self.state, plan)
+    }
+
+    /// Quarantine + graceful degradation: count the divergence, drop the
+    /// suspect state, and rebuild `(circuit, config)` from scratch.
+    fn degrade(
+        &mut self,
+        reason: String,
+        circuit: Circuit,
+        config: GsinoConfig,
+        cancel: &CancelToken,
+    ) -> Result<()> {
+        self.stats.divergences += 1;
+        self.last_divergence = Some(reason);
+        let rebuilt = SessionState::rebuild(circuit, config, cancel)?;
+        self.stats.degraded_replays += 1;
+        self.state = rebuilt;
+        Ok(())
+    }
+
+    /// Phase I rung: re-route the edited netlist, recompute budgets, and
+    /// reuse every Phase II region whose occupants and budgets are
+    /// unchanged (bit-identical by the determinism of
+    /// [`solve_instance`]).
+    fn replay_phase1(
+        &mut self,
+        circuit: Circuit,
+        config: GsinoConfig,
+        cancel: &CancelToken,
+    ) -> Result<(SessionState, Vec<(RegionIdx, Dir)>)> {
+        config.validate()?;
+        // invariant: the region grid depends only on the die, technology
+        // and tile size — all unchanged on this rung — so the cached grid
+        // equals RegionGrid::new on the edited circuit.
+        let grid = self.state.grid.clone();
+        let table = self.state.table.clone();
+        let (routes, router_stats) = route_phase1(&circuit, &config, &grid, &table, cancel)?;
+        let budgets0 = budget_phase(&circuit, &config, &grid, &routes, &table)?;
+        let mut sino0 = RegionSino::default();
+        let mut patched = Vec::new();
+        let mut scratch = DeltaEval::new();
+        for (key, nets) in assignments(&grid, &routes) {
+            let (r, dir) = key;
+            let reusable = self.state.sino0.solution(r, dir).filter(|old| {
+                old.nets == nets
+                    && nets
+                        .iter()
+                        .all(|&n| budgets0.kth(n, r, dir) == self.state.budgets0.kth(n, r, dir))
+            });
+            if let Some(old) = reusable {
+                sino0.insert_solution(r, dir, old.clone());
+                self.stats.regions_reused += 1;
+            } else {
+                cancel.check("phase2")?;
+                let inst = build_instance(key, nets, &budgets0, &config.sensitivity)?;
+                let (_, sol) = solve_instance(
+                    inst,
+                    config.solver,
+                    RegionMode::Sino,
+                    config.sino_engine,
+                    &mut scratch,
+                )?;
+                sino0.insert_solution(r, dir, sol);
+                patched.push(key);
+                self.stats.regions_resolved += 1;
+            }
+        }
+        let next = finish_with_refine(
+            circuit,
+            config,
+            grid,
+            table,
+            routes,
+            router_stats,
+            budgets0,
+            sino0,
+            cancel,
+        )?;
+        Ok((next, patched))
+    }
+
+    /// Budget-only rung: routes stand; recompute the edited nets' budget
+    /// entries and re-solve exactly the regions whose `Kth` changed.
+    fn replay_budgets(
+        &mut self,
+        circuit: Circuit,
+        config: GsinoConfig,
+        budget_nets: &BTreeSet<u32>,
+        cancel: &CancelToken,
+    ) -> Result<(SessionState, Vec<(RegionIdx, Dir)>)> {
+        config.validate()?;
+        let grid = self.state.grid.clone();
+        let table = self.state.table.clone();
+        let routes = self.state.routes.clone();
+        let router_stats = self.state.router_stats;
+        let mut budgets0 = self.state.budgets0.clone();
+        let mut changed: Vec<(RegionIdx, Dir)> = Vec::new();
+        for &net in budget_nets {
+            let old_entries = self.state.budgets0.net_entries(net);
+            let new_entries = match (circuit.net(net), routes.get(net)) {
+                (Some(n), Some(route)) => net_budget_entries(
+                    n,
+                    &grid,
+                    route,
+                    &table,
+                    &|nn, ss| config.vth_for(nn, ss),
+                    LengthModel::Manhattan,
+                )?,
+                _ => Vec::new(),
+            };
+            if old_entries == new_entries {
+                continue;
+            }
+            for &((n, r, d), _) in &old_entries {
+                budgets0.remove(n, r, d);
+            }
+            for &((n, r, d), v) in &new_entries {
+                budgets0.set(n, r, d, v);
+            }
+            diff_changed_keys(&old_entries, &new_entries, &mut changed);
+        }
+        changed.sort_by_key(|(r, d)| (*r, matches!(d, Dir::V)));
+        changed.dedup();
+        let mut sino0 = self.state.sino0.clone();
+        let mut patched = Vec::new();
+        let mut scratch = DeltaEval::new();
+        for &(r, dir) in &changed {
+            // invariant: every budget entry's key hosts segments and was
+            // solved in Phase II, so the old solution must exist.
+            let Some(old) = self.state.sino0.solution(r, dir) else {
+                debug_assert!(false, "budget key ({r}, {dir:?}) has no region solution");
+                continue;
+            };
+            cancel.check("phase2")?;
+            let inst = build_instance((r, dir), old.nets.clone(), &budgets0, &config.sensitivity)?;
+            let (_, sol) = solve_instance(
+                inst,
+                config.solver,
+                RegionMode::Sino,
+                config.sino_engine,
+                &mut scratch,
+            )?;
+            sino0.insert_solution(r, dir, sol);
+            patched.push((r, dir));
+            self.stats.regions_resolved += 1;
+        }
+        self.stats.regions_reused += (sino0.len() - patched.len()) as u64;
+        let next = finish_with_refine(
+            circuit,
+            config,
+            grid,
+            table,
+            routes,
+            router_stats,
+            budgets0,
+            sino0,
+            cancel,
+        )?;
+        Ok((next, patched))
+    }
+
+    /// The routed circuit the session currently tracks.
+    pub fn circuit(&self) -> &Circuit {
+        &self.state.circuit
+    }
+
+    /// The configuration (including accumulated constraint overrides).
+    pub fn config(&self) -> &GsinoConfig {
+        &self.state.config
+    }
+
+    /// The routing-region grid.
+    pub fn grid(&self) -> &RegionGrid {
+        &self.state.grid
+    }
+
+    /// Per-net routing trees.
+    pub fn routes(&self) -> &RouteSet {
+        &self.state.routes
+    }
+
+    /// Post-refine per-segment budgets (what a from-scratch
+    /// [`crate::pipeline::run_gsino`] would report).
+    pub fn budgets(&self) -> &Budgets {
+        &self.state.budgets
+    }
+
+    /// Post-refine region solutions.
+    pub fn sino(&self) -> &RegionSino {
+        &self.state.sino
+    }
+
+    /// Pre-refine (Phase I) budgets — the incremental replay cache.
+    pub fn budgets_pre_refine(&self) -> &Budgets {
+        &self.state.budgets0
+    }
+
+    /// Pre-refine (Phase II) region solutions — the incremental replay
+    /// cache.
+    pub fn sino_pre_refine(&self) -> &RegionSino {
+        &self.state.sino0
+    }
+
+    /// Phase III counters from the most recent replay.
+    pub fn refine_stats(&self) -> &RefineStats {
+        &self.state.refine_stats
+    }
+
+    /// Phase I counters from the most recent routing replay.
+    pub fn router_stats(&self) -> &RouterStats {
+        &self.state.router_stats
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The most recent divergence the oracle detected, if any.
+    pub fn last_divergence(&self) -> Option<&str> {
+        self.last_divergence.as_deref()
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Checks the current snapshot at the configured constraint.
+    pub fn violations(&self) -> ViolationReport {
+        let s = &self.state;
+        check(
+            &s.circuit,
+            &s.grid,
+            &s.routes,
+            &s.sino,
+            &s.table,
+            s.config.vth,
+        )
+    }
+}
+
+impl SessionState {
+    /// The full GSINO flow, stage for stage identical to
+    /// [`crate::pipeline::run_gsino`], keeping the pre-refine caches.
+    fn rebuild(
+        circuit: Circuit,
+        config: GsinoConfig,
+        cancel: &CancelToken,
+    ) -> Result<SessionState> {
+        config.validate()?;
+        let grid = RegionGrid::new(&circuit, &config.tech, config.tile_um)?;
+        let table = NoiseTable::calibrated(&config.tech);
+        let (routes, router_stats) = route_phase1(&circuit, &config, &grid, &table, cancel)?;
+        let budgets0 = budget_phase(&circuit, &config, &grid, &routes, &table)?;
+        let work = prepare_instances(
+            &grid,
+            &routes,
+            &budgets0,
+            &config.sensitivity,
+            config.threads,
+        )?;
+        let sino0 = solve_prepared_cancel(
+            work,
+            config.solver,
+            RegionMode::Sino,
+            config.threads,
+            config.sino_engine,
+            cancel,
+        )?;
+        finish_with_refine(
+            circuit,
+            config,
+            grid,
+            table,
+            routes,
+            router_stats,
+            budgets0,
+            sino0,
+            cancel,
+        )
+    }
+}
+
+/// Phase I exactly as [`crate::pipeline::run_gsino`] runs it for the
+/// GSINO approach: shield-aware weights (re-fitting Formula (3) when no
+/// pre-fitted model is configured — the fit depends on the netlist, so
+/// topology replays must not cache it) and the configured router.
+fn route_phase1(
+    circuit: &Circuit,
+    config: &GsinoConfig,
+    grid: &RegionGrid,
+    table: &NoiseTable,
+    cancel: &CancelToken,
+) -> Result<(RouteSet, RouterStats)> {
+    let shield_term = if config.shield_reservation {
+        let model = match &config.nss_model {
+            Some(m) => m.clone(),
+            None => {
+                let kth_ref = reference_kth(circuit, table, config.vth);
+                NssModel::fit(kth_ref, config.nss_fit_seed)?
+            }
+        };
+        ShieldTerm::Estimated {
+            model,
+            rate: config.sensitivity.rate(),
+        }
+    } else {
+        ShieldTerm::None
+    };
+    match config.router {
+        RouterKind::IterativeDeletion => {
+            IdRouter::new(grid, config.weights, shield_term).route_cancel(circuit, cancel)
+        }
+        RouterKind::SequentialAstar => {
+            // The A* batches poll no token internally; the deadline is
+            // honoured between stages only.
+            cancel.check("phase1")?;
+            AstarRouter::new(grid, config.weights, shield_term)
+                .route_with_threads(circuit, config.threads)
+        }
+    }
+}
+
+/// Phase I budgeting exactly as [`crate::pipeline::run_gsino`] runs it
+/// for the GSINO approach (Manhattan estimates; constraint overrides
+/// honoured).
+fn budget_phase(
+    circuit: &Circuit,
+    config: &GsinoConfig,
+    grid: &RegionGrid,
+    routes: &RouteSet,
+    table: &NoiseTable,
+) -> Result<Budgets> {
+    if config.vth_overrides.is_empty() {
+        uniform_budgets(
+            circuit,
+            grid,
+            routes,
+            table,
+            config.vth,
+            LengthModel::Manhattan,
+        )
+    } else {
+        budgets_with_constraints(
+            circuit,
+            grid,
+            routes,
+            table,
+            &|n, s| config.vth_for(n, s),
+            LengthModel::Manhattan,
+        )
+    }
+}
+
+/// Phase III on clones of the pre-refine caches, assembling the full
+/// snapshot. Refinement is deterministic, so the post-refine state is
+/// bit-identical to a from-scratch run whenever the pre-refine inputs
+/// are.
+#[allow(clippy::too_many_arguments)]
+fn finish_with_refine(
+    circuit: Circuit,
+    config: GsinoConfig,
+    grid: RegionGrid,
+    table: NoiseTable,
+    routes: RouteSet,
+    router_stats: RouterStats,
+    budgets0: Budgets,
+    sino0: RegionSino,
+    cancel: &CancelToken,
+) -> Result<SessionState> {
+    let mut budgets = budgets0.clone();
+    let mut sino = sino0.clone();
+    let refine_stats = refine_cancel(
+        &circuit,
+        &grid,
+        &routes,
+        &mut budgets,
+        &mut sino,
+        &table,
+        config.vth,
+        config.solver,
+        &config.refine,
+        cancel,
+    )?;
+    Ok(SessionState {
+        circuit,
+        config,
+        grid,
+        table,
+        routes,
+        router_stats,
+        budgets0,
+        sino0,
+        budgets,
+        sino,
+        refine_stats,
+    })
+}
+
+/// Accumulates the `(region, dir)` keys whose budget value was added,
+/// removed or changed between two sorted per-net entry lists.
+fn diff_changed_keys(
+    old: &[((u32, RegionIdx, Dir), f64)],
+    new: &[((u32, RegionIdx, Dir), f64)],
+    changed: &mut Vec<(RegionIdx, Dir)>,
+) {
+    use std::collections::HashMap;
+    let old_map: HashMap<_, _> = old.iter().copied().collect();
+    let new_map: HashMap<_, _> = new.iter().copied().collect();
+    for (k, v) in &old_map {
+        if new_map.get(k) != Some(v) {
+            changed.push((k.1, k.2));
+        }
+    }
+    for (k, v) in &new_map {
+        if old_map.get(k) != Some(v) {
+            changed.push((k.1, k.2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_flow_with_artifacts, Approach};
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::{CircuitEdit, Net};
+
+    fn small_circuit(n: u32) -> Circuit {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets: Vec<Net> = (0..n)
+            .map(|i| {
+                let x = 16.0 + (i as f64 * 37.0) % 600.0;
+                let y = 16.0 + (i as f64 * 53.0) % 600.0;
+                Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+            })
+            .collect();
+        Circuit::new("small", die, nets).unwrap()
+    }
+
+    fn fast_config() -> GsinoConfig {
+        GsinoConfig {
+            nss_model: Some(NssModel::from_coefficients(
+                [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+                0.5,
+            )),
+            threads: 1,
+            ..GsinoConfig::default()
+        }
+    }
+
+    fn assert_matches_scratch(session: &EcoSession) {
+        let (outcome, internals) =
+            run_flow_with_artifacts(session.circuit(), session.config(), Approach::Gsino).unwrap();
+        assert_eq!(session.routes(), &outcome.routes, "routes diverged");
+        assert_eq!(session.budgets(), &internals.budgets, "budgets diverged");
+        assert_eq!(session.sino(), &internals.sino, "sino diverged");
+    }
+
+    #[test]
+    fn session_seed_matches_from_scratch() {
+        let circuit = small_circuit(20);
+        let session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        assert_matches_scratch(&session);
+        assert!(session.violations().is_clean());
+    }
+
+    #[test]
+    fn budget_edit_commits_and_matches_scratch() {
+        let circuit = small_circuit(20);
+        let mut session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        session.begin().unwrap();
+        session
+            .apply(EcoEdit::TightenVth {
+                net: 3,
+                sink: 0,
+                vth: 0.10,
+            })
+            .unwrap();
+        session.commit().unwrap();
+        assert_eq!(session.stats().budget_replays, 1);
+        assert_eq!(session.stats().divergences, 0);
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn topology_edit_commits_and_matches_scratch() {
+        let circuit = small_circuit(20);
+        let mut session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        session.begin().unwrap();
+        session
+            .apply(EcoEdit::Circuit(CircuitEdit::AddNet {
+                net: Net::two_pin(99, Point::new(20.0, 600.0), Point::new(600.0, 30.0)),
+            }))
+            .unwrap();
+        session.commit().unwrap();
+        assert_eq!(session.stats().phase1_replays, 1);
+        assert!(session.circuit().net(99).is_some());
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn stale_ids_are_rejected_typed() {
+        let circuit = small_circuit(8);
+        let mut session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        session.begin().unwrap();
+        assert!(matches!(
+            session.apply(EcoEdit::TightenVth {
+                net: 555,
+                sink: 0,
+                vth: 0.1
+            }),
+            Err(CoreError::UnknownId {
+                kind: "net",
+                id: 555
+            })
+        ));
+        assert!(matches!(
+            session.apply(EcoEdit::TightenVth {
+                net: 2,
+                sink: 7,
+                vth: 0.1
+            }),
+            Err(CoreError::UnknownId {
+                kind: "sink",
+                id: 7
+            })
+        ));
+        assert!(matches!(
+            session.apply(EcoEdit::Circuit(CircuitEdit::RemoveNet { net: 555 })),
+            Err(CoreError::UnknownId {
+                kind: "net",
+                id: 555
+            })
+        ));
+        // The rejected edits left the transaction consistent.
+        session
+            .apply(EcoEdit::TightenVth {
+                net: 2,
+                sink: 0,
+                vth: 0.1,
+            })
+            .unwrap();
+        session.rollback().unwrap();
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn transaction_discipline_is_enforced() {
+        let circuit = small_circuit(6);
+        let mut session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        assert!(session.commit().is_err());
+        assert!(session.rollback().is_err());
+        assert!(session
+            .apply(EcoEdit::RelaxVth { net: 0, sink: 0 })
+            .is_err());
+        session.begin().unwrap();
+        assert!(session.begin().is_err());
+        session.rollback().unwrap();
+        assert_eq!(session.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn congestion_weighted_policy_is_rejected() {
+        let circuit = small_circuit(6);
+        let config = GsinoConfig {
+            budget_policy: BudgetPolicy::CongestionWeighted,
+            ..fast_config()
+        };
+        assert!(matches!(
+            EcoSession::new(&circuit, &config),
+            Err(CoreError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_now_on_clean_state_is_true() {
+        let circuit = small_circuit(10);
+        let mut session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        assert!(session.verify_now().unwrap());
+        assert_eq!(session.stats().divergences, 0);
+        assert!(session.stats().oracle_checks > 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The sampled runtime oracle: defense in depth for incremental replay.
+//!
+//! The session's invariant is that its cached replay state — routes,
+//! pre-refine budgets, Phase II region solutions — is bit-identical to
+//! what a from-scratch run on `(circuit, config)` would produce. The
+//! oracle spot-checks that invariant two ways:
+//!
+//! * **Pre-flight audit** (every commit, before replaying): a sampled
+//!   fraction of regions is re-derived from first principles — occupants
+//!   recomputed from the routes, the SINO instance rebuilt from the
+//!   budgets, the region re-solved with the preserved **reference**
+//!   engine — and a sampled fraction of nets has its budget entries
+//!   recomputed through the noise table. Any mismatch is a divergence.
+//! * **Patched check** (after replaying): a sampled fraction of the
+//!   regions the replay just patched is re-solved with the reference
+//!   engine and compared bitwise.
+//!
+//! Because every recompute goes through the same public helpers the flow
+//! itself uses ([`build_instance`], [`solve_instance`],
+//! [`net_budget_entries`]) but with the *reference* solver, the oracle
+//! cross-checks the incremental engines against their preserved twins at
+//! runtime — the PR-2/3/4 equivalence discipline, carried into
+//! production. Recompute failures (a corrupted budget can make instance
+//! construction itself error) are reported as divergences, not propagated
+//! as hard errors: the session's job is to recover.
+
+use super::{SessionState, SessionStats};
+use crate::budget::{net_budget_entries, LengthModel};
+use crate::phase2::{assignments, build_instance, solve_instance, RegionMode, SinoEngine};
+use gsino_grid::region::RegionIdx;
+use gsino_grid::route::Dir;
+use gsino_sino::delta::DeltaEval;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How aggressively the runtime oracle samples.
+///
+/// Under `debug_assertions` both fractions are forced to 1.0 — debug and
+/// CI builds audit everything — mirroring how the incremental engines'
+/// debug oracles work. Release builds pay only the configured fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleConfig {
+    /// Fraction of replay-patched regions re-solved after each commit.
+    pub patched_sample: f64,
+    /// Fraction of regions/nets audited before each commit.
+    pub audit_sample: f64,
+    /// Seed for the deterministic sampling stream (mixed with the commit
+    /// counter, so every commit samples a different deterministic subset).
+    pub seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            patched_sample: 0.25,
+            audit_sample: 0.10,
+            seed: 0xEC0_5E55,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// A configuration that audits everything — what the fault-injection
+    /// tests and the CI release leg run with.
+    pub fn full() -> Self {
+        OracleConfig {
+            patched_sample: 1.0,
+            audit_sample: 1.0,
+            ..OracleConfig::default()
+        }
+    }
+
+    pub(super) fn effective_patched(&self) -> f64 {
+        if cfg!(debug_assertions) {
+            1.0
+        } else {
+            self.patched_sample.clamp(0.0, 1.0)
+        }
+    }
+
+    pub(super) fn effective_audit(&self) -> f64 {
+        if cfg!(debug_assertions) {
+            1.0
+        } else {
+            self.audit_sample.clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Audits the cached replay state against first principles. Returns a
+/// human-readable divergence description, or `None` if every sampled
+/// check passed.
+pub(super) fn audit(
+    state: &SessionState,
+    sample: f64,
+    rng: &mut StdRng,
+    stats: &mut SessionStats,
+) -> Option<String> {
+    // Membership is cheap enough to check globally: the solved key set
+    // must equal the occupied key set, and the occupant lists must match.
+    // This is what catches a stale route even at low sampling rates.
+    let expected = assignments(&state.grid, &state.routes);
+    let solved_keys = state.sino0.keys();
+    if expected.len() != solved_keys.len() {
+        return Some(format!(
+            "solved region count {} != occupied region count {}",
+            solved_keys.len(),
+            expected.len()
+        ));
+    }
+    for ((r, dir), nets) in &expected {
+        let Some(sol) = state.sino0.solution(*r, *dir) else {
+            return Some(format!("occupied region {r} {dir:?} has no solution"));
+        };
+        if &sol.nets != nets {
+            return Some(format!("occupant list diverged at region {r} {dir:?}"));
+        }
+    }
+
+    // Sampled deep checks: rebuild + reference-solve each sampled region.
+    for (r, dir) in solved_keys {
+        if !rng.gen_bool(sample) {
+            continue;
+        }
+        stats.oracle_checks += 1;
+        // invariant: `keys()` returned this key and nothing mutates the
+        // solution set while the audit holds `&SessionState`.
+        let sol = state.sino0.solution(r, dir).expect("key just enumerated");
+        if let Some(reason) = check_solution(state, r, dir, sol) {
+            return Some(reason);
+        }
+    }
+
+    // Sampled budget recompute per net.
+    for net in state.circuit.nets() {
+        if !rng.gen_bool(sample) {
+            continue;
+        }
+        stats.oracle_checks += 1;
+        let stored = state.budgets0.net_entries(net.id());
+        let recomputed = match state.routes.get(net.id()) {
+            None => Vec::new(),
+            Some(route) => {
+                match net_budget_entries(
+                    net,
+                    &state.grid,
+                    route,
+                    &state.table,
+                    &|n, s| state.config.vth_for(n, s),
+                    LengthModel::Manhattan,
+                ) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        return Some(format!("budget recompute failed for net {}: {e}", net.id()))
+                    }
+                }
+            }
+        };
+        if stored != recomputed {
+            return Some(format!("budget entries diverged for net {}", net.id()));
+        }
+    }
+    None
+}
+
+/// Re-solves a sampled fraction of the regions a replay just patched and
+/// compares bitwise. Returns a divergence description, or `None`.
+pub(super) fn check_patched(
+    state: &SessionState,
+    patched: &[(RegionIdx, Dir)],
+    sample: f64,
+    rng: &mut StdRng,
+    stats: &mut SessionStats,
+) -> Option<String> {
+    for &(r, dir) in patched {
+        if !rng.gen_bool(sample) {
+            continue;
+        }
+        // A patched key may have been dropped entirely (its last occupant
+        // was removed); nothing to check then.
+        let Some(sol) = state.sino0.solution(r, dir) else {
+            continue;
+        };
+        stats.oracle_checks += 1;
+        if let Some(reason) = check_solution(state, r, dir, sol) {
+            return Some(reason);
+        }
+    }
+    None
+}
+
+/// One region's deep check: instance rebuilt from the budgets, then
+/// re-solved with the **reference** engine; instance, layout and
+/// couplings must all match bitwise.
+fn check_solution(
+    state: &SessionState,
+    r: RegionIdx,
+    dir: Dir,
+    sol: &crate::phase2::RegionSolution,
+) -> Option<String> {
+    let rebuilt = match build_instance(
+        (r, dir),
+        sol.nets.clone(),
+        &state.budgets0,
+        &state.config.sensitivity,
+    ) {
+        Ok(inst) => inst,
+        Err(e) => {
+            return Some(format!(
+                "instance rebuild failed at region {r} {dir:?}: {e}"
+            ))
+        }
+    };
+    if rebuilt.instance != sol.instance {
+        return Some(format!("instance diverged at region {r} {dir:?}"));
+    }
+    let mut scratch = DeltaEval::new();
+    let (_, reference) = match solve_instance(
+        rebuilt,
+        state.config.solver,
+        RegionMode::Sino,
+        SinoEngine::Reference,
+        &mut scratch,
+    ) {
+        Ok(solved) => solved,
+        Err(e) => return Some(format!("reference solve failed at region {r} {dir:?}: {e}")),
+    };
+    if reference.layout != sol.layout {
+        return Some(format!("layout diverged at region {r} {dir:?}"));
+    }
+    if reference.k != sol.k {
+        return Some(format!("couplings diverged at region {r} {dir:?}"));
+    }
+    None
+}

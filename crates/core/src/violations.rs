@@ -62,6 +62,8 @@ impl ViolationReport {
         self.per_net
             .iter()
             .max_by(|a, b| {
+                // invariant: voltages come from the noise table, which maps
+                // finite LSK values to finite volts; NaN cannot occur here.
                 a.1.partial_cmp(b.1)
                     .expect("finite voltages")
                     .then_with(|| b.0.cmp(a.0))
@@ -83,6 +85,7 @@ impl ViolationReport {
     pub fn nets_by_severity(&self) -> Vec<(NetId, f64)> {
         let mut v: Vec<(NetId, f64)> = self.per_net.iter().map(|(&n, &x)| (n, x)).collect();
         v.sort_by(|a, b| {
+            // invariant: same finite-voltage argument as `worst_net`.
             b.1.partial_cmp(&a.1)
                 .expect("finite voltages")
                 .then_with(|| a.0.cmp(&b.0))

@@ -51,7 +51,7 @@ pub mod usage;
 
 pub use area::{AreaModel, RoutingArea};
 pub use geom::{Point, Rect};
-pub use net::{Circuit, Net, NetId, Pin};
+pub use net::{Circuit, CircuitEdit, Net, NetId, Pin};
 pub use region::{RegionGrid, RegionIdx};
 pub use route::{Dir, GridEdge, RouteSet, RouteTree};
 pub use sensitivity::SensitivityModel;
@@ -104,6 +104,16 @@ pub enum GridError {
         /// Net id.
         net: u32,
     },
+    /// A net with an id the circuit already holds was added.
+    DuplicateNet {
+        /// Net id.
+        net: u32,
+    },
+    /// An edit referenced a net id the circuit does not contain.
+    UnknownNet {
+        /// Net id.
+        net: u32,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -126,6 +136,12 @@ impl fmt::Display for GridError {
             }
             GridError::DuplicateRoute { net } => {
                 write!(f, "net {net} already has a route")
+            }
+            GridError::DuplicateNet { net } => {
+                write!(f, "circuit already contains net {net}")
+            }
+            GridError::UnknownNet { net } => {
+                write!(f, "circuit contains no net {net}")
             }
         }
     }

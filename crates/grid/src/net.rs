@@ -115,6 +115,31 @@ impl Net {
     }
 }
 
+/// A typed topology edit against a [`Circuit`] — the substrate-level
+/// vocabulary ECO (engineering change order) flows speak. Every variant is
+/// validated by [`Circuit::apply_edit`] before any state changes, so a
+/// rejected edit leaves the circuit bitwise-untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitEdit {
+    /// Append a new net (id must be unused).
+    AddNet {
+        /// The net to add.
+        net: Net,
+    },
+    /// Remove an existing net by id.
+    RemoveNet {
+        /// Id of the net to remove.
+        net: NetId,
+    },
+    /// Replace an existing net's pin list (source first).
+    RePin {
+        /// Id of the net to re-pin.
+        net: NetId,
+        /// The new pin list, source first.
+        pins: Vec<Pin>,
+    },
+}
+
 /// A circuit: die outline and signal nets, validated on construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Circuit {
@@ -174,6 +199,76 @@ impl Circuit {
                 // constructed nets with arbitrary ids.
                 self.nets.iter().find(|n| n.id() == id)
             })
+    }
+
+    /// Adds a net, keeping list order stable (the new net goes last, so
+    /// deterministic flows that iterate [`Self::nets`] see it after every
+    /// existing net — exactly as if the circuit had been constructed with
+    /// it appended).
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::DuplicateNet`] if a net with the same id exists.
+    /// * Any error from [`Net::validate`].
+    pub fn add_net(&mut self, net: Net) -> Result<()> {
+        if self.nets.iter().any(|n| n.id() == net.id()) {
+            return Err(GridError::DuplicateNet { net: net.id() });
+        }
+        net.validate(&self.die)?;
+        self.nets.push(net);
+        Ok(())
+    }
+
+    /// Removes a net by id, keeping the order of the remaining nets.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::UnknownNet`] if no net has this id.
+    /// * [`GridError::EmptyCircuit`] if this would remove the last net
+    ///   (an empty circuit is unconstructible, so edits cannot reach it).
+    pub fn remove_net(&mut self, id: NetId) -> Result<Net> {
+        let pos = self
+            .nets
+            .iter()
+            .position(|n| n.id() == id)
+            .ok_or(GridError::UnknownNet { net: id })?;
+        if self.nets.len() == 1 {
+            return Err(GridError::EmptyCircuit);
+        }
+        Ok(self.nets.remove(pos))
+    }
+
+    /// Replaces a net's pin list in place (source first), preserving its
+    /// position in the net list.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::UnknownNet`] if no net has this id.
+    /// * Any error from [`Net::validate`] (empty pin list, pin outside the
+    ///   die); the circuit is left unchanged on error.
+    pub fn repin(&mut self, id: NetId, pins: Vec<Pin>) -> Result<Net> {
+        let pos = self
+            .nets
+            .iter()
+            .position(|n| n.id() == id)
+            .ok_or(GridError::UnknownNet { net: id })?;
+        let candidate = Net::new(id, pins);
+        candidate.validate(&self.die)?;
+        Ok(std::mem::replace(&mut self.nets[pos], candidate))
+    }
+
+    /// Applies one [`CircuitEdit`], validating it first; the circuit is
+    /// unchanged when an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::add_net`], [`Self::remove_net`] and [`Self::repin`].
+    pub fn apply_edit(&mut self, edit: CircuitEdit) -> Result<()> {
+        match edit {
+            CircuitEdit::AddNet { net } => self.add_net(net),
+            CircuitEdit::RemoveNet { net } => self.remove_net(net).map(|_| ()),
+            CircuitEdit::RePin { net, pins } => self.repin(net, pins).map(|_| ()),
+        }
     }
 
     /// Mean HPWL over all nets (µm) — a quick placement-quality metric used
@@ -243,6 +338,69 @@ mod tests {
         assert!(Circuit::new("t", d, vec![]).is_err());
         let bad = Net::two_pin(0, Point::new(0.0, 0.0), Point::new(500.0, 0.0));
         assert!(Circuit::new("t", d, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn edits_validate_and_apply() {
+        let d = die();
+        let n0 = Net::two_pin(0, Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        let mut c = Circuit::new("t", d, vec![n0]).unwrap();
+
+        // AddNet: duplicates and out-of-die pins are rejected untouched.
+        let dup = Net::two_pin(0, Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        assert!(matches!(
+            c.add_net(dup),
+            Err(GridError::DuplicateNet { net: 0 })
+        ));
+        let outside = Net::two_pin(1, Point::new(0.0, 0.0), Point::new(500.0, 0.0));
+        assert!(matches!(
+            c.add_net(outside),
+            Err(GridError::PinOutsideDie { net: 1, .. })
+        ));
+        assert_eq!(c.num_nets(), 1);
+        c.add_net(Net::two_pin(5, Point::new(5.0, 5.0), Point::new(9.0, 9.0)))
+            .unwrap();
+        assert_eq!(c.num_nets(), 2);
+        assert_eq!(c.net(5).unwrap().degree(), 2);
+
+        // RePin replaces in place; bad pin lists leave the net unchanged.
+        assert!(matches!(
+            c.repin(7, vec![Point::new(1.0, 1.0)]),
+            Err(GridError::UnknownNet { net: 7 })
+        ));
+        assert!(matches!(
+            c.repin(5, vec![]),
+            Err(GridError::EmptyNet { net: 5 })
+        ));
+        assert_eq!(c.net(5).unwrap().degree(), 2);
+        let old = c
+            .repin(5, vec![Point::new(2.0, 2.0), Point::new(60.0, 60.0)])
+            .unwrap();
+        assert_eq!(old.pins()[0], Point::new(5.0, 5.0));
+        assert_eq!(c.net(5).unwrap().source(), Point::new(2.0, 2.0));
+
+        // RemoveNet: unknown ids are typed; the last net cannot go.
+        assert!(matches!(
+            c.remove_net(9),
+            Err(GridError::UnknownNet { net: 9 })
+        ));
+        let removed = c.remove_net(5).unwrap();
+        assert_eq!(removed.id(), 5);
+        assert!(matches!(c.remove_net(0), Err(GridError::EmptyCircuit)));
+        assert_eq!(c.num_nets(), 1);
+
+        // The enum form round-trips through apply_edit.
+        c.apply_edit(CircuitEdit::AddNet {
+            net: Net::two_pin(3, Point::new(4.0, 4.0), Point::new(8.0, 8.0)),
+        })
+        .unwrap();
+        c.apply_edit(CircuitEdit::RePin {
+            net: 3,
+            pins: vec![Point::new(6.0, 6.0), Point::new(10.0, 10.0)],
+        })
+        .unwrap();
+        c.apply_edit(CircuitEdit::RemoveNet { net: 3 }).unwrap();
+        assert_eq!(c.num_nets(), 1);
     }
 
     #[test]

@@ -104,6 +104,33 @@ impl Layout {
         &self.slots
     }
 
+    /// Order-sensitive 64-bit fingerprint of the slot sequence (FNV-1a over
+    /// the track contents). Two layouts compare equal iff their slot
+    /// sequences match, so equal fingerprints are a cheap necessary
+    /// condition for bitwise equality — the snapshot surface ECO sessions
+    /// use to log and cross-check region states without cloning them.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for s in &self.slots {
+            match s {
+                Slot::Signal(i) => {
+                    mix(1);
+                    mix(*i as u64);
+                }
+                Slot::Shield => mix(2),
+            }
+        }
+        h
+    }
+
     /// Number of occupied tracks — the paper's *area* of a SINO solution.
     pub fn area(&self) -> usize {
         self.slots.len()
@@ -361,6 +388,22 @@ mod proptests {
             for p in positions {
                 prop_assert_eq!(layout.slots()[p], Slot::Shield);
             }
+        }
+
+        /// The fingerprint tracks slot-sequence equality: equal layouts hash
+        /// equal, and any single edit (shield insert, swap) changes it.
+        #[test]
+        fn fingerprint_tracks_equality(layout in (2usize..12).prop_flat_map(arb_layout)) {
+            let copy = layout.clone();
+            prop_assert_eq!(layout.fingerprint(), copy.fingerprint());
+            let mut shielded = layout.clone();
+            shielded.insert_shield(0);
+            prop_assert_ne!(layout.fingerprint(), shielded.fingerprint());
+            let a = layout.position_of(0).expect("segment 0 exists");
+            let b = layout.position_of(1).expect("segment 1 exists");
+            let mut swapped = layout.clone();
+            swapped.swap(a, b);
+            prop_assert_ne!(layout.fingerprint(), swapped.fingerprint());
         }
     }
 }

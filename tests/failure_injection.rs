@@ -1,9 +1,17 @@
 //! Failure injection: malformed inputs must be rejected with typed errors,
 //! never panics, and degenerate-but-legal inputs must work.
+//!
+//! The second half of this suite drives the ECO session's fault-tolerance
+//! ladder: planned corruptions of the session's cached state must be
+//! *detected* by the sampled oracle and *recovered* by an explicit
+//! degraded replay whose result is bit-identical to a from-scratch run —
+//! never a panic, never a silently wrong answer.
 
-use gsino::core::pipeline::{run_gsino, GsinoConfig};
+use gsino::core::cancel::CancelToken;
+use gsino::core::pipeline::{run_flow_with_artifacts, run_gsino, Approach, GsinoConfig};
+use gsino::core::session::{EcoEdit, EcoSession, FaultKind, FaultPlan, OracleConfig};
 use gsino::core::CoreError;
-use gsino::grid::{Circuit, GridError, Net, Point, Rect, RegionGrid, Technology};
+use gsino::grid::{Circuit, CircuitEdit, GridError, Net, Point, Rect, RegionGrid, Technology};
 use gsino::lsk::{kth_for_le, LskError, NoiseTable};
 use gsino::rlc::{Netlist, RlcError, Waveform};
 use gsino::sino::{instance::SegmentSpec, SinoError, SinoInstance};
@@ -64,6 +72,24 @@ fn pipeline_rejects_bad_constraints() {
                 Err(CoreError::BadConfig { .. })
             ),
             "vth {vth} must be rejected"
+        );
+    }
+    // Non-finite router weights would poison the routers' float
+    // comparators; they must be rejected at the config boundary instead.
+    for bad in [f64::NAN, f64::INFINITY] {
+        let config = GsinoConfig {
+            weights: gsino::core::Weights {
+                alpha: bad,
+                ..Default::default()
+            },
+            ..GsinoConfig::default()
+        };
+        assert!(
+            matches!(
+                run_gsino(&circuit, &config),
+                Err(CoreError::BadConfig { .. })
+            ),
+            "weight {bad} must be rejected"
         );
     }
 }
@@ -155,4 +181,292 @@ fn errors_format_and_chain() {
     assert!(e.source().is_some());
     let e = RlcError::Numeric(gsino::numeric::NumericError::EmptyInput { op: "x" });
     assert!(e.source().is_some());
+}
+
+// ---------------------------------------------------------------------------
+// ECO session fault tolerance
+// ---------------------------------------------------------------------------
+
+use gsino::sino::NssModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn session_circuit(n: u32) -> Circuit {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+    let nets: Vec<Net> = (0..n)
+        .map(|i| {
+            let x = 16.0 + (i as f64 * 37.0) % 600.0;
+            let y = 16.0 + (i as f64 * 53.0) % 600.0;
+            Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+        })
+        .collect();
+    Circuit::new("session", die, nets).unwrap()
+}
+
+fn session_config() -> GsinoConfig {
+    GsinoConfig {
+        // A fixed NSS model keeps the shield-rate fit out of the hot loop;
+        // the session re-derives everything else from scratch regardless.
+        nss_model: Some(NssModel::from_coefficients(
+            [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+            0.5,
+        )),
+        threads: 1,
+        ..GsinoConfig::default()
+    }
+}
+
+/// The session's live artifacts must be bit-identical to a from-scratch
+/// GSINO run on its current (edited) circuit and configuration.
+fn assert_session_matches_scratch(session: &EcoSession) {
+    let (outcome, internals) =
+        run_flow_with_artifacts(session.circuit(), session.config(), Approach::Gsino).unwrap();
+    assert_eq!(session.routes(), &outcome.routes, "routes diverged");
+    assert_eq!(session.budgets(), &internals.budgets, "budgets diverged");
+    assert_eq!(session.sino(), &internals.sino, "sino diverged");
+}
+
+/// Injects one planned corruption, then commits an ordinary edit: the
+/// oracle must flag the divergence, quarantine the cached state, and
+/// recover through an explicit degraded replay whose result is
+/// bit-identical to a from-scratch run on the edited circuit.
+fn fault_is_detected_and_recovered(kind: FaultKind) {
+    let circuit = session_circuit(16);
+    let mut session =
+        EcoSession::with_oracle(&circuit, &session_config(), OracleConfig::full()).unwrap();
+    session.inject_fault(&FaultPlan::new(kind)).unwrap();
+
+    session.begin().unwrap();
+    session
+        .apply(EcoEdit::TightenVth {
+            net: 2,
+            sink: 0,
+            vth: 0.11,
+        })
+        .unwrap();
+    session.commit().unwrap();
+
+    let stats = *session.stats();
+    assert!(
+        stats.divergences >= 1,
+        "{kind:?}: oracle missed the corruption"
+    );
+    assert!(
+        stats.degraded_replays >= 1,
+        "{kind:?}: divergence must recover via degraded replay"
+    );
+    assert!(
+        session.last_divergence().is_some(),
+        "{kind:?}: divergence reason must be recorded"
+    );
+    assert_session_matches_scratch(&session);
+}
+
+#[test]
+fn session_poisoned_keff_is_detected_and_recovered() {
+    fault_is_detected_and_recovered(FaultKind::PoisonKeff);
+}
+
+#[test]
+fn session_stale_route_is_detected_and_recovered() {
+    fault_is_detected_and_recovered(FaultKind::StaleRoute);
+}
+
+#[test]
+fn session_corrupt_budget_is_detected_and_recovered() {
+    fault_is_detected_and_recovered(FaultKind::CorruptBudget);
+}
+
+#[test]
+fn session_fault_plan_rejects_stale_targets() {
+    let circuit = session_circuit(8);
+    let mut session = EcoSession::new(&circuit, &session_config()).unwrap();
+    let plan = FaultPlan {
+        net: Some(4040),
+        ..FaultPlan::new(FaultKind::StaleRoute)
+    };
+    assert!(matches!(
+        session.inject_fault(&plan),
+        Err(CoreError::UnknownId { kind: "net", .. })
+    ));
+    // The rejected plan must not have touched anything.
+    assert!(session.verify_now().unwrap());
+    assert_eq!(session.stats().divergences, 0);
+}
+
+#[test]
+fn session_verify_now_flags_and_heals_corruption() {
+    let circuit = session_circuit(12);
+    let mut session =
+        EcoSession::with_oracle(&circuit, &session_config(), OracleConfig::full()).unwrap();
+    assert!(session.verify_now().unwrap(), "fresh session must verify");
+
+    session
+        .inject_fault(&FaultPlan::new(FaultKind::PoisonKeff))
+        .unwrap();
+    assert!(
+        !session.verify_now().unwrap(),
+        "corrupted coupling must be flagged"
+    );
+    // verify_now degrades on divergence, so the very next check is clean.
+    assert!(session.verify_now().unwrap(), "degraded replay must heal");
+    assert_eq!(session.stats().degraded_replays, 1);
+    assert_session_matches_scratch(&session);
+}
+
+#[test]
+fn session_canceled_commit_restores_pre_edit_state_bitwise() {
+    let circuit = session_circuit(12);
+    let mut session = EcoSession::new(&circuit, &session_config()).unwrap();
+    let routes_before = session.routes().clone();
+    let budgets_before = session.budgets().clone();
+    let sino_before = session.sino().clone();
+
+    let new_net = Net::two_pin(77, Point::new(20.0, 600.0), Point::new(600.0, 30.0));
+    session.begin().unwrap();
+    session
+        .apply(EcoEdit::Circuit(CircuitEdit::AddNet {
+            net: new_net.clone(),
+        }))
+        .unwrap();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let err = session.commit_with(&cancel).unwrap_err();
+    assert!(matches!(err, CoreError::Canceled { .. }), "got {err}");
+
+    // Bitwise rollback: the aborted commit left no trace.
+    assert!(!session.in_transaction());
+    assert!(session.circuit().net(77).is_none());
+    assert_eq!(session.routes(), &routes_before);
+    assert_eq!(session.budgets(), &budgets_before);
+    assert_eq!(session.sino(), &sino_before);
+    assert_eq!(session.stats().divergences, 0);
+
+    // The session stays usable: the same edit commits cleanly afterwards.
+    session.begin().unwrap();
+    session
+        .apply(EcoEdit::Circuit(CircuitEdit::AddNet { net: new_net }))
+        .unwrap();
+    session.commit().unwrap();
+    assert!(session.circuit().net(77).is_some());
+    assert_session_matches_scratch(&session);
+}
+
+/// The acceptance workload: 200 random edits across many transactions
+/// with zero injected faults must end bit-identical to from-scratch with
+/// zero degraded replays — the incremental replay path alone carries the
+/// whole session.
+#[test]
+fn session_200_random_edits_zero_faults_is_bit_identical() {
+    let circuit = session_circuit(12);
+    let mut session = EcoSession::new(&circuit, &session_config()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x200_ED17);
+    let mut next_id = 100u32;
+    let mut edits = 0u64;
+
+    while edits < 200 {
+        session.begin().unwrap();
+        let batch = rng.gen_range(1..=8u64).min(200 - edits);
+        // Track ids live *within* the open transaction, so edits always
+        // target nets that exist in the working copy.
+        let mut live: Vec<u32> = session.circuit().nets().iter().map(|n| n.id()).collect();
+        for _ in 0..batch {
+            let roll = rng.gen_range(0..100u32);
+            let edit = if roll < 60 {
+                let net = live[rng.gen_range(0..live.len())];
+                EcoEdit::TightenVth {
+                    net,
+                    sink: 0,
+                    vth: 0.08 + 0.06 * rng.gen::<f64>(),
+                }
+            } else if roll < 75 {
+                let net = live[rng.gen_range(0..live.len())];
+                EcoEdit::RelaxVth { net, sink: 0 }
+            } else if roll < 85 {
+                let id = next_id;
+                next_id += 1;
+                live.push(id);
+                let x = 16.0 + rng.gen::<f64>() * 590.0;
+                let y = 16.0 + rng.gen::<f64>() * 590.0;
+                EcoEdit::Circuit(CircuitEdit::AddNet {
+                    net: Net::two_pin(id, Point::new(x, y), Point::new(620.0 - x, 620.0 - y)),
+                })
+            } else if roll < 92 && live.len() > 4 {
+                let i = rng.gen_range(0..live.len());
+                let net = live.swap_remove(i);
+                EcoEdit::Circuit(CircuitEdit::RemoveNet { net })
+            } else {
+                let net = live[rng.gen_range(0..live.len())];
+                let x = 16.0 + rng.gen::<f64>() * 590.0;
+                let y = 16.0 + rng.gen::<f64>() * 590.0;
+                EcoEdit::Circuit(CircuitEdit::RePin {
+                    net,
+                    pins: vec![Point::new(x, y), Point::new(620.0 - x, 620.0 - y)],
+                })
+            };
+            session.apply(edit).unwrap();
+            edits += 1;
+        }
+        session.commit().unwrap();
+    }
+
+    let stats = *session.stats();
+    assert_eq!(stats.edits_applied, 200);
+    assert_eq!(stats.divergences, 0, "{:?}", session.last_divergence());
+    assert_eq!(stats.degraded_replays, 0);
+    assert_session_matches_scratch(&session);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random edit sequences with interleaved cache corruption: the
+    /// session must never panic, every injected fault must surface as an
+    /// explicit degraded replay (no silent divergence), and the end state
+    /// must be bit-identical to a from-scratch run on the edited inputs.
+    #[test]
+    fn session_random_edits_with_faults_never_diverge_silently(
+        seed in 0u64..1_000_000,
+        faults in prop::collection::vec(0..3usize, 1..3),
+    ) {
+        let kinds = [FaultKind::PoisonKeff, FaultKind::StaleRoute, FaultKind::CorruptBudget];
+        let circuit = session_circuit(10);
+        let mut session =
+            EcoSession::with_oracle(&circuit, &session_config(), OracleConfig::full()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for &f in &faults {
+            // An ordinary edit first, then corruption, then another edit
+            // whose commit forces the oracle to look at the cached state.
+            session.begin().unwrap();
+            let net = rng.gen_range(0..10u32);
+            let vth = 0.09 + 0.05 * rng.gen::<f64>();
+            session.apply(EcoEdit::TightenVth { net, sink: 0, vth }).unwrap();
+            session.commit().unwrap();
+
+            session.inject_fault(&FaultPlan::new(kinds[f])).unwrap();
+
+            session.begin().unwrap();
+            let net = rng.gen_range(0..10u32);
+            session.apply(EcoEdit::RelaxVth { net, sink: 0 }).unwrap();
+            session.commit().unwrap();
+        }
+
+        let stats = *session.stats();
+        prop_assert!(
+            stats.degraded_replays >= faults.len() as u64,
+            "every fault must surface as an explicit degraded replay \
+             (injected {}, degraded {})",
+            faults.len(),
+            stats.degraded_replays
+        );
+        prop_assert!(session.last_divergence().is_some());
+
+        let (outcome, internals) =
+            run_flow_with_artifacts(session.circuit(), session.config(), Approach::Gsino).unwrap();
+        prop_assert_eq!(session.routes(), &outcome.routes);
+        prop_assert_eq!(session.budgets(), &internals.budgets);
+        prop_assert_eq!(session.sino(), &internals.sino);
+    }
 }
