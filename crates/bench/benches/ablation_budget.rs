@@ -48,11 +48,11 @@ fn main() {
     );
     for rate in [0.3, 0.5] {
         for (label, refine) in &variants {
-            let config = GsinoConfig {
-                sensitivity: SensitivityModel::new(rate, 2002),
-                refine: *refine,
-                ..GsinoConfig::default()
-            };
+            let config = GsinoConfig::builder()
+                .sensitivity(SensitivityModel::new(rate, 2002))
+                .refine(*refine)
+                .build()
+                .expect("valid config");
             let o = run_gsino(&circuit, &config).expect("flow");
             println!(
                 "{label:<22} | {:>10} | {:>8} | {:>12.4e} (rate {:.0}%)",

@@ -31,11 +31,11 @@ fn main() {
         ("sequential A*", RouterKind::SequentialAstar),
     ] {
         for rate in [0.3, 0.5] {
-            let config = GsinoConfig {
-                sensitivity: SensitivityModel::new(rate, 2002),
-                router: kind,
-                ..GsinoConfig::default()
-            };
+            let config = GsinoConfig::builder()
+                .sensitivity(SensitivityModel::new(rate, 2002))
+                .router(kind)
+                .build()
+                .expect("valid config");
             let o = run_gsino(&circuit, &config).expect("flow");
             println!(
                 "{label:<22} | {:>9.1} | {:>12.4e} | {:>9.2} | {:>10} (rate {:.0}%)",

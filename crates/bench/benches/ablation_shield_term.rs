@@ -28,11 +28,11 @@ fn main() {
     );
     for (label, reservation) in [("with Nss reservation", true), ("without (ablated)", false)] {
         for rate in [0.3, 0.5] {
-            let config = GsinoConfig {
-                sensitivity: SensitivityModel::new(rate, 2002),
-                shield_reservation: reservation,
-                ..GsinoConfig::default()
-            };
+            let config = GsinoConfig::builder()
+                .sensitivity(SensitivityModel::new(rate, 2002))
+                .shield_reservation(reservation)
+                .build()
+                .expect("valid config");
             let o = run_gsino(&circuit, &config).expect("flow");
             println!(
                 "{label:<22} | {:>9.1} | {:>12.4e} | {:>8} | {:>10} (rate {:.0}%)",

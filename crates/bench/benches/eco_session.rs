@@ -51,10 +51,10 @@ fn main() {
     spec.num_nets = 300;
     let circuit = generate(&spec, 2002).expect("generator circuit");
     let die = circuit.die();
-    let flow_config = GsinoConfig {
-        threads: 1,
-        ..GsinoConfig::default()
-    };
+    let flow_config = GsinoConfig::builder()
+        .threads(1)
+        .build()
+        .expect("valid config");
 
     let t0 = Instant::now();
     let mut session = EcoSession::new(&circuit, &flow_config).expect("seed session");

@@ -533,10 +533,10 @@ fn router_kind_phase_split() {
         (RouterKind::IterativeDeletion, "iterative deletion"),
         (RouterKind::SequentialAstar, "sequential A*"),
     ] {
-        let config = GsinoConfig {
-            router: kind,
-            ..GsinoConfig::default()
-        };
+        let config = GsinoConfig::builder()
+            .router(kind)
+            .build()
+            .expect("valid config");
         match run_gsino(&circuit, &config) {
             Ok(outcome) => {
                 let t = outcome.timings;

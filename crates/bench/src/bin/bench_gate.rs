@@ -1,11 +1,11 @@
 //! CI bench-regression gate for the phase benches.
 //!
-//! Compares freshly measured bench summaries (written by
-//! `cargo bench -p gsino-bench --bench phase_runtime`:
-//! `BENCH_phase1.json`, `BENCH_phase2.json` and `BENCH_phase3.json`)
-//! against their committed baselines and exits non-zero if any gated
-//! kernel regressed by more than the tolerance (default 15%,
-//! `--max-regress 0.15`).
+//! Compares freshly measured bench summaries (`BENCH_phase1.json`,
+//! `BENCH_phase2.json` and `BENCH_phase3.json` from `phase_runtime`,
+//! `BENCH_eco.json` from `eco_session`, `BENCH_service.json` from
+//! `service_throughput`) against their committed baselines and exits
+//! non-zero if any gated kernel regressed by more than the tolerance
+//! (default 15%, `--max-regress 0.15`).
 //!
 //! Wall-clock milliseconds are not comparable across machines, so the
 //! gated metric is the **normalized wall time**: the new kernel's time
@@ -64,6 +64,17 @@ const METRICS: &[(&str, &str, &str, &str)] = &[
         "incremental_ms",
         "reference_ms",
     ),
+    // ECO session commit latencies (`BENCH_eco.json`), normalized by the
+    // same run's from-scratch flow time: a budget-class or Phase1-class
+    // patch that stops being much cheaper than rebuilding is exactly the
+    // regression the incremental session exists to prevent.
+    ("eco budget commit", "session", "p50_patch_ms", "scratch_ms"),
+    (
+        "eco phase1 commit",
+        "session",
+        "p50_phase1_ms",
+        "scratch_ms",
+    ),
 ];
 
 /// Deterministic behaviour counts gated as hard ceilings: the workload is
@@ -79,13 +90,19 @@ const COUNT_METRICS: &[(&str, &str, &str)] = &[
 ];
 
 /// Value metrics that are **reported but never gated**: display label,
-/// JSON section, key. The ECO session throughput numbers (`BENCH_eco.json`)
-/// ride through here while baseline history accumulates; they appear in
-/// the console output and the markdown summary, but a regression cannot
-/// fail the gate yet.
+/// JSON section, key. The raw ECO throughput numbers and the routing
+/// service's multi-session numbers (`BENCH_service.json`) ride through
+/// here while baseline history accumulates; they appear in the console
+/// output and the markdown summary, but a regression cannot fail the
+/// gate yet. (The eco commit *latencies* are gated above as normalized
+/// ratios; the wall-clock throughput stays report-only because it folds
+/// in scheduler noise from the concurrent clients.)
 const REPORT_METRICS: &[(&str, &str, &str)] = &[
     ("eco edits/sec", "session", "edits_per_sec"),
     ("eco p99 patch ms", "session", "p99_patch_ms"),
+    ("service edits/sec", "service", "edits_per_sec"),
+    ("service coalescing", "service", "coalescing_ratio"),
+    ("service p99 ms", "service", "p99_ms"),
 ];
 
 struct Args {

@@ -72,6 +72,13 @@ pub fn eco_out_path() -> String {
     std::env::var("GSINO_BENCH_ECO_OUT").unwrap_or_else(|_| "BENCH_eco.json".to_string())
 }
 
+/// Output path for the routing-service bench summary:
+/// `$GSINO_BENCH_SERVICE_OUT` or `BENCH_service.json` in the bench's
+/// working directory.
+pub fn service_out_path() -> String {
+    std::env::var("GSINO_BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

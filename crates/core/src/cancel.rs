@@ -56,12 +56,24 @@ impl CancelToken {
 
     /// A token that additionally fires once `budget` has elapsed.
     pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that fires at an absolute instant — what the routing
+    /// service uses to honour per-request deadlines measured from
+    /// *submission*, not from whenever a batch starts executing.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
         CancelToken {
             inner: Some(Arc::new(Inner {
                 flag: AtomicBool::new(false),
-                deadline: Some(Instant::now() + budget),
+                deadline: Some(deadline),
             })),
         }
+    }
+
+    /// The absolute deadline this token fires at, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
     }
 
     /// A token that can never fire — what the one-shot entry points pass
@@ -134,5 +146,15 @@ mod tests {
         assert!(!t.is_canceled());
         let expired = CancelToken::with_deadline(Duration::ZERO);
         assert!(expired.is_canceled());
+    }
+
+    #[test]
+    fn absolute_deadline_is_exposed() {
+        let at = Instant::now() + Duration::from_secs(60);
+        let t = CancelToken::with_deadline_at(at);
+        assert_eq!(t.deadline(), Some(at));
+        assert!(!t.is_canceled());
+        assert_eq!(CancelToken::never().deadline(), None);
+        assert_eq!(CancelToken::new().deadline(), None);
     }
 }

@@ -23,6 +23,9 @@
 //! * [`metrics`] — wire-length, area and shield statistics;
 //! * [`session`] — fault-tolerant transactional ECO sessions over a routed
 //!   snapshot, with divergence self-checks and graceful degradation;
+//! * [`service`] — the multi-session routing-service front: named
+//!   sessions on thread-per-session executors, request batching,
+//!   admission control and graceful shutdown;
 //! * [`cancel`] — the deadline/cancellation token the phase drivers poll.
 //!
 //! # Example
@@ -62,13 +65,18 @@ pub mod phase2;
 pub mod pipeline;
 pub mod refine;
 pub mod router;
+pub mod service;
 pub mod session;
 pub mod violations;
 
 pub use baseline::{run_id_no, run_isino};
 pub use cancel::CancelToken;
-pub use pipeline::{run_gsino, GsinoConfig, GsinoOutcome};
+pub use pipeline::{run_gsino, GsinoConfig, GsinoConfigBuilder, GsinoOutcome};
 pub use router::Weights;
+pub use service::{
+    EditReceipt, RoutingService, ServiceConfig, ServiceRequest, ServiceResponse, SessionHandle,
+    SessionSnapshot,
+};
 pub use session::{EcoEdit, EcoSession, FaultKind, FaultPlan, OracleConfig, SessionStats};
 pub use violations::ViolationReport;
 
@@ -76,7 +84,12 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors produced by the GSINO flows.
-#[derive(Debug)]
+///
+/// Service clients should branch on [`CoreError::kind`] (stable,
+/// `match`-friendly) rather than string-matching [`fmt::Display`] output;
+/// [`CoreError::is_retryable`] names the subset a well-behaved client may
+/// simply retry.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum CoreError {
     /// Substrate (grid/net) errors.
@@ -110,6 +123,101 @@ pub enum CoreError {
         /// The phase that was interrupted.
         phase: &'static str,
     },
+    /// Admission control: a [`service::RoutingService`] mailbox (or the
+    /// service's session table) is at capacity; the request was rejected
+    /// without being enqueued. Retry after backing off.
+    Overloaded {
+        /// The session whose mailbox was full, or the service name for
+        /// session-table rejections.
+        session: String,
+        /// The capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The named session exists and cannot take this request right now
+    /// (e.g. opening a session name that is already live). Retry once the
+    /// holder releases the name.
+    SessionBusy {
+        /// The contended session name.
+        session: String,
+    },
+    /// The named session is not (or no longer) served: it was closed,
+    /// drained by shutdown, or never opened. Not retryable — the caller
+    /// must re-open the session.
+    SessionClosed {
+        /// The session name.
+        session: String,
+    },
+}
+
+/// The stable, data-free classification of a [`CoreError`] — what service
+/// clients branch on instead of string-matching display output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// [`CoreError::Grid`].
+    Grid,
+    /// [`CoreError::Sino`].
+    Sino,
+    /// [`CoreError::Lsk`].
+    Lsk,
+    /// [`CoreError::RoutingFailed`].
+    RoutingFailed,
+    /// [`CoreError::BadConfig`].
+    BadConfig,
+    /// [`CoreError::UnknownId`].
+    UnknownId,
+    /// [`CoreError::Canceled`].
+    Canceled,
+    /// [`CoreError::Overloaded`].
+    Overloaded,
+    /// [`CoreError::SessionBusy`].
+    SessionBusy,
+    /// [`CoreError::SessionClosed`].
+    SessionClosed,
+}
+
+impl CoreError {
+    /// This error's stable classification.
+    ///
+    /// The mapping is one variant → one kind and is part of the public
+    /// API contract: clients can `match` on it across versions without
+    /// caring about the payload fields.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            CoreError::Grid(_) => ErrorKind::Grid,
+            CoreError::Sino(_) => ErrorKind::Sino,
+            CoreError::Lsk(_) => ErrorKind::Lsk,
+            CoreError::RoutingFailed { .. } => ErrorKind::RoutingFailed,
+            CoreError::BadConfig { .. } => ErrorKind::BadConfig,
+            CoreError::UnknownId { .. } => ErrorKind::UnknownId,
+            CoreError::Canceled { .. } => ErrorKind::Canceled,
+            CoreError::Overloaded { .. } => ErrorKind::Overloaded,
+            CoreError::SessionBusy { .. } => ErrorKind::SessionBusy,
+            CoreError::SessionClosed { .. } => ErrorKind::SessionClosed,
+        }
+    }
+
+    /// Whether a client may retry the failed request unchanged and expect
+    /// it to eventually succeed.
+    ///
+    /// The retryable set is exactly:
+    ///
+    /// * [`ErrorKind::Overloaded`] — transient backpressure; the mailbox
+    ///   drains as the session catches up,
+    /// * [`ErrorKind::SessionBusy`] — transient name contention,
+    /// * [`ErrorKind::Canceled`] — a deadline fired; the session rolled
+    ///   back to its pre-batch state, so the same request can be resubmitted
+    ///   with a larger budget.
+    ///
+    /// Everything else is deterministic — the same request fails the same
+    /// way — or indicates lost state ([`ErrorKind::SessionClosed`]) that a
+    /// retry cannot recover.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.kind(),
+            ErrorKind::Overloaded | ErrorKind::SessionBusy | ErrorKind::Canceled
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -125,6 +233,18 @@ impl fmt::Display for CoreError {
             }
             CoreError::Canceled { phase } => {
                 write!(f, "canceled during {phase} (deadline or explicit cancel)")
+            }
+            CoreError::Overloaded { session, capacity } => {
+                write!(
+                    f,
+                    "session `{session}` overloaded: mailbox at capacity {capacity}"
+                )
+            }
+            CoreError::SessionBusy { session } => {
+                write!(f, "session `{session}` is busy (name already in use)")
+            }
+            CoreError::SessionClosed { session } => {
+                write!(f, "session `{session}` is closed or was never opened")
             }
         }
     }

@@ -125,6 +125,31 @@ impl Default for GsinoConfig {
 }
 
 impl GsinoConfig {
+    /// A builder starting from [`GsinoConfig::default`], validating on
+    /// [`GsinoConfigBuilder::build`]. Struct-literal construction (with
+    /// `..Default::default()`) stays available; the builder is the
+    /// boundary-friendly form — callers set only what they mean, and an
+    /// out-of-range value surfaces as a typed
+    /// [`CoreError::BadConfig`] at build time instead of deep inside a
+    /// flow.
+    ///
+    /// ```
+    /// use gsino_core::pipeline::GsinoConfig;
+    ///
+    /// let config = GsinoConfig::builder()
+    ///     .vth(0.18)
+    ///     .threads(1)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.vth, 0.18);
+    /// assert!(GsinoConfig::builder().vth(-1.0).build().is_err());
+    /// ```
+    pub fn builder() -> GsinoConfigBuilder {
+        GsinoConfigBuilder {
+            config: GsinoConfig::default(),
+        }
+    }
+
     /// Validates the configuration against physical ranges.
     ///
     /// # Errors
@@ -179,6 +204,118 @@ impl GsinoConfig {
             .find(|(n, s, _)| *n == net && *s as usize == sink_index)
             .map(|(_, _, v)| *v)
             .unwrap_or(self.vth)
+    }
+}
+
+/// Builder for [`GsinoConfig`]: defaults from [`GsinoConfig::default`],
+/// one setter per field, [`GsinoConfig::validate`] run on
+/// [`Self::build`]. See [`GsinoConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct GsinoConfigBuilder {
+    config: GsinoConfig,
+}
+
+impl GsinoConfigBuilder {
+    /// Technology parameters.
+    pub fn tech(mut self, tech: Technology) -> Self {
+        self.config.tech = tech;
+        self
+    }
+
+    /// Nominal routing-region tile size (µm).
+    pub fn tile_um(mut self, tile_um: f64) -> Self {
+        self.config.tile_um = tile_um;
+        self
+    }
+
+    /// The global crosstalk constraint (V).
+    pub fn vth(mut self, vth: f64) -> Self {
+        self.config.vth = vth;
+        self
+    }
+
+    /// The net-to-net sensitivity model.
+    pub fn sensitivity(mut self, sensitivity: SensitivityModel) -> Self {
+        self.config.sensitivity = sensitivity;
+        self
+    }
+
+    /// Formula (2) weight constants.
+    pub fn weights(mut self, weights: Weights) -> Self {
+        self.config.weights = weights;
+        self
+    }
+
+    /// Per-region SINO solver configuration.
+    pub fn solver(mut self, solver: SolverConfig) -> Self {
+        self.config.solver = solver;
+        self
+    }
+
+    /// Phase III bounds.
+    pub fn refine(mut self, refine: RefineConfig) -> Self {
+        self.config.refine = refine;
+        self
+    }
+
+    /// Worker threads (0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Pre-fitted Formula (3) model (skips the per-run fit).
+    pub fn nss_model(mut self, model: NssModel) -> Self {
+        self.config.nss_model = Some(model);
+        self
+    }
+
+    /// Seed for the Formula (3) fit when no model is pre-fitted.
+    pub fn nss_fit_seed(mut self, seed: u64) -> Self {
+        self.config.nss_fit_seed = seed;
+        self
+    }
+
+    /// Whether the GSINO router reserves shielding area (paper §3.1).
+    pub fn shield_reservation(mut self, on: bool) -> Self {
+        self.config.shield_reservation = on;
+        self
+    }
+
+    /// How the LSK bound is split along paths.
+    pub fn budget_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.config.budget_policy = policy;
+        self
+    }
+
+    /// Which global router drives Phase I.
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.config.router = router;
+        self
+    }
+
+    /// Which SINO solver implementation drives Phase II.
+    pub fn sino_engine(mut self, engine: SinoEngine) -> Self {
+        self.config.sino_engine = engine;
+        self
+    }
+
+    /// Adds one per-sink constraint override `(net, sink_index, vth)` —
+    /// may be called repeatedly; the last entry for a sink wins.
+    pub fn vth_override(mut self, net: u32, sink: u32, vth: f64) -> Self {
+        self.config.vth_overrides.push((net, sink, vth));
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] — the same checks as
+    /// [`GsinoConfig::validate`].
+    pub fn build(self) -> Result<GsinoConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 

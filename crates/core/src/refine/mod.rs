@@ -69,7 +69,7 @@ use gsino_grid::route::{Dir, RouteSet};
 use gsino_lsk::table::NoiseTable;
 use gsino_sino::delta::{DeltaEval, DeltaSnapshot};
 use gsino_sino::solver::{SinoSolver, SolverConfig};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use tracker::{LskTracker, SeverityQueue};
 
 /// Safety bounds for the refinement loops.
@@ -282,6 +282,13 @@ fn pass1(
         stats.pass1_nets += 1;
         // invariant: the tracker only reports nets it scored from routes.
         let route = routes.get(net_id).expect("violating net is routed");
+        // Nets whose queue entry the inner loop dirtied. The flush is
+        // batched to one `queue.set` per net per outer iteration: `pick()`
+        // only runs in the outer loop and the queue is last-write-wins
+        // against the tracker, so deferring the writes is bit-identical
+        // while pushing one lazy heap entry per net instead of one per
+        // (region edit × crossing net).
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
         for _ in 0..config.max_inner_iters {
             if tracker.net_is_clean(net_id) {
                 break;
@@ -348,13 +355,14 @@ fn pass1(
             }
             // Mirror the seed pass's affected-net recheck on the queue:
             // every crossing net is re-enqueued (or dropped) at its
-            // tracked severity.
+            // tracked severity, via the batched flush below.
             // invariant: the picked key came from the solved-region scan.
             let affected = sino.solution(r, dir).expect("exists");
-            for &nid in &affected.nets {
-                queue.set(nid, tracker.net_worst(nid));
-            }
+            touched.extend(affected.nets.iter().copied());
             debug_oracle(tracker, circuit, grid, routes, sino, table);
+        }
+        for &nid in &touched {
+            queue.set(nid, tracker.net_worst(nid));
         }
         // The net may be unfixable within bounds (no coupled segments
         // left); drop it from the queue either way — if it is still dirty,

@@ -1,0 +1,218 @@
+//! The client facade: a cloneable, thread-safe handle to one live
+//! session's mailbox.
+
+use super::protocol::{Envelope, ServiceRequest, ServiceResponse};
+use super::{EditReceipt, SessionSnapshot};
+use crate::session::EcoEdit;
+use crate::{CoreError, Result};
+use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// A client handle to one live session of a
+/// [`RoutingService`](super::RoutingService).
+///
+/// Handles are cheap to clone and every clone targets the same bounded
+/// mailbox, so any number of client threads can submit concurrently; the
+/// session worker serializes their requests in FIFO order. Submission
+/// **never blocks on a full mailbox** — admission control answers
+/// [`CoreError::Overloaded`] immediately and the client decides whether
+/// to back off and retry ([`CoreError::is_retryable`]).
+///
+/// A handle outliving its session is safe: every method reports
+/// [`CoreError::SessionClosed`] once the worker has retired.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    name: String,
+    tx: SyncSender<Envelope>,
+    capacity: usize,
+}
+
+impl SessionHandle {
+    pub(crate) fn new(name: String, tx: SyncSender<Envelope>, capacity: usize) -> Self {
+        SessionHandle { name, tx, capacity }
+    }
+
+    /// The session name this handle targets.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Submits one request and blocks until the session replies.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Overloaded`] — the mailbox is full (retryable);
+    /// * [`CoreError::SessionClosed`] — the worker has retired;
+    /// * [`CoreError::BadConfig`] — [`ServiceRequest::Open`] was passed (a
+    ///   handle is bound to an already-open session; open through
+    ///   [`RoutingService::open`](super::RoutingService::open));
+    /// * whatever the request itself produces.
+    pub fn submit(&self, req: ServiceRequest) -> Result<ServiceResponse> {
+        self.submit_inner(req, None)
+    }
+
+    /// [`Self::submit`] with an absolute deadline. The deadline covers the
+    /// whole round trip **from submission**: a request still queued when
+    /// it passes is answered [`CoreError::Canceled`] without touching the
+    /// session, and an [`ServiceRequest::Edit`] batch replays under a
+    /// [`CancelToken`](crate::cancel::CancelToken) that fires at the
+    /// batch's earliest member deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Canceled`] once the deadline fires; otherwise as
+    /// [`Self::submit`].
+    pub fn submit_by(&self, req: ServiceRequest, deadline: Instant) -> Result<ServiceResponse> {
+        self.submit_inner(req, Some(deadline))
+    }
+
+    /// Commits `edits` as one transaction; convenience over
+    /// [`Self::submit`] that unwraps the receipt.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`].
+    pub fn edit(&self, edits: Vec<EcoEdit>) -> Result<EditReceipt> {
+        match self.submit(ServiceRequest::Edit(edits))? {
+            ServiceResponse::Committed(receipt) => Ok(receipt),
+            other => Err(protocol_mismatch("Committed", &other)),
+        }
+    }
+
+    /// [`Self::edit`] under a deadline `budget` measured from now.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Canceled`] once the budget elapses (the session keeps
+    /// its pre-batch state, bit for bit); otherwise as [`Self::submit`].
+    pub fn edit_within(&self, edits: Vec<EcoEdit>, budget: Duration) -> Result<EditReceipt> {
+        match self.submit_by(ServiceRequest::Edit(edits), Instant::now() + budget)? {
+            ServiceResponse::Committed(receipt) => Ok(receipt),
+            other => Err(protocol_mismatch("Committed", &other)),
+        }
+    }
+
+    /// Reads a summary of the session's committed state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`].
+    pub fn query(&self) -> Result<SessionSnapshot> {
+        match self.submit(ServiceRequest::Query)? {
+            ServiceResponse::Snapshot(snap) => Ok(snap),
+            other => Err(protocol_mismatch("Snapshot", &other)),
+        }
+    }
+
+    /// Runs a full oracle audit; `Ok(true)` means everything matched the
+    /// reference engines, `Ok(false)` means a divergence was detected and
+    /// already recovered by degraded replay.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`], plus flow errors from a recovery rebuild.
+    pub fn verify(&self) -> Result<bool> {
+        match self.submit(ServiceRequest::Verify)? {
+            ServiceResponse::Verified { clean } => Ok(clean),
+            other => Err(protocol_mismatch("Verified", &other)),
+        }
+    }
+
+    /// Pauses the session worker until the returned guard is dropped (or
+    /// [`QuiesceGuard::resume`]d). The call blocks until the worker
+    /// acknowledges — i.e. until everything submitted before it has been
+    /// processed — so requests staged *while quiesced* are guaranteed to
+    /// be dequeued together in one coalescing drain. A test/bench
+    /// affordance for making batching deterministic; production clients
+    /// never need it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Overloaded`] / [`CoreError::SessionClosed`] as
+    /// [`Self::submit`].
+    pub fn quiesce(&self) -> Result<QuiesceGuard> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let (resume_tx, resume_rx) = mpsc::channel();
+        self.enqueue(Envelope::Quiesce {
+            ack: ack_tx,
+            resume: resume_rx,
+        })?;
+        ack_rx.recv().map_err(|_| CoreError::SessionClosed {
+            session: self.name.clone(),
+        })?;
+        Ok(QuiesceGuard {
+            resume: Some(resume_tx),
+        })
+    }
+
+    fn submit_inner(
+        &self,
+        req: ServiceRequest,
+        deadline: Option<Instant>,
+    ) -> Result<ServiceResponse> {
+        if matches!(req, ServiceRequest::Open { .. }) {
+            return Err(CoreError::BadConfig {
+                reason: "ServiceRequest::Open is service-level: a handle is bound to an \
+                         already-open session (use RoutingService::open / submit)"
+                    .into(),
+            });
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.enqueue(Envelope::Request {
+            req,
+            reply: reply_tx,
+            deadline,
+            submitted: Instant::now(),
+        })?;
+        reply_rx.recv().map_err(|_| CoreError::SessionClosed {
+            session: self.name.clone(),
+        })?
+    }
+
+    /// Admission control: `try_send` into the bounded mailbox, mapping a
+    /// full queue to [`CoreError::Overloaded`] and a retired worker to
+    /// [`CoreError::SessionClosed`].
+    fn enqueue(&self, env: Envelope) -> Result<()> {
+        match self.tx.try_send(env) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(CoreError::Overloaded {
+                session: self.name.clone(),
+                capacity: self.capacity,
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(CoreError::SessionClosed {
+                session: self.name.clone(),
+            }),
+        }
+    }
+}
+
+/// Keeps a session worker paused; dropping it (or calling
+/// [`Self::resume`]) lets the worker drain everything staged meanwhile as
+/// one batch. See [`SessionHandle::quiesce`].
+#[derive(Debug)]
+pub struct QuiesceGuard {
+    resume: Option<Sender<()>>,
+}
+
+impl QuiesceGuard {
+    /// Resumes the worker (equivalent to dropping the guard, but reads
+    /// better at call sites).
+    pub fn resume(self) {}
+}
+
+impl Drop for QuiesceGuard {
+    fn drop(&mut self) {
+        if let Some(tx) = self.resume.take() {
+            let _ = tx.send(());
+        }
+    }
+}
+
+/// The worker answered a request with the wrong response variant — an
+/// internal protocol bug, surfaced as a typed error rather than a panic.
+fn protocol_mismatch(expected: &str, got: &ServiceResponse) -> CoreError {
+    debug_assert!(false, "protocol mismatch: expected {expected}, got {got:?}");
+    CoreError::BadConfig {
+        reason: format!("internal protocol mismatch: expected {expected}, got {got:?}"),
+    }
+}

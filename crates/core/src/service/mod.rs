@@ -1,0 +1,721 @@
+//! The routing service: many named ECO sessions behind one concurrent
+//! front, with request batching, admission control and graceful shutdown.
+//!
+//! An [`EcoSession`] is a single-owner object — exactly one caller may
+//! drive its begin/apply/commit cycle at a time. A [`RoutingService`]
+//! turns a fleet of them into a server: each named session runs on its
+//! own **worker thread** behind a bounded mailbox, any number of client
+//! threads hold cloneable [`SessionHandle`]s, and the typed
+//! [`ServiceRequest`]/[`ServiceResponse`] vocabulary is the entire wire
+//! surface.
+//!
+//! # Execution model
+//!
+//! ```text
+//!  clients                 mailboxes (bounded)         workers
+//!  ───────                 ───────────────────         ───────
+//!  handle.edit(…) ──try_send──▶ [req|req|req] ──recv──▶ thread "a"
+//!  handle.query() ─┐                                     owns EcoSession
+//!                  └─ Full? ──▶ Err(Overloaded)           begin/apply*/commit
+//! ```
+//!
+//! * **FIFO per session** — one worker drains one mailbox, so requests
+//!   against a session execute in submission order and never race.
+//! * **Admission control** — submission is `try_send` into a bounded
+//!   queue: a full mailbox answers [`CoreError::Overloaded`] immediately
+//!   (retryable) instead of blocking the client; the session table itself
+//!   is bounded by [`ServiceConfig::max_sessions`].
+//! * **Request batching** — the worker greedily drains queued
+//!   [`ServiceRequest::Edit`] requests of the same [`EditClass`](crate::session::EditClass) into one
+//!   transactional begin/apply*/commit, so a burst of compatible edits
+//!   pays one replay instead of many. Each [`EditReceipt`] records the
+//!   batch it rode in ([`EditReceipt::coalesced`]). Rejected members are
+//!   dropped individually (per-request atomicity); commit failures fail
+//!   the whole batch with the session bit-identical to its last commit.
+//! * **Deadlines** — [`SessionHandle::submit_by`] threads an absolute
+//!   deadline from submission through queueing into the replay's
+//!   [`CancelToken`](crate::cancel::CancelToken); an expired request is
+//!   answered [`CoreError::Canceled`] without touching the session.
+//! * **Graceful shutdown** — [`RoutingService::close`] /
+//!   [`RoutingService::shutdown`] enqueue a close behind everything
+//!   already queued, join the worker, and hand back the retired
+//!   [`EcoSession`] — whose state is always bit-identical to its last
+//!   successful commit, because the worker never leaves a transaction
+//!   open between requests.
+//!
+//! # Example
+//!
+//! ```
+//! use gsino_core::pipeline::GsinoConfig;
+//! use gsino_core::service::{RoutingService, ServiceConfig};
+//! use gsino_core::session::EcoEdit;
+//! use gsino_grid::{Circuit, Net, Point, Rect};
+//! use gsino_sino::nss::NssModel;
+//!
+//! # fn main() -> Result<(), gsino_core::CoreError> {
+//! let die = Rect::new(Point::new(0.0, 0.0), Point::new(512.0, 512.0))?;
+//! let nets: Vec<Net> = (0..16)
+//!     .map(|i| {
+//!         let x = 16.0 + (i as f64 * 37.0) % 480.0;
+//!         let y = 16.0 + (i as f64 * 53.0) % 480.0;
+//!         Net::two_pin(i, Point::new(x, y), Point::new(500.0 - x, 500.0 - y))
+//!     })
+//!     .collect();
+//! let circuit = Circuit::new("demo", die, nets)?;
+//! let config = GsinoConfig::builder()
+//!     .nss_model(NssModel::from_coefficients(
+//!         [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+//!         0.5,
+//!     ))
+//!     .threads(1)
+//!     .build()?;
+//!
+//! let service = RoutingService::new(ServiceConfig::default());
+//! let handle = service.open("demo", circuit, config)?;
+//! let receipt = handle.edit(vec![EcoEdit::TightenVth { net: 3, sink: 0, vth: 0.12 }])?;
+//! assert_eq!(receipt.batch_edits, 1);
+//! assert!(handle.query()?.clean);
+//! let session = service.close("demo")?;
+//! assert_eq!(session.stats().commits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod handle;
+mod protocol;
+mod worker;
+
+pub use handle::{QuiesceGuard, SessionHandle};
+pub use protocol::{EditReceipt, ServiceRequest, ServiceResponse, SessionSnapshot};
+
+use crate::pipeline::GsinoConfig;
+use crate::session::EcoSession;
+use crate::{CoreError, Result};
+use gsino_grid::net::Circuit;
+use protocol::Envelope;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, sync_channel};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Capacity limits for a [`RoutingService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Bounded depth of each session mailbox; submission to a full
+    /// mailbox is rejected with [`CoreError::Overloaded`]. Clamped to at
+    /// least 1.
+    pub mailbox_capacity: usize,
+    /// Maximum live sessions; opening beyond it is rejected with
+    /// [`CoreError::Overloaded`].
+    pub max_sessions: usize,
+    /// Whether workers coalesce queued same-class edit requests into one
+    /// transactional replay. On by default; turn off to force one commit
+    /// per request (e.g. to measure batching's effect).
+    pub coalesce: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            mailbox_capacity: 64,
+            max_sessions: 16,
+            coalesce: true,
+        }
+    }
+}
+
+/// One live session: the mailbox entry plus the worker to join at close.
+struct SessionEntry {
+    tx: mpsc::SyncSender<Envelope>,
+    join: JoinHandle<Result<EcoSession>>,
+}
+
+/// A multi-session ECO server front. See the [module docs](self) for the
+/// execution model; [`Self::open`] / [`Self::close`] / [`Self::shutdown`]
+/// manage sessions, [`Self::submit`] is the uniform typed entry point.
+///
+/// The service is `Sync`: clients may share it by reference (or behind an
+/// `Arc`) and open/close/submit concurrently — the session table is the
+/// only shared state and is never held across a blocking operation.
+///
+/// Dropping the service closes every remaining session gracefully
+/// (enqueue-behind-pending close, then join), discarding the retired
+/// sessions. Hold no [`QuiesceGuard`] across the drop, or the join waits
+/// on it.
+pub struct RoutingService {
+    config: ServiceConfig,
+    sessions: Mutex<BTreeMap<String, SessionEntry>>,
+}
+
+impl RoutingService {
+    /// An empty service with the given capacity limits.
+    pub fn new(config: ServiceConfig) -> Self {
+        RoutingService {
+            config: ServiceConfig {
+                mailbox_capacity: config.mailbox_capacity.max(1),
+                ..config
+            },
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The capacity limits this service enforces.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The names of the currently live sessions, sorted.
+    pub fn sessions(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Opens a named session: spawns its worker thread, which routes
+    /// `circuit` from scratch and then serves the mailbox. Returns
+    /// immediately — the expensive flow runs on the worker, so concurrent
+    /// opens build in parallel and requests submitted meanwhile simply
+    /// wait in the mailbox (a failed build answers them all with the
+    /// build error).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::SessionBusy`] — the name is already live
+    ///   (retryable once the holder closes it);
+    /// * [`CoreError::Overloaded`] — the session table is full;
+    /// * [`CoreError::BadConfig`] — the OS refused a thread.
+    pub fn open(&self, name: &str, circuit: Circuit, config: GsinoConfig) -> Result<SessionHandle> {
+        let mut sessions = self.lock();
+        // Reap retired workers (handle-level Close, build failure) so
+        // their names become available again without an explicit close().
+        sessions.retain(|_, entry| !entry.join.is_finished());
+        if sessions.contains_key(name) {
+            return Err(CoreError::SessionBusy {
+                session: name.to_string(),
+            });
+        }
+        if sessions.len() >= self.config.max_sessions {
+            return Err(CoreError::Overloaded {
+                session: name.to_string(),
+                capacity: self.config.max_sessions,
+            });
+        }
+        let (tx, rx) = sync_channel(self.config.mailbox_capacity);
+        let spec = worker::WorkerSpec {
+            name: name.to_string(),
+            circuit,
+            config,
+            rx,
+            coalesce: self.config.coalesce,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("gsino-svc-{name}"))
+            .spawn(move || worker::run(spec))
+            .map_err(|e| CoreError::BadConfig {
+                reason: format!("failed to spawn session worker: {e}"),
+            })?;
+        sessions.insert(
+            name.to_string(),
+            SessionEntry {
+                tx: tx.clone(),
+                join,
+            },
+        );
+        Ok(SessionHandle::new(
+            name.to_string(),
+            tx,
+            self.config.mailbox_capacity,
+        ))
+    }
+
+    /// A new handle to an already-open session.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SessionClosed`] if `name` is not live.
+    pub fn handle(&self, name: &str) -> Result<SessionHandle> {
+        let sessions = self.lock();
+        let entry = sessions.get(name).ok_or_else(|| CoreError::SessionClosed {
+            session: name.to_string(),
+        })?;
+        Ok(SessionHandle::new(
+            name.to_string(),
+            entry.tx.clone(),
+            self.config.mailbox_capacity,
+        ))
+    }
+
+    /// The uniform typed entry point: routes [`ServiceRequest::Open`] and
+    /// [`ServiceRequest::Close`] to session management (the retired
+    /// session of a `Close` is discarded — use [`Self::close`] to keep
+    /// it) and everything else through the named session's mailbox.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open`], [`Self::close`] and [`SessionHandle::submit`].
+    pub fn submit(&self, session: &str, req: ServiceRequest) -> Result<ServiceResponse> {
+        match req {
+            ServiceRequest::Open { circuit, config } => {
+                self.open(session, *circuit, *config)?;
+                Ok(ServiceResponse::Opened {
+                    session: session.to_string(),
+                })
+            }
+            ServiceRequest::Close => {
+                let retired = self.close(session)?;
+                Ok(ServiceResponse::Closed {
+                    session: session.to_string(),
+                    stats: *retired.stats(),
+                })
+            }
+            other => self.handle(session)?.submit(other),
+        }
+    }
+
+    /// Gracefully closes a session: a close request is enqueued *behind*
+    /// everything already in the mailbox (blocking for a slot if it is
+    /// full — the worker is draining, so one frees up), the worker
+    /// retires after serving it, and the underlying [`EcoSession`] is
+    /// handed back — bit-identical to its last successful commit.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SessionClosed`] if `name` is not live; the build
+    /// error if the session's from-scratch flow had failed.
+    pub fn close(&self, name: &str) -> Result<EcoSession> {
+        let entry = self
+            .lock()
+            .remove(name)
+            .ok_or_else(|| CoreError::SessionClosed {
+                session: name.to_string(),
+            })?;
+        Self::retire(name, entry)
+    }
+
+    /// Closes every live session (each drains its queue first) and
+    /// returns the retired sessions by name. Consumes the service; the
+    /// subsequent drop has nothing left to do.
+    pub fn shutdown(self) -> Vec<(String, Result<EcoSession>)> {
+        let entries: Vec<(String, SessionEntry)> =
+            std::mem::take(&mut *self.lock()).into_iter().collect();
+        entries
+            .into_iter()
+            .map(|(name, entry)| {
+                let retired = Self::retire(&name, entry);
+                (name, retired)
+            })
+            .collect()
+    }
+
+    /// Enqueues a close behind pending work, joins the worker, and
+    /// returns its session.
+    fn retire(name: &str, entry: SessionEntry) -> Result<EcoSession> {
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        // A blocking send: close must not jump the queue, and must not be
+        // bounced by a momentarily full mailbox. If the worker already
+        // retired (handle-level Close), the send fails and the join below
+        // still yields the session.
+        let _ = entry.tx.send(Envelope::Request {
+            req: ServiceRequest::Close,
+            reply: reply_tx,
+            deadline: None,
+            submitted: Instant::now(),
+        });
+        drop(entry.tx);
+        match entry.join.join() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(CoreError::BadConfig {
+                reason: format!("session `{name}` worker panicked"),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SessionEntry>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Drop for RoutingService {
+    fn drop(&mut self) {
+        let entries: Vec<(String, SessionEntry)> =
+            std::mem::take(&mut *self.lock()).into_iter().collect();
+        for (name, entry) in entries {
+            let _ = Self::retire(&name, entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::EcoEdit;
+    use gsino_grid::geom::{Point, Rect};
+    use gsino_grid::net::Net;
+    use gsino_sino::nss::NssModel;
+    use std::time::Duration;
+
+    fn small_circuit(n: u32) -> Circuit {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+        let nets: Vec<Net> = (0..n)
+            .map(|i| {
+                let x = 16.0 + (i as f64 * 37.0) % 600.0;
+                let y = 16.0 + (i as f64 * 53.0) % 600.0;
+                Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+            })
+            .collect();
+        Circuit::new("small", die, nets).unwrap()
+    }
+
+    fn fast_config() -> GsinoConfig {
+        GsinoConfig {
+            nss_model: Some(NssModel::from_coefficients(
+                [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+                0.5,
+            )),
+            threads: 1,
+            ..GsinoConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_edit_query_close_round_trip() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service.open("s", small_circuit(12), fast_config()).unwrap();
+        let receipt = handle
+            .edit(vec![EcoEdit::TightenVth {
+                net: 2,
+                sink: 0,
+                vth: 0.11,
+            }])
+            .unwrap();
+        assert_eq!(receipt.edits, 1);
+        assert_eq!(receipt.batch_requests, 1);
+        assert!(!receipt.coalesced());
+        let snap = handle.query().unwrap();
+        assert_eq!(snap.session, "s");
+        assert_eq!(snap.nets, 12);
+        assert_eq!(snap.stats.commits, 1);
+        assert!(handle.verify().unwrap());
+        let session = service.close("s").unwrap();
+        assert_eq!(session.stats().commits, 1);
+        assert!(!session.in_transaction());
+    }
+
+    #[test]
+    fn typed_submit_covers_every_verb() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let opened = service
+            .submit(
+                "t",
+                ServiceRequest::Open {
+                    circuit: Box::new(small_circuit(10)),
+                    config: Box::new(fast_config()),
+                },
+            )
+            .unwrap();
+        assert!(matches!(opened, ServiceResponse::Opened { .. }));
+        let committed = service
+            .submit(
+                "t",
+                ServiceRequest::Edit(vec![EcoEdit::RelaxVth { net: 1, sink: 0 }]),
+            )
+            .unwrap();
+        assert!(matches!(committed, ServiceResponse::Committed(_)));
+        assert!(matches!(
+            service.submit("t", ServiceRequest::Query).unwrap(),
+            ServiceResponse::Snapshot(_)
+        ));
+        assert!(matches!(
+            service.submit("t", ServiceRequest::Verify).unwrap(),
+            ServiceResponse::Verified { clean: true }
+        ));
+        let closed = service.submit("t", ServiceRequest::Close).unwrap();
+        match closed {
+            ServiceResponse::Closed { session, stats } => {
+                assert_eq!(session, "t");
+                assert_eq!(stats.commits, 1);
+            }
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // The name is free again after close.
+        assert!(matches!(
+            service.handle("t"),
+            Err(CoreError::SessionClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_name_is_busy_and_table_is_bounded() {
+        let service = RoutingService::new(ServiceConfig {
+            max_sessions: 1,
+            ..ServiceConfig::default()
+        });
+        let _h = service.open("a", small_circuit(6), fast_config()).unwrap();
+        let busy = service.open("a", small_circuit(6), fast_config());
+        assert!(matches!(busy, Err(CoreError::SessionBusy { .. })));
+        assert!(busy.err().unwrap().is_retryable());
+        let full = service.open("b", small_circuit(6), fast_config());
+        match full {
+            Err(CoreError::Overloaded { capacity, .. }) => assert_eq!(capacity, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(service); // graceful drop joins the worker
+    }
+
+    /// Stages an edit request directly in the session's mailbox (no
+    /// blocking wait on the reply), returning the reply receiver. Tests
+    /// use this while the worker is quiesced to make coalescing fully
+    /// deterministic — the envelopes are enqueued synchronously by the
+    /// test thread itself.
+    fn stage_edit(
+        service: &RoutingService,
+        name: &str,
+        edits: Vec<EcoEdit>,
+    ) -> mpsc::Receiver<Result<ServiceResponse>> {
+        let tx = service.lock().get(name).unwrap().tx.clone();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.try_send(Envelope::Request {
+            req: ServiceRequest::Edit(edits),
+            reply: reply_tx,
+            deadline: None,
+            submitted: Instant::now(),
+        })
+        .unwrap();
+        reply_rx
+    }
+
+    #[test]
+    fn quiesced_burst_coalesces_into_one_commit() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service.open("q", small_circuit(12), fast_config()).unwrap();
+        // quiesce() returns only after the worker acknowledged, so the
+        // mailbox is empty and everything staged below is dequeued in one
+        // coalescing drain on resume.
+        let paused = handle.quiesce().unwrap();
+        let replies: Vec<_> = (0..3)
+            .map(|i| {
+                stage_edit(
+                    &service,
+                    "q",
+                    vec![EcoEdit::TightenVth {
+                        net: i,
+                        sink: 0,
+                        vth: 0.10 + 0.01 * f64::from(i),
+                    }],
+                )
+            })
+            .collect();
+        paused.resume();
+        for reply in replies {
+            match reply.recv().unwrap().unwrap() {
+                ServiceResponse::Committed(receipt) => {
+                    assert_eq!(receipt.edits, 1);
+                    assert_eq!(receipt.batch_requests, 3);
+                    assert_eq!(receipt.batch_edits, 3);
+                    assert!(receipt.coalesced());
+                }
+                other => panic!("expected Committed, got {other:?}"),
+            }
+        }
+        let session = service.close("q").unwrap();
+        // One shared transactional replay for the whole burst.
+        assert_eq!(session.stats().commits, 1);
+        assert_eq!(session.stats().edits_applied, 3);
+    }
+
+    #[test]
+    fn mixed_class_burst_splits_on_the_compatibility_key() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service
+            .open("mix", small_circuit(12), fast_config())
+            .unwrap();
+        let paused = handle.quiesce().unwrap();
+        // Two budget-class edits, then a Phase1-class edit, then another
+        // budget-class edit: FIFO coalescing must commit [0,1], [2], [3].
+        let replies = vec![
+            stage_edit(
+                &service,
+                "mix",
+                vec![EcoEdit::TightenVth {
+                    net: 0,
+                    sink: 0,
+                    vth: 0.10,
+                }],
+            ),
+            stage_edit(
+                &service,
+                "mix",
+                vec![EcoEdit::TightenVth {
+                    net: 1,
+                    sink: 0,
+                    vth: 0.11,
+                }],
+            ),
+            stage_edit(
+                &service,
+                "mix",
+                vec![EcoEdit::Circuit(gsino_grid::net::CircuitEdit::AddNet {
+                    net: Net::two_pin(99, Point::new(20.0, 600.0), Point::new(600.0, 30.0)),
+                })],
+            ),
+            stage_edit(
+                &service,
+                "mix",
+                vec![EcoEdit::TightenVth {
+                    net: 2,
+                    sink: 0,
+                    vth: 0.12,
+                }],
+            ),
+        ];
+        paused.resume();
+        let receipts: Vec<EditReceipt> = replies
+            .into_iter()
+            .map(|r| match r.recv().unwrap().unwrap() {
+                ServiceResponse::Committed(receipt) => receipt,
+                other => panic!("expected Committed, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(receipts[0].batch_requests, 2);
+        assert_eq!(receipts[1].batch_requests, 2);
+        assert_eq!(receipts[0].class, crate::session::EditClass::BudgetOnly);
+        assert_eq!(receipts[2].batch_requests, 1);
+        assert_eq!(receipts[2].class, crate::session::EditClass::Phase1);
+        assert_eq!(receipts[3].batch_requests, 1);
+        let session = service.close("mix").unwrap();
+        assert_eq!(session.stats().commits, 3);
+        assert_eq!(session.stats().budget_replays, 2);
+        assert_eq!(session.stats().phase1_replays, 1);
+    }
+
+    #[test]
+    fn rejected_member_drops_out_but_batch_commits() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service
+            .open("rej", small_circuit(12), fast_config())
+            .unwrap();
+        let paused = handle.quiesce().unwrap();
+        let good1 = stage_edit(
+            &service,
+            "rej",
+            vec![EcoEdit::TightenVth {
+                net: 0,
+                sink: 0,
+                vth: 0.10,
+            }],
+        );
+        let bad = stage_edit(
+            &service,
+            "rej",
+            vec![EcoEdit::TightenVth {
+                net: 555, // stale id: rejected at apply time
+                sink: 0,
+                vth: 0.10,
+            }],
+        );
+        let good2 = stage_edit(
+            &service,
+            "rej",
+            vec![EcoEdit::TightenVth {
+                net: 1,
+                sink: 0,
+                vth: 0.11,
+            }],
+        );
+        paused.resume();
+        match good1.recv().unwrap().unwrap() {
+            ServiceResponse::Committed(r) => assert_eq!(r.batch_requests, 2),
+            other => panic!("expected Committed, got {other:?}"),
+        }
+        assert!(matches!(
+            bad.recv().unwrap(),
+            Err(CoreError::UnknownId { kind: "net", .. })
+        ));
+        match good2.recv().unwrap().unwrap() {
+            ServiceResponse::Committed(r) => assert_eq!(r.batch_edits, 2),
+            other => panic!("expected Committed, got {other:?}"),
+        }
+        let session = service.close("rej").unwrap();
+        assert_eq!(session.stats().commits, 1);
+        assert_eq!(session.config().vth_overrides.len(), 2);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_mailbox_full() {
+        let service = RoutingService::new(ServiceConfig {
+            mailbox_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.open("m", small_circuit(8), fast_config()).unwrap();
+        let paused = handle.quiesce().unwrap();
+        // The single slot is filled deterministically; the public API's
+        // next submission must bounce with the typed rejection.
+        let staged = stage_edit(&service, "m", vec![]);
+        let err = handle.query().err().unwrap();
+        match &err {
+            CoreError::Overloaded { session, capacity } => {
+                assert_eq!(session, "m");
+                assert_eq!(*capacity, 1);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        paused.resume();
+        assert!(staged.recv().unwrap().is_ok());
+        drop(service);
+    }
+
+    #[test]
+    fn expired_deadline_is_canceled_in_queue() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service.open("dl", small_circuit(8), fast_config()).unwrap();
+        let paused = handle.quiesce().unwrap();
+        let h2 = handle.clone();
+        let client = std::thread::spawn(move || {
+            h2.edit_within(
+                vec![EcoEdit::TightenVth {
+                    net: 0,
+                    sink: 0,
+                    vth: 0.10,
+                }],
+                Duration::ZERO, // already expired when dequeued
+            )
+        });
+        paused.resume(); // the client blocks on its reply until the worker drains
+        let outcome = client.join().unwrap();
+        assert!(matches!(outcome, Err(CoreError::Canceled { .. })));
+        let session = service.close("dl").unwrap();
+        // The expired request never touched the session.
+        assert_eq!(session.stats().commits, 0);
+        assert_eq!(session.stats().edits_applied, 0);
+    }
+
+    #[test]
+    fn handle_outlives_session_with_typed_error() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service.open("x", small_circuit(8), fast_config()).unwrap();
+        assert!(handle.query().is_ok());
+        let _ = service.close("x").unwrap();
+        let err = handle.query().err().unwrap();
+        assert!(matches!(err, CoreError::SessionClosed { .. }));
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn build_failure_surfaces_on_requests_and_close() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let bad = GsinoConfig {
+            vth: -1.0, // rejected by validate() inside the worker's build
+            ..fast_config()
+        };
+        let handle = service.open("bad", small_circuit(6), bad).unwrap();
+        let err = handle.query().err().unwrap();
+        assert!(matches!(
+            err,
+            CoreError::BadConfig { .. } | CoreError::SessionClosed { .. }
+        ));
+        let closed = service.close("bad");
+        assert!(matches!(closed, Err(CoreError::BadConfig { .. })));
+    }
+}

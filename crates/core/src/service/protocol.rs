@@ -1,0 +1,160 @@
+//! The typed request/response vocabulary of the routing service, plus the
+//! internal mailbox envelope that carries a request to its session worker.
+
+use crate::pipeline::GsinoConfig;
+use crate::session::{EcoEdit, EditClass, SessionStats};
+use crate::Result;
+use gsino_grid::net::Circuit;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+/// One request against a [`RoutingService`](super::RoutingService)
+/// session — the service's entire public verb set.
+///
+/// [`ServiceRequest::Open`] and [`ServiceRequest::Close`] are
+/// service-level (they create or retire the session worker itself) and
+/// are routed by [`RoutingService::submit`](super::RoutingService::submit);
+/// the rest travel through the session's bounded mailbox and execute on
+/// its worker thread in FIFO order.
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// Route `circuit` from scratch under `config` and serve the result as
+    /// a named session. The flow runs **on the new worker thread**, so
+    /// opening returns immediately and concurrent opens build in parallel;
+    /// requests submitted before the build finishes simply wait in the
+    /// mailbox. If the build fails, every queued and subsequent request is
+    /// answered with the build error (or [`CoreError::SessionClosed`]),
+    /// and closing the session surfaces it.
+    ///
+    /// [`CoreError::SessionClosed`]: crate::CoreError::SessionClosed
+    Open {
+        /// The circuit to route.
+        circuit: Box<Circuit>,
+        /// The flow configuration.
+        config: Box<GsinoConfig>,
+    },
+    /// Commit a batch of ECO edits as **one transaction** (the whole
+    /// request succeeds or leaves the session bitwise unchanged). The
+    /// worker may additionally coalesce several queued `Edit` requests of
+    /// the same [`EditClass`] into a single transactional replay — see
+    /// [`EditReceipt`] for the observable batching evidence.
+    Edit(Vec<EcoEdit>),
+    /// Read a cheap summary of the session's current committed state.
+    Query,
+    /// Run a full (100%-sampled) oracle audit of the session's caches,
+    /// recovering by degraded replay if anything diverged.
+    Verify,
+    /// Drain nothing further: reply with final stats and retire the
+    /// worker. The underlying [`EcoSession`](crate::session::EcoSession)
+    /// is returned by [`RoutingService::close`](super::RoutingService::close).
+    Close,
+}
+
+/// The success payload paired with each [`ServiceRequest`] variant.
+#[derive(Debug, Clone)]
+pub enum ServiceResponse {
+    /// [`ServiceRequest::Open`] accepted; the named session is building.
+    Opened {
+        /// The session name.
+        session: String,
+    },
+    /// [`ServiceRequest::Edit`] committed.
+    Committed(EditReceipt),
+    /// [`ServiceRequest::Query`] result.
+    Snapshot(SessionSnapshot),
+    /// [`ServiceRequest::Verify`] result.
+    Verified {
+        /// `true` if every sampled artifact matched the reference engines;
+        /// `false` if a divergence was detected (and already recovered by
+        /// degraded replay).
+        clean: bool,
+    },
+    /// [`ServiceRequest::Close`] honoured; the worker has retired.
+    Closed {
+        /// The session name.
+        session: String,
+        /// Final lifetime counters.
+        stats: SessionStats,
+    },
+}
+
+/// Proof of one committed [`ServiceRequest::Edit`]: what was replayed,
+/// with whom it shared the transaction, and how long it waited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EditReceipt {
+    /// Edits carried by *this* request.
+    pub edits: usize,
+    /// Requests coalesced into the committed transaction (≥ 1; `> 1`
+    /// means this commit was shared — see [`Self::coalesced`]).
+    pub batch_requests: usize,
+    /// Total edits across the committed transaction.
+    pub batch_edits: usize,
+    /// The replay rung the transaction ran at (every coalesced request
+    /// shares it by construction — only same-class requests batch).
+    pub class: EditClass,
+    /// Milliseconds this request waited in the mailbox before its batch
+    /// was dequeued.
+    pub queue_ms: f64,
+    /// Milliseconds the shared transactional replay took (begin → commit
+    /// installed).
+    pub commit_ms: f64,
+}
+
+impl EditReceipt {
+    /// Whether this request's commit was shared with at least one other
+    /// request — the observable evidence of request batching.
+    pub fn coalesced(&self) -> bool {
+        self.batch_requests > 1
+    }
+}
+
+/// A cheap read-only summary of a session's committed state — the
+/// [`ServiceRequest::Query`] payload.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The session name.
+    pub session: String,
+    /// Nets in the tracked circuit.
+    pub nets: usize,
+    /// Whether the committed state meets every sink's constraint.
+    pub clean: bool,
+    /// Nets with at least one violating sink.
+    pub violating_nets: usize,
+    /// Lifetime counters at snapshot time.
+    pub stats: SessionStats,
+    /// The most recent divergence the session's oracle detected, if any.
+    pub last_divergence: Option<String>,
+}
+
+/// What actually travels through a session mailbox: a request plus its
+/// reply channel and deadline bookkeeping, or the test/bench quiesce
+/// control message.
+pub(crate) enum Envelope {
+    /// A client request awaiting a reply.
+    Request {
+        /// The request (never [`ServiceRequest::Open`] — handles reject it
+        /// before sending).
+        req: ServiceRequest,
+        /// Where the worker sends the outcome. A dropped receiver is fine;
+        /// the send error is ignored.
+        reply: Sender<Result<ServiceResponse>>,
+        /// Absolute deadline measured from submission. Expired requests
+        /// are answered [`CoreError::Canceled`](crate::CoreError::Canceled)
+        /// at dequeue without joining any batch; live ones thread the
+        /// batch's minimum deadline into the replay's
+        /// [`CancelToken`](crate::cancel::CancelToken).
+        deadline: Option<Instant>,
+        /// When the client submitted (for queue-latency accounting).
+        submitted: Instant,
+    },
+    /// Pause the worker: acknowledge on `ack` (proving everything queued
+    /// earlier has been processed), then block until `resume` yields or
+    /// disconnects. Lets tests and benches stage a burst of requests that
+    /// is *guaranteed* to be dequeued as one coalescing drain.
+    Quiesce {
+        /// Acknowledged once the worker dequeues this envelope.
+        ack: Sender<()>,
+        /// The worker resumes when this yields a value or disconnects.
+        resume: Receiver<()>,
+    },
+}

@@ -1,0 +1,298 @@
+//! The per-session executor: one thread owning one [`EcoSession`],
+//! draining a bounded mailbox in FIFO order and coalescing compatible
+//! edit requests into shared transactional replays.
+
+use super::protocol::{Envelope, ServiceRequest, ServiceResponse};
+use super::{EditReceipt, SessionSnapshot};
+use crate::cancel::CancelToken;
+use crate::pipeline::GsinoConfig;
+use crate::session::{EcoEdit, EcoSession, EditClass};
+use crate::{CoreError, Result};
+use gsino_grid::net::Circuit;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+/// Everything a session worker needs, handed to its thread at spawn.
+pub(crate) struct WorkerSpec {
+    pub name: String,
+    pub circuit: Circuit,
+    pub config: GsinoConfig,
+    pub rx: Receiver<Envelope>,
+    pub coalesce: bool,
+}
+
+/// One coalesced member of an edit batch.
+struct Member {
+    edits: Vec<EcoEdit>,
+    reply: Sender<Result<ServiceResponse>>,
+    deadline: Option<Instant>,
+    submitted: Instant,
+}
+
+/// The worker entry point. Builds the session (the expensive from-scratch
+/// flow) on this thread, then serves the mailbox until a
+/// [`ServiceRequest::Close`] arrives or every sender is dropped. The
+/// return value is the retired session (or the build error), which
+/// [`RoutingService::close`](super::RoutingService::close) surfaces to
+/// the caller for offline inspection.
+///
+/// Invariant: the worker never holds an open transaction between
+/// envelopes — every edit batch ends in `commit_with` (which consumes the
+/// transaction on success *and* failure) or an explicit rollback — so
+/// `in_transaction()` is `false` at every request boundary and graceful
+/// shutdown needs no cleanup pass.
+pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
+    let WorkerSpec {
+        name,
+        circuit,
+        config,
+        rx,
+        coalesce,
+    } = spec;
+    let mut session = match EcoSession::new(&circuit, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            // Answer everything already queued with the build error, then
+            // retire; later senders observe the disconnect as
+            // SessionClosed.
+            while let Ok(env) = rx.try_recv() {
+                if let Envelope::Request { reply, .. } = env {
+                    let _ = reply.send(Err(e.clone()));
+                }
+            }
+            return Err(e);
+        }
+    };
+    // An envelope pulled out of a coalescing drain because it was
+    // incompatible with the batch; it is served before the next recv so
+    // FIFO order is preserved.
+    let mut carry: Option<Envelope> = None;
+    loop {
+        let env = match carry.take() {
+            Some(env) => env,
+            None => match rx.recv() {
+                Ok(env) => env,
+                // Every handle and the service entry are gone; retire with
+                // the last committed state.
+                Err(_) => return Ok(session),
+            },
+        };
+        match env {
+            Envelope::Quiesce { ack, resume } => {
+                let _ = ack.send(());
+                let _ = resume.recv();
+            }
+            Envelope::Request {
+                req,
+                reply,
+                deadline,
+                submitted,
+            } => {
+                if expired(deadline) {
+                    let _ = reply.send(Err(CoreError::Canceled { phase: "queue" }));
+                    continue;
+                }
+                match req {
+                    ServiceRequest::Edit(edits) => {
+                        let first = Member {
+                            edits,
+                            reply,
+                            deadline,
+                            submitted,
+                        };
+                        carry = serve_edits(&name, &mut session, &rx, coalesce, first);
+                        debug_assert!(!session.in_transaction());
+                    }
+                    ServiceRequest::Query => {
+                        let _ =
+                            reply.send(Ok(ServiceResponse::Snapshot(snapshot(&name, &session))));
+                    }
+                    ServiceRequest::Verify => {
+                        let outcome = session
+                            .verify_now()
+                            .map(|clean| ServiceResponse::Verified { clean });
+                        let _ = reply.send(outcome);
+                    }
+                    ServiceRequest::Close => {
+                        let _ = reply.send(Ok(ServiceResponse::Closed {
+                            session: name.clone(),
+                            stats: *session.stats(),
+                        }));
+                        return Ok(session);
+                    }
+                    ServiceRequest::Open { .. } => {
+                        // Handles reject Open before sending; answer typed
+                        // anyway rather than trusting the client side.
+                        let _ = reply.send(Err(CoreError::BadConfig {
+                            reason: "ServiceRequest::Open submitted to a live session".into(),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serves one edit request, first greedily draining queued same-class
+/// edit requests into the batch (when coalescing is on). Returns the
+/// first incompatible envelope hit during the drain, which the main loop
+/// serves next.
+fn serve_edits(
+    name: &str,
+    session: &mut EcoSession,
+    rx: &Receiver<Envelope>,
+    coalesce: bool,
+    first: Member,
+) -> Option<Envelope> {
+    let class = request_class(&first.edits);
+    let mut batch = vec![first];
+    let mut carry = None;
+    if coalesce {
+        while let Ok(env) = rx.try_recv() {
+            match env {
+                Envelope::Request {
+                    req: ServiceRequest::Edit(edits),
+                    reply,
+                    deadline,
+                    submitted,
+                } => {
+                    if expired(deadline) {
+                        let _ = reply.send(Err(CoreError::Canceled { phase: "queue" }));
+                        continue;
+                    }
+                    if request_class(&edits) == class {
+                        batch.push(Member {
+                            edits,
+                            reply,
+                            deadline,
+                            submitted,
+                        });
+                    } else {
+                        carry = Some(Envelope::Request {
+                            req: ServiceRequest::Edit(edits),
+                            reply,
+                            deadline,
+                            submitted,
+                        });
+                        break;
+                    }
+                }
+                other => {
+                    carry = Some(other);
+                    break;
+                }
+            }
+        }
+    }
+    execute_batch(name, session, class, batch);
+    carry
+}
+
+/// Replays one coalesced batch as a single transaction, with per-request
+/// atomicity: a request whose edit is rejected at apply time is answered
+/// with that error and **dropped from the batch** (the transaction is
+/// rolled back and the surviving requests re-applied in their original
+/// FIFO order), while commit-time failures — a fired deadline, a solver
+/// error — fail every surviving member together, the session keeping its
+/// pre-batch state bit for bit (the [`EcoSession`] commit guarantee).
+///
+/// Re-apply order matters: edits are not generally commutative (two
+/// overrides of the same sink last-write-wins), so survivors always
+/// replay in submission order, which also makes the outcome independent
+/// of *where* in the batch a rejected request sat.
+fn execute_batch(name: &str, session: &mut EcoSession, class: EditClass, batch: Vec<Member>) {
+    let _ = name;
+    let dequeued = Instant::now();
+    let mut rejected: Vec<Option<CoreError>> = batch.iter().map(|_| None).collect();
+
+    'retry: loop {
+        session
+            .begin()
+            .expect("worker keeps no open transaction between requests");
+        let mut any_live = false;
+        for (i, member) in batch.iter().enumerate() {
+            if rejected[i].is_some() {
+                continue;
+            }
+            for edit in &member.edits {
+                if let Err(err) = session.apply(edit.clone()) {
+                    rejected[i] = Some(err);
+                    session.rollback().expect("transaction is open");
+                    continue 'retry;
+                }
+            }
+            any_live = true;
+        }
+        if !any_live {
+            // Every member was rejected; nothing to commit.
+            session.rollback().expect("transaction is open");
+        }
+        break;
+    }
+
+    let live: Vec<usize> = (0..batch.len())
+        .filter(|&i| rejected[i].is_none())
+        .collect();
+    let mut committed: Result<()> = Ok(());
+    let mut commit_ms = 0.0;
+    if !live.is_empty() {
+        // The batch replays under the earliest member deadline: one shared
+        // commit cannot honour two deadlines separately, and the guarantee
+        // on failure (pre-batch bits) holds for everyone.
+        let token = match live.iter().filter_map(|&i| batch[i].deadline).min() {
+            Some(deadline) => CancelToken::with_deadline_at(deadline),
+            None => CancelToken::never(),
+        };
+        let t0 = Instant::now();
+        committed = session.commit_with(&token);
+        commit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    }
+    debug_assert!(!session.in_transaction());
+
+    let batch_requests = live.len();
+    let batch_edits: usize = live.iter().map(|&i| batch[i].edits.len()).sum();
+    for (i, member) in batch.into_iter().enumerate() {
+        let outcome = match rejected[i].take() {
+            Some(err) => Err(err),
+            None => match &committed {
+                Ok(()) => Ok(ServiceResponse::Committed(EditReceipt {
+                    edits: member.edits.len(),
+                    batch_requests,
+                    batch_edits,
+                    class,
+                    queue_ms: dequeued.duration_since(member.submitted).as_secs_f64() * 1e3,
+                    commit_ms,
+                })),
+                Err(e) => Err(e.clone()),
+            },
+        };
+        let _ = member.reply.send(outcome);
+    }
+}
+
+/// The replay rung a whole request demands: the max over its edits (an
+/// empty request is budget-class — it commits an audited no-op). This is
+/// the batching compatibility key.
+fn request_class(edits: &[EcoEdit]) -> EditClass {
+    edits
+        .iter()
+        .map(EcoEdit::class)
+        .max()
+        .unwrap_or(EditClass::BudgetOnly)
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn snapshot(name: &str, session: &EcoSession) -> SessionSnapshot {
+    let report = session.violations();
+    SessionSnapshot {
+        session: name.to_string(),
+        nets: session.circuit().nets().len(),
+        clean: report.is_clean(),
+        violating_nets: report.violating_nets(),
+        stats: *session.stats(),
+        last_divergence: session.last_divergence().map(str::to_string),
+    }
+}

@@ -58,10 +58,14 @@ pub enum EcoEdit {
     },
 }
 
-/// How much of the flow an edit invalidates — the session's degradation
-/// ladder, from cheapest to most expensive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(super) enum EditClass {
+/// How much of the flow an edit invalidates — the session's replay
+/// ladder, from cheapest to most expensive. A transaction replays at the
+/// **max** class of its edits, which is also the routing service's
+/// batching compatibility key: requests whose edits share a class
+/// coalesce into one transactional replay without escalating anyone's
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EditClass {
     /// Routes stand; re-budget the edited nets and re-solve changed
     /// regions.
     BudgetOnly,
@@ -73,6 +77,17 @@ pub(super) enum EditClass {
 }
 
 impl EcoEdit {
+    /// The replay rung this edit demands, derivable from the variant alone
+    /// (validation happens later, at apply time). The routing service uses
+    /// this as its batching key: only same-class requests coalesce.
+    pub fn class(&self) -> EditClass {
+        match self {
+            EcoEdit::Circuit(_) => EditClass::Phase1,
+            EcoEdit::TightenVth { .. } | EcoEdit::RelaxVth { .. } => EditClass::BudgetOnly,
+            EcoEdit::Retile { .. } | EcoEdit::Reweight { .. } => EditClass::FullRebuild,
+        }
+    }
+
     /// Validates this edit against (and applies it to) the transaction's
     /// working circuit/config, returning how much replay it demands.
     ///

@@ -107,7 +107,7 @@ mod edit;
 mod fault;
 mod oracle;
 
-pub use edit::EcoEdit;
+pub use edit::{EcoEdit, EditClass};
 pub use fault::{FaultKind, FaultPlan};
 pub use oracle::OracleConfig;
 
@@ -125,7 +125,6 @@ use crate::refine::{refine_cancel, RefineStats};
 use crate::router::{AstarRouter, IdRouter, RouterStats, ShieldTerm};
 use crate::violations::{check, ViolationReport};
 use crate::{CoreError, Result};
-use edit::EditClass;
 use gsino_grid::net::Circuit;
 use gsino_grid::region::{RegionGrid, RegionIdx};
 use gsino_grid::route::{Dir, RouteSet};

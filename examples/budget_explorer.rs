@@ -21,10 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Net::two_pin(4, Point::new(16.0, 102.0), Point::new(2030.0, 102.0)),
     ];
     let circuit = Circuit::new("budgets", die, nets)?;
-    let config = GsinoConfig {
-        sensitivity: SensitivityModel::new(1.0, 3),
-        ..GsinoConfig::default()
-    };
+    let config = GsinoConfig::builder()
+        .sensitivity(SensitivityModel::new(1.0, 3))
+        .build()?;
     let (outcome, internals) = run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
 
     println!("uniform budgeting (Kth = LSK(0.15 V) / Le), per net:");

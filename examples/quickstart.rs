@@ -37,10 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = Circuit::new("quickstart", die, nets)?;
 
     // 30% sensitivity, 0.15 V crosstalk constraint — the paper's setup.
-    let config = GsinoConfig {
-        sensitivity: SensitivityModel::new(0.3, 42),
-        ..GsinoConfig::default()
-    };
+    let config = GsinoConfig::builder()
+        .sensitivity(SensitivityModel::new(0.3, 42))
+        .build()?;
     let (outcome, internals) = run_flow_with_artifacts(&circuit, &config, Approach::Gsino)?;
 
     println!("GSINO on {} nets:", circuit.num_nets());

@@ -38,10 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.die_h
     );
     for rate in [0.3, 0.5] {
-        let config = GsinoConfig {
-            sensitivity: SensitivityModel::new(rate, 2002),
-            ..GsinoConfig::default()
-        };
+        let config = GsinoConfig::builder()
+            .sensitivity(SensitivityModel::new(rate, 2002))
+            .build()?;
         println!("sensitivity rate {:.0}%:", rate * 100.0);
         let id_no = run_id_no(&circuit, &config)?;
         let isino = run_isino(&circuit, &config)?;

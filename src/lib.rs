@@ -3,6 +3,10 @@
 //! (a doctest) and cannot drift from the published entry point. Module
 //! docs for the re-exports: [`numeric`], [`grid`], [`steiner`], [`rlc`],
 //! [`sino`], [`lsk`], [`core`], [`circuits`].
+//!
+//! The day-to-day entry points are additionally re-exported flat, so
+//! `gsino::{run_gsino, GsinoConfig, EcoSession, RoutingService, …}` works
+//! without spelling out the owning crate.
 #![doc = include_str!("../README.md")]
 
 pub use gsino_circuits as circuits;
@@ -13,3 +17,9 @@ pub use gsino_numeric as numeric;
 pub use gsino_rlc as rlc;
 pub use gsino_sino as sino;
 pub use gsino_steiner as steiner;
+
+pub use gsino_core::{
+    run_gsino, CancelToken, CoreError, EcoEdit, EcoSession, EditReceipt, ErrorKind, GsinoConfig,
+    GsinoConfigBuilder, GsinoOutcome, RoutingService, ServiceConfig, ServiceRequest,
+    ServiceResponse, SessionHandle, SessionSnapshot, SessionStats,
+};

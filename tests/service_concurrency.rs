@@ -1,0 +1,294 @@
+//! Concurrency suite for the routing service, driven entirely through the
+//! public facade: parallel clients against one session commit
+//! bit-identically to a from-scratch flow, canceled/rejected batches
+//! leave the pre-batch bits, backpressure is typed and retryable, and
+//! shutdown under load drains every session to a committed state with no
+//! transaction left open.
+
+use gsino::core::pipeline::{run_flow_with_artifacts, Approach};
+use gsino::grid::{Circuit, Net, Point, Rect};
+use gsino::sino::nss::NssModel;
+use gsino::{
+    CoreError, EcoEdit, EcoSession, ErrorKind, GsinoConfig, RoutingService, ServiceConfig,
+};
+use std::time::Duration;
+
+fn small_circuit(name: &str, n: u32) -> Circuit {
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
+    let nets: Vec<Net> = (0..n)
+        .map(|i| {
+            let x = 16.0 + (i as f64 * 37.0) % 600.0;
+            let y = 16.0 + (i as f64 * 53.0) % 600.0;
+            Net::two_pin(i, Point::new(x, y), Point::new(620.0 - x, 620.0 - y))
+        })
+        .collect();
+    Circuit::new(name, die, nets).unwrap()
+}
+
+fn fast_config() -> GsinoConfig {
+    GsinoConfig::builder()
+        .nss_model(NssModel::from_coefficients(
+            [0.9, -0.5, 0.4, -0.2, 0.05, -0.3],
+            0.5,
+        ))
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// The retired session's committed state must equal a from-scratch flow
+/// on its final circuit and configuration — the service-level version of
+/// the session's bit-identity oracle.
+fn assert_matches_scratch(session: &EcoSession) {
+    let (outcome, internals) =
+        run_flow_with_artifacts(session.circuit(), session.config(), Approach::Gsino).unwrap();
+    assert_eq!(session.routes(), &outcome.routes, "routes diverged");
+    assert_eq!(session.budgets(), &internals.budgets, "budgets diverged");
+    assert_eq!(session.sino(), &internals.sino, "sino diverged");
+}
+
+#[test]
+fn parallel_clients_commit_bit_identically() {
+    let service = RoutingService::new(ServiceConfig::default());
+    let handle = service
+        .open("par", small_circuit("par", 14), fast_config())
+        .unwrap();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let h = handle.clone();
+            std::thread::spawn(move || {
+                h.edit(vec![EcoEdit::TightenVth {
+                    net: i,
+                    sink: 0,
+                    vth: 0.10 + 0.005 * f64::from(i),
+                }])
+            })
+        })
+        .collect();
+    for c in clients {
+        let receipt = c.join().unwrap().unwrap();
+        assert_eq!(receipt.edits, 1);
+        assert_eq!(receipt.class, gsino::core::session::EditClass::BudgetOnly);
+    }
+    let session = service.close("par").unwrap();
+    assert_eq!(session.stats().edits_applied, 4);
+    assert!(session.stats().commits >= 1 && session.stats().commits <= 4);
+    assert!(!session.in_transaction());
+    assert_eq!(session.config().vth_overrides.len(), 4);
+    assert_matches_scratch(&session);
+}
+
+#[test]
+fn canceled_and_rejected_requests_leave_pre_batch_bits() {
+    let service = RoutingService::new(ServiceConfig::default());
+    let handle = service
+        .open("atomic", small_circuit("atomic", 12), fast_config())
+        .unwrap();
+    // One committed baseline edit.
+    handle
+        .edit(vec![EcoEdit::TightenVth {
+            net: 1,
+            sink: 0,
+            vth: 0.12,
+        }])
+        .unwrap();
+
+    // An already-expired deadline: canceled in the queue, session untouched.
+    let expired = handle.edit_within(
+        vec![EcoEdit::TightenVth {
+            net: 2,
+            sink: 0,
+            vth: 0.11,
+        }],
+        Duration::ZERO,
+    );
+    match expired {
+        Err(err) => {
+            assert_eq!(err.kind(), ErrorKind::Canceled);
+            assert!(err.is_retryable());
+        }
+        Ok(r) => panic!("expired deadline committed: {r:?}"),
+    }
+
+    // A stale-id edit: rejected at apply time, transaction rolled back.
+    let stale = handle.edit(vec![EcoEdit::TightenVth {
+        net: 999,
+        sink: 0,
+        vth: 0.11,
+    }]);
+    assert!(matches!(stale, Err(CoreError::UnknownId { .. })));
+
+    // A whole request is one transaction: a good edit sharing a request
+    // with a stale one must not commit.
+    let mixed = handle.edit(vec![
+        EcoEdit::TightenVth {
+            net: 3,
+            sink: 0,
+            vth: 0.11,
+        },
+        EcoEdit::TightenVth {
+            net: 999,
+            sink: 0,
+            vth: 0.11,
+        },
+    ]);
+    assert!(matches!(mixed, Err(CoreError::UnknownId { .. })));
+
+    let session = service.close("atomic").unwrap();
+    // Exactly the baseline edit is in: one commit, one override.
+    assert_eq!(session.stats().commits, 1);
+    assert_eq!(session.config().vth_overrides.len(), 1);
+    assert!(!session.in_transaction());
+    assert_matches_scratch(&session);
+}
+
+#[test]
+fn racing_deadline_is_atomic_either_way() {
+    let service = RoutingService::new(ServiceConfig::default());
+    let handle = service
+        .open("race", small_circuit("race", 12), fast_config())
+        .unwrap();
+    // Wait out the asynchronous build first, so the deadline below races
+    // the *replay*, not the queue behind the opening flow.
+    handle.query().unwrap();
+    // A deadline tight enough to plausibly fire mid-replay (the debug
+    // oracle audits 100% of regions, so commits are slow here). Whichever
+    // way the race goes, the retired state must be exactly a from-scratch
+    // flow on whatever configuration actually committed.
+    let raced = handle.edit_within(
+        vec![EcoEdit::TightenVth {
+            net: 4,
+            sink: 0,
+            vth: 0.11,
+        }],
+        Duration::from_millis(2),
+    );
+    let session = service.close("race").unwrap();
+    match raced {
+        Ok(_) => assert_eq!(session.config().vth_overrides.len(), 1),
+        Err(err) => {
+            assert_eq!(err.kind(), ErrorKind::Canceled);
+            assert_eq!(session.config().vth_overrides.len(), 0);
+        }
+    }
+    assert!(!session.in_transaction());
+    assert_matches_scratch(&session);
+}
+
+#[test]
+fn overloaded_clients_retry_to_success() {
+    // A deliberately tiny mailbox under many clients: rejections must be
+    // typed, retryable, and actually succeed on retry.
+    let service = RoutingService::new(ServiceConfig {
+        mailbox_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let handle = service
+        .open("load", small_circuit("load", 12), fast_config())
+        .unwrap();
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let h = handle.clone();
+            std::thread::spawn(move || {
+                let mut rejections = 0u32;
+                loop {
+                    match h.edit(vec![EcoEdit::TightenVth {
+                        net: i,
+                        sink: 0,
+                        vth: 0.10 + 0.005 * f64::from(i),
+                    }]) {
+                        Ok(receipt) => return (rejections, receipt),
+                        Err(e) if e.kind() == ErrorKind::Overloaded => {
+                            assert!(e.is_retryable());
+                            rejections += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        let (_, receipt) = c.join().unwrap();
+        assert_eq!(receipt.edits, 1);
+    }
+    let session = service.close("load").unwrap();
+    assert_eq!(session.stats().edits_applied, 6);
+    assert_matches_scratch(&session);
+}
+
+#[test]
+fn shutdown_under_load_drains_every_session() {
+    let service = RoutingService::new(ServiceConfig::default());
+    for name in ["a", "b"] {
+        service
+            .open(name, small_circuit(name, 12), fast_config())
+            .unwrap();
+    }
+    let mut clients = Vec::new();
+    for name in ["a", "b"] {
+        for i in 0..3u32 {
+            let h = service.handle(name).unwrap();
+            clients.push(std::thread::spawn(move || {
+                h.edit(vec![EcoEdit::TightenVth {
+                    net: i,
+                    sink: 0,
+                    vth: 0.10 + 0.005 * f64::from(i),
+                }])
+            }));
+        }
+    }
+    // Close requests enqueue *behind* whatever the clients got in, so the
+    // retired sessions reflect a drained queue, never a torn transaction.
+    let retired = service.shutdown();
+    assert_eq!(retired.len(), 2);
+    for (name, outcome) in retired {
+        let session = outcome.unwrap();
+        assert!(
+            !session.in_transaction(),
+            "session `{name}` mid-transaction"
+        );
+        assert_matches_scratch(&session);
+    }
+    // Every client either committed before the drain or saw the typed
+    // closed-session rejection — never a hang, never a torn state.
+    for c in clients {
+        match c.join().unwrap() {
+            Ok(receipt) => assert_eq!(receipt.edits, 1),
+            Err(e) => assert!(matches!(
+                e.kind(),
+                ErrorKind::SessionClosed | ErrorKind::Overloaded
+            )),
+        }
+    }
+}
+
+#[test]
+fn error_taxonomy_is_stable_and_retry_classified() {
+    let service = RoutingService::new(ServiceConfig {
+        max_sessions: 1,
+        ..ServiceConfig::default()
+    });
+    let _h = service
+        .open("only", small_circuit("only", 8), fast_config())
+        .unwrap();
+
+    let busy = service
+        .open("only", small_circuit("x", 8), fast_config())
+        .err()
+        .unwrap();
+    assert_eq!(busy.kind(), ErrorKind::SessionBusy);
+    assert!(busy.is_retryable());
+
+    let full = service
+        .open("other", small_circuit("y", 8), fast_config())
+        .err()
+        .unwrap();
+    assert_eq!(full.kind(), ErrorKind::Overloaded);
+    assert!(full.is_retryable());
+
+    let missing = service.handle("ghost").err().unwrap();
+    assert_eq!(missing.kind(), ErrorKind::SessionClosed);
+    assert!(!missing.is_retryable());
+}
