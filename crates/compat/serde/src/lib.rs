@@ -6,7 +6,9 @@
 //! shim converts values to and from JSON text. The derive macros (from the
 //! local `serde_derive`) cover the shapes this workspace actually uses —
 //! named-field structs, unit structs and C-like enums — and honour
-//! `#[serde(skip)]`.
+//! `#[serde(skip)]` on fields plus `#[serde(default)]` on fields and
+//! containers (missing fields fall back to `Default`, so wire-protocol
+//! clients may send partial objects).
 //!
 //! The JSON produced is field-name compatible with real serde, so circuit
 //! files written by either implementation parse in the other.
@@ -282,6 +284,64 @@ impl<T: Serialize> Serialize for &T {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => {
+                if items.len() != N {
+                    return Err(DeError::new(format!(
+                        "expected array of length {N}, found {}",
+                        items.len()
+                    )));
+                }
+                let parsed: Vec<T> = items
+                    .iter()
+                    .map(T::deserialize_value)
+                    .collect::<Result<_, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| DeError::new("array length changed during parse"))
+            }
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal, $(($t:ident, $idx:tt)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::deserialize_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::new(format!(
+                        "expected array of length {}, found {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(DeError::expected("array", other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(2, (A, 0), (B, 1));
+impl_tuple!(3, (A, 0), (B, 1), (C, 2));
+impl_tuple!(4, (A, 0), (B, 1), (C, 2), (D, 3));
+
 impl<K: std::fmt::Display + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn serialize_value(&self) -> Value {
         let mut sorted: Vec<(&K, &V)> = self.iter().collect();
@@ -329,6 +389,26 @@ mod tests {
         assert_eq!(
             Option::<u32>::deserialize_value(&Value::Null).unwrap(),
             None
+        );
+    }
+
+    #[test]
+    fn arrays_and_tuples_roundtrip() {
+        let a = [1.5f64, -2.0, 3.25];
+        assert_eq!(
+            <[f64; 3]>::deserialize_value(&a.serialize_value()).unwrap(),
+            a
+        );
+        assert!(<[f64; 3]>::deserialize_value(&[1.0f64, 2.0].serialize_value()).is_err());
+        let t = (3u32, 1u32, 0.15f64);
+        assert_eq!(
+            <(u32, u32, f64)>::deserialize_value(&t.serialize_value()).unwrap(),
+            t
+        );
+        let pairs = vec![(1u32, 2u32), (3, 4)];
+        assert_eq!(
+            Vec::<(u32, u32)>::deserialize_value(&pairs.serialize_value()).unwrap(),
+            pairs
         );
     }
 

@@ -3,22 +3,38 @@
 //! No registry access means no `syn`/`quote`, so the item is parsed by
 //! hand from the raw token stream. Supported shapes — the ones this
 //! workspace derives on — are named-field structs, unit structs and C-like
-//! enums, with `#[serde(skip)]` honoured on fields. Anything else panics
-//! at expansion time with a pointed message rather than silently
-//! mis-serializing.
+//! enums, with `#[serde(skip)]` and `#[serde(default)]` honoured on fields
+//! and `#[serde(default)]` on structs (missing fields deserialize from the
+//! struct's `Default` impl, the real-serde container semantics). Anything
+//! else panics at expansion time with a pointed message rather than
+//! silently mis-serializing.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One parsed field: its name and whether `#[serde(skip)]` applies.
+/// One parsed field: its name and whether `#[serde(skip)]` /
+/// `#[serde(default)]` apply.
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing field deserializes as
+    /// `Default::default()` instead of erroring. Serialization still emits
+    /// the field, so round trips are lossless; the relaxation is for
+    /// hand-written input (e.g. wire-protocol clients sending a partial
+    /// config).
+    default: bool,
 }
 
 /// The derivable item shapes.
 enum Shape {
-    /// `struct Name { field: T, ... }`
-    Struct { name: String, fields: Vec<Field> },
+    /// `struct Name { field: T, ... }`. `container_default` is the
+    /// struct-level `#[serde(default)]`: every missing field deserializes
+    /// from the struct's `Default` impl (the real-serde container
+    /// semantics), so wire clients may send a partial object.
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+        container_default: bool,
+    },
     /// `struct Name;`
     UnitStruct { name: String },
     /// `enum Name { A, B, ... }`
@@ -28,6 +44,14 @@ enum Shape {
 fn parse_item(input: TokenStream) -> Shape {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
+    let mut container_default = false;
+    {
+        let mut j = 0;
+        while matches!(tokens.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            container_default |= attr_has_serde_flag(&tokens, j, "default");
+            j += 2;
+        }
+    }
     skip_attrs_and_vis(&tokens, &mut i);
     let kind = match &tokens[i] {
         TokenTree::Ident(id) => id.to_string(),
@@ -48,6 +72,7 @@ fn parse_item(input: TokenStream) -> Shape {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
                 name,
                 fields: parse_fields(g.stream()),
+                container_default,
             },
             _ => panic!(
                 "serde derive shim: struct `{name}` must have named fields or be a unit struct"
@@ -83,8 +108,8 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Whether an attribute group is `serde(... skip ...)`.
-fn attr_is_skip(tokens: &[TokenTree], hash_idx: usize) -> bool {
+/// Whether an attribute group is `serde(... <flag> ...)`.
+fn attr_has_serde_flag(tokens: &[TokenTree], hash_idx: usize, flag: &str) -> bool {
     if let Some(TokenTree::Group(g)) = tokens.get(hash_idx + 1) {
         let inner: Vec<TokenTree> = g.stream().into_iter().collect();
         if let Some(TokenTree::Ident(id)) = inner.first() {
@@ -93,7 +118,7 @@ fn attr_is_skip(tokens: &[TokenTree], hash_idx: usize) -> bool {
                     return args
                         .stream()
                         .into_iter()
-                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == flag));
                 }
             }
         }
@@ -107,11 +132,13 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut default = false;
         // Attributes and visibility ahead of the field name.
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    skip |= attr_is_skip(&tokens, i);
+                    skip |= attr_has_serde_flag(&tokens, i, "skip");
+                    default |= attr_has_serde_flag(&tokens, i, "default");
                     i += 2;
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -155,7 +182,11 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -193,7 +224,7 @@ fn parse_variants(stream: TokenStream) -> Vec<String> {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match parse_item(input) {
-        Shape::Struct { name, fields } => {
+        Shape::Struct { name, fields, .. } => {
             let mut inserts = String::new();
             for f in fields.iter().filter(|f| !f.skip) {
                 inserts.push_str(&format!(
@@ -237,12 +268,32 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let body = match parse_item(input) {
-        Shape::Struct { name, fields } => {
+        Shape::Struct {
+            name,
+            fields,
+            container_default,
+        } => {
             let mut inits = String::new();
             for f in &fields {
                 if f.skip {
                     inits.push_str(&format!(
                         "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if container_default {
+                    inits.push_str(&format!(
+                        "{0}: match m.get(\"{0}\") {{\n\
+                           Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                           None => __container_default.{0},\n\
+                         }},\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: match m.get(\"{0}\") {{\n\
+                           Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                           None => ::std::default::Default::default(),\n\
+                         }},\n",
                         f.name
                     ));
                 } else {
@@ -256,12 +307,22 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     ));
                 }
             }
+            let default_binding = if container_default {
+                format!(
+                    "let __container_default = <{name} as ::std::default::Default>::default();\n"
+                )
+            } else {
+                String::new()
+            };
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                    fn deserialize_value(v: &::serde::Value) \
                        -> ::std::result::Result<Self, ::serde::DeError> {{\n\
                      match v {{\n\
-                       ::serde::Value::Object(m) => Ok({name} {{ {inits} }}),\n\
+                       ::serde::Value::Object(m) => {{\n\
+                         {default_binding}\
+                         Ok({name} {{ {inits} }})\n\
+                       }}\n\
                        _ => Err(::serde::DeError::new(\"expected object for {name}\")),\n\
                      }}\n\
                    }}\n\

@@ -13,6 +13,7 @@ use gsino_grid::region::{RegionGrid, RegionIdx};
 use gsino_grid::route::{Dir, RouteSet};
 use gsino_lsk::budget::kth_for_le;
 use gsino_lsk::table::NoiseTable;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One segment budget: `((net, region, dir), Kth)` — the key/value unit
@@ -20,7 +21,7 @@ use std::collections::HashMap;
 pub type BudgetEntry = ((NetId, RegionIdx, Dir), f64);
 
 /// How the LSK bound is split along a path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum BudgetPolicy {
     /// The paper's Phase I: every segment on the path gets `LSK/Le`.
     #[default]

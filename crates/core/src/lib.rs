@@ -74,8 +74,8 @@ pub use cancel::CancelToken;
 pub use pipeline::{run_gsino, GsinoConfig, GsinoConfigBuilder, GsinoOutcome};
 pub use router::Weights;
 pub use service::{
-    EditReceipt, RoutingService, ServiceConfig, ServiceRequest, ServiceResponse, SessionHandle,
-    SessionSnapshot,
+    EditReceipt, LatencySummary, NetClient, NetServer, RoutingService, ServiceConfig,
+    ServiceRequest, ServiceResponse, SessionHandle, SessionSnapshot, StatsReport,
 };
 pub use session::{EcoEdit, EcoSession, FaultKind, FaultPlan, OracleConfig, SessionStats};
 pub use violations::ViolationReport;
@@ -147,6 +147,19 @@ pub enum CoreError {
         /// The session name.
         session: String,
     },
+    /// An error received over the wire from a remote routing service,
+    /// carried verbatim. When the remote kind string is one this build
+    /// knows, [`CoreError::kind`] maps it back to the matching
+    /// [`ErrorKind`]; unknown strings (a newer server) classify as
+    /// [`ErrorKind::Remote`] and keep the transmitted retryability.
+    Remote {
+        /// The remote error's kind string (see [`ErrorKind::as_str`]).
+        kind: String,
+        /// The remote error's [`CoreError::is_retryable`] flag.
+        retryable: bool,
+        /// The remote error's display message.
+        message: String,
+    },
 }
 
 /// The stable, data-free classification of a [`CoreError`] — what service
@@ -174,6 +187,57 @@ pub enum ErrorKind {
     SessionBusy,
     /// [`CoreError::SessionClosed`].
     SessionClosed,
+    /// [`CoreError::Remote`] whose kind string no known kind claims — an
+    /// error forwarded by a remote peer speaking a newer vocabulary.
+    Remote,
+}
+
+impl ErrorKind {
+    /// The stable wire string for this kind — the `err.kind` field of the
+    /// wire protocol (`PROTOCOL.md`). The strings are snake_case, never
+    /// reused, and never change meaning; see [`CoreError::kind`] for the
+    /// full table.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::Grid => "grid",
+            ErrorKind::Sino => "sino",
+            ErrorKind::Lsk => "lsk",
+            ErrorKind::RoutingFailed => "routing_failed",
+            ErrorKind::BadConfig => "bad_config",
+            ErrorKind::UnknownId => "unknown_id",
+            ErrorKind::Canceled => "canceled",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::SessionBusy => "session_busy",
+            ErrorKind::SessionClosed => "session_closed",
+            ErrorKind::Remote => "remote",
+        }
+    }
+
+    /// Parses a wire kind string back to its kind. Unknown strings (from a
+    /// peer speaking a newer protocol revision) map to
+    /// [`ErrorKind::Remote`] rather than failing, so old clients degrade
+    /// gracefully.
+    pub fn parse(s: &str) -> ErrorKind {
+        match s {
+            "grid" => ErrorKind::Grid,
+            "sino" => ErrorKind::Sino,
+            "lsk" => ErrorKind::Lsk,
+            "routing_failed" => ErrorKind::RoutingFailed,
+            "bad_config" => ErrorKind::BadConfig,
+            "unknown_id" => ErrorKind::UnknownId,
+            "canceled" => ErrorKind::Canceled,
+            "overloaded" => ErrorKind::Overloaded,
+            "session_busy" => ErrorKind::SessionBusy,
+            "session_closed" => ErrorKind::SessionClosed,
+            _ => ErrorKind::Remote,
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl CoreError {
@@ -181,7 +245,27 @@ impl CoreError {
     ///
     /// The mapping is one variant → one kind and is part of the public
     /// API contract: clients can `match` on it across versions without
-    /// caring about the payload fields.
+    /// caring about the payload fields. The kind strings below are the
+    /// wire protocol's `err.kind` vocabulary (`PROTOCOL.md`) and are
+    /// pinned by a unit test — they never change meaning or casing:
+    ///
+    /// | Kind | Wire string | Retryable |
+    /// |------|-------------|-----------|
+    /// | [`ErrorKind::Grid`] | `grid` | no |
+    /// | [`ErrorKind::Sino`] | `sino` | no |
+    /// | [`ErrorKind::Lsk`] | `lsk` | no |
+    /// | [`ErrorKind::RoutingFailed`] | `routing_failed` | no |
+    /// | [`ErrorKind::BadConfig`] | `bad_config` | no |
+    /// | [`ErrorKind::UnknownId`] | `unknown_id` | no |
+    /// | [`ErrorKind::Canceled`] | `canceled` | yes |
+    /// | [`ErrorKind::Overloaded`] | `overloaded` | yes |
+    /// | [`ErrorKind::SessionBusy`] | `session_busy` | yes |
+    /// | [`ErrorKind::SessionClosed`] | `session_closed` | no |
+    /// | [`ErrorKind::Remote`] | `remote` | carried flag |
+    ///
+    /// A [`CoreError::Remote`] whose carried kind string is in the table
+    /// classifies as that kind (`Remote` is the unknown-string fallback),
+    /// and its retryability is the transmitted flag, not the table column.
     pub fn kind(&self) -> ErrorKind {
         match self {
             CoreError::Grid(_) => ErrorKind::Grid,
@@ -194,6 +278,7 @@ impl CoreError {
             CoreError::Overloaded { .. } => ErrorKind::Overloaded,
             CoreError::SessionBusy { .. } => ErrorKind::SessionBusy,
             CoreError::SessionClosed { .. } => ErrorKind::SessionClosed,
+            CoreError::Remote { kind, .. } => ErrorKind::parse(kind),
         }
     }
 
@@ -212,7 +297,14 @@ impl CoreError {
     /// Everything else is deterministic — the same request fails the same
     /// way — or indicates lost state ([`ErrorKind::SessionClosed`]) that a
     /// retry cannot recover.
+    ///
+    /// [`CoreError::Remote`] errors report the flag the remote service
+    /// transmitted, so retryability survives a wire hop even for kinds
+    /// this build does not know.
     pub fn is_retryable(&self) -> bool {
+        if let CoreError::Remote { retryable, .. } = self {
+            return *retryable;
+        }
         matches!(
             self.kind(),
             ErrorKind::Overloaded | ErrorKind::SessionBusy | ErrorKind::Canceled
@@ -245,6 +337,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::SessionClosed { session } => {
                 write!(f, "session `{session}` is closed or was never opened")
+            }
+            CoreError::Remote { kind, message, .. } => {
+                write!(f, "remote error [{kind}]: {message}")
             }
         }
     }
@@ -281,3 +376,66 @@ impl From<gsino_lsk::LskError> for CoreError {
 
 /// Convenience alias for results in this crate.
 pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod error_kind_tests {
+    use super::*;
+
+    /// Every kind string is pinned: changing one is a wire-protocol break
+    /// and must fail here first. Mirrors the table on [`CoreError::kind`]
+    /// and `PROTOCOL.md`.
+    #[test]
+    fn kind_strings_are_stable() {
+        let pinned = [
+            (ErrorKind::Grid, "grid"),
+            (ErrorKind::Sino, "sino"),
+            (ErrorKind::Lsk, "lsk"),
+            (ErrorKind::RoutingFailed, "routing_failed"),
+            (ErrorKind::BadConfig, "bad_config"),
+            (ErrorKind::UnknownId, "unknown_id"),
+            (ErrorKind::Canceled, "canceled"),
+            (ErrorKind::Overloaded, "overloaded"),
+            (ErrorKind::SessionBusy, "session_busy"),
+            (ErrorKind::SessionClosed, "session_closed"),
+            (ErrorKind::Remote, "remote"),
+        ];
+        for (kind, s) in pinned {
+            assert_eq!(kind.as_str(), s, "{kind:?}");
+            assert_eq!(ErrorKind::parse(s), kind, "{s}");
+            assert_eq!(kind.to_string(), s);
+        }
+        assert_eq!(ErrorKind::parse("a_future_kind"), ErrorKind::Remote);
+    }
+
+    #[test]
+    fn remote_errors_carry_kind_and_retryability() {
+        let known = CoreError::Remote {
+            kind: "overloaded".into(),
+            retryable: true,
+            message: "mailbox full".into(),
+        };
+        assert_eq!(known.kind(), ErrorKind::Overloaded);
+        assert!(known.is_retryable());
+
+        // The transmitted flag wins over the local table.
+        let pinned_flag = CoreError::Remote {
+            kind: "overloaded".into(),
+            retryable: false,
+            message: "server says stop".into(),
+        };
+        assert_eq!(pinned_flag.kind(), ErrorKind::Overloaded);
+        assert!(!pinned_flag.is_retryable());
+
+        let unknown = CoreError::Remote {
+            kind: "quota_exceeded".into(),
+            retryable: true,
+            message: "from the future".into(),
+        };
+        assert_eq!(unknown.kind(), ErrorKind::Remote);
+        assert!(unknown.is_retryable());
+        assert_eq!(
+            unknown.to_string(),
+            "remote error [quota_exceeded]: from the future"
+        );
+    }
+}

@@ -21,6 +21,7 @@ use gsino_sino::instance::{SegmentSpec, SinoInstance};
 use gsino_sino::keff::{coupling, evaluate};
 use gsino_sino::layout::Layout;
 use gsino_sino::solver::{SinoSolver, SolverConfig};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -106,7 +107,7 @@ pub enum RegionMode {
 /// reference engine exists as the baseline for the `phase_runtime` bench
 /// and the equivalence tests, exactly like the Phase I
 /// `reference::SeedIdRouter` contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SinoEngine {
     /// The incremental [`DeltaEval`]-based solvers (production path).
     #[default]

@@ -20,10 +20,11 @@ use gsino_grid::usage::TrackUsage;
 use gsino_lsk::table::NoiseTable;
 use gsino_sino::nss::NssModel;
 use gsino_sino::solver::SolverConfig;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Which global router drives Phase I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum RouterKind {
     /// Iterative deletion (paper Fig. 1): order-independent, slower,
     /// usually better solutions.
@@ -56,7 +57,13 @@ impl std::fmt::Display for Approach {
 }
 
 /// Configuration shared by all flows.
-#[derive(Debug, Clone)]
+///
+/// Serialized configs omit-tolerantly deserialize: any field missing from
+/// the wire form falls back to its [`GsinoConfig::default`] value
+/// (container-level `#[serde(default)]`), so older clients interoperate
+/// with servers that have grown new knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
 pub struct GsinoConfig {
     /// Technology parameters (ITRS 0.10 µm by default).
     pub tech: Technology,

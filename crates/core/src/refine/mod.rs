@@ -69,11 +69,12 @@ use gsino_grid::route::{Dir, RouteSet};
 use gsino_lsk::table::NoiseTable;
 use gsino_sino::delta::{DeltaEval, DeltaSnapshot};
 use gsino_sino::solver::{SinoSolver, SolverConfig};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use tracker::{LskTracker, SeverityQueue};
 
 /// Safety bounds for the refinement loops.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RefineConfig {
     /// Outer-loop bound of pass 1 (distinct net fixes).
     pub max_pass1_iters: usize,

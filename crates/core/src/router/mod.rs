@@ -70,9 +70,10 @@ pub use id::{route_all, IdRouter, RouterStats};
 pub use scratch::{SearchCounters, SearchScratch, Unreachable};
 
 use gsino_sino::nss::NssModel;
+use serde::{Deserialize, Serialize};
 
 /// The weight constants of Formula (2): `w = α·f(WL) + β·HD + γ·HOFR`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Weights {
     /// Wire-length coefficient (paper: 2).
     pub alpha: f64,

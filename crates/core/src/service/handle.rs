@@ -1,11 +1,13 @@
 //! The client facade: a cloneable, thread-safe handle to one live
 //! session's mailbox.
 
-use super::protocol::{Envelope, ServiceRequest, ServiceResponse};
-use super::{EditReceipt, SessionSnapshot};
+use super::protocol::{Envelope, ReplyTo, ServiceRequest, ServiceResponse};
+use super::{EditReceipt, SessionSnapshot, StatsReport};
 use crate::session::EcoEdit;
 use crate::{CoreError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A client handle to one live session of a
@@ -25,11 +27,24 @@ pub struct SessionHandle {
     name: String,
     tx: SyncSender<Envelope>,
     capacity: usize,
+    /// Envelopes currently queued (shared with the worker, which
+    /// decrements at dequeue) — the [`StatsReport::queue_depth`] source.
+    depth: Arc<AtomicUsize>,
 }
 
 impl SessionHandle {
-    pub(crate) fn new(name: String, tx: SyncSender<Envelope>, capacity: usize) -> Self {
-        SessionHandle { name, tx, capacity }
+    pub(crate) fn new(
+        name: String,
+        tx: SyncSender<Envelope>,
+        capacity: usize,
+        depth: Arc<AtomicUsize>,
+    ) -> Self {
+        SessionHandle {
+            name,
+            tx,
+            capacity,
+            depth,
+        }
     }
 
     /// The session name this handle targets.
@@ -118,6 +133,19 @@ impl SessionHandle {
         }
     }
 
+    /// Reads the session's service-level health counters (queue depth,
+    /// lifetime stats, recent latency summaries).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`].
+    pub fn stats(&self) -> Result<StatsReport> {
+        match self.submit(ServiceRequest::Stats)? {
+            ServiceResponse::Stats(report) => Ok(report),
+            other => Err(protocol_mismatch("Stats", &other)),
+        }
+    }
+
     /// Pauses the session worker until the returned guard is dropped (or
     /// [`QuiesceGuard::resume`]d). The call blocks until the worker
     /// acknowledges — i.e. until everything submitted before it has been
@@ -160,7 +188,7 @@ impl SessionHandle {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.enqueue(Envelope::Request {
             req,
-            reply: reply_tx,
+            reply: ReplyTo::Local(reply_tx),
             deadline,
             submitted: Instant::now(),
         })?;
@@ -169,12 +197,43 @@ impl SessionHandle {
         })?
     }
 
+    /// Submits a request whose outcome resolves on a shared, correlation-
+    /// id-tagged channel instead of a per-call one-shot — the network
+    /// front's entry point, letting one connection writer multiplex many
+    /// in-flight requests. Same admission control as [`Self::submit`];
+    /// the error (if any) is returned here, never sent on `tx`.
+    pub(crate) fn submit_tagged(
+        &self,
+        req: ServiceRequest,
+        deadline: Option<Instant>,
+        id: u64,
+        tx: Sender<(u64, Result<ServiceResponse>)>,
+    ) -> Result<()> {
+        if matches!(req, ServiceRequest::Open { .. }) {
+            return Err(CoreError::BadConfig {
+                reason: "ServiceRequest::Open is service-level: a handle is bound to an \
+                         already-open session (use RoutingService::open / submit)"
+                    .into(),
+            });
+        }
+        self.enqueue(Envelope::Request {
+            req,
+            reply: ReplyTo::Tagged { id, tx },
+            deadline,
+            submitted: Instant::now(),
+        })
+    }
+
     /// Admission control: `try_send` into the bounded mailbox, mapping a
     /// full queue to [`CoreError::Overloaded`] and a retired worker to
-    /// [`CoreError::SessionClosed`].
+    /// [`CoreError::SessionClosed`]. Successful sends tick the shared
+    /// queue-depth gauge; the worker ticks it back down at dequeue.
     fn enqueue(&self, env: Envelope) -> Result<()> {
         match self.tx.try_send(env) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
             Err(TrySendError::Full(_)) => Err(CoreError::Overloaded {
                 session: self.name.clone(),
                 capacity: self.capacity,

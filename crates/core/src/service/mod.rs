@@ -82,20 +82,25 @@
 //! ```
 
 mod handle;
+pub mod net;
 mod protocol;
 mod worker;
 
 pub use handle::{QuiesceGuard, SessionHandle};
-pub use protocol::{EditReceipt, ServiceRequest, ServiceResponse, SessionSnapshot};
+pub use net::{NetClient, NetServer};
+pub use protocol::{
+    EditReceipt, LatencySummary, ServiceRequest, ServiceResponse, SessionSnapshot, StatsReport,
+};
 
 use crate::pipeline::GsinoConfig;
 use crate::session::EcoSession;
 use crate::{CoreError, Result};
 use gsino_grid::net::Circuit;
-use protocol::Envelope;
+use protocol::{Envelope, ReplyTo};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, sync_channel};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -129,6 +134,7 @@ impl Default for ServiceConfig {
 struct SessionEntry {
     tx: mpsc::SyncSender<Envelope>,
     join: JoinHandle<Result<EcoSession>>,
+    depth: Arc<AtomicUsize>,
 }
 
 /// A multi-session ECO server front. See the [module docs](self) for the
@@ -200,12 +206,14 @@ impl RoutingService {
             });
         }
         let (tx, rx) = sync_channel(self.config.mailbox_capacity);
+        let depth = Arc::new(AtomicUsize::new(0));
         let spec = worker::WorkerSpec {
             name: name.to_string(),
             circuit,
             config,
             rx,
             coalesce: self.config.coalesce,
+            depth: Arc::clone(&depth),
         };
         let join = std::thread::Builder::new()
             .name(format!("gsino-svc-{name}"))
@@ -218,12 +226,14 @@ impl RoutingService {
             SessionEntry {
                 tx: tx.clone(),
                 join,
+                depth: Arc::clone(&depth),
             },
         );
         Ok(SessionHandle::new(
             name.to_string(),
             tx,
             self.config.mailbox_capacity,
+            depth,
         ))
     }
 
@@ -241,6 +251,7 @@ impl RoutingService {
             name.to_string(),
             entry.tx.clone(),
             self.config.mailbox_capacity,
+            Arc::clone(&entry.depth),
         ))
     }
 
@@ -314,12 +325,18 @@ impl RoutingService {
         // bounced by a momentarily full mailbox. If the worker already
         // retired (handle-level Close), the send fails and the join below
         // still yields the session.
-        let _ = entry.tx.send(Envelope::Request {
-            req: ServiceRequest::Close,
-            reply: reply_tx,
-            deadline: None,
-            submitted: Instant::now(),
-        });
+        if entry
+            .tx
+            .send(Envelope::Request {
+                req: ServiceRequest::Close,
+                reply: ReplyTo::Local(reply_tx),
+                deadline: None,
+                submitted: Instant::now(),
+            })
+            .is_ok()
+        {
+            entry.depth.fetch_add(1, Ordering::Relaxed);
+        }
         drop(entry.tx);
         match entry.join.join() {
             Ok(outcome) => outcome,
@@ -477,7 +494,7 @@ mod tests {
         let (reply_tx, reply_rx) = mpsc::channel();
         tx.try_send(Envelope::Request {
             req: ServiceRequest::Edit(edits),
-            reply: reply_tx,
+            reply: ReplyTo::Local(reply_tx),
             deadline: None,
             submitted: Instant::now(),
         })
@@ -639,6 +656,55 @@ mod tests {
         let session = service.close("rej").unwrap();
         assert_eq!(session.stats().commits, 1);
         assert_eq!(session.config().vth_overrides.len(), 2);
+    }
+
+    #[test]
+    fn stats_report_queue_depth_and_latency_windows() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service
+            .open("st", small_circuit(10), fast_config())
+            .unwrap();
+        // Before any edits: empty latency windows, empty queue.
+        let report = handle.stats().unwrap();
+        assert_eq!(report.session, "st");
+        assert_eq!(report.queue_depth, 0);
+        assert_eq!(report.queue_ms.count, 0);
+        assert_eq!(report.commit_ms.count, 0);
+        assert_eq!(report.commit_ms, crate::service::LatencySummary::default());
+
+        // Stage a burst while quiesced: Stats dequeued behind it must see
+        // the staged envelopes pass through (depth drains back to 0), and
+        // the commit windows fill.
+        let paused = handle.quiesce().unwrap();
+        let r1 = stage_edit(
+            &service,
+            "st",
+            vec![EcoEdit::TightenVth {
+                net: 0,
+                sink: 0,
+                vth: 0.10,
+            }],
+        );
+        let r2 = stage_edit(
+            &service,
+            "st",
+            vec![EcoEdit::TightenVth {
+                net: 1,
+                sink: 0,
+                vth: 0.11,
+            }],
+        );
+        paused.resume();
+        assert!(r1.recv().unwrap().is_ok());
+        assert!(r2.recv().unwrap().is_ok());
+        let report = handle.stats().unwrap();
+        assert_eq!(report.queue_depth, 0);
+        assert_eq!(report.stats.commits, 1); // one coalesced replay
+        assert_eq!(report.queue_ms.count, 2); // one sample per member
+        assert_eq!(report.commit_ms.count, 1); // one shared commit
+        assert!(report.commit_ms.max_ms >= report.commit_ms.p50_ms);
+        assert!(report.queue_ms.mean_ms >= 0.0);
+        drop(service);
     }
 
     #[test]

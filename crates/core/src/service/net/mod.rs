@@ -1,0 +1,38 @@
+//! The network front for [`RoutingService`](super::RoutingService):
+//! a framed wire protocol over TCP or unix-domain sockets.
+//!
+//! `PROTOCOL.md` at the repository root is the normative specification;
+//! this module is its reference implementation. The layering, bottom up:
+//!
+//! - [`frame`] — the transport-agnostic codec: 4-byte big-endian length
+//!   prefix + JSON body, with a hard size ceiling ([`MAX_FRAME`]) and a
+//!   connection-fatal error taxonomy ([`FrameError`]).
+//! - [`wire`] — the JSON schema: the server [`Hello`], request/response
+//!   envelopes with correlation ids, and the [`WireError`] form that
+//!   carries [`CoreError`](crate::CoreError) kinds across the wire.
+//! - [`NetServer`] — the accept loop; one reader/writer thread pair per
+//!   connection, dispatching into the service's per-session mailboxes so
+//!   pipelined requests coalesce into batches exactly as in-process
+//!   submissions do.
+//! - [`NetClient`] — a blocking client library with typed conveniences
+//!   mirroring [`SessionHandle`](super::SessionHandle).
+//!
+//! The session layer underneath is untouched by all of this: a networked
+//! edit takes the same worker-thread path as an in-process one, so a
+//! session driven over loopback retires bit-identical to one driven
+//! through [`SessionHandle`](super::SessionHandle) directly (proven by
+//! `tests/wire_protocol.rs`).
+
+pub mod frame;
+pub mod wire;
+
+mod client;
+mod server;
+mod stream;
+
+pub use client::NetClient;
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use server::NetServer;
+pub use wire::{
+    Hello, RequestEnvelope, ResponseEnvelope, WireError, PROTOCOL_NAME, PROTOCOL_VERSION,
+};

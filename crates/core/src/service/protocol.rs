@@ -5,6 +5,7 @@ use crate::pipeline::GsinoConfig;
 use crate::session::{EcoEdit, EditClass, SessionStats};
 use crate::Result;
 use gsino_grid::net::Circuit;
+use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
 
@@ -41,6 +42,11 @@ pub enum ServiceRequest {
     Edit(Vec<EcoEdit>),
     /// Read a cheap summary of the session's current committed state.
     Query,
+    /// Read the session's service-level health counters: current queue
+    /// depth, lifetime [`SessionStats`], and latency summaries over the
+    /// recent commit window. Cheaper than [`ServiceRequest::Query`] (no
+    /// violation scan); meant for monitoring loops.
+    Stats,
     /// Run a full (100%-sampled) oracle audit of the session's caches,
     /// recovering by degraded replay if anything diverged.
     Verify,
@@ -62,6 +68,8 @@ pub enum ServiceResponse {
     Committed(EditReceipt),
     /// [`ServiceRequest::Query`] result.
     Snapshot(SessionSnapshot),
+    /// [`ServiceRequest::Stats`] result.
+    Stats(StatsReport),
     /// [`ServiceRequest::Verify`] result.
     Verified {
         /// `true` if every sampled artifact matched the reference engines;
@@ -80,7 +88,7 @@ pub enum ServiceResponse {
 
 /// Proof of one committed [`ServiceRequest::Edit`]: what was replayed,
 /// with whom it shared the transaction, and how long it waited.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EditReceipt {
     /// Edits carried by *this* request.
     pub edits: usize,
@@ -110,7 +118,7 @@ impl EditReceipt {
 
 /// A cheap read-only summary of a session's committed state — the
 /// [`ServiceRequest::Query`] payload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionSnapshot {
     /// The session name.
     pub session: String,
@@ -126,6 +134,101 @@ pub struct SessionSnapshot {
     pub last_divergence: Option<String>,
 }
 
+/// The service-level health counters of one live session — the
+/// [`ServiceRequest::Stats`] payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// The session name.
+    pub session: String,
+    /// Envelopes waiting in the mailbox at report time (excludes the
+    /// `Stats` request itself, already dequeued).
+    pub queue_depth: usize,
+    /// Lifetime session counters.
+    pub stats: SessionStats,
+    /// Mailbox wait latency over the recent commit window.
+    pub queue_ms: LatencySummary,
+    /// Transactional replay latency over the recent commit window.
+    pub commit_ms: LatencySummary,
+}
+
+/// An order-statistics summary of a latency sample window.
+///
+/// [`Self::count`] is the **cumulative** number of samples ever observed;
+/// the percentiles describe the most recent window (the worker keeps the
+/// last 256 samples). An empty window reports zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Cumulative samples observed over the session's lifetime.
+    pub count: u64,
+    /// Mean over the recent window (ms).
+    pub mean_ms: f64,
+    /// Median over the recent window (ms).
+    pub p50_ms: f64,
+    /// 95th percentile over the recent window (ms).
+    pub p95_ms: f64,
+    /// Maximum over the recent window (ms).
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample window; `count` is supplied by the caller
+    /// because the window may have dropped old samples.
+    pub(crate) fn from_window(count: u64, window: &[f64]) -> Self {
+        if window.is_empty() {
+            return LatencySummary {
+                count,
+                ..LatencySummary::default()
+            };
+        }
+        let mut sorted = window.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = |q: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        LatencySummary {
+            count,
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: rank(0.50),
+            p95_ms: rank(0.95),
+            max_ms: *sorted.last().expect("non-empty window"),
+        }
+    }
+}
+
+/// Where a worker sends a request's outcome. A dropped receiver is fine
+/// in either form; the send error is ignored.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplyTo {
+    /// An in-process caller blocked on its own one-shot channel
+    /// ([`SessionHandle::submit`](super::SessionHandle::submit)).
+    Local(Sender<Result<ServiceResponse>>),
+    /// A connection writer multiplexing many in-flight requests: the
+    /// outcome is tagged with the request's correlation id so pipelined
+    /// requests may resolve out of submission order (batch members all
+    /// complete at their shared commit).
+    Tagged {
+        /// The client-chosen correlation id, echoed verbatim.
+        id: u64,
+        /// The connection's shared outcome channel.
+        tx: Sender<(u64, Result<ServiceResponse>)>,
+    },
+}
+
+impl ReplyTo {
+    /// Delivers one outcome, consuming the reply slot.
+    pub(crate) fn send(self, outcome: Result<ServiceResponse>) {
+        match self {
+            ReplyTo::Local(tx) => {
+                let _ = tx.send(outcome);
+            }
+            ReplyTo::Tagged { id, tx } => {
+                let _ = tx.send((id, outcome));
+            }
+        }
+    }
+}
+
 /// What actually travels through a session mailbox: a request plus its
 /// reply channel and deadline bookkeeping, or the test/bench quiesce
 /// control message.
@@ -135,9 +238,8 @@ pub(crate) enum Envelope {
         /// The request (never [`ServiceRequest::Open`] — handles reject it
         /// before sending).
         req: ServiceRequest,
-        /// Where the worker sends the outcome. A dropped receiver is fine;
-        /// the send error is ignored.
-        reply: Sender<Result<ServiceResponse>>,
+        /// Where the worker sends the outcome.
+        reply: ReplyTo,
         /// Absolute deadline measured from submission. Expired requests
         /// are answered [`CoreError::Canceled`](crate::CoreError::Canceled)
         /// at dequeue without joining any batch; live ones thread the

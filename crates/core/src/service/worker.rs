@@ -2,14 +2,16 @@
 //! draining a bounded mailbox in FIFO order and coalescing compatible
 //! edit requests into shared transactional replays.
 
-use super::protocol::{Envelope, ServiceRequest, ServiceResponse};
-use super::{EditReceipt, SessionSnapshot};
+use super::protocol::{Envelope, LatencySummary, ReplyTo, ServiceRequest, ServiceResponse};
+use super::{EditReceipt, SessionSnapshot, StatsReport};
 use crate::cancel::CancelToken;
 use crate::pipeline::GsinoConfig;
 use crate::session::{EcoEdit, EcoSession, EditClass};
 use crate::{CoreError, Result};
 use gsino_grid::net::Circuit;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything a session worker needs, handed to its thread at spawn.
@@ -19,14 +21,54 @@ pub(crate) struct WorkerSpec {
     pub config: GsinoConfig,
     pub rx: Receiver<Envelope>,
     pub coalesce: bool,
+    /// Shared queue-depth gauge: handles increment at enqueue, the worker
+    /// decrements at dequeue (saturating — in-crate test helpers may
+    /// bypass the incrementing path).
+    pub depth: Arc<AtomicUsize>,
 }
 
 /// One coalesced member of an edit batch.
 struct Member {
     edits: Vec<EcoEdit>,
-    reply: Sender<Result<ServiceResponse>>,
+    reply: ReplyTo,
     deadline: Option<Instant>,
     submitted: Instant,
+}
+
+/// A bounded window of latency samples with a cumulative count — the
+/// source of one [`LatencySummary`].
+struct SampleRing {
+    window: Vec<f64>,
+    next: usize,
+    count: u64,
+}
+
+/// Recent-window size of the worker's latency rings (documented on
+/// [`LatencySummary`]).
+const RING_CAPACITY: usize = 256;
+
+impl SampleRing {
+    fn new() -> Self {
+        SampleRing {
+            window: Vec::with_capacity(RING_CAPACITY),
+            next: 0,
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, sample: f64) {
+        self.count += 1;
+        if self.window.len() < RING_CAPACITY {
+            self.window.push(sample);
+        } else {
+            self.window[self.next] = sample;
+            self.next = (self.next + 1) % RING_CAPACITY;
+        }
+    }
+
+    fn summary(&self) -> LatencySummary {
+        LatencySummary::from_window(self.count, &self.window)
+    }
 }
 
 /// The worker entry point. Builds the session (the expensive from-scratch
@@ -48,7 +90,16 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
         config,
         rx,
         coalesce,
+        depth,
     } = spec;
+    let dequeued_tick = |env: Envelope| {
+        // Saturating: the raw-tx staging helpers in the service tests
+        // enqueue without incrementing.
+        let _ = depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+            Some(d.saturating_sub(1))
+        });
+        env
+    };
     let mut session = match EcoSession::new(&circuit, &config) {
         Ok(s) => s,
         Err(e) => {
@@ -56,13 +107,17 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
             // retire; later senders observe the disconnect as
             // SessionClosed.
             while let Ok(env) = rx.try_recv() {
-                if let Envelope::Request { reply, .. } = env {
-                    let _ = reply.send(Err(e.clone()));
+                if let Envelope::Request { reply, .. } = dequeued_tick(env) {
+                    reply.send(Err(e.clone()));
                 }
             }
             return Err(e);
         }
     };
+    // Latency windows behind ServiceRequest::Stats: one queue-wait sample
+    // per committed batch member, one replay sample per shared commit.
+    let mut queue_ring = SampleRing::new();
+    let mut commit_ring = SampleRing::new();
     // An envelope pulled out of a coalescing drain because it was
     // incompatible with the batch; it is served before the next recv so
     // FIFO order is preserved.
@@ -71,7 +126,7 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
         let env = match carry.take() {
             Some(env) => env,
             None => match rx.recv() {
-                Ok(env) => env,
+                Ok(env) => dequeued_tick(env),
                 // Every handle and the service entry are gone; retire with
                 // the last committed state.
                 Err(_) => return Ok(session),
@@ -89,7 +144,7 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
                 submitted,
             } => {
                 if expired(deadline) {
-                    let _ = reply.send(Err(CoreError::Canceled { phase: "queue" }));
+                    reply.send(Err(CoreError::Canceled { phase: "queue" }));
                     continue;
                 }
                 match req {
@@ -100,21 +155,41 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
                             deadline,
                             submitted,
                         };
-                        carry = serve_edits(&name, &mut session, &rx, coalesce, first);
+                        let drain = Drain {
+                            rx: &rx,
+                            depth: &depth,
+                        };
+                        carry = serve_edits(
+                            &name,
+                            &mut session,
+                            drain,
+                            coalesce,
+                            first,
+                            &mut queue_ring,
+                            &mut commit_ring,
+                        );
                         debug_assert!(!session.in_transaction());
                     }
                     ServiceRequest::Query => {
-                        let _ =
-                            reply.send(Ok(ServiceResponse::Snapshot(snapshot(&name, &session))));
+                        reply.send(Ok(ServiceResponse::Snapshot(snapshot(&name, &session))));
+                    }
+                    ServiceRequest::Stats => {
+                        reply.send(Ok(ServiceResponse::Stats(StatsReport {
+                            session: name.clone(),
+                            queue_depth: depth.load(Ordering::Relaxed),
+                            stats: *session.stats(),
+                            queue_ms: queue_ring.summary(),
+                            commit_ms: commit_ring.summary(),
+                        })));
                     }
                     ServiceRequest::Verify => {
                         let outcome = session
                             .verify_now()
                             .map(|clean| ServiceResponse::Verified { clean });
-                        let _ = reply.send(outcome);
+                        reply.send(outcome);
                     }
                     ServiceRequest::Close => {
-                        let _ = reply.send(Ok(ServiceResponse::Closed {
+                        reply.send(Ok(ServiceResponse::Closed {
                             session: name.clone(),
                             stats: *session.stats(),
                         }));
@@ -123,13 +198,32 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
                     ServiceRequest::Open { .. } => {
                         // Handles reject Open before sending; answer typed
                         // anyway rather than trusting the client side.
-                        let _ = reply.send(Err(CoreError::BadConfig {
+                        reply.send(Err(CoreError::BadConfig {
                             reason: "ServiceRequest::Open submitted to a live session".into(),
                         }));
                     }
                 }
             }
         }
+    }
+}
+
+/// The mailbox end a coalescing drain pulls from, bundled with the
+/// queue-depth gauge it must tick down per dequeue.
+struct Drain<'a> {
+    rx: &'a Receiver<Envelope>,
+    depth: &'a AtomicUsize,
+}
+
+impl Drain<'_> {
+    fn try_recv(&self) -> Option<Envelope> {
+        let env = self.rx.try_recv().ok()?;
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+        Some(env)
     }
 }
 
@@ -140,15 +234,17 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
 fn serve_edits(
     name: &str,
     session: &mut EcoSession,
-    rx: &Receiver<Envelope>,
+    drain: Drain<'_>,
     coalesce: bool,
     first: Member,
+    queue_ring: &mut SampleRing,
+    commit_ring: &mut SampleRing,
 ) -> Option<Envelope> {
     let class = request_class(&first.edits);
     let mut batch = vec![first];
     let mut carry = None;
     if coalesce {
-        while let Ok(env) = rx.try_recv() {
+        while let Some(env) = drain.try_recv() {
             match env {
                 Envelope::Request {
                     req: ServiceRequest::Edit(edits),
@@ -157,7 +253,7 @@ fn serve_edits(
                     submitted,
                 } => {
                     if expired(deadline) {
-                        let _ = reply.send(Err(CoreError::Canceled { phase: "queue" }));
+                        reply.send(Err(CoreError::Canceled { phase: "queue" }));
                         continue;
                     }
                     if request_class(&edits) == class {
@@ -184,7 +280,7 @@ fn serve_edits(
             }
         }
     }
-    execute_batch(name, session, class, batch);
+    execute_batch(name, session, class, batch, queue_ring, commit_ring);
     carry
 }
 
@@ -200,7 +296,14 @@ fn serve_edits(
 /// overrides of the same sink last-write-wins), so survivors always
 /// replay in submission order, which also makes the outcome independent
 /// of *where* in the batch a rejected request sat.
-fn execute_batch(name: &str, session: &mut EcoSession, class: EditClass, batch: Vec<Member>) {
+fn execute_batch(
+    name: &str,
+    session: &mut EcoSession,
+    class: EditClass,
+    batch: Vec<Member>,
+    queue_ring: &mut SampleRing,
+    commit_ring: &mut SampleRing,
+) {
     let _ = name;
     let dequeued = Instant::now();
     let mut rejected: Vec<Option<CoreError>> = batch.iter().map(|_| None).collect();
@@ -246,6 +349,9 @@ fn execute_batch(name: &str, session: &mut EcoSession, class: EditClass, batch: 
         let t0 = Instant::now();
         committed = session.commit_with(&token);
         commit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if committed.is_ok() {
+            commit_ring.push(commit_ms);
+        }
     }
     debug_assert!(!session.in_transaction());
 
@@ -255,18 +361,22 @@ fn execute_batch(name: &str, session: &mut EcoSession, class: EditClass, batch: 
         let outcome = match rejected[i].take() {
             Some(err) => Err(err),
             None => match &committed {
-                Ok(()) => Ok(ServiceResponse::Committed(EditReceipt {
-                    edits: member.edits.len(),
-                    batch_requests,
-                    batch_edits,
-                    class,
-                    queue_ms: dequeued.duration_since(member.submitted).as_secs_f64() * 1e3,
-                    commit_ms,
-                })),
+                Ok(()) => {
+                    let queue_ms = dequeued.duration_since(member.submitted).as_secs_f64() * 1e3;
+                    queue_ring.push(queue_ms);
+                    Ok(ServiceResponse::Committed(EditReceipt {
+                        edits: member.edits.len(),
+                        batch_requests,
+                        batch_edits,
+                        class,
+                        queue_ms,
+                        commit_ms,
+                    }))
+                }
                 Err(e) => Err(e.clone()),
             },
         };
-        let _ = member.reply.send(outcome);
+        member.reply.send(outcome);
     }
 }
 

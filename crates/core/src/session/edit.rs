@@ -11,6 +11,7 @@ use crate::router::Weights;
 use crate::{CoreError, Result};
 use gsino_grid::net::{Circuit, CircuitEdit};
 use gsino_grid::GridError;
+use serde::{Deserialize, Serialize};
 
 /// One typed edit an [`EcoSession`](super::EcoSession) transaction can
 /// carry.
@@ -64,7 +65,7 @@ pub enum EcoEdit {
 /// batching compatibility key: requests whose edits share a class
 /// coalesce into one transactional replay without escalating anyone's
 /// cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EditClass {
     /// Routes stand; re-budget the edited nets and re-solve changed
     /// regions.

@@ -133,10 +133,11 @@ use gsino_sino::delta::DeltaEval;
 use gsino_sino::nss::NssModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Counters describing a session's lifetime (cumulative).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Commit attempts (successful or not).
     pub commits: u64,

@@ -19,9 +19,10 @@ use crate::keff::evaluate;
 use crate::layout::{Layout, Slot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Annealing schedule parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnnealConfig {
     /// Total proposed moves.
     pub iters: usize,

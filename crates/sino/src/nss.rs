@@ -18,9 +18,10 @@ use crate::solver::SinoSolver;
 use crate::Result;
 use gsino_grid::sensitivity::SensitivityModel;
 use gsino_numeric::{lstsq, Matrix};
+use serde::{Deserialize, Serialize};
 
 /// The fitted six-coefficient shield-count model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NssModel {
     a: [f64; 6],
     kth_ref: f64,

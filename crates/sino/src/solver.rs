@@ -7,9 +7,10 @@ use crate::instance::SinoInstance;
 use crate::keff::evaluate;
 use crate::layout::Layout;
 use crate::Result;
+use serde::{Deserialize, Serialize};
 
 /// Solver configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SolverConfig {
     /// Optional simulated-annealing polish after the greedy construction.
     /// `None` (the default) is the fast path used by the full-chip flow;

@@ -1,0 +1,94 @@
+//! A standalone GSINO routing server speaking the wire protocol of
+//! `PROTOCOL.md`, plus a demo client driving it over loopback.
+//!
+//! ```text
+//! cargo run --example gsino_server --release            # loopback demo
+//! cargo run --example gsino_server --release -- 0.0.0.0:7433   # serve
+//! ```
+//!
+//! With no arguments the example binds an ephemeral loopback port, runs a
+//! short [`NetClient`] session against itself (open → edit → stats →
+//! verify → close) and exits — a self-contained end-to-end smoke test.
+//! With a bind address it serves until killed (Ctrl-C).
+
+use gsino::core::service::net::{NetClient, NetServer};
+use gsino::core::service::{RoutingService, ServiceConfig};
+use gsino::grid::{Circuit, Net, Point, Rect, SensitivityModel};
+use gsino::{EcoEdit, GsinoConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = Arc::new(RoutingService::new(ServiceConfig::default()));
+
+    if let Some(addr) = std::env::args().nth(1) {
+        let server = NetServer::bind_tcp(&addr, Arc::clone(&service))?;
+        println!(
+            "gsino-server listening on {} (protocol in PROTOCOL.md)",
+            server.local_addr().map(|a| a.to_string()).unwrap_or(addr)
+        );
+        // Serve until the process is killed; the Drop impl drains
+        // connections if we ever fall out of this loop.
+        loop {
+            std::thread::park();
+        }
+    }
+
+    // Loopback demo: server and client in one process.
+    let server = NetServer::bind_tcp("127.0.0.1:0", Arc::clone(&service))?;
+    let addr = server.local_addr().expect("tcp listener has an address");
+    println!("demo server on {addr}");
+
+    let die = Rect::new(Point::new(0.0, 0.0), Point::new(512.0, 512.0))?;
+    let nets: Vec<Net> = (0..24u32)
+        .map(|i| {
+            let x = 16.0 + (i as f64 * 37.0) % 480.0;
+            let y = 16.0 + (i as f64 * 53.0) % 480.0;
+            Net::two_pin(i, Point::new(x, y), Point::new(500.0 - x, 500.0 - y))
+        })
+        .collect();
+    let circuit = Circuit::new("demo", die, nets)?;
+    let config = GsinoConfig::builder()
+        .sensitivity(SensitivityModel::new(0.3, 42))
+        .threads(1)
+        .build()?;
+
+    let mut client = NetClient::connect_tcp(addr)?;
+    println!(
+        "connected: {} v{} (max frame {} bytes)",
+        client.hello().proto,
+        client.hello().version,
+        client.hello().max_frame
+    );
+
+    client.open("demo", circuit, config)?;
+    let receipt = client.edit(
+        "demo",
+        vec![EcoEdit::TightenVth {
+            net: 3,
+            sink: 0,
+            vth: 0.12,
+        }],
+    )?;
+    println!(
+        "committed edit: batch of {} (queued {:.2} ms)",
+        receipt.batch_edits, receipt.queue_ms
+    );
+
+    let report = client.stats("demo")?;
+    println!(
+        "session stats: {} commits, queue depth {}, commit p95 {:.2} ms",
+        report.stats.commits, report.queue_depth, report.commit_ms.p95_ms
+    );
+
+    let clean = client.verify("demo")?;
+    println!("oracle audit clean: {clean}");
+
+    let stats = client.close("demo")?;
+    println!(
+        "closed after {} commits, {} edits applied",
+        stats.commits, stats.edits_applied
+    );
+
+    server.shutdown();
+    Ok(())
+}

@@ -20,6 +20,7 @@ pub use gsino_steiner as steiner;
 
 pub use gsino_core::{
     run_gsino, CancelToken, CoreError, EcoEdit, EcoSession, EditReceipt, ErrorKind, GsinoConfig,
-    GsinoConfigBuilder, GsinoOutcome, RoutingService, ServiceConfig, ServiceRequest,
-    ServiceResponse, SessionHandle, SessionSnapshot, SessionStats,
+    GsinoConfigBuilder, GsinoOutcome, LatencySummary, NetClient, NetServer, RoutingService,
+    ServiceConfig, ServiceRequest, ServiceResponse, SessionHandle, SessionSnapshot, SessionStats,
+    StatsReport,
 };
