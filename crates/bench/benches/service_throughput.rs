@@ -2,18 +2,24 @@
 //! workload against the [`RoutingService`] front.
 //!
 //! Three named sessions (generator circuits) are opened concurrently —
-//! each builds its from-scratch flow on its own worker thread — and then
-//! hammered by parallel clients submitting a budget/topology edit mix.
-//! Commits are slow relative to submission, so mailboxes back up and the
-//! workers' same-class coalescing kicks in naturally; a quiesced burst
-//! phase additionally stages a K-request batch that must commit as one
-//! replay. Reported: edits/sec, the batch-coalescing ratio
+//! each builds its from-scratch flow as its first slice on the worker
+//! pool — and then hammered by parallel clients submitting a
+//! budget/topology edit mix. Commits are slow relative to submission, so
+//! run queues back up and same-class coalescing kicks in naturally; a
+//! quiesced burst phase additionally stages a K-request batch that must
+//! commit as one replay. Reported: edits/sec, the batch-coalescing ratio
 //! (edits committed per transactional replay), and the end-to-end
-//! request latency distribution (p50/p99 ms). Every retired session is
-//! asserted bit-identical to a from-scratch GSINO run on its final
-//! circuit+config, so the numbers only count for correct replays. The
-//! summary goes to `BENCH_service.json` (override with
-//! `GSINO_BENCH_SERVICE_OUT`); `bench_gate` prints its metrics
+//! request latency distribution (p50/p99 ms).
+//!
+//! A second **many-sessions-few-cores** leg then runs 64 sessions on
+//! pools of 2 and 4 workers — the regime the work-stealing scheduler
+//! exists for — reporting wall time, throughput, and the steal/park
+//! counters.
+//!
+//! Every retired session is asserted bit-identical to a from-scratch
+//! GSINO run on its final circuit+config, so the numbers only count for
+//! correct replays. The summary goes to `BENCH_service.json` (override
+//! with `GSINO_BENCH_SERVICE_OUT`); `bench_gate` prints its metrics
 //! report-only.
 
 use gsino_bench::report::{service_out_path, JsonDoc};
@@ -34,6 +40,13 @@ const CLIENTS_PER_SESSION: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 12;
 const BURST_REQUESTS: usize = 8;
 const NETS_PER_SESSION: usize = 200;
+
+/// The many-sessions-few-cores leg: far more sessions than pool workers,
+/// exercising the scheduler's steal/park machinery under real load.
+const MANY_SESSIONS: usize = 64;
+const MANY_NETS: usize = 40;
+const MANY_REQUESTS: usize = 4;
+const MANY_POOLS: [usize; 2] = [2, 4];
 
 /// One client's measurements: end-to-end latency and the receipt for
 /// every committed request.
@@ -133,6 +146,138 @@ fn assert_matches_scratch(name: &str, session: &EcoSession) {
         "{name}: budgets diverged"
     );
     assert_eq!(session.sino(), &internals.sino, "{name}: sino diverged");
+}
+
+/// Runs the many-sessions leg on a fixed pool size and returns its
+/// metrics section. 64 sessions share `pool_threads` workers; each
+/// session is driven by its own client thread, so runnable sessions
+/// permanently outnumber workers and the scheduler's injector, stealing
+/// and parking all see traffic. Every retired session's stats are
+/// checked, and a deterministic sample is held to the from-scratch
+/// bit-identity bar (they are all twins of the same few flavors, so the
+/// sample covers every distinct final state).
+fn run_many_sessions(pool_threads: usize) -> Map {
+    let service = RoutingService::new(ServiceConfig {
+        max_sessions: MANY_SESSIONS,
+        pool_threads,
+        ..ServiceConfig::default()
+    });
+    let flow_config = GsinoConfig::builder()
+        .threads(1)
+        .build()
+        .expect("valid config");
+
+    let t_total = Instant::now();
+    // Four circuit flavors, 16 twin sessions each: the from-scratch
+    // sample below covers every flavor.
+    let handles: Vec<SessionHandle> = (0..MANY_SESSIONS)
+        .map(|i| {
+            let mut spec = CircuitSpec::ibm01();
+            spec.num_nets = MANY_NETS;
+            let circuit = generate(&spec, 3000 + (i % 4) as u64).expect("generator circuit");
+            service
+                .open(&format!("m{i:02}"), circuit, flow_config.clone())
+                .expect("open session")
+        })
+        .collect();
+    for h in &handles {
+        assert_eq!(h.query().expect("built").stats.commits, 0);
+    }
+    let open_s = t_total.elapsed().as_secs_f64();
+
+    let t_load = Instant::now();
+    let clients: Vec<_> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            let handle = h.clone();
+            std::thread::spawn(move || {
+                for r in 0..MANY_REQUESTS {
+                    let net = ((i % 4) * MANY_REQUESTS + r) as u32 % MANY_NETS as u32;
+                    loop {
+                        match handle.edit(vec![EcoEdit::TightenVth {
+                            net,
+                            sink: 0,
+                            vth: 0.10 + 0.001 * r as f64,
+                        }]) {
+                            Ok(_) => break,
+                            Err(e) if e.kind() == ErrorKind::Overloaded => {
+                                std::thread::yield_now();
+                            }
+                            Err(other) => panic!("unexpected service error: {other}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let load_s = t_load.elapsed().as_secs_f64();
+
+    let pool = service.pool_stats();
+    assert_eq!(pool.pool_threads, pool_threads);
+    assert_eq!(
+        pool.pinning_violations, 0,
+        "a session ran on two workers concurrently"
+    );
+
+    let retired: Vec<(String, EcoSession)> = service
+        .shutdown()
+        .into_iter()
+        .map(|(name, outcome)| (name.clone(), outcome.expect("graceful close")))
+        .collect();
+    assert_eq!(retired.len(), MANY_SESSIONS);
+    for (i, (name, session)) in retired.iter().enumerate() {
+        assert!(!session.in_transaction(), "{name} left a transaction open");
+        assert_eq!(
+            session.stats().edits_applied,
+            MANY_REQUESTS as u64,
+            "{name}: lost or duplicated edits"
+        );
+        if i % 16 == 0 {
+            assert_matches_scratch(name, session);
+        }
+    }
+    let total_s = t_total.elapsed().as_secs_f64();
+    let edits = (MANY_SESSIONS * MANY_REQUESTS) as f64;
+
+    println!(
+        "== many sessions, {MANY_SESSIONS} sessions x {MANY_NETS} nets, pool {pool_threads} =="
+    );
+    println!("  concurrent opens          {open_s:>9.2} s (all sessions)");
+    println!(
+        "  load                      {:>9} edits in {load_s:.2} s ({:.1} edits/sec)",
+        edits as u64,
+        edits / load_s
+    );
+    println!(
+        "  scheduler                 {:>9} steals, {} parks, {} runnable at rest",
+        pool.steals, pool.parks, pool.runnable_sessions
+    );
+    let busy: Vec<String> = pool
+        .workers
+        .iter()
+        .map(|w| format!("{:.0}ms/{}t", w.busy_ms, w.tasks))
+        .collect();
+    println!("  per-worker busy           {}", busy.join(", "));
+    println!("  every sampled session bit-identical to from-scratch: yes");
+
+    let mut m = Map::new();
+    m.insert("sessions", Value::U64(MANY_SESSIONS as u64));
+    m.insert("pool_threads", Value::U64(pool_threads as u64));
+    m.insert("open_s", Value::F64(open_s));
+    m.insert("load_s", Value::F64(load_s));
+    m.insert("total_s", Value::F64(total_s));
+    m.insert("edits_per_sec", Value::F64(edits / load_s));
+    m.insert("steals", Value::U64(pool.steals));
+    m.insert("parks", Value::U64(pool.parks));
+    m.insert(
+        "worker_tasks",
+        Value::Array(pool.workers.iter().map(|w| Value::U64(w.tasks)).collect()),
+    );
+    m
 }
 
 fn main() {
@@ -312,10 +457,18 @@ fn main() {
     service_m.insert("max_batch", Value::U64(max_batch as u64));
     service_m.insert("burst_max_batch", Value::U64(burst_max_batch as u64));
     service_m.insert("overload_retries", Value::U64(overload_retries));
+    // Many-sessions-few-cores matrix: pool sizes pinned explicitly (not
+    // auto) so the numbers are comparable across machines.
     let mut root = Map::new();
     root.insert("schema", Value::U64(1));
     root.insert("workload", Value::Object(workload));
     root.insert("service", Value::Object(service_m));
+    for pool_threads in MANY_POOLS {
+        root.insert(
+            format!("many_sessions_pool{pool_threads}"),
+            Value::Object(run_many_sessions(pool_threads)),
+        );
+    }
     let path = service_out_path();
     match serde_json::to_string_pretty(&JsonDoc(Value::Object(root))) {
         Ok(text) => {

@@ -103,6 +103,20 @@ const REPORT_METRICS: &[(&str, &str, &str)] = &[
     ("service edits/sec", "service", "edits_per_sec"),
     ("service coalescing", "service", "coalescing_ratio"),
     ("service p99 ms", "service", "p99_ms"),
+    (
+        "64-sess/2-pool edits/sec",
+        "many_sessions_pool2",
+        "edits_per_sec",
+    ),
+    ("64-sess/2-pool steals", "many_sessions_pool2", "steals"),
+    ("64-sess/2-pool parks", "many_sessions_pool2", "parks"),
+    (
+        "64-sess/4-pool edits/sec",
+        "many_sessions_pool4",
+        "edits_per_sec",
+    ),
+    ("64-sess/4-pool steals", "many_sessions_pool4", "steals"),
+    ("64-sess/4-pool parks", "many_sessions_pool4", "parks"),
 ];
 
 struct Args {

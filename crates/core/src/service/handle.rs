@@ -1,12 +1,12 @@
 //! The client facade: a cloneable, thread-safe handle to one live
-//! session's mailbox.
+//! session's run queue.
 
 use super::protocol::{Envelope, ReplyTo, ServiceRequest, ServiceResponse};
+use super::scheduler::{PoolShared, SessionCell};
 use super::{EditReceipt, SessionSnapshot, StatsReport};
 use crate::session::EcoEdit;
 use crate::{CoreError, Result};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -14,50 +14,45 @@ use std::time::{Duration, Instant};
 /// [`RoutingService`](super::RoutingService).
 ///
 /// Handles are cheap to clone and every clone targets the same bounded
-/// mailbox, so any number of client threads can submit concurrently; the
-/// session worker serializes their requests in FIFO order. Submission
-/// **never blocks on a full mailbox** — admission control answers
-/// [`CoreError::Overloaded`] immediately and the client decides whether
-/// to back off and retry ([`CoreError::is_retryable`]).
+/// run queue, so any number of client threads can submit concurrently;
+/// the scheduler pins the session to one pool worker at a time, which
+/// serializes their requests in FIFO order. Submission **never blocks on
+/// a full queue** — admission control answers [`CoreError::Overloaded`]
+/// immediately and the client decides whether to back off and retry
+/// ([`CoreError::is_retryable`]).
 ///
 /// A handle outliving its session is safe: every method reports
-/// [`CoreError::SessionClosed`] once the worker has retired.
-#[derive(Debug, Clone)]
+/// [`CoreError::SessionClosed`] once the session has retired.
+#[derive(Clone)]
 pub struct SessionHandle {
-    name: String,
-    tx: SyncSender<Envelope>,
-    capacity: usize,
-    /// Envelopes currently queued (shared with the worker, which
-    /// decrements at dequeue) — the [`StatsReport::queue_depth`] source.
-    depth: Arc<AtomicUsize>,
+    cell: Arc<SessionCell>,
+    pool: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("session", &self.cell.name)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SessionHandle {
-    pub(crate) fn new(
-        name: String,
-        tx: SyncSender<Envelope>,
-        capacity: usize,
-        depth: Arc<AtomicUsize>,
-    ) -> Self {
-        SessionHandle {
-            name,
-            tx,
-            capacity,
-            depth,
-        }
+    pub(crate) fn new(cell: Arc<SessionCell>, pool: Arc<PoolShared>) -> Self {
+        SessionHandle { cell, pool }
     }
 
     /// The session name this handle targets.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.cell.name
     }
 
     /// Submits one request and blocks until the session replies.
     ///
     /// # Errors
     ///
-    /// * [`CoreError::Overloaded`] — the mailbox is full (retryable);
-    /// * [`CoreError::SessionClosed`] — the worker has retired;
+    /// * [`CoreError::Overloaded`] — the run queue is full (retryable);
+    /// * [`CoreError::SessionClosed`] — the session has retired;
     /// * [`CoreError::BadConfig`] — [`ServiceRequest::Open`] was passed (a
     ///   handle is bound to an already-open session; open through
     ///   [`RoutingService::open`](super::RoutingService::open));
@@ -134,7 +129,7 @@ impl SessionHandle {
     }
 
     /// Reads the session's service-level health counters (queue depth,
-    /// lifetime stats, recent latency summaries).
+    /// lifetime stats, recent latency summaries, pool gauges).
     ///
     /// # Errors
     ///
@@ -146,13 +141,18 @@ impl SessionHandle {
         }
     }
 
-    /// Pauses the session worker until the returned guard is dropped (or
-    /// [`QuiesceGuard::resume`]d). The call blocks until the worker
+    /// Pauses the session until the returned guard is dropped (or
+    /// [`QuiesceGuard::resume`]d). The call blocks until the session
     /// acknowledges — i.e. until everything submitted before it has been
     /// processed — so requests staged *while quiesced* are guaranteed to
     /// be dequeued together in one coalescing drain. A test/bench
     /// affordance for making batching deterministic; production clients
     /// never need it.
+    ///
+    /// The **pool worker serving the session blocks** for the quiesce's
+    /// duration, so a held guard occupies one of the pool's
+    /// [`pool_threads`](super::ServiceConfig::pool_threads) — on a
+    /// one-worker pool it pauses the whole service.
     ///
     /// # Errors
     ///
@@ -166,7 +166,7 @@ impl SessionHandle {
             resume: resume_rx,
         })?;
         ack_rx.recv().map_err(|_| CoreError::SessionClosed {
-            session: self.name.clone(),
+            session: self.cell.name.clone(),
         })?;
         Ok(QuiesceGuard {
             resume: Some(resume_tx),
@@ -193,7 +193,7 @@ impl SessionHandle {
             submitted: Instant::now(),
         })?;
         reply_rx.recv().map_err(|_| CoreError::SessionClosed {
-            session: self.name.clone(),
+            session: self.cell.name.clone(),
         })?
     }
 
@@ -224,37 +224,27 @@ impl SessionHandle {
         })
     }
 
-    /// Admission control: `try_send` into the bounded mailbox, mapping a
-    /// full queue to [`CoreError::Overloaded`] and a retired worker to
-    /// [`CoreError::SessionClosed`]. Successful sends tick the shared
-    /// queue-depth gauge; the worker ticks it back down at dequeue.
+    /// Admission control: a bounded push into the session's run queue
+    /// ([`CoreError::Overloaded`] when full, [`CoreError::SessionClosed`]
+    /// when retired), then a scheduler notify so an idle session becomes
+    /// runnable (waking a parked pool worker if all were idle).
     fn enqueue(&self, env: Envelope) -> Result<()> {
-        match self.tx.try_send(env) {
-            Ok(()) => {
-                self.depth.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(TrySendError::Full(_)) => Err(CoreError::Overloaded {
-                session: self.name.clone(),
-                capacity: self.capacity,
-            }),
-            Err(TrySendError::Disconnected(_)) => Err(CoreError::SessionClosed {
-                session: self.name.clone(),
-            }),
-        }
+        self.cell.push(env)?;
+        self.pool.notify(&self.cell);
+        Ok(())
     }
 }
 
-/// Keeps a session worker paused; dropping it (or calling
-/// [`Self::resume`]) lets the worker drain everything staged meanwhile as
-/// one batch. See [`SessionHandle::quiesce`].
+/// Keeps a session paused; dropping it (or calling [`Self::resume`])
+/// lets the serving worker drain everything staged meanwhile as one
+/// batch. See [`SessionHandle::quiesce`].
 #[derive(Debug)]
 pub struct QuiesceGuard {
     resume: Option<Sender<()>>,
 }
 
 impl QuiesceGuard {
-    /// Resumes the worker (equivalent to dropping the guard, but reads
+    /// Resumes the session (equivalent to dropping the guard, but reads
     /// better at call sites).
     pub fn resume(self) {}
 }

@@ -3,29 +3,42 @@
 //!
 //! An [`EcoSession`] is a single-owner object — exactly one caller may
 //! drive its begin/apply/commit cycle at a time. A [`RoutingService`]
-//! turns a fleet of them into a server: each named session runs on its
-//! own **worker thread** behind a bounded mailbox, any number of client
-//! threads hold cloneable [`SessionHandle`]s, and the typed
+//! turns a fleet of them into a server: each named session owns a
+//! bounded **run queue** scheduled onto a fixed **worker pool** (see
+//! [`ServiceConfig::pool_threads`]), any number of client threads hold
+//! cloneable [`SessionHandle`]s, and the typed
 //! [`ServiceRequest`]/[`ServiceResponse`] vocabulary is the entire wire
 //! surface.
 //!
 //! # Execution model
 //!
 //! ```text
-//!  clients                 mailboxes (bounded)         workers
-//!  ───────                 ───────────────────         ───────
-//!  handle.edit(…) ──try_send──▶ [req|req|req] ──recv──▶ thread "a"
-//!  handle.query() ─┐                                     owns EcoSession
-//!                  └─ Full? ──▶ Err(Overloaded)           begin/apply*/commit
+//!  clients                run queues (bounded)        worker pool
+//!  ───────                ────────────────────        ───────────
+//!  handle.edit(…) ──push──▶ [req|req|req]──┐    ┌──▶ worker 0
+//!  handle.query() ─┐                       ├─sched─▶ worker 1
+//!                  └─ Full? ─▶ Err(Overloaded)  └──▶ …  (steal, park)
 //! ```
 //!
-//! * **FIFO per session** — one worker drains one mailbox, so requests
-//!   against a session execute in submission order and never race.
-//! * **Admission control** — submission is `try_send` into a bounded
-//!   queue: a full mailbox answers [`CoreError::Overloaded`] immediately
-//!   (retryable) instead of blocking the client; the session table itself
-//!   is bounded by [`ServiceConfig::max_sessions`].
-//! * **Request batching** — the worker greedily drains queued
+//! Sessions no longer own threads: a fixed pool of
+//! [`ServiceConfig::pool_threads`] workers executes *session slices* —
+//! one worker claims a runnable session, drains a bounded quantum of its
+//! queue, and requeues or parks it. A work-stealing scheduler (global
+//! injector + per-worker deques, randomized stealing, condvar parking)
+//! keeps thousands of mostly-idle sessions cheap: a quiet service burns
+//! ~zero CPU. See [`scheduler`](self) internals for the pinning state
+//! machine; [`StatsReport::pool`] exposes the live gauges.
+//!
+//! * **FIFO per session** — a *session-pinning* rule guarantees at most
+//!   one worker executes a given session's envelopes at a time, and only
+//!   that worker pops its queue, so requests execute in submission order
+//!   and never race — outputs are **bit-identical to the former
+//!   thread-per-session model at any pool size**.
+//! * **Admission control** — submission is a bounded push: a full run
+//!   queue answers [`CoreError::Overloaded`] immediately (retryable)
+//!   instead of blocking the client; the session table itself is bounded
+//!   by [`ServiceConfig::max_sessions`].
+//! * **Request batching** — the serving worker greedily drains queued
 //!   [`ServiceRequest::Edit`] requests of the same [`EditClass`](crate::session::EditClass) into one
 //!   transactional begin/apply*/commit, so a burst of compatible edits
 //!   pays one replay instead of many. Each [`EditReceipt`] records the
@@ -35,13 +48,14 @@
 //! * **Deadlines** — [`SessionHandle::submit_by`] threads an absolute
 //!   deadline from submission through queueing into the replay's
 //!   [`CancelToken`](crate::cancel::CancelToken); an expired request is
-//!   answered [`CoreError::Canceled`] without touching the session.
+//!   answered [`CoreError::Canceled`] without touching the session (and
+//!   counted in [`StatsReport::canceled_in_queue`]).
 //! * **Graceful shutdown** — [`RoutingService::close`] /
 //!   [`RoutingService::shutdown`] enqueue a close behind everything
-//!   already queued, join the worker, and hand back the retired
-//!   [`EcoSession`] — whose state is always bit-identical to its last
-//!   successful commit, because the worker never leaves a transaction
-//!   open between requests.
+//!   already queued, wait for the scheduler to serve it, and hand back
+//!   the retired [`EcoSession`] — whose state is always bit-identical to
+//!   its last successful commit, because a slice never leaves a
+//!   transaction open between requests.
 //!
 //! # Example
 //!
@@ -84,40 +98,44 @@
 mod handle;
 pub mod net;
 mod protocol;
+mod scheduler;
 mod worker;
 
 pub use handle::{QuiesceGuard, SessionHandle};
 pub use net::{NetClient, NetServer};
 pub use protocol::{
-    EditReceipt, LatencySummary, ServiceRequest, ServiceResponse, SessionSnapshot, StatsReport,
+    EditReceipt, LatencySummary, PoolStats, ServiceRequest, ServiceResponse, SessionSnapshot,
+    StatsReport, WorkerGauge,
 };
 
 use crate::pipeline::GsinoConfig;
 use crate::session::EcoSession;
 use crate::{CoreError, Result};
 use gsino_grid::net::Circuit;
-use protocol::{Envelope, ReplyTo};
+use scheduler::{Pool, SessionCell};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, sync_channel};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Instant;
+use worker::Body;
 
 /// Capacity limits for a [`RoutingService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
-    /// Bounded depth of each session mailbox; submission to a full
-    /// mailbox is rejected with [`CoreError::Overloaded`]. Clamped to at
+    /// Bounded depth of each session run queue; submission to a full
+    /// queue is rejected with [`CoreError::Overloaded`]. Clamped to at
     /// least 1.
     pub mailbox_capacity: usize,
     /// Maximum live sessions; opening beyond it is rejected with
     /// [`CoreError::Overloaded`].
     pub max_sessions: usize,
-    /// Whether workers coalesce queued same-class edit requests into one
-    /// transactional replay. On by default; turn off to force one commit
-    /// per request (e.g. to measure batching's effect).
+    /// Whether the serving worker coalesces queued same-class edit
+    /// requests into one transactional replay. On by default; turn off to
+    /// force one commit per request (e.g. to measure batching's effect).
     pub coalesce: bool,
+    /// Workers in the shared execution pool. `0` (the default) means
+    /// *auto*: the machine's available parallelism. Sessions far
+    /// outnumbering workers is the intended regime — idle sessions cost
+    /// no thread, and outputs are bit-identical at any pool size.
+    pub pool_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -126,15 +144,9 @@ impl Default for ServiceConfig {
             mailbox_capacity: 64,
             max_sessions: 16,
             coalesce: true,
+            pool_threads: 0,
         }
     }
-}
-
-/// One live session: the mailbox entry plus the worker to join at close.
-struct SessionEntry {
-    tx: mpsc::SyncSender<Envelope>,
-    join: JoinHandle<Result<EcoSession>>,
-    depth: Arc<AtomicUsize>,
 }
 
 /// A multi-session ECO server front. See the [module docs](self) for the
@@ -146,27 +158,44 @@ struct SessionEntry {
 /// only shared state and is never held across a blocking operation.
 ///
 /// Dropping the service closes every remaining session gracefully
-/// (enqueue-behind-pending close, then join), discarding the retired
-/// sessions. Hold no [`QuiesceGuard`] across the drop, or the join waits
-/// on it.
+/// (enqueue-behind-pending close, wait for the scheduler to serve it),
+/// discarding the retired sessions, then joins the worker pool. Hold no
+/// [`QuiesceGuard`] across the drop, or the shutdown waits on it.
 pub struct RoutingService {
     config: ServiceConfig,
-    sessions: Mutex<BTreeMap<String, SessionEntry>>,
+    pool: Pool,
+    sessions: Mutex<BTreeMap<String, Arc<SessionCell>>>,
 }
 
 impl RoutingService {
-    /// An empty service with the given capacity limits.
+    /// An empty service with the given capacity limits. Spawns the worker
+    /// pool immediately (the threads park until sessions arrive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a pool worker thread — the pool
+    /// is the service's entire execution substrate.
     pub fn new(config: ServiceConfig) -> Self {
+        let pool_threads = if config.pool_threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.pool_threads
+        };
         RoutingService {
             config: ServiceConfig {
                 mailbox_capacity: config.mailbox_capacity.max(1),
+                pool_threads,
                 ..config
             },
+            pool: Pool::new(pool_threads),
             sessions: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// The capacity limits this service enforces.
+    /// The capacity limits this service enforces, with
+    /// [`ServiceConfig::pool_threads`] resolved to the actual pool size.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
     }
@@ -176,65 +205,58 @@ impl RoutingService {
         self.lock().keys().cloned().collect()
     }
 
-    /// Opens a named session: spawns its worker thread, which routes
-    /// `circuit` from scratch and then serves the mailbox. Returns
-    /// immediately — the expensive flow runs on the worker, so concurrent
-    /// opens build in parallel and requests submitted meanwhile simply
-    /// wait in the mailbox (a failed build answers them all with the
-    /// build error).
+    /// A point-in-time snapshot of the scheduler gauges (steals, parks,
+    /// runnable sessions, per-worker utilization) — the same data every
+    /// [`StatsReport::pool`] carries, readable without a live session.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.shared.stats()
+    }
+
+    /// Opens a named session and schedules its from-scratch build as the
+    /// session's first slice on the worker pool. Returns immediately —
+    /// concurrent opens build in parallel (up to the pool size) and
+    /// requests submitted meanwhile simply wait in the run queue (a
+    /// failed build answers them all with the build error).
     ///
     /// # Errors
     ///
     /// * [`CoreError::SessionBusy`] — the name is already live
     ///   (retryable once the holder closes it);
-    /// * [`CoreError::Overloaded`] — the session table is full;
-    /// * [`CoreError::BadConfig`] — the OS refused a thread.
+    /// * [`CoreError::Overloaded`] — the session table is full.
     pub fn open(&self, name: &str, circuit: Circuit, config: GsinoConfig) -> Result<SessionHandle> {
-        let mut sessions = self.lock();
-        // Reap retired workers (handle-level Close, build failure) so
-        // their names become available again without an explicit close().
-        sessions.retain(|_, entry| !entry.join.is_finished());
-        if sessions.contains_key(name) {
-            return Err(CoreError::SessionBusy {
-                session: name.to_string(),
-            });
-        }
-        if sessions.len() >= self.config.max_sessions {
-            return Err(CoreError::Overloaded {
-                session: name.to_string(),
-                capacity: self.config.max_sessions,
-            });
-        }
-        let (tx, rx) = sync_channel(self.config.mailbox_capacity);
-        let depth = Arc::new(AtomicUsize::new(0));
-        let spec = worker::WorkerSpec {
-            name: name.to_string(),
-            circuit,
-            config,
-            rx,
-            coalesce: self.config.coalesce,
-            depth: Arc::clone(&depth),
+        let cell = {
+            let mut sessions = self.lock();
+            // Reap retired sessions (handle-level Close, build failure) so
+            // their names become available again without an explicit
+            // close().
+            sessions.retain(|_, cell| !cell.retired());
+            if sessions.contains_key(name) {
+                return Err(CoreError::SessionBusy {
+                    session: name.to_string(),
+                });
+            }
+            if sessions.len() >= self.config.max_sessions {
+                return Err(CoreError::Overloaded {
+                    session: name.to_string(),
+                    capacity: self.config.max_sessions,
+                });
+            }
+            let cell = SessionCell::new(
+                name.to_string(),
+                self.config.mailbox_capacity,
+                self.config.coalesce,
+                Body::Unbuilt {
+                    circuit: Box::new(circuit),
+                    config: Box::new(config),
+                },
+            );
+            sessions.insert(name.to_string(), Arc::clone(&cell));
+            cell
         };
-        let join = std::thread::Builder::new()
-            .name(format!("gsino-svc-{name}"))
-            .spawn(move || worker::run(spec))
-            .map_err(|e| CoreError::BadConfig {
-                reason: format!("failed to spawn session worker: {e}"),
-            })?;
-        sessions.insert(
-            name.to_string(),
-            SessionEntry {
-                tx: tx.clone(),
-                join,
-                depth: Arc::clone(&depth),
-            },
-        );
-        Ok(SessionHandle::new(
-            name.to_string(),
-            tx,
-            self.config.mailbox_capacity,
-            depth,
-        ))
+        // Kick the build off eagerly rather than waiting for the first
+        // request to schedule the session.
+        self.pool.shared.notify(&cell);
+        Ok(SessionHandle::new(cell, Arc::clone(&self.pool.shared)))
     }
 
     /// A new handle to an already-open session.
@@ -244,21 +266,19 @@ impl RoutingService {
     /// [`CoreError::SessionClosed`] if `name` is not live.
     pub fn handle(&self, name: &str) -> Result<SessionHandle> {
         let sessions = self.lock();
-        let entry = sessions.get(name).ok_or_else(|| CoreError::SessionClosed {
+        let cell = sessions.get(name).ok_or_else(|| CoreError::SessionClosed {
             session: name.to_string(),
         })?;
         Ok(SessionHandle::new(
-            name.to_string(),
-            entry.tx.clone(),
-            self.config.mailbox_capacity,
-            Arc::clone(&entry.depth),
+            Arc::clone(cell),
+            Arc::clone(&self.pool.shared),
         ))
     }
 
     /// The uniform typed entry point: routes [`ServiceRequest::Open`] and
     /// [`ServiceRequest::Close`] to session management (the retired
     /// session of a `Close` is discarded — use [`Self::close`] to keep
-    /// it) and everything else through the named session's mailbox.
+    /// it) and everything else through the named session's run queue.
     ///
     /// # Errors
     ///
@@ -283,70 +303,52 @@ impl RoutingService {
     }
 
     /// Gracefully closes a session: a close request is enqueued *behind*
-    /// everything already in the mailbox (blocking for a slot if it is
-    /// full — the worker is draining, so one frees up), the worker
-    /// retires after serving it, and the underlying [`EcoSession`] is
-    /// handed back — bit-identical to its last successful commit.
+    /// everything already in the run queue (bypassing the capacity bound
+    /// — close is never bounced), the session retires after the scheduler
+    /// serves it, and the underlying [`EcoSession`] is handed back —
+    /// bit-identical to its last successful commit.
     ///
     /// # Errors
     ///
     /// [`CoreError::SessionClosed`] if `name` is not live; the build
     /// error if the session's from-scratch flow had failed.
     pub fn close(&self, name: &str) -> Result<EcoSession> {
-        let entry = self
+        let cell = self
             .lock()
             .remove(name)
             .ok_or_else(|| CoreError::SessionClosed {
                 session: name.to_string(),
             })?;
-        Self::retire(name, entry)
+        self.retire_cell(&cell)
     }
 
     /// Closes every live session (each drains its queue first) and
     /// returns the retired sessions by name. Consumes the service; the
-    /// subsequent drop has nothing left to do.
+    /// subsequent drop joins the (now idle) worker pool.
     pub fn shutdown(self) -> Vec<(String, Result<EcoSession>)> {
-        let entries: Vec<(String, SessionEntry)> =
+        let cells: Vec<(String, Arc<SessionCell>)> =
             std::mem::take(&mut *self.lock()).into_iter().collect();
-        entries
+        cells
             .into_iter()
-            .map(|(name, entry)| {
-                let retired = Self::retire(&name, entry);
+            .map(|(name, cell)| {
+                let retired = self.retire_cell(&cell);
                 (name, retired)
             })
             .collect()
     }
 
-    /// Enqueues a close behind pending work, joins the worker, and
-    /// returns its session.
-    fn retire(name: &str, entry: SessionEntry) -> Result<EcoSession> {
-        let (reply_tx, _reply_rx) = mpsc::channel();
-        // A blocking send: close must not jump the queue, and must not be
-        // bounced by a momentarily full mailbox. If the worker already
-        // retired (handle-level Close), the send fails and the join below
-        // still yields the session.
-        if entry
-            .tx
-            .send(Envelope::Request {
-                req: ServiceRequest::Close,
-                reply: ReplyTo::Local(reply_tx),
-                deadline: None,
-                submitted: Instant::now(),
-            })
-            .is_ok()
-        {
-            entry.depth.fetch_add(1, Ordering::Relaxed);
+    /// Enqueues a close behind pending work, waits for the scheduler to
+    /// retire the session, and returns it. If the session already retired
+    /// (handle-level Close, build failure), the completion slot is
+    /// already filled and this returns immediately.
+    fn retire_cell(&self, cell: &Arc<SessionCell>) -> Result<EcoSession> {
+        if cell.push_close(scheduler::close_envelope()) {
+            self.pool.shared.notify(cell);
         }
-        drop(entry.tx);
-        match entry.join.join() {
-            Ok(outcome) => outcome,
-            Err(_) => Err(CoreError::BadConfig {
-                reason: format!("session `{name}` worker panicked"),
-            }),
-        }
+        cell.wait_done()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SessionEntry>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<SessionCell>>> {
         self.sessions
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -355,22 +357,30 @@ impl RoutingService {
 
 impl Drop for RoutingService {
     fn drop(&mut self) {
-        let entries: Vec<(String, SessionEntry)> =
+        let cells: Vec<(String, Arc<SessionCell>)> =
             std::mem::take(&mut *self.lock()).into_iter().collect();
-        for (name, entry) in entries {
-            let _ = Self::retire(&name, entry);
+        for (_name, cell) in cells {
+            if cell.push_close(scheduler::close_envelope()) {
+                self.pool.shared.notify(&cell);
+            }
+            let _ = cell.wait_done();
         }
+        // The Pool field drops after this body: it flags shutdown and
+        // joins the workers, which exit once no runnable work remains —
+        // i.e. the injector and every deque drain clean.
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::protocol::{Envelope, ReplyTo};
     use super::*;
     use crate::session::EcoEdit;
     use gsino_grid::geom::{Point, Rect};
     use gsino_grid::net::Net;
     use gsino_sino::nss::NssModel;
-    use std::time::Duration;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
 
     fn small_circuit(n: u32) -> Circuit {
         let die = Rect::new(Point::new(0.0, 0.0), Point::new(640.0, 640.0)).unwrap();
@@ -477,38 +487,48 @@ mod tests {
             Err(CoreError::Overloaded { capacity, .. }) => assert_eq!(capacity, 1),
             other => panic!("expected Overloaded, got {other:?}"),
         }
-        drop(service); // graceful drop joins the worker
+        drop(service); // graceful drop retires the session and joins the pool
     }
 
-    /// Stages an edit request directly in the session's mailbox (no
-    /// blocking wait on the reply), returning the reply receiver. Tests
-    /// use this while the worker is quiesced to make coalescing fully
+    /// Stages a request directly in the session's run queue (no blocking
+    /// wait on the reply), returning the reply receiver. Tests use this
+    /// while the session is quiesced to make coalescing fully
     /// deterministic — the envelopes are enqueued synchronously by the
     /// test thread itself.
+    fn stage(
+        service: &RoutingService,
+        name: &str,
+        edits: Vec<EcoEdit>,
+        deadline: Option<Instant>,
+    ) -> mpsc::Receiver<Result<ServiceResponse>> {
+        let cell = Arc::clone(service.lock().get(name).unwrap());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        cell.push(Envelope::Request {
+            req: ServiceRequest::Edit(edits),
+            reply: ReplyTo::Local(reply_tx),
+            deadline,
+            submitted: Instant::now(),
+        })
+        .unwrap();
+        service.pool.shared.notify(&cell);
+        reply_rx
+    }
+
     fn stage_edit(
         service: &RoutingService,
         name: &str,
         edits: Vec<EcoEdit>,
     ) -> mpsc::Receiver<Result<ServiceResponse>> {
-        let tx = service.lock().get(name).unwrap().tx.clone();
-        let (reply_tx, reply_rx) = mpsc::channel();
-        tx.try_send(Envelope::Request {
-            req: ServiceRequest::Edit(edits),
-            reply: ReplyTo::Local(reply_tx),
-            deadline: None,
-            submitted: Instant::now(),
-        })
-        .unwrap();
-        reply_rx
+        stage(service, name, edits, None)
     }
 
     #[test]
     fn quiesced_burst_coalesces_into_one_commit() {
         let service = RoutingService::new(ServiceConfig::default());
         let handle = service.open("q", small_circuit(12), fast_config()).unwrap();
-        // quiesce() returns only after the worker acknowledged, so the
-        // mailbox is empty and everything staged below is dequeued in one
-        // coalescing drain on resume.
+        // quiesce() returns only after the session acknowledged, so the
+        // run queue is empty and everything staged below is dequeued in
+        // one coalescing drain on resume.
         let paused = handle.quiesce().unwrap();
         let replies: Vec<_> = (0..3)
             .map(|i| {
@@ -671,6 +691,10 @@ mod tests {
         assert_eq!(report.queue_ms.count, 0);
         assert_eq!(report.commit_ms.count, 0);
         assert_eq!(report.commit_ms, crate::service::LatencySummary::default());
+        assert_eq!(report.canceled_in_queue, 0);
+        assert_eq!(report.pool.pool_threads, service.config().pool_threads);
+        assert_eq!(report.pool.workers.len(), report.pool.pool_threads);
+        assert_eq!(report.pool.pinning_violations, 0);
 
         // Stage a burst while quiesced: Stats dequeued behind it must see
         // the staged envelopes pass through (depth drains back to 0), and
@@ -705,6 +729,52 @@ mod tests {
         assert!(report.commit_ms.max_ms >= report.commit_ms.p50_ms);
         assert!(report.queue_ms.mean_ms >= 0.0);
         drop(service);
+    }
+
+    #[test]
+    fn canceled_in_queue_is_accounted_in_counter_and_window() {
+        let service = RoutingService::new(ServiceConfig::default());
+        let handle = service.open("cq", small_circuit(8), fast_config()).unwrap();
+        let paused = handle.quiesce().unwrap();
+        // One already-expired request, one live one, staged behind the
+        // quiesce so both are dequeued in the same drain.
+        let dead = stage(
+            &service,
+            "cq",
+            vec![EcoEdit::TightenVth {
+                net: 0,
+                sink: 0,
+                vth: 0.10,
+            }],
+            Some(Instant::now()),
+        );
+        let live = stage_edit(
+            &service,
+            "cq",
+            vec![EcoEdit::TightenVth {
+                net: 1,
+                sink: 0,
+                vth: 0.11,
+            }],
+        );
+        paused.resume();
+        assert!(matches!(
+            dead.recv().unwrap(),
+            Err(CoreError::Canceled { .. })
+        ));
+        assert!(live.recv().unwrap().is_ok());
+        let report = handle.stats().unwrap();
+        // The gauge is the queue length itself, so nothing lingers.
+        assert_eq!(report.queue_depth, 0);
+        assert_eq!(report.canceled_in_queue, 1);
+        // Exactly one committed member + one cancel left the queue:
+        // the wait window holds one sample for each, no more, no less.
+        assert_eq!(report.queue_ms.count, 2);
+        assert_eq!(report.commit_ms.count, 1);
+        assert_eq!(report.stats.commits, 1);
+        let session = service.close("cq").unwrap();
+        // The expired request never touched the session.
+        assert_eq!(session.stats().edits_applied, 1);
     }
 
     #[test]
@@ -748,7 +818,7 @@ mod tests {
                 Duration::ZERO, // already expired when dequeued
             )
         });
-        paused.resume(); // the client blocks on its reply until the worker drains
+        paused.resume(); // the client blocks on its reply until the drain
         let outcome = client.join().unwrap();
         assert!(matches!(outcome, Err(CoreError::Canceled { .. })));
         let session = service.close("dl").unwrap();
@@ -772,7 +842,7 @@ mod tests {
     fn build_failure_surfaces_on_requests_and_close() {
         let service = RoutingService::new(ServiceConfig::default());
         let bad = GsinoConfig {
-            vth: -1.0, // rejected by validate() inside the worker's build
+            vth: -1.0, // rejected by validate() inside the build slice
             ..fast_config()
         };
         let handle = service.open("bad", small_circuit(6), bad).unwrap();
@@ -783,5 +853,42 @@ mod tests {
         ));
         let closed = service.close("bad");
         assert!(matches!(closed, Err(CoreError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn explicit_pool_sizes_stay_bit_identical() {
+        // The same edit sequence against pool sizes 1 and 4 must retire
+        // byte-for-byte identical sessions — the scheduler's core
+        // conformance promise, checked here on a small instance (the
+        // 64-session stress test covers the big one).
+        let run = |pool_threads: usize| {
+            let service = RoutingService::new(ServiceConfig {
+                pool_threads,
+                ..ServiceConfig::default()
+            });
+            let handle = service.open("p", small_circuit(10), fast_config()).unwrap();
+            for i in 0..4 {
+                handle
+                    .edit(vec![EcoEdit::TightenVth {
+                        net: i,
+                        sink: 0,
+                        vth: 0.10 + 0.005 * f64::from(i),
+                    }])
+                    .unwrap();
+            }
+            let report = handle.stats().unwrap();
+            assert_eq!(report.pool.pool_threads, pool_threads);
+            assert_eq!(report.pool.pinning_violations, 0);
+            let session = service.close("p").unwrap();
+            assert_eq!(session.stats().commits, 4);
+            session
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.routes(), four.routes());
+        assert_eq!(one.budgets(), four.budgets());
+        assert_eq!(one.sino(), four.sino());
+        assert_eq!(one.config().vth_overrides, four.config().vth_overrides);
+        assert_eq!(one.stats().edits_applied, four.stats().edits_applied);
     }
 }

@@ -11,14 +11,14 @@
 //!   envelopes with correlation ids, and the [`WireError`] form that
 //!   carries [`CoreError`](crate::CoreError) kinds across the wire.
 //! - [`NetServer`] — the accept loop; one reader/writer thread pair per
-//!   connection, dispatching into the service's per-session mailboxes so
-//!   pipelined requests coalesce into batches exactly as in-process
-//!   submissions do.
+//!   connection, dispatching into the service's per-session run queues
+//!   (executed by the shared worker pool) so pipelined requests coalesce
+//!   into batches exactly as in-process submissions do.
 //! - [`NetClient`] — a blocking client library with typed conveniences
 //!   mirroring [`SessionHandle`](super::SessionHandle).
 //!
 //! The session layer underneath is untouched by all of this: a networked
-//! edit takes the same worker-thread path as an in-process one, so a
+//! edit takes the same scheduler path as an in-process one, so a
 //! session driven over loopback retires bit-identical to one driven
 //! through [`SessionHandle`](super::SessionHandle) directly (proven by
 //! `tests/wire_protocol.rs`).

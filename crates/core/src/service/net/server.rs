@@ -9,14 +9,15 @@
 //! The reader never writes and the writer never reads, so a slow client
 //! draining responses cannot stall request intake, and pipelined requests
 //! resolve out of order through their correlation ids — exactly what the
-//! session workers' batch coalescing produces naturally (every member of
-//! a coalesced batch completes at its shared commit).
+//! scheduler's batch coalescing produces naturally (every member of a
+//! coalesced batch completes at its shared commit).
 //!
 //! The session layer is untouched underneath: a dispatched request is a
-//! [`ReplyTo::Tagged`](super::super::protocol::ReplyTo) envelope in the
-//! same bounded mailbox in-process callers use, with the same admission
-//! control (a full mailbox answers `overloaded` on the wire), the same
-//! batching, and the same worker-never-holds-a-transaction invariant.
+//! [`ReplyTo::Tagged`](super::super::protocol::ReplyTo) envelope pushed
+//! into the same bounded per-session run queue in-process callers use —
+//! executed by the shared worker pool, with the same admission control (a
+//! full queue answers `overloaded` on the wire), the same batching, and
+//! the same worker-never-holds-a-transaction invariant.
 //!
 //! # Connection lifecycle
 //!
@@ -358,9 +359,9 @@ fn dispatch_frame(
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     match req {
         // Service-level verbs run inline on the reader (open returns
-        // immediately — the flow builds on the session's worker thread;
-        // close drains that session's mailbox first, serializing this
-        // connection's intake behind it by design).
+        // immediately — the flow builds as the session's first slice on
+        // the worker pool; close drains that session's run queue first,
+        // serializing this connection's intake behind it by design).
         ServiceRequest::Open { circuit, config } => {
             let outcome = shared
                 .service
@@ -378,10 +379,10 @@ fn dispatch_frame(
                 });
             let _ = out_tx.send((id, outcome));
         }
-        // Session-mailbox verbs dispatch as tagged envelopes: the worker
-        // resolves them onto this connection's outcome channel, so the
-        // reader is free immediately and responses may complete out of
-        // submission order.
+        // Session-queue verbs dispatch as tagged envelopes: the serving
+        // pool worker resolves them onto this connection's outcome
+        // channel, so the reader is free immediately and responses may
+        // complete out of submission order.
         other => {
             let submitted = shared
                 .service

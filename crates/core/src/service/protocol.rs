@@ -149,6 +149,53 @@ pub struct StatsReport {
     pub queue_ms: LatencySummary,
     /// Transactional replay latency over the recent commit window.
     pub commit_ms: LatencySummary,
+    /// Requests answered [`CoreError::Canceled`](crate::CoreError::Canceled)
+    /// while still queued (deadline fired before dispatch). Each such
+    /// request also contributes one sample to [`Self::queue_ms`], so the
+    /// wait of everything leaving the queue is accounted exactly once:
+    /// `queue_ms.count == committed batch members + canceled_in_queue`.
+    /// Absent on the wire from pre-pool servers (defaults to 0).
+    #[serde(default)]
+    pub canceled_in_queue: u64,
+    /// Scheduler-wide pool gauges (shared by every session; repeated in
+    /// each report for the monitoring loop's convenience). Absent on the
+    /// wire from pre-pool servers (defaults to an empty pool).
+    #[serde(default)]
+    pub pool: PoolStats,
+}
+
+/// Point-in-time gauges of the shared worker pool — the scheduler-wide
+/// half of a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Workers in the fixed pool.
+    pub pool_threads: usize,
+    /// Lifetime count of sessions claimed from another worker's deque.
+    pub steals: u64,
+    /// Lifetime count of idle-worker parks (a quiet pool parks all its
+    /// workers and burns ~zero CPU until the next submission).
+    pub parks: u64,
+    /// Sessions currently queued for execution (injector + worker
+    /// deques), excluding the one serving this request.
+    pub runnable_sessions: usize,
+    /// Detected violations of the session-pinning invariant (a session
+    /// observed on two workers at once). Always 0; a non-zero value is a
+    /// scheduler bug, surfaced here so stress tests and operators can
+    /// assert on it.
+    pub pinning_violations: u64,
+    /// Milliseconds since the pool was spawned.
+    pub uptime_ms: f64,
+    /// Per-worker utilization gauges, indexed by worker id.
+    pub workers: Vec<WorkerGauge>,
+}
+
+/// One pool worker's utilization gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkerGauge {
+    /// Session slices this worker has executed.
+    pub tasks: u64,
+    /// Milliseconds spent executing slices (vs. parked or scanning).
+    pub busy_ms: f64,
 }
 
 /// An order-statistics summary of a latency sample window.

@@ -1,38 +1,61 @@
-//! The per-session executor: one thread owning one [`EcoSession`],
-//! draining a bounded mailbox in FIFO order and coalescing compatible
-//! edit requests into shared transactional replays.
+//! The session task: the slice of session-serving logic a pool worker
+//! executes when it claims a runnable [`SessionCell`]. Drains the
+//! session's run queue in FIFO order, coalescing compatible edit
+//! requests into shared transactional replays — exactly the semantics
+//! the PR 7 dedicated threads had, now schedulable on the shared pool.
 
-use super::protocol::{Envelope, LatencySummary, ReplyTo, ServiceRequest, ServiceResponse};
-use super::{EditReceipt, SessionSnapshot, StatsReport};
+use super::protocol::{
+    Envelope, LatencySummary, ReplyTo, ServiceRequest, ServiceResponse, StatsReport,
+};
+use super::scheduler::{PoolShared, SessionCell, QUANTUM};
+use super::{EditReceipt, SessionSnapshot};
 use crate::cancel::CancelToken;
 use crate::pipeline::GsinoConfig;
 use crate::session::{EcoEdit, EcoSession, EditClass};
 use crate::{CoreError, Result};
 use gsino_grid::net::Circuit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::Receiver;
-use std::sync::Arc;
 use std::time::Instant;
 
-/// Everything a session worker needs, handed to its thread at spawn.
-pub(crate) struct WorkerSpec {
-    pub name: String,
-    pub circuit: Circuit,
-    pub config: GsinoConfig,
-    pub rx: Receiver<Envelope>,
-    pub coalesce: bool,
-    /// Shared queue-depth gauge: handles increment at enqueue, the worker
-    /// decrements at dequeue (saturating — in-crate test helpers may
-    /// bypass the incrementing path).
-    pub depth: Arc<AtomicUsize>,
+/// A session body as the scheduler sees it: a spec awaiting its
+/// from-scratch build, a live session, or a retired slot.
+pub(crate) enum Body {
+    /// Opened but not yet built; the first slice that claims the cell
+    /// runs the expensive from-scratch flow.
+    Unbuilt {
+        circuit: Box<Circuit>,
+        config: Box<GsinoConfig>,
+    },
+    /// Built and serving.
+    Live(Box<LiveBody>),
+    /// Retired (closed, build failed, or drained at shutdown).
+    Retired,
 }
 
-/// One coalesced member of an edit batch.
-struct Member {
-    edits: Vec<EcoEdit>,
-    reply: ReplyTo,
-    deadline: Option<Instant>,
-    submitted: Instant,
+/// The state a live session accumulates across slices (owned by whichever
+/// worker currently has the cell pinned).
+pub(crate) struct LiveBody {
+    session: EcoSession,
+    /// Queue-wait latency window: one sample per committed batch member
+    /// plus one per request canceled in-queue (so operators see the wait
+    /// of everything that *left* the queue with a definite outcome).
+    queue_ring: SampleRing,
+    /// Shared-commit latency window: one sample per transactional replay.
+    commit_ring: SampleRing,
+    /// Requests answered [`CoreError::Canceled`] while still queued
+    /// (their deadline fired before dispatch). They never touch the
+    /// session; this counter plus the queue-wait sample is their only
+    /// trace.
+    canceled_in_queue: u64,
+}
+
+/// What a finished slice tells the scheduler.
+pub(crate) enum SliceOutcome {
+    /// The run queue is empty (modulo races the scheduler re-checks).
+    Drained,
+    /// The quantum expired with envelopes still queued — requeue.
+    Yield,
+    /// The session retired; never reschedule this cell.
+    Retired,
 }
 
 /// A bounded window of latency samples with a cumulative count — the
@@ -43,7 +66,7 @@ struct SampleRing {
     count: u64,
 }
 
-/// Recent-window size of the worker's latency rings (documented on
+/// Recent-window size of the session's latency rings (documented on
 /// [`LatencySummary`]).
 const RING_CAPACITY: usize = 256;
 
@@ -71,69 +94,78 @@ impl SampleRing {
     }
 }
 
-/// The worker entry point. Builds the session (the expensive from-scratch
-/// flow) on this thread, then serves the mailbox until a
-/// [`ServiceRequest::Close`] arrives or every sender is dropped. The
-/// return value is the retired session (or the build error), which
-/// [`RoutingService::close`](super::RoutingService::close) surfaces to
-/// the caller for offline inspection.
+/// Executes one slice: builds the session if this is the cell's first
+/// claim, then serves up to [`QUANTUM`] envelopes from the run queue.
 ///
-/// Invariant: the worker never holds an open transaction between
-/// envelopes — every edit batch ends in `commit_with` (which consumes the
-/// transaction on success *and* failure) or an explicit rollback — so
-/// `in_transaction()` is `false` at every request boundary and graceful
-/// shutdown needs no cleanup pass.
-pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
-    let WorkerSpec {
-        name,
-        circuit,
-        config,
-        rx,
-        coalesce,
-        depth,
-    } = spec;
-    let dequeued_tick = |env: Envelope| {
-        // Saturating: the raw-tx staging helpers in the service tests
-        // enqueue without incrementing.
-        let _ = depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
-            Some(d.saturating_sub(1))
-        });
-        env
-    };
-    let mut session = match EcoSession::new(&circuit, &config) {
-        Ok(s) => s,
-        Err(e) => {
-            // Answer everything already queued with the build error, then
-            // retire; later senders observe the disconnect as
-            // SessionClosed.
-            while let Ok(env) = rx.try_recv() {
-                if let Envelope::Request { reply, .. } = dequeued_tick(env) {
-                    reply.send(Err(e.clone()));
-                }
+/// Invariant: the slice never leaves an open transaction behind — every
+/// edit batch ends in `commit_with` (which consumes the transaction on
+/// success *and* failure) or an explicit rollback — so
+/// `in_transaction()` is `false` at every envelope boundary and a
+/// session can migrate between workers at any slice boundary.
+pub(crate) fn run_slice(cell: &SessionCell, pool: &PoolShared) -> SliceOutcome {
+    let mut body = cell
+        .body
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Body::Unbuilt { .. } = &*body {
+        let Body::Unbuilt { circuit, config } = std::mem::replace(&mut *body, Body::Retired) else {
+            unreachable!("matched Unbuilt above");
+        };
+        match EcoSession::new(&circuit, &config) {
+            Ok(session) => {
+                *body = Body::Live(Box::new(LiveBody {
+                    session,
+                    queue_ring: SampleRing::new(),
+                    commit_ring: SampleRing::new(),
+                    canceled_in_queue: 0,
+                }));
             }
-            return Err(e);
+            Err(e) => {
+                // Everything already queued is answered with the build
+                // error; later submitters observe SessionClosed (the
+                // retired latch), and close() surfaces the error.
+                cell.retire(Err(e.clone()), &e);
+                return SliceOutcome::Retired;
+            }
         }
-    };
-    // Latency windows behind ServiceRequest::Stats: one queue-wait sample
-    // per committed batch member, one replay sample per shared commit.
-    let mut queue_ring = SampleRing::new();
-    let mut commit_ring = SampleRing::new();
+    }
+    let mut processed = 0usize;
     // An envelope pulled out of a coalescing drain because it was
-    // incompatible with the batch; it is served before the next recv so
-    // FIFO order is preserved.
+    // incompatible with the batch; served next so FIFO order holds.
     let mut carry: Option<Envelope> = None;
     loop {
+        // Re-borrowed each iteration so the Close arm below can take the
+        // whole body out of the cell.
+        let live = match &mut *body {
+            Body::Live(live) => live,
+            // Defensive: a stale wakeup on a retired cell (its queue is
+            // empty — retirement latches before draining).
+            Body::Retired => return SliceOutcome::Drained,
+            Body::Unbuilt { .. } => unreachable!("built above"),
+        };
         let env = match carry.take() {
             Some(env) => env,
-            None => match rx.recv() {
-                Ok(env) => dequeued_tick(env),
-                // Every handle and the service entry are gone; retire with
-                // the last committed state.
-                Err(_) => return Ok(session),
-            },
+            None => {
+                if processed >= QUANTUM {
+                    return if cell.depth() > 0 {
+                        SliceOutcome::Yield
+                    } else {
+                        SliceOutcome::Drained
+                    };
+                }
+                match cell.pop() {
+                    Some(env) => env,
+                    None => return SliceOutcome::Drained,
+                }
+            }
         };
+        processed += 1;
         match env {
             Envelope::Quiesce { ack, resume } => {
+                // The worker (not just the session) blocks here by
+                // design: quiesce is a test/bench affordance for staging
+                // deterministic bursts, documented as capable of
+                // starving a small pool while held.
                 let _ = ack.send(());
                 let _ = resume.recv();
             }
@@ -144,7 +176,7 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
                 submitted,
             } => {
                 if expired(deadline) {
-                    reply.send(Err(CoreError::Canceled { phase: "queue" }));
+                    cancel_in_queue(live, reply, submitted);
                     continue;
                 }
                 match req {
@@ -155,45 +187,50 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
                             deadline,
                             submitted,
                         };
-                        let drain = Drain {
-                            rx: &rx,
-                            depth: &depth,
-                        };
-                        carry = serve_edits(
-                            &name,
-                            &mut session,
-                            drain,
-                            coalesce,
-                            first,
-                            &mut queue_ring,
-                            &mut commit_ring,
-                        );
-                        debug_assert!(!session.in_transaction());
+                        let (next, drained) = serve_edits(cell, live, first);
+                        carry = next;
+                        processed += drained;
+                        debug_assert!(!live.session.in_transaction());
                     }
                     ServiceRequest::Query => {
-                        reply.send(Ok(ServiceResponse::Snapshot(snapshot(&name, &session))));
+                        reply.send(Ok(ServiceResponse::Snapshot(snapshot(
+                            &cell.name,
+                            &live.session,
+                        ))));
                     }
                     ServiceRequest::Stats => {
                         reply.send(Ok(ServiceResponse::Stats(StatsReport {
-                            session: name.clone(),
-                            queue_depth: depth.load(Ordering::Relaxed),
-                            stats: *session.stats(),
-                            queue_ms: queue_ring.summary(),
-                            commit_ms: commit_ring.summary(),
+                            session: cell.name.clone(),
+                            queue_depth: cell.depth(),
+                            stats: *live.session.stats(),
+                            queue_ms: live.queue_ring.summary(),
+                            commit_ms: live.commit_ring.summary(),
+                            canceled_in_queue: live.canceled_in_queue,
+                            pool: pool.stats(),
                         })));
                     }
                     ServiceRequest::Verify => {
-                        let outcome = session
+                        let outcome = live
+                            .session
                             .verify_now()
                             .map(|clean| ServiceResponse::Verified { clean });
                         reply.send(outcome);
                     }
                     ServiceRequest::Close => {
                         reply.send(Ok(ServiceResponse::Closed {
-                            session: name.clone(),
-                            stats: *session.stats(),
+                            session: cell.name.clone(),
+                            stats: *live.session.stats(),
                         }));
-                        return Ok(session);
+                        let Body::Live(live) = std::mem::replace(&mut *body, Body::Retired) else {
+                            unreachable!("live above");
+                        };
+                        cell.retire(
+                            Ok(live.session),
+                            &CoreError::SessionClosed {
+                                session: cell.name.clone(),
+                            },
+                        );
+                        return SliceOutcome::Retired;
                     }
                     ServiceRequest::Open { .. } => {
                         // Handles reject Open before sending; answer typed
@@ -208,43 +245,42 @@ pub(crate) fn run(spec: WorkerSpec) -> Result<EcoSession> {
     }
 }
 
-/// The mailbox end a coalescing drain pulls from, bundled with the
-/// queue-depth gauge it must tick down per dequeue.
-struct Drain<'a> {
-    rx: &'a Receiver<Envelope>,
-    depth: &'a AtomicUsize,
+/// One coalesced member of an edit batch.
+struct Member {
+    edits: Vec<EcoEdit>,
+    reply: ReplyTo,
+    deadline: Option<Instant>,
+    submitted: Instant,
 }
 
-impl Drain<'_> {
-    fn try_recv(&self) -> Option<Envelope> {
-        let env = self.rx.try_recv().ok()?;
-        let _ = self
-            .depth
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
-                Some(d.saturating_sub(1))
-            });
-        Some(env)
-    }
+/// Answers a request whose deadline fired while it was still queued, and
+/// accounts for it consistently: the canceled-in-queue counter ticks and
+/// the queue-wait window records how long it sat — the queue-depth gauge
+/// needs no adjustment because it *is* the run-queue length.
+fn cancel_in_queue(live: &mut LiveBody, reply: ReplyTo, submitted: Instant) {
+    live.canceled_in_queue += 1;
+    live.queue_ring
+        .push(submitted.elapsed().as_secs_f64() * 1e3);
+    reply.send(Err(CoreError::Canceled { phase: "queue" }));
 }
 
 /// Serves one edit request, first greedily draining queued same-class
 /// edit requests into the batch (when coalescing is on). Returns the
-/// first incompatible envelope hit during the drain, which the main loop
-/// serves next.
+/// first incompatible envelope hit during the drain (served next by the
+/// slice loop) and the number of extra envelopes drained (counted
+/// against the quantum).
 fn serve_edits(
-    name: &str,
-    session: &mut EcoSession,
-    drain: Drain<'_>,
-    coalesce: bool,
+    cell: &SessionCell,
+    live: &mut LiveBody,
     first: Member,
-    queue_ring: &mut SampleRing,
-    commit_ring: &mut SampleRing,
-) -> Option<Envelope> {
+) -> (Option<Envelope>, usize) {
     let class = request_class(&first.edits);
     let mut batch = vec![first];
     let mut carry = None;
-    if coalesce {
-        while let Some(env) = drain.try_recv() {
+    let mut drained = 0usize;
+    if cell.coalesce {
+        while let Some(env) = cell.pop() {
+            drained += 1;
             match env {
                 Envelope::Request {
                     req: ServiceRequest::Edit(edits),
@@ -253,7 +289,7 @@ fn serve_edits(
                     submitted,
                 } => {
                     if expired(deadline) {
-                        reply.send(Err(CoreError::Canceled { phase: "queue" }));
+                        cancel_in_queue(live, reply, submitted);
                         continue;
                     }
                     if request_class(&edits) == class {
@@ -280,8 +316,8 @@ fn serve_edits(
             }
         }
     }
-    execute_batch(name, session, class, batch, queue_ring, commit_ring);
-    carry
+    execute_batch(live, class, batch);
+    (carry, drained)
 }
 
 /// Replays one coalesced batch as a single transaction, with per-request
@@ -296,15 +332,8 @@ fn serve_edits(
 /// overrides of the same sink last-write-wins), so survivors always
 /// replay in submission order, which also makes the outcome independent
 /// of *where* in the batch a rejected request sat.
-fn execute_batch(
-    name: &str,
-    session: &mut EcoSession,
-    class: EditClass,
-    batch: Vec<Member>,
-    queue_ring: &mut SampleRing,
-    commit_ring: &mut SampleRing,
-) {
-    let _ = name;
+fn execute_batch(live: &mut LiveBody, class: EditClass, batch: Vec<Member>) {
+    let session = &mut live.session;
     let dequeued = Instant::now();
     let mut rejected: Vec<Option<CoreError>> = batch.iter().map(|_| None).collect();
 
@@ -333,16 +362,16 @@ fn execute_batch(
         break;
     }
 
-    let live: Vec<usize> = (0..batch.len())
+    let live_idx: Vec<usize> = (0..batch.len())
         .filter(|&i| rejected[i].is_none())
         .collect();
     let mut committed: Result<()> = Ok(());
     let mut commit_ms = 0.0;
-    if !live.is_empty() {
+    if !live_idx.is_empty() {
         // The batch replays under the earliest member deadline: one shared
         // commit cannot honour two deadlines separately, and the guarantee
         // on failure (pre-batch bits) holds for everyone.
-        let token = match live.iter().filter_map(|&i| batch[i].deadline).min() {
+        let token = match live_idx.iter().filter_map(|&i| batch[i].deadline).min() {
             Some(deadline) => CancelToken::with_deadline_at(deadline),
             None => CancelToken::never(),
         };
@@ -350,20 +379,20 @@ fn execute_batch(
         committed = session.commit_with(&token);
         commit_ms = t0.elapsed().as_secs_f64() * 1e3;
         if committed.is_ok() {
-            commit_ring.push(commit_ms);
+            live.commit_ring.push(commit_ms);
         }
     }
-    debug_assert!(!session.in_transaction());
+    debug_assert!(!live.session.in_transaction());
 
-    let batch_requests = live.len();
-    let batch_edits: usize = live.iter().map(|&i| batch[i].edits.len()).sum();
+    let batch_requests = live_idx.len();
+    let batch_edits: usize = live_idx.iter().map(|&i| batch[i].edits.len()).sum();
     for (i, member) in batch.into_iter().enumerate() {
         let outcome = match rejected[i].take() {
             Some(err) => Err(err),
             None => match &committed {
                 Ok(()) => {
                     let queue_ms = dequeued.duration_since(member.submitted).as_secs_f64() * 1e3;
-                    queue_ring.push(queue_ms);
+                    live.queue_ring.push(queue_ms);
                     Ok(ServiceResponse::Committed(EditReceipt {
                         edits: member.edits.len(),
                         batch_requests,

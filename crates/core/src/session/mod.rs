@@ -118,7 +118,7 @@ use crate::budget::{
 use crate::cancel::CancelToken;
 use crate::phase2::{
     assignments, build_instance, prepare_instances, solve_instance, solve_prepared_cancel,
-    RegionMode, RegionSino,
+    RegionMode, RegionSino, RegionSolution,
 };
 use crate::pipeline::{reference_kth, GsinoConfig, RouterKind};
 use crate::refine::{refine_cancel, RefineStats};
@@ -131,6 +131,7 @@ use gsino_grid::route::{Dir, RouteSet};
 use gsino_lsk::table::NoiseTable;
 use gsino_sino::delta::DeltaEval;
 use gsino_sino::nss::NssModel;
+use gsino_sino::warm::budget_swap_preserves_solution;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -155,6 +156,10 @@ pub struct SessionStats {
     pub regions_resolved: u64,
     /// Phase II region instances reused bitwise by incremental replays.
     pub regions_reused: u64,
+    /// Budget-changed regions where the warm-start check
+    /// ([`gsino_sino::warm`]) proved the old layout still optimal, so the
+    /// Phase II re-solve was skipped.
+    pub warm_skips: u64,
     /// Individual oracle checks performed (audit + patched).
     pub oracle_checks: u64,
     /// Divergences the oracle detected.
@@ -563,16 +568,35 @@ impl EcoSession {
             };
             cancel.check("phase2")?;
             let inst = build_instance((r, dir), old.nets.clone(), &budgets0, &config.sensitivity)?;
-            let (_, sol) = solve_instance(
-                inst,
-                config.solver,
-                RegionMode::Sino,
-                config.sino_engine,
-                &mut scratch,
-            )?;
+            // Warm-start check: same nets and sensitivity, only budgets
+            // moved — if `gsino_sino::warm` certifies the swap, the solver
+            // would retrace its exact steps, so keep the old layout (and
+            // its couplings, which never depend on budgets) under the new
+            // instance. Skipped regions still go through `patched`, so the
+            // runtime oracle re-verifies the certificate on sampled (in
+            // debug builds: all) commits.
+            let new_kth: Vec<f64> = inst.instance.segments().iter().map(|s| s.kth).collect();
+            let sol = if budget_swap_preserves_solution(&old.instance, &new_kth) {
+                self.stats.warm_skips += 1;
+                RegionSolution {
+                    nets: inst.nets,
+                    instance: inst.instance,
+                    layout: old.layout.clone(),
+                    k: old.k.clone(),
+                }
+            } else {
+                self.stats.regions_resolved += 1;
+                solve_instance(
+                    inst,
+                    config.solver,
+                    RegionMode::Sino,
+                    config.sino_engine,
+                    &mut scratch,
+                )?
+                .1
+            };
             sino0.insert_solution(r, dir, sol);
             patched.push((r, dir));
-            self.stats.regions_resolved += 1;
         }
         self.stats.regions_reused += (sino0.len() - patched.len()) as u64;
         let next = finish_with_refine(
@@ -910,6 +934,64 @@ mod tests {
             .unwrap();
         session.commit().unwrap();
         assert_eq!(session.stats().budget_replays, 1);
+        assert_eq!(session.stats().divergences, 0);
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn warm_skip_fires_and_stays_bit_identical() {
+        use gsino_grid::sensitivity::SensitivityModel;
+        // An insensitive circuit: every segment's coupling upper bound is
+        // zero, so any budget move on a region whose placement order is
+        // undisturbed is certified by `gsino_sino::warm` and Phase II is
+        // skipped for it. Debug builds force 100% oracle sampling, so each
+        // skipped region is re-solved and compared bitwise by the oracle —
+        // the certificate is machine-checked, not just trusted.
+        let config = GsinoConfig {
+            sensitivity: SensitivityModel::new(0.0, 1),
+            ..fast_config()
+        };
+        let circuit = small_circuit(20);
+        let mut session = EcoSession::with_oracle(
+            &circuit,
+            &config,
+            OracleConfig {
+                patched_sample: 1.0,
+                ..OracleConfig::default()
+            },
+        )
+        .unwrap();
+        session.begin().unwrap();
+        session
+            .apply(EcoEdit::TightenVth {
+                net: 3,
+                sink: 0,
+                vth: 0.10,
+            })
+            .unwrap();
+        session.commit().unwrap();
+        assert!(session.stats().warm_skips > 0, "no region was warm-skipped");
+        assert_eq!(session.stats().divergences, 0);
+        assert!(session.verify_now().unwrap());
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn warm_skip_does_not_fire_when_budgets_bind() {
+        // The default 30% sensitivity circuit: the tightened region's
+        // budgets sit below the coupling upper bound, so the certificate
+        // must be refused and the region genuinely re-solved.
+        let circuit = small_circuit(20);
+        let mut session = EcoSession::new(&circuit, &fast_config()).unwrap();
+        session.begin().unwrap();
+        session
+            .apply(EcoEdit::TightenVth {
+                net: 3,
+                sink: 0,
+                vth: 0.10,
+            })
+            .unwrap();
+        session.commit().unwrap();
         assert_eq!(session.stats().divergences, 0);
         assert_matches_scratch(&session);
     }

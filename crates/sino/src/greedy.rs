@@ -31,15 +31,20 @@ pub fn solve_greedy(instance: &SinoInstance) -> Layout {
     solve_greedy_with(instance, &mut DeltaEval::new())
 }
 
-/// [`solve_greedy`] against caller-provided scratch, so batch drivers
-/// (Phase II's per-region worklist) reuse one allocation across instances.
-pub fn solve_greedy_with(instance: &SinoInstance, delta: &mut DeltaEval) -> Layout {
+/// The hardest-first placement order the constructive solver uses: high
+/// sensitivity first, then tight budget, then index. Exposed so the
+/// warm-start check ([`crate::warm`]) can prove that a budget change
+/// leaves the visiting order — and therefore the construction — intact.
+pub fn placement_order(instance: &SinoInstance) -> Vec<usize> {
+    let kth: Vec<f64> = (0..instance.n()).map(|i| instance.segment(i).kth).collect();
+    placement_order_kth(instance, &kth)
+}
+
+/// [`placement_order`] under a hypothetical budget vector (`kth[i]`
+/// replaces segment `i`'s stored budget in the comparator).
+pub fn placement_order_kth(instance: &SinoInstance, kth: &[f64]) -> Vec<usize> {
     let n = instance.n();
-    if n == 0 {
-        return Layout::from_slots(Vec::new()).expect("empty layout is well-formed");
-    }
-    // Hardest-first ordering: high sensitivity, then tight budget. The
-    // O(n) `local_sensitivity` is cached per segment instead of being
+    // The O(n) `local_sensitivity` is cached per segment instead of being
     // recomputed inside the comparator; the compared values are the same
     // f64s, so the order is identical to the seed solver's.
     let sens: Vec<f64> = (0..n).map(|i| instance.local_sensitivity(i)).collect();
@@ -48,15 +53,21 @@ pub fn solve_greedy_with(instance: &SinoInstance, delta: &mut DeltaEval) -> Layo
         sens[b]
             .partial_cmp(&sens[a])
             .expect("finite sensitivity")
-            .then(
-                instance
-                    .segment(a)
-                    .kth
-                    .partial_cmp(&instance.segment(b).kth)
-                    .expect("finite budgets"),
-            )
+            .then(kth[a].partial_cmp(&kth[b]).expect("finite budgets"))
             .then(a.cmp(&b))
     });
+    order
+}
+
+/// [`solve_greedy`] against caller-provided scratch, so batch drivers
+/// (Phase II's per-region worklist) reuse one allocation across instances.
+pub fn solve_greedy_with(instance: &SinoInstance, delta: &mut DeltaEval) -> Layout {
+    let n = instance.n();
+    if n == 0 {
+        return Layout::from_slots(Vec::new()).expect("empty layout is well-formed");
+    }
+    // Hardest-first ordering: high sensitivity, then tight budget.
+    let order = placement_order(instance);
 
     delta.reset(instance);
     for &seg in &order {

@@ -24,6 +24,8 @@
 //!   scoring candidates through [`delta::DeltaEval`];
 //! * [`anneal`] — simulated-annealing polish (apply/undo moves, no clones);
 //! * [`solver`] — the user-facing facade combining the two;
+//! * [`warm`] — the warm-start budget check: certifies that a slack budget
+//!   change cannot move the solver output, so callers may skip re-solving;
 //! * [`mod@reference`] — the seed clone-and-reevaluate solvers, preserved
 //!   verbatim as the bit-identical correctness/performance baseline;
 //! * [`nss`] — the paper's Formula (3): the fitted 6-term shield-count
@@ -66,6 +68,7 @@ pub mod layout;
 pub mod nss;
 pub mod reference;
 pub mod solver;
+pub mod warm;
 
 pub use delta::DeltaEval;
 pub use instance::{SegmentSpec, SinoInstance};

@@ -36,6 +36,20 @@ fn fast_config() -> GsinoConfig {
         .unwrap()
 }
 
+/// Base service config honouring the CI pool-size matrix: the
+/// `GSINO_POOL_THREADS` env var pins the worker pool (0/unset = auto).
+/// Every suite in this file must pass unchanged at any pool size.
+fn test_config() -> ServiceConfig {
+    let pool_threads = std::env::var("GSINO_POOL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    ServiceConfig {
+        pool_threads,
+        ..ServiceConfig::default()
+    }
+}
+
 /// The retired session's committed state must equal a from-scratch flow
 /// on its final circuit and configuration — the service-level version of
 /// the session's bit-identity oracle.
@@ -49,7 +63,7 @@ fn assert_matches_scratch(session: &EcoSession) {
 
 #[test]
 fn parallel_clients_commit_bit_identically() {
-    let service = RoutingService::new(ServiceConfig::default());
+    let service = RoutingService::new(test_config());
     let handle = service
         .open("par", small_circuit("par", 14), fast_config())
         .unwrap();
@@ -80,7 +94,7 @@ fn parallel_clients_commit_bit_identically() {
 
 #[test]
 fn canceled_and_rejected_requests_leave_pre_batch_bits() {
-    let service = RoutingService::new(ServiceConfig::default());
+    let service = RoutingService::new(test_config());
     let handle = service
         .open("atomic", small_circuit("atomic", 12), fast_config())
         .unwrap();
@@ -144,7 +158,7 @@ fn canceled_and_rejected_requests_leave_pre_batch_bits() {
 
 #[test]
 fn racing_deadline_is_atomic_either_way() {
-    let service = RoutingService::new(ServiceConfig::default());
+    let service = RoutingService::new(test_config());
     let handle = service
         .open("race", small_circuit("race", 12), fast_config())
         .unwrap();
@@ -181,7 +195,7 @@ fn overloaded_clients_retry_to_success() {
     // typed, retryable, and actually succeed on retry.
     let service = RoutingService::new(ServiceConfig {
         mailbox_capacity: 2,
-        ..ServiceConfig::default()
+        ..test_config()
     });
     let handle = service
         .open("load", small_circuit("load", 12), fast_config())
@@ -220,7 +234,7 @@ fn overloaded_clients_retry_to_success() {
 
 #[test]
 fn shutdown_under_load_drains_every_session() {
-    let service = RoutingService::new(ServiceConfig::default());
+    let service = RoutingService::new(test_config());
     for name in ["a", "b"] {
         service
             .open(name, small_circuit(name, 12), fast_config())
@@ -268,7 +282,7 @@ fn shutdown_under_load_drains_every_session() {
 fn error_taxonomy_is_stable_and_retry_classified() {
     let service = RoutingService::new(ServiceConfig {
         max_sessions: 1,
-        ..ServiceConfig::default()
+        ..test_config()
     });
     let _h = service
         .open("only", small_circuit("only", 8), fast_config())

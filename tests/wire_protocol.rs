@@ -149,6 +149,22 @@ fn every_response_variant_round_trips() {
                 max_ms: 4.0,
             },
             commit_ms: gsino::LatencySummary::default(),
+            canceled_in_queue: 2,
+            pool: gsino::core::service::PoolStats {
+                pool_threads: 2,
+                steals: 5,
+                parks: 11,
+                runnable_sessions: 1,
+                pinning_violations: 0,
+                uptime_ms: 1234.5,
+                workers: vec![
+                    gsino::core::service::WorkerGauge {
+                        tasks: 7,
+                        busy_ms: 42.0,
+                    },
+                    gsino::core::service::WorkerGauge::default(),
+                ],
+            },
         }),
         ServiceResponse::Verified { clean: false },
         ServiceResponse::Closed {
