@@ -3,9 +3,16 @@
 //! Compares freshly measured bench summaries (`BENCH_phase1.json`,
 //! `BENCH_phase2.json` and `BENCH_phase3.json` from `phase_runtime`,
 //! `BENCH_eco.json` from `eco_session`, `BENCH_service.json` from
-//! `service_throughput`) against their committed baselines and exits
-//! non-zero if any gated kernel regressed by more than the tolerance
-//! (default 15%, `--max-regress 0.15`).
+//! `service_throughput`, `BENCH_scale.json` from `scale_matrix`) against
+//! their committed baselines and exits non-zero if any gated kernel
+//! regressed by more than the tolerance (default 15%,
+//! `--max-regress 0.15`).
+//!
+//! A summary may carry a `workloads` object — a matrix keyed by workload
+//! id (`scale5k`, `scale50k`, …). Every workload the committed baseline
+//! names is gated: its deterministic behaviour counts as hard ceilings,
+//! its wall/memory numbers report-only. A workload that vanishes from the
+//! fresh summary fails the gate.
 //!
 //! Wall-clock milliseconds are not comparable across machines, so the
 //! gated metric is the **normalized wall time**: the new kernel's time
@@ -39,6 +46,7 @@
 //! phase-by-phase markdown table (suitable for `$GITHUB_STEP_SUMMARY`).
 
 use gsino_bench::report::{get, num, JsonDoc};
+use serde::Value;
 use std::process::ExitCode;
 
 /// Every kernel the gate knows how to check: display label, JSON section,
@@ -87,6 +95,28 @@ const METRICS: &[(&str, &str, &str, &str)] = &[
 const COUNT_METRICS: &[(&str, &str, &str)] = &[
     ("id full recomputes", "id", "connectivity_recomputes"),
     ("id localized repairs", "id", "connectivity_repairs"),
+];
+
+/// Per-workload count metrics inside a `workloads` matrix section
+/// (`BENCH_scale.json` from the `scale_matrix` bench): label suffix, key.
+/// Gated as hard ceilings exactly like [`COUNT_METRICS`], but once per
+/// workload id present in the committed baseline — the gate covers the
+/// ladder, not one point. Counts (not wall times) are what's gated at
+/// scale: on a fixed seed they are exact integers on any machine.
+const MATRIX_COUNT_METRICS: &[(&str, &str)] = &[
+    ("recomputes", "connectivity_recomputes"),
+    ("repairs", "connectivity_repairs"),
+    ("violations", "violations"),
+    ("shields", "total_shields"),
+];
+
+/// Per-workload report-only metrics: wall times and memory ceilings vary
+/// with hardware, so they ride through ungated.
+const MATRIX_REPORT_METRICS: &[(&str, &str)] = &[
+    ("gen ms", "gen_ms"),
+    ("parse ms", "parse_ms"),
+    ("pipeline ms", "total_ms"),
+    ("peak rss MiB", "peak_rss_mb"),
 ];
 
 /// Value metrics that are **reported but never gated**: display label,
@@ -178,7 +208,7 @@ fn load(path: &str) -> Result<JsonDoc, String> {
 
 /// Outcome of one gated kernel, kept for the markdown summary.
 struct Row {
-    label: &'static str,
+    label: String,
     cur_norm: f64,
     base_norm: f64,
     delta_pct: f64,
@@ -188,7 +218,7 @@ struct Row {
 /// One gated kernel: compares normalized wall time (new/reference).
 #[allow(clippy::too_many_arguments)]
 fn check(
-    label: &'static str,
+    label: &str,
     current: &JsonDoc,
     baseline: &JsonDoc,
     section: &str,
@@ -208,7 +238,7 @@ fn check(
     let pass = ratio <= 1.0 + max_regress;
     let verdict = if pass { "ok" } else { "FAIL" };
     rows.push(Row {
-        label,
+        label: label.to_string(),
         cur_norm,
         base_norm,
         delta_pct: (ratio - 1.0) * 100.0,
@@ -243,28 +273,29 @@ fn check(
 /// baseline carries the count; once it does, a summary that drops it
 /// fails instead of being skipped.
 fn check_count(
-    label: &'static str,
+    label: &str,
     current: &JsonDoc,
     baseline: &JsonDoc,
-    section: &str,
-    key: &str,
+    path: &[&str],
     max_regress: f64,
     rows: &mut Vec<Row>,
 ) -> Result<bool, String> {
-    let Some(base) = num(&baseline.0, &[section, key]).filter(|v| v.is_finite() && *v >= 0.0)
-    else {
+    let Some(base) = num(&baseline.0, path).filter(|v| v.is_finite() && *v >= 0.0) else {
         return Ok(false); // pre-count baseline: nothing to gate yet
     };
-    let cur = num(&current.0, &[section, key])
+    let cur = num(&current.0, path)
         .filter(|v| v.is_finite() && *v >= 0.0)
         .ok_or_else(|| {
-            format!("{label}: baseline gates `{section}.{key}` but the fresh summary lacks it")
+            format!(
+                "{label}: baseline gates `{}` but the fresh summary lacks it",
+                path.join(".")
+            )
         })?;
     let ratio = if base > 0.0 { cur / base } else { 1.0 + cur };
     let pass = ratio <= 1.0 + max_regress;
     let verdict = if pass { "ok" } else { "FAIL" };
     rows.push(Row {
-        label,
+        label: label.to_string(),
         cur_norm: cur,
         base_norm: base,
         delta_pct: (ratio - 1.0) * 100.0,
@@ -290,24 +321,23 @@ fn check_count(
 /// summary) when the fresh summary carries it, never gated — absence,
 /// noise or regression cannot fail the run.
 fn report_value(
-    label: &'static str,
+    label: &str,
     current: &JsonDoc,
     baseline: &JsonDoc,
-    section: &str,
-    key: &str,
+    path: &[&str],
     rows: &mut Vec<Row>,
 ) {
-    let Some(cur) = num(&current.0, &[section, key]).filter(|v| v.is_finite()) else {
+    let Some(cur) = num(&current.0, path).filter(|v| v.is_finite()) else {
         return;
     };
-    match num(&baseline.0, &[section, key]).filter(|v| v.is_finite() && *v != 0.0) {
+    match num(&baseline.0, path).filter(|v| v.is_finite() && *v != 0.0) {
         Some(base) => {
             let delta_pct = (cur / base - 1.0) * 100.0;
             println!(
                 "{label:<24} value {cur:.3} vs baseline {base:.3} ({delta_pct:+.1}% — report-only)"
             );
             rows.push(Row {
-                label,
+                label: label.to_string(),
                 cur_norm: cur,
                 base_norm: base,
                 delta_pct,
@@ -317,7 +347,7 @@ fn report_value(
         None => {
             println!("{label:<24} value {cur:.3} (report-only, no baseline)");
             rows.push(Row {
-                label,
+                label: label.to_string(),
                 cur_norm: cur,
                 base_norm: cur,
                 delta_pct: 0.0,
@@ -325,6 +355,54 @@ fn report_value(
             });
         }
     }
+}
+
+/// Gates one `workloads` matrix section: every workload id the committed
+/// baseline carries must appear in the fresh summary, its count metrics
+/// are gated as ceilings, and its wall/memory numbers are reported.
+/// Returns the number of gated checks.
+fn check_matrix(
+    current: &JsonDoc,
+    baseline: &JsonDoc,
+    max_regress: f64,
+    rows: &mut Vec<Row>,
+    failed: &mut bool,
+) -> usize {
+    let Some(Value::Object(base_wls)) = get(&baseline.0, &["workloads"]) else {
+        return 0;
+    };
+    let mut gated = 0usize;
+    for (id, _) in base_wls.iter() {
+        if get(&current.0, &["workloads", id]).is_none() {
+            eprintln!("bench_gate: baseline gates workload `{id}` but the fresh summary lacks it");
+            *failed = true;
+            gated += 1;
+            continue;
+        }
+        for &(suffix, key) in MATRIX_COUNT_METRICS {
+            let label = format!("{id} {suffix}");
+            match check_count(
+                &label,
+                current,
+                baseline,
+                &["workloads", id, key],
+                max_regress,
+                rows,
+            ) {
+                Ok(counted) => gated += counted as usize,
+                Err(e) => {
+                    eprintln!("bench_gate: {e}");
+                    gated += 1;
+                    *failed = true;
+                }
+            }
+        }
+        for &(suffix, key) in MATRIX_REPORT_METRICS {
+            let label = format!("{id} {suffix}");
+            report_value(&label, current, baseline, &["workloads", id, key], rows);
+        }
+    }
+    gated
 }
 
 /// Appends the phase-by-phase markdown table (for `$GITHUB_STEP_SUMMARY`).
@@ -412,16 +490,15 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
-        for (label, section, key) in REPORT_METRICS {
-            report_value(label, &current, &baseline, section, key, &mut rows);
+        for &(label, section, key) in REPORT_METRICS {
+            report_value(label, &current, &baseline, &[section, key], &mut rows);
         }
-        for (label, section, key) in COUNT_METRICS {
+        for &(label, section, key) in COUNT_METRICS {
             match check_count(
                 label,
                 &current,
                 &baseline,
-                section,
-                key,
+                &[section, key],
                 args.max_regress,
                 &mut rows,
             ) {
@@ -433,6 +510,13 @@ fn main() -> ExitCode {
                 }
             }
         }
+        gated += check_matrix(
+            &current,
+            &baseline,
+            args.max_regress,
+            &mut rows,
+            &mut failed,
+        );
     }
     if gated == 0 {
         eprintln!("bench_gate: no gated sections found in any summary");

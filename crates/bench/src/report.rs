@@ -79,6 +79,27 @@ pub fn service_out_path() -> String {
     std::env::var("GSINO_BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string())
 }
 
+/// Output path for the scale-ladder bench matrix: `$GSINO_BENCH_SCALE_OUT`
+/// or `BENCH_scale.json` in the bench's working directory.
+pub fn scale_out_path() -> String {
+    std::env::var("GSINO_BENCH_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string())
+}
+
+/// This process's peak resident set size in MiB, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or when procfs is
+/// unavailable — callers report the ceiling only when the platform can
+/// measure it.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb / 1024.0);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

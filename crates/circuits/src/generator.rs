@@ -9,7 +9,8 @@
 //! auto-calibrated mean wire length matching the published per-circuit
 //! averages.
 
-use crate::spec::CircuitSpec;
+use crate::io::Workload;
+use crate::spec::{CircuitSpec, TARGET_DENSITY};
 use gsino_grid::geom::{Point, Rect};
 use gsino_grid::net::{Circuit, Net};
 use gsino_grid::GridError;
@@ -45,6 +46,30 @@ const BUS_SPAN_RATIO: f64 = 7.0;
 /// Propagates [`GridError`] from circuit validation (cannot occur for
 /// well-formed specs: all pins are clamped into the die).
 pub fn generate(spec: &CircuitSpec, seed: u64) -> Result<Circuit, GridError> {
+    generate_with(spec, seed, 0.0)
+}
+
+/// [`generate`] with a fanout knob: `fanout_boost` in `[0, 1)` shifts
+/// pin-count mass toward higher degrees (0 is the stock ISPD'98-like
+/// distribution — the RNG stream is bit-identical to [`generate`] there,
+/// which the committed bench baselines rely on).
+///
+/// # Errors
+///
+/// As [`generate`], plus [`GridError::TooLarge`] when the requested net
+/// count does not fit the `u32` net id space.
+pub fn generate_with(
+    spec: &CircuitSpec,
+    seed: u64,
+    fanout_boost: f64,
+) -> Result<Circuit, GridError> {
+    if spec.num_nets as u64 > u32::MAX as u64 {
+        return Err(GridError::TooLarge {
+            what: "nets",
+            value: spec.num_nets as u64,
+            limit: u32::MAX as u64,
+        });
+    }
     let die = Rect::new(Point::new(0.0, 0.0), Point::new(spec.die_w, spec.die_h))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let clusters: Vec<Point> = (0..CLUSTERS)
@@ -67,7 +92,14 @@ pub fn generate(spec: &CircuitSpec, seed: u64) -> Result<Circuit, GridError> {
         let sample = 1500.min(spec.num_nets.max(200));
         let mut total = 0.0;
         for i in 0..sample {
-            let net = sample_net(i as u32, spec, &clusters, mean_span, &mut pilot);
+            let net = sample_net(
+                i as u32,
+                spec,
+                &clusters,
+                mean_span,
+                fanout_boost,
+                &mut pilot,
+            );
             total += routed_wl_proxy(&net);
         }
         let measured = total / sample as f64;
@@ -79,7 +111,14 @@ pub fn generate(spec: &CircuitSpec, seed: u64) -> Result<Circuit, GridError> {
 
     let mut nets = Vec::with_capacity(spec.num_nets);
     for i in 0..spec.num_nets {
-        nets.push(sample_net(i as u32, spec, &clusters, mean_span, &mut rng));
+        nets.push(sample_net(
+            i as u32,
+            spec,
+            &clusters,
+            mean_span,
+            fanout_boost,
+            &mut rng,
+        ));
     }
     Circuit::new(spec.name.clone(), die, nets)
 }
@@ -90,9 +129,10 @@ fn sample_net(
     spec: &CircuitSpec,
     clusters: &[Point],
     mean_span: f64,
+    fanout_boost: f64,
     rng: &mut StdRng,
 ) -> Net {
-    let degree = sample_degree(rng);
+    let degree = sample_degree(rng, fanout_boost);
     let class: f64 = rng.gen();
     let span_mean = if class < BUS_FRACTION {
         mean_span * BUS_SPAN_RATIO
@@ -132,15 +172,156 @@ fn routed_wl_proxy(net: &Net) -> f64 {
     mst * 0.92 + 32.0
 }
 
+/// The nominal region tile (µm) the scale ladder builds on — ladder dies
+/// are exact integer multiples of it so grids and parsed workloads agree
+/// bit-for-bit.
+pub const LADDER_TILE: f64 = 64.0;
+
+/// One rung of the 5k/50k/500k scale ladder: a net count plus the two
+/// distribution knobs, from which the die is derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleSpec {
+    /// Stable workload id (`scale5k`, `scale50k`, `scale500k`) — the key
+    /// the bench matrix and baselines use.
+    pub id: String,
+    /// Number of signal nets.
+    pub num_nets: usize,
+    /// Congestion knob: target mean track density as a multiple of
+    /// [`TARGET_DENSITY`]. 1.0 reproduces the suite's nominal ~0.70;
+    /// larger shrinks the die per net.
+    pub congestion: f64,
+    /// Fanout knob passed to [`generate_with`]: 0.0 is the stock
+    /// pin-count distribution.
+    pub fanout_boost: f64,
+    /// Target average net wire length (µm).
+    pub target_wl: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// A rung with the ibm01 wire-length target and the ladder's
+    /// conventional seed.
+    pub fn rung(id: &str, num_nets: usize, congestion: f64, fanout_boost: f64) -> Self {
+        ScaleSpec {
+            id: id.to_string(),
+            num_nets,
+            congestion,
+            fanout_boost,
+            target_wl: 639.0,
+            seed: 2002,
+        }
+    }
+
+    /// The standard ladder, smallest first. The 5k rung keeps the stock
+    /// knobs (it runs the full pipeline in CI); the upper rungs turn the
+    /// congestion and fanout screws so scale testing also covers hostile
+    /// distributions.
+    pub fn ladder() -> Vec<ScaleSpec> {
+        vec![
+            Self::rung("scale5k", 5_000, 1.0, 0.0),
+            Self::rung("scale50k", 50_000, 1.1, 0.05),
+            Self::rung("scale500k", 500_000, 1.2, 0.10),
+        ]
+    }
+
+    /// Looks a rung up by workload id.
+    pub fn by_id(id: &str) -> Option<ScaleSpec> {
+        Self::ladder().into_iter().find(|s| s.id == id)
+    }
+
+    /// The derived circuit spec: a die sized from the suite's density
+    /// formula so mean track density ≈ `congestion × TARGET_DENSITY` on a
+    /// 64 µm / 16-track grid, with dimensions rounded up to whole tiles
+    /// (near the ibm01 aspect ratio).
+    pub fn circuit_spec(&self) -> CircuitSpec {
+        let tracks = 16.0;
+        let slots_per_net = self.target_wl / LADDER_TILE + 2.5;
+        let density = TARGET_DENSITY * self.congestion;
+        let regions = (self.num_nets as f64 * slots_per_net / (density * tracks * 2.0)).max(1.0);
+        let aspect = 1533.0 / 1824.0; // ibm01 w/h
+        let ny = (regions / aspect).sqrt().ceil().max(1.0);
+        let nx = (regions / ny).ceil().max(1.0);
+        CircuitSpec {
+            name: self.id.clone(),
+            num_nets: self.num_nets,
+            die_w: nx * LADDER_TILE,
+            die_h: ny * LADDER_TILE,
+            target_wl: self.target_wl,
+            published_nets: self.num_nets,
+        }
+    }
+}
+
+/// Generates a ladder rung as a full [`Workload`] (circuit + grid
+/// parameters), ready to write, parse back, or feed the pipeline.
+///
+/// # Errors
+///
+/// Propagates [`GridError`] from generation and workload assembly
+/// (including [`GridError::TooLarge`] if a rung overflows the `u32`
+/// index spaces).
+pub fn generate_scaled(spec: &ScaleSpec) -> Result<Workload, GridError> {
+    let cspec = spec.circuit_spec();
+    let circuit = generate_with(&cspec, spec.seed, spec.fanout_boost)?;
+    let nx = (cspec.die_w / LADDER_TILE).round() as u32;
+    let ny = (cspec.die_h / LADDER_TILE).round() as u32;
+    let tech = gsino_grid::tech::Technology::itrs_100nm();
+    let hc = tech.tracks_for(LADDER_TILE);
+    let vc = tech.tracks_for(LADDER_TILE);
+    let (name, die, nets) = circuit.into_parts();
+    debug_assert_eq!(die.width(), nx as f64 * LADDER_TILE);
+    Workload::new(name, nx, ny, hc, vc, LADDER_TILE, LADDER_TILE, nets)
+}
+
+/// An order-sensitive FNV-1a digest over a circuit's full content — name,
+/// die corners, and every net's id and exact pin bits. Two circuits are
+/// byte-identical for routing purposes iff their digests match, so the
+/// committed-digest tests catch any accidental generator drift (which
+/// would otherwise silently shift every bench baseline).
+pub fn circuit_digest(c: &Circuit) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(c.name().as_bytes());
+    for v in [
+        c.die().lo().x,
+        c.die().lo().y,
+        c.die().hi().x,
+        c.die().hi().y,
+    ] {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    for net in c.nets() {
+        eat(&net.id().to_le_bytes());
+        eat(&(net.degree() as u64).to_le_bytes());
+        for p in net.pins() {
+            eat(&p.x.to_bits().to_le_bytes());
+            eat(&p.y.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
 /// Pin-count distribution: 2-pin dominated with a geometric tail, matching
-/// the shape of the ISPD'98 suite.
-fn sample_degree(rng: &mut StdRng) -> usize {
+/// the shape of the ISPD'98 suite. `fanout_boost` in `[0, 1)` compresses
+/// the low-degree thresholds toward 0, moving mass into the tail; at 0.0
+/// the draw sequence is exactly the historical one (same thresholds, same
+/// number of RNG calls per outcome).
+fn sample_degree(rng: &mut StdRng, fanout_boost: f64) -> usize {
+    let s = 1.0 - fanout_boost;
     let u: f64 = rng.gen();
     match u {
-        u if u < 0.55 => 2,
-        u if u < 0.73 => 3,
-        u if u < 0.83 => 4,
-        u if u < 0.89 => 5,
+        u if u < 0.55 * s => 2,
+        u if u < 0.73 * s => 3,
+        u if u < 0.83 * s => 4,
+        u if u < 0.89 * s => 5,
         _ => {
             // Geometric tail from 6 up, capped at 16.
             let mut d = 6;

@@ -38,5 +38,9 @@ pub mod io;
 pub mod spec;
 
 pub use experiment::{ExperimentConfig, SuiteResults};
-pub use generator::generate;
+pub use generator::{circuit_digest, generate, generate_scaled, generate_with, ScaleSpec};
+pub use io::{
+    load_workload, parse_workload, parse_workload_str, save_workload, write_workload, ParseError,
+    Workload,
+};
 pub use spec::CircuitSpec;

@@ -147,6 +147,18 @@ pub enum CoreError {
         /// The session name.
         session: String,
     },
+    /// A workload exceeded an index width or resource ceiling of the
+    /// flat-array cores (u32 region/net/edge indices, CSR offsets). The
+    /// request is deterministic — the same workload fails the same way —
+    /// so this is not retryable; shrink the workload or raise the limit.
+    TooLarge {
+        /// What overflowed (`"regions"`, `"edges"`, `"connections"`, …).
+        what: &'static str,
+        /// The value that did not fit.
+        value: u64,
+        /// The maximum the index width admits.
+        limit: u64,
+    },
     /// An error received over the wire from a remote routing service,
     /// carried verbatim. When the remote kind string is one this build
     /// knows, [`CoreError::kind`] maps it back to the matching
@@ -187,6 +199,8 @@ pub enum ErrorKind {
     SessionBusy,
     /// [`CoreError::SessionClosed`].
     SessionClosed,
+    /// [`CoreError::TooLarge`].
+    TooLarge,
     /// [`CoreError::Remote`] whose kind string no known kind claims — an
     /// error forwarded by a remote peer speaking a newer vocabulary.
     Remote,
@@ -209,6 +223,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::SessionBusy => "session_busy",
             ErrorKind::SessionClosed => "session_closed",
+            ErrorKind::TooLarge => "too_large",
             ErrorKind::Remote => "remote",
         }
     }
@@ -229,6 +244,7 @@ impl ErrorKind {
             "overloaded" => ErrorKind::Overloaded,
             "session_busy" => ErrorKind::SessionBusy,
             "session_closed" => ErrorKind::SessionClosed,
+            "too_large" => ErrorKind::TooLarge,
             _ => ErrorKind::Remote,
         }
     }
@@ -261,6 +277,7 @@ impl CoreError {
     /// | [`ErrorKind::Overloaded`] | `overloaded` | yes |
     /// | [`ErrorKind::SessionBusy`] | `session_busy` | yes |
     /// | [`ErrorKind::SessionClosed`] | `session_closed` | no |
+    /// | [`ErrorKind::TooLarge`] | `too_large` | no |
     /// | [`ErrorKind::Remote`] | `remote` | carried flag |
     ///
     /// A [`CoreError::Remote`] whose carried kind string is in the table
@@ -278,6 +295,7 @@ impl CoreError {
             CoreError::Overloaded { .. } => ErrorKind::Overloaded,
             CoreError::SessionBusy { .. } => ErrorKind::SessionBusy,
             CoreError::SessionClosed { .. } => ErrorKind::SessionClosed,
+            CoreError::TooLarge { .. } => ErrorKind::TooLarge,
             CoreError::Remote { kind, .. } => ErrorKind::parse(kind),
         }
     }
@@ -338,6 +356,9 @@ impl fmt::Display for CoreError {
             CoreError::SessionClosed { session } => {
                 write!(f, "session `{session}` is closed or was never opened")
             }
+            CoreError::TooLarge { what, value, limit } => {
+                write!(f, "{what} count {value} exceeds the index limit {limit}")
+            }
             CoreError::Remote { kind, message, .. } => {
                 write!(f, "remote error [{kind}]: {message}")
             }
@@ -358,7 +379,14 @@ impl Error for CoreError {
 
 impl From<gsino_grid::GridError> for CoreError {
     fn from(e: gsino_grid::GridError) -> Self {
-        CoreError::Grid(e)
+        // Overflow of the shared u32 index space classifies uniformly as
+        // `TooLarge` no matter which layer detected it.
+        match e {
+            gsino_grid::GridError::TooLarge { what, value, limit } => {
+                CoreError::TooLarge { what, value, limit }
+            }
+            other => CoreError::Grid(other),
+        }
     }
 }
 
@@ -376,6 +404,21 @@ impl From<gsino_lsk::LskError> for CoreError {
 
 /// Convenience alias for results in this crate.
 pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Checked narrowing into the `u32` index space of the flat-array cores.
+///
+/// Regions, nets, connections, corridor edges and CSR slots are all
+/// indexed with `u32`; this is the boundary check that turns a workload
+/// too large for that into a typed [`CoreError::TooLarge`] instead of a
+/// silent wrap. It runs once per batch at construction/entry points — hot
+/// loops keep plain casts guarded by `debug_assert!`s.
+pub fn checked_index_u32(what: &'static str, value: usize) -> Result<u32> {
+    u32::try_from(value).map_err(|_| CoreError::TooLarge {
+        what,
+        value: value as u64,
+        limit: u32::MAX as u64,
+    })
+}
 
 #[cfg(test)]
 mod error_kind_tests {
@@ -397,6 +440,7 @@ mod error_kind_tests {
             (ErrorKind::Overloaded, "overloaded"),
             (ErrorKind::SessionBusy, "session_busy"),
             (ErrorKind::SessionClosed, "session_closed"),
+            (ErrorKind::TooLarge, "too_large"),
             (ErrorKind::Remote, "remote"),
         ];
         for (kind, s) in pinned {
@@ -405,6 +449,29 @@ mod error_kind_tests {
             assert_eq!(kind.to_string(), s);
         }
         assert_eq!(ErrorKind::parse("a_future_kind"), ErrorKind::Remote);
+    }
+
+    #[test]
+    fn too_large_is_typed_and_not_retryable() {
+        let from_grid: CoreError = gsino_grid::GridError::TooLarge {
+            what: "regions",
+            value: 1 << 40,
+            limit: u32::MAX as u64,
+        }
+        .into();
+        assert_eq!(from_grid.kind(), ErrorKind::TooLarge);
+        assert!(!from_grid.is_retryable());
+        let direct = CoreError::TooLarge {
+            what: "edges",
+            value: 5_000_000_000,
+            limit: u32::MAX as u64,
+        };
+        assert_eq!(direct.kind(), ErrorKind::TooLarge);
+        assert!(!direct.is_retryable());
+        assert_eq!(
+            direct.to_string(),
+            "edges count 5000000000 exceeds the index limit 4294967295"
+        );
     }
 
     #[test]

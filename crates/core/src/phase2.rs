@@ -184,6 +184,9 @@ impl RegionSino {
     /// Writes every region's shield count into a usage snapshot.
     pub fn apply_shields(&self, usage: &mut TrackUsage) {
         for ((r, d), sol) in &self.solutions {
+            // Shields occupy tracks, and per-region capacity is u32 — a
+            // layout can never hold more.
+            debug_assert!(sol.layout.num_shields() <= u32::MAX as usize);
             usage.set_shields(*r, *d, sol.layout.num_shields() as u32);
         }
     }

@@ -90,6 +90,11 @@ impl AssembleScratch {
         self.next_epoch();
         let epoch = self.epoch;
 
+        // The CSR indexes edges with u32 and each edge takes two adjacency
+        // slots; reject (rather than wrap) anything bigger. One check per
+        // net — the loops below keep plain casts.
+        crate::checked_index_u32("route edge slots", edges.len().saturating_mul(2))?;
+
         // Degree count + first-touch node list.
         self.nodes.clear();
         for e in edges {

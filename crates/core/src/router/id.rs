@@ -278,6 +278,13 @@ impl<'a> IdRouter<'a> {
             }
         }
         stats.connections = conns.len();
+        // The deletion heap addresses (connection, edge) pairs with u32;
+        // turn an over-wide workload into a typed error here instead of
+        // letting the hot-loop casts below wrap.
+        crate::checked_index_u32("connections", conns.len())?;
+        for c in &conns {
+            crate::checked_index_u32("corridor edges", c.corridor.num_edges())?;
+        }
 
         // 2. Global per-region expected demand (probabilistic presence by
         //    direction, Cong–Preas style), seeded from the active cells.
@@ -477,6 +484,10 @@ impl<'a> IdRouter<'a> {
         let needed_edges = ((t1x_diff(self.grid, t1, t2)) as f64).max(1.0);
         let alive_edges = corridor.num_edges();
         let mut active = Vec::new();
+        // Cell positions are u32 and locals are u16; corridors are bounded
+        // by the t1/t2 bounding box, which the u16 local index already
+        // constrains — assert rather than re-check per cell.
+        debug_assert!(corridor.num_regions() <= u16::MAX as usize + 1);
         let mut active_pos = vec![[NO_CELL; 2]; corridor.num_regions()];
         for (local, p) in presence.iter().enumerate() {
             for d in 0..2 {

@@ -229,6 +229,10 @@ impl SearchScratch {
         C: Fn(RegionIdx, RegionIdx) -> f64,
         H: Fn(RegionIdx) -> f64,
     {
+        // Region counts are guaranteed to fit u32 by the checked
+        // `RegionGrid` constructors; the cast in the unreachable check
+        // below relies on it.
+        debug_assert!(num_regions <= u32::MAX as usize);
         self.ensure(num_regions);
         self.next_epoch();
         let epoch = self.epoch;

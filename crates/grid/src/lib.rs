@@ -114,6 +114,18 @@ pub enum GridError {
         /// Net id.
         net: u32,
     },
+    /// A count overflowed the index width the flat-array cores use
+    /// (regions, nets and CSR edge offsets are all `u32`). Raised by the
+    /// checked conversions at construction boundaries instead of silently
+    /// wrapping.
+    TooLarge {
+        /// What overflowed (`"regions"`, `"nets"`, …).
+        what: &'static str,
+        /// The value that did not fit.
+        value: u64,
+        /// The maximum the index width admits.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -142,6 +154,9 @@ impl fmt::Display for GridError {
             }
             GridError::UnknownNet { net } => {
                 write!(f, "circuit contains no net {net}")
+            }
+            GridError::TooLarge { what, value, limit } => {
+                write!(f, "{what} count {value} exceeds the index limit {limit}")
             }
         }
     }

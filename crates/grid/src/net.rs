@@ -174,6 +174,12 @@ impl Circuit {
         &self.name
     }
 
+    /// Decomposes the circuit into its (already validated) parts without
+    /// cloning — the move path large-workload assembly uses.
+    pub fn into_parts(self) -> (String, Rect, Vec<Net>) {
+        (self.name, self.die, self.nets)
+    }
+
     /// The die outline.
     pub fn die(&self) -> &Rect {
         &self.die

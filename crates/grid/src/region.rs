@@ -70,8 +70,9 @@ impl RegionGrid {
         if !(tile.is_finite() && tile > 0.0) {
             return Err(GridError::BadTile { tile });
         }
-        let nx = (die.width() / tile).ceil().max(1.0) as u32;
-        let ny = (die.height() / tile).ceil().max(1.0) as u32;
+        let nx = (die.width() / tile).ceil().max(1.0);
+        let ny = (die.height() / tile).ceil().max(1.0);
+        let (nx, ny) = Self::checked_dims(nx, ny)?;
         let tile_w = die.width() / nx as f64;
         let tile_h = die.height() / ny as f64;
         // Horizontal tracks run the width of a region and stack along its
@@ -92,6 +93,71 @@ impl RegionGrid {
             pitch: tech.pitch(),
             utilization: tech.routing_utilization,
         })
+    }
+
+    /// Builds a grid with explicit dimensions and capacities — the
+    /// construction path for parsed workload files, where the benchmark
+    /// dictates `nx × ny` and the per-region track counts instead of the
+    /// technology deriving them from a tile size.
+    ///
+    /// The die is split evenly: `tile_w = die.width() / nx` and likewise
+    /// for the height. Pitch and utilization are still cached from the
+    /// technology for the area/usage models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadTile`] if any dimension or capacity is zero,
+    /// and [`GridError::TooLarge`] if `nx * ny` overflows the `u32` region
+    /// index space.
+    pub fn with_capacities(
+        die: Rect,
+        nx: u32,
+        ny: u32,
+        hc: u32,
+        vc: u32,
+        tech: &Technology,
+    ) -> Result<Self> {
+        if nx == 0 || ny == 0 || hc == 0 || vc == 0 {
+            return Err(GridError::BadTile { tile: 0.0 });
+        }
+        let (nx, ny) = Self::checked_dims(nx as f64, ny as f64)?;
+        Ok(RegionGrid {
+            die,
+            tile_w: die.width() / nx as f64,
+            tile_h: die.height() / ny as f64,
+            nx,
+            ny,
+            hc,
+            vc,
+            pitch: tech.pitch(),
+            utilization: tech.routing_utilization,
+        })
+    }
+
+    /// Validates candidate grid dimensions against the `u32` region index
+    /// space: each axis must fit, and so must the product `nx * ny`.
+    fn checked_dims(nx: f64, ny: f64) -> Result<(u32, u32)> {
+        const LIMIT: u64 = u32::MAX as u64;
+        if !(nx.is_finite() && ny.is_finite()) || nx > LIMIT as f64 || ny > LIMIT as f64 {
+            return Err(GridError::TooLarge {
+                what: "regions per axis",
+                value: if nx.is_finite() && nx <= LIMIT as f64 {
+                    ny as u64
+                } else {
+                    nx as u64
+                },
+                limit: LIMIT,
+            });
+        }
+        let (nx, ny) = (nx as u32, ny as u32);
+        match nx.checked_mul(ny) {
+            Some(_) => Ok((nx, ny)),
+            None => Err(GridError::TooLarge {
+                what: "regions",
+                value: nx as u64 * ny as u64,
+                limit: LIMIT,
+            }),
+        }
     }
 
     /// Number of region columns.
@@ -338,6 +404,36 @@ mod tests {
         let g = RegionGrid::from_die(die, &Technology::itrs_100nm(), 64.0).unwrap();
         assert_eq!((g.nx(), g.ny()), (2, 2));
         assert_eq!(g.tile_w(), 50.0);
+    }
+
+    #[test]
+    fn with_capacities_matches_parsed_dims() {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 192.0)).unwrap();
+        let t = Technology::itrs_100nm();
+        let g = RegionGrid::with_capacities(die, 5, 3, 12, 9, &t).unwrap();
+        assert_eq!((g.nx(), g.ny()), (5, 3));
+        assert_eq!((g.hc(), g.vc()), (12, 9));
+        assert_eq!(g.tile_w(), 64.0);
+        assert_eq!(g.tile_h(), 64.0);
+        assert!(RegionGrid::with_capacities(die, 0, 3, 12, 9, &t).is_err());
+        assert!(RegionGrid::with_capacities(die, 5, 3, 0, 9, &t).is_err());
+    }
+
+    #[test]
+    fn oversize_grid_is_a_typed_error() {
+        let die = Rect::new(Point::new(0.0, 0.0), Point::new(320.0, 192.0)).unwrap();
+        let t = Technology::itrs_100nm();
+        let err = RegionGrid::with_capacities(die, 100_000, 100_000, 16, 16, &t).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GridError::TooLarge {
+                    what: "regions",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

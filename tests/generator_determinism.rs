@@ -1,0 +1,95 @@
+//! Determinism contract of the workload generator: a (spec, seed) pair
+//! fully determines the circuit, pinned by committed digests so a cross-
+//! process (or cross-machine) drift is caught, not just a within-process
+//! one.
+
+use gsino::circuits::generator::{
+    circuit_digest, generate, generate_scaled, generate_with, ScaleSpec,
+};
+use gsino::circuits::io::{parse_workload_str, write_workload};
+
+/// The committed digest of the gated 5k rung — the same workload the
+/// scale-matrix bench baseline (`crates/bench/baseline/BENCH_scale.json`)
+/// records. Regenerating the baseline is the only legitimate reason for
+/// this constant to change.
+const SCALE5K_DIGEST: u64 = 0x9049_5c10_0f1b_812f;
+
+#[test]
+fn scale5k_digest_is_pinned() {
+    let spec = ScaleSpec::by_id("scale5k").expect("ladder rung");
+    let wl = generate_scaled(&spec).expect("generates");
+    assert_eq!(
+        circuit_digest(wl.circuit()),
+        SCALE5K_DIGEST,
+        "the 5k rung drifted from the committed baseline workload"
+    );
+}
+
+#[test]
+fn same_spec_and_seed_reproduce_bit_identically() {
+    let spec = ScaleSpec::rung("mini", 400, 1.0, 0.0);
+    let a = generate_scaled(&spec).expect("generates");
+    let b = generate_scaled(&spec).expect("generates");
+    assert_eq!(a, b, "same (spec, seed) must reproduce the workload");
+    assert_eq!(circuit_digest(a.circuit()), circuit_digest(b.circuit()));
+}
+
+#[test]
+fn distinct_seeds_give_distinct_circuits() {
+    let mut a = ScaleSpec::rung("mini", 400, 1.0, 0.0);
+    let mut b = a.clone();
+    a.seed = 1;
+    b.seed = 2;
+    let wa = generate_scaled(&a).expect("generates");
+    let wb = generate_scaled(&b).expect("generates");
+    assert_ne!(
+        circuit_digest(wa.circuit()),
+        circuit_digest(wb.circuit()),
+        "distinct seeds must give distinct workloads"
+    );
+}
+
+#[test]
+fn distinct_rungs_give_distinct_circuits() {
+    let a = generate_scaled(&ScaleSpec::rung("a", 300, 1.0, 0.0)).expect("generates");
+    let b = generate_scaled(&ScaleSpec::rung("b", 300, 1.2, 0.10)).expect("generates");
+    assert_ne!(circuit_digest(a.circuit()), circuit_digest(b.circuit()));
+}
+
+#[test]
+fn zero_fanout_boost_preserves_the_historical_stream() {
+    // `generate` is the historical entry point every committed bench
+    // baseline depends on; `generate_with(…, 0.0)` must be the same
+    // stream bit for bit.
+    let spec = ScaleSpec::rung("mini", 400, 1.0, 0.0).circuit_spec();
+    let a = generate(&spec, 2002).expect("generates");
+    let b = generate_with(&spec, 2002, 0.0).expect("generates");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fanout_boost_changes_the_distribution() {
+    let spec = ScaleSpec::rung("mini", 400, 1.0, 0.0).circuit_spec();
+    let a = generate_with(&spec, 2002, 0.0).expect("generates");
+    let b = generate_with(&spec, 2002, 0.2).expect("generates");
+    assert_ne!(circuit_digest(&a), circuit_digest(&b));
+    let pins = |c: &gsino::grid::Circuit| -> usize { c.nets().iter().map(|n| n.degree()).sum() };
+    assert!(
+        pins(&b) > pins(&a),
+        "a positive fanout boost must raise the total pin count"
+    );
+}
+
+#[test]
+fn digest_survives_the_text_round_trip() {
+    let spec = ScaleSpec::rung("mini", 400, 1.0, 0.0);
+    let wl = generate_scaled(&spec).expect("generates");
+    let mut text = Vec::new();
+    write_workload(&wl, &mut text).expect("writes");
+    let parsed = parse_workload_str(&String::from_utf8(text).expect("utf-8")).expect("parses");
+    assert_eq!(
+        circuit_digest(parsed.circuit()),
+        circuit_digest(wl.circuit()),
+        "the digest is a function of the circuit, not of the encoding"
+    );
+}

@@ -1,0 +1,286 @@
+//! Conformance suite for the text workload format
+//! (`crates/circuits/src/io.rs`, grammar in `crates/circuits/README.md`):
+//! the committed golden fixture parses to the expected structure, every
+//! documented error class surfaces as a typed [`ParseError`] with the
+//! right line number (never a panic), and `parse ∘ write` is the
+//! identity — both on the fixture's canonical form and on
+//! property-generated workloads.
+
+use gsino::circuits::generator::{generate_scaled, ScaleSpec};
+use gsino::circuits::io::{parse_workload_str, write_workload, ParseError, Workload, MAX_NET_PINS};
+use gsino::grid::{GridError, Net, Point, Technology};
+use proptest::prelude::*;
+
+fn fixture() -> &'static str {
+    include_str!("fixtures/mini.workload")
+}
+
+// ---------------------------------------------------------------------
+// Golden fixture
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_fixture_parses_to_expected_structure() {
+    let wl = parse_workload_str(fixture()).expect("fixture parses");
+    assert_eq!(wl.name(), "mini");
+    assert_eq!((wl.nx(), wl.ny()), (4, 3));
+    assert_eq!((wl.hc(), wl.vc()), (12, 16));
+    assert_eq!((wl.tile_w(), wl.tile_h()), (64.0, 64.0));
+    let circuit = wl.circuit();
+    assert_eq!(circuit.num_nets(), 3);
+    assert_eq!(circuit.die().width(), 256.0);
+    assert_eq!(circuit.die().height(), 192.0);
+    let ids: Vec<u32> = circuit.nets().iter().map(|n| n.id()).collect();
+    assert_eq!(ids, vec![0, 1, 7], "ids need not be contiguous");
+    let degrees: Vec<usize> = circuit.nets().iter().map(|n| n.degree()).collect();
+    assert_eq!(degrees, vec![2, 3, 2]);
+    assert_eq!(circuit.nets()[2].pins()[0], Point::new(64.5, 100.25));
+}
+
+#[test]
+fn golden_fixture_round_trips_through_canonical_form() {
+    let wl = parse_workload_str(fixture()).expect("fixture parses");
+    let mut text = Vec::new();
+    write_workload(&wl, &mut text).expect("writes");
+    let text = String::from_utf8(text).expect("utf-8");
+    let again = parse_workload_str(&text).expect("canonical form parses");
+    assert_eq!(again, wl, "parse ∘ write must be the identity");
+}
+
+#[test]
+fn fixture_grid_constructs() {
+    let wl = parse_workload_str(fixture()).expect("fixture parses");
+    let grid = wl.grid(&Technology::itrs_100nm()).expect("grid builds");
+    assert_eq!(grid.num_regions(), 12);
+}
+
+// ---------------------------------------------------------------------
+// Typed errors, with line numbers
+// ---------------------------------------------------------------------
+
+const HEADER: &str = "name t\ngrid 4 3\nvertical capacity 16\nhorizontal capacity 16\ntile 64 64\n";
+
+#[test]
+fn bad_pin_count_is_a_typed_error() {
+    // Declares 3 pins but the net record only carries 2 before the next
+    // directive-shaped line (EOF here).
+    let text = format!("{HEADER}num net 1\nnet a 0 3\n  32 32\n  64 64\n");
+    match parse_workload_str(&text) {
+        Err(ParseError::Truncated { line, .. }) => assert_eq!(line, 9),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_net_list_is_a_typed_error() {
+    // num net promises 2 nets, file ends after 1.
+    let text = format!("{HEADER}num net 2\nnet a 0 2\n  32 32\n  64 64\n");
+    match parse_workload_str(&text) {
+        Err(ParseError::Truncated { line, .. }) => assert_eq!(line, 9),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversize_grid_is_a_typed_error() {
+    let text = "grid 100000 100000\nnum net 1\nnet a 0 1\n  1 1\n";
+    match parse_workload_str(text) {
+        Err(ParseError::TooLarge {
+            line, what, limit, ..
+        }) => {
+            assert_eq!(line, 1);
+            assert_eq!(what, "regions");
+            assert_eq!(limit, u64::from(u32::MAX));
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversize_pin_count_is_a_typed_error() {
+    let text = format!("{HEADER}num net 1\nnet a 0 {}\n", MAX_NET_PINS + 1);
+    match parse_workload_str(&text) {
+        Err(ParseError::TooLarge { line, what, .. }) => {
+            assert_eq!(line, 7);
+            assert_eq!(what, "pins");
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_net_id_is_a_typed_error() {
+    let text = format!("{HEADER}num net 2\nnet a 5 1\n  1 1\nnet b 5 1\n  2 2\n");
+    match parse_workload_str(&text) {
+        Err(ParseError::Syntax { line, message }) => {
+            assert_eq!(line, 9);
+            assert!(message.contains("duplicate"), "message: {message}");
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_number_is_a_typed_error() {
+    let text = format!("{HEADER}num net 1\nnet a 0 two\n");
+    match parse_workload_str(&text) {
+        Err(ParseError::BadNumber { line, token }) => {
+            assert_eq!(line, 7);
+            assert_eq!(token, "two");
+        }
+        other => panic!("expected BadNumber, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_coordinate_is_a_typed_error() {
+    let text = format!("{HEADER}num net 1\nnet a 0 1\n  NaN 32\n");
+    assert!(matches!(
+        parse_workload_str(&text),
+        Err(ParseError::BadNumber { line: 8, .. })
+    ));
+}
+
+#[test]
+fn pin_outside_die_is_a_typed_error_at_the_pin_line() {
+    let text = format!("{HEADER}num net 1\nnet a 0 1\n  9999 32\n");
+    match parse_workload_str(&text) {
+        Err(ParseError::Grid { line, source }) => {
+            assert_eq!(line, 8);
+            assert!(matches!(source, GridError::PinOutsideDie { .. }));
+        }
+        other => panic!("expected Grid(PinOutsideDie), got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_pin_net_is_a_typed_error() {
+    let text = format!("{HEADER}num net 1\nnet a 0 0\n");
+    assert!(matches!(
+        parse_workload_str(&text),
+        Err(ParseError::Grid {
+            source: GridError::EmptyNet { .. },
+            ..
+        })
+    ));
+}
+
+#[test]
+fn trailing_content_is_a_typed_error() {
+    let text = format!("{HEADER}num net 1\nnet a 0 1\n  1 1\nextra stuff\n");
+    assert!(matches!(
+        parse_workload_str(&text),
+        Err(ParseError::Syntax { line: 9, .. })
+    ));
+}
+
+#[test]
+fn missing_directive_is_a_typed_error() {
+    // No `grid` before `num net`.
+    let text = "name t\nnum net 1\nnet a 0 1\n  1 1\n";
+    match parse_workload_str(text) {
+        Err(ParseError::Syntax { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(message.contains("grid"), "message: {message}");
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_input_is_a_typed_error() {
+    assert!(matches!(
+        parse_workload_str(""),
+        Err(ParseError::Truncated { .. })
+    ));
+    assert!(matches!(
+        parse_workload_str("# only comments\n\n"),
+        Err(ParseError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn errors_render_with_line_numbers() {
+    let err = parse_workload_str("grid 0 4\n").expect_err("zero dim rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("line 1"), "message: {msg}");
+}
+
+// ---------------------------------------------------------------------
+// Never-panic fuzz legs (mirrors tests/wire_protocol.rs)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded) never panic the parser.
+    #[test]
+    fn parser_never_panics_on_random_bytes(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_workload_str(&text);
+    }
+
+    /// Random streams of grammar-shaped tokens never panic the parser.
+    #[test]
+    fn parser_never_panics_on_random_tokens(
+        words in prop::collection::vec(0usize..17, 1..64),
+        newlines in prop::collection::vec(0u8..2, 1..64),
+    ) {
+        const VOCAB: [&str; 17] = [
+            "name", "grid", "vertical", "horizontal", "capacity", "tile",
+            "num", "net", "0", "1", "4", "64", "-3", "1e300", "NaN", "#", "x",
+        ];
+        let mut text = String::new();
+        for (i, &w) in words.iter().enumerate() {
+            text.push_str(VOCAB[w]);
+            text.push(if newlines.get(i).copied().unwrap_or(0) == 1 { '\n' } else { ' ' });
+        }
+        let _ = parse_workload_str(&text);
+    }
+
+    /// parse ∘ write is the identity on arbitrary in-range workloads.
+    #[test]
+    fn write_then_parse_is_identity(
+        nx in 1u32..12,
+        ny in 1u32..12,
+        caps in (1u32..64, 1u32..64),
+        pins in prop::collection::vec(
+            prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..5),
+            1..12,
+        ),
+    ) {
+        let (hc, vc) = caps;
+        let (tw, th) = (64.0, 32.0);
+        let (die_w, die_h) = (f64::from(nx) * tw, f64::from(ny) * th);
+        let nets: Vec<Net> = pins
+            .iter()
+            .enumerate()
+            .map(|(i, ps)| {
+                Net::new(
+                    i as u32,
+                    ps.iter().map(|&(fx, fy)| Point::new(fx * die_w, fy * die_h)).collect(),
+                )
+            })
+            .collect();
+        let wl = Workload::new("prop", nx, ny, hc, vc, tw, th, nets).expect("workload");
+        let mut text = Vec::new();
+        write_workload(&wl, &mut text).expect("writes");
+        let parsed = parse_workload_str(&String::from_utf8(text).expect("utf-8"))
+            .expect("written form parses");
+        prop_assert_eq!(parsed, wl);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generator output uses the same format
+// ---------------------------------------------------------------------
+
+#[test]
+fn generated_rung_round_trips() {
+    let spec = ScaleSpec::rung("mini500", 500, 1.0, 0.0);
+    let wl = generate_scaled(&spec).expect("mini rung generates");
+    let mut text = Vec::new();
+    write_workload(&wl, &mut text).expect("writes");
+    let parsed = parse_workload_str(&String::from_utf8(text).expect("utf-8")).expect("parses");
+    assert_eq!(parsed, wl);
+}
